@@ -1,0 +1,123 @@
+//! Ablations beyond the paper's figures, for the design choices called
+//! out in DESIGN.md:
+//!
+//! * `side_queues` — Algorithm 1 with and without the per-round `Q_l`
+//!   side queues (§3.3's Q-maintenance trick);
+//! * `bound_mode` — the priority loader's tight (§4.2) vs loose (DP-P)
+//!   trigger, measured as end-to-end Topk-EN time;
+//! * `block_size` — cursor block granularity of the on-disk store;
+//! * `distance_index` — closure point lookups vs the 2-hop PLL index
+//!   (§5 "Managing Closure Size").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktpm_bench::{prepare_dataset, queries_for};
+use ktpm_closure::{pll::PllIndex, ClosureTables};
+use ktpm_core::{BoundMode, TopkEnEnumerator, TopkEnumerator};
+use ktpm_graph::NodeId;
+use ktpm_runtime::RuntimeGraph;
+use ktpm_storage::MemStore;
+use ktpm_workload::{generate, GraphSpec};
+use std::time::Duration;
+
+fn side_queues(c: &mut Criterion) {
+    let ds = prepare_dataset("ABL", &GraphSpec::citation(2000, 0xAB1));
+    let queries = queries_for(&ds, 20, 3, true);
+    let rgs: Vec<_> = queries
+        .iter()
+        .map(|q| RuntimeGraph::load(q, &ds.store))
+        .collect();
+    let mut group = c.benchmark_group("ablation_side_queues");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    for (name, on) in [("with_Ql", true), ("without_Ql", false)] {
+        group.bench_with_input(BenchmarkId::new("topk_k100", name), &on, |b, &on| {
+            b.iter(|| {
+                rgs.iter()
+                    .map(|rg| TopkEnumerator::with_side_queues(rg, on).take(100).count())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bound_mode(c: &mut Criterion) {
+    let ds = prepare_dataset("ABL", &GraphSpec::citation(2000, 0xAB1));
+    let queries = queries_for(&ds, 20, 3, true);
+    let mut group = c.benchmark_group("ablation_bound_mode");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    for (name, mode) in [("tight", BoundMode::Tight), ("loose", BoundMode::Loose)] {
+        group.bench_with_input(BenchmarkId::new("topk_en_k20", name), &mode, |b, &mode| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|q| {
+                        TopkEnEnumerator::with_bound(q, &ds.store, mode)
+                            .take(20)
+                            .count()
+                    })
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn block_size(c: &mut Criterion) {
+    let g = generate(&GraphSpec::citation(1500, 0xAB2));
+    let tables = ClosureTables::compute(&g);
+    let query = ktpm_workload::random_tree_query(
+        &g,
+        ktpm_workload::QuerySpec {
+            size: 15,
+            distinct_labels: true,
+            seed: 3,
+        },
+    )
+    .expect("query")
+    .resolve(g.interner());
+    let mut group = c.benchmark_group("ablation_block_size");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    for block in [8usize, 64, 512] {
+        let store = MemStore::with_block_edges(tables.clone(), block);
+        group.bench_with_input(BenchmarkId::new("topk_en_k20", block), &store, |b, store| {
+            b.iter(|| TopkEnEnumerator::new(&query, store).take(20).count())
+        });
+    }
+    group.finish();
+}
+
+fn distance_index(c: &mut Criterion) {
+    let g = generate(&GraphSpec::power_law(1200, 0xAB3));
+    let tables = ClosureTables::compute(&g);
+    let pll = PllIndex::build(&g);
+    let pairs: Vec<(NodeId, NodeId)> = (0..2000u32)
+        .map(|i| {
+            (
+                NodeId((i * 7919) % g.num_nodes() as u32),
+                NodeId((i * 104729) % g.num_nodes() as u32),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("ablation_distance_index");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    group.bench_function("closure_tables", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(u, v)| tables.dist(u, v).is_some())
+                .count()
+        })
+    });
+    group.bench_function("pll_2hop", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(u, v)| pll.dist(u, v).is_some())
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, side_queues, bound_mode, block_size, distance_index);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 6 — the four-system comparison (DP-B, DP-P, Topk, Topk-EN).
+//!
+//! Total time for top-k (T20 queries, k = 20) on a scaled GD-style
+//! dataset. The shape to reproduce: Topk ≪ DP-B, Topk-EN ≪ DP-P, with
+//! Topk-EN fastest end-to-end for small k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktpm_bench::{prepare_dataset, queries_for, run_algo, Algo};
+use ktpm_workload::GraphSpec;
+use std::time::Duration;
+
+fn four_systems(c: &mut Criterion) {
+    let ds = prepare_dataset("FIG6", &GraphSpec::citation(2000, 0xF16));
+    let queries = queries_for(&ds, 20, 3, true);
+    assert!(!queries.is_empty(), "query extraction failed");
+    let mut group = c.benchmark_group("fig6_total_time_k20");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    for algo in Algo::ALL {
+        group.bench_with_input(BenchmarkId::new(algo.name(), "T20"), &algo, |b, &algo| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|q| run_algo(&ds, q, 20, algo).produced)
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+
+    // Top-1 only (Figure 6(c)/(d)).
+    let mut group = c.benchmark_group("fig6_top1_time");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    for algo in Algo::ALL {
+        group.bench_with_input(BenchmarkId::new(algo.name(), "T20"), &algo, |b, &algo| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|q| run_algo(&ds, q, 1, algo).produced)
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, four_systems);
+criterion_main!(benches);

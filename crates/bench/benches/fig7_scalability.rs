@@ -1,0 +1,61 @@
+//! Figure 7 — scalability of Topk and Topk-EN against k and query size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktpm_bench::{prepare_dataset, queries_for, run_algo, Algo};
+use ktpm_workload::GraphSpec;
+use std::time::Duration;
+
+fn scalability(c: &mut Criterion) {
+    let ds = prepare_dataset("FIG7", &GraphSpec::power_law(2000, 0xF17));
+
+    // Vary k (T20 to keep query extraction robust at this scale).
+    let queries = queries_for(&ds, 20, 3, true);
+    assert!(!queries.is_empty());
+    let mut group = c.benchmark_group("fig7_vary_k");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    for k in [10usize, 100] {
+        for algo in [Algo::Topk, Algo::TopkEn] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), k),
+                &(k, algo),
+                |b, &(k, algo)| {
+                    b.iter(|| {
+                        queries
+                            .iter()
+                            .map(|q| run_algo(&ds, q, k, algo).produced)
+                            .sum::<usize>()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Vary query size (k = 20).
+    let mut group = c.benchmark_group("fig7_vary_T");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    for size in [10usize, 30, 50] {
+        let queries = queries_for(&ds, size, 3, true);
+        if queries.is_empty() {
+            continue;
+        }
+        for algo in [Algo::Topk, Algo::TopkEn] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("T{size}")),
+                &algo,
+                |b, &algo| {
+                    b.iter(|| {
+                        queries
+                            .iter()
+                            .map(|q| run_algo(&ds, q, 20, algo).produced)
+                            .sum::<usize>()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scalability);
+criterion_main!(benches);

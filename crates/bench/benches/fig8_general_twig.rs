@@ -1,0 +1,34 @@
+//! Figure 8 — general twig-pattern matching (duplicate labels, Topk-GT).
+//!
+//! Topk-GT is Topk-EN over the per-query-node run-time graph; the bench
+//! compares duplicate-label query sets against distinct-label ones of
+//! the same size (the paper's claim: "the average performance ... will
+//! be not worse than that for queries with distinct labels").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktpm_bench::{prepare_dataset, queries_for, run_algo, Algo};
+use ktpm_workload::GraphSpec;
+use std::time::Duration;
+
+fn general_twig(c: &mut Criterion) {
+    let ds = prepare_dataset("FIG8", &GraphSpec::citation(2000, 0xF18));
+    let mut group = c.benchmark_group("fig8_topk_gt");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    for (label, distinct) in [("distinct", true), ("duplicates", false)] {
+        let queries = queries_for(&ds, 20, 3, distinct);
+        if queries.is_empty() {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("Topk-GT", label), &queries, |b, qs| {
+            b.iter(|| {
+                qs.iter()
+                    .map(|q| run_algo(&ds, q, 20, Algo::TopkEn).produced)
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, general_twig);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 9 — kGPM: mtree (DP-B inside) vs mtree+ (Topk-EN inside).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktpm_kgpm::{KgpmContext, TreeMatcher};
+use ktpm_workload::{generate, random_graph_query, GraphSpec};
+use std::time::Duration;
+
+fn kgpm(c: &mut Criterion) {
+    let g = generate(&GraphSpec::power_law(800, 0xF19));
+    let ctx = KgpmContext::new(&g);
+    let patterns: Vec<_> = [(4usize, 1usize), (5, 2)]
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &(n, e))| {
+            random_graph_query(ctx.graph(), n, e, 300 + i as u64)
+                .map(|q| (format!("Q{}", i + 1), q))
+        })
+        .collect();
+    assert!(!patterns.is_empty(), "pattern extraction failed");
+    let mut group = c.benchmark_group("fig9_kgpm_k20");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    for (name, q) in &patterns {
+        for (mname, matcher) in [("mtree", TreeMatcher::DpB), ("mtree+", TreeMatcher::TopkEn)] {
+            group.bench_with_input(
+                BenchmarkId::new(mname, name),
+                &(q, matcher),
+                |b, (q, matcher)| b.iter(|| ctx.topk(q, 20, *matcher).len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kgpm);
+criterion_main!(benches);

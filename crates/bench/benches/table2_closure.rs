@@ -1,0 +1,30 @@
+//! Table 2 — transitive closure pre-computation cost.
+//!
+//! Benchmarks the offline phase (SSSP-per-source closure + label-pair
+//! table assembly) on the two smallest family members of each dataset
+//! kind. The experiments binary prints the full family sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktpm_closure::ClosureTables;
+use ktpm_workload::{generate, GraphSpec};
+use std::time::Duration;
+
+fn closure_precompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_closure");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    for (name, spec) in [
+        ("GD1", GraphSpec::citation(1000, 0xD1)),
+        ("GD2", GraphSpec::citation(2500, 0xD2)),
+        ("GS1", GraphSpec::power_law(1000, 0x51)),
+        ("GS2", GraphSpec::power_law(2500, 0x52)),
+    ] {
+        let g = generate(&spec);
+        group.bench_with_input(BenchmarkId::new("compute", name), &g, |b, g| {
+            b.iter(|| ClosureTables::compute(g).num_edges())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, closure_precompute);
+criterion_main!(benches);

@@ -1,0 +1,357 @@
+//! Regenerates every table and figure of the paper's §6 evaluation.
+//!
+//! ```text
+//! cargo run --release -p ktpm-bench --bin experiments -- all
+//! cargo run --release -p ktpm-bench --bin experiments -- table2 fig6
+//! cargo run --release -p ktpm-bench --bin experiments -- --quick all
+//! ```
+//!
+//! Sections: `table2` (closure costs), `table3` (run-time graph sizes),
+//! `fig6` (four-system comparison), `fig7` (Topk/Topk-EN scalability),
+//! `fig8` (general twigs / Topk-GT), `fig9` (kGPM mtree vs mtree+).
+//! Absolute numbers are machine- and scale-dependent; EXPERIMENTS.md
+//! records the shape comparison against the paper.
+
+use ktpm_bench::*;
+use ktpm_kgpm::{KgpmContext, TreeMatcher};
+use ktpm_workload::{gd_family, gs_family, query_sizes, GraphSpec, DEFAULT_GD, DEFAULT_GS};
+use std::time::Instant;
+
+struct Config {
+    queries_per_set: usize,
+    ks: Vec<usize>,
+    kgpm_nodes: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cfg = if quick {
+        Config {
+            queries_per_set: 3,
+            ks: vec![10, 20, 100],
+            kgpm_nodes: 600,
+        }
+    } else {
+        Config {
+            queries_per_set: 10,
+            ks: vec![10, 20, 100],
+            kgpm_nodes: 1200,
+        }
+    };
+    let mut sections: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if sections.is_empty() || sections.contains(&"all") {
+        sections = vec!["table2", "table3", "fig6", "fig7", "fig8", "fig9"];
+    }
+    let t0 = Instant::now();
+    for s in sections {
+        match s {
+            "table2" => table2(),
+            "table3" => table3(&cfg),
+            "fig6" => fig6(&cfg),
+            "fig7" => fig7(&cfg),
+            "fig8" => fig8(&cfg),
+            "fig9" => fig9(&cfg),
+            other => eprintln!("unknown section {other:?}"),
+        }
+    }
+    println!("\n[experiments completed in {:?}]", t0.elapsed());
+}
+
+/// Table 2: computational costs of transitive closures.
+fn table2() {
+    println!("== Table 2: transitive closure pre-computation (scaled families) ==");
+    println!(
+        "{:<6} {:>8} {:>10} {:>12} {:>12} {:>8}",
+        "Graph", "nodes", "TC time", "TC edges", "TC size", "theta"
+    );
+    for (name, spec) in gd_family().iter().chain(gs_family().iter()) {
+        let (secs, stats) = closure_cost(spec);
+        println!(
+            "{:<6} {:>8} {:>10} {:>12} {:>12} {:>8.0}",
+            name,
+            spec.nodes,
+            fmt_secs(secs),
+            stats.edges,
+            fmt_bytes(stats.approx_bytes),
+            stats.theta
+        );
+    }
+    println!();
+}
+
+/// Table 3: average run-time graph sizes on the default datasets.
+fn table3(cfg: &Config) {
+    println!("== Table 3: average run-time graph sizes (GR) ==");
+    println!(
+        "{:<8} {:<6} {:>12} {:>12}",
+        "Dataset", "T", "#nodes(GR)", "#edges(GR)"
+    );
+    for (synthetic, (name, spec)) in [
+        (false, gd_family()[DEFAULT_GD].clone()),
+        (true, gs_family()[DEFAULT_GS].clone()),
+    ] {
+        let ds = prepare_dataset(name, &spec);
+        for size in query_sizes(synthetic) {
+            let queries = queries_for(&ds, size, cfg.queries_per_set, true);
+            if queries.is_empty() {
+                println!("{:<8} T{:<5} {:>12} {:>12}", ds.name, size, "-", "-");
+                continue;
+            }
+            let (n, e) = runtime_graph_sizes(&ds, &queries);
+            println!("{:<8} T{:<5} {:>12.0} {:>12.0}", ds.name, size, n, e);
+        }
+    }
+    println!();
+}
+
+/// Figure 6: DP-B / DP-P / Topk / Topk-EN on the default datasets, T20.
+fn fig6(cfg: &Config) {
+    println!("== Figure 6: comparison with DP-B and DP-P (T = T20, vary k) ==");
+    for (name, spec) in [gd_family()[DEFAULT_GD].clone(), gs_family()[DEFAULT_GS].clone()] {
+        let ds = prepare_dataset(name, &spec);
+        let queries = queries_for(&ds, 20, cfg.queries_per_set, true);
+        println!(
+            "-- {} ({} queries of 20 nodes) --",
+            ds.name,
+            queries.len()
+        );
+        println!(
+            "{:<4} {:<8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "k", "algo", "total", "top-1", "enum", "edges", "bytes"
+        );
+        for &k in &cfg.ks {
+            for algo in Algo::ALL {
+                let m = run_algo_avg(&ds, &queries, k, algo);
+                println!(
+                    "{:<4} {:<8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                    k,
+                    algo.name(),
+                    fmt_secs(m.total_secs()),
+                    fmt_secs(m.top1_secs),
+                    fmt_secs(m.enum_secs),
+                    m.edges_loaded,
+                    m.bytes_read
+                );
+            }
+        }
+    }
+    println!();
+}
+
+/// Figure 7: scalability of Topk / Topk-EN.
+fn fig7(cfg: &Config) {
+    println!("== Figure 7: scalability of Topk and Topk-EN ==");
+    // (a)/(b): vary k with T50.
+    for (name, spec) in [gd_family()[DEFAULT_GD].clone(), gs_family()[DEFAULT_GS].clone()] {
+        let ds = prepare_dataset(name, &spec);
+        let queries = queries_for(&ds, 50, cfg.queries_per_set, true);
+        println!("-- vary k on {} (T50, {} queries) --", ds.name, queries.len());
+        println!("{:<4} {:>12} {:>12}", "k", "Topk", "Topk-EN");
+        for &k in &cfg.ks {
+            let a = run_algo_avg(&ds, &queries, k, Algo::Topk);
+            let b = run_algo_avg(&ds, &queries, k, Algo::TopkEn);
+            println!(
+                "{:<4} {:>12} {:>12}",
+                k,
+                fmt_secs(a.total_secs()),
+                fmt_secs(b.total_secs())
+            );
+        }
+    }
+    // (c)/(d): vary query size.
+    for (synthetic, (name, spec)) in [
+        (false, gd_family()[DEFAULT_GD].clone()),
+        (true, gs_family()[DEFAULT_GS].clone()),
+    ] {
+        let ds = prepare_dataset(name, &spec);
+        println!("-- vary |T| on {} (k = 20) --", ds.name);
+        println!("{:<6} {:>12} {:>12}", "T", "Topk", "Topk-EN");
+        for size in query_sizes(synthetic) {
+            let queries = queries_for(&ds, size, cfg.queries_per_set, true);
+            if queries.is_empty() {
+                println!("T{:<5} {:>12} {:>12}", size, "-", "-");
+                continue;
+            }
+            let a = run_algo_avg(&ds, &queries, 20, Algo::Topk);
+            let b = run_algo_avg(&ds, &queries, 20, Algo::TopkEn);
+            println!(
+                "T{:<5} {:>12} {:>12}",
+                size,
+                fmt_secs(a.total_secs()),
+                fmt_secs(b.total_secs())
+            );
+        }
+    }
+    // (e)/(f): vary graph size.
+    for family in [gd_family(), gs_family()] {
+        println!("-- vary graph ({}) (T50, k = 20) --", family[0].0);
+        println!("{:<6} {:>12} {:>12}", "graph", "Topk", "Topk-EN");
+        for (name, spec) in family {
+            let ds = prepare_dataset(name, &spec);
+            let queries = queries_for(&ds, 50, cfg.queries_per_set, true);
+            if queries.is_empty() {
+                println!("{:<6} {:>12} {:>12}", name, "-", "-");
+                continue;
+            }
+            let a = run_algo_avg(&ds, &queries, 20, Algo::Topk);
+            let b = run_algo_avg(&ds, &queries, 20, Algo::TopkEn);
+            println!(
+                "{:<6} {:>12} {:>12}",
+                name,
+                fmt_secs(a.total_secs()),
+                fmt_secs(b.total_secs())
+            );
+        }
+    }
+    println!();
+}
+
+/// Figure 8: general twig-pattern matching (duplicate labels, Topk-GT).
+fn fig8(cfg: &Config) {
+    println!("== Figure 8: general twigs (duplicate labels, Topk-GT = Topk-EN) ==");
+    for (synthetic, (name, spec)) in [
+        (false, gd_family()[DEFAULT_GD].clone()),
+        (true, gs_family()[DEFAULT_GS].clone()),
+    ] {
+        let ds = prepare_dataset(name, &spec);
+        // (a) vary k with T50 duplicate-label queries.
+        let queries = queries_for(&ds, 50, cfg.queries_per_set, false);
+        let dup_ratio = |qs: &[ktpm_query::ResolvedQuery]| -> f64 {
+            if qs.is_empty() {
+                return 0.0;
+            }
+            let r: f64 = qs
+                .iter()
+                .map(|q| {
+                    let names: std::collections::HashSet<_> = q
+                        .tree()
+                        .node_ids()
+                        .filter_map(|u| q.tree().label_name(u))
+                        .collect();
+                    1.0 - names.len() as f64 / q.len() as f64
+                })
+                .sum();
+            r / qs.len() as f64
+        };
+        println!(
+            "-- {} (T50 dup-label queries, avg duplication {:.1}%) --",
+            ds.name,
+            dup_ratio(&queries) * 100.0
+        );
+        println!("{:<6} {:>12}", "k", "Topk-GT");
+        for &k in &cfg.ks {
+            let m = run_algo_avg(&ds, &queries, k, Algo::TopkEn);
+            println!("{:<6} {:>12}", k, fmt_secs(m.total_secs()));
+        }
+        // (b) vary query size.
+        println!("{:<6} {:>12}", "T", "Topk-GT");
+        for size in query_sizes(synthetic) {
+            let queries = queries_for(&ds, size, cfg.queries_per_set, false);
+            if queries.is_empty() {
+                println!("T{:<5} {:>12}", size, "-");
+                continue;
+            }
+            let m = run_algo_avg(&ds, &queries, 20, Algo::TopkEn);
+            println!("T{:<5} {:>12}", size, fmt_secs(m.total_secs()));
+        }
+    }
+    // (c)/(d) vary graph size.
+    for family in [gd_family(), gs_family()] {
+        println!("-- vary graph ({}) (T50 dup, k = 20) --", family[0].0);
+        println!("{:<6} {:>12}", "graph", "Topk-GT");
+        for (name, spec) in family {
+            let ds = prepare_dataset(name, &spec);
+            let queries = queries_for(&ds, 50, cfg.queries_per_set, false);
+            if queries.is_empty() {
+                println!("{:<6} {:>12}", name, "-");
+                continue;
+            }
+            let m = run_algo_avg(&ds, &queries, 20, Algo::TopkEn);
+            println!("{:<6} {:>12}", name, fmt_secs(m.total_secs()));
+        }
+    }
+    println!();
+}
+
+/// Figure 9: kGPM — mtree vs mtree+.
+fn fig9(cfg: &Config) {
+    println!("== Figure 9: kGPM (mtree = DP-B inside, mtree+ = Topk-EN inside) ==");
+    let g = ktpm_workload::generate(&GraphSpec::power_law(cfg.kgpm_nodes, 17));
+    let t = Instant::now();
+    let ctx = KgpmContext::new(&g);
+    println!(
+        "data graph {} nodes (undirected closure in {:?})",
+        g.num_nodes(),
+        t.elapsed()
+    );
+    // Q1..Q4: growing cyclic patterns.
+    let shapes = [(4usize, 1usize), (4, 2), (5, 2), (6, 3)];
+    let patterns: Vec<_> = shapes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &(n, extra))| {
+            ktpm_workload::random_graph_query(ctx.graph(), n, extra, 100 + i as u64)
+                .map(|q| (format!("Q{}", i + 1), q))
+        })
+        .collect();
+    // (a) vary k with Q2.
+    if patterns.len() >= 2 {
+        let (qname, q) = &patterns[1];
+        println!("-- vary k (query {qname}: {} nodes, {} edges) --", q.len(), q.num_edges());
+        println!("{:<6} {:>12} {:>12} {:>14} {:>14}", "k", "mtree", "mtree+", "enum(mtree)", "enum(mtree+)");
+        for &k in &cfg.ks {
+            let t0 = Instant::now();
+            let (_, s0) = ctx.topk_with_stats(q, k, TreeMatcher::DpB);
+            let d0 = t0.elapsed();
+            let t1 = Instant::now();
+            let (_, s1) = ctx.topk_with_stats(q, k, TreeMatcher::TopkEn);
+            let d1 = t1.elapsed();
+            println!(
+                "{:<6} {:>12} {:>12} {:>14} {:>14}",
+                k,
+                fmt_secs(d0.as_secs_f64()),
+                fmt_secs(d1.as_secs_f64()),
+                s0.tree_matches_enumerated,
+                s1.tree_matches_enumerated
+            );
+        }
+    }
+    // (b) vary query, k = 20.
+    println!("-- vary query (k = 20) --");
+    println!("{:<6} {:>12} {:>12}", "query", "mtree", "mtree+");
+    for (qname, q) in &patterns {
+        let t0 = Instant::now();
+        let m0 = ctx.topk(q, 20, TreeMatcher::DpB);
+        let d0 = t0.elapsed();
+        let t1 = Instant::now();
+        let m1 = ctx.topk(q, 20, TreeMatcher::TopkEn);
+        let d1 = t1.elapsed();
+        assert_eq!(
+            m0.iter().map(|m| m.score).collect::<Vec<_>>(),
+            m1.iter().map(|m| m.score).collect::<Vec<_>>(),
+            "matchers disagree on {qname}"
+        );
+        println!(
+            "{:<6} {:>12} {:>12}",
+            qname,
+            fmt_secs(d0.as_secs_f64()),
+            fmt_secs(d1.as_secs_f64())
+        );
+    }
+    println!();
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2}GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1}MiB", b as f64 / (1u64 << 20) as f64)
+    } else {
+        format!("{:.0}KiB", b as f64 / 1024.0)
+    }
+}

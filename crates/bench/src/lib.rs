@@ -1,0 +1,309 @@
+//! # ktpm-bench
+//!
+//! The experiment harness behind `cargo run --release -p ktpm-bench --bin
+//! experiments` and the criterion benches: dataset preparation (with an
+//! on-disk closure cache under `target/ktpm-data/`), query-set
+//! generation, and one measurement routine per algorithm. Every table
+//! and figure of the paper's §6 maps to a function here; the
+//! `experiments` binary prints them in the paper's layout.
+
+use ktpm_baseline::{DpBEnumerator, DpPEnumerator};
+use ktpm_closure::ClosureTables;
+use ktpm_core::{TopkEnEnumerator, TopkEnumerator};
+use ktpm_graph::LabeledGraph;
+use ktpm_query::ResolvedQuery;
+use ktpm_runtime::RuntimeGraph;
+use ktpm_storage::{write_store, ClosureSource, FileStore};
+use ktpm_workload::{generate, query_set, GraphSpec};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// A prepared dataset: graph + on-disk closure store + offline stats.
+pub struct Dataset {
+    /// Family name (`GD3`, `GS1`, ...).
+    pub name: String,
+    /// The data graph.
+    pub graph: LabeledGraph,
+    /// The opened on-disk closure store.
+    pub store: FileStore,
+    /// Closure computation wall time (seconds); 0 when served from cache.
+    pub closure_secs: f64,
+    /// Closure edge count.
+    pub closure_edges: usize,
+    /// Size of the store file in bytes.
+    pub file_bytes: u64,
+}
+
+fn cache_dir() -> PathBuf {
+    let mut p = std::env::current_dir().expect("cwd");
+    // Walk up to the workspace root if invoked from a member dir.
+    while !p.join("Cargo.toml").exists() && p.pop() {}
+    p.push("target");
+    p.push("ktpm-data");
+    std::fs::create_dir_all(&p).expect("create cache dir");
+    p
+}
+
+/// Prepares (or re-opens from cache) the dataset for `spec`. The cache
+/// key fingerprints every generator parameter so preset changes
+/// invalidate stale closures.
+pub fn prepare_dataset(name: &str, spec: &GraphSpec) -> Dataset {
+    let graph = generate(spec);
+    let fingerprint = format!(
+        "{}-{}-{}-{}-{}-{}-{}-{}-{}",
+        spec.nodes,
+        spec.seed,
+        spec.labels,
+        (spec.label_skew * 100.0) as u32,
+        (spec.avg_out_degree * 100.0) as u32,
+        spec.community,
+        (spec.cross_fraction * 1000.0) as u32,
+        spec.weight_range.0,
+        spec.weight_range.1,
+    );
+    let mut path = cache_dir();
+    path.push(format!("{name}-{fingerprint}.tc"));
+    let (closure_secs, closure_edges) = if path.exists() {
+        (0.0, 0)
+    } else {
+        let t = Instant::now();
+        let tables = ClosureTables::compute(&graph);
+        let secs = t.elapsed().as_secs_f64();
+        let edges = tables.num_edges();
+        write_store(&tables, &path).expect("write closure store");
+        (secs, edges)
+    };
+    let file_bytes = std::fs::metadata(&path).expect("store file").len();
+    let store = FileStore::open(&path).expect("open closure store");
+    let closure_edges = if closure_edges == 0 {
+        // Served from cache: recount cheaply from the index.
+        store
+            .pair_keys()
+            .iter()
+            .map(|&(a, b)| store.load_d(a, b).len())
+            .sum::<usize>()
+            .max(1) // D undercounts edges; only used for display when cached
+    } else {
+        closure_edges
+    };
+    Dataset {
+        name: name.to_string(),
+        graph,
+        store,
+        closure_secs,
+        closure_edges,
+        file_bytes,
+    }
+}
+
+/// Forces a fresh closure computation (Table 2 timing), without cache.
+pub fn closure_cost(spec: &GraphSpec) -> (f64, ktpm_closure::ClosureStats) {
+    let graph = generate(spec);
+    let t = Instant::now();
+    let tables = ClosureTables::compute(&graph);
+    (t.elapsed().as_secs_f64(), tables.stats())
+}
+
+/// Resolved query set of `count` trees with `size` nodes.
+pub fn queries_for(ds: &Dataset, size: usize, count: usize, distinct: bool) -> Vec<ResolvedQuery> {
+    query_set(&ds.graph, size, count, distinct, 0xBEEF + size as u64)
+        .into_iter()
+        .map(|q| q.resolve(ds.graph.interner()))
+        .collect()
+}
+
+/// One algorithm measurement over a single query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Measurement {
+    /// Wall time to produce the top-1 match (including loading), seconds.
+    pub top1_secs: f64,
+    /// Wall time for the remaining k-1 matches, seconds.
+    pub enum_secs: f64,
+    /// Closure edges read from storage.
+    pub edges_loaded: u64,
+    /// Bytes read from storage.
+    pub bytes_read: u64,
+    /// Matches actually produced (may be < k).
+    pub produced: usize,
+}
+
+impl Measurement {
+    /// Total wall time.
+    pub fn total_secs(&self) -> f64 {
+        self.top1_secs + self.enum_secs
+    }
+}
+
+/// The four systems of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Baseline DP-B (full load + per-node streams).
+    DpB,
+    /// Baseline DP-P (loose priority load + DP).
+    DpP,
+    /// Algorithm 1 (full load + Lawler).
+    Topk,
+    /// Algorithm 3 (tight priority load + Lawler).
+    TopkEn,
+}
+
+impl Algo {
+    /// All four, in the paper's legend order.
+    pub const ALL: [Algo; 4] = [Algo::DpB, Algo::DpP, Algo::Topk, Algo::TopkEn];
+
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::DpB => "DP-B",
+            Algo::DpP => "DP-P",
+            Algo::Topk => "Topk",
+            Algo::TopkEn => "Topk-EN",
+        }
+    }
+}
+
+/// Runs `algo` for the top-`k` matches of `query`, measuring phases and
+/// I/O against the dataset's disk store.
+pub fn run_algo(ds: &Dataset, query: &ResolvedQuery, k: usize, algo: Algo) -> Measurement {
+    ds.store.reset_io();
+    let mut m = Measurement::default();
+    match algo {
+        Algo::Topk => {
+            let t0 = Instant::now();
+            let rg = RuntimeGraph::load(query, &ds.store);
+            let mut it = TopkEnumerator::new(&rg);
+            let first = it.next();
+            m.top1_secs = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            m.produced = usize::from(first.is_some()) + it.take(k.saturating_sub(1)).count();
+            m.enum_secs = t1.elapsed().as_secs_f64();
+        }
+        Algo::DpB => {
+            let t0 = Instant::now();
+            let rg = RuntimeGraph::load(query, &ds.store);
+            let mut it = DpBEnumerator::new(&rg);
+            let first = it.next();
+            m.top1_secs = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            m.produced = usize::from(first.is_some()) + it.take(k.saturating_sub(1)).count();
+            m.enum_secs = t1.elapsed().as_secs_f64();
+        }
+        Algo::TopkEn => {
+            let t0 = Instant::now();
+            let mut it = TopkEnEnumerator::new(query, &ds.store);
+            let first = it.next();
+            m.top1_secs = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            m.produced = usize::from(first.is_some()) + it.take(k.saturating_sub(1)).count();
+            m.enum_secs = t1.elapsed().as_secs_f64();
+        }
+        Algo::DpP => {
+            let t0 = Instant::now();
+            let mut it = DpPEnumerator::new(query, &ds.store);
+            let first = it.next();
+            m.top1_secs = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            m.produced = usize::from(first.is_some()) + it.take(k.saturating_sub(1)).count();
+            m.enum_secs = t1.elapsed().as_secs_f64();
+        }
+    }
+    let io = ds.store.io();
+    m.edges_loaded = io.edges_read;
+    m.bytes_read = io.bytes_read;
+    m
+}
+
+/// Averages `run_algo` over a query set.
+pub fn run_algo_avg(ds: &Dataset, queries: &[ResolvedQuery], k: usize, algo: Algo) -> Measurement {
+    let mut acc = Measurement::default();
+    if queries.is_empty() {
+        return acc;
+    }
+    // Warm the page cache / allocator so the first k doesn't pay setup.
+    let _ = run_algo(ds, &queries[0], 1, algo);
+    for q in queries {
+        let m = run_algo(ds, q, k, algo);
+        acc.top1_secs += m.top1_secs;
+        acc.enum_secs += m.enum_secs;
+        acc.edges_loaded += m.edges_loaded;
+        acc.bytes_read += m.bytes_read;
+        acc.produced += m.produced;
+    }
+    let n = queries.len() as f64;
+    acc.top1_secs /= n;
+    acc.enum_secs /= n;
+    acc.edges_loaded = (acc.edges_loaded as f64 / n) as u64;
+    acc.bytes_read = (acc.bytes_read as f64 / n) as u64;
+    acc.produced /= queries.len();
+    acc
+}
+
+/// Average run-time graph sizes over a query set (Table 3).
+pub fn runtime_graph_sizes(ds: &Dataset, queries: &[ResolvedQuery]) -> (f64, f64) {
+    if queries.is_empty() {
+        return (0.0, 0.0);
+    }
+    let (mut nodes, mut edges) = (0usize, 0usize);
+    for q in queries {
+        let rg = RuntimeGraph::load(q, &ds.store);
+        let s = rg.stats();
+        nodes += s.nodes;
+        edges += s.edges;
+    }
+    (
+        nodes as f64 / queries.len() as f64,
+        edges as f64 / queries.len() as f64,
+    )
+}
+
+/// Pretty-prints seconds with a stable unit.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_and_measure_smoke() {
+        let ds = prepare_dataset("SMOKE", &GraphSpec::citation(400, 123));
+        assert!(ds.file_bytes > 0);
+        let queries = queries_for(&ds, 6, 3, true);
+        assert!(!queries.is_empty());
+        for algo in Algo::ALL {
+            let m = run_algo_avg(&ds, &queries, 5, algo);
+            assert!(m.produced >= 1, "{algo:?} produced nothing");
+        }
+        let (n, e) = runtime_graph_sizes(&ds, &queries);
+        assert!(n > 0.0 && e > 0.0);
+    }
+
+    #[test]
+    fn algorithms_agree_on_prepared_dataset() {
+        let ds = prepare_dataset("SMOKE2", &GraphSpec::power_law(400, 5));
+        let queries = queries_for(&ds, 5, 3, true);
+        for q in &queries {
+            let rg = RuntimeGraph::load(q, &ds.store);
+            let a: Vec<_> = TopkEnumerator::new(&rg).take(10).map(|m| m.score).collect();
+            let b: Vec<_> = TopkEnEnumerator::new(q, &ds.store)
+                .take(10)
+                .map(|m| m.score)
+                .collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn fmt_secs_units() {
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(0.0025), "2.50ms");
+        assert_eq!(fmt_secs(0.0000025), "2.5µs");
+    }
+}

@@ -1,0 +1,84 @@
+//! Floyd–Warshall reference implementation, used as a test oracle.
+//!
+//! Computes shortest *non-empty-path* distances (diagonal entries are
+//! `INF_DIST` unless the node lies on a cycle), matching the closure
+//! semantics of [`crate::ClosureTables`]. O(n³) — small graphs only.
+
+use ktpm_graph::{Dist, LabeledGraph, INF_DIST};
+
+/// All-pairs shortest non-empty-path distances as a dense matrix.
+pub fn floyd_warshall(g: &LabeledGraph) -> Vec<Vec<Dist>> {
+    let n = g.num_nodes();
+    let mut d = vec![vec![INF_DIST; n]; n];
+    for e in g.edges() {
+        let cur = &mut d[e.from.index()][e.to.index()];
+        *cur = (*cur).min(e.weight);
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if d[i][k] == INF_DIST {
+                continue;
+            }
+            for j in 0..n {
+                if d[k][j] == INF_DIST {
+                    continue;
+                }
+                let via = d[i][k].saturating_add(d[k][j]);
+                if via < d[i][j] {
+                    d[i][j] = via;
+                }
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktpm_graph::GraphBuilder;
+
+    #[test]
+    fn diagonal_infinite_without_cycles() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        b.add_edge(x, y, 3);
+        let g = b.build().unwrap();
+        let d = floyd_warshall(&g);
+        assert_eq!(d[0][0], INF_DIST);
+        assert_eq!(d[0][1], 3);
+        assert_eq!(d[1][0], INF_DIST);
+    }
+
+    #[test]
+    fn cycle_gives_self_distance() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        let z = b.add_node("z");
+        b.add_edge(x, y, 1);
+        b.add_edge(y, z, 2);
+        b.add_edge(z, x, 3);
+        let g = b.build().unwrap();
+        let d = floyd_warshall(&g);
+        assert_eq!(d[0][0], 6);
+        assert_eq!(d[1][1], 6);
+        assert_eq!(d[0][2], 3);
+        assert_eq!(d[2][1], 4);
+    }
+
+    #[test]
+    fn picks_shorter_of_two_routes() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let m = b.add_node("m");
+        let z = b.add_node("z");
+        b.add_edge(a, z, 10);
+        b.add_edge(a, m, 2);
+        b.add_edge(m, z, 3);
+        let g = b.build().unwrap();
+        let d = floyd_warshall(&g);
+        assert_eq!(d[0][2], 5);
+    }
+}

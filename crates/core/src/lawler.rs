@@ -1,0 +1,531 @@
+//! Algorithm 1 — the optimal Lawler-based enumeration (`Topk`).
+//!
+//! The shared machinery ([`LawlerCore`]) implements subspace division
+//! (Theorems 3.1/3.2), O(1)-sized candidate generation, and O(n_T) match
+//! materialization. [`TopkEnumerator`] drives it over a fully-loaded
+//! run-time graph with the global queue `Q` plus the per-round side
+//! queues `Q_l` of §3.3 ("Computing Top-k Matches from Subspaces").
+//! Algorithm 3 (`Topk-EN`, `crate::enhanced`) reuses [`LawlerCore`] and
+//! adds lazy loading with delayed insertion.
+
+use crate::bs::BsData;
+use crate::lazylist::LazySortedList;
+use crate::matches::{CandidateSpec, PoppedMatch, ScoredMatch, NO_PARENT};
+use ktpm_query::{QNodeId, TreeQuery};
+use ktpm_runtime::RuntimeGraph;
+use ktpm_graph::Score;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The `L`/`H` lists of every `(parent candidate, child slot)` pair plus
+/// the root list (root candidates keyed by `bs`).
+#[derive(Debug, Clone, Default)]
+pub struct SlotLists {
+    /// `lists[u][parent_idx]` for query nodes `u >= 1`; `lists[0]` empty.
+    pub(crate) lists: Vec<Vec<LazySortedList>>,
+    /// Root candidates keyed by `bs` (§3.3 "organized in a similar way").
+    pub(crate) root: LazySortedList,
+}
+
+impl SlotLists {
+    /// Builds all lists eagerly from a run-time graph and its `bs` data —
+    /// the O(m_R) initialization of §3.3.
+    pub fn build_full(rg: &RuntimeGraph, bs: &BsData) -> Self {
+        let tree = rg.query().tree();
+        let n_t = tree.len();
+        let mut lists: Vec<Vec<LazySortedList>> = Vec::with_capacity(n_t);
+        lists.push(Vec::new());
+        for ui in 1..n_t {
+            let u = QNodeId(ui as u32);
+            let p = tree.parent(u).expect("non-root");
+            let mut per_parent = Vec::with_capacity(rg.candidates().len(p));
+            for pi in 0..rg.candidates().len(p) as u32 {
+                if !bs.is_valid(p, pi) {
+                    per_parent.push(LazySortedList::default());
+                    continue;
+                }
+                let items: Vec<(Score, u32)> = rg
+                    .edges(u, pi)
+                    .iter()
+                    .filter(|&&(j, _)| bs.is_valid(u, j))
+                    .map(|&(j, d)| (bs.bs(u, j) + d as Score, j))
+                    .collect();
+                per_parent.push(LazySortedList::new(items));
+            }
+            lists.push(per_parent);
+        }
+        let root_items: Vec<(Score, u32)> = (0..rg.candidates().len(tree.root()) as u32)
+            .filter(|&i| bs.is_valid(tree.root(), i))
+            .map(|i| (bs.bs(tree.root(), i), i))
+            .collect();
+        SlotLists {
+            lists,
+            root: LazySortedList::new(root_items),
+        }
+    }
+
+    /// Allocates empty lists shaped for a lazily-loaded run (Algorithm 3).
+    pub fn empty_shaped(tree: &TreeQuery, parent_cand_counts: &[usize]) -> Self {
+        let mut lists: Vec<Vec<LazySortedList>> = Vec::with_capacity(tree.len());
+        lists.push(Vec::new());
+        for ui in 1..tree.len() {
+            let u = QNodeId(ui as u32);
+            let p = tree.parent(u).expect("non-root");
+            lists.push(vec![LazySortedList::default(); parent_cand_counts[p.index()]]);
+        }
+        SlotLists {
+            lists,
+            root: LazySortedList::default(),
+        }
+    }
+
+    /// The list of child slot `u` under parent candidate `pi`.
+    #[inline]
+    pub(crate) fn slot(&mut self, u: u32, pi: u32) -> &mut LazySortedList {
+        &mut self.lists[u as usize][pi as usize]
+    }
+
+    /// Mutable access to the slot list of child query node `u` under
+    /// parent candidate `pi` (used by the DP baselines, which share the
+    /// same `L`/`H` structures).
+    #[inline]
+    pub fn slot_mut(&mut self, u: u32, pi: u32) -> &mut LazySortedList {
+        self.slot(u, pi)
+    }
+
+    /// Mutable access to the root list.
+    #[inline]
+    pub fn root_mut(&mut self) -> &mut LazySortedList {
+        &mut self.root
+    }
+}
+
+/// The shared Lawler machinery. Slot lists are passed in by the driver
+/// (Algorithm 1 owns static lists; Algorithm 3's grow during loading).
+pub(crate) struct LawlerCore {
+    /// Parent BFS index per query node (`u32::MAX` for the root).
+    parents: Vec<u32>,
+    n_t: usize,
+    pub(crate) popped: Vec<PoppedMatch>,
+    /// Scratch for subtree membership during materialization.
+    in_subtree: Vec<bool>,
+}
+
+/// The list a replacement at `pos` draws from: the root list for
+/// `pos == 0`, otherwise the slot list under the parent's assignment.
+fn list_at<'l>(
+    lists: &'l mut SlotLists,
+    parents: &[u32],
+    assignment: &[u32],
+    pos: u32,
+) -> &'l mut LazySortedList {
+    if pos == 0 {
+        &mut lists.root
+    } else {
+        let p = parents[pos as usize];
+        lists.slot(pos, assignment[p as usize])
+    }
+}
+
+impl LawlerCore {
+    pub fn new(tree: &TreeQuery) -> Self {
+        let parents: Vec<u32> = tree
+            .node_ids()
+            .map(|u| tree.parent(u).map_or(u32::MAX, |p| p.0))
+            .collect();
+        let n_t = tree.len();
+        LawlerCore {
+            parents,
+            n_t,
+            popped: Vec::new(),
+            in_subtree: vec![false; n_t],
+        }
+    }
+
+    /// The initial candidate: the best root (= top-1 match, Line 3 of
+    /// Algorithm 1). `None` when the query has no match at all.
+    pub fn initial_candidate(&mut self, lists: &mut SlotLists) -> Option<CandidateSpec> {
+        let (score, _) = lists.root.rank(1)?;
+        Some(CandidateSpec {
+            score,
+            parent: NO_PARENT,
+            pos: 0,
+            rank: 1,
+        })
+    }
+
+    /// Materializes a candidate into a full assignment (O(n_T)): copy the
+    /// parent match, swap the replaced position, re-derive only the
+    /// replaced node's subtree via best-descendant links (list minima).
+    pub fn materialize(&mut self, lists: &mut SlotLists, spec: CandidateSpec) -> u32 {
+        let mut assignment = if spec.parent == NO_PARENT {
+            vec![u32::MAX; self.n_t]
+        } else {
+            self.popped[spec.parent as usize].assignment.clone()
+        };
+        let (_, replacement) = list_at(lists, &self.parents, &assignment, spec.pos)
+            .rank(spec.rank as usize)
+            .expect("candidate rank was verified at divide time");
+        assignment[spec.pos as usize] = replacement;
+        // Re-derive the subtree strictly below `pos`.
+        let pos = spec.pos as usize;
+        self.in_subtree.fill(false);
+        self.in_subtree[pos] = true;
+        for w in (pos + 1)..self.n_t {
+            let p = self.parents[w] as usize;
+            if !self.in_subtree[p] {
+                continue;
+            }
+            self.in_subtree[w] = true;
+            let (_, best) = lists
+                .slot(w as u32, assignment[p])
+                .first()
+                .expect("valid parents always have a non-empty slot list");
+            assignment[w] = best;
+        }
+        self.popped.push(PoppedMatch {
+            assignment,
+            score: spec.score,
+            div_pos: if spec.parent == NO_PARENT {
+                NO_PARENT
+            } else {
+                spec.pos
+            },
+            rank_at_div: spec.rank,
+        });
+        (self.popped.len() - 1) as u32
+    }
+
+    /// Divides the subspace of popped match `m_id` (procedure `Divide`),
+    /// producing at most `n_T` O(1)-sized candidates. Rank queries that
+    /// come back empty are empty subspaces (Lemma 3.2) and are skipped;
+    /// the Algorithm-3 driver overrides that via `divide_raw`.
+    pub fn divide(&mut self, lists: &mut SlotLists, m_id: u32) -> Vec<CandidateSpec> {
+        self.divide_raw(lists, m_id)
+            .into_iter()
+            .filter_map(|(spec, known)| known.then_some(spec))
+            .collect()
+    }
+
+    /// Like [`Self::divide`] but also yields candidates whose replacement
+    /// rank is not (yet) available, flagged `false`, with score
+    /// `Score::MAX`. Algorithm 3 parks those until more edges load.
+    pub fn divide_raw(
+        &mut self,
+        lists: &mut SlotLists,
+        m_id: u32,
+    ) -> Vec<(CandidateSpec, bool)> {
+        let m = &self.popped[m_id as usize];
+        let (assignment, score, div_pos, rank_at_div) =
+            (m.assignment.clone(), m.score, m.div_pos, m.rank_at_div);
+        let mut out = Vec::with_capacity(self.n_t);
+        // Case 1 (Theorem 3.1): continue the exclusion chain at div_pos.
+        if div_pos != NO_PARENT {
+            let list = list_at(lists, &self.parents, &assignment, div_pos);
+            let old_key = list
+                .rank(rank_at_div as usize)
+                .expect("the popped match's own element exists")
+                .0;
+            let spec_rank = rank_at_div + 1;
+            let (found, new_score) = match list.rank(spec_rank as usize) {
+                Some((new_key, _)) => (true, score - old_key + new_key),
+                None => (false, Score::MAX),
+            };
+            out.push((
+                CandidateSpec {
+                    score: new_score,
+                    parent: m_id,
+                    pos: div_pos,
+                    rank: spec_rank,
+                },
+                found,
+            ));
+        }
+        // Case 2 (Theorem 3.2): one new subspace per later position.
+        let start = if div_pos == NO_PARENT {
+            0
+        } else {
+            div_pos as usize + 1
+        };
+        for x in start..self.n_t {
+            let list = list_at(lists, &self.parents, &assignment, x as u32);
+            let Some((k1, _)) = list.rank(1) else {
+                // The match's own element must exist; in lazy mode a just-
+                // divided position always holds a loaded element, so an
+                // empty list can only mean "no match at all" (skip).
+                continue;
+            };
+            let (found, new_score) = match list.rank(2) {
+                Some((k2, _)) => (true, score - k1 + k2),
+                None => (false, Score::MAX),
+            };
+            out.push((
+                CandidateSpec {
+                    score: new_score,
+                    parent: m_id,
+                    pos: x as u32,
+                    rank: 2,
+                },
+                found,
+            ));
+        }
+        out
+    }
+
+    /// Re-evaluates a previously unknown or parked candidate against the
+    /// current lists (they may have grown since). Returns the updated
+    /// score if the rank now exists.
+    pub fn reevaluate(&mut self, lists: &mut SlotLists, spec: &CandidateSpec) -> Option<Score> {
+        let m = &self.popped[spec.parent as usize];
+        let base_rank = if spec.pos == m.div_pos {
+            m.rank_at_div
+        } else {
+            1
+        };
+        let (assignment, score) = (m.assignment.clone(), m.score);
+        let list = list_at(lists, &self.parents, &assignment, spec.pos);
+        let base_key = list.rank(base_rank as usize)?.0;
+        let (new_key, _) = list.rank(spec.rank as usize)?;
+        Some(score - base_key + new_key)
+    }
+
+    pub fn popped_match(&self, m_id: u32) -> &PoppedMatch {
+        &self.popped[m_id as usize]
+    }
+}
+
+/// Algorithm 1: the `Topk` enumerator over a fully-loaded run-time graph.
+///
+/// Implements `Iterator`, yielding matches in non-decreasing score order;
+/// `take(k)` gives the top-k. Enumeration is unbounded (the kGPM layer
+/// streams past `k`).
+pub struct TopkEnumerator<'g> {
+    rg: &'g RuntimeGraph,
+    core: LawlerCore,
+    lists: SlotLists,
+    /// Global queue `Q`: `(score, seq, candidate id)`.
+    q: BinaryHeap<Reverse<(Score, u32, u32)>>,
+    /// All candidate specs ever created, with their creation round.
+    specs: Vec<(CandidateSpec, u32)>,
+    /// Per-round side queues `Q_l`.
+    side: Vec<BinaryHeap<Reverse<(Score, u32, u32)>>>,
+    round: u32,
+    use_side_queues: bool,
+    seq: u32,
+}
+
+impl<'g> TopkEnumerator<'g> {
+    /// Builds the enumerator: O(m_R) list construction + top-1.
+    pub fn new(rg: &'g RuntimeGraph) -> Self {
+        Self::with_side_queues(rg, true)
+    }
+
+    /// As [`Self::new`], with the `Q_l` optimization toggleable (for the
+    /// ablation benchmark).
+    pub fn with_side_queues(rg: &'g RuntimeGraph, use_side_queues: bool) -> Self {
+        let bs = BsData::compute(rg);
+        let mut lists = SlotLists::build_full(rg, &bs);
+        let mut core = LawlerCore::new(rg.query().tree());
+        let mut q = BinaryHeap::new();
+        let mut specs = Vec::new();
+        if let Some(init) = core.initial_candidate(&mut lists) {
+            specs.push((init, 0));
+            q.push(Reverse((init.score, 0, 0)));
+        }
+        TopkEnumerator {
+            rg,
+            core,
+            lists,
+            q,
+            specs,
+            side: vec![BinaryHeap::new()],
+            round: 0,
+            use_side_queues,
+            seq: 1,
+        }
+    }
+
+    fn push_spec(&mut self, spec: CandidateSpec, round: u32, to_side: bool) {
+        let id = self.specs.len() as u32;
+        self.specs.push((spec, round));
+        let entry = Reverse((spec.score, self.seq, id));
+        self.seq += 1;
+        if to_side {
+            self.side[round as usize].push(entry);
+        } else {
+            self.q.push(entry);
+        }
+    }
+
+    fn to_scored(&self, m_id: u32) -> ScoredMatch {
+        let m = self.core.popped_match(m_id);
+        let tree = self.rg.query().tree();
+        let assignment = tree
+            .node_ids()
+            .map(|u| self.rg.node(u, m.assignment[u.index()]))
+            .collect();
+        ScoredMatch {
+            score: m.score,
+            assignment,
+        }
+    }
+}
+
+impl Iterator for TopkEnumerator<'_> {
+    type Item = ScoredMatch;
+
+    fn next(&mut self) -> Option<ScoredMatch> {
+        let Reverse((_, _, cid)) = self.q.pop()?;
+        let (spec, spec_round) = self.specs[cid as usize];
+        // Promote the next best of the round this candidate came from.
+        if self.use_side_queues {
+            if let Some(e) = self.side[spec_round as usize].pop() {
+                self.q.push(e);
+            }
+        }
+        let m_id = self.core.materialize(&mut self.lists, spec);
+        self.round += 1;
+        self.side.push(BinaryHeap::new());
+        let round = self.round;
+        let mut children = self.core.divide(&mut self.lists, m_id);
+        if self.use_side_queues && !children.is_empty() {
+            // Best child goes to Q, the rest to this round's side queue.
+            let best = children
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.score)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let best_spec = children.swap_remove(best);
+            self.push_spec(best_spec, round, false);
+            for c in children {
+                self.push_spec(c, round, true);
+            }
+        } else {
+            for c in children {
+                self.push_spec(c, round, false);
+            }
+        }
+        Some(self.to_scored(m_id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktpm_closure::ClosureTables;
+    use ktpm_graph::fixtures::{citation_graph, paper_graph};
+    use ktpm_graph::{LabeledGraph, NodeId};
+    use ktpm_query::TreeQuery;
+    use ktpm_storage::MemStore;
+
+    fn run(g: &LabeledGraph, query: &str, k: usize, side: bool) -> Vec<ScoredMatch> {
+        let q = TreeQuery::parse(query).unwrap().resolve(g.interner());
+        let store = MemStore::new(ClosureTables::compute(g));
+        let rg = RuntimeGraph::load(&q, &store);
+        TopkEnumerator::with_side_queues(&rg, side).take(k).collect()
+    }
+
+    #[test]
+    fn figure1_example_top_matches() {
+        // Figure 1: query C -> E, C -> S; top-1 and top-2 both score 2,
+        // 5 matches in total, worst score 3.
+        let g = citation_graph();
+        let all = run(&g, "C -> E\nC -> S", 100, true);
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0].score, 2);
+        assert_eq!(all[1].score, 2);
+        assert_eq!(all.last().unwrap().score, 3);
+        // Top-1 maps C to v1 with direct citations (v1, v5, v4).
+        assert_eq!(all[0].assignment[0], NodeId(0));
+    }
+
+    #[test]
+    fn scores_are_non_decreasing() {
+        let g = paper_graph();
+        let all = run(&g, "a -> b\na -> c\nc -> d\nc -> e", 100, true);
+        assert!(!all.is_empty());
+        assert!(all.windows(2).all(|w| w[0].score <= w[1].score));
+    }
+
+    #[test]
+    fn top1_matches_bs() {
+        let g = paper_graph();
+        let all = run(&g, "a -> b\na -> c\nc -> d\nc -> e", 1, true);
+        assert_eq!(all[0].score, 4);
+        // v1, v3, v5, v7, v9 (BFS order: a, b, c, d, e).
+        assert_eq!(
+            all[0].assignment,
+            vec![NodeId(0), NodeId(2), NodeId(4), NodeId(6), NodeId(8)]
+        );
+    }
+
+    #[test]
+    fn side_queues_do_not_change_results() {
+        let g = paper_graph();
+        let with = run(&g, "a -> b\na -> c\nc -> d\nc -> e", 50, true);
+        let without = run(&g, "a -> b\na -> c\nc -> d\nc -> e", 50, false);
+        let ws: Vec<_> = with.iter().map(|m| m.score).collect();
+        let wos: Vec<_> = without.iter().map(|m| m.score).collect();
+        assert_eq!(ws, wos);
+    }
+
+    #[test]
+    fn matches_are_distinct_assignments() {
+        let g = paper_graph();
+        let all = run(&g, "a -> b\na -> c\nc -> d\nc -> e", 200, true);
+        let mut seen = std::collections::HashSet::new();
+        for m in &all {
+            assert!(seen.insert(m.assignment.clone()), "duplicate {m:?}");
+        }
+    }
+
+    #[test]
+    fn all_matches_enumerated_exactly_once() {
+        // Count matches by brute force over the tiny citation graph:
+        // C x E x S combinations where paths exist.
+        let g = citation_graph();
+        let all = run(&g, "C -> E\nC -> S", 1000, true);
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn no_match_query_yields_nothing() {
+        let g = paper_graph();
+        assert!(run(&g, "s -> a", 10, true).is_empty());
+        assert!(run(&g, "a -> nolabel", 10, true).is_empty());
+    }
+
+    #[test]
+    fn single_node_query_enumerates_label_bucket() {
+        let g = paper_graph();
+        let all = run(&g, "a", 10, true);
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().all(|m| m.score == 0));
+    }
+
+    #[test]
+    fn scores_equal_recomputed_path_sums() {
+        // Validate every reported score against closure distances.
+        let g = paper_graph();
+        let q = TreeQuery::parse("a -> b\na -> c\nc -> d\nc -> e")
+            .unwrap()
+            .resolve(g.interner());
+        let tc = ClosureTables::compute(&g);
+        let store = MemStore::new(tc);
+        let rg = RuntimeGraph::load(&q, &store);
+        let all: Vec<_> = TopkEnumerator::new(&rg).collect();
+        for m in &all {
+            let mut total: Score = 0;
+            for u in q.tree().node_ids().skip(1) {
+                let p = q.tree().parent(u).unwrap();
+                let d = store
+                    .tables()
+                    .dist(m.assignment[p.index()], m.assignment[u.index()])
+                    .expect("edge must exist");
+                total += d as Score;
+            }
+            assert_eq!(total, m.score);
+        }
+    }
+}

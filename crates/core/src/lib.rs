@@ -1,0 +1,48 @@
+//! # ktpm-core
+//!
+//! The paper's primary contribution:
+//!
+//! * [`TopkEnumerator`] — **Algorithm 1** (`Topk`): optimal Lawler-based
+//!   enumeration over a fully-loaded run-time graph,
+//!   `O(m_R + k(n_T + log k))` total;
+//! * [`PriorityLoader`] — **Algorithm 2** (`ComputeFirst`): the A*-style
+//!   priority loader over the disk-resident closure, with the tight
+//!   bound of §4.2 or the loose bound used by the DP-P baseline;
+//! * [`TopkEnEnumerator`] — **Algorithm 3** (`Topk-EN`): Lawler
+//!   enumeration over the lazily-loaded run-time graph with delayed
+//!   candidate insertion;
+//! * [`brute`] — an exhaustive reference enumerator used as a test
+//!   oracle by the whole workspace.
+//!
+//! `Topk-GT` (§5, general twigs) is not a separate algorithm: the
+//! run-time graph is per-query-node (see `ktpm-runtime`), so duplicate
+//! labels, wildcards and `/` edges flow through the same enumerators.
+
+pub mod brute;
+mod bs;
+mod enhanced;
+mod lawler;
+mod lazylist;
+mod loader;
+mod matches;
+
+pub use bs::BsData;
+pub use enhanced::TopkEnEnumerator;
+pub use lawler::{SlotLists, TopkEnumerator};
+pub use lazylist::LazySortedList;
+pub use loader::{BoundMode, PriorityLoader};
+pub use matches::ScoredMatch;
+
+use ktpm_query::ResolvedQuery;
+use ktpm_storage::ClosureSource;
+
+/// Convenience: top-k via Algorithm 1 (full run-time graph load).
+pub fn topk_full(query: &ResolvedQuery, source: &dyn ClosureSource, k: usize) -> Vec<ScoredMatch> {
+    let rg = ktpm_runtime::RuntimeGraph::load(query, source);
+    TopkEnumerator::new(&rg).take(k).collect()
+}
+
+/// Convenience: top-k via Algorithm 3 (priority-based lazy load).
+pub fn topk_en(query: &ResolvedQuery, source: &dyn ClosureSource, k: usize) -> Vec<ScoredMatch> {
+    TopkEnEnumerator::new(query, source).take(k).collect()
+}

@@ -1,0 +1,555 @@
+//! Algorithm 2 — `ComputeFirst`: the A*-style priority loader (§4.2).
+//!
+//! The loader owns the queue `Q_g` of *active* run-time-graph nodes. A
+//! candidate `v` of query node `u` is active when every child slot has at
+//! least one loaded edge; its key is
+//!
+//! ```text
+//! lb(v) = b̄s(v) + e_v + L(q(v))          (BoundMode::Tight, §4.2)
+//! lb(v) = b̄s(v) + e_v                    (BoundMode::Loose, DP-P's trigger)
+//! ```
+//!
+//! where `b̄s` is the Equation-3 upper bound over the loaded lists, `e_v`
+//! lower-bounds the next unloaded incoming edge (`dᵅᵥ` before any block
+//! is read, then the last loaded distance), and `L(u) = n_T - 1 - |T_u|`
+//! counts the remaining query edges (each costs ≥ 1).
+//!
+//! Popping the top expands it: incoming blocks are loaded (Lines 10–17)
+//! and inserted into the parents' `L`/`H` lists — by Theorem 4.2 the
+//! popped node's `b̄s` already equals `bs`, so inserted keys are final.
+//! Root-label nodes don't load; their first pop finalizes them into the
+//! root list (the top-1 match score is the first such pop).
+//!
+//! `Q_g` is a binary heap with versioned lazy deletion instead of the
+//! paper's Fibonacci heap — same delete-min asymptotics, better
+//! constants (documented deviation).
+
+use crate::lawler::SlotLists;
+use ktpm_graph::{Dist, NodeId, Score, INF_DIST};
+use ktpm_query::{EdgeKind, QNodeId, ResolvedQuery};
+use ktpm_runtime::CandidateSets;
+use ktpm_storage::{merge_sorted_blocks, ClosureSource, EdgeCursor};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Which lower bound drives the loading order (tight = Topk-EN, loose =
+/// DP-P; see §4 intro: "we develop a tighter trigger than that in DP-P").
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BoundMode {
+    /// `b̄s + e_v + L(q(v))` — the paper's Algorithm 2.
+    Tight,
+    /// `b̄s + e_v` — no remaining-edges term.
+    Loose,
+}
+
+enum CursorState<'s> {
+    Unopened,
+    Open(Box<dyn EdgeCursor + 's>),
+    Exhausted,
+}
+
+/// The priority loader; see module docs.
+pub struct PriorityLoader<'s> {
+    source: &'s dyn ClosureSource,
+    query: ResolvedQuery,
+    cands: CandidateSets,
+    bound: BoundMode,
+    // Per query node u.
+    children_count: Vec<u32>,
+    remaining_edges: Vec<Score>,
+    // Per (query node u, candidate i).
+    bs_bar: Vec<Vec<Score>>,
+    nonempty: Vec<Vec<u32>>,
+    active: Vec<Vec<bool>>,
+    ev: Vec<Vec<Dist>>,
+    version: Vec<Vec<u32>>,
+    cursor: Vec<Vec<CursorState<'s>>>,
+    /// Per (u, i): parent candidate indices already holding this child's
+    /// edge (deduplicates `E`-seeded edges against cursor loads).
+    seeded: Vec<Vec<HashSet<u32>>>,
+    /// Per query node: distinct source labels of its incoming closure
+    /// tables (cached once — cursor opens are hot).
+    src_labels: Vec<Vec<ktpm_graph::LabelId>>,
+    root_final: Vec<bool>,
+    /// `(lb, u, i, version)` min-heap with lazy deletion.
+    qg: BinaryHeap<Reverse<(Score, u32, u32, u32)>>,
+    /// Slot lists touched since the last [`Self::drain_dirty`];
+    /// `(0, 0)` denotes the root list.
+    dirty: Vec<(u32, u32)>,
+    /// Edges inserted into lists so far (reported as loaded `m'_R`).
+    edges_inserted: u64,
+}
+
+impl<'s> PriorityLoader<'s> {
+    /// Initialization (Algorithm 2 Lines 1–3): loads the `D` tables for
+    /// every query edge and the `E` tables for `//` edges into leaves;
+    /// activates leaves and `E`-completed nodes; seeds `Q_g`.
+    pub fn new(
+        query: &ResolvedQuery,
+        source: &'s dyn ClosureSource,
+        bound: BoundMode,
+        lists: &mut SlotLists,
+    ) -> Self {
+        let tree = query.tree();
+        let n_t = tree.len();
+        let (cands, evs) = CandidateSets::from_d_tables(query, source);
+        *lists = SlotLists::empty_shaped(
+            tree,
+            &(0..n_t)
+                .map(|u| cands.len(QNodeId(u as u32)))
+                .collect::<Vec<_>>(),
+        );
+        let children_count: Vec<u32> = tree
+            .node_ids()
+            .map(|u| tree.children(u).len() as u32)
+            .collect();
+        let remaining_edges: Vec<Score> = tree.node_ids().map(|u| tree.remaining_edges(u)).collect();
+        let sizes: Vec<usize> = (0..n_t).map(|u| cands.len(QNodeId(u as u32))).collect();
+        let src_labels: Vec<Vec<ktpm_graph::LabelId>> = tree
+            .node_ids()
+            .map(|u| match tree.parent(u) {
+                Some(p) => {
+                    let mut ls: Vec<_> = ktpm_runtime_label_pairs(query, source, p, u)
+                        .into_iter()
+                        .map(|(a, _)| a)
+                        .collect();
+                    ls.sort_unstable();
+                    ls.dedup();
+                    ls
+                }
+                None => Vec::new(),
+            })
+            .collect();
+        let mut loader = PriorityLoader {
+            source,
+            query: query.clone(),
+            cands,
+            bound,
+            children_count,
+            remaining_edges,
+            bs_bar: sizes.iter().map(|&n| vec![Score::MAX; n]).collect(),
+            nonempty: sizes.iter().map(|&n| vec![0; n]).collect(),
+            active: sizes.iter().map(|&n| vec![false; n]).collect(),
+            ev: evs,
+            version: sizes.iter().map(|&n| vec![0; n]).collect(),
+            cursor: sizes
+                .iter()
+                .map(|&n| (0..n).map(|_| CursorState::Unopened).collect())
+                .collect(),
+            seeded: sizes.iter().map(|&n| vec![HashSet::new(); n]).collect(),
+            src_labels,
+            root_final: vec![false; sizes[0]],
+            qg: BinaryHeap::new(),
+            dirty: Vec::new(),
+            edges_inserted: 0,
+        };
+        // Leaves are trivially active with b̄s = 0.
+        for u in tree.node_ids() {
+            if !tree.is_leaf(u) {
+                continue;
+            }
+            for i in 0..loader.cands.len(u) as u32 {
+                loader.active[u.index()][i as usize] = true;
+                loader.bs_bar[u.index()][i as usize] = 0;
+                loader.push_qg(u.0, i);
+            }
+        }
+        // E-seed `//` edges into leaves (Line 1: "for each loaded Eᵅᵦ
+        // there must be an edge (u, u') in T ... and u' is a leaf").
+        for u in tree.node_ids().skip(1) {
+            if !tree.is_leaf(u) || tree.edge_kind(u) != EdgeKind::Descendant {
+                continue;
+            }
+            let p = tree.parent(u).expect("non-root");
+            for (a, b) in ktpm_runtime_label_pairs(&loader.query, source, p, u) {
+                for (v, child, dist) in source.load_e(a, b) {
+                    let (Some(pi), Some(ci)) = (
+                        loader.cands.index_of(p, v),
+                        loader.cands.index_of(u, child),
+                    ) else {
+                        continue;
+                    };
+                    if loader.seeded[u.index()][ci as usize].insert(pi) {
+                        loader.note_insert(lists, u.0, pi, dist as Score, ci);
+                    }
+                }
+            }
+        }
+        loader
+    }
+
+    /// The current best lower bound in `Q_g` (`None` once everything
+    /// relevant has been loaded).
+    pub fn qg_top(&mut self) -> Option<Score> {
+        self.clean_qg();
+        self.qg.peek().map(|&Reverse((lb, _, _, _))| lb)
+    }
+
+    /// Pops and expands the top of `Q_g`. Returns `false` when `Q_g` is
+    /// exhausted. Root pops finalize the root into the root list.
+    pub fn expand_top(&mut self, lists: &mut SlotLists) -> bool {
+        self.clean_qg();
+        let Some(Reverse((_, u, i, _))) = self.qg.pop() else {
+            return false;
+        };
+        self.version[u as usize][i as usize] += 1;
+        if u == 0 {
+            self.finalize_root(lists, i);
+            return true;
+        }
+        self.expand(lists, u, i);
+        true
+    }
+
+    /// Runs Algorithm 2 to completion: expands until the first root-label
+    /// node tops `Q_g`, returning the top-1 match score.
+    pub fn compute_first(&mut self, lists: &mut SlotLists) -> Option<Score> {
+        loop {
+            self.clean_qg();
+            let &Reverse((_, u, i, _)) = self.qg.peek()?;
+            self.qg.pop();
+            self.version[u as usize][i as usize] += 1;
+            if u == 0 {
+                let score = self.bs_bar[0][i as usize];
+                self.finalize_root(lists, i);
+                return Some(score);
+            }
+            self.expand(lists, u, i);
+        }
+    }
+
+    /// Candidate sets (shared with the enumeration layer).
+    pub fn candidates(&self) -> &CandidateSets {
+        &self.cands
+    }
+
+    /// Slot lists touched since the previous call; `(0, 0)` is the root
+    /// list.
+    pub fn drain_dirty(&mut self) -> Vec<(u32, u32)> {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Total edges inserted into lists (the measured `m'_R`).
+    pub fn edges_inserted(&self) -> u64 {
+        self.edges_inserted
+    }
+
+    fn lb(&self, u: u32, i: u32) -> Score {
+        let base = self.bs_bar[u as usize][i as usize];
+        if u == 0 || base == Score::MAX {
+            return base;
+        }
+        let ev = self.ev[u as usize][i as usize];
+        if ev == INF_DIST {
+            return Score::MAX;
+        }
+        let mut lb = base + ev as Score;
+        if self.bound == BoundMode::Tight {
+            lb += self.remaining_edges[u as usize];
+        }
+        lb
+    }
+
+    fn push_qg(&mut self, u: u32, i: u32) {
+        let lb = self.lb(u, i);
+        if lb == Score::MAX {
+            return; // exhausted or inactive: never re-enters Q_g
+        }
+        let ver = self.version[u as usize][i as usize];
+        self.qg.push(Reverse((lb, u, i, ver)));
+    }
+
+    fn clean_qg(&mut self) {
+        while let Some(&Reverse((_, u, i, ver))) = self.qg.peek() {
+            if self.version[u as usize][i as usize] != ver {
+                self.qg.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn finalize_root(&mut self, lists: &mut SlotLists, i: u32) {
+        if !self.root_final[i as usize] {
+            self.root_final[i as usize] = true;
+            lists.root.insert(self.bs_bar[0][i as usize], i);
+            self.dirty.push((0, 0));
+        }
+    }
+
+    /// Inserts one loaded edge into the slot list of `(parent(u), pi)` and
+    /// propagates activation / b̄s decrease upward (Lines 12–13).
+    fn note_insert(&mut self, lists: &mut SlotLists, u: u32, pi: u32, key: Score, ci: u32) {
+        let p = self
+            .query
+            .tree()
+            .parent(QNodeId(u))
+            .expect("note_insert is for non-root nodes")
+            .0;
+        let list = lists.slot(u, pi);
+        let old_first = list.first();
+        list.insert(key, ci);
+        self.edges_inserted += 1;
+        self.dirty.push((u, pi));
+        match old_first {
+            None => {
+                self.nonempty[p as usize][pi as usize] += 1;
+                if self.nonempty[p as usize][pi as usize] == self.children_count[p as usize] {
+                    // Activation: compute b̄s from the slot minima.
+                    let tree = self.query.tree();
+                    let mut total: Score = 0;
+                    for &c in tree.children(QNodeId(p)) {
+                        total += lists
+                            .slot(c.0, pi)
+                            .first()
+                            .expect("slot counted as non-empty")
+                            .0;
+                    }
+                    self.bs_bar[p as usize][pi as usize] = total;
+                    self.active[p as usize][pi as usize] = true;
+                    self.push_qg(p, pi);
+                }
+            }
+            Some((old_key, _)) if key < old_key => {
+                if self.active[p as usize][pi as usize] {
+                    let entry = &mut self.bs_bar[p as usize][pi as usize];
+                    *entry -= old_key - key;
+                    self.version[p as usize][pi as usize] += 1;
+                    self.push_qg(p, pi);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Lines 10–17: loads incoming blocks of candidate `i` of query node
+    /// `u`, continuing while the estimated next block would still top
+    /// `Q_g`.
+    fn expand(&mut self, lists: &mut SlotLists, u: u32, i: u32) {
+        let un = QNodeId(u);
+        let tree = self.query.tree();
+        let p = tree.parent(un).expect("non-root").0;
+        let direct_only = tree.edge_kind(un) == EdgeKind::Child;
+        let bsv = self.bs_bar[u as usize][i as usize];
+        debug_assert_ne!(bsv, Score::MAX, "expanded nodes are active");
+        if matches!(self.cursor[u as usize][i as usize], CursorState::Unopened) {
+            let cur = self.open_cursor(un, i);
+            self.cursor[u as usize][i as usize] = cur;
+        }
+        loop {
+            let CursorState::Open(cursor) = &mut self.cursor[u as usize][i as usize] else {
+                self.ev[u as usize][i as usize] = INF_DIST;
+                return;
+            };
+            let block = cursor.next_block();
+            if block.is_empty() {
+                self.cursor[u as usize][i as usize] = CursorState::Exhausted;
+                self.ev[u as usize][i as usize] = INF_DIST;
+                return;
+            }
+            let done_after = cursor.remaining() == 0;
+            let mut last_dist = 0;
+            let mut useless_tail = false;
+            let mut inserts: Vec<(u32, Score)> = Vec::new();
+            for (w, dist) in block {
+                last_dist = dist;
+                if direct_only && dist > 1 {
+                    // Blocks are distance-ascending: nothing else can
+                    // satisfy a '/' edge.
+                    useless_tail = true;
+                    break;
+                }
+                if let Some(pi) = self.cands.index_of(QNodeId(p), w) {
+                    if !self.seeded[u as usize][i as usize].contains(&pi) {
+                        inserts.push((pi, bsv + dist as Score));
+                    }
+                }
+            }
+            for (pi, key) in inserts {
+                self.note_insert(lists, u, pi, key, i);
+            }
+            if useless_tail || done_after {
+                self.cursor[u as usize][i as usize] = CursorState::Exhausted;
+                self.ev[u as usize][i as usize] = INF_DIST;
+                return;
+            }
+            self.ev[u as usize][i as usize] = last_dist;
+            // Line 14: keep loading while the next block estimate still
+            // tops Q_g; otherwise re-enter the queue with the new bound.
+            let next_lb = self.lb(u, i);
+            match self.qg_top() {
+                Some(top) if next_lb <= top => continue,
+                _ => {
+                    self.push_qg(u, i);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Opens the incoming cursor of candidate `i` of `u`. Multi-label
+    /// parents (wildcards) get an eager merged cursor.
+    fn open_cursor(&mut self, u: QNodeId, i: u32) -> CursorState<'s> {
+        let v = self.cands.node(u, i);
+        let src_labels = &self.src_labels[u.index()];
+        match src_labels.len() {
+            0 => CursorState::Exhausted,
+            1 => CursorState::Open(self.source.incoming_cursor(src_labels[0], v)),
+            _ => {
+                // Wildcard-labeled parent: merge all labels' lists eagerly.
+                let mut parts = Vec::with_capacity(src_labels.len());
+                for &a in src_labels {
+                    let mut cur = self.source.incoming_cursor(a, v);
+                    let mut all = Vec::new();
+                    loop {
+                        let b = cur.next_block();
+                        if b.is_empty() {
+                            break;
+                        }
+                        all.extend(b);
+                    }
+                    parts.push(all);
+                }
+                CursorState::Open(Box::new(VecCursor {
+                    entries: merge_sorted_blocks(parts),
+                    pos: 0,
+                    block: 64,
+                }))
+            }
+        }
+    }
+}
+
+/// Eager cursor over a pre-merged list (wildcard parents).
+struct VecCursor {
+    entries: Vec<(NodeId, Dist)>,
+    pos: usize,
+    block: usize,
+}
+
+impl EdgeCursor for VecCursor {
+    fn next_block(&mut self) -> Vec<(NodeId, Dist)> {
+        if self.pos >= self.entries.len() {
+            return Vec::new();
+        }
+        let take = (self.entries.len() - self.pos).min(self.block);
+        let out = self.entries[self.pos..self.pos + take].to_vec();
+        self.pos += take;
+        out
+    }
+
+    fn remaining(&self) -> usize {
+        self.entries.len() - self.pos
+    }
+}
+
+use ktpm_runtime::label_pairs as ktpm_runtime_label_pairs;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktpm_closure::ClosureTables;
+    use ktpm_graph::fixtures::paper_graph;
+    use ktpm_graph::LabeledGraph;
+    use ktpm_query::TreeQuery;
+    use ktpm_storage::MemStore;
+
+    fn first_score(g: &LabeledGraph, query: &str, bound: BoundMode) -> (Option<Score>, u64) {
+        let q = TreeQuery::parse(query).unwrap().resolve(g.interner());
+        let store = MemStore::with_block_edges(ClosureTables::compute(g), 2);
+        let mut lists = SlotLists::default();
+        let mut loader = PriorityLoader::new(&q, &store, bound, &mut lists);
+        let s = loader.compute_first(&mut lists);
+        (s, loader.edges_inserted())
+    }
+
+    #[test]
+    fn top1_score_matches_full_computation() {
+        let g = paper_graph();
+        let (s, _) = first_score(&g, "a -> b\na -> c\nc -> d\nc -> e", BoundMode::Tight);
+        assert_eq!(s, Some(4));
+    }
+
+    #[test]
+    fn loose_bound_same_score_more_edges() {
+        let g = paper_graph();
+        let (st, tight_edges) = first_score(&g, "a -> b\na -> c\nc -> d\nc -> e", BoundMode::Tight);
+        let (sl, loose_edges) = first_score(&g, "a -> b\na -> c\nc -> d\nc -> e", BoundMode::Loose);
+        assert_eq!(st, sl);
+        assert!(
+            tight_edges <= loose_edges,
+            "tight trigger must not load more edges ({tight_edges} vs {loose_edges})"
+        );
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        let g = paper_graph();
+        let (s, _) = first_score(&g, "s -> a", BoundMode::Tight);
+        assert_eq!(s, None);
+        let (s, _) = first_score(&g, "a -> nolabel", BoundMode::Tight);
+        assert_eq!(s, None);
+    }
+
+    #[test]
+    fn single_node_query_top1_is_zero() {
+        let g = paper_graph();
+        let (s, edges) = first_score(&g, "a", BoundMode::Tight);
+        assert_eq!(s, Some(0));
+        assert_eq!(edges, 0);
+    }
+
+    #[test]
+    fn child_edge_query() {
+        let g = paper_graph();
+        // a => b: only direct a->b edges (v1->v3 at 1). Top-1 total must
+        // then be 1.
+        let (s, _) = first_score(&g, "a => b", BoundMode::Tight);
+        assert_eq!(s, Some(1));
+    }
+
+    #[test]
+    fn example_4_2_loads_few_edges() {
+        // Build the Figure 4 graph: T = a -> b, a -> c, c -> d over a GR
+        // where v1(a) has child v2(b) at 1, children v3..v6 (c) and each
+        // c-node reaches v7(d). The loader must find top-1 = 3 without
+        // loading incoming edges of v3, v4, v6.
+        let mut b = ktpm_graph::GraphBuilder::new();
+        let v1 = b.add_node("a");
+        let v2 = b.add_node("b");
+        let v3 = b.add_node("c");
+        let v4 = b.add_node("c");
+        let v5 = b.add_node("c");
+        let v6 = b.add_node("c");
+        let v7 = b.add_node("d");
+        b.add_edge(v1, v2, 1);
+        b.add_edge(v1, v3, 1);
+        b.add_edge(v1, v4, 4);
+        b.add_edge(v1, v5, 1);
+        b.add_edge(v1, v6, 2);
+        b.add_edge(v3, v7, 3);
+        b.add_edge(v4, v7, 1);
+        b.add_edge(v5, v7, 1);
+        b.add_edge(v6, v7, 1);
+        let g = b.build().unwrap();
+        let q = TreeQuery::parse("a -> b\na -> c\nc -> d")
+            .unwrap()
+            .resolve(g.interner());
+        let store = MemStore::with_block_edges(ClosureTables::compute(&g), 1);
+        let mut lists = SlotLists::default();
+        let mut loader = PriorityLoader::new(&q, &store, BoundMode::Tight, &mut lists);
+        let s = loader.compute_first(&mut lists);
+        // Top-1: v1 with b=v2 (1) + best c-child: v5 with 1 + bs(v5)=1 -> 3.
+        assert_eq!(s, Some(3));
+        // E-seeding covers all c->d edges; expansion should only have
+        // loaded incoming edges of v5 (the popped c-node), i.e. far fewer
+        // than the full runtime graph (9 closure edges among labels).
+        let full = ktpm_runtime::RuntimeGraph::load(&q, &store).num_edges() as u64;
+        assert!(
+            loader.edges_inserted() < full,
+            "lazy loading must not materialize the full run-time graph ({} vs {full})",
+            loader.edges_inserted()
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Match representation and the compact candidate encoding of §3.3.
+//!
+//! Following "Recovering the Match from Score", a candidate produced by a
+//! subspace division is **not** stored as a full assignment: it is a link
+//! to the popped match that generated it, the replaced position, the rank
+//! of the replacement inside the relevant `L`/`H` list, and the score
+//! (computed in O(1) as the parent's score plus the local key
+//! difference). Full assignments are materialized only for matches
+//! actually popped as top-l results, in O(n_T) each.
+
+use ktpm_graph::{NodeId, Score};
+
+/// A fully-materialized top-k result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoredMatch {
+    /// Total penalty score (Definition 2.2).
+    pub score: Score,
+    /// Mapped data node per query node, in the query's BFS node order.
+    pub assignment: Vec<NodeId>,
+}
+
+/// Sentinel "no parent" id (the initial top-1 candidate).
+pub(crate) const NO_PARENT: u32 = u32::MAX;
+
+/// A popped (output) match with its division bookkeeping.
+#[derive(Debug, Clone)]
+pub(crate) struct PoppedMatch {
+    /// Candidate index per query node (dense per-node indices).
+    pub assignment: Vec<u32>,
+    /// Total score.
+    pub score: Score,
+    /// The position where this match's subspace division starts (`j` in
+    /// §3.2), `NO_PARENT` for the initial top-1 (divides everywhere).
+    pub div_pos: u32,
+    /// The rank of this match's element at `div_pos` within its list
+    /// (`|U_j| + 1`); drives the Theorem 3.1 chain.
+    pub rank_at_div: u32,
+}
+
+/// A compact, not-yet-materialized candidate (one subspace's best match).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CandidateSpec {
+    /// Score of the candidate match.
+    pub score: Score,
+    /// Id of the popped match this candidate replaces one node of
+    /// (`NO_PARENT` for the initial top-1 candidate).
+    pub parent: u32,
+    /// The replaced position (query node BFS index; 0 = root).
+    pub pos: u32,
+    /// Rank of the replacement within the `(parent candidate, slot)` list.
+    pub rank: u32,
+}

@@ -1,0 +1,441 @@
+//! The node-labeled, edge-weighted directed graph in CSR form.
+//!
+//! Built once via [`GraphBuilder`], then immutable. Both outgoing and
+//! incoming adjacency are materialized: the closure computation walks
+//! outgoing edges, while the priority-based loader of §4 conceptually
+//! retrieves *incoming* edges grouped by parent label.
+
+use crate::labels::LabelInterner;
+use crate::types::{Dist, LabelId, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An error raised while constructing a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a node id that was never added.
+    UnknownNode(NodeId),
+    /// An edge carried a zero weight (the paper's scores require
+    /// every hop to cost at least 1; §4's lower bound `L(u)` relies on it).
+    ZeroWeight(NodeId, NodeId),
+    /// A self-loop was supplied (meaningless under path semantics).
+    SelfLoop(NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(v) => write!(f, "edge references unknown node {v}"),
+            GraphError::ZeroWeight(u, v) => {
+                write!(f, "edge ({u},{v}) has zero weight; weights must be >= 1")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop on {v} is not allowed"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A reference to one edge during iteration.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct EdgeRef {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Edge weight (>= 1).
+    pub weight: Dist,
+}
+
+/// Aggregate statistics of a graph (used by the experiment harness).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Number of distinct labels actually used.
+    pub labels: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+}
+
+/// An immutable node-labeled directed graph in CSR form.
+#[derive(Clone)]
+pub struct LabeledGraph {
+    labels: Vec<LabelId>,
+    interner: LabelInterner,
+    // Outgoing CSR.
+    out_offsets: Vec<u32>,
+    out_targets: Vec<NodeId>,
+    out_weights: Vec<Dist>,
+    // Incoming CSR.
+    in_offsets: Vec<u32>,
+    in_sources: Vec<NodeId>,
+    in_weights: Vec<Dist>,
+    // Nodes grouped per label, in node-id order.
+    nodes_by_label: Vec<Vec<NodeId>>,
+}
+
+impl LabeledGraph {
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Number of distinct labels known to the interner.
+    #[inline]
+    pub fn num_labels(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Label of `v`.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> LabelId {
+        self.labels[v.index()]
+    }
+
+    /// Human-readable name of a label.
+    pub fn label_name(&self, l: LabelId) -> &str {
+        self.interner.name(l)
+    }
+
+    /// The interner (for resolving names in callers).
+    pub fn interner(&self) -> &LabelInterner {
+        &self.interner
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.labels.len() as u32).map(NodeId)
+    }
+
+    /// Nodes carrying label `l`, ascending by id. Empty if the label is unused.
+    pub fn nodes_with_label(&self, l: LabelId) -> &[NodeId] {
+        self.nodes_by_label
+            .get(l.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Outgoing edges of `v`.
+    pub fn out_edges(&self, v: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
+        let lo = self.out_offsets[v.index()] as usize;
+        let hi = self.out_offsets[v.index() + 1] as usize;
+        (lo..hi).map(move |i| EdgeRef {
+            from: v,
+            to: self.out_targets[i],
+            weight: self.out_weights[i],
+        })
+    }
+
+    /// Incoming edges of `v`.
+    pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        (lo..hi).map(move |i| EdgeRef {
+            from: self.in_sources[i],
+            to: v,
+            weight: self.in_weights[i],
+        })
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        (self.out_offsets[v.index() + 1] - self.out_offsets[v.index()]) as usize
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        (self.in_offsets[v.index() + 1] - self.in_offsets[v.index()]) as usize
+    }
+
+    /// All edges in source-major order.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.nodes().flat_map(move |v| self.out_edges(v))
+    }
+
+    /// Whether all edge weights equal 1 (enables BFS instead of Dijkstra).
+    pub fn is_unit_weighted(&self) -> bool {
+        self.out_weights.iter().all(|&w| w == 1)
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> GraphStats {
+        let max_out = self.nodes().map(|v| self.out_degree(v)).max().unwrap_or(0);
+        let max_in = self.nodes().map(|v| self.in_degree(v)).max().unwrap_or(0);
+        let used = self.nodes_by_label.iter().filter(|b| !b.is_empty()).count();
+        GraphStats {
+            nodes: self.num_nodes(),
+            edges: self.num_edges(),
+            labels: used,
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+        }
+    }
+}
+
+impl fmt::Debug for LabeledGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LabeledGraph")
+            .field("nodes", &self.num_nodes())
+            .field("edges", &self.num_edges())
+            .field("labels", &self.num_labels())
+            .finish()
+    }
+}
+
+/// Incremental builder for [`LabeledGraph`].
+///
+/// Duplicate parallel edges are collapsed keeping the minimum weight
+/// (shortest-path semantics make heavier parallels irrelevant).
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    labels: Vec<LabelId>,
+    interner: LabelInterner,
+    edges: Vec<(NodeId, NodeId, Dist)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sizes internal buffers.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Self {
+            labels: Vec::with_capacity(nodes),
+            interner: LabelInterner::new(),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Adds a node with label `label`, returning its id.
+    pub fn add_node(&mut self, label: &str) -> NodeId {
+        let l = self.interner.intern(label);
+        self.add_node_with_label_id(l)
+    }
+
+    /// Adds a node with an already-interned label id.
+    pub fn add_node_with_label_id(&mut self, l: LabelId) -> NodeId {
+        let id = NodeId(self.labels.len() as u32);
+        self.labels.push(l);
+        id
+    }
+
+    /// Interns a label without adding a node.
+    pub fn intern_label(&mut self, label: &str) -> LabelId {
+        self.interner.intern(label)
+    }
+
+    /// Adds a directed edge `from -> to` with `weight >= 1`.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: Dist) {
+        self.edges.push((from, to, weight));
+    }
+
+    /// Current number of nodes added.
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Finalizes into a CSR graph, validating edges.
+    pub fn build(self) -> Result<LabeledGraph, GraphError> {
+        let n = self.labels.len();
+        // Validate.
+        for &(u, v, w) in &self.edges {
+            if u.index() >= n {
+                return Err(GraphError::UnknownNode(u));
+            }
+            if v.index() >= n {
+                return Err(GraphError::UnknownNode(v));
+            }
+            if w == 0 {
+                return Err(GraphError::ZeroWeight(u, v));
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop(u));
+            }
+        }
+        // Dedup parallel edges keeping the minimum weight.
+        let mut dedup: HashMap<(NodeId, NodeId), Dist> = HashMap::with_capacity(self.edges.len());
+        for &(u, v, w) in &self.edges {
+            dedup
+                .entry((u, v))
+                .and_modify(|cur| *cur = (*cur).min(w))
+                .or_insert(w);
+        }
+        let mut edges: Vec<(NodeId, NodeId, Dist)> =
+            dedup.into_iter().map(|((u, v), w)| (u, v, w)).collect();
+        edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+
+        // Outgoing CSR.
+        let mut out_offsets = vec![0u32; n + 1];
+        for &(u, _, _) in &edges {
+            out_offsets[u.index() + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut out_targets = Vec::with_capacity(edges.len());
+        let mut out_weights = Vec::with_capacity(edges.len());
+        for &(_, v, w) in &edges {
+            out_targets.push(v);
+            out_weights.push(w);
+        }
+
+        // Incoming CSR.
+        let mut in_offsets = vec![0u32; n + 1];
+        for &(_, v, _) in &edges {
+            in_offsets[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![NodeId(0); edges.len()];
+        let mut in_weights = vec![0 as Dist; edges.len()];
+        for &(u, v, w) in &edges {
+            let slot = cursor[v.index()] as usize;
+            in_sources[slot] = u;
+            in_weights[slot] = w;
+            cursor[v.index()] += 1;
+        }
+
+        // Label buckets.
+        let mut nodes_by_label = vec![Vec::new(); self.interner.len()];
+        for (i, &l) in self.labels.iter().enumerate() {
+            nodes_by_label[l.index()].push(NodeId(i as u32));
+        }
+
+        Ok(LabeledGraph {
+            labels: self.labels,
+            interner: self.interner,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+            nodes_by_label,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_fig2_graph() -> LabeledGraph {
+        crate::fixtures::paper_graph()
+    }
+
+    #[test]
+    fn build_and_query_basic() {
+        let g = paper_fig2_graph();
+        assert_eq!(g.num_nodes(), 13);
+        assert_eq!(g.num_edges(), 14);
+        assert!(g.is_unit_weighted());
+        let a = g.interner().get("a").unwrap();
+        assert_eq!(g.nodes_with_label(a), &[NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn out_and_in_adjacency_are_consistent() {
+        let g = paper_fig2_graph();
+        let mut out_pairs: Vec<_> = g.edges().map(|e| (e.from, e.to, e.weight)).collect();
+        let mut in_pairs: Vec<_> = g
+            .nodes()
+            .flat_map(|v| g.in_edges(v).collect::<Vec<_>>())
+            .map(|e| (e.from, e.to, e.weight))
+            .collect();
+        out_pairs.sort_unstable();
+        in_pairs.sort_unstable();
+        assert_eq!(out_pairs, in_pairs);
+    }
+
+    #[test]
+    fn degrees_match_iteration() {
+        let g = paper_fig2_graph();
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), g.out_edges(v).count());
+            assert_eq!(g.in_degree(v), g.in_edges(v).count());
+        }
+    }
+
+    #[test]
+    fn parallel_edges_keep_min_weight() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        b.add_edge(x, y, 5);
+        b.add_edge(x, y, 2);
+        b.add_edge(x, y, 9);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.out_edges(x).next().unwrap().weight, 2);
+    }
+
+    #[test]
+    fn zero_weight_rejected() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        b.add_edge(x, y, 0);
+        assert_eq!(b.build().unwrap_err(), GraphError::ZeroWeight(x, y));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("x");
+        b.add_edge(x, x, 1);
+        assert_eq!(b.build().unwrap_err(), GraphError::SelfLoop(x));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("x");
+        b.add_edge(x, NodeId(99), 1);
+        assert_eq!(b.build().unwrap_err(), GraphError::UnknownNode(NodeId(99)));
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let g = paper_fig2_graph();
+        let s = g.stats();
+        assert_eq!(s.nodes, 13);
+        assert_eq!(s.edges, 14);
+        assert_eq!(s.labels, 6); // a b c d e s
+        assert!(s.max_out_degree >= 3); // v5 has 3 outgoing
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.stats().max_out_degree, 0);
+    }
+
+    #[test]
+    fn nodes_with_unused_label_is_empty() {
+        let mut b = GraphBuilder::new();
+        let unused = b.intern_label("unused");
+        b.add_node("used");
+        let g = b.build().unwrap();
+        assert!(g.nodes_with_label(unused).is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Plain-text graph exchange format.
+//!
+//! One record per line; `#` starts a comment:
+//!
+//! ```text
+//! # nodes: n <id> <label>     (ids must be dense, starting at 0)
+//! n 0 paperA
+//! n 1 paperB
+//! # edges: e <src> <dst> [weight]   (weight defaults to 1)
+//! e 0 1
+//! e 1 0 3
+//! ```
+//!
+//! Used by the `ktpm` CLI and handy for small reproducible datasets in
+//! tests and docs.
+
+use crate::digraph::{GraphBuilder, GraphError, LabeledGraph};
+use crate::types::NodeId;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors raised while parsing the text graph format.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse(usize, String),
+    /// Node ids were not dense/ordered.
+    NodeOrder(usize),
+    /// Structural validation failed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphIoError::Parse(n, l) => write!(f, "line {n}: cannot parse {l:?}"),
+            GraphIoError::NodeOrder(n) => {
+                write!(f, "line {n}: node ids must be dense and ascending from 0")
+            }
+            GraphIoError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {}
+
+impl From<std::io::Error> for GraphIoError {
+    fn from(e: std::io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+impl From<GraphError> for GraphIoError {
+    fn from(e: GraphError) -> Self {
+        GraphIoError::Graph(e)
+    }
+}
+
+/// Parses the text format from any buffered reader.
+pub fn read_graph<R: BufRead>(reader: R) -> Result<LabeledGraph, GraphIoError> {
+    let mut b = GraphBuilder::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("n") => {
+                let (Some(id), Some(label), None) = (parts.next(), parts.next(), parts.next())
+                else {
+                    return Err(GraphIoError::Parse(lineno + 1, line.to_string()));
+                };
+                let id: u32 = id
+                    .parse()
+                    .map_err(|_| GraphIoError::Parse(lineno + 1, line.to_string()))?;
+                if id as usize != b.num_nodes() {
+                    return Err(GraphIoError::NodeOrder(lineno + 1));
+                }
+                b.add_node(label);
+            }
+            Some("e") => {
+                let (Some(src), Some(dst)) = (parts.next(), parts.next()) else {
+                    return Err(GraphIoError::Parse(lineno + 1, line.to_string()));
+                };
+                let w = parts.next().unwrap_or("1");
+                if parts.next().is_some() {
+                    return Err(GraphIoError::Parse(lineno + 1, line.to_string()));
+                }
+                let (Ok(src), Ok(dst), Ok(w)) =
+                    (src.parse::<u32>(), dst.parse::<u32>(), w.parse::<u32>())
+                else {
+                    return Err(GraphIoError::Parse(lineno + 1, line.to_string()));
+                };
+                b.add_edge(NodeId(src), NodeId(dst), w);
+            }
+            _ => return Err(GraphIoError::Parse(lineno + 1, line.to_string())),
+        }
+    }
+    Ok(b.build()?)
+}
+
+/// Writes a graph in the text format.
+pub fn write_graph<W: Write>(g: &LabeledGraph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# {} nodes, {} edges", g.num_nodes(), g.num_edges())?;
+    for v in g.nodes() {
+        writeln!(w, "n {} {}", v.0, g.label_name(g.label(v)))?;
+    }
+    for e in g.edges() {
+        if e.weight == 1 {
+            writeln!(w, "e {} {}", e.from.0, e.to.0)?;
+        } else {
+            writeln!(w, "e {} {} {}", e.from.0, e.to.0, e.weight)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_graph;
+
+    #[test]
+    fn roundtrip_paper_graph() {
+        let g = paper_graph();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(&buf[..]).unwrap();
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for v in g.nodes() {
+            assert_eq!(g.label_name(g.label(v)), g2.label_name(g2.label(v)));
+        }
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn parses_comments_weights_and_blank_lines() {
+        let text = "# demo\n\nn 0 a\nn 1 b\n\ne 0 1 5\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.out_edges(NodeId(0)).next().unwrap().weight, 5);
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert!(matches!(
+            read_graph("x 0 a".as_bytes()).unwrap_err(),
+            GraphIoError::Parse(1, _)
+        ));
+        assert!(matches!(
+            read_graph("n 0 a extra".as_bytes()).unwrap_err(),
+            GraphIoError::Parse(1, _)
+        ));
+        assert!(matches!(
+            read_graph("n 0 a\ne 0".as_bytes()).unwrap_err(),
+            GraphIoError::Parse(2, _)
+        ));
+    }
+
+    #[test]
+    fn rejects_non_dense_node_ids() {
+        assert!(matches!(
+            read_graph("n 1 a".as_bytes()).unwrap_err(),
+            GraphIoError::NodeOrder(1)
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_structure() {
+        assert!(matches!(
+            read_graph("n 0 a\ne 0 9".as_bytes()).unwrap_err(),
+            GraphIoError::Graph(_)
+        ));
+    }
+}

@@ -1,0 +1,105 @@
+//! String-to-[`LabelId`] interning.
+//!
+//! Labels in the paper's datasets are venue names (DBLP) or small
+//! alphabets (synthetic); all algorithms only ever compare interned ids.
+
+use crate::types::LabelId;
+use std::collections::HashMap;
+
+/// A bidirectional map between label names and dense [`LabelId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct LabelInterner {
+    names: Vec<String>,
+    ids: HashMap<String, LabelId>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = LabelId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned label.
+    pub fn get(&self, name: &str) -> Option<LabelId> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn name(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no labels have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (LabelId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut li = LabelInterner::new();
+        let a = li.intern("SIGMOD");
+        let b = li.intern("VLDB");
+        assert_ne!(a, b);
+        assert_eq!(li.intern("SIGMOD"), a);
+        assert_eq!(li.len(), 2);
+    }
+
+    #[test]
+    fn name_lookup_roundtrips() {
+        let mut li = LabelInterner::new();
+        let a = li.intern("ICDE");
+        assert_eq!(li.name(a), "ICDE");
+        assert_eq!(li.get("ICDE"), Some(a));
+        assert_eq!(li.get("nope"), None);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut li = LabelInterner::new();
+        for i in 0..100 {
+            let id = li.intern(&format!("L{i}"));
+            assert_eq!(id, LabelId(i));
+        }
+        let collected: Vec<_> = li.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(collected, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_interner() {
+        let li = LabelInterner::new();
+        assert!(li.is_empty());
+        assert_eq!(li.len(), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # ktpm-graph
+//!
+//! The graph substrate for the kTPM (top-k tree pattern matching) system:
+//! a node-labeled, edge-weighted directed graph stored in compressed
+//! sparse row (CSR) form, with both outgoing and incoming adjacency, plus
+//! a label interner and basic statistics.
+//!
+//! Everything downstream (transitive closure, run-time graphs, the
+//! matching algorithms) consumes [`LabeledGraph`].
+//!
+//! ## Example
+//!
+//! ```
+//! use ktpm_graph::{GraphBuilder, LabelId, NodeId};
+//!
+//! let mut b = GraphBuilder::new();
+//! let a = b.add_node("A");
+//! let c = b.add_node("C");
+//! b.add_edge(a, c, 1);
+//! let g = b.build().unwrap();
+//! assert_eq!(g.num_nodes(), 2);
+//! assert_eq!(g.out_edges(a).count(), 1);
+//! assert_eq!(g.label_name(g.label(c)), "C");
+//! ```
+
+mod digraph;
+pub mod fixtures;
+pub mod io;
+mod labels;
+mod types;
+
+pub use digraph::{EdgeRef, GraphBuilder, GraphError, GraphStats, LabeledGraph};
+pub use labels::LabelInterner;
+pub use types::{Dist, LabelId, NodeId, Score, INF_DIST, INF_SCORE};

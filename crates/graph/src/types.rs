@@ -1,0 +1,118 @@
+//! Core identifier and numeric types shared by the whole workspace.
+//!
+//! Following the sizing guidance for database-style Rust (small integer
+//! ids, index-based adjacency), nodes and labels are `u32` newtypes and
+//! distances are `u32`. Scores are `u64` sums of distances, so a match
+//! over a query with `n_T` nodes can never overflow
+//! (`n_T * u32::MAX < u64::MAX`).
+
+use std::fmt;
+
+/// A node in a data graph. Dense, 0-based.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// An interned node label. Dense, 0-based.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelId(pub u32);
+
+/// An edge weight or shortest-path distance.
+pub type Dist = u32;
+
+/// A match penalty score: a sum of [`Dist`]s.
+pub type Score = u64;
+
+/// Sentinel "unreachable" distance.
+pub const INF_DIST: Dist = u32::MAX;
+
+/// Sentinel "no match" score.
+pub const INF_SCORE: Score = u64::MAX;
+
+impl NodeId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LabelId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for LabelId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        LabelId(v)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Debug for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(NodeId::from(42u32), n);
+        assert_eq!(format!("{n}"), "v42");
+        assert_eq!(format!("{n:?}"), "v42");
+    }
+
+    #[test]
+    fn label_id_roundtrip() {
+        let l = LabelId(7);
+        assert_eq!(l.index(), 7);
+        assert_eq!(LabelId::from(7u32), l);
+        assert_eq!(format!("{l}"), "l7");
+    }
+
+    #[test]
+    fn score_cannot_overflow_for_realistic_queries() {
+        // 1000-node query, every edge at max distance: still far below u64::MAX.
+        let s: Score = 1000u64 * (INF_DIST as u64 - 1);
+        assert!(s < INF_SCORE);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(LabelId(0) < LabelId(10));
+    }
+}

@@ -1,0 +1,195 @@
+//! Spanning-tree decomposition of a graph pattern.
+//!
+//! [7]'s central idea: "decompose q into a set of spanning trees" such
+//! that every pattern edge appears in at least one tree. We build trees
+//! greedily: each round runs a BFS that prefers still-uncovered edges;
+//! rounds repeat until all edges are covered. For a pattern with `m`
+//! edges and `n` nodes this needs at most `m - n + 2` trees.
+
+use ktpm_query::{EdgeKind, GraphQuery, TreeQuery, TreeQueryBuilder};
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+/// One rooted spanning tree of the pattern, plus which pattern edges it
+/// covers and which it leaves out.
+#[derive(Debug, Clone)]
+pub struct SpanningTree {
+    /// The rooted tree as a `//`-edge tree query (undirected tree matching
+    /// roots the tree per §5 "choose a node in T to be the root node").
+    pub tree: TreeQuery,
+    /// For each tree-query node (BFS order), the pattern node it stands for.
+    pub pattern_node: Vec<usize>,
+    /// Pattern edges (as `(min,max)` pairs) not covered by this tree.
+    pub non_tree_edges: Vec<(usize, usize)>,
+}
+
+/// Decomposes `q` into rooted spanning trees covering every pattern edge.
+/// The first tree maximizes coverage from the highest-degree root.
+pub fn decompose(q: &GraphQuery) -> Vec<SpanningTree> {
+    let n = q.len();
+    let mut covered: HashSet<(usize, usize)> = HashSet::new();
+    let mut trees = Vec::new();
+    while covered.len() < q.num_edges() {
+        // Root: highest-degree node touching an uncovered edge (first
+        // round: plain highest degree).
+        let root = (0..n)
+            .filter(|&u| {
+                trees.is_empty()
+                    || q.neighbors(u)
+                        .iter()
+                        .any(|&v| !covered.contains(&(u.min(v), u.max(v))))
+            })
+            .max_by_key(|&u| q.neighbors(u).len())
+            .expect("uncovered edges imply an uncovered endpoint");
+        // BFS preferring uncovered edges.
+        let mut parent = vec![usize::MAX; n];
+        let mut visited = vec![false; n];
+        visited[root] = true;
+        let mut queue = VecDeque::from([root]);
+        let mut order = vec![root];
+        while let Some(u) = queue.pop_front() {
+            // Two passes: uncovered edges first.
+            for pass in 0..2 {
+                for &v in q.neighbors(u) {
+                    if visited[v] {
+                        continue;
+                    }
+                    let key = (u.min(v), u.max(v));
+                    let uncovered = !covered.contains(&key);
+                    if (pass == 0) == uncovered {
+                        if pass == 1 && uncovered {
+                            continue;
+                        }
+                        visited[v] = true;
+                        parent[v] = u;
+                        order.push(v);
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "pattern is connected");
+        // Mark coverage and build the tree query.
+        let mut tree_edges: HashSet<(usize, usize)> = HashSet::new();
+        for &v in &order {
+            if parent[v] != usize::MAX {
+                let key = (v.min(parent[v]), v.max(parent[v]));
+                covered.insert(key);
+                tree_edges.insert(key);
+            }
+        }
+        let mut b = TreeQueryBuilder::new();
+        let qnodes: Vec<_> = order.iter().map(|&u| b.node(q.label(u))).collect();
+        let index_of = |u: usize| order.iter().position(|&x| x == u).expect("in order");
+        for &v in &order {
+            if parent[v] != usize::MAX {
+                b.edge(
+                    qnodes[index_of(parent[v])],
+                    qnodes[index_of(v)],
+                    EdgeKind::Descendant,
+                );
+            }
+        }
+        let tree = b.build().expect("spanning tree is a valid rooted tree");
+        // The builder BFS-normalizes; recover the pattern-node mapping by
+        // walking both trees in parallel: since we inserted nodes in BFS
+        // order already and edges parent->child, the normalization is the
+        // identity permutation of `order`.
+        let pattern_node = order.clone();
+        let non_tree_edges = q
+            .edges()
+            .iter()
+            .copied()
+            .filter(|&e| !tree_edges.contains(&e))
+            .collect();
+        trees.push(SpanningTree {
+            tree,
+            pattern_node,
+            non_tree_edges,
+        });
+        if trees.len() > q.num_edges() + 1 {
+            unreachable!("decomposition failed to make progress");
+        }
+    }
+    if trees.is_empty() {
+        // Single-node pattern: one trivial tree.
+        let mut b = TreeQueryBuilder::new();
+        b.node(q.label(0));
+        trees.push(SpanningTree {
+            tree: b.build().expect("single node"),
+            pattern_node: vec![0],
+            non_tree_edges: Vec::new(),
+        });
+    }
+    trees
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn triangle_needs_two_trees() {
+        let q = GraphQuery::new(labels(&["a", "b", "c"]), vec![(0, 1), (1, 2), (2, 0)]).unwrap();
+        let trees = decompose(&q);
+        assert!(trees.len() >= 2);
+        // Every edge covered by some tree.
+        let mut covered = HashSet::new();
+        for t in &trees {
+            for (p, c, _) in t.tree.edges() {
+                let a = t.pattern_node[p.index()];
+                let b = t.pattern_node[c.index()];
+                covered.insert((a.min(b), a.max(b)));
+            }
+        }
+        assert_eq!(covered.len(), 3);
+    }
+
+    #[test]
+    fn tree_pattern_needs_one_tree() {
+        let q = GraphQuery::new(labels(&["a", "b", "c", "d"]), vec![(0, 1), (0, 2), (2, 3)])
+            .unwrap();
+        let trees = decompose(&q);
+        assert_eq!(trees.len(), 1);
+        assert!(trees[0].non_tree_edges.is_empty());
+        assert_eq!(trees[0].tree.len(), 4);
+    }
+
+    #[test]
+    fn first_tree_non_tree_edges_are_the_excess() {
+        let q = GraphQuery::new(
+            labels(&["a", "b", "c", "d"]),
+            vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
+        )
+        .unwrap();
+        let trees = decompose(&q);
+        assert_eq!(trees[0].non_tree_edges.len(), q.excess_edges());
+        // Mapping covers all pattern nodes exactly once.
+        let mut seen: Vec<usize> = trees[0].pattern_node.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_node_pattern() {
+        let q = GraphQuery::new(labels(&["a"]), vec![]).unwrap();
+        let trees = decompose(&q);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].tree.len(), 1);
+    }
+
+    #[test]
+    fn labels_carried_into_tree_queries() {
+        let q = GraphQuery::new(labels(&["x", "y", "z"]), vec![(0, 1), (1, 2), (2, 0)]).unwrap();
+        for t in decompose(&q) {
+            for u in t.tree.node_ids() {
+                let pattern = t.pattern_node[u.index()];
+                assert_eq!(t.tree.label_name(u), Some(q.label(pattern)));
+            }
+        }
+    }
+}

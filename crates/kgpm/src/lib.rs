@@ -1,0 +1,29 @@
+//! # ktpm-kgpm
+//!
+//! Top-k **graph** pattern matching (kGPM, §5 of the paper / Cheng, Zeng
+//! & Yu, ICDE'13): the query is a connected undirected labeled graph; a
+//! match maps pattern nodes to data nodes of the same label, every
+//! pattern edge maps to an (undirected) shortest path, and the score sums
+//! the shortest distances over *all* pattern edges.
+//!
+//! Following \[7\]'s decomposition idea, the pattern is decomposed into
+//! rooted spanning trees covering all edges ([`decompose`]); a top-k
+//! *tree* matcher enumerates matches of the first tree in tree-score
+//! order; each candidate is verified by looking up the distances of the
+//! remaining (non-tree) edges; enumeration stops once the next tree
+//! score plus a per-edge lower bound for the non-tree edges cannot beat
+//! the current k-th best full score.
+//!
+//! The tree matcher is pluggable — exactly the mtree vs mtree+
+//! comparison of Figure 9:
+//!
+//! * [`TreeMatcher::DpB`]  — mtree (the ICDE'13 baseline matcher);
+//! * [`TreeMatcher::TopkEn`] — mtree+ (this paper's Topk-EN plugged in).
+
+mod decompose;
+mod mtree;
+mod undirected;
+
+pub use decompose::{decompose, SpanningTree};
+pub use mtree::{GraphMatch, KgpmContext, KgpmStats, TreeMatcher};
+pub use undirected::undirect;

@@ -1,0 +1,303 @@
+//! The enumerate-and-verify kGPM framework (mtree / mtree+).
+
+use crate::decompose::{decompose, SpanningTree};
+use crate::undirected::undirect;
+use ktpm_baseline::DpBEnumerator;
+use ktpm_closure::ClosureTables;
+use ktpm_core::{ScoredMatch, TopkEnEnumerator};
+use ktpm_graph::{LabeledGraph, NodeId, Score};
+use ktpm_query::GraphQuery;
+use ktpm_runtime::RuntimeGraph;
+use ktpm_storage::{ClosureSource, MemStore};
+use std::collections::BinaryHeap;
+
+/// Which top-k tree matcher drives the enumeration (Figure 9's two
+/// systems).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TreeMatcher {
+    /// mtree: the DP-B matcher of the ICDE'13 framework.
+    DpB,
+    /// mtree+: this paper's Topk-EN plugged into the same framework.
+    TopkEn,
+}
+
+/// A full graph-pattern match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphMatch {
+    /// Sum of shortest distances over all pattern edges.
+    pub score: Score,
+    /// Mapped data node per pattern node (pattern node order).
+    pub assignment: Vec<NodeId>,
+}
+
+/// Work counters for one kGPM run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KgpmStats {
+    /// Tree matches enumerated before termination.
+    pub tree_matches_enumerated: u64,
+    /// Candidates discarded because a non-tree edge had no path.
+    pub rejected_disconnected: u64,
+}
+
+/// Prepared state for running kGPM queries over one data graph: the
+/// bidirectional transform and its closure.
+pub struct KgpmContext {
+    undirected: LabeledGraph,
+    store: MemStore,
+}
+
+impl KgpmContext {
+    /// Builds the undirected closure of `g` (§5's transform).
+    pub fn new(g: &LabeledGraph) -> Self {
+        let undirected = undirect(g);
+        let store = MemStore::new(ClosureTables::compute(&undirected));
+        KgpmContext { undirected, store }
+    }
+
+    /// The bidirectional data graph.
+    pub fn graph(&self) -> &LabeledGraph {
+        &self.undirected
+    }
+
+    /// Top-k graph pattern matches of `q`.
+    pub fn topk(&self, q: &GraphQuery, k: usize, matcher: TreeMatcher) -> Vec<GraphMatch> {
+        self.topk_with_stats(q, k, matcher).0
+    }
+
+    /// As [`Self::topk`], also returning work counters.
+    pub fn topk_with_stats(
+        &self,
+        q: &GraphQuery,
+        k: usize,
+        matcher: TreeMatcher,
+    ) -> (Vec<GraphMatch>, KgpmStats) {
+        let mut stats = KgpmStats::default();
+        if k == 0 {
+            return (Vec::new(), stats);
+        }
+        let trees = decompose(q);
+        let driver = &trees[0];
+        let query = driver.tree.resolve(self.undirected.interner());
+
+        // Lower bound for each non-tree edge: the global minimum distance
+        // of its label pair (from the D tables); at least 1.
+        let lower: Vec<Score> = driver
+            .non_tree_edges
+            .iter()
+            .map(|&(a, b)| self.pair_lower_bound(q.label(a), q.label(b)))
+            .collect();
+        let residual_lb: Score = lower.iter().sum();
+
+        // Top-k heap of full matches: max-heap by (score, assignment).
+        let mut best: BinaryHeap<(Score, Vec<NodeId>)> = BinaryHeap::new();
+
+        let rg; // keep alive for the DP-B borrow
+        let mut stream: Box<dyn Iterator<Item = ScoredMatch>> = match matcher {
+            TreeMatcher::DpB => {
+                rg = RuntimeGraph::load(&query, &self.store);
+                Box::new(DpBEnumerator::new(&rg))
+            }
+            TreeMatcher::TopkEn => Box::new(TopkEnEnumerator::new(&query, &self.store)),
+        };
+        for tm in &mut stream {
+            // Termination: even the cheapest completion cannot beat the
+            // current k-th best.
+            if best.len() == k {
+                let kth = best.peek().expect("k > 0").0;
+                if tm.score + residual_lb >= kth {
+                    break;
+                }
+            }
+            stats.tree_matches_enumerated += 1;
+            // Verify non-tree edges.
+            let mut full = tm.score;
+            let mut ok = true;
+            for &(a, b) in &driver.non_tree_edges {
+                let fa = tm.assignment[self.tree_pos(driver, a)];
+                let fb = tm.assignment[self.tree_pos(driver, b)];
+                match self.store.lookup_dist(fa, fb) {
+                    Some(d) => full += d as Score,
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                stats.rejected_disconnected += 1;
+                continue;
+            }
+            // Reorder the assignment into pattern-node order.
+            let mut assignment = vec![NodeId(u32::MAX); q.len()];
+            for (tree_pos, &pattern) in driver.pattern_node.iter().enumerate() {
+                assignment[pattern] = tm.assignment[tree_pos];
+            }
+            if best.len() < k {
+                best.push((full, assignment));
+            } else if full < best.peek().expect("k > 0").0 {
+                best.pop();
+                best.push((full, assignment));
+            }
+        }
+        let mut out: Vec<GraphMatch> = best
+            .into_sorted_vec()
+            .into_iter()
+            .map(|(score, assignment)| GraphMatch { score, assignment })
+            .collect();
+        out.sort_by(|a, b| (a.score, &a.assignment).cmp(&(b.score, &b.assignment)));
+        (out, stats)
+    }
+
+    fn tree_pos(&self, tree: &SpanningTree, pattern_node: usize) -> usize {
+        tree.pattern_node
+            .iter()
+            .position(|&p| p == pattern_node)
+            .expect("spanning tree covers every pattern node")
+    }
+
+    fn pair_lower_bound(&self, a_label: &str, b_label: &str) -> Score {
+        let interner = self.undirected.interner();
+        let (Some(a), Some(b)) = (interner.get(a_label), interner.get(b_label)) else {
+            return 1;
+        };
+        self.store
+            .load_d(a, b)
+            .into_iter()
+            .map(|(_, d)| d as Score)
+            .min()
+            .unwrap_or(1)
+            .max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktpm_graph::fixtures::{citation_graph, paper_graph};
+    use std::collections::HashSet;
+
+    fn labels(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Brute-force kGPM oracle over the undirected closure.
+    fn brute_kgpm(ctx: &KgpmContext, q: &GraphQuery, k: usize) -> Vec<Score> {
+        let g = ctx.graph();
+        let mut candidates: Vec<Vec<NodeId>> = Vec::new();
+        for u in 0..q.len() {
+            let Some(l) = g.interner().get(q.label(u)) else {
+                return Vec::new();
+            };
+            candidates.push(g.nodes_with_label(l).to_vec());
+        }
+        let mut scores = Vec::new();
+        let mut pick = vec![0usize; q.len()];
+        'outer: loop {
+            // Evaluate current combination.
+            let assignment: Vec<NodeId> = pick
+                .iter()
+                .enumerate()
+                .map(|(u, &i)| candidates[u][i])
+                .collect();
+            let mut total: Score = 0;
+            let mut ok = true;
+            for &(a, b) in q.edges() {
+                match ctx.store.lookup_dist(assignment[a], assignment[b]) {
+                    Some(d) => total += d as Score,
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                scores.push(total);
+            }
+            // Advance the odometer.
+            for u in 0..q.len() {
+                pick[u] += 1;
+                if pick[u] < candidates[u].len() {
+                    continue 'outer;
+                }
+                pick[u] = 0;
+            }
+            break;
+        }
+        scores.sort_unstable();
+        scores.truncate(k);
+        scores
+    }
+
+    #[test]
+    fn both_matchers_agree_with_brute_force() {
+        let ctx = KgpmContext::new(&paper_graph());
+        let queries = vec![
+            GraphQuery::new(labels(&["a", "c", "d"]), vec![(0, 1), (1, 2), (0, 2)]).unwrap(),
+            GraphQuery::new(labels(&["c", "d", "e"]), vec![(0, 1), (1, 2), (2, 0)]).unwrap(),
+            GraphQuery::new(
+                labels(&["a", "b", "c", "d"]),
+                vec![(0, 1), (0, 2), (2, 3), (1, 3)],
+            )
+            .unwrap(),
+        ];
+        for q in &queries {
+            let expect = brute_kgpm(&ctx, q, 10);
+            for matcher in [TreeMatcher::DpB, TreeMatcher::TopkEn] {
+                let got: Vec<Score> = ctx
+                    .topk(q, 10, matcher)
+                    .into_iter()
+                    .map(|m| m.score)
+                    .collect();
+                assert_eq!(got, expect, "matcher {matcher:?} on {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_pattern_reduces_to_tree_matching() {
+        let ctx = KgpmContext::new(&citation_graph());
+        let q = GraphQuery::new(labels(&["C", "E", "S"]), vec![(0, 1), (0, 2)]).unwrap();
+        let expect = brute_kgpm(&ctx, &q, 20);
+        let got: Vec<Score> = ctx
+            .topk(&q, 20, TreeMatcher::TopkEn)
+            .into_iter()
+            .map(|m| m.score)
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn matches_are_distinct_and_valid() {
+        let ctx = KgpmContext::new(&paper_graph());
+        let q = GraphQuery::new(labels(&["a", "c", "d"]), vec![(0, 1), (1, 2), (0, 2)]).unwrap();
+        let (matches, stats) = ctx.topk_with_stats(&q, 50, TreeMatcher::TopkEn);
+        let mut seen = HashSet::new();
+        for m in &matches {
+            assert!(seen.insert(m.assignment.clone()));
+            let mut total: Score = 0;
+            for &(a, b) in q.edges() {
+                total += ctx
+                    .store
+                    .lookup_dist(m.assignment[a], m.assignment[b])
+                    .expect("verified edge") as Score;
+            }
+            assert_eq!(total, m.score);
+        }
+        assert!(stats.tree_matches_enumerated >= matches.len() as u64);
+    }
+
+    #[test]
+    fn unmatchable_label_yields_empty() {
+        let ctx = KgpmContext::new(&paper_graph());
+        let q = GraphQuery::new(labels(&["a", "zz"]), vec![(0, 1)]).unwrap();
+        assert!(ctx.topk(&q, 5, TreeMatcher::TopkEn).is_empty());
+        assert!(ctx.topk(&q, 5, TreeMatcher::DpB).is_empty());
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let ctx = KgpmContext::new(&paper_graph());
+        let q = GraphQuery::new(labels(&["a", "b"]), vec![(0, 1)]).unwrap();
+        assert!(ctx.topk(&q, 0, TreeMatcher::TopkEn).is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! Undirected data graph transform.
+//!
+//! §5: "For each edge in the data graph, we make it bidirectional. Thus,
+//! our algorithms are immediately applicable."
+
+use ktpm_graph::{GraphBuilder, LabeledGraph};
+
+/// Returns the bidirectional version of `g`: every edge doubled in both
+/// directions with its weight (parallel edges keep the minimum weight).
+pub fn undirect(g: &LabeledGraph) -> LabeledGraph {
+    let mut b = GraphBuilder::with_capacity(g.num_nodes(), g.num_edges() * 2);
+    for v in g.nodes() {
+        let name = g.label_name(g.label(v)).to_owned();
+        b.add_node(&name);
+    }
+    for e in g.edges() {
+        b.add_edge(e.from, e.to, e.weight);
+        b.add_edge(e.to, e.from, e.weight);
+    }
+    b.build().expect("mirrored edges stay valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktpm_graph::fixtures::citation_graph;
+
+    #[test]
+    fn doubles_every_edge() {
+        let g = citation_graph();
+        let u = undirect(&g);
+        assert_eq!(u.num_nodes(), g.num_nodes());
+        assert_eq!(u.num_edges(), g.num_edges() * 2);
+        for e in g.edges() {
+            assert!(u.out_edges(e.to).any(|x| x.to == e.from && x.weight == e.weight));
+        }
+    }
+
+    #[test]
+    fn labels_preserved() {
+        let g = citation_graph();
+        let u = undirect(&g);
+        for v in g.nodes() {
+            assert_eq!(
+                g.label_name(g.label(v)),
+                u.label_name(u.label(v)),
+                "label of {v}"
+            );
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! A tiny text format for tree queries, used by tests and examples.
+//!
+//! Each non-empty, non-comment line is one edge:
+//!
+//! ```text
+//! # '->' is a '//' (descendant) edge; '=>' is a '/' (child) edge.
+//! A -> B
+//! A => C
+//! C -> D
+//! ```
+//!
+//! Node tokens are label names; a token names the *same* query node every
+//! time it appears. To give two query nodes the same label, suffix a
+//! discriminator: `A#1` and `A#2` are distinct nodes both labeled `A`.
+//! A token whose label part is `*` is a wildcard node (`*#1`, `*#2`, ...).
+
+use crate::tree::{EdgeKind, QNodeId, QueryError, TreeQuery, TreeQueryBuilder};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised while parsing the text query format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line did not have the form `<node> -> <node>` / `<node> => <node>`.
+    BadLine(usize, String),
+    /// The parsed edges do not form a valid rooted tree.
+    Structure(QueryError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadLine(n, l) => write!(f, "line {n}: cannot parse {l:?}"),
+            ParseError::Structure(e) => write!(f, "invalid tree: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<QueryError> for ParseError {
+    fn from(e: QueryError) -> Self {
+        ParseError::Structure(e)
+    }
+}
+
+impl TreeQuery {
+    /// Parses the text format described in the module docs.
+    pub fn parse(text: &str) -> Result<TreeQuery, ParseError> {
+        let mut builder = TreeQueryBuilder::new();
+        let mut ids: HashMap<String, QNodeId> = HashMap::new();
+        let mut node = |builder: &mut TreeQueryBuilder, token: &str| -> QNodeId {
+            if let Some(&id) = ids.get(token) {
+                return id;
+            }
+            let label_part = token.split('#').next().unwrap_or(token);
+            let id = if label_part == "*" {
+                builder.wildcard()
+            } else {
+                builder.node(label_part)
+            };
+            ids.insert(token.to_owned(), id);
+            id
+        };
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (kind, sep) = if line.contains("=>") {
+                (EdgeKind::Child, "=>")
+            } else if line.contains("->") {
+                (EdgeKind::Descendant, "->")
+            } else {
+                // A bare token declares a single (root) node.
+                let mut parts = line.split_whitespace();
+                match (parts.next(), parts.next()) {
+                    (Some(tok), None) => {
+                        node(&mut builder, tok);
+                        continue;
+                    }
+                    _ => return Err(ParseError::BadLine(lineno + 1, raw.to_owned())),
+                }
+            };
+            let mut sides = line.splitn(2, sep);
+            let lhs = sides.next().map(str::trim).unwrap_or("");
+            let rhs = sides.next().map(str::trim).unwrap_or("");
+            if lhs.is_empty() || rhs.is_empty() || lhs.contains(char::is_whitespace)
+                || rhs.contains(char::is_whitespace)
+            {
+                return Err(ParseError::BadLine(lineno + 1, raw.to_owned()));
+            }
+            let p = node(&mut builder, lhs);
+            let c = node(&mut builder, rhs);
+            builder.edge(p, c, kind);
+        }
+        Ok(builder.build()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_twig() {
+        let q = TreeQuery::parse("C -> E\nC -> S").unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.label_name(q.root()), Some("C"));
+        assert!(q.is_pure_descendant());
+    }
+
+    #[test]
+    fn parse_child_edges_and_comments() {
+        let q = TreeQuery::parse(
+            "# the query of fig 2a\n a -> b\n a -> c\n c => d\n c -> e\n",
+        )
+        .unwrap();
+        assert_eq!(q.len(), 5);
+        let d = q
+            .node_ids()
+            .find(|&u| q.label_name(u) == Some("d"))
+            .unwrap();
+        assert_eq!(q.edge_kind(d), EdgeKind::Child);
+    }
+
+    #[test]
+    fn parse_duplicate_labels_via_discriminator() {
+        let q = TreeQuery::parse("A#1 -> A#2\nA#1 -> B").unwrap();
+        assert_eq!(q.len(), 3);
+        assert!(!q.has_distinct_labels());
+        let names: Vec<_> = q.node_ids().filter_map(|u| q.label_name(u)).collect();
+        assert_eq!(names.iter().filter(|&&n| n == "A").count(), 2);
+    }
+
+    #[test]
+    fn parse_wildcard() {
+        let q = TreeQuery::parse("A -> *#1\n*#1 -> B").unwrap();
+        assert!(q.has_wildcard());
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn parse_single_node() {
+        let q = TreeQuery::parse("A").unwrap();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn parse_bad_line() {
+        assert!(matches!(
+            TreeQuery::parse("A -> ").unwrap_err(),
+            ParseError::BadLine(1, _)
+        ));
+        assert!(matches!(
+            TreeQuery::parse("A B C").unwrap_err(),
+            ParseError::BadLine(1, _)
+        ));
+    }
+
+    #[test]
+    fn parse_invalid_structure() {
+        assert!(matches!(
+            TreeQuery::parse("A -> B\nC -> D").unwrap_err(),
+            ParseError::Structure(QueryError::RootCount(2))
+        ));
+    }
+}

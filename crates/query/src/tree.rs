@@ -1,0 +1,605 @@
+//! Rooted tree (twig) queries.
+//!
+//! A [`TreeQuery`] is built with string labels (or wildcards) and
+//! normalized to top-down breadth-first node order — the order Lemma 3.1
+//! of the paper requires: the parent of node `i` always has index `< i`,
+//! and index 0 is the root.
+//!
+//! Before matching, a query is *resolved* against a data graph's label
+//! interner ([`TreeQuery::resolve`]), turning label names into
+//! [`ktpm_graph::LabelId`]s. A name absent from the data graph resolves to
+//! [`QueryLabel::Unmatchable`] (the query then simply has no matches).
+
+use ktpm_graph::{LabelId, LabelInterner};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Index of a node inside a query tree (dense, BFS order after `build`).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QNodeId(pub u32);
+
+impl QNodeId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for QNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for QNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// XPath-style edge semantics (§5 "Supporting Top-k Twig-Pattern Matching").
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum EdgeKind {
+    /// `//` — ancestor-descendant: maps to any directed path; the score
+    /// contribution is the shortest-path distance.
+    #[default]
+    Descendant,
+    /// `/` — parent-child: maps to a direct edge of the data graph
+    /// (equivalently, a closure entry of distance exactly 1 under unit
+    /// weights).
+    Child,
+}
+
+/// A query node's label requirement, resolved against a data graph.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum QueryLabel {
+    /// Must match this exact label.
+    Label(LabelId),
+    /// Wildcard: matches any label (§5).
+    Wildcard,
+    /// The label name does not occur in the data graph: no candidates.
+    Unmatchable,
+}
+
+/// Errors raised while building a query tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query has no nodes.
+    Empty,
+    /// A node was given two parents.
+    MultipleParents(QNodeId),
+    /// Not exactly one root (zero roots means a cycle exists).
+    RootCount(usize),
+    /// Some node is unreachable from the root (forest or cycle).
+    Disconnected(QNodeId),
+    /// An edge referenced an unknown node.
+    UnknownNode(QNodeId),
+    /// Parent and child are the same node.
+    SelfEdge(QNodeId),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Empty => write!(f, "query has no nodes"),
+            QueryError::MultipleParents(u) => write!(f, "node {u} has multiple parents"),
+            QueryError::RootCount(n) => write!(f, "query must have exactly one root, found {n}"),
+            QueryError::Disconnected(u) => write!(f, "node {u} is not reachable from the root"),
+            QueryError::UnknownNode(u) => write!(f, "edge references unknown node {u}"),
+            QueryError::SelfEdge(u) => write!(f, "self-edge on {u}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// One node of a built tree query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct QueryNode {
+    /// Label name, or `None` for a wildcard.
+    label: Option<String>,
+    /// Parent index (`None` for the root).
+    parent: Option<QNodeId>,
+    /// Kind of the edge from the parent (meaningless for the root).
+    edge_kind: EdgeKind,
+    /// Children, ascending.
+    children: Vec<QNodeId>,
+    /// Size of the subtree rooted here (incl. self).
+    subtree_size: u32,
+}
+
+/// A rooted tree query in guaranteed BFS order.
+#[derive(Clone, Debug)]
+pub struct TreeQuery {
+    nodes: Vec<QueryNode>,
+}
+
+impl TreeQuery {
+    /// Number of query nodes (`n_T`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the query is empty (never true for built queries).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of tree edges (`n_T - 1`).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// The root node id (always `u0`).
+    #[inline]
+    pub fn root(&self) -> QNodeId {
+        QNodeId(0)
+    }
+
+    /// All node ids in BFS order.
+    pub fn node_ids(&self) -> impl Iterator<Item = QNodeId> {
+        (0..self.nodes.len() as u32).map(QNodeId)
+    }
+
+    /// Label name of `u` (`None` = wildcard).
+    pub fn label_name(&self, u: QNodeId) -> Option<&str> {
+        self.nodes[u.index()].label.as_deref()
+    }
+
+    /// Parent of `u` (`None` for the root). Guaranteed `parent < u`.
+    #[inline]
+    pub fn parent(&self, u: QNodeId) -> Option<QNodeId> {
+        self.nodes[u.index()].parent
+    }
+
+    /// Kind of the edge from `parent(u)` to `u`.
+    #[inline]
+    pub fn edge_kind(&self, u: QNodeId) -> EdgeKind {
+        self.nodes[u.index()].edge_kind
+    }
+
+    /// Children of `u`, ascending.
+    #[inline]
+    pub fn children(&self, u: QNodeId) -> &[QNodeId] {
+        &self.nodes[u.index()].children
+    }
+
+    /// Whether `u` is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, u: QNodeId) -> bool {
+        self.nodes[u.index()].children.is_empty()
+    }
+
+    /// `|T_u|` — the number of nodes in the subtree rooted at `u`.
+    #[inline]
+    pub fn subtree_size(&self, u: QNodeId) -> usize {
+        self.nodes[u.index()].subtree_size as usize
+    }
+
+    /// The §4.2 lower bound `L(u) = n_T - 1 - |T_u|`: the number of query
+    /// edges outside `T_u ∪ (u_p, u)`, each of which costs at least 1.
+    #[inline]
+    pub fn remaining_edges(&self, u: QNodeId) -> u64 {
+        (self.len() as u64 - 1).saturating_sub(self.subtree_size(u) as u64)
+    }
+
+    /// Maximum node degree `d_T` (children count; +1 for the parent edge on
+    /// non-roots, matching the paper's undirected degree).
+    pub fn max_degree(&self) -> usize {
+        self.node_ids()
+            .map(|u| self.children(u).len() + usize::from(self.parent(u).is_some()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether every node has a concrete label and all labels are distinct
+    /// (the simplifying assumption of §2; `Topk-GT` lifts it).
+    pub fn has_distinct_labels(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.nodes.iter().all(|n| match &n.label {
+            Some(l) => seen.insert(l.clone()),
+            None => false,
+        })
+    }
+
+    /// Whether the query contains a wildcard node.
+    pub fn has_wildcard(&self) -> bool {
+        self.nodes.iter().any(|n| n.label.is_none())
+    }
+
+    /// Whether all edges are `//` edges.
+    pub fn is_pure_descendant(&self) -> bool {
+        self.node_ids()
+            .skip(1)
+            .all(|u| self.edge_kind(u) == EdgeKind::Descendant)
+    }
+
+    /// Resolves label names against a data graph's interner.
+    pub fn resolve(&self, interner: &LabelInterner) -> ResolvedQuery {
+        let labels = self
+            .nodes
+            .iter()
+            .map(|n| match &n.label {
+                None => QueryLabel::Wildcard,
+                Some(name) => match interner.get(name) {
+                    Some(id) => QueryLabel::Label(id),
+                    None => QueryLabel::Unmatchable,
+                },
+            })
+            .collect();
+        ResolvedQuery {
+            tree: self.clone(),
+            labels,
+        }
+    }
+
+    /// Iterates `(parent, child, kind)` over all tree edges.
+    pub fn edges(&self) -> impl Iterator<Item = (QNodeId, QNodeId, EdgeKind)> + '_ {
+        self.node_ids().skip(1).map(move |u| {
+            (
+                self.parent(u).expect("non-root has a parent"),
+                u,
+                self.edge_kind(u),
+            )
+        })
+    }
+}
+
+/// A [`TreeQuery`] with labels resolved to a specific data graph.
+#[derive(Clone, Debug)]
+pub struct ResolvedQuery {
+    tree: TreeQuery,
+    labels: Vec<QueryLabel>,
+}
+
+impl ResolvedQuery {
+    /// The underlying tree.
+    pub fn tree(&self) -> &TreeQuery {
+        &self.tree
+    }
+
+    /// The resolved label of `u`.
+    #[inline]
+    pub fn label(&self, u: QNodeId) -> QueryLabel {
+        self.labels[u.index()]
+    }
+
+    /// Number of query nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Whether the query is empty (never true for built queries).
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+}
+
+/// Builder producing BFS-normalized [`TreeQuery`]s.
+#[derive(Debug, Default)]
+pub struct TreeQueryBuilder {
+    labels: Vec<Option<String>>,
+    edges: Vec<(QNodeId, QNodeId, EdgeKind)>,
+}
+
+impl TreeQueryBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a labeled node.
+    pub fn node(&mut self, label: &str) -> QNodeId {
+        let id = QNodeId(self.labels.len() as u32);
+        self.labels.push(Some(label.to_owned()));
+        id
+    }
+
+    /// Adds a wildcard (`*`) node.
+    pub fn wildcard(&mut self) -> QNodeId {
+        let id = QNodeId(self.labels.len() as u32);
+        self.labels.push(None);
+        id
+    }
+
+    /// Adds a tree edge from `parent` to `child`.
+    pub fn edge(&mut self, parent: QNodeId, child: QNodeId, kind: EdgeKind) {
+        self.edges.push((parent, child, kind));
+    }
+
+    /// Validates and BFS-normalizes the tree.
+    pub fn build(self) -> Result<TreeQuery, QueryError> {
+        let n = self.labels.len();
+        if n == 0 {
+            return Err(QueryError::Empty);
+        }
+        let mut parent: Vec<Option<(QNodeId, EdgeKind)>> = vec![None; n];
+        let mut children: Vec<Vec<QNodeId>> = vec![Vec::new(); n];
+        for &(p, c, kind) in &self.edges {
+            if p.index() >= n {
+                return Err(QueryError::UnknownNode(p));
+            }
+            if c.index() >= n {
+                return Err(QueryError::UnknownNode(c));
+            }
+            if p == c {
+                return Err(QueryError::SelfEdge(p));
+            }
+            if parent[c.index()].is_some() {
+                return Err(QueryError::MultipleParents(c));
+            }
+            parent[c.index()] = Some((p, kind));
+            children[p.index()].push(c);
+        }
+        let roots: Vec<usize> = (0..n).filter(|&i| parent[i].is_none()).collect();
+        if roots.len() != 1 {
+            return Err(QueryError::RootCount(roots.len()));
+        }
+        // BFS from the root; remap ids to BFS order.
+        let root = roots[0];
+        let mut order = Vec::with_capacity(n);
+        let mut new_id = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        queue.push_back(root);
+        while let Some(x) = queue.pop_front() {
+            new_id[x] = order.len() as u32;
+            order.push(x);
+            for &c in &children[x] {
+                queue.push_back(c.index());
+            }
+        }
+        if order.len() != n {
+            // Unvisited nodes form a cycle among themselves (every node has a
+            // parent, so they are not roots) — report the first one.
+            let missing = (0..n).find(|&i| new_id[i] == u32::MAX).unwrap();
+            return Err(QueryError::Disconnected(QNodeId(missing as u32)));
+        }
+        let mut nodes: Vec<QueryNode> = order
+            .iter()
+            .map(|&old| {
+                let (p, kind) = match parent[old] {
+                    Some((p, kind)) => (Some(QNodeId(new_id[p.index()])), kind),
+                    None => (None, EdgeKind::Descendant),
+                };
+                let mut kids: Vec<QNodeId> = children[old]
+                    .iter()
+                    .map(|c| QNodeId(new_id[c.index()]))
+                    .collect();
+                kids.sort_unstable();
+                QueryNode {
+                    label: self.labels[old].clone(),
+                    parent: p,
+                    edge_kind: kind,
+                    children: kids,
+                    subtree_size: 1,
+                }
+            })
+            .collect();
+        // Subtree sizes bottom-up (children have larger ids in BFS order).
+        for i in (1..n).rev() {
+            let p = nodes[i].parent.expect("non-root").index();
+            nodes[i] = nodes[i].clone();
+            let sz = nodes[i].subtree_size;
+            nodes[p].subtree_size += sz;
+        }
+        Ok(TreeQuery { nodes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2_query() -> TreeQuery {
+        let mut b = TreeQueryBuilder::new();
+        let u1 = b.node("a");
+        let u2 = b.node("b");
+        let u3 = b.node("c");
+        let u4 = b.node("d");
+        let u5 = b.node("e");
+        b.edge(u1, u2, EdgeKind::Descendant);
+        b.edge(u1, u3, EdgeKind::Descendant);
+        b.edge(u3, u4, EdgeKind::Descendant);
+        b.edge(u3, u5, EdgeKind::Descendant);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bfs_order_property_lemma_3_1() {
+        let q = fig2_query();
+        for u in q.node_ids().skip(1) {
+            assert!(q.parent(u).unwrap() < u, "parent must precede child");
+        }
+        assert_eq!(q.root(), QNodeId(0));
+    }
+
+    #[test]
+    fn bfs_normalization_reorders_nodes() {
+        // Build the same tree with scrambled insertion order; node 0 is a leaf.
+        let mut b = TreeQueryBuilder::new();
+        let d = b.node("d");
+        let c = b.node("c");
+        let a = b.node("a");
+        let e = b.node("e");
+        let bb = b.node("b");
+        b.edge(c, d, EdgeKind::Descendant);
+        b.edge(a, c, EdgeKind::Descendant);
+        b.edge(c, e, EdgeKind::Descendant);
+        b.edge(a, bb, EdgeKind::Descendant);
+        let q = b.build().unwrap();
+        assert_eq!(q.label_name(q.root()), Some("a"));
+        for u in q.node_ids().skip(1) {
+            assert!(q.parent(u).unwrap() < u);
+        }
+        // BFS level order: a at 0; b,c at level 1; d,e at level 2.
+        let names: Vec<_> = q.node_ids().map(|u| q.label_name(u).unwrap()).collect();
+        assert_eq!(names[0], "a");
+        assert!(names[1..3].contains(&"b") && names[1..3].contains(&"c"));
+        assert!(names[3..5].contains(&"d") && names[3..5].contains(&"e"));
+    }
+
+    #[test]
+    fn subtree_sizes_and_remaining_edges() {
+        let q = fig2_query();
+        assert_eq!(q.subtree_size(q.root()), 5);
+        // Find node "c": subtree {c,d,e} = 3.
+        let c = q
+            .node_ids()
+            .find(|&u| q.label_name(u) == Some("c"))
+            .unwrap();
+        assert_eq!(q.subtree_size(c), 3);
+        // L(c) = n_T - 1 - |T_c| = 5 - 1 - 3 = 1 (the edge a->b).
+        assert_eq!(q.remaining_edges(c), 1);
+        let d = q
+            .node_ids()
+            .find(|&u| q.label_name(u) == Some("d"))
+            .unwrap();
+        // L(d) = 5 - 1 - 1 = 3 (edges a->b, a->c, c->e).
+        assert_eq!(q.remaining_edges(d), 3);
+    }
+
+    #[test]
+    fn distinct_labels_detection() {
+        let q = fig2_query();
+        assert!(q.has_distinct_labels());
+        let mut b = TreeQueryBuilder::new();
+        let x = b.node("a");
+        let y = b.node("a");
+        b.edge(x, y, EdgeKind::Descendant);
+        let q2 = b.build().unwrap();
+        assert!(!q2.has_distinct_labels());
+    }
+
+    #[test]
+    fn wildcard_detection() {
+        let mut b = TreeQueryBuilder::new();
+        let x = b.node("a");
+        let y = b.wildcard();
+        b.edge(x, y, EdgeKind::Descendant);
+        let q = b.build().unwrap();
+        assert!(q.has_wildcard());
+        assert!(!q.has_distinct_labels());
+        assert_eq!(q.label_name(QNodeId(1)), None);
+    }
+
+    #[test]
+    fn single_node_query() {
+        let mut b = TreeQueryBuilder::new();
+        b.node("a");
+        let q = b.build().unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.num_edges(), 0);
+        assert!(q.is_leaf(q.root()));
+        assert_eq!(q.remaining_edges(q.root()), 0);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(TreeQueryBuilder::new().build().unwrap_err(), QueryError::Empty);
+    }
+
+    #[test]
+    fn multiple_parents_rejected() {
+        let mut b = TreeQueryBuilder::new();
+        let x = b.node("a");
+        let y = b.node("b");
+        let z = b.node("c");
+        b.edge(x, z, EdgeKind::Descendant);
+        b.edge(y, z, EdgeKind::Descendant);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            QueryError::MultipleParents(_)
+        ));
+    }
+
+    #[test]
+    fn forest_rejected() {
+        let mut b = TreeQueryBuilder::new();
+        b.node("a");
+        b.node("b");
+        assert_eq!(b.build().unwrap_err(), QueryError::RootCount(2));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = TreeQueryBuilder::new();
+        let x = b.node("a");
+        let y = b.node("b");
+        let z = b.node("c");
+        b.edge(x, y, EdgeKind::Descendant);
+        b.edge(y, z, EdgeKind::Descendant);
+        b.edge(z, x, EdgeKind::Descendant);
+        assert_eq!(b.build().unwrap_err(), QueryError::RootCount(0));
+    }
+
+    #[test]
+    fn detached_cycle_rejected() {
+        let mut b = TreeQueryBuilder::new();
+        let r = b.node("r");
+        let x = b.node("a");
+        let y = b.node("b");
+        let _ = r;
+        b.edge(x, y, EdgeKind::Descendant);
+        b.edge(y, x, EdgeKind::Descendant);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            QueryError::Disconnected(_)
+        ));
+    }
+
+    #[test]
+    fn edge_kinds_preserved() {
+        let mut b = TreeQueryBuilder::new();
+        let x = b.node("a");
+        let y = b.node("b");
+        let z = b.node("c");
+        b.edge(x, y, EdgeKind::Child);
+        b.edge(x, z, EdgeKind::Descendant);
+        let q = b.build().unwrap();
+        let yq = q
+            .node_ids()
+            .find(|&u| q.label_name(u) == Some("b"))
+            .unwrap();
+        assert_eq!(q.edge_kind(yq), EdgeKind::Child);
+        assert!(!q.is_pure_descendant());
+    }
+
+    #[test]
+    fn resolve_against_interner() {
+        let mut interner = LabelInterner::new();
+        let a = interner.intern("a");
+        interner.intern("b");
+        let mut b = TreeQueryBuilder::new();
+        let x = b.node("a");
+        let y = b.node("zzz");
+        let z = b.wildcard();
+        b.edge(x, y, EdgeKind::Descendant);
+        b.edge(x, z, EdgeKind::Descendant);
+        let q = b.build().unwrap().resolve(&interner);
+        assert_eq!(q.label(QNodeId(0)), QueryLabel::Label(a));
+        let labels: Vec<_> = (1..3).map(|i| q.label(QNodeId(i))).collect();
+        assert!(labels.contains(&QueryLabel::Unmatchable));
+        assert!(labels.contains(&QueryLabel::Wildcard));
+    }
+
+    #[test]
+    fn max_degree_counts_parent_edge() {
+        let q = fig2_query();
+        // Root a has 2 children => degree 2; c has 2 children + parent => 3.
+        assert_eq!(q.max_degree(), 3);
+    }
+
+    #[test]
+    fn edges_iterator_yields_all() {
+        let q = fig2_query();
+        let edges: Vec<_> = q.edges().collect();
+        assert_eq!(edges.len(), 4);
+        for (p, c, _) in edges {
+            assert!(p < c);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Per-query-node candidate sets.
+//!
+//! Candidate discovery differs by loading mode:
+//!
+//! * **Full mode** ([`CandidateSets::from_labels`]) — every data node with
+//!   the right label is a candidate (§3.2's `V_i`); wildcards admit every
+//!   node.
+//! * **Priority mode** ([`CandidateSets::from_d_tables`]) — non-root
+//!   candidates come from the `Dᵅᵦ` tables (only nodes with at least one
+//!   incoming closure edge from the parent label can ever be matched),
+//!   which is both what §4.1 loads at initialization and a useful pruning.
+
+use ktpm_graph::{Dist, NodeId};
+use ktpm_query::{EdgeKind, QNodeId, QueryLabel, ResolvedQuery};
+use ktpm_storage::ClosureSource;
+use std::collections::HashMap;
+
+/// Candidate sets `V_u` for every query node, with dense per-node indices.
+#[derive(Debug, Clone)]
+pub struct CandidateSets {
+    /// `cands[u]` — candidate data nodes of query node `u`, ascending.
+    cands: Vec<Vec<NodeId>>,
+    /// `index[u]` — reverse map data node -> dense candidate index.
+    index: Vec<HashMap<NodeId, u32>>,
+}
+
+impl CandidateSets {
+    /// Full-mode discovery: all nodes carrying the query label.
+    pub fn from_labels(query: &ResolvedQuery, source: &dyn ClosureSource) -> Self {
+        let n_t = query.len();
+        let mut cands: Vec<Vec<NodeId>> = vec![Vec::new(); n_t];
+        for i in 0..source.num_nodes() {
+            let v = NodeId(i as u32);
+            let l = source.node_label(v);
+            for u in query.tree().node_ids() {
+                match query.label(u) {
+                    QueryLabel::Label(ql) if ql == l => cands[u.index()].push(v),
+                    QueryLabel::Wildcard => cands[u.index()].push(v),
+                    _ => {}
+                }
+            }
+        }
+        Self::finish(cands)
+    }
+
+    /// Priority-mode discovery from `D` tables: the root keeps its full
+    /// label bucket; every other node keeps only nodes with at least one
+    /// incoming closure edge from the parent's label. Returns the sets and
+    /// the initial `eᵥ` lower bounds (`dᵅᵥ`, §4.1) per candidate.
+    pub fn from_d_tables(
+        query: &ResolvedQuery,
+        source: &dyn ClosureSource,
+    ) -> (Self, Vec<Vec<Dist>>) {
+        let n_t = query.len();
+        let mut cands: Vec<Vec<NodeId>> = vec![Vec::new(); n_t];
+        let mut evs: Vec<Vec<Dist>> = vec![Vec::new(); n_t];
+        // Root: full label bucket (root nodes need no incoming edges).
+        for i in 0..source.num_nodes() {
+            let v = NodeId(i as u32);
+            let l = source.node_label(v);
+            match query.label(query.tree().root()) {
+                QueryLabel::Label(ql) if ql == l => cands[0].push(v),
+                QueryLabel::Wildcard => cands[0].push(v),
+                _ => {}
+            }
+        }
+        evs[0] = vec![0; cands[0].len()];
+        // Non-root: D-table driven.
+        for u in query.tree().node_ids().skip(1) {
+            let p = query.tree().parent(u).expect("non-root");
+            let direct_only = query.tree().edge_kind(u) == EdgeKind::Child;
+            let mut merged: HashMap<NodeId, Dist> = HashMap::new();
+            for (a, b) in label_pairs(query, source, p, u) {
+                for (v, d) in source.load_d(a, b) {
+                    merged
+                        .entry(v)
+                        .and_modify(|cur| *cur = (*cur).min(d))
+                        .or_insert(d);
+                }
+            }
+            let mut list: Vec<(NodeId, Dist)> = merged
+                .into_iter()
+                .filter(|&(_, d)| !direct_only || d == 1)
+                .collect();
+            list.sort_unstable_by_key(|&(v, _)| v);
+            for (v, d) in list {
+                cands[u.index()].push(v);
+                evs[u.index()].push(d);
+            }
+        }
+        (Self::finish(cands), evs)
+    }
+
+    fn finish(cands: Vec<Vec<NodeId>>) -> Self {
+        let index = cands
+            .iter()
+            .map(|list| {
+                list.iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, i as u32))
+                    .collect()
+            })
+            .collect();
+        CandidateSets { cands, index }
+    }
+
+    /// Candidates of query node `u`, ascending by data node id.
+    #[inline]
+    pub fn of(&self, u: QNodeId) -> &[NodeId] {
+        &self.cands[u.index()]
+    }
+
+    /// Dense index of data node `v` within `u`'s candidate set.
+    #[inline]
+    pub fn index_of(&self, u: QNodeId, v: NodeId) -> Option<u32> {
+        self.index[u.index()].get(&v).copied()
+    }
+
+    /// The data node at a dense index.
+    #[inline]
+    pub fn node(&self, u: QNodeId, idx: u32) -> NodeId {
+        self.cands[u.index()][idx as usize]
+    }
+
+    /// Number of candidates of `u`.
+    #[inline]
+    pub fn len(&self, u: QNodeId) -> usize {
+        self.cands[u.index()].len()
+    }
+
+    /// Whether any query node has an empty candidate set (no matches).
+    pub fn any_empty(&self) -> bool {
+        self.cands.iter().any(Vec::is_empty)
+    }
+
+    /// Total candidates across all query nodes (the paper's `n_R`, with
+    /// per-query-node copies counted separately as §5 prescribes).
+    pub fn total(&self) -> usize {
+        self.cands.iter().map(Vec::len).sum()
+    }
+}
+
+/// The closure label pairs feeding query edge `(p, u)`: the cross product
+/// of the endpoint label sets, restricted to non-empty tables. Wildcards
+/// expand to every label present in the store.
+pub fn label_pairs(
+    query: &ResolvedQuery,
+    source: &dyn ClosureSource,
+    p: QNodeId,
+    u: QNodeId,
+) -> Vec<(ktpm_graph::LabelId, ktpm_graph::LabelId)> {
+    let keys = source.pair_keys();
+    keys.into_iter()
+        .filter(|&(a, b)| {
+            let src_ok = match query.label(p) {
+                QueryLabel::Label(l) => l == a,
+                QueryLabel::Wildcard => true,
+                QueryLabel::Unmatchable => false,
+            };
+            let dst_ok = match query.label(u) {
+                QueryLabel::Label(l) => l == b,
+                QueryLabel::Wildcard => true,
+                QueryLabel::Unmatchable => false,
+            };
+            src_ok && dst_ok
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktpm_closure::ClosureTables;
+    use ktpm_graph::fixtures::paper_graph;
+    use ktpm_query::TreeQuery;
+    use ktpm_storage::MemStore;
+
+    fn setup(query_text: &str) -> (MemStore, ResolvedQuery) {
+        let g = paper_graph();
+        let q = TreeQuery::parse(query_text).unwrap().resolve(g.interner());
+        (MemStore::new(ClosureTables::compute(&g)), q)
+    }
+
+    #[test]
+    fn full_mode_uses_label_buckets() {
+        let (store, q) = setup("a -> b\na -> c\nc -> d\nc -> e");
+        let sets = CandidateSets::from_labels(&q, &store);
+        assert_eq!(sets.of(QNodeId(0)), &[NodeId(0), NodeId(1)]); // v1, v2
+        assert_eq!(sets.total(), 10); // 2 per label, 5 query nodes
+        assert!(!sets.any_empty());
+        assert_eq!(sets.index_of(QNodeId(0), NodeId(1)), Some(1));
+        assert_eq!(sets.node(QNodeId(0), 1), NodeId(1));
+    }
+
+    #[test]
+    fn d_mode_prunes_unreachable_candidates() {
+        let (store, q) = setup("a -> b\na -> c\nc -> d\nc -> e");
+        let (sets, evs) = CandidateSets::from_d_tables(&q, &store);
+        // Root keeps both a-nodes.
+        assert_eq!(sets.len(QNodeId(0)), 2);
+        // b-candidates reachable from a: v3 (dist 1) and v4 (dist 2).
+        let b_node = q
+            .tree()
+            .node_ids()
+            .find(|&u| q.tree().label_name(u) == Some("b"))
+            .unwrap();
+        assert_eq!(sets.of(b_node), &[NodeId(2), NodeId(3)]);
+        // d^a_{v3} = 1 (v1->v3); d^a_{v4} = 2 (v1->v3->v4).
+        assert_eq!(evs[b_node.index()], vec![1, 2]);
+    }
+
+    #[test]
+    fn d_mode_child_edge_requires_distance_one() {
+        // '/' edge from c to e: direct edges only. v9 has δ(v5,v9)=1 so it
+        // stays; but with parent b -> e nothing is at distance 1.
+        let (store, q) = setup("c => e");
+        let (sets, _) = CandidateSets::from_d_tables(&q, &store);
+        let e_node = QNodeId(1);
+        assert_eq!(sets.of(e_node), &[NodeId(8)]); // only v9 (δ(v5,v9)=1)
+    }
+
+    #[test]
+    fn wildcard_admits_every_node() {
+        let (store, q) = setup("a -> *#1");
+        let sets = CandidateSets::from_labels(&q, &store);
+        assert_eq!(sets.len(QNodeId(1)), 13);
+    }
+
+    #[test]
+    fn unmatchable_label_is_empty() {
+        let (store, q) = setup("a -> nosuchlabel");
+        let sets = CandidateSets::from_labels(&q, &store);
+        assert!(sets.any_empty());
+    }
+
+    #[test]
+    fn label_pairs_for_wildcard_edges() {
+        let (store, q) = setup("a -> *#1");
+        let pairs = label_pairs(&q, &store, QNodeId(0), QNodeId(1));
+        // Every pair key starting from label 'a'.
+        let g = paper_graph();
+        let a = g.interner().get("a").unwrap();
+        assert!(!pairs.is_empty());
+        assert!(pairs.iter().all(|&(x, _)| x == a));
+    }
+}

@@ -1,0 +1,71 @@
+//! Binary layout of the closure store file.
+//!
+//! ```text
+//! magic "KTPMCLO1"
+//! u32 num_nodes, u32 num_labels
+//! labels: num_nodes * u32
+//! per pair (in index order):
+//!   D section:    u32 count, count * (u32 node, u32 dist)
+//!   E section:    u32 count, count * (u32 src, u32 dst, u32 dist)
+//!   L directory:  u32 group_count, group_count * (u32 dst, u64 abs_off, u32 len)
+//!   L groups:     per group: len * (u32 src, u32 dist), ascending dist
+//! index: u32 num_pairs, num_pairs * (u32 a, u32 b, u64 d_off, u64 e_off, u64 dir_off)
+//! footer: u64 index_offset, magic "KTPMCLO1"
+//! ```
+//!
+//! All integers little-endian. The `L` layout mirrors §4.1: incoming
+//! edges of each node, grouped exclusively per (source label, node),
+//! sorted by distance, addressable without scanning the table.
+
+pub const MAGIC: &[u8; 8] = b"KTPMCLO1";
+pub const FOOTER_LEN: u64 = 8 + 8;
+
+/// Size of one `L` entry on disk: `(u32 src, u32 dist)`.
+pub const L_ENTRY_BYTES: usize = 8;
+
+/// Default cursor block size in `L` entries (512 bytes per block).
+pub const DEFAULT_BLOCK_EDGES: usize = 64;
+
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn get_u32(buf: &[u8], pos: &mut usize) -> u32 {
+    let v = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().expect("u32"));
+    *pos += 4;
+    v
+}
+
+pub fn get_u64(buf: &[u8], pos: &mut usize) -> u64 {
+    let v = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().expect("u64"));
+    *pos += 8;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_roundtrip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u32(&mut buf, 7);
+        let mut pos = 0;
+        assert_eq!(get_u32(&buf, &mut pos), 0xDEAD_BEEF);
+        assert_eq!(get_u32(&buf, &mut pos), 7);
+        assert_eq!(pos, 8);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX - 3);
+        let mut pos = 0;
+        assert_eq!(get_u64(&buf, &mut pos), u64::MAX - 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! Atomic I/O accounting shared between a store and its cursors.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared atomic I/O counters. Cloning shares the underlying counters.
+#[derive(Debug, Default, Clone)]
+pub struct IoStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    block_reads: AtomicU64,
+    bytes_read: AtomicU64,
+    edges_read: AtomicU64,
+    d_entries: AtomicU64,
+    e_entries: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Positioned block fetches issued (file) or simulated (memory).
+    pub block_reads: u64,
+    /// Bytes transferred (logical for [`crate::MemStore`]).
+    pub bytes_read: u64,
+    /// Closure edges materialized from `L` tables (the paper's `m'_R`).
+    pub edges_read: u64,
+    /// `D` table entries loaded at initialization.
+    pub d_entries: u64,
+    /// `E` table entries loaded at initialization.
+    pub e_entries: u64,
+}
+
+impl IoStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn add_block(&self, bytes: u64) {
+        self.inner.block_reads.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_edges(&self, n: u64) {
+        self.inner.edges_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_d_entries(&self, n: u64) {
+        self.inner.d_entries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_e_entries(&self, n: u64) {
+        self.inner.e_entries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads all counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            block_reads: self.inner.block_reads.load(Ordering::Relaxed),
+            bytes_read: self.inner.bytes_read.load(Ordering::Relaxed),
+            edges_read: self.inner.edges_read.load(Ordering::Relaxed),
+            d_entries: self.inner.d_entries.load(Ordering::Relaxed),
+            e_entries: self.inner.e_entries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes all counters.
+    pub fn reset(&self) {
+        self.inner.block_reads.store(0, Ordering::Relaxed);
+        self.inner.bytes_read.store(0, Ordering::Relaxed);
+        self.inner.edges_read.store(0, Ordering::Relaxed);
+        self.inner.d_entries.store(0, Ordering::Relaxed);
+        self.inner.e_entries.store(0, Ordering::Relaxed);
+    }
+}
+
+impl IoSnapshot {
+    /// Difference since an earlier snapshot.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            block_reads: self.block_reads - earlier.block_reads,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            edges_read: self.edges_read - earlier.edges_read,
+            d_entries: self.d_entries - earlier.d_entries,
+            e_entries: self.e_entries - earlier.e_entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = IoStats::new();
+        s.add_block(4096);
+        s.add_block(4096);
+        s.add_edges(10);
+        s.add_d_entries(3);
+        s.add_e_entries(5);
+        let snap = s.snapshot();
+        assert_eq!(snap.block_reads, 2);
+        assert_eq!(snap.bytes_read, 8192);
+        assert_eq!(snap.edges_read, 10);
+        assert_eq!(snap.d_entries, 3);
+        assert_eq!(snap.e_entries, 5);
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let s = IoStats::new();
+        let c = s.clone();
+        c.add_edges(7);
+        assert_eq!(s.snapshot().edges_read, 7);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = IoStats::new();
+        s.add_edges(5);
+        let a = s.snapshot();
+        s.add_edges(3);
+        let b = s.snapshot();
+        assert_eq!(b.since(&a).edges_read, 3);
+    }
+}

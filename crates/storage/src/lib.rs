@@ -1,0 +1,36 @@
+//! # ktpm-storage
+//!
+//! The storage layer of §4.1: the transitive closure serialized as
+//! label-pair tables (`Dᵅᵦ`, `Eᵅᵦ`, and `Lᵅᵦ` grouped per destination
+//! node sorted by distance), read back block by block with I/O
+//! accounting.
+//!
+//! Three interchangeable backends implement [`ClosureSource`]:
+//!
+//! * [`FileStore`] — a single binary file with real positioned block
+//!   reads ([`write_store`] serializes a
+//!   [`ktpm_closure::ClosureTables`]); this is what the paper's
+//!   disk-resident run-time graph becomes;
+//! * [`MemStore`] — the same logical layout in memory, with the same
+//!   logical I/O counters, for tests and pure-CPU benchmarks;
+//! * [`OnDemandStore`] — no precomputation at all: pair tables are
+//!   materialized lazily from the data graph, one SSSP sweep per source
+//!   label (§5 "Managing Closure Size").
+//!
+//! All counters live in [`IoStats`] snapshots so experiments can report
+//! edges/blocks/bytes read per phase (Figures 6(c)–6(f)).
+
+mod format;
+mod iostats;
+mod mem;
+mod ondemand;
+mod reader;
+mod source;
+mod writer;
+
+pub use iostats::{IoSnapshot, IoStats};
+pub use mem::MemStore;
+pub use ondemand::OnDemandStore;
+pub use reader::FileStore;
+pub use source::{merge_sorted_blocks, ClosureSource, EdgeCursor, StorageError};
+pub use writer::write_store;

@@ -1,0 +1,312 @@
+//! The file-backed [`ClosureSource`] with positioned block reads.
+
+use crate::format::*;
+use crate::iostats::{IoSnapshot, IoStats};
+use crate::source::{ClosureSource, EdgeCursor, StorageError};
+use ktpm_graph::{Dist, LabelId, NodeId};
+use std::collections::HashMap;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// One `L` directory entry: `(dst, absolute offset, entry count)`.
+type DirEntry = (NodeId, u64, u32);
+
+struct Shared {
+    file: Mutex<std::fs::File>,
+    io: IoStats,
+}
+
+impl Shared {
+    /// One positioned read = one counted block fetch.
+    fn read_at(&self, off: u64, buf: &mut [u8]) -> Result<(), StorageError> {
+        let mut f = self.file.lock().expect("store file lock");
+        f.seek(SeekFrom::Start(off))?;
+        f.read_exact(buf)?;
+        self.io.add_block(buf.len() as u64);
+        Ok(())
+    }
+}
+
+/// A closure store opened from disk. All reads go through real positioned
+/// I/O and are counted in [`IoStats`].
+pub struct FileStore {
+    shared: Arc<Shared>,
+    labels: Vec<LabelId>,
+    index: HashMap<(LabelId, LabelId), (u64, u64, u64)>,
+    /// Lazily loaded per-pair `L` directories.
+    dirs: Mutex<HashMap<(LabelId, LabelId), Arc<Vec<DirEntry>>>>,
+    block_edges: usize,
+}
+
+impl FileStore {
+    /// Opens a store written by [`crate::write_store`].
+    pub fn open(path: &Path) -> Result<Self, StorageError> {
+        Self::open_with_block_edges(path, DEFAULT_BLOCK_EDGES)
+    }
+
+    /// Opens with an explicit cursor block size (in `L` entries).
+    pub fn open_with_block_edges(path: &Path, block_edges: usize) -> Result<Self, StorageError> {
+        let mut file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        if len < FOOTER_LEN + 16 {
+            return Err(StorageError::BadFormat("file too short".into()));
+        }
+        // Header.
+        let mut head = [0u8; 16];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut head)?;
+        if &head[..8] != MAGIC {
+            return Err(StorageError::BadFormat("bad magic".into()));
+        }
+        let mut pos = 8;
+        let num_nodes = get_u32(&head, &mut pos) as usize;
+        let _num_labels = get_u32(&head, &mut pos);
+        let mut label_buf = vec![0u8; num_nodes * 4];
+        file.read_exact(&mut label_buf)?;
+        let labels: Vec<LabelId> = label_buf
+            .chunks_exact(4)
+            .map(|c| LabelId(u32::from_le_bytes(c.try_into().unwrap())))
+            .collect();
+        // Footer.
+        let mut foot = [0u8; FOOTER_LEN as usize];
+        file.seek(SeekFrom::Start(len - FOOTER_LEN))?;
+        file.read_exact(&mut foot)?;
+        if &foot[8..] != MAGIC {
+            return Err(StorageError::BadFormat("bad footer magic".into()));
+        }
+        let mut pos = 0;
+        let index_off = get_u64(&foot, &mut pos);
+        // Index.
+        file.seek(SeekFrom::Start(index_off))?;
+        let mut count_buf = [0u8; 4];
+        file.read_exact(&mut count_buf)?;
+        let num_pairs = u32::from_le_bytes(count_buf) as usize;
+        let mut idx_buf = vec![0u8; num_pairs * (4 + 4 + 8 + 8 + 8)];
+        file.read_exact(&mut idx_buf)?;
+        let mut index = HashMap::with_capacity(num_pairs);
+        let mut pos = 0;
+        for _ in 0..num_pairs {
+            let a = LabelId(get_u32(&idx_buf, &mut pos));
+            let b = LabelId(get_u32(&idx_buf, &mut pos));
+            let d = get_u64(&idx_buf, &mut pos);
+            let e = get_u64(&idx_buf, &mut pos);
+            let dir = get_u64(&idx_buf, &mut pos);
+            index.insert((a, b), (d, e, dir));
+        }
+        Ok(FileStore {
+            shared: Arc::new(Shared {
+                file: Mutex::new(file),
+                io: IoStats::new(),
+            }),
+            labels,
+            index,
+            dirs: Mutex::new(HashMap::new()),
+            block_edges: block_edges.max(1),
+        })
+    }
+
+    fn directory(
+        &self,
+        a: LabelId,
+        b: LabelId,
+    ) -> Result<Option<Arc<Vec<DirEntry>>>, StorageError> {
+        if let Some(dir) = self.dirs.lock().expect("dir cache").get(&(a, b)) {
+            return Ok(Some(dir.clone()));
+        }
+        let Some(&(_, _, dir_off)) = self.index.get(&(a, b)) else {
+            return Ok(None);
+        };
+        let mut count_buf = [0u8; 4];
+        self.shared.read_at(dir_off, &mut count_buf)?;
+        let count = u32::from_le_bytes(count_buf) as usize;
+        let mut buf = vec![0u8; count * (4 + 8 + 4)];
+        self.shared.read_at(dir_off + 4, &mut buf)?;
+        let mut pos = 0;
+        let mut dir = Vec::with_capacity(count);
+        for _ in 0..count {
+            let v = NodeId(get_u32(&buf, &mut pos));
+            let off = get_u64(&buf, &mut pos);
+            let len = get_u32(&buf, &mut pos);
+            dir.push((v, off, len));
+        }
+        let dir = Arc::new(dir);
+        self.dirs
+            .lock()
+            .expect("dir cache")
+            .insert((a, b), dir.clone());
+        Ok(Some(dir))
+    }
+
+    fn read_group(&self, off: u64, len: usize) -> Result<Vec<(NodeId, Dist)>, StorageError> {
+        let mut buf = vec![0u8; len * L_ENTRY_BYTES];
+        self.shared.read_at(off, &mut buf)?;
+        let mut pos = 0;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            let s = NodeId(get_u32(&buf, &mut pos));
+            let d = get_u32(&buf, &mut pos);
+            out.push((s, d));
+        }
+        self.shared.io.add_edges(len as u64);
+        Ok(out)
+    }
+}
+
+impl ClosureSource for FileStore {
+    fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn node_label(&self, v: NodeId) -> LabelId {
+        self.labels[v.index()]
+    }
+
+    fn pair_keys(&self) -> Vec<(LabelId, LabelId)> {
+        let mut keys: Vec<_> = self.index.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    fn load_d(&self, a: LabelId, b: LabelId) -> Vec<(NodeId, Dist)> {
+        let Some(&(d_off, _, _)) = self.index.get(&(a, b)) else {
+            return Vec::new();
+        };
+        let mut count_buf = [0u8; 4];
+        if self.shared.read_at(d_off, &mut count_buf).is_err() {
+            return Vec::new();
+        }
+        let count = u32::from_le_bytes(count_buf) as usize;
+        let mut buf = vec![0u8; count * 8];
+        if self.shared.read_at(d_off + 4, &mut buf).is_err() {
+            return Vec::new();
+        }
+        let mut pos = 0;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let v = NodeId(get_u32(&buf, &mut pos));
+            let dist = get_u32(&buf, &mut pos);
+            out.push((v, dist));
+        }
+        self.shared.io.add_d_entries(count as u64);
+        out
+    }
+
+    fn load_e(&self, a: LabelId, b: LabelId) -> Vec<(NodeId, NodeId, Dist)> {
+        let Some(&(_, e_off, _)) = self.index.get(&(a, b)) else {
+            return Vec::new();
+        };
+        let mut count_buf = [0u8; 4];
+        if self.shared.read_at(e_off, &mut count_buf).is_err() {
+            return Vec::new();
+        }
+        let count = u32::from_le_bytes(count_buf) as usize;
+        let mut buf = vec![0u8; count * 12];
+        if self.shared.read_at(e_off + 4, &mut buf).is_err() {
+            return Vec::new();
+        }
+        let mut pos = 0;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let s = NodeId(get_u32(&buf, &mut pos));
+            let d = NodeId(get_u32(&buf, &mut pos));
+            let dist = get_u32(&buf, &mut pos);
+            out.push((s, d, dist));
+        }
+        self.shared.io.add_e_entries(count as u64);
+        out
+    }
+
+    fn load_pair(&self, a: LabelId, b: LabelId) -> Vec<(NodeId, NodeId, Dist)> {
+        let Ok(Some(dir)) = self.directory(a, b) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for &(v, off, len) in dir.iter() {
+            match self.read_group(off, len as usize) {
+                Ok(group) => out.extend(group.into_iter().map(|(s, d)| (s, v, d))),
+                Err(_) => return out,
+            }
+        }
+        out
+    }
+
+    fn incoming_cursor(&self, a: LabelId, v: NodeId) -> Box<dyn EdgeCursor + '_> {
+        let entry = self
+            .directory(a, self.node_label(v))
+            .ok()
+            .flatten()
+            .and_then(|dir| {
+                dir.binary_search_by_key(&v, |&(n, _, _)| n)
+                    .ok()
+                    .map(|i| dir[i])
+            });
+        match entry {
+            Some((_, off, len)) => Box::new(FileCursor {
+                shared: self.shared.clone(),
+                off,
+                remaining: len as usize,
+                block_edges: self.block_edges,
+            }),
+            None => Box::new(FileCursor {
+                shared: self.shared.clone(),
+                off: 0,
+                remaining: 0,
+                block_edges: self.block_edges,
+            }),
+        }
+    }
+
+    fn lookup_dist(&self, u: NodeId, v: NodeId) -> Option<Dist> {
+        let a = self.node_label(u);
+        let dir = self.directory(a, self.node_label(v)).ok().flatten()?;
+        let i = dir.binary_search_by_key(&v, |&(n, _, _)| n).ok()?;
+        let (_, off, len) = dir[i];
+        let group = self.read_group(off, len as usize).ok()?;
+        group.into_iter().find(|&(s, _)| s == u).map(|(_, d)| d)
+    }
+
+    fn io(&self) -> IoSnapshot {
+        self.shared.io.snapshot()
+    }
+
+    fn reset_io(&self) {
+        self.shared.io.reset();
+    }
+}
+
+struct FileCursor {
+    shared: Arc<Shared>,
+    off: u64,
+    remaining: usize,
+    block_edges: usize,
+}
+
+impl EdgeCursor for FileCursor {
+    fn next_block(&mut self) -> Vec<(NodeId, Dist)> {
+        if self.remaining == 0 {
+            return Vec::new();
+        }
+        let take = self.remaining.min(self.block_edges);
+        let mut buf = vec![0u8; take * L_ENTRY_BYTES];
+        if self.shared.read_at(self.off, &mut buf).is_err() {
+            self.remaining = 0;
+            return Vec::new();
+        }
+        let mut pos = 0;
+        let mut out = Vec::with_capacity(take);
+        for _ in 0..take {
+            let s = NodeId(get_u32(&buf, &mut pos));
+            let d = get_u32(&buf, &mut pos);
+            out.push((s, d));
+        }
+        self.off += (take * L_ENTRY_BYTES) as u64;
+        self.remaining -= take;
+        self.shared.io.add_edges(take as u64);
+        out
+    }
+
+    fn remaining(&self) -> usize {
+        self.remaining
+    }
+}

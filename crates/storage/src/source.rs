@@ -1,0 +1,132 @@
+//! The [`ClosureSource`] trait — the storage interface every matching
+//! algorithm consumes — plus cursor utilities.
+
+use crate::iostats::IoSnapshot;
+use ktpm_graph::{Dist, LabelId, NodeId};
+use std::fmt;
+
+/// Errors raised by storage backends.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a closure store or has an unsupported version.
+    BadFormat(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::BadFormat(m) => write!(f, "bad store format: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// A block-at-a-time cursor over `Lᵅᵥ`: the incoming closure edges of one
+/// node from one source label, in ascending distance order (§4.1).
+pub trait EdgeCursor {
+    /// Loads the next block of `(source, dist)` entries. An empty vector
+    /// means the list is exhausted.
+    fn next_block(&mut self) -> Vec<(NodeId, Dist)>;
+
+    /// Entries not yet returned.
+    fn remaining(&self) -> usize;
+
+    /// Whether all entries have been returned.
+    fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+/// The storage interface of §3.1/§4.1: label-pair tables over the
+/// transitive closure. Implemented by [`crate::FileStore`] (real block
+/// I/O) and [`crate::MemStore`].
+pub trait ClosureSource {
+    /// Number of nodes of the underlying data graph.
+    fn num_nodes(&self) -> usize;
+
+    /// The label of a data node.
+    fn node_label(&self, v: NodeId) -> LabelId;
+
+    /// All non-empty label pairs `(src label, dst label)`.
+    fn pair_keys(&self) -> Vec<(LabelId, LabelId)>;
+
+    /// `Dᵅᵦ`: per β-labeled destination node, the minimum incoming
+    /// distance from any α-labeled node. Ascending node order.
+    fn load_d(&self, src_label: LabelId, dst_label: LabelId) -> Vec<(NodeId, Dist)>;
+
+    /// `Eᵅᵦ`: per α-labeled source node with at least one β-labeled
+    /// descendant, its minimum outgoing closure edge. Ascending source.
+    fn load_e(&self, src_label: LabelId, dst_label: LabelId) -> Vec<(NodeId, NodeId, Dist)>;
+
+    /// The whole `Lᵅᵦ` table as `(src, dst, dist)` triples (used by the
+    /// full-loading algorithms `Topk` and `DP-B`).
+    fn load_pair(&self, src_label: LabelId, dst_label: LabelId) -> Vec<(NodeId, NodeId, Dist)>;
+
+    /// Opens a block cursor over `Lᵅᵥ` (incoming edges of `v` from
+    /// α-labeled sources, ascending distance).
+    fn incoming_cursor(&self, src_label: LabelId, v: NodeId) -> Box<dyn EdgeCursor + '_>;
+
+    /// Point lookup `δ_min(u, v)` (used by kGPM verification).
+    fn lookup_dist(&self, u: NodeId, v: NodeId) -> Option<Dist>;
+
+    /// Current I/O counters.
+    fn io(&self) -> IoSnapshot;
+
+    /// Zeroes the I/O counters.
+    fn reset_io(&self);
+}
+
+/// Merges pre-sorted `(src, dist)` blocks from several cursors into a
+/// single ascending-distance stream, used for wildcard query nodes whose
+/// incoming lists span every source label.
+///
+/// This is an eager k-way merge of whole lists (wildcards are rare; §5
+/// notes they make the run-time graph large regardless).
+pub fn merge_sorted_blocks(mut lists: Vec<Vec<(NodeId, Dist)>>) -> Vec<(NodeId, Dist)> {
+    match lists.len() {
+        0 => Vec::new(),
+        1 => lists.pop().unwrap(),
+        _ => {
+            let mut all: Vec<(NodeId, Dist)> = lists.into_iter().flatten().collect();
+            all.sort_unstable_by_key(|&(s, d)| (d, s));
+            all
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_empty() {
+        assert!(merge_sorted_blocks(vec![]).is_empty());
+    }
+
+    #[test]
+    fn merge_single_passthrough() {
+        let l = vec![(NodeId(3), 1), (NodeId(1), 5)];
+        assert_eq!(merge_sorted_blocks(vec![l.clone()]), l);
+    }
+
+    #[test]
+    fn merge_orders_by_distance_then_node() {
+        let a = vec![(NodeId(0), 2), (NodeId(1), 4)];
+        let b = vec![(NodeId(5), 1), (NodeId(2), 2)];
+        let merged = merge_sorted_blocks(vec![a, b]);
+        assert_eq!(
+            merged,
+            vec![(NodeId(5), 1), (NodeId(0), 2), (NodeId(2), 2), (NodeId(1), 4)]
+        );
+    }
+}

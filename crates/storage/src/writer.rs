@@ -1,0 +1,104 @@
+//! Serializes a [`ClosureTables`] into the on-disk store format.
+
+use crate::format::*;
+use crate::source::StorageError;
+use ktpm_closure::ClosureTables;
+use ktpm_graph::NodeId;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Writes the closure store file for `tables` at `path`.
+///
+/// Pairs are written in sorted key order so the output is deterministic.
+pub fn write_store(tables: &ClosureTables, path: &Path) -> Result<(), StorageError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let mut offset: u64 = 0;
+    let emit = |w: &mut BufWriter<std::fs::File>, buf: &[u8], offset: &mut u64| {
+        w.write_all(buf).map(|()| *offset += buf.len() as u64)
+    };
+
+    // Header.
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    let n = tables.num_nodes();
+    let num_labels = (0..n)
+        .map(|i| tables.label(NodeId(i as u32)).0 + 1)
+        .max()
+        .unwrap_or(0);
+    put_u32(&mut buf, n as u32);
+    put_u32(&mut buf, num_labels);
+    for i in 0..n {
+        put_u32(&mut buf, tables.label(NodeId(i as u32)).0);
+    }
+    emit(&mut w, &buf, &mut offset)?;
+
+    let mut keys: Vec<_> = tables.iter_pairs().map(|(k, _)| k).collect();
+    keys.sort_unstable();
+
+    // Per-pair sections.
+    let mut index_entries: Vec<(u32, u32, u64, u64, u64)> = Vec::with_capacity(keys.len());
+    for &(a, b) in &keys {
+        let table = tables.pair(a, b).expect("key from iter_pairs");
+        let d_off = offset;
+        let mut buf = Vec::new();
+        // D section: min incoming distance per destination node.
+        put_u32(&mut buf, table.dst_nodes().len() as u32);
+        for &v in table.dst_nodes() {
+            put_u32(&mut buf, v.0);
+            put_u32(&mut buf, table.min_incoming_dist(v).expect("non-empty group"));
+        }
+        emit(&mut w, &buf, &mut offset)?;
+
+        // E section.
+        let e_off = offset;
+        let mut buf = Vec::new();
+        put_u32(&mut buf, table.min_out().len() as u32);
+        for &(s, d, dist) in table.min_out() {
+            put_u32(&mut buf, s.0);
+            put_u32(&mut buf, d.0);
+            put_u32(&mut buf, dist);
+        }
+        emit(&mut w, &buf, &mut offset)?;
+
+        // L directory + groups. Directory entries carry absolute offsets,
+        // so compute the groups' base first.
+        let dir_off = offset;
+        let dir_bytes = 4 + table.dst_nodes().len() * (4 + 8 + 4);
+        let mut groups_base = dir_off + dir_bytes as u64;
+        let mut buf = Vec::new();
+        put_u32(&mut buf, table.dst_nodes().len() as u32);
+        for &v in table.dst_nodes() {
+            let len = table.incoming(v).len();
+            put_u32(&mut buf, v.0);
+            put_u64(&mut buf, groups_base);
+            put_u32(&mut buf, len as u32);
+            groups_base += (len * L_ENTRY_BYTES) as u64;
+        }
+        for &v in table.dst_nodes() {
+            for &(s, dist) in table.incoming(v) {
+                put_u32(&mut buf, s.0);
+                put_u32(&mut buf, dist);
+            }
+        }
+        emit(&mut w, &buf, &mut offset)?;
+        index_entries.push((a.0, b.0, d_off, e_off, dir_off));
+    }
+
+    // Index + footer.
+    let index_off = offset;
+    let mut buf = Vec::new();
+    put_u32(&mut buf, index_entries.len() as u32);
+    for (a, b, d, e, dir) in index_entries {
+        put_u32(&mut buf, a);
+        put_u32(&mut buf, b);
+        put_u64(&mut buf, d);
+        put_u64(&mut buf, e);
+        put_u64(&mut buf, dir);
+    }
+    put_u64(&mut buf, index_off);
+    buf.extend_from_slice(MAGIC);
+    emit(&mut w, &buf, &mut offset)?;
+    w.flush()?;
+    Ok(())
+}

@@ -1,0 +1,137 @@
+//! File store round-trip: everything readable from a [`MemStore`] must be
+//! byte-identical when read back through a [`FileStore`].
+
+use ktpm_closure::ClosureTables;
+use ktpm_graph::fixtures::paper_graph;
+use ktpm_graph::{GraphBuilder, NodeId};
+use ktpm_storage::{write_store, ClosureSource, FileStore, MemStore};
+
+fn tempfile(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ktpm-store-test-{}-{}", std::process::id(), name));
+    p
+}
+
+fn check_equivalent(mem: &MemStore, file: &FileStore) {
+    assert_eq!(mem.num_nodes(), file.num_nodes());
+    for i in 0..mem.num_nodes() {
+        let v = NodeId(i as u32);
+        assert_eq!(mem.node_label(v), file.node_label(v));
+    }
+    assert_eq!(mem.pair_keys(), file.pair_keys());
+    for (a, b) in mem.pair_keys() {
+        assert_eq!(mem.load_d(a, b), file.load_d(a, b), "D table {a:?}->{b:?}");
+        assert_eq!(mem.load_e(a, b), file.load_e(a, b), "E table {a:?}->{b:?}");
+        let mut pm = mem.load_pair(a, b);
+        let mut pf = file.load_pair(a, b);
+        pm.sort_unstable();
+        pf.sort_unstable();
+        assert_eq!(pm, pf, "L table {a:?}->{b:?}");
+    }
+    // Cursors stream identical content.
+    for (a, _) in mem.pair_keys() {
+        for i in 0..mem.num_nodes() {
+            let v = NodeId(i as u32);
+            let mut cm = mem.incoming_cursor(a, v);
+            let mut cf = file.incoming_cursor(a, v);
+            assert_eq!(cm.remaining(), cf.remaining());
+            loop {
+                let bm = cm.next_block();
+                let bf = cf.next_block();
+                assert_eq!(bm, bf);
+                if bm.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_graph_roundtrip() {
+    let g = paper_graph();
+    let tables = ClosureTables::compute(&g);
+    let path = tempfile("paper");
+    write_store(&tables, &path).unwrap();
+    let file = FileStore::open_with_block_edges(&path, 1).unwrap();
+    let mem = MemStore::with_block_edges(tables, 1);
+    check_equivalent(&mem, &file);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn random_graph_roundtrip() {
+    // Deterministic pseudo-random graph, several labels, weighted edges.
+    let mut state = 0xC0FFEE123456789u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let n = 60;
+    let mut b = GraphBuilder::new();
+    let nodes: Vec<_> = (0..n)
+        .map(|i| b.add_node(&format!("L{}", i % 7)))
+        .collect();
+    for u in 0..n {
+        for _ in 0..3 {
+            let v = (next() % n as u64) as usize;
+            if v != u {
+                b.add_edge(nodes[u], nodes[v], (next() % 4 + 1) as u32);
+            }
+        }
+    }
+    let g = b.build().unwrap();
+    let tables = ClosureTables::compute(&g);
+    let path = tempfile("random");
+    write_store(&tables, &path).unwrap();
+    let file = FileStore::open_with_block_edges(&path, 7).unwrap();
+    let mem = MemStore::with_block_edges(tables, 7);
+    check_equivalent(&mem, &file);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn file_store_counts_real_io() {
+    let g = paper_graph();
+    let tables = ClosureTables::compute(&g);
+    let path = tempfile("iocount");
+    write_store(&tables, &path).unwrap();
+    let file = FileStore::open(&path).unwrap();
+    file.reset_io();
+    let a = g.interner().get("a").unwrap();
+    let c = g.interner().get("c").unwrap();
+    let d = file.load_d(a, c);
+    assert!(!d.is_empty());
+    let io = file.io();
+    assert!(io.block_reads >= 1);
+    assert!(io.bytes_read > 0);
+    assert_eq!(io.d_entries, d.len() as u64);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn lookup_dist_matches_mem() {
+    let g = paper_graph();
+    let tables = ClosureTables::compute(&g);
+    let path = tempfile("dist");
+    write_store(&tables, &path).unwrap();
+    let file = FileStore::open(&path).unwrap();
+    let mem = MemStore::new(ClosureTables::compute(&g));
+    for u in 0..g.num_nodes() {
+        for v in 0..g.num_nodes() {
+            let (u, v) = (NodeId(u as u32), NodeId(v as u32));
+            assert_eq!(mem.lookup_dist(u, v), file.lookup_dist(u, v));
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn open_rejects_garbage() {
+    let path = tempfile("garbage");
+    std::fs::write(&path, b"this is not a closure store, not at all....").unwrap();
+    assert!(FileStore::open(&path).is_err());
+    std::fs::remove_file(&path).ok();
+}

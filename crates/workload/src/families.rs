@@ -1,0 +1,75 @@
+//! The experiment families of §6, scaled to laptop size.
+//!
+//! The paper's `GD1..GD5` are DBLP subgraphs of 10⁴..10⁶ nodes and
+//! `GS1..GS6` synthetic graphs of 10⁴..2×10⁶; their transitive closures
+//! reach 98–247 GB (Table 2). We keep the same *relative* progression at
+//! roughly 1/10th..1/50th scale so every closure fits comfortably in
+//! memory; EXPERIMENTS.md records paper-vs-measured sizes side by side.
+
+use crate::graphs::GraphSpec;
+
+/// The default (third) member of each family, mirroring the paper's
+/// "default real dataset GD3" / "default synthetic dataset GS3".
+pub const DEFAULT_GD: usize = 2;
+/// See [`DEFAULT_GD`].
+pub const DEFAULT_GS: usize = 2;
+
+/// The scaled `GD*` (citation) family: `(name, spec)` pairs.
+pub fn gd_family() -> Vec<(&'static str, GraphSpec)> {
+    let sizes = [1_000, 2_500, 5_000, 10_000, 20_000];
+    let names = ["GD1", "GD2", "GD3", "GD4", "GD5"];
+    names
+        .iter()
+        .zip(sizes)
+        .map(|(&n, s)| (n, GraphSpec::citation(s, 0xD0 + s as u64)))
+        .collect()
+}
+
+/// The scaled `GS*` (power-law) family.
+pub fn gs_family() -> Vec<(&'static str, GraphSpec)> {
+    let sizes = [1_000, 2_500, 5_000, 10_000, 20_000, 40_000];
+    let names = ["GS1", "GS2", "GS3", "GS4", "GS5", "GS6"];
+    names
+        .iter()
+        .zip(sizes)
+        .map(|(&n, s)| (n, GraphSpec::power_law(s, 0x50 + s as u64)))
+        .collect()
+}
+
+/// Query-set sizes: `T10..T70` for the citation family, plus `T100` for
+/// the synthetic family (§6: "Since in real data graphs, we cannot
+/// generate T100").
+pub fn query_sizes(synthetic: bool) -> Vec<usize> {
+    if synthetic {
+        vec![10, 20, 30, 50, 70, 100]
+    } else {
+        vec![10, 20, 30, 50, 70]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_are_increasing() {
+        let gd = gd_family();
+        assert_eq!(gd.len(), 5);
+        assert!(gd.windows(2).all(|w| w[0].1.nodes < w[1].1.nodes));
+        let gs = gs_family();
+        assert_eq!(gs.len(), 6);
+        assert!(gs.windows(2).all(|w| w[0].1.nodes < w[1].1.nodes));
+    }
+
+    #[test]
+    fn defaults_point_at_third_member() {
+        assert_eq!(gd_family()[DEFAULT_GD].0, "GD3");
+        assert_eq!(gs_family()[DEFAULT_GS].0, "GS3");
+    }
+
+    #[test]
+    fn query_sizes_match_paper_sets() {
+        assert_eq!(query_sizes(false), vec![10, 20, 30, 50, 70]);
+        assert_eq!(query_sizes(true).last(), Some(&100));
+    }
+}

@@ -1,0 +1,264 @@
+//! Seeded labeled-graph generators.
+//!
+//! Both of the paper's dataset families are modeled by one generator:
+//! nodes arrive in sequence, partitioned into *communities*; each node
+//! emits edges to earlier nodes of its own community (preferential, with
+//! recency bias) plus an occasional edge into a small global core (the
+//! oldest half-community — "everyone cites the classics"). Edges always
+//! point from newer to older nodes (citation style), so the graph is a
+//! DAG whose per-node reachability — and hence the closure size — is
+//! bounded by ~1.5 community sizes. DESIGN.md records this as the
+//! scaling substitution for the paper's full-size DBLP and Boost-PLOD
+//! graphs, whose closures reach 247 GB.
+
+use ktpm_graph::{GraphBuilder, LabeledGraph};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of the graph generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of distinct labels.
+    pub labels: usize,
+    /// Zipf exponent for label frequencies (0 = uniform).
+    pub label_skew: f64,
+    /// Average out-degree.
+    pub avg_out_degree: f64,
+    /// Community size (reachability / closure-size control).
+    pub community: usize,
+    /// Fraction of edges that point into the global core (the oldest
+    /// half-community) instead of the local community.
+    pub cross_fraction: f64,
+    /// Inclusive edge-weight range (unit weights: `(1, 1)`).
+    pub weight_range: (u32, u32),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GraphSpec {
+    /// DBLP-like citation preset (the `GD*` family): Zipf-distributed
+    /// venue labels (100, scaled from DBLP's 3136 at ~1/12 the node
+    /// scale), sparse citations (avg out-degree 2.2). Zipf skew makes the
+    /// hot label pairs dense, which is what drives run-time-graph size on
+    /// DBLP (θ = 5900 there).
+    pub fn citation(nodes: usize, seed: u64) -> Self {
+        GraphSpec {
+            nodes,
+            labels: 100,
+            label_skew: 1.0,
+            avg_out_degree: 2.2,
+            community: 2000,
+            cross_fraction: 0.08,
+            weight_range: (1, 1),
+            seed,
+        }
+    }
+
+    /// Boost-PLOD-like preset (the `GS*` family): 150 uniform labels
+    /// (scaled from the paper's 200), average out-degree 3 (§6
+    /// "Synthetic Datasets"). Fixed label count makes run-time graphs
+    /// grow with the data graph, as in the paper's Figure 7(e)/(f).
+    pub fn power_law(nodes: usize, seed: u64) -> Self {
+        GraphSpec {
+            nodes,
+            labels: 150,
+            label_skew: 0.0,
+            avg_out_degree: 3.0,
+            community: 2500,
+            cross_fraction: 0.10,
+            weight_range: (1, 1),
+            seed,
+        }
+    }
+
+    /// Same structure with weights drawn from `[lo, hi]` (exercises the
+    /// weighted-distance code paths; the paper's figures use weight 1).
+    pub fn weighted(mut self, lo: u32, hi: u32) -> Self {
+        self.weight_range = (lo, hi);
+        self
+    }
+}
+
+/// Generates a graph per `spec`. Deterministic in `spec.seed`.
+pub fn generate(spec: &GraphSpec) -> LabeledGraph {
+    assert!(spec.nodes > 0, "empty graphs are built directly");
+    assert!(spec.labels > 0);
+    assert!(spec.weight_range.0 >= 1 && spec.weight_range.0 <= spec.weight_range.1);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut b = GraphBuilder::with_capacity(
+        spec.nodes,
+        (spec.nodes as f64 * spec.avg_out_degree) as usize,
+    );
+
+    // Zipf label distribution via cumulative weights.
+    let weights: Vec<f64> = (1..=spec.labels)
+        .map(|r| 1.0 / (r as f64).powf(spec.label_skew))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cumulative = Vec::with_capacity(spec.labels);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cumulative.push(acc);
+    }
+    let pick_label = |rng: &mut StdRng| -> usize {
+        let x: f64 = rng.random();
+        cumulative.partition_point(|&c| c < x).min(spec.labels - 1)
+    };
+
+    let mut nodes = Vec::with_capacity(spec.nodes);
+    for _ in 0..spec.nodes {
+        let l = pick_label(&mut rng);
+        let lid = b.intern_label(&format!("L{l}"));
+        nodes.push(b.add_node_with_label_id(lid));
+    }
+
+    // In-degree counters for preferential attachment.
+    let mut in_deg = vec![0u32; spec.nodes];
+    let community = spec.community.max(2);
+    for i in 1..spec.nodes {
+        let com_start = (i / community) * community;
+        let deg = sample_degree(&mut rng, spec.avg_out_degree);
+        for _ in 0..deg {
+            // Cross edges go to the global core: a bounded, shared sink
+            // set, so transitive reachability cannot chain community to
+            // community.
+            let core = (community / 2).max(1);
+            let cross = com_start > 0 && rng.random::<f64>() < spec.cross_fraction;
+            let (lo, hi) = if cross {
+                (0, core.min(com_start))
+            } else {
+                (com_start, i)
+            };
+            if lo >= hi {
+                continue;
+            }
+            // Preferential with recency: mix uniform and degree-biased.
+            let target = if rng.random::<f64>() < 0.5 {
+                rng.random_range(lo..hi)
+            } else {
+                // Two uniform probes, keep the higher in-degree (cheap
+                // approximation of preferential attachment).
+                let a = rng.random_range(lo..hi);
+                let c = rng.random_range(lo..hi);
+                if in_deg[a] >= in_deg[c] {
+                    a
+                } else {
+                    c
+                }
+            };
+            let w = if spec.weight_range.0 == spec.weight_range.1 {
+                spec.weight_range.0
+            } else {
+                rng.random_range(spec.weight_range.0..=spec.weight_range.1)
+            };
+            in_deg[target] += 1;
+            b.add_edge(nodes[i], nodes[target], w);
+        }
+    }
+    b.build().expect("generator emits valid edges")
+}
+
+fn sample_degree(rng: &mut StdRng, avg: f64) -> usize {
+    // Geometric-ish around the average: floor + Bernoulli remainder, plus
+    // occasional heavy nodes for a fat tail.
+    let base = avg.floor() as usize;
+    let mut d = base + usize::from(rng.random::<f64>() < (avg - base as f64));
+    if rng.random::<f64>() < 0.02 {
+        d += rng.random_range(5..20);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let spec = GraphSpec::citation(500, 42);
+        let g1 = generate(&spec);
+        let g2 = generate(&spec);
+        assert_eq!(g1.num_nodes(), g2.num_nodes());
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g1 = generate(&GraphSpec::citation(500, 1));
+        let g2 = generate(&GraphSpec::citation(500, 2));
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn average_degree_is_close_to_spec() {
+        let g = generate(&GraphSpec::power_law(4000, 7));
+        let avg = g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(
+            (2.0..4.5).contains(&avg),
+            "avg out-degree {avg} out of range"
+        );
+    }
+
+    #[test]
+    fn citation_labels_are_skewed() {
+        let g = generate(&GraphSpec::citation(4000, 9));
+        let mut counts = vec![0usize; g.num_labels()];
+        for v in g.nodes() {
+            counts[g.label(v).index()] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        // Top label clearly dominates the median label under Zipf(1).
+        assert!(counts[0] > 5 * counts[counts.len() / 2].max(1));
+    }
+
+    #[test]
+    fn power_law_labels_are_roughly_uniform() {
+        let g = generate(&GraphSpec::power_law(4000, 9));
+        let mut counts = vec![0usize; g.num_labels()];
+        for v in g.nodes() {
+            counts[g.label(v).index()] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().filter(|&&c| c > 0).min().unwrap();
+        assert!(max < min * 10, "uniform labels: max {max}, min {min}");
+    }
+
+    #[test]
+    fn edges_point_backwards_making_a_dag() {
+        let g = generate(&GraphSpec::citation(1000, 3));
+        for e in g.edges() {
+            assert!(e.to < e.from, "citation edges must point to older nodes");
+        }
+    }
+
+    #[test]
+    fn weighted_variant_uses_range() {
+        let g = generate(&GraphSpec::power_law(500, 5).weighted(1, 4));
+        assert!(g.edges().any(|e| e.weight > 1));
+        assert!(g.edges().all(|e| (1..=4).contains(&e.weight)));
+    }
+
+    #[test]
+    fn reachability_is_community_bounded() {
+        use ktpm_closure::sssp;
+        let spec = GraphSpec::citation(3000, 11);
+        let g = generate(&spec);
+        let mut scratch = vec![ktpm_graph::INF_DIST; g.num_nodes()];
+        let mut max_reach = 0;
+        for v in g.nodes().step_by(97) {
+            max_reach = max_reach.max(sssp(&g, v, &mut scratch).len());
+        }
+        assert!(
+            max_reach <= 2 * spec.community,
+            "reach {max_reach} exceeds the community + core bound"
+        );
+    }
+}

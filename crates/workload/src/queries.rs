@@ -1,0 +1,272 @@
+//! Random query generators.
+//!
+//! §6 "Query Set": "we use random walks to randomly generate five query
+//! sets ... each generated query tree is a subtree of the run-time
+//! graph". Growing the tree along *data-graph* edges guarantees at least
+//! one match under `//` semantics (data edges are distance-1 closure
+//! edges), which is exactly the property the paper needs.
+
+use ktpm_graph::LabeledGraph;
+use ktpm_query::{EdgeKind, GraphQuery, TreeQuery, TreeQueryBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+/// Parameters for random tree query extraction.
+#[derive(Debug, Clone, Copy)]
+pub struct QuerySpec {
+    /// Number of query nodes (`n_T`).
+    pub size: usize,
+    /// Enforce pairwise-distinct labels (§2's base assumption); when
+    /// false, duplicate labels are allowed (Eval-IV / `Topk-GT`).
+    pub distinct_labels: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Extracts a random tree query of `spec.size` nodes by random walk over
+/// the data graph. Returns `None` if no such tree exists from any tried
+/// root (e.g. the graph is too small or too disconnected).
+pub fn random_tree_query(g: &LabeledGraph, spec: QuerySpec) -> Option<TreeQuery> {
+    assert!(spec.size >= 1);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let n = g.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    'attempt: for _ in 0..200 {
+        let root = ktpm_graph::NodeId(rng.random_range(0..n as u32));
+        // Grow a tree of data nodes; each tree node = (data node, parent slot).
+        let mut data_nodes = vec![root];
+        let mut parents: Vec<usize> = vec![usize::MAX];
+        let mut used_labels: HashSet<ktpm_graph::LabelId> = HashSet::new();
+        let mut used_nodes: HashSet<ktpm_graph::NodeId> = HashSet::new();
+        used_labels.insert(g.label(root));
+        used_nodes.insert(root);
+        while data_nodes.len() < spec.size {
+            // Collect admissible extensions: nodes reachable from a tree
+            // node within a few hops (closure edges — the paper extracts
+            // queries as "subtrees of the run-time graph"), carrying an
+            // unused node and an admissible label. Depth grows only when
+            // shallower extensions dry up, keeping queries local.
+            let mut frontier: Vec<(usize, ktpm_graph::NodeId)> = Vec::new();
+            for depth in 1..=4usize {
+                for (pick, &from) in data_nodes.iter().enumerate() {
+                    // Bounded BFS from `from`, collecting in visit order
+                    // (determinism matters: the rng picks by index).
+                    let mut seen: HashSet<ktpm_graph::NodeId> = HashSet::new();
+                    let mut reached: Vec<ktpm_graph::NodeId> = Vec::new();
+                    let mut layer = vec![from];
+                    seen.insert(from);
+                    for _ in 0..depth {
+                        let mut next_layer = Vec::new();
+                        for &x in &layer {
+                            for e in g.out_edges(x) {
+                                if seen.insert(e.to) {
+                                    next_layer.push(e.to);
+                                    reached.push(e.to);
+                                }
+                            }
+                        }
+                        layer = next_layer;
+                    }
+                    for &to in &reached {
+                        if used_nodes.contains(&to) {
+                            continue;
+                        }
+                        if spec.distinct_labels && used_labels.contains(&g.label(to)) {
+                            continue;
+                        }
+                        frontier.push((pick, to));
+                    }
+                }
+                if !frontier.is_empty() {
+                    break;
+                }
+            }
+            if frontier.is_empty() {
+                continue 'attempt;
+            }
+            let (pick, to) = frontier[rng.random_range(0..frontier.len())];
+            used_nodes.insert(to);
+            used_labels.insert(g.label(to));
+            data_nodes.push(to);
+            parents.push(pick);
+        }
+        let mut b = TreeQueryBuilder::new();
+        let qnodes: Vec<_> = data_nodes
+            .iter()
+            .map(|&v| b.node(g.label_name(g.label(v))))
+            .collect();
+        for (i, &p) in parents.iter().enumerate().skip(1) {
+            b.edge(qnodes[p], qnodes[i], EdgeKind::Descendant);
+        }
+        return Some(b.build().expect("walk produces a valid tree"));
+    }
+    None
+}
+
+/// Generates a query set of `count` trees (the paper uses 100 per set).
+/// Trees that cannot be extracted are skipped, so the result may be
+/// shorter than `count` on tiny graphs.
+pub fn query_set(
+    g: &LabeledGraph,
+    size: usize,
+    count: usize,
+    distinct_labels: bool,
+    seed: u64,
+) -> Vec<TreeQuery> {
+    (0..count)
+        .filter_map(|i| {
+            random_tree_query(
+                g,
+                QuerySpec {
+                    size,
+                    distinct_labels,
+                    seed: seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Extracts a cyclic graph pattern for kGPM (Figure 9's `Q1..Q4`): a
+/// random-walk tree of `nodes` distinct-labeled nodes plus `extra_edges`
+/// additional edges between random pattern nodes.
+pub fn random_graph_query(
+    g: &LabeledGraph,
+    nodes: usize,
+    extra_edges: usize,
+    seed: u64,
+) -> Option<GraphQuery> {
+    let tree = random_tree_query(
+        g,
+        QuerySpec {
+            size: nodes,
+            distinct_labels: true,
+            seed,
+        },
+    )?;
+    let labels: Vec<String> = tree
+        .node_ids()
+        .map(|u| tree.label_name(u).expect("distinct labels").to_owned())
+        .collect();
+    let mut edges: Vec<(usize, usize)> = tree
+        .edges()
+        .map(|(p, c, _)| (p.index(), c.index()))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE_CAFE);
+    let mut present: HashSet<(usize, usize)> = edges
+        .iter()
+        .map(|&(a, b)| (a.min(b), a.max(b)))
+        .collect();
+    let mut added = 0;
+    for _ in 0..extra_edges * 20 {
+        if added == extra_edges {
+            break;
+        }
+        let a = rng.random_range(0..nodes);
+        let b = rng.random_range(0..nodes);
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if present.insert(key) {
+            edges.push(key);
+            added += 1;
+        }
+    }
+    GraphQuery::new(labels, edges).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs::{generate, GraphSpec};
+
+    fn sample_graph() -> LabeledGraph {
+        generate(&GraphSpec::citation(2000, 42))
+    }
+
+    #[test]
+    fn extracted_tree_has_requested_size_and_distinct_labels() {
+        let g = sample_graph();
+        let q = random_tree_query(
+            &g,
+            QuerySpec {
+                size: 12,
+                distinct_labels: true,
+                seed: 1,
+            },
+        )
+        .expect("extraction succeeds on a 2000-node graph");
+        assert_eq!(q.len(), 12);
+        assert!(q.has_distinct_labels());
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let g = sample_graph();
+        let spec = QuerySpec {
+            size: 8,
+            distinct_labels: true,
+            seed: 5,
+        };
+        let a = random_tree_query(&g, spec).unwrap();
+        let b = random_tree_query(&g, spec).unwrap();
+        let la: Vec<_> = a.node_ids().map(|u| a.label_name(u).unwrap()).collect();
+        let lb: Vec<_> = b.node_ids().map(|u| b.label_name(u).unwrap()).collect();
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn duplicate_label_sets_have_duplicates() {
+        let g = generate(&GraphSpec {
+            labels: 10, // few labels force duplicates
+            ..GraphSpec::citation(2000, 4)
+        });
+        let qs = query_set(&g, 10, 20, false, 7);
+        assert!(!qs.is_empty());
+        assert!(
+            qs.iter().any(|q| !q.has_distinct_labels()),
+            "with 10 labels and 10-node queries duplicates must appear"
+        );
+    }
+
+    #[test]
+    fn query_set_yields_many_trees() {
+        let g = sample_graph();
+        let qs = query_set(&g, 10, 25, true, 3);
+        assert!(qs.len() >= 20, "got {}", qs.len());
+        for q in &qs {
+            assert_eq!(q.len(), 10);
+        }
+    }
+
+    #[test]
+    fn graph_query_has_cycles() {
+        let g = sample_graph();
+        let gq = random_graph_query(&g, 5, 2, 9).expect("pattern extraction");
+        assert_eq!(gq.len(), 5);
+        assert_eq!(gq.num_edges(), 6); // 4 tree edges + 2 extra
+        assert_eq!(gq.excess_edges(), 2);
+    }
+
+    #[test]
+    fn oversized_query_returns_none() {
+        let mut b = ktpm_graph::GraphBuilder::new();
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        b.add_edge(x, y, 1);
+        let g = b.build().unwrap();
+        assert!(random_tree_query(
+            &g,
+            QuerySpec {
+                size: 5,
+                distinct_labels: true,
+                seed: 0,
+            }
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,77 @@
+//! # ktpm — Optimal Enumeration: Efficient Top-k Tree Matching
+//!
+//! A Rust implementation of Chang, Lin, Zhang, Yu, Zhang & Qin,
+//! *"Optimal Enumeration: Efficient Top-k Tree Matching"*, PVLDB 8(5),
+//! 2015 — including the optimal Lawler-based enumerator (`Topk`), the
+//! priority-based `Topk-EN`, the DP-B/DP-P baselines it compares
+//! against, general twig support (duplicate labels, wildcards, `/`
+//! edges), and the kGPM graph-pattern extension (mtree / mtree+).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ktpm::prelude::*;
+//!
+//! // A node-labeled directed data graph.
+//! let mut b = GraphBuilder::new();
+//! let c1 = b.add_node("C");
+//! let e1 = b.add_node("E");
+//! let s1 = b.add_node("S");
+//! b.add_edge(c1, e1, 1);
+//! b.add_edge(e1, s1, 1);
+//! let g = b.build().unwrap();
+//!
+//! // The twig query of the paper's Figure 1: C -> E, C -> S (both `//`).
+//! let query = TreeQuery::parse("C -> E\nC -> S").unwrap();
+//!
+//! // Offline: shortest-distance transitive closure, organized as
+//! // label-pair tables (persist with `write_store` for real block I/O).
+//! let store = MemStore::new(ClosureTables::compute(&g));
+//!
+//! // Online: top-k matches via the optimal enumerator.
+//! let resolved = query.resolve(g.interner());
+//! let matches = topk_full(&resolved, &store, 10);
+//! assert_eq!(matches.len(), 1);
+//! assert_eq!(matches[0].score, 3); // δ(C,E) + δ(C,S) = 1 + 2
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`graph`] | labeled directed CSR graph, interner, fixtures |
+//! | [`query`] | twig queries (`//`, `/`, `*`, duplicates), graph patterns, text format |
+//! | [`closure`] | transitive closure, label-pair tables, 2-hop (PLL) index |
+//! | [`storage`] | on-disk closure store, block cursors, I/O accounting |
+//! | [`runtime`] | run-time graph `G_R` construction |
+//! | [`core`] | **Algorithms 1–3**: `Topk`, `ComputeFirst`, `Topk-EN` |
+//! | [`baseline`] | DP-B / DP-P (SIGMOD'08) reimplementations |
+//! | [`kgpm`] | graph-pattern matching: decomposition, mtree, mtree+ |
+//! | [`workload`] | dataset & query generators for the §6 experiments |
+
+pub use ktpm_baseline as baseline;
+pub use ktpm_closure as closure;
+pub use ktpm_core as core;
+pub use ktpm_graph as graph;
+pub use ktpm_kgpm as kgpm;
+pub use ktpm_query as query;
+pub use ktpm_runtime as runtime;
+pub use ktpm_storage as storage;
+pub use ktpm_workload as workload;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use ktpm_baseline::{DpBEnumerator, DpPEnumerator};
+    pub use ktpm_closure::{sssp, ClosureTables};
+    pub use ktpm_core::{
+        topk_en, topk_full, BoundMode, ScoredMatch, TopkEnEnumerator, TopkEnumerator,
+    };
+    pub use ktpm_graph::{
+        Dist, GraphBuilder, LabelId, LabeledGraph, NodeId, Score, INF_DIST, INF_SCORE,
+    };
+    pub use ktpm_kgpm::{GraphMatch, KgpmContext, TreeMatcher};
+    pub use ktpm_query::{EdgeKind, GraphQuery, QNodeId, ResolvedQuery, TreeQuery, TreeQueryBuilder};
+    pub use ktpm_runtime::RuntimeGraph;
+    pub use ktpm_storage::{write_store, ClosureSource, FileStore, MemStore, OnDemandStore};
+    pub use ktpm_workload::{generate, query_set, random_tree_query, GraphSpec, QuerySpec};
+}

@@ -1,0 +1,152 @@
+//! Randomized kGPM validation: on random graphs and random cyclic
+//! patterns, both mtree (DP-B inside) and mtree+ (Topk-EN inside) must
+//! agree with exhaustive enumeration over the undirected closure.
+
+use ktpm::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_graph(rng: &mut StdRng, nodes: usize, labels: usize) -> LabeledGraph {
+    let mut b = GraphBuilder::new();
+    let ids: Vec<NodeId> = (0..nodes)
+        .map(|_| b.add_node(&format!("L{}", rng.random_range(0..labels))))
+        .collect();
+    for u in 0..nodes {
+        for _ in 0..rng.random_range(1..4) {
+            let v = rng.random_range(0..nodes);
+            if v != u {
+                b.add_edge(ids[u], ids[v], rng.random_range(1..4));
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+/// Exhaustive kGPM oracle: all label-consistent assignments whose every
+/// pattern edge has a finite undirected distance, scored and sorted.
+fn oracle(ctx: &KgpmContext, q: &GraphQuery, k: usize) -> Vec<Score> {
+    let g = ctx.graph();
+    let tc = ktpm::closure::ClosureTables::compute(g);
+    let mut candidates: Vec<Vec<NodeId>> = Vec::new();
+    for u in 0..q.len() {
+        match g.interner().get(q.label(u)) {
+            Some(l) if !g.nodes_with_label(l).is_empty() => {
+                candidates.push(g.nodes_with_label(l).to_vec())
+            }
+            _ => return Vec::new(),
+        }
+    }
+    let mut scores = Vec::new();
+    let mut pick = vec![0usize; q.len()];
+    'outer: loop {
+        let assignment: Vec<NodeId> = pick
+            .iter()
+            .enumerate()
+            .map(|(u, &i)| candidates[u][i])
+            .collect();
+        let mut total: Score = 0;
+        let mut ok = true;
+        for &(a, b) in q.edges() {
+            match tc.dist(assignment[a], assignment[b]) {
+                Some(d) => total += d as Score,
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            scores.push(total);
+        }
+        for u in 0..q.len() {
+            pick[u] += 1;
+            if pick[u] < candidates[u].len() {
+                continue 'outer;
+            }
+            pick[u] = 0;
+        }
+        break;
+    }
+    scores.sort_unstable();
+    scores.truncate(k);
+    scores
+}
+
+/// A random connected pattern with distinct labels and possible cycles.
+fn random_pattern(rng: &mut StdRng, labels: usize) -> Option<GraphQuery> {
+    let n = rng.random_range(2..5usize);
+    if n > labels {
+        return None;
+    }
+    // Distinct labels via partial shuffle.
+    let mut pool: Vec<usize> = (0..labels).collect();
+    for i in 0..n {
+        let j = rng.random_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    let names: Vec<String> = pool[..n].iter().map(|l| format!("L{l}")).collect();
+    // Random spanning tree + up to 2 extra edges.
+    let mut edges: Vec<(usize, usize)> = (1..n).map(|i| (rng.random_range(0..i), i)).collect();
+    for _ in 0..rng.random_range(0..3usize) {
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        if a != b {
+            edges.push((a.min(b), a.max(b)));
+        }
+    }
+    GraphQuery::new(names, edges).ok()
+}
+
+#[test]
+fn kgpm_matchers_agree_with_oracle_on_random_workloads() {
+    for t in 0..25u64 {
+        let mut rng = StdRng::seed_from_u64(9000 + t);
+        let nodes = rng.random_range(5..12);
+        let g = random_graph(&mut rng, nodes, 4);
+        let ctx = KgpmContext::new(&g);
+        let Some(q) = random_pattern(&mut rng, 4) else {
+            continue;
+        };
+        let k = rng.random_range(1..12);
+        let expect = oracle(&ctx, &q, k);
+        for matcher in [TreeMatcher::DpB, TreeMatcher::TopkEn] {
+            let got: Vec<Score> = ctx
+                .topk(&q, k, matcher)
+                .into_iter()
+                .map(|m| m.score)
+                .collect();
+            assert_eq!(got, expect, "trial {t}, matcher {matcher:?}, q {q:?}");
+        }
+    }
+}
+
+#[test]
+fn kgpm_matches_verify_against_closure() {
+    let mut rng = StdRng::seed_from_u64(9999);
+    let g = random_graph(&mut rng, 20, 5);
+    let ctx = KgpmContext::new(&g);
+    let tc = ktpm::closure::ClosureTables::compute(ctx.graph());
+    for t in 0..5u64 {
+        let mut prng = StdRng::seed_from_u64(7000 + t);
+        let Some(q) = random_pattern(&mut prng, 5) else {
+            continue;
+        };
+        for m in ctx.topk(&q, 15, TreeMatcher::TopkEn) {
+            let mut total: Score = 0;
+            for &(a, b) in q.edges() {
+                let d = tc
+                    .dist(m.assignment[a], m.assignment[b])
+                    .expect("edge must map to a path");
+                total += d as Score;
+            }
+            assert_eq!(total, m.score);
+            for (u, &v) in m.assignment.iter().enumerate() {
+                assert_eq!(
+                    ctx.graph().label_name(ctx.graph().label(v)),
+                    q.label(u),
+                    "label preserved"
+                );
+            }
+        }
+    }
+}

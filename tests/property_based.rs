@@ -1,0 +1,171 @@
+//! Property-based tests (proptest) for the core invariants:
+//!
+//! * closure distances satisfy the triangle inequality and match the
+//!   Floyd–Warshall oracle;
+//! * the Lawler enumerator emits a non-decreasing, duplicate-free match
+//!   stream whose scores re-verify against closure distances;
+//! * `Topk` and `Topk-EN` agree on arbitrary graph/query combinations;
+//! * the closure store round-trips through the on-disk format.
+
+use ktpm::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a labeled digraph as (labels per node, edges).
+fn graph_strategy(
+    max_nodes: usize,
+    labels: usize,
+    max_w: u32,
+) -> impl Strategy<Value = LabeledGraph> {
+    (2..max_nodes).prop_flat_map(move |n| {
+        let node_labels = proptest::collection::vec(0..labels, n);
+        let edges = proptest::collection::vec((0..n, 0..n, 1..=max_w), 0..n * 3);
+        (node_labels, edges).prop_map(|(ls, es)| {
+            let mut b = GraphBuilder::new();
+            let ids: Vec<NodeId> = ls.iter().map(|l| b.add_node(&format!("L{l}"))).collect();
+            for (u, v, w) in es {
+                if u != v {
+                    b.add_edge(ids[u], ids[v], w);
+                }
+            }
+            b.build().unwrap()
+        })
+    })
+}
+
+/// Strategy: a rooted tree query over the same alphabet; `parents[i] < i`
+/// makes an arbitrary tree shape.
+fn query_strategy(labels: usize) -> impl Strategy<Value = TreeQuery> {
+    (1..5usize).prop_flat_map(move |n| {
+        let node_labels = proptest::collection::vec(0..labels, n);
+        let parents: Vec<BoxedStrategy<usize>> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    Just(0).boxed()
+                } else {
+                    (0..i).boxed()
+                }
+            })
+            .collect();
+        (node_labels, parents).prop_map(|(ls, ps)| {
+            let mut b = TreeQueryBuilder::new();
+            let nodes: Vec<_> = ls.iter().map(|l| b.node(&format!("L{l}"))).collect();
+            for i in 1..nodes.len() {
+                b.edge(nodes[ps[i]], nodes[i], EdgeKind::Descendant);
+            }
+            b.build().unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn closure_satisfies_triangle_inequality(g in graph_strategy(12, 4, 4)) {
+        let tc = ClosureTables::compute(&g);
+        let n = g.num_nodes();
+        for i in 0..n {
+            for j in 0..n {
+                for l in 0..n {
+                    let (i, j, l) = (NodeId(i as u32), NodeId(j as u32), NodeId(l as u32));
+                    if let (Some(a), Some(b)) = (tc.dist(i, j), tc.dist(j, l)) {
+                        let via = a as Score + b as Score;
+                        let direct = tc.dist(i, l).expect("paths compose") as Score;
+                        prop_assert!(direct <= via, "d({i},{l})={direct} > {via}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closure_matches_floyd_warshall(g in graph_strategy(10, 3, 3)) {
+        let tc = ClosureTables::compute(&g);
+        let fw = ktpm::closure::reference::floyd_warshall(&g);
+        for i in 0..g.num_nodes() {
+            for j in 0..g.num_nodes() {
+                let expect = (fw[i][j] != INF_DIST).then_some(fw[i][j]);
+                prop_assert_eq!(tc.dist(NodeId(i as u32), NodeId(j as u32)), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn pll_matches_closure(g in graph_strategy(10, 3, 3)) {
+        let tc = ClosureTables::compute(&g);
+        let pll = ktpm::closure::pll::PllIndex::build(&g);
+        for i in 0..g.num_nodes() {
+            for j in 0..g.num_nodes() {
+                let (i, j) = (NodeId(i as u32), NodeId(j as u32));
+                prop_assert_eq!(pll.dist(i, j), tc.dist(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn lawler_stream_is_sorted_unique_and_valid(
+        g in graph_strategy(10, 4, 3),
+        q in query_strategy(4),
+    ) {
+        let resolved = q.resolve(g.interner());
+        let store = MemStore::new(ClosureTables::compute(&g));
+        let rg = RuntimeGraph::load(&resolved, &store);
+        let matches: Vec<_> = TopkEnumerator::new(&rg).take(50).collect();
+        prop_assert!(matches.windows(2).all(|w| w[0].score <= w[1].score));
+        let mut seen = std::collections::HashSet::new();
+        for m in &matches {
+            prop_assert!(seen.insert(m.assignment.clone()));
+            let mut total: Score = 0;
+            for u in resolved.tree().node_ids().skip(1) {
+                let p = resolved.tree().parent(u).unwrap();
+                let d = store.tables().dist(m.assignment[p.index()], m.assignment[u.index()]);
+                prop_assert!(d.is_some());
+                total += d.unwrap() as Score;
+            }
+            prop_assert_eq!(total, m.score);
+        }
+    }
+
+    #[test]
+    fn en_agrees_with_full(
+        g in graph_strategy(10, 4, 3),
+        q in query_strategy(4),
+        k in 1..20usize,
+    ) {
+        let resolved = q.resolve(g.interner());
+        let store = MemStore::with_block_edges(ClosureTables::compute(&g), 2);
+        let rg = RuntimeGraph::load(&resolved, &store);
+        let full: Vec<Score> = TopkEnumerator::new(&rg).take(k).map(|m| m.score).collect();
+        let en: Vec<Score> = TopkEnEnumerator::new(&resolved, &store)
+            .take(k).map(|m| m.score).collect();
+        prop_assert_eq!(full, en);
+    }
+
+    #[test]
+    fn store_roundtrip(g in graph_strategy(12, 4, 4)) {
+        let tables = ClosureTables::compute(&g);
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "ktpm-prop-{}-{:x}.bin",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos() as u64
+        ));
+        write_store(&tables, &path).unwrap();
+        let file = FileStore::open(&path).unwrap();
+        let mem = MemStore::new(tables);
+        prop_assert_eq!(mem.pair_keys(), file.pair_keys());
+        for (a, b) in mem.pair_keys() {
+            prop_assert_eq!(mem.load_d(a, b), file.load_d(a, b));
+            prop_assert_eq!(mem.load_e(a, b), file.load_e(a, b));
+            let mut pm = mem.load_pair(a, b);
+            let mut pf = file.load_pair(a, b);
+            pm.sort_unstable();
+            pf.sort_unstable();
+            prop_assert_eq!(pm, pf);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
