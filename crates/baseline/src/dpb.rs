@@ -165,10 +165,7 @@ impl DpEngine {
             if self.nodes[&(u, i)].exhausted {
                 return None;
             }
-            let Some(Reverse((score, combo))) = self.nodes.get_mut(&(u, i)).unwrap().frontier.pop()
-            else {
-                return None;
-            };
+            let Reverse((score, combo)) = self.nodes.get_mut(&(u, i)).unwrap().frontier.pop()?;
             self.nodes
                 .get_mut(&(u, i))
                 .unwrap()
@@ -239,11 +236,10 @@ impl DpEngine {
             edge_rank: r,
             child_rank: j,
         });
-        let (child_u, list_rank_fn): (u32, _) = match slot_id {
-            Some((u, _)) => (u, ()),
-            None => (0, ()),
+        let child_u: u32 = match slot_id {
+            Some((u, _)) => u,
+            None => 0,
         };
-        let _ = list_rank_fn;
         let list_entry = |lists: &mut SlotLists, rank: usize| match slot_id {
             Some((u, i)) => lists.slot_mut(u, i).rank(rank),
             None => lists.root_mut().rank(rank),
@@ -254,8 +250,7 @@ impl DpEngine {
                 .node_score(lists, child_u, w, 1)
                 .expect("rank-1 existed when (r,1) was pushed");
             if let Some(sj) = self.node_score(lists, child_u, w, j + 1) {
-                slot.frontier
-                    .push(Reverse((key - s1 + sj, r, j + 1)));
+                slot.frontier.push(Reverse((key - s1 + sj, r, j + 1)));
             }
         }
         // Successor (r+1, 1): next edge, first child rank.

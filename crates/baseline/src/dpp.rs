@@ -102,9 +102,7 @@ impl Iterator for DpPEnumerator<'_> {
                 }
                 None => {
                     // Exhausted on the loaded subgraph; load more or stop.
-                    if self.loader.qg_top().is_none() {
-                        return None;
-                    }
+                    self.loader.qg_top()?;
                     self.loader.expand_top(&mut self.lists);
                 }
             }
@@ -163,7 +161,9 @@ mod tests {
     #[test]
     fn exhausts_cleanly() {
         let g = citation_graph();
-        let q = TreeQuery::parse("C -> E\nC -> S").unwrap().resolve(g.interner());
+        let q = TreeQuery::parse("C -> E\nC -> S")
+            .unwrap()
+            .resolve(g.interner());
         let store = MemStore::new(ClosureTables::compute(&g));
         let all: Vec<_> = DpPEnumerator::new(&q, &store).collect();
         assert_eq!(all.len(), 5);

@@ -27,7 +27,10 @@ fn side_queues(c: &mut Criterion) {
         .map(|q| RuntimeGraph::load(q, &ds.store))
         .collect();
     let mut group = c.benchmark_group("ablation_side_queues");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2));
     for (name, on) in [("with_Ql", true), ("without_Ql", false)] {
         group.bench_with_input(BenchmarkId::new("topk_k100", name), &on, |b, &on| {
             b.iter(|| {
@@ -44,7 +47,10 @@ fn bound_mode(c: &mut Criterion) {
     let ds = prepare_dataset("ABL", &GraphSpec::citation(2000, 0xAB1));
     let queries = queries_for(&ds, 20, 3, true);
     let mut group = c.benchmark_group("ablation_bound_mode");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2));
     for (name, mode) in [("tight", BoundMode::Tight), ("loose", BoundMode::Loose)] {
         group.bench_with_input(BenchmarkId::new("topk_en_k20", name), &mode, |b, &mode| {
             b.iter(|| {
@@ -76,12 +82,17 @@ fn block_size(c: &mut Criterion) {
     .expect("query")
     .resolve(g.interner());
     let mut group = c.benchmark_group("ablation_block_size");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2));
     for block in [8usize, 64, 512] {
         let store = MemStore::with_block_edges(tables.clone(), block);
-        group.bench_with_input(BenchmarkId::new("topk_en_k20", block), &store, |b, store| {
-            b.iter(|| TopkEnEnumerator::new(&query, store).take(20).count())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("topk_en_k20", block),
+            &store,
+            |b, store| b.iter(|| TopkEnEnumerator::new(&query, store).take(20).count()),
+        );
     }
     group.finish();
 }
@@ -99,7 +110,10 @@ fn distance_index(c: &mut Criterion) {
         })
         .collect();
     let mut group = c.benchmark_group("ablation_distance_index");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("closure_tables", |b| {
         b.iter(|| {
             pairs

@@ -14,7 +14,10 @@ fn four_systems(c: &mut Criterion) {
     let queries = queries_for(&ds, 20, 3, true);
     assert!(!queries.is_empty(), "query extraction failed");
     let mut group = c.benchmark_group("fig6_total_time_k20");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     for algo in Algo::ALL {
         group.bench_with_input(BenchmarkId::new(algo.name(), "T20"), &algo, |b, &algo| {
             b.iter(|| {
@@ -29,7 +32,10 @@ fn four_systems(c: &mut Criterion) {
 
     // Top-1 only (Figure 6(c)/(d)).
     let mut group = c.benchmark_group("fig6_top1_time");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     for algo in Algo::ALL {
         group.bench_with_input(BenchmarkId::new(algo.name(), "T20"), &algo, |b, &algo| {
             b.iter(|| {

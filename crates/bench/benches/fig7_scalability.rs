@@ -12,7 +12,10 @@ fn scalability(c: &mut Criterion) {
     let queries = queries_for(&ds, 20, 3, true);
     assert!(!queries.is_empty());
     let mut group = c.benchmark_group("fig7_vary_k");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2));
     for k in [10usize, 100] {
         for algo in [Algo::Topk, Algo::TopkEn] {
             group.bench_with_input(
@@ -33,7 +36,10 @@ fn scalability(c: &mut Criterion) {
 
     // Vary query size (k = 20).
     let mut group = c.benchmark_group("fig7_vary_T");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2));
     for size in [10usize, 30, 50] {
         let queries = queries_for(&ds, size, 3, true);
         if queries.is_empty() {

@@ -13,7 +13,10 @@ use std::time::Duration;
 fn general_twig(c: &mut Criterion) {
     let ds = prepare_dataset("FIG8", &GraphSpec::citation(2000, 0xF18));
     let mut group = c.benchmark_group("fig8_topk_gt");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2));
     for (label, distinct) in [("distinct", true), ("duplicates", false)] {
         let queries = queries_for(&ds, 20, 3, distinct);
         if queries.is_empty() {

@@ -18,7 +18,10 @@ fn kgpm(c: &mut Criterion) {
         .collect();
     assert!(!patterns.is_empty(), "pattern extraction failed");
     let mut group = c.benchmark_group("fig9_kgpm_k20");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     for (name, q) in &patterns {
         for (mname, matcher) in [("mtree", TreeMatcher::DpB), ("mtree+", TreeMatcher::TopkEn)] {
             group.bench_with_input(

@@ -11,7 +11,10 @@ use std::time::Duration;
 
 fn closure_precompute(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_closure");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     for (name, spec) in [
         ("GD1", GraphSpec::citation(1000, 0xD1)),
         ("GD2", GraphSpec::citation(2500, 0xD2)),

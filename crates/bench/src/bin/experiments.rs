@@ -112,14 +112,13 @@ fn table3(cfg: &Config) {
 /// Figure 6: DP-B / DP-P / Topk / Topk-EN on the default datasets, T20.
 fn fig6(cfg: &Config) {
     println!("== Figure 6: comparison with DP-B and DP-P (T = T20, vary k) ==");
-    for (name, spec) in [gd_family()[DEFAULT_GD].clone(), gs_family()[DEFAULT_GS].clone()] {
+    for (name, spec) in [
+        gd_family()[DEFAULT_GD].clone(),
+        gs_family()[DEFAULT_GS].clone(),
+    ] {
         let ds = prepare_dataset(name, &spec);
         let queries = queries_for(&ds, 20, cfg.queries_per_set, true);
-        println!(
-            "-- {} ({} queries of 20 nodes) --",
-            ds.name,
-            queries.len()
-        );
+        println!("-- {} ({} queries of 20 nodes) --", ds.name, queries.len());
         println!(
             "{:<4} {:<8} {:>12} {:>12} {:>12} {:>12} {:>12}",
             "k", "algo", "total", "top-1", "enum", "edges", "bytes"
@@ -147,10 +146,17 @@ fn fig6(cfg: &Config) {
 fn fig7(cfg: &Config) {
     println!("== Figure 7: scalability of Topk and Topk-EN ==");
     // (a)/(b): vary k with T50.
-    for (name, spec) in [gd_family()[DEFAULT_GD].clone(), gs_family()[DEFAULT_GS].clone()] {
+    for (name, spec) in [
+        gd_family()[DEFAULT_GD].clone(),
+        gs_family()[DEFAULT_GS].clone(),
+    ] {
         let ds = prepare_dataset(name, &spec);
         let queries = queries_for(&ds, 50, cfg.queries_per_set, true);
-        println!("-- vary k on {} (T50, {} queries) --", ds.name, queries.len());
+        println!(
+            "-- vary k on {} (T50, {} queries) --",
+            ds.name,
+            queries.len()
+        );
         println!("{:<4} {:>12} {:>12}", "k", "Topk", "Topk-EN");
         for &k in &cfg.ks {
             let a = run_algo_avg(&ds, &queries, k, Algo::Topk);
@@ -302,8 +308,15 @@ fn fig9(cfg: &Config) {
     // (a) vary k with Q2.
     if patterns.len() >= 2 {
         let (qname, q) = &patterns[1];
-        println!("-- vary k (query {qname}: {} nodes, {} edges) --", q.len(), q.num_edges());
-        println!("{:<6} {:>12} {:>12} {:>14} {:>14}", "k", "mtree", "mtree+", "enum(mtree)", "enum(mtree+)");
+        println!(
+            "-- vary k (query {qname}: {} nodes, {} edges) --",
+            q.len(),
+            q.num_edges()
+        );
+        println!(
+            "{:<6} {:>12} {:>12} {:>14} {:>14}",
+            "k", "mtree", "mtree+", "enum(mtree)", "enum(mtree+)"
+        );
         for &k in &cfg.ks {
             let t0 = Instant::now();
             let (_, s0) = ctx.topk_with_stats(q, k, TreeMatcher::DpB);

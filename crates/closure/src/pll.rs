@@ -200,10 +200,9 @@ mod tests {
     fn check_against_fw(g: &LabeledGraph) {
         let pll = PllIndex::build(g);
         let fw = floyd_warshall(g);
-        let n = g.num_nodes();
-        for i in 0..n {
-            for j in 0..n {
-                let expect = (fw[i][j] != INF_DIST).then_some(fw[i][j]);
+        for (i, row) in fw.iter().enumerate() {
+            for (j, &d) in row.iter().enumerate() {
+                let expect = (d != INF_DIST).then_some(d);
                 assert_eq!(
                     pll.dist(NodeId(i as u32), NodeId(j as u32)),
                     expect,

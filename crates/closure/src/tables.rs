@@ -166,10 +166,11 @@ impl ClosureTables {
 
     /// Computes the closure with an explicit thread count.
     pub fn compute_with_threads(g: &LabeledGraph, threads: usize) -> Self {
+        type PairShard = HashMap<PairKey, Vec<(NodeId, NodeId, Dist)>>;
         let n = g.num_nodes();
         let threads = threads.clamp(1, n.max(1));
         let chunk = n.div_ceil(threads.max(1)).max(1);
-        let mut shards: Vec<HashMap<PairKey, Vec<(NodeId, NodeId, Dist)>>> = Vec::new();
+        let mut shards: Vec<PairShard> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
@@ -298,11 +299,9 @@ mod tests {
         let g = fig2_graph();
         let tc = ClosureTables::compute_with_threads(&g, 2);
         let fw = floyd_warshall(&g);
-        let n = g.num_nodes();
         let mut count = 0;
-        for i in 0..n {
-            for j in 0..n {
-                let expect = fw[i][j];
+        for (i, row) in fw.iter().enumerate() {
+            for (j, &expect) in row.iter().enumerate() {
                 let got = tc.dist(NodeId(i as u32), NodeId(j as u32));
                 if expect == INF_DIST {
                     assert_eq!(got, None, "({i},{j})");
@@ -388,9 +387,18 @@ mod tests {
         assert_eq!(ac.incoming(v6), &[(v1, 1), (v2, 2)]);
         assert_eq!(ac.min_incoming_dist(v6), Some(1));
         // E_{v5} = {(v5,v7,1),(v5,v9,1),(v5,v11,1)} split across E^c_d, E^c_e, E^c_s.
-        assert_eq!(tc.pair(c, d).unwrap().min_out(), &[(v5, v7, 1), (v6, v7, 1)]);
-        assert_eq!(tc.pair(c, e).unwrap().min_out(), &[(v5, v9, 1), (v6, v9, 2)]);
-        assert_eq!(tc.pair(c, s).unwrap().min_out(), &[(v5, v11, 1), (v6, v12, 1)]);
+        assert_eq!(
+            tc.pair(c, d).unwrap().min_out(),
+            &[(v5, v7, 1), (v6, v7, 1)]
+        );
+        assert_eq!(
+            tc.pair(c, e).unwrap().min_out(),
+            &[(v5, v9, 1), (v6, v9, 2)]
+        );
+        assert_eq!(
+            tc.pair(c, s).unwrap().min_out(),
+            &[(v5, v11, 1), (v6, v12, 1)]
+        );
         // D^c_d stores only (v8, 2): d^c_{v7} = 1 is implicit.
         let cd = tc.pair(c, d).unwrap();
         assert_eq!(cd.min_incoming_dist(v7), Some(1));

@@ -78,7 +78,9 @@ mod tests {
     #[test]
     fn figure1_has_five_matches() {
         let g = citation_graph();
-        let q = TreeQuery::parse("C -> E\nC -> S").unwrap().resolve(g.interner());
+        let q = TreeQuery::parse("C -> E\nC -> S")
+            .unwrap()
+            .resolve(g.interner());
         let store = MemStore::new(ClosureTables::compute(&g));
         let rg = RuntimeGraph::load(&q, &store);
         let all = all_matches(&rg);

@@ -20,7 +20,7 @@ use crate::loader::{BoundMode, PriorityLoader};
 use crate::matches::{CandidateSpec, ScoredMatch};
 use ktpm_graph::Score;
 use ktpm_query::{QNodeId, ResolvedQuery};
-use ktpm_storage::ClosureSource;
+use ktpm_storage::{ClosureSource, SharedSource};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
@@ -52,6 +52,25 @@ impl<'s> TopkEnEnumerator<'s> {
         Self::with_bound(query, source, BoundMode::Tight)
     }
 
+    /// As [`Self::new`] over a shared (`Arc`) source. The returned
+    /// `TopkEnEnumerator<'static>` owns everything it needs — it can be
+    /// parked in a session table, resumed later, and moved between
+    /// worker threads (it is `Send`).
+    pub fn new_shared(query: &ResolvedQuery, source: SharedSource) -> TopkEnEnumerator<'static> {
+        Self::with_bound_shared(query, source, BoundMode::Tight)
+    }
+
+    /// As [`Self::new_shared`] with an explicit bound mode.
+    pub fn with_bound_shared(
+        query: &ResolvedQuery,
+        source: SharedSource,
+        bound: BoundMode,
+    ) -> TopkEnEnumerator<'static> {
+        let mut lists = SlotLists::default();
+        let loader = PriorityLoader::new_shared(query, source, bound, &mut lists);
+        TopkEnEnumerator::from_parts(query, loader, lists)
+    }
+
     /// As [`Self::new`] with an explicit bound mode (the loose mode is
     /// used by DP-P comparisons and the ablation bench).
     pub fn with_bound(
@@ -61,6 +80,10 @@ impl<'s> TopkEnEnumerator<'s> {
     ) -> Self {
         let mut lists = SlotLists::default();
         let loader = PriorityLoader::new(query, source, bound, &mut lists);
+        Self::from_parts(query, loader, lists)
+    }
+
+    fn from_parts(query: &ResolvedQuery, loader: PriorityLoader<'s>, lists: SlotLists) -> Self {
         let core = LawlerCore::new(query.tree());
         TopkEnEnumerator {
             query: query.clone(),
@@ -385,7 +408,9 @@ mod tests {
     #[test]
     fn exhausts_to_none() {
         let g = citation_graph();
-        let q = TreeQuery::parse("C -> E\nC -> S").unwrap().resolve(g.interner());
+        let q = TreeQuery::parse("C -> E\nC -> S")
+            .unwrap()
+            .resolve(g.interner());
         let store = MemStore::new(ClosureTables::compute(&g));
         let mut en = TopkEnEnumerator::new(&q, &store);
         let all: Vec<_> = en.by_ref().collect();
@@ -400,5 +425,29 @@ mod tests {
         let q = TreeQuery::parse("s -> a").unwrap().resolve(g.interner());
         let store = MemStore::new(ClosureTables::compute(&g));
         assert_eq!(TopkEnEnumerator::new(&q, &store).count(), 0);
+    }
+
+    #[test]
+    fn shared_enumerator_is_send_and_agrees_with_borrowed() {
+        fn assert_send<T: Send>(_: &T) {}
+        let g = citation_graph();
+        let q = TreeQuery::parse("C -> E\nC -> S")
+            .unwrap()
+            .resolve(g.interner());
+        let store = MemStore::with_block_edges(ClosureTables::compute(&g), 2);
+        let borrowed: Vec<Score> = TopkEnEnumerator::new(&q, &store).map(|m| m.score).collect();
+        let mut shared = TopkEnEnumerator::new_shared(&q, store.into_shared());
+        assert_send(&shared);
+        // Drive it from another thread — the whole point of `new_shared`.
+        let scores: Vec<Score> = std::thread::spawn(move || {
+            let first = shared.next().map(|m| m.score);
+            first
+                .into_iter()
+                .chain(shared.by_ref().map(|m| m.score))
+                .collect()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(borrowed, scores);
     }
 }

@@ -11,11 +11,12 @@
 use crate::bs::BsData;
 use crate::lazylist::LazySortedList;
 use crate::matches::{CandidateSpec, PoppedMatch, ScoredMatch, NO_PARENT};
-use ktpm_query::{QNodeId, TreeQuery};
-use ktpm_runtime::RuntimeGraph;
 use ktpm_graph::Score;
+use ktpm_query::{QNodeId, TreeQuery};
+use ktpm_runtime::{GraphRef, RuntimeGraph};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// The `L`/`H` lists of every `(parent candidate, child slot)` pair plus
 /// the root list (root candidates keyed by `bs`).
@@ -71,7 +72,10 @@ impl SlotLists {
         for ui in 1..tree.len() {
             let u = QNodeId(ui as u32);
             let p = tree.parent(u).expect("non-root");
-            lists.push(vec![LazySortedList::default(); parent_cand_counts[p.index()]]);
+            lists.push(vec![
+                LazySortedList::default();
+                parent_cand_counts[p.index()]
+            ]);
         }
         SlotLists {
             lists,
@@ -210,11 +214,7 @@ impl LawlerCore {
     /// Like [`Self::divide`] but also yields candidates whose replacement
     /// rank is not (yet) available, flagged `false`, with score
     /// `Score::MAX`. Algorithm 3 parks those until more edges load.
-    pub fn divide_raw(
-        &mut self,
-        lists: &mut SlotLists,
-        m_id: u32,
-    ) -> Vec<(CandidateSpec, bool)> {
+    pub fn divide_raw(&mut self, lists: &mut SlotLists, m_id: u32) -> Vec<(CandidateSpec, bool)> {
         let m = &self.popped[m_id as usize];
         let (assignment, score, div_pos, rank_at_div) =
             (m.assignment.clone(), m.score, m.div_pos, m.rank_at_div);
@@ -300,7 +300,7 @@ impl LawlerCore {
 /// `take(k)` gives the top-k. Enumeration is unbounded (the kGPM layer
 /// streams past `k`).
 pub struct TopkEnumerator<'g> {
-    rg: &'g RuntimeGraph,
+    rg: GraphRef<'g>,
     core: LawlerCore,
     lists: SlotLists,
     /// Global queue `Q`: `(score, seq, candidate id)`.
@@ -323,9 +323,22 @@ impl<'g> TopkEnumerator<'g> {
     /// As [`Self::new`], with the `Q_l` optimization toggleable (for the
     /// ablation benchmark).
     pub fn with_side_queues(rg: &'g RuntimeGraph, use_side_queues: bool) -> Self {
-        let bs = BsData::compute(rg);
-        let mut lists = SlotLists::build_full(rg, &bs);
-        let mut core = LawlerCore::new(rg.query().tree());
+        Self::with_graph(GraphRef::Borrowed(rg), use_side_queues)
+    }
+
+    /// As [`Self::new`] over a shared (`Arc`) run-time graph. The
+    /// returned `TopkEnumerator<'static>` owns its graph handle, so it
+    /// can be parked in a session table and moved across threads; the
+    /// graph itself is shared, not copied.
+    pub fn new_shared(rg: Arc<RuntimeGraph>) -> TopkEnumerator<'static> {
+        TopkEnumerator::with_graph(GraphRef::Shared(rg), true)
+    }
+
+    fn with_graph(rg: GraphRef<'g>, use_side_queues: bool) -> Self {
+        let g = rg.get();
+        let bs = BsData::compute(g);
+        let mut lists = SlotLists::build_full(g, &bs);
+        let mut core = LawlerCore::new(g.query().tree());
         let mut q = BinaryHeap::new();
         let mut specs = Vec::new();
         if let Some(init) = core.initial_candidate(&mut lists) {
@@ -359,10 +372,11 @@ impl<'g> TopkEnumerator<'g> {
 
     fn to_scored(&self, m_id: u32) -> ScoredMatch {
         let m = self.core.popped_match(m_id);
-        let tree = self.rg.query().tree();
+        let rg = self.rg.get();
+        let tree = rg.query().tree();
         let assignment = tree
             .node_ids()
-            .map(|u| self.rg.node(u, m.assignment[u.index()]))
+            .map(|u| rg.node(u, m.assignment[u.index()]))
             .collect();
         ScoredMatch {
             score: m.score,
@@ -423,7 +437,9 @@ mod tests {
         let q = TreeQuery::parse(query).unwrap().resolve(g.interner());
         let store = MemStore::new(ClosureTables::compute(g));
         let rg = RuntimeGraph::load(&q, &store);
-        TopkEnumerator::with_side_queues(&rg, side).take(k).collect()
+        TopkEnumerator::with_side_queues(&rg, side)
+            .take(k)
+            .collect()
     }
 
     #[test]
@@ -487,6 +503,25 @@ mod tests {
         let g = citation_graph();
         let all = run(&g, "C -> E\nC -> S", 1000, true);
         assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn shared_enumerator_is_send_and_agrees_with_borrowed() {
+        fn assert_send<T: Send>(_: &T) {}
+        let g = paper_graph();
+        let q = TreeQuery::parse("a -> b\na -> c\nc -> d\nc -> e")
+            .unwrap()
+            .resolve(g.interner());
+        let store = MemStore::new(ClosureTables::compute(&g));
+        let rg = Arc::new(RuntimeGraph::load(&q, &store));
+        let borrowed: Vec<Score> = TopkEnumerator::new(&rg).take(50).map(|m| m.score).collect();
+        let mut shared = TopkEnumerator::new_shared(rg);
+        assert_send(&shared);
+        let scores: Vec<Score> =
+            std::thread::spawn(move || shared.by_ref().take(50).map(|m| m.score).collect())
+                .join()
+                .unwrap();
+        assert_eq!(borrowed, scores);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::lawler::SlotLists;
 use ktpm_graph::{Dist, NodeId, Score, INF_DIST};
 use ktpm_query::{EdgeKind, QNodeId, ResolvedQuery};
 use ktpm_runtime::CandidateSets;
-use ktpm_storage::{merge_sorted_blocks, ClosureSource, EdgeCursor};
+use ktpm_storage::{merge_sorted_blocks, ClosureSource, EdgeCursor, SharedSource, SourceRef};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashSet;
@@ -43,15 +43,15 @@ pub enum BoundMode {
     Loose,
 }
 
-enum CursorState<'s> {
+enum CursorState {
     Unopened,
-    Open(Box<dyn EdgeCursor + 's>),
+    Open(Box<dyn EdgeCursor + Send>),
     Exhausted,
 }
 
 /// The priority loader; see module docs.
 pub struct PriorityLoader<'s> {
-    source: &'s dyn ClosureSource,
+    source: SourceRef<'s>,
     query: ResolvedQuery,
     cands: CandidateSets,
     bound: BoundMode,
@@ -64,7 +64,7 @@ pub struct PriorityLoader<'s> {
     active: Vec<Vec<bool>>,
     ev: Vec<Vec<Dist>>,
     version: Vec<Vec<u32>>,
-    cursor: Vec<Vec<CursorState<'s>>>,
+    cursor: Vec<Vec<CursorState>>,
     /// Per (u, i): parent candidate indices already holding this child's
     /// edge (deduplicates `E`-seeded edges against cursor loads).
     seeded: Vec<Vec<HashSet<u32>>>,
@@ -91,9 +91,32 @@ impl<'s> PriorityLoader<'s> {
         bound: BoundMode,
         lists: &mut SlotLists,
     ) -> Self {
+        Self::with_source(query, SourceRef::Borrowed(source), bound, lists)
+    }
+
+    /// As [`Self::new`] over a shared (`Arc`) source: the loader owns a
+    /// reference-counted handle instead of a borrow, so the resulting
+    /// `PriorityLoader<'static>` can live inside long-running sessions
+    /// and move across worker threads.
+    pub fn new_shared(
+        query: &ResolvedQuery,
+        source: SharedSource,
+        bound: BoundMode,
+        lists: &mut SlotLists,
+    ) -> PriorityLoader<'static> {
+        PriorityLoader::with_source(query, SourceRef::Shared(source), bound, lists)
+    }
+
+    fn with_source(
+        query: &ResolvedQuery,
+        source: SourceRef<'s>,
+        bound: BoundMode,
+        lists: &mut SlotLists,
+    ) -> Self {
         let tree = query.tree();
         let n_t = tree.len();
-        let (cands, evs) = CandidateSets::from_d_tables(query, source);
+        let src = source.get();
+        let (cands, evs) = CandidateSets::from_d_tables(query, src);
         *lists = SlotLists::empty_shaped(
             tree,
             &(0..n_t)
@@ -104,13 +127,14 @@ impl<'s> PriorityLoader<'s> {
             .node_ids()
             .map(|u| tree.children(u).len() as u32)
             .collect();
-        let remaining_edges: Vec<Score> = tree.node_ids().map(|u| tree.remaining_edges(u)).collect();
+        let remaining_edges: Vec<Score> =
+            tree.node_ids().map(|u| tree.remaining_edges(u)).collect();
         let sizes: Vec<usize> = (0..n_t).map(|u| cands.len(QNodeId(u as u32))).collect();
         let src_labels: Vec<Vec<ktpm_graph::LabelId>> = tree
             .node_ids()
             .map(|u| match tree.parent(u) {
                 Some(p) => {
-                    let mut ls: Vec<_> = ktpm_runtime_label_pairs(query, source, p, u)
+                    let mut ls: Vec<_> = ktpm_runtime_label_pairs(query, src, p, u)
                         .into_iter()
                         .map(|(a, _)| a)
                         .collect();
@@ -162,12 +186,11 @@ impl<'s> PriorityLoader<'s> {
                 continue;
             }
             let p = tree.parent(u).expect("non-root");
-            for (a, b) in ktpm_runtime_label_pairs(&loader.query, source, p, u) {
-                for (v, child, dist) in source.load_e(a, b) {
-                    let (Some(pi), Some(ci)) = (
-                        loader.cands.index_of(p, v),
-                        loader.cands.index_of(u, child),
-                    ) else {
+            for (a, b) in ktpm_runtime_label_pairs(&loader.query, loader.source.get(), p, u) {
+                for (v, child, dist) in loader.source.get().load_e(a, b) {
+                    let (Some(pi), Some(ci)) =
+                        (loader.cands.index_of(p, v), loader.cands.index_of(u, child))
+                    else {
                         continue;
                     };
                     if loader.seeded[u.index()][ci as usize].insert(pi) {
@@ -311,13 +334,11 @@ impl<'s> PriorityLoader<'s> {
                     self.push_qg(p, pi);
                 }
             }
-            Some((old_key, _)) if key < old_key => {
-                if self.active[p as usize][pi as usize] {
-                    let entry = &mut self.bs_bar[p as usize][pi as usize];
-                    *entry -= old_key - key;
-                    self.version[p as usize][pi as usize] += 1;
-                    self.push_qg(p, pi);
-                }
+            Some((old_key, _)) if key < old_key && self.active[p as usize][pi as usize] => {
+                let entry = &mut self.bs_bar[p as usize][pi as usize];
+                *entry -= old_key - key;
+                self.version[p as usize][pi as usize] += 1;
+                self.push_qg(p, pi);
             }
             _ => {}
         }
@@ -390,17 +411,17 @@ impl<'s> PriorityLoader<'s> {
 
     /// Opens the incoming cursor of candidate `i` of `u`. Multi-label
     /// parents (wildcards) get an eager merged cursor.
-    fn open_cursor(&mut self, u: QNodeId, i: u32) -> CursorState<'s> {
+    fn open_cursor(&mut self, u: QNodeId, i: u32) -> CursorState {
         let v = self.cands.node(u, i);
         let src_labels = &self.src_labels[u.index()];
         match src_labels.len() {
             0 => CursorState::Exhausted,
-            1 => CursorState::Open(self.source.incoming_cursor(src_labels[0], v)),
+            1 => CursorState::Open(self.source.get().incoming_cursor(src_labels[0], v)),
             _ => {
                 // Wildcard-labeled parent: merge all labels' lists eagerly.
                 let mut parts = Vec::with_capacity(src_labels.len());
                 for &a in src_labels {
-                    let mut cur = self.source.incoming_cursor(a, v);
+                    let mut cur = self.source.get().incoming_cursor(a, v);
                     let mut all = Vec::new();
                     loop {
                         let b = cur.next_block();

@@ -20,20 +20,20 @@ pub fn paper_graph() -> LabeledGraph {
     ];
     let nodes: Vec<NodeId> = labels.iter().map(|l| b.add_node(l)).collect();
     let edges = [
-        (1, 0), // v2 -> v1  (so δ(v2, v5) = δ(v2, v6) = 2)
-        (0, 2), // v1 -> v3
-        (0, 4), // v1 -> v5
-        (0, 5), // v1 -> v6
-        (2, 3), // v3 -> v4  (so δ(v1, v4) = 2 > δ(v1, v3))
-        (4, 6), // v5 -> v7
-        (4, 8), // v5 -> v9
+        (1, 0),  // v2 -> v1  (so δ(v2, v5) = δ(v2, v6) = 2)
+        (0, 2),  // v1 -> v3
+        (0, 4),  // v1 -> v5
+        (0, 5),  // v1 -> v6
+        (2, 3),  // v3 -> v4  (so δ(v1, v4) = 2 > δ(v1, v3))
+        (4, 6),  // v5 -> v7
+        (4, 8),  // v5 -> v9
         (4, 10), // v5 -> v11
-        (5, 6), // v6 -> v7
+        (5, 6),  // v6 -> v7
         (5, 11), // v6 -> v12
-        (6, 7), // v7 -> v8  (so d^c_{v8} = 2, the one stored D^c_d entry)
-        (6, 8), // v7 -> v9  (so δ(v6, v9) = 2, Example 4.1's E^c_e entry)
+        (6, 7),  // v7 -> v8  (so d^c_{v8} = 2, the one stored D^c_d entry)
+        (6, 8),  // v7 -> v9  (so δ(v6, v9) = 2, Example 4.1's E^c_e entry)
         (6, 12), // v7 -> v13
-        (8, 9), // v9 -> v10
+        (8, 9),  // v9 -> v10
     ];
     for (u, v) in edges {
         b.add_edge(nodes[u], nodes[v], 1);

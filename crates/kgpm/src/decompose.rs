@@ -151,8 +151,8 @@ mod tests {
 
     #[test]
     fn tree_pattern_needs_one_tree() {
-        let q = GraphQuery::new(labels(&["a", "b", "c", "d"]), vec![(0, 1), (0, 2), (2, 3)])
-            .unwrap();
+        let q =
+            GraphQuery::new(labels(&["a", "b", "c", "d"]), vec![(0, 1), (0, 2), (2, 3)]).unwrap();
         let trees = decompose(&q);
         assert_eq!(trees.len(), 1);
         assert!(trees[0].non_tree_edges.is_empty());

@@ -32,7 +32,9 @@ mod tests {
         assert_eq!(u.num_nodes(), g.num_nodes());
         assert_eq!(u.num_edges(), g.num_edges() * 2);
         for e in g.edges() {
-            assert!(u.out_edges(e.to).any(|x| x.to == e.from && x.weight == e.weight));
+            assert!(u
+                .out_edges(e.to)
+                .any(|x| x.to == e.from && x.weight == e.weight));
         }
     }
 

@@ -85,7 +85,9 @@ impl TreeQuery {
             let mut sides = line.splitn(2, sep);
             let lhs = sides.next().map(str::trim).unwrap_or("");
             let rhs = sides.next().map(str::trim).unwrap_or("");
-            if lhs.is_empty() || rhs.is_empty() || lhs.contains(char::is_whitespace)
+            if lhs.is_empty()
+                || rhs.is_empty()
+                || lhs.contains(char::is_whitespace)
                 || rhs.contains(char::is_whitespace)
             {
                 return Err(ParseError::BadLine(lineno + 1, raw.to_owned()));
@@ -112,10 +114,8 @@ mod tests {
 
     #[test]
     fn parse_child_edges_and_comments() {
-        let q = TreeQuery::parse(
-            "# the query of fig 2a\n a -> b\n a -> c\n c => d\n c -> e\n",
-        )
-        .unwrap();
+        let q = TreeQuery::parse("# the query of fig 2a\n a -> b\n a -> c\n c => d\n c -> e\n")
+            .unwrap();
         assert_eq!(q.len(), 5);
         let d = q
             .node_ids()

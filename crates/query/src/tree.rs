@@ -499,7 +499,10 @@ mod tests {
 
     #[test]
     fn empty_rejected() {
-        assert_eq!(TreeQueryBuilder::new().build().unwrap_err(), QueryError::Empty);
+        assert_eq!(
+            TreeQueryBuilder::new().build().unwrap_err(),
+            QueryError::Empty
+        );
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! An offline, dependency-free stand-in for the `rand` crate exposing
+//! the API subset this workspace uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and [`RngExt`] with `random`,
+//! `random_range`, and `random_bool`.
+//!
+//! The generator is SplitMix64 — statistically fine for workload
+//! synthesis and property tests, deterministic for a given seed (which
+//! is all the callers rely on), but **not** the same stream as the real
+//! `StdRng`, and not cryptographically secure.
+
+/// Seedable random generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The standard generator (SplitMix64 here; see crate docs).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl StdRng {
+        /// The next raw 64-bit output (SplitMix64 step).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Types producible by [`RngExt::random`].
+pub trait Standard: Sized {
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_u64(raw: u64) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_u64(raw: u64) -> f32 {
+        (raw >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn from_u64(raw: u64) -> u64 {
+        raw
+    }
+}
+
+impl Standard for u32 {
+    fn from_u64(raw: u64) -> u32 {
+        (raw >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn from_u64(raw: u64) -> bool {
+        raw & 1 == 1
+    }
+}
+
+/// Integer types usable with [`RngExt::random_range`].
+pub trait UniformInt: Copy + PartialOrd {
+    fn to_u64(self) -> u64;
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! uniform_signed {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            // Order-preserving bias into u64 so range arithmetic works.
+            fn to_u64(self) -> u64 { (self as i64 as u64) ^ (1 << 63) }
+            fn from_u64(v: u64) -> Self { (v ^ (1 << 63)) as i64 as $t }
+        }
+    )*};
+}
+uniform_signed!(i8, i16, i32, i64, isize);
+
+/// Random-value convenience methods (the `rand::Rng`/`RngExt` surface).
+pub trait RngExt {
+    /// The next raw 64-bit output.
+    fn gen_u64(&mut self) -> u64;
+
+    /// A uniformly random value of `T`.
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_u64(self.gen_u64())
+    }
+
+    /// A uniformly random integer inside `range` (panics when empty).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: std::ops::RangeBounds<T>,
+    {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&b) => b.to_u64(),
+            Bound::Excluded(&b) => b.to_u64() + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&b) => b.to_u64(),
+            Bound::Excluded(&b) => b.to_u64().checked_sub(1).expect("empty range"),
+            Bound::Unbounded => u64::MAX,
+        };
+        assert!(lo <= hi, "empty range in random_range");
+        let span = hi - lo + 1; // span == 0 means the full u64 domain
+        let v = if span == 0 {
+            self.gen_u64()
+        } else {
+            // Multiply-shift bounded sampling (Lemire); bias is < 2^-32
+            // for the span sizes used here — acceptable for a shim.
+            ((self.gen_u64() as u128 * span as u128) >> 64) as u64 + lo
+        };
+        T::from_u64(v)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl RngExt for rngs::StdRng {
+    fn gen_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u32 = r.random_range(3..10);
+            assert!((3..10).contains(&x));
+            let y: usize = r.random_range(5..=5);
+            assert_eq!(y, 5);
+        }
+    }
+
+    #[test]
+    fn random_f64_is_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((0.3..0.7).contains(&(sum / 1000.0)), "mean {sum}");
+    }
+}

@@ -23,4 +23,4 @@ mod candidates;
 mod rgraph;
 
 pub use candidates::{label_pairs, CandidateSets};
-pub use rgraph::{RuntimeGraph, RuntimeStats};
+pub use rgraph::{GraphRef, RuntimeGraph, RuntimeStats};

@@ -1,0 +1,180 @@
+//! The LRU result cache.
+//!
+//! Keyed by `(algorithm, canonical query text)`; the value is the
+//! longest *prefix* of the score-ordered match stream any session has
+//! produced for that key, plus whether the stream was exhausted. A
+//! session opening a hot query starts on the cached prefix and only
+//! falls back to a live enumerator if the client outruns it — so
+//! repeated `top-k` requests with the same (or smaller) `k` never touch
+//! the enumeration machinery at all.
+//!
+//! Two subtleties:
+//!
+//! * Only *prefixes* are cacheable: enumeration yields matches in
+//!   non-decreasing score order, so the first `n` matches of one run
+//!   are a valid answer for any request of `k <= n` (ties may order
+//!   differently between algorithms, which is why the algorithm is part
+//!   of the key).
+//! * Prefixes only ever grow: `insert` keeps the longer of the stored
+//!   and offered prefix, so concurrent sessions racing to publish
+//!   cannot shrink the cache.
+
+use ktpm_core::ScoredMatch;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: algorithm name + canonicalized query text.
+pub type CacheKey = (&'static str, String);
+
+/// A cached score-ordered match prefix.
+#[derive(Debug, Clone)]
+pub struct CachedPrefix {
+    /// The first `matches.len()` matches of the stream.
+    pub matches: Arc<Vec<ScoredMatch>>,
+    /// Whether the stream ends at `matches.len()` (the whole answer).
+    pub complete: bool,
+}
+
+/// An LRU map from query fingerprints to match prefixes.
+///
+/// Recency is tracked with a monotone stamp per entry; eviction scans
+/// for the minimum (O(capacity), fine at the configured sizes — the
+/// scan only runs when the cache is full and a *new* key arrives).
+pub struct ResultCache {
+    capacity: usize,
+    stamp: u64,
+    entries: HashMap<CacheKey, (CachedPrefix, u64)>,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity: capacity.max(1),
+            stamp: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency.
+    pub fn get(&mut self, key: &CacheKey) -> Option<CachedPrefix> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.entries.get_mut(key).map(|(p, s)| {
+            *s = stamp;
+            p.clone()
+        })
+    }
+
+    /// Publishes a prefix for `key`, keeping the longest one seen. A
+    /// complete prefix always wins over an incomplete one of equal
+    /// length.
+    pub fn insert(&mut self, key: CacheKey, prefix: CachedPrefix) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some((existing, s)) = self.entries.get_mut(&key) {
+            *s = stamp;
+            let better = prefix.matches.len() > existing.matches.len()
+                || (prefix.matches.len() == existing.matches.len() && prefix.complete);
+            if better {
+                *existing = prefix;
+            }
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, s))| *s)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, (prefix, stamp));
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktpm_graph::NodeId;
+
+    fn prefix(n: usize, complete: bool) -> CachedPrefix {
+        CachedPrefix {
+            matches: Arc::new(
+                (0..n)
+                    .map(|i| ScoredMatch {
+                        score: i as u64,
+                        assignment: vec![NodeId(i as u32)],
+                    })
+                    .collect(),
+            ),
+            complete,
+        }
+    }
+
+    fn key(s: &str) -> CacheKey {
+        ("topk", s.to_string())
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut c = ResultCache::new(4);
+        assert!(c.get(&key("q1")).is_none());
+        c.insert(key("q1"), prefix(3, false));
+        let got = c.get(&key("q1")).unwrap();
+        assert_eq!(got.matches.len(), 3);
+        assert!(!got.complete);
+    }
+
+    #[test]
+    fn longer_prefix_wins_shorter_is_ignored() {
+        let mut c = ResultCache::new(4);
+        c.insert(key("q"), prefix(5, false));
+        c.insert(key("q"), prefix(2, false)); // shorter: ignored
+        assert_eq!(c.get(&key("q")).unwrap().matches.len(), 5);
+        c.insert(key("q"), prefix(8, true));
+        let got = c.get(&key("q")).unwrap();
+        assert_eq!(got.matches.len(), 8);
+        assert!(got.complete);
+    }
+
+    #[test]
+    fn complete_beats_incomplete_at_equal_length() {
+        let mut c = ResultCache::new(4);
+        c.insert(key("q"), prefix(4, false));
+        c.insert(key("q"), prefix(4, true));
+        assert!(c.get(&key("q")).unwrap().complete);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        c.insert(key("a"), prefix(1, true));
+        c.insert(key("b"), prefix(1, true));
+        c.get(&key("a")); // refresh a; b is now LRU
+        c.insert(key("c"), prefix(1, true));
+        assert!(c.get(&key("a")).is_some());
+        assert!(c.get(&key("b")).is_none());
+        assert!(c.get(&key("c")).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn distinct_algos_are_distinct_keys() {
+        let mut c = ResultCache::new(4);
+        c.insert(("topk", "q".into()), prefix(1, true));
+        assert!(c.get(&("topk-en", "q".into())).is_none());
+    }
+}

@@ -1,0 +1,333 @@
+//! The query engine: shared store + session table + result cache +
+//! worker pool, behind a cloneable [`ServiceHandle`].
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::pool::WorkerPool;
+use crate::session::{Session, SessionId, SessionTable};
+use crate::ServiceConfig;
+use ktpm_core::ScoredMatch;
+use ktpm_graph::LabelInterner;
+use ktpm_query::TreeQuery;
+use ktpm_storage::SharedSource;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The algorithms a session can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// Algorithm 1 (`Topk`): full run-time graph load, optimal
+    /// per-result delay.
+    Topk,
+    /// Algorithm 3 (`Topk-EN`): lazy loading with delayed insertion —
+    /// the default; cheapest for small `k`.
+    TopkEn,
+    /// The exhaustive test oracle (exponential; tiny inputs only).
+    Brute,
+}
+
+impl Algo {
+    /// Every algorithm, in documentation order.
+    pub const ALL: [Algo; 3] = [Algo::Topk, Algo::TopkEn, Algo::Brute];
+
+    /// The wire/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Topk => "topk",
+            Algo::TopkEn => "topk-en",
+            Algo::Brute => "brute",
+        }
+    }
+
+    /// Parses a wire/CLI name.
+    pub fn parse(s: &str) -> Option<Algo> {
+        Algo::ALL.into_iter().find(|a| a.name() == s)
+    }
+
+    /// `"topk | topk-en | brute"` — for error messages.
+    pub fn valid_names() -> String {
+        Algo::ALL
+            .iter()
+            .map(|a| a.name())
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+/// Errors surfaced to service clients.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The query text failed to parse or resolve.
+    BadQuery(String),
+    /// Not one of [`Algo::valid_names`].
+    UnknownAlgo(String),
+    /// No such (or already closed / evicted) session.
+    UnknownSession(SessionId),
+    /// The session table is full even after TTL eviction.
+    SessionLimit(usize),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::BadQuery(m) => write!(f, "bad query: {m}"),
+            ServiceError::UnknownAlgo(a) => {
+                write!(
+                    f,
+                    "unknown algorithm {a:?} (expected {})",
+                    Algo::valid_names()
+                )
+            }
+            ServiceError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServiceError::SessionLimit(n) => write!(f, "session limit reached ({n})"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One batch of results from [`ServiceHandle::next`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NextBatch {
+    /// The next matches, in non-decreasing score order. May be shorter
+    /// than requested at stream end.
+    pub matches: Vec<ScoredMatch>,
+    /// Whether the stream is finished (subsequent `next` calls return
+    /// empty batches).
+    pub exhausted: bool,
+}
+
+/// Aggregate engine state for `STATS`.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineStats {
+    /// Live sessions in the table.
+    pub sessions_active: usize,
+    /// Entries in the result cache.
+    pub cache_entries: usize,
+    /// Worker pool width.
+    pub workers: usize,
+    /// Monotonic counters.
+    pub metrics: MetricsSnapshot,
+}
+
+/// The shared engine state; use [`QueryEngine::new`] to get a
+/// [`ServiceHandle`].
+pub struct QueryEngine {
+    interner: LabelInterner,
+    source: SharedSource,
+    sessions: SessionTable,
+    cache: Mutex<ResultCache>,
+    metrics: ServiceMetrics,
+    pool: WorkerPool,
+    next_id: AtomicU64,
+    config: ServiceConfig,
+}
+
+/// A cheap, cloneable handle to a [`QueryEngine`]; the embedding API.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    engine: Arc<QueryEngine>,
+}
+
+impl QueryEngine {
+    /// Builds an engine serving queries over `source`, resolving query
+    /// labels through `interner` (clone it off the data graph).
+    ///
+    /// Returns the [`ServiceHandle`] rather than the engine itself: the
+    /// engine only ever lives behind the handle's `Arc`.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(
+        interner: LabelInterner,
+        source: SharedSource,
+        config: ServiceConfig,
+    ) -> ServiceHandle {
+        ServiceHandle {
+            engine: Arc::new(QueryEngine {
+                interner,
+                source,
+                sessions: SessionTable::new(),
+                cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+                metrics: ServiceMetrics::default(),
+                pool: WorkerPool::new(config.workers),
+                next_id: AtomicU64::new(1),
+                config,
+            }),
+        }
+    }
+}
+
+/// Canonicalizes query text so semantically identical requests share
+/// sessions' cache entries: lines trimmed, inner whitespace collapsed,
+/// blank lines dropped. Line *order* is preserved (it defines the
+/// tree's BFS numbering).
+pub(crate) fn canonicalize(query: &str) -> String {
+    query
+        .lines()
+        .map(|l| l.split_whitespace().collect::<Vec<_>>().join(" "))
+        .filter(|l| !l.is_empty())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+impl ServiceHandle {
+    /// Opens a session for `(query, algo)`. The query uses the
+    /// `A -> B` / `A => B` twig text format, newline- (or on the wire,
+    /// `;`-) separated.
+    pub fn open(&self, query: &str, algo: Algo) -> Result<SessionId, ServiceError> {
+        let e = &self.engine;
+        let canonical = canonicalize(query);
+        let tree = TreeQuery::parse(&canonical).map_err(|err| {
+            e.metrics.error();
+            ServiceError::BadQuery(err.to_string())
+        })?;
+        let resolved = tree.resolve(&e.interner);
+        let key: CacheKey = (algo.name(), canonical);
+        let cached = e.cache.lock().expect("cache lock").get(&key);
+        match &cached {
+            Some(_) => e.metrics.cache_hit(),
+            None => e.metrics.cache_miss(),
+        }
+        let session = Session::new(
+            algo,
+            key.1,
+            resolved,
+            Arc::clone(&e.source),
+            cached.as_ref(),
+        );
+        let id = SessionId(e.next_id.fetch_add(1, Ordering::Relaxed));
+        let max = e.config.max_sessions;
+        // Cap check and insert are atomic (one table lock); on a full
+        // table, reclaim idle sessions once and retry.
+        if let Err(session) = e.sessions.insert_capped(id, session, max) {
+            self.sweep_expired();
+            if e.sessions.insert_capped(id, session, max).is_err() {
+                e.metrics.error();
+                return Err(ServiceError::SessionLimit(max));
+            }
+        }
+        e.metrics.session_opened();
+        Ok(id)
+    }
+
+    /// Produces the next `n` matches of a session, resuming exactly
+    /// where the previous batch stopped. Executed on the worker pool;
+    /// concurrent calls on the *same* session serialize, different
+    /// sessions run in parallel up to the pool width.
+    pub fn next(&self, id: SessionId, n: usize) -> Result<NextBatch, ServiceError> {
+        let e = &self.engine;
+        let Some(slot) = e.sessions.get(id) else {
+            e.metrics.error();
+            return Err(ServiceError::UnknownSession(id));
+        };
+        e.metrics.next_call();
+        let engine = Arc::clone(e);
+        let batch = e.pool.run(move || {
+            let mut session = slot.session.lock().expect("session lock");
+            let adv = session.advance(n);
+            if let Some(prefix) = adv.publish {
+                let key = session.cache_key();
+                engine.cache.lock().expect("cache lock").insert(key, prefix);
+            }
+            NextBatch {
+                matches: adv.matches,
+                exhausted: adv.exhausted,
+            }
+        });
+        e.metrics.matches_served(batch.matches.len() as u64);
+        Ok(batch)
+    }
+
+    /// Closes a session, publishing its final prefix to the cache.
+    pub fn close(&self, id: SessionId) -> Result<(), ServiceError> {
+        let e = &self.engine;
+        let Some(slot) = e.sessions.remove(id) else {
+            e.metrics.error();
+            return Err(ServiceError::UnknownSession(id));
+        };
+        let session = slot.session.lock().expect("session lock");
+        if let Some(prefix) = session.final_prefix() {
+            e.cache
+                .lock()
+                .expect("cache lock")
+                .insert(session.cache_key(), prefix);
+        }
+        e.metrics.session_closed();
+        Ok(())
+    }
+
+    /// One-shot convenience: open + next(k) + close.
+    pub fn topk(
+        &self,
+        query: &str,
+        algo: Algo,
+        k: usize,
+    ) -> Result<Vec<ScoredMatch>, ServiceError> {
+        let id = self.open(query, algo)?;
+        let batch = self.next(id, k)?;
+        self.close(id)?;
+        Ok(batch.matches)
+    }
+
+    /// Evicts sessions idle past the TTL (also runs opportunistically
+    /// when the table is full and from the server's janitor thread).
+    /// Evicted sessions publish their prefixes first, so their work is
+    /// not lost.
+    pub fn sweep_expired(&self) -> usize {
+        let e = &self.engine;
+        let evicted = e.sessions.sweep(e.config.session_ttl);
+        let n = evicted.len();
+        for slot in evicted {
+            let session = slot.session.lock().expect("session lock");
+            if let Some(prefix) = session.final_prefix() {
+                e.cache
+                    .lock()
+                    .expect("cache lock")
+                    .insert(session.cache_key(), prefix);
+            }
+        }
+        if n > 0 {
+            e.metrics.sessions_evicted(n as u64);
+        }
+        n
+    }
+
+    /// Aggregate engine state.
+    pub fn stats(&self) -> EngineStats {
+        let e = &self.engine;
+        EngineStats {
+            sessions_active: e.sessions.len(),
+            cache_entries: e.cache.lock().expect("cache lock").len(),
+            workers: e.pool.width(),
+            metrics: e.metrics.snapshot(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.engine.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algo_names_roundtrip() {
+        for a in Algo::ALL {
+            assert_eq!(Algo::parse(a.name()), Some(a));
+        }
+        assert_eq!(Algo::parse("nope"), None);
+        assert_eq!(Algo::valid_names(), "topk | topk-en | brute");
+    }
+
+    #[test]
+    fn canonicalize_normalizes_whitespace_keeps_order() {
+        assert_eq!(canonicalize("  C ->  E \n\n C -> S  "), "C -> E\nC -> S");
+        assert_ne!(
+            canonicalize("A -> B\nA -> C"),
+            canonicalize("A -> C\nA -> B")
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! # ktpm-service
+//!
+//! The serving layer: a concurrent, resumable top-k query service over
+//! one data graph and one closure store.
+//!
+//! The paper's headline result is that top-k matches can be
+//! *enumerated* — results stream out one at a time in score order —
+//! which is exactly the shape a server wants. This crate keeps that
+//! enumeration state alive across requests:
+//!
+//! * [`QueryEngine`] / [`ServiceHandle`] — the in-process API. The
+//!   engine owns a shared thread-safe closure store
+//!   (`Arc<dyn ClosureSource>`), a session table, a result cache, and a
+//!   worker pool; the handle is a cheap clone shared across client
+//!   threads.
+//! * **Sessions** ([`SessionId`]) — a client opens a session for a
+//!   `(query, algorithm)` pair and repeatedly asks for "next n"
+//!   matches. The session parks the live `TopkEnumerator` /
+//!   `TopkEnEnumerator` (the crate-`core` iterators, via their
+//!   `new_shared` constructors) so resuming never pays setup again.
+//!   Idle sessions are evicted after a TTL.
+//! * **Result cache** — an LRU keyed by the canonicalized query text
+//!   plus algorithm, holding the longest match prefix any session has
+//!   produced. Hot repeated queries are answered without touching an
+//!   enumerator at all; a session that outruns the cached prefix
+//!   transparently falls back to live enumeration.
+//! * **Wire protocol** ([`protocol`]) + [`server`] — a line-based TCP
+//!   front end (`OPEN` / `NEXT` / `CLOSE` / `STATS`) used by
+//!   `ktpm serve`.
+//!
+//! ## Embedding
+//!
+//! ```
+//! use ktpm_service::{Algo, QueryEngine, ServiceConfig};
+//! use ktpm_closure::ClosureTables;
+//! use ktpm_graph::fixtures::citation_graph;
+//! use ktpm_storage::MemStore;
+//!
+//! let g = citation_graph();
+//! let store = MemStore::new(ClosureTables::compute(&g)).into_shared();
+//! let handle = QueryEngine::new(g.interner().clone(), store, ServiceConfig::default());
+//!
+//! let sid = handle.open("C -> E\nC -> S", Algo::TopkEn).unwrap();
+//! let first = handle.next(sid, 2).unwrap();
+//! assert_eq!(first.matches.len(), 2);
+//! let rest = handle.next(sid, 10).unwrap(); // resumes, no re-setup
+//! assert!(rest.exhausted);
+//! handle.close(sid).unwrap();
+//! ```
+
+mod cache;
+mod engine;
+mod metrics;
+mod pool;
+pub mod protocol;
+mod server;
+mod session;
+
+pub use cache::{CacheKey, CachedPrefix, ResultCache};
+pub use engine::{Algo, NextBatch, QueryEngine, ServiceError, ServiceHandle};
+pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use pool::WorkerPool;
+pub use server::Server;
+pub use session::{SessionId, SessionTable};
+
+use std::time::Duration;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing `next` batches.
+    pub workers: usize,
+    /// Idle sessions older than this are evicted.
+    pub session_ttl: Duration,
+    /// Maximum number of concurrently open sessions (`open` fails
+    /// beyond it after TTL eviction has been attempted).
+    pub max_sessions: usize,
+    /// Maximum number of cached query results (LRU beyond it).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get().min(16)),
+            session_ttl: Duration::from_secs(300),
+            max_sessions: 10_000,
+            cache_capacity: 1_024,
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Service-level counters (atomic, lock-free, shared by reference).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing engine activity since start.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    sessions_opened: AtomicU64,
+    sessions_closed: AtomicU64,
+    sessions_evicted: AtomicU64,
+    next_calls: AtomicU64,
+    matches_served: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServiceMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Sessions created via `open`.
+    pub sessions_opened: u64,
+    /// Sessions ended via `close`.
+    pub sessions_closed: u64,
+    /// Sessions reclaimed by TTL eviction.
+    pub sessions_evicted: u64,
+    /// `next` batches executed.
+    pub next_calls: u64,
+    /// Total matches returned to clients.
+    pub matches_served: u64,
+    /// Sessions opened against a cached result prefix.
+    pub cache_hits: u64,
+    /// Sessions that had to start a live enumerator.
+    pub cache_misses: u64,
+    /// Requests that failed (bad query, unknown session, ...).
+    pub errors: u64,
+}
+
+macro_rules! bump {
+    ($($fn_name:ident => $field:ident),* $(,)?) => {$(
+        #[doc = concat!("Increments `", stringify!($field), "`.")]
+        pub fn $fn_name(&self) {
+            self.$field.fetch_add(1, Ordering::Relaxed);
+        }
+    )*};
+}
+
+impl ServiceMetrics {
+    bump! {
+        session_opened => sessions_opened,
+        session_closed => sessions_closed,
+        next_call => next_calls,
+        cache_hit => cache_hits,
+        cache_miss => cache_misses,
+        error => errors,
+    }
+
+    /// Adds `n` evicted sessions.
+    pub fn sessions_evicted(&self, n: u64) {
+        self.sessions_evicted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` served matches.
+    pub fn matches_served(&self, n: u64) {
+        self.matches_served.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+            next_calls: self.next_calls.load(Ordering::Relaxed),
+            matches_served: self.matches_served.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders as the `STATS` wire line payload (`key=value` pairs).
+    pub fn to_wire(&self) -> String {
+        format!(
+            "sessions_opened={} sessions_closed={} sessions_evicted={} next_calls={} \
+             matches_served={} cache_hits={} cache_misses={} errors={}",
+            self.sessions_opened,
+            self.sessions_closed,
+            self.sessions_evicted,
+            self.next_calls,
+            self.matches_served,
+            self.cache_hits,
+            self.cache_misses,
+            self.errors,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ServiceMetrics::default();
+        m.session_opened();
+        m.session_opened();
+        m.session_closed();
+        m.sessions_evicted(3);
+        m.next_call();
+        m.matches_served(10);
+        m.cache_hit();
+        m.cache_miss();
+        m.error();
+        let s = m.snapshot();
+        assert_eq!(s.sessions_opened, 2);
+        assert_eq!(s.sessions_closed, 1);
+        assert_eq!(s.sessions_evicted, 3);
+        assert_eq!(s.next_calls, 1);
+        assert_eq!(s.matches_served, 10);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.errors, 1);
+        assert!(s.to_wire().contains("matches_served=10"));
+    }
+}

@@ -1,0 +1,145 @@
+//! A fixed-size worker pool for query execution.
+//!
+//! Deliberately minimal (std-only, no external executor): one shared
+//! MPMC-by-mutex job queue drained by N threads. Query batches are
+//! short and CPU-bound, so a simple queue is enough; the pool's job is
+//! to cap concurrent enumeration work at a configured width no matter
+//! how many client connections pile in.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed set of worker threads executing submitted closures.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("ktpm-worker-{i}"))
+                    .spawn(move || worker_loop(rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Enqueues a job; some worker will run it.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool is alive while tx is Some")
+            .send(Box::new(job))
+            .expect("workers outlive the pool handle");
+    }
+
+    /// Runs `job` on a worker and blocks for its result. If the job
+    /// panics, the panic is re-raised *here* (on the caller's thread);
+    /// the worker itself survives and keeps serving the queue.
+    pub fn run<T: Send + 'static>(&self, job: impl FnOnce() -> T + Send + 'static) -> T {
+        let (tx, rx): (Sender<T>, Receiver<T>) = channel();
+        self.execute(move || {
+            // A dropped tx (client gone) is fine; result is discarded.
+            let _ = tx.send(job());
+        });
+        rx.recv()
+            .expect("job panicked on a worker thread (see worker's panic output)")
+    }
+
+    /// Number of worker threads.
+    pub fn width(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = match rx.lock() {
+            Ok(guard) => match guard.recv() {
+                Ok(job) => job,
+                Err(_) => return, // pool dropped: drain and exit
+            },
+            // A sibling worker panicked while holding the queue lock
+            // (only possible between recv and job; harmless): continue.
+            Err(poisoned) => match poisoned.into_inner().recv() {
+                Ok(job) => job,
+                Err(_) => return,
+            },
+        };
+        // Contain panics to the failing job: the worker (and therefore
+        // the pool) must survive a pathological query. The caller
+        // blocked in `run` observes the panic through its dropped
+        // channel sender.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // disconnect: workers exit after current job
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_all_jobs_across_workers() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.width(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // join
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn run_returns_job_result() {
+        let pool = WorkerPool::new(2);
+        let results: Vec<usize> = (0..10).map(|i| pool.run(move || i * i)).collect();
+        assert_eq!(results, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_pool() {
+        let pool = WorkerPool::new(1);
+        // The panic surfaces on the caller thread...
+        let observed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|| -> usize { panic!("bad query") })
+        }));
+        assert!(observed.is_err(), "caller must observe the panic");
+        // ...but the single worker survives and serves the next job.
+        assert_eq!(pool.run(|| 41 + 1), 42);
+    }
+
+    #[test]
+    fn zero_width_is_clamped_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.width(), 1);
+        assert_eq!(pool.run(|| 7), 7);
+    }
+}

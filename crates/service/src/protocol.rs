@@ -1,0 +1,238 @@
+//! The line-based wire protocol spoken by `ktpm serve`.
+//!
+//! Requests are single lines, UTF-8, `\n`-terminated:
+//!
+//! ```text
+//! OPEN <algo> <query>      algo: topk | topk-en | brute; the query is
+//!                          the twig text format with `;` standing in
+//!                          for newlines, e.g. `OPEN topk-en C -> E; C -> S`
+//! NEXT <session> <n>       next n matches of the session
+//! CLOSE <session>          end the session
+//! STATS                    engine counters
+//! ```
+//!
+//! Responses:
+//!
+//! ```text
+//! OK <session>                          for OPEN
+//! OK <j> MORE|DONE                      for NEXT, followed by j lines:
+//! M <score> <node> <node> ...             one per match, nodes in query
+//!                                         BFS order
+//! OK closed                             for CLOSE
+//! OK <key>=<value> ...                  for STATS (one line)
+//! ERR <message>                         any failure; the connection
+//!                                       stays usable
+//! ```
+//!
+//! Verbs are case-insensitive; everything else is verbatim.
+
+use crate::engine::NextBatch;
+use crate::session::SessionId;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `OPEN <algo> <query>` (query `;`-separated).
+    Open {
+        /// Algorithm name (validated by the engine).
+        algo: String,
+        /// Query text with `;` already translated to newlines.
+        query: String,
+    },
+    /// `NEXT <session> <n>`.
+    Next {
+        /// Target session.
+        id: SessionId,
+        /// Batch size.
+        n: usize,
+    },
+    /// `CLOSE <session>`.
+    Close {
+        /// Target session.
+        id: SessionId,
+    },
+    /// `STATS`.
+    Stats,
+}
+
+/// Parses one request line (without trailing newline).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "OPEN" => {
+            let (algo, query) = rest
+                .split_once(char::is_whitespace)
+                .ok_or("usage: OPEN <algo> <query>")?;
+            let query = query.replace(';', "\n");
+            if query.trim().is_empty() {
+                return Err("usage: OPEN <algo> <query>".into());
+            }
+            Ok(Request::Open {
+                algo: algo.to_string(),
+                query,
+            })
+        }
+        "NEXT" => {
+            let mut it = rest.split_whitespace();
+            let id: SessionId = it
+                .next()
+                .ok_or("usage: NEXT <session> <n>")?
+                .parse()
+                .map_err(|e| format!("bad session id: {e}"))?;
+            let n: usize = it
+                .next()
+                .ok_or("usage: NEXT <session> <n>")?
+                .parse()
+                .map_err(|e| format!("bad count: {e}"))?;
+            if it.next().is_some() {
+                return Err("usage: NEXT <session> <n>".into());
+            }
+            Ok(Request::Next { id, n })
+        }
+        "CLOSE" => {
+            let id: SessionId = rest
+                .split_whitespace()
+                .next()
+                .ok_or("usage: CLOSE <session>")?
+                .parse()
+                .map_err(|e| format!("bad session id: {e}"))?;
+            Ok(Request::Close { id })
+        }
+        "STATS" => Ok(Request::Stats),
+        other => Err(format!(
+            "unknown command {other:?} (expected OPEN | NEXT | CLOSE | STATS)"
+        )),
+    }
+}
+
+/// Renders a `NEXT` response (header + match lines).
+pub fn render_next(batch: &NextBatch) -> String {
+    let mut out = format!(
+        "OK {} {}\n",
+        batch.matches.len(),
+        if batch.exhausted { "DONE" } else { "MORE" }
+    );
+    for m in &batch.matches {
+        out.push_str("M ");
+        out.push_str(&m.score.to_string());
+        for v in &m.assignment {
+            out.push(' ');
+            out.push_str(&v.0.to_string());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the body of a `NEXT` response (the client side; used by tests
+/// and example clients). Input is the header line followed by match
+/// lines, as produced by [`render_next`].
+pub fn parse_next_response(text: &str) -> Result<NextBatch, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty response")?;
+    let mut hp = header.split_whitespace();
+    match hp.next() {
+        Some("OK") => {}
+        Some("ERR") => return Err(header[4.min(header.len())..].to_string()),
+        _ => return Err(format!("bad header {header:?}")),
+    }
+    let count: usize = hp
+        .next()
+        .ok_or("missing count")?
+        .parse()
+        .map_err(|e| format!("bad count: {e}"))?;
+    let exhausted = match hp.next() {
+        Some("DONE") => true,
+        Some("MORE") => false,
+        other => return Err(format!("bad stream flag {other:?}")),
+    };
+    let mut matches = Vec::with_capacity(count);
+    for _ in 0..count {
+        let line = lines.next().ok_or("truncated response")?;
+        let mut p = line.split_whitespace();
+        if p.next() != Some("M") {
+            return Err(format!("bad match line {line:?}"));
+        }
+        let score = p
+            .next()
+            .ok_or("missing score")?
+            .parse()
+            .map_err(|e| format!("bad score: {e}"))?;
+        let assignment = p
+            .map(|t| t.parse().map(ktpm_graph::NodeId))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| format!("bad node id: {e}"))?;
+        matches.push(ktpm_core::ScoredMatch { score, assignment });
+    }
+    Ok(NextBatch { matches, exhausted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktpm_core::ScoredMatch;
+    use ktpm_graph::NodeId;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(
+            parse_request("OPEN topk-en C -> E; C -> S").unwrap(),
+            Request::Open {
+                algo: "topk-en".into(),
+                query: "C -> E\n C -> S".into(),
+            }
+        );
+        assert_eq!(
+            parse_request("next 42 10").unwrap(),
+            Request::Next {
+                id: SessionId(42),
+                n: 10
+            }
+        );
+        assert_eq!(
+            parse_request("CLOSE 7").unwrap(),
+            Request::Close { id: SessionId(7) }
+        );
+        assert_eq!(parse_request("stats").unwrap(), Request::Stats);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("OPEN topk").is_err());
+        assert!(parse_request("NEXT x 10").is_err());
+        assert!(parse_request("NEXT 1").is_err());
+        assert!(parse_request("NEXT 1 2 3").is_err());
+        assert!(parse_request("CLOSE").is_err());
+        assert!(parse_request("FETCH 1 2").is_err());
+    }
+
+    #[test]
+    fn next_response_roundtrips() {
+        let batch = NextBatch {
+            matches: vec![
+                ScoredMatch {
+                    score: 2,
+                    assignment: vec![NodeId(0), NodeId(4), NodeId(3)],
+                },
+                ScoredMatch {
+                    score: 3,
+                    assignment: vec![NodeId(1), NodeId(4), NodeId(3)],
+                },
+            ],
+            exhausted: true,
+        };
+        let text = render_next(&batch);
+        assert!(text.starts_with("OK 2 DONE\n"));
+        assert_eq!(parse_next_response(&text).unwrap(), batch);
+    }
+
+    #[test]
+    fn err_responses_surface_as_errors() {
+        assert!(parse_next_response("ERR unknown session 9\n").is_err());
+    }
+}

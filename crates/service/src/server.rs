@@ -1,0 +1,210 @@
+//! The TCP front end: an accept loop, one thread per connection, plus a
+//! janitor thread driving session-TTL eviction.
+
+use crate::engine::{Algo, ServiceError, ServiceHandle};
+use crate::protocol::{parse_request, render_next, Request};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running TCP server; dropping it stops the accept loop and janitor
+/// (established connections finish on their own).
+pub struct Server {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    janitor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and serves
+    /// `handle` in background threads.
+    pub fn spawn(handle: ServiceHandle, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept = {
+            let handle = handle.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("ktpm-accept".into())
+                .spawn(move || accept_loop(listener, handle, stop))?
+        };
+        let janitor = {
+            let handle = handle.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("ktpm-janitor".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        handle.sweep_expired();
+                        std::thread::sleep(Duration::from_millis(200));
+                    }
+                })?
+        };
+        Ok(Server {
+            addr,
+            stop,
+            accept: Some(accept),
+            janitor: Some(janitor),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and joins the background threads.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Poke the accept loop awake so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.janitor.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+fn accept_loop(listener: TcpListener, handle: ServiceHandle, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(stream) = stream else {
+            // Persistent accept errors (fd exhaustion, EMFILE) would
+            // otherwise busy-spin; back off and let connections close.
+            std::thread::sleep(Duration::from_millis(20));
+            continue;
+        };
+        let handle = handle.clone();
+        let _ = std::thread::Builder::new()
+            .name("ktpm-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(stream, &handle);
+            });
+    }
+}
+
+/// Drives one client connection until EOF. Public so alternative
+/// transports (unix sockets, in-process pipes, tests) can reuse the
+/// request loop with any bidirectional byte stream.
+pub fn serve_connection(stream: TcpStream, handle: &ServiceHandle) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client closed
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = respond(handle, &line);
+        writer.write_all(response.as_bytes())?;
+        writer.flush()?;
+    }
+}
+
+/// Computes the full response text (always newline-terminated) for one
+/// request line.
+pub fn respond(handle: &ServiceHandle, line: &str) -> String {
+    match parse_request(line) {
+        Err(msg) => format!("ERR {msg}\n"),
+        Ok(Request::Open { algo, query }) => match Algo::parse(&algo) {
+            None => format!("ERR {}\n", ServiceError::UnknownAlgo(algo)),
+            Some(algo) => match handle.open(&query, algo) {
+                Ok(id) => format!("OK {id}\n"),
+                Err(e) => format!("ERR {e}\n"),
+            },
+        },
+        Ok(Request::Next { id, n }) => match handle.next(id, n) {
+            Ok(batch) => render_next(&batch),
+            Err(e) => format!("ERR {e}\n"),
+        },
+        Ok(Request::Close { id }) => match handle.close(id) {
+            Ok(()) => "OK closed\n".to_string(),
+            Err(e) => format!("ERR {e}\n"),
+        },
+        Ok(Request::Stats) => {
+            let s = handle.stats();
+            format!(
+                "OK sessions_active={} cache_entries={} workers={} {}\n",
+                s.sessions_active,
+                s.cache_entries,
+                s.workers,
+                s.metrics.to_wire()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QueryEngine, ServiceConfig};
+    use ktpm_closure::ClosureTables;
+    use ktpm_graph::fixtures::citation_graph;
+    use ktpm_storage::MemStore;
+
+    fn test_handle() -> ServiceHandle {
+        let g = citation_graph();
+        let store = MemStore::new(ClosureTables::compute(&g)).into_shared();
+        QueryEngine::new(
+            g.interner().clone(),
+            store,
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn respond_covers_the_whole_protocol() {
+        let h = test_handle();
+        let open = respond(&h, "OPEN topk-en C -> E; C -> S");
+        let id = open.trim().strip_prefix("OK ").expect("open succeeds");
+        let next = respond(&h, &format!("NEXT {id} 2"));
+        assert!(next.starts_with("OK 2 MORE\n"), "{next:?}");
+        assert_eq!(next.lines().count(), 3);
+        let rest = respond(&h, &format!("NEXT {id} 100"));
+        assert!(rest.starts_with("OK 3 DONE\n"), "{rest:?}");
+        assert_eq!(respond(&h, &format!("CLOSE {id}")), "OK closed\n");
+        assert!(respond(&h, &format!("NEXT {id} 1")).starts_with("ERR unknown session"));
+        assert!(respond(&h, "STATS").contains("sessions_opened=1"));
+        assert!(respond(&h, "OPEN warp C -> E").starts_with("ERR unknown algorithm"));
+        assert!(respond(&h, "OPEN topk a b c").starts_with("ERR bad query"));
+        assert!(respond(&h, "HELLO").starts_with("ERR unknown command"));
+    }
+
+    #[test]
+    fn server_spawns_and_shuts_down() {
+        let h = test_handle();
+        let server = Server::spawn(h, ("127.0.0.1", 0)).unwrap();
+        let addr = server.local_addr();
+        // A raw connect/disconnect must not wedge anything.
+        drop(TcpStream::connect(addr).unwrap());
+        server.shutdown();
+        // Port is released: a new bind to the same address succeeds.
+        let _ = TcpListener::bind(addr).unwrap();
+    }
+}

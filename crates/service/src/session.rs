@@ -1,0 +1,438 @@
+//! Resumable enumeration sessions and the TTL-evicting session table.
+//!
+//! A [`Session`] is the server-side half of a client's cursor over one
+//! query's match stream. It owns:
+//!
+//! * the live enumerator (`Topk` over an owned run-time graph, or
+//!   `Topk-EN` over the shared store — both via the `'static` shared
+//!   constructors, so the session is `Send` and can hop between worker
+//!   threads between requests);
+//! * a `buffer` of every match produced so far for this query, and a
+//!   client cursor `pos` into it. The buffer exists so a session opened
+//!   on a cached prefix can serve from it immediately and only start
+//!   the (lazily created) enumerator when the client outruns the
+//!   cache — in which case the enumerator fast-forwards past the
+//!   already-served prefix to stay aligned.
+//!
+//! [`SessionTable`] maps ids to sessions behind one mutex; each session
+//! has its own lock, so concurrent requests to *different* sessions
+//! only contend for the map lookup. Idle sessions are reclaimed by
+//! [`SessionTable::sweep`].
+
+use crate::cache::{CacheKey, CachedPrefix};
+use crate::engine::Algo;
+use ktpm_core::{brute, ScoredMatch, TopkEnEnumerator, TopkEnumerator};
+use ktpm_query::ResolvedQuery;
+use ktpm_runtime::RuntimeGraph;
+use ktpm_storage::SharedSource;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A client-visible session identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::str::FromStr for SessionId {
+    type Err = std::num::ParseIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.parse().map(SessionId)
+    }
+}
+
+/// The parked enumerator of one session.
+enum SessionIter {
+    /// Algorithm 1 over a session-owned run-time graph (boxed, like
+    /// `En`: enumerator state dwarfs the brute cursor).
+    Full(Box<TopkEnumerator<'static>>),
+    /// Algorithm 3 over the engine's shared store (boxed: its loader
+    /// state dwarfs the other variants).
+    En(Box<TopkEnEnumerator<'static>>),
+    /// The exhaustive oracle (pre-materialized at creation).
+    Brute(std::vec::IntoIter<ScoredMatch>),
+}
+
+impl Iterator for SessionIter {
+    type Item = ScoredMatch;
+
+    fn next(&mut self) -> Option<ScoredMatch> {
+        match self {
+            SessionIter::Full(it) => it.next(),
+            SessionIter::En(it) => it.next(),
+            SessionIter::Brute(it) => it.next(),
+        }
+    }
+}
+
+/// One resumable enumeration cursor; see module docs.
+pub struct Session {
+    algo: Algo,
+    /// Canonicalized query text (the session's cache-key half).
+    canonical: String,
+    query: ResolvedQuery,
+    source: SharedSource,
+    /// Created on first demand the buffer cannot satisfy.
+    iter: Option<SessionIter>,
+    /// All matches produced for this query so far (cached prefix +
+    /// live); grows monotonically.
+    buffer: Vec<ScoredMatch>,
+    /// How many of `buffer` the client has consumed.
+    pos: usize,
+    /// Whether `buffer` is the entire match stream.
+    complete: bool,
+    /// Buffer length at the last cache publish (starts at the cached
+    /// prefix length: what the cache gave us needs no republishing).
+    published_len: usize,
+}
+
+/// One batch of session progress, as reported to the engine.
+pub(crate) struct Advance {
+    pub matches: Vec<ScoredMatch>,
+    pub exhausted: bool,
+    /// The buffer grew (or completed): the engine should republish the
+    /// prefix to the result cache.
+    pub publish: Option<CachedPrefix>,
+}
+
+impl Session {
+    /// A fresh session, optionally starting on a cached prefix.
+    pub(crate) fn new(
+        algo: Algo,
+        canonical: String,
+        query: ResolvedQuery,
+        source: SharedSource,
+        cached: Option<&CachedPrefix>,
+    ) -> Self {
+        let (buffer, complete) = match cached {
+            Some(p) => (p.matches.as_ref().clone(), p.complete),
+            None => (Vec::new(), false),
+        };
+        Session {
+            algo,
+            canonical,
+            query,
+            source,
+            iter: None,
+            published_len: buffer.len(),
+            buffer,
+            pos: 0,
+            complete,
+        }
+    }
+
+    /// The result-cache key this session reads and publishes.
+    pub(crate) fn cache_key(&self) -> CacheKey {
+        (self.algo.name(), self.canonical.clone())
+    }
+
+    /// Produces the next `n` matches (fewer at stream end), advancing
+    /// the cursor. Resuming is O(new work): earlier batches are never
+    /// recomputed.
+    pub(crate) fn advance(&mut self, n: usize) -> Advance {
+        let want = self.pos.saturating_add(n);
+        let was_complete = self.complete;
+        while self.buffer.len() < want && !self.complete {
+            let it = self.iter.get_or_insert_with(|| {
+                // First live pull: fast-forward past the prefix the
+                // buffer already covers so the streams stay aligned.
+                let mut it = make_iter(self.algo, &self.query, &self.source);
+                for _ in 0..self.buffer.len() {
+                    it.next();
+                }
+                it
+            });
+            match it.next() {
+                Some(m) => self.buffer.push(m),
+                None => self.complete = true,
+            }
+        }
+        let end = want.min(self.buffer.len());
+        let matches = self.buffer[self.pos..end].to_vec();
+        self.pos = end;
+        let exhausted = self.complete && self.pos == self.buffer.len();
+        // Publish on completion, else only once the buffer has doubled
+        // since the last publish: each publish deep-clones the whole
+        // buffer, so publishing every batch would make paginated
+        // streaming quadratic. Geometric spacing keeps the total copy
+        // cost O(n); close/eviction publishes whatever is left.
+        let publish_now = (self.complete && !was_complete)
+            || (self.buffer.len() > self.published_len
+                && self.buffer.len() >= self.published_len.max(1) * 2);
+        if publish_now {
+            self.published_len = self.buffer.len();
+        }
+        Advance {
+            matches,
+            exhausted,
+            publish: publish_now.then(|| CachedPrefix {
+                matches: Arc::new(self.buffer.clone()),
+                complete: self.complete,
+            }),
+        }
+    }
+
+    /// The final prefix to publish when the session ends. `None` when
+    /// the session produced nothing: an empty *incomplete* prefix
+    /// carries no information, and caching it would turn later opens
+    /// into spurious cache hits. (Empty + complete — a query with no
+    /// matches at all — is real information and is kept.)
+    pub(crate) fn final_prefix(&self) -> Option<CachedPrefix> {
+        if self.buffer.is_empty() && !self.complete {
+            return None;
+        }
+        Some(CachedPrefix {
+            matches: Arc::new(self.buffer.clone()),
+            complete: self.complete,
+        })
+    }
+}
+
+fn make_iter(algo: Algo, query: &ResolvedQuery, source: &SharedSource) -> SessionIter {
+    match algo {
+        Algo::Topk => {
+            let rg = Arc::new(RuntimeGraph::load(query, source.as_ref()));
+            SessionIter::Full(Box::new(TopkEnumerator::new_shared(rg)))
+        }
+        Algo::TopkEn => SessionIter::En(Box::new(TopkEnEnumerator::new_shared(
+            query,
+            Arc::clone(source),
+        ))),
+        Algo::Brute => {
+            let rg = RuntimeGraph::load(query, source.as_ref());
+            SessionIter::Brute(brute::all_matches(&rg).into_iter())
+        }
+    }
+}
+
+/// One table slot: the session plus its idle clock. Separate locks so
+/// the TTL sweep never blocks behind a long-running query batch.
+pub struct SessionSlot {
+    /// The session, locked for the duration of each batch.
+    pub(crate) session: Mutex<Session>,
+    last_touch: Mutex<Instant>,
+}
+
+impl SessionSlot {
+    fn new(session: Session) -> Self {
+        SessionSlot {
+            session: Mutex::new(session),
+            last_touch: Mutex::new(Instant::now()),
+        }
+    }
+
+    fn touch(&self) {
+        *self.last_touch.lock().expect("touch lock") = Instant::now();
+    }
+
+    fn idle_for(&self) -> Duration {
+        self.last_touch.lock().expect("touch lock").elapsed()
+    }
+}
+
+/// The concurrent id → session map with TTL eviction.
+#[derive(Default)]
+pub struct SessionTable {
+    slots: Mutex<HashMap<SessionId, Arc<SessionSlot>>>,
+}
+
+impl SessionTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a session under `id` unless the table already holds
+    /// `max` sessions, in which case the session is handed back. Check
+    /// and insert happen under one lock, so concurrent opens cannot
+    /// overshoot the cap.
+    ///
+    /// The `Err` payload *is* the rejected session (for the caller's
+    /// retry after a sweep); boxing it would buy nothing on the
+    /// overwhelmingly common `Ok` path.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn insert_capped(
+        &self,
+        id: SessionId,
+        session: Session,
+        max: usize,
+    ) -> Result<(), Session> {
+        let mut slots = self.slots.lock().expect("session table lock");
+        if slots.len() >= max {
+            return Err(session);
+        }
+        slots.insert(id, Arc::new(SessionSlot::new(session)));
+        Ok(())
+    }
+
+    /// Fetches a session slot, refreshing its TTL clock.
+    pub(crate) fn get(&self, id: SessionId) -> Option<Arc<SessionSlot>> {
+        let slot = self
+            .slots
+            .lock()
+            .expect("session table lock")
+            .get(&id)
+            .cloned();
+        if let Some(s) = &slot {
+            s.touch();
+        }
+        slot
+    }
+
+    /// Removes and returns a session slot.
+    pub(crate) fn remove(&self, id: SessionId) -> Option<Arc<SessionSlot>> {
+        self.slots.lock().expect("session table lock").remove(&id)
+    }
+
+    /// Evicts sessions idle longer than `ttl`, returning the evicted
+    /// slots (the engine publishes their prefixes before dropping).
+    pub(crate) fn sweep(&self, ttl: Duration) -> Vec<Arc<SessionSlot>> {
+        let mut slots = self.slots.lock().expect("session table lock");
+        let dead: Vec<SessionId> = slots
+            .iter()
+            .filter(|(_, s)| s.idle_for() > ttl)
+            .map(|(&id, _)| id)
+            .collect();
+        dead.into_iter()
+            .filter_map(|id| slots.remove(&id))
+            .collect()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("session table lock").len()
+    }
+
+    /// Whether no sessions are open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktpm_closure::ClosureTables;
+    use ktpm_graph::fixtures::citation_graph;
+    use ktpm_query::TreeQuery;
+    use ktpm_storage::MemStore;
+
+    fn setup() -> (ResolvedQuery, SharedSource) {
+        let g = citation_graph();
+        let q = TreeQuery::parse("C -> E\nC -> S")
+            .unwrap()
+            .resolve(g.interner());
+        (q, MemStore::new(ClosureTables::compute(&g)).into_shared())
+    }
+
+    #[test]
+    fn sessions_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Session>();
+        assert_send::<SessionTable>();
+    }
+
+    #[test]
+    fn batched_advance_equals_one_shot() {
+        let (q, src) = setup();
+        let mut a = Session::new(
+            Algo::TopkEn,
+            "C -> E\nC -> S".into(),
+            q.clone(),
+            Arc::clone(&src),
+            None,
+        );
+        let mut b = Session::new(Algo::TopkEn, "C -> E\nC -> S".into(), q, src, None);
+        let mut batched = Vec::new();
+        loop {
+            let adv = a.advance(2);
+            batched.extend(adv.matches);
+            if adv.exhausted {
+                break;
+            }
+        }
+        let oneshot = b.advance(100);
+        assert!(oneshot.exhausted);
+        assert_eq!(batched, oneshot.matches);
+        assert_eq!(batched.len(), 5); // Figure 1: five matches total
+    }
+
+    #[test]
+    fn cached_prefix_serves_then_falls_back_to_live() {
+        let (q, src) = setup();
+        // Produce the full stream once.
+        let mut warm = Session::new(
+            Algo::TopkEn,
+            "C -> E\nC -> S".into(),
+            q.clone(),
+            Arc::clone(&src),
+            None,
+        );
+        let all = warm.advance(100).matches;
+        // New session with only the first two matches cached.
+        let cached = CachedPrefix {
+            matches: Arc::new(all[..2].to_vec()),
+            complete: false,
+        };
+        let mut s = Session::new(Algo::TopkEn, "C -> E\nC -> S".into(), q, src, Some(&cached));
+        let first = s.advance(2);
+        assert_eq!(first.matches, all[..2].to_vec());
+        assert!(s.iter.is_none(), "cache must satisfy the first batch");
+        let rest = s.advance(100);
+        assert!(rest.exhausted);
+        assert_eq!(rest.matches, all[2..].to_vec());
+    }
+
+    #[test]
+    fn advance_publishes_growing_prefixes() {
+        let (q, src) = setup();
+        let mut s = Session::new(Algo::TopkEn, "C -> E\nC -> S".into(), q, src, None);
+        let a = s.advance(2);
+        let p = a.publish.expect("new matches must be published");
+        assert_eq!(p.matches.len(), 2);
+        assert!(!p.complete);
+        let b = s.advance(100);
+        let p = b.publish.expect("completion must be published");
+        assert_eq!(p.matches.len(), 5);
+        assert!(p.complete);
+    }
+
+    #[test]
+    fn table_sweep_evicts_only_idle_sessions() {
+        let (q, src) = setup();
+        let table = SessionTable::new();
+        table
+            .insert_capped(
+                SessionId(1),
+                Session::new(
+                    Algo::TopkEn,
+                    "C -> E\nC -> S".into(),
+                    q.clone(),
+                    Arc::clone(&src),
+                    None,
+                ),
+                10,
+            )
+            .unwrap_or_else(|_| panic!("table has room"));
+        table
+            .insert_capped(
+                SessionId(2),
+                Session::new(Algo::TopkEn, "C -> E\nC -> S".into(), q, src, None),
+                10,
+            )
+            .unwrap_or_else(|_| panic!("table has room"));
+        std::thread::sleep(Duration::from_millis(30));
+        table.get(SessionId(2)); // refresh
+        let evicted = table.sweep(Duration::from_millis(20));
+        assert_eq!(evicted.len(), 1);
+        assert!(table.get(SessionId(1)).is_none());
+        assert!(table.get(SessionId(2)).is_some());
+    }
+}

@@ -32,5 +32,7 @@ pub use iostats::{IoSnapshot, IoStats};
 pub use mem::MemStore;
 pub use ondemand::OnDemandStore;
 pub use reader::FileStore;
-pub use source::{merge_sorted_blocks, ClosureSource, EdgeCursor, StorageError};
+pub use source::{
+    merge_sorted_blocks, ClosureSource, EdgeCursor, SharedSource, SourceRef, StorageError,
+};
 pub use writer::write_store;

@@ -36,6 +36,11 @@ impl MemStore {
     pub fn tables(&self) -> &ClosureTables {
         &self.tables
     }
+
+    /// Wraps the store in a [`crate::SharedSource`] for concurrent use.
+    pub fn into_shared(self) -> crate::SharedSource {
+        std::sync::Arc::new(self)
+    }
 }
 
 impl ClosureSource for MemStore {
@@ -87,7 +92,7 @@ impl ClosureSource for MemStore {
         out
     }
 
-    fn incoming_cursor(&self, a: LabelId, v: NodeId) -> Box<dyn EdgeCursor + '_> {
+    fn incoming_cursor(&self, a: LabelId, v: NodeId) -> Box<dyn EdgeCursor + Send> {
         let entries = self
             .tables
             .pair(a, self.node_label(v))

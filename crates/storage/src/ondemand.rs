@@ -95,6 +95,11 @@ impl OnDemandStore {
         }
     }
 
+    /// Wraps the store in a [`crate::SharedSource`] for concurrent use.
+    pub fn into_shared(self) -> crate::SharedSource {
+        Arc::new(self)
+    }
+
     fn table(&self, a: LabelId, b: LabelId) -> Option<Arc<PairTable>> {
         self.sweep(a);
         self.tables.lock().expect("tables").get(&(a, b)).cloned()
@@ -160,7 +165,7 @@ impl ClosureSource for OnDemandStore {
         out
     }
 
-    fn incoming_cursor(&self, a: LabelId, v: NodeId) -> Box<dyn EdgeCursor + '_> {
+    fn incoming_cursor(&self, a: LabelId, v: NodeId) -> Box<dyn EdgeCursor + Send> {
         let entries = self
             .table(a, self.node_label(v))
             .map(|t| t.incoming(v).to_vec())

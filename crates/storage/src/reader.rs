@@ -12,6 +12,9 @@ use std::sync::{Arc, Mutex};
 /// One `L` directory entry: `(dst, absolute offset, entry count)`.
 type DirEntry = (NodeId, u64, u32);
 
+/// Lazily loaded per-pair `L` directories.
+type DirCache = HashMap<(LabelId, LabelId), Arc<Vec<DirEntry>>>;
+
 struct Shared {
     file: Mutex<std::fs::File>,
     io: IoStats,
@@ -34,8 +37,7 @@ pub struct FileStore {
     shared: Arc<Shared>,
     labels: Vec<LabelId>,
     index: HashMap<(LabelId, LabelId), (u64, u64, u64)>,
-    /// Lazily loaded per-pair `L` directories.
-    dirs: Mutex<HashMap<(LabelId, LabelId), Arc<Vec<DirEntry>>>>,
+    dirs: Mutex<DirCache>,
     block_edges: usize,
 }
 
@@ -104,6 +106,11 @@ impl FileStore {
             dirs: Mutex::new(HashMap::new()),
             block_edges: block_edges.max(1),
         })
+    }
+
+    /// Wraps the store in a [`crate::SharedSource`] for concurrent use.
+    pub fn into_shared(self) -> crate::SharedSource {
+        Arc::new(self)
     }
 
     fn directory(
@@ -231,7 +238,7 @@ impl ClosureSource for FileStore {
         out
     }
 
-    fn incoming_cursor(&self, a: LabelId, v: NodeId) -> Box<dyn EdgeCursor + '_> {
+    fn incoming_cursor(&self, a: LabelId, v: NodeId) -> Box<dyn EdgeCursor + Send> {
         let entry = self
             .directory(a, self.node_label(v))
             .ok()

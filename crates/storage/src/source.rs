@@ -4,6 +4,7 @@
 use crate::iostats::IoSnapshot;
 use ktpm_graph::{Dist, LabelId, NodeId};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors raised by storage backends.
 #[derive(Debug)]
@@ -47,10 +48,52 @@ pub trait EdgeCursor {
     }
 }
 
+/// A thread-safe, shared handle to a closure store — what the serving
+/// layer passes around (one store, many concurrent queries).
+pub type SharedSource = Arc<dyn ClosureSource>;
+
+/// A closure source held either by borrow (the classic single-query
+/// path) or by shared ownership (long-lived enumeration sessions that
+/// must outlive their creator's stack frame).
+pub enum SourceRef<'s> {
+    /// Borrowed for the duration of one query.
+    Borrowed(&'s dyn ClosureSource),
+    /// Shared ownership; the `'static` variant used by sessions.
+    Shared(SharedSource),
+}
+
+impl SourceRef<'_> {
+    /// The underlying source.
+    #[inline]
+    pub fn get(&self) -> &dyn ClosureSource {
+        match self {
+            SourceRef::Borrowed(s) => *s,
+            SourceRef::Shared(a) => a.as_ref(),
+        }
+    }
+}
+
+impl<'s> From<&'s dyn ClosureSource> for SourceRef<'s> {
+    fn from(s: &'s dyn ClosureSource) -> Self {
+        SourceRef::Borrowed(s)
+    }
+}
+
+impl From<SharedSource> for SourceRef<'static> {
+    fn from(s: SharedSource) -> Self {
+        SourceRef::Shared(s)
+    }
+}
+
 /// The storage interface of §3.1/§4.1: label-pair tables over the
 /// transitive closure. Implemented by [`crate::FileStore`] (real block
 /// I/O) and [`crate::MemStore`].
-pub trait ClosureSource {
+///
+/// `Send + Sync` is a supertrait: every backend must be safely sharable
+/// across threads (`Arc<dyn ClosureSource>`), which the serving layer
+/// relies on. All backends use atomic I/O counters and internal locks,
+/// so queries never need external synchronization.
+pub trait ClosureSource: Send + Sync {
     /// Number of nodes of the underlying data graph.
     fn num_nodes(&self) -> usize;
 
@@ -73,8 +116,10 @@ pub trait ClosureSource {
     fn load_pair(&self, src_label: LabelId, dst_label: LabelId) -> Vec<(NodeId, NodeId, Dist)>;
 
     /// Opens a block cursor over `Lᵅᵥ` (incoming edges of `v` from
-    /// α-labeled sources, ascending distance).
-    fn incoming_cursor(&self, src_label: LabelId, v: NodeId) -> Box<dyn EdgeCursor + '_>;
+    /// α-labeled sources, ascending distance). Cursors own their state
+    /// (`Send + 'static`) so enumerators holding them can migrate
+    /// between worker threads and outlive the opening stack frame.
+    fn incoming_cursor(&self, src_label: LabelId, v: NodeId) -> Box<dyn EdgeCursor + Send>;
 
     /// Point lookup `δ_min(u, v)` (used by kGPM verification).
     fn lookup_dist(&self, u: NodeId, v: NodeId) -> Option<Dist>;
@@ -109,6 +154,18 @@ mod tests {
     use super::*;
 
     #[test]
+    fn backends_are_thread_safe() {
+        // Compile-time: every backend (and shared handles to them) can
+        // cross threads. A failure here is a regression in the serving
+        // layer's foundation.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::MemStore>();
+        assert_send_sync::<crate::OnDemandStore>();
+        assert_send_sync::<crate::FileStore>();
+        assert_send_sync::<SharedSource>();
+    }
+
+    #[test]
     fn merge_empty() {
         assert!(merge_sorted_blocks(vec![]).is_empty());
     }
@@ -126,7 +183,12 @@ mod tests {
         let merged = merge_sorted_blocks(vec![a, b]);
         assert_eq!(
             merged,
-            vec![(NodeId(5), 1), (NodeId(0), 2), (NodeId(2), 2), (NodeId(1), 4)]
+            vec![
+                (NodeId(5), 1),
+                (NodeId(0), 2),
+                (NodeId(2), 2),
+                (NodeId(1), 4)
+            ]
         );
     }
 }

@@ -46,7 +46,10 @@ pub fn write_store(tables: &ClosureTables, path: &Path) -> Result<(), StorageErr
         put_u32(&mut buf, table.dst_nodes().len() as u32);
         for &v in table.dst_nodes() {
             put_u32(&mut buf, v.0);
-            put_u32(&mut buf, table.min_incoming_dist(v).expect("non-empty group"));
+            put_u32(
+                &mut buf,
+                table.min_incoming_dist(v).expect("non-empty group"),
+            );
         }
         emit(&mut w, &buf, &mut offset)?;
 

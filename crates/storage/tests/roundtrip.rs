@@ -71,9 +71,7 @@ fn random_graph_roundtrip() {
     };
     let n = 60;
     let mut b = GraphBuilder::new();
-    let nodes: Vec<_> = (0..n)
-        .map(|i| b.add_node(&format!("L{}", i % 7)))
-        .collect();
+    let nodes: Vec<_> = (0..n).map(|i| b.add_node(&format!("L{}", i % 7))).collect();
     for u in 0..n {
         for _ in 0..3 {
             let v = (next() % n as u64) as usize;

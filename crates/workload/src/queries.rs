@@ -156,10 +156,8 @@ pub fn random_graph_query(
         .map(|(p, c, _)| (p.index(), c.index()))
         .collect();
     let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE_CAFE);
-    let mut present: HashSet<(usize, usize)> = edges
-        .iter()
-        .map(|&(a, b)| (a.min(b), a.max(b)))
-        .collect();
+    let mut present: HashSet<(usize, usize)> =
+        edges.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
     let mut added = 0;
     for _ in 0..extra_edges * 20 {
         if added == extra_edges {

@@ -63,7 +63,10 @@ fn main() {
     let mut en = TopkEnEnumerator::new(&resolved, &store);
     let matches: Vec<ScoredMatch> = en.by_ref().take(10).collect();
     let dt = t1.elapsed();
-    println!("\ntop-{} impact combinations (Topk-EN, {dt:?}):", matches.len());
+    println!(
+        "\ntop-{} impact combinations (Topk-EN, {dt:?}):",
+        matches.len()
+    );
     for (rank, m) in matches.iter().enumerate() {
         println!(
             "  #{:<2} total citation distance {:>3}: papers {:?}",

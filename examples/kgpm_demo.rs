@@ -21,8 +21,8 @@ fn main() {
     println!("undirected closure prepared in {:?}\n", t0.elapsed());
 
     // Extract a cyclic 5-node pattern with 2 extra edges (like Q2/Q3).
-    let pattern = ktpm::workload::random_graph_query(ctx.graph(), 5, 2, 3)
-        .expect("pattern extraction");
+    let pattern =
+        ktpm::workload::random_graph_query(ctx.graph(), 5, 2, 3).expect("pattern extraction");
     println!(
         "pattern: {} nodes, {} edges ({} beyond a spanning tree)",
         pattern.len(),
@@ -33,7 +33,10 @@ fn main() {
         println!("  {} -- {}", pattern.label(a), pattern.label(b));
     }
 
-    for (name, matcher) in [("mtree (DP-B)", TreeMatcher::DpB), ("mtree+ (Topk-EN)", TreeMatcher::TopkEn)] {
+    for (name, matcher) in [
+        ("mtree (DP-B)", TreeMatcher::DpB),
+        ("mtree+ (Topk-EN)", TreeMatcher::TopkEn),
+    ] {
         let t = Instant::now();
         let (matches, stats) = ctx.topk_with_stats(&pattern, 10, matcher);
         println!(
@@ -44,7 +47,12 @@ fn main() {
             stats.rejected_disconnected
         );
         for (rank, m) in matches.iter().take(5).enumerate() {
-            println!("  #{:<2} score {:>3}  {:?}", rank + 1, m.score, m.assignment);
+            println!(
+                "  #{:<2} score {:>3}  {:?}",
+                rank + 1,
+                m.score,
+                m.assignment
+            );
         }
     }
 }

@@ -1,0 +1,67 @@
+//! Embedding the query service in-process: sessions, resume, caching.
+//!
+//! `ktpm serve` wraps this same engine in a TCP front end; here we use
+//! the synchronous [`ServiceHandle`] API directly — the right choice
+//! when the matching engine lives inside a larger Rust server.
+//!
+//! Run with: `cargo run --example service_embed`
+
+use ktpm::prelude::*;
+
+fn main() {
+    // One shared, thread-safe closure store for the whole process.
+    let g = ktpm::graph::fixtures::citation_graph();
+    let store: SharedSource = MemStore::new(ClosureTables::compute(&g)).into_shared();
+    let handle = QueryEngine::new(g.interner().clone(), store, ServiceConfig::default());
+
+    // A resumable session: "next n" never re-runs setup.
+    let query = "C -> E\nC -> S";
+    let sid = handle.open(query, Algo::TopkEn).expect("valid query");
+    println!("session {sid} open for {query:?}");
+    let mut rank = 1;
+    loop {
+        let batch = handle.next(sid, 2).expect("session is live");
+        for m in &batch.matches {
+            let binding: Vec<String> = m
+                .assignment
+                .iter()
+                .map(|v| format!("v{}", v.0 + 1))
+                .collect();
+            println!("  #{rank}: score {} -> {}", m.score, binding.join(", "));
+            rank += 1;
+        }
+        if batch.exhausted {
+            break;
+        }
+    }
+    handle.close(sid).expect("session is live");
+
+    // The handle is Clone + Send: hand one to each client thread.
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let handle = handle.clone();
+            std::thread::spawn(move || {
+                let top2 = handle.topk("C -> E\nC -> S", Algo::TopkEn, 2).unwrap();
+                assert_eq!(top2.len(), 2);
+                println!(
+                    "  thread {t}: top-2 scores {:?}",
+                    [top2[0].score, top2[1].score]
+                );
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // The repeated query above was served from the result cache.
+    let stats = handle.stats();
+    println!(
+        "served {} matches over {} requests; cache hits {}, misses {}",
+        stats.metrics.matches_served,
+        stats.metrics.next_calls,
+        stats.metrics.cache_hits,
+        stats.metrics.cache_misses
+    );
+    assert!(stats.metrics.cache_hits >= 4);
+}

@@ -37,7 +37,11 @@ fn main() {
     println!(
         "org chart: {} roles ({} with duplicate labels — Topk-GT mode)\n",
         query.len(),
-        if query.has_distinct_labels() { "none" } else { "some" }
+        if query.has_distinct_labels() {
+            "none"
+        } else {
+            "some"
+        }
     );
     let resolved = query.resolve(g.interner());
 
@@ -59,7 +63,12 @@ fn main() {
                 )
             })
             .collect();
-        println!("  #{:<2} distance {:>2}  {}", rank + 1, team.score, roles.join("  "));
+        println!(
+            "  #{:<2} distance {:>2}  {}",
+            rank + 1,
+            team.score,
+            roles.join("  ")
+        );
     }
 
     // Sanity: the two engineer positions may map to the same person under

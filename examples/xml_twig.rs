@@ -57,12 +57,20 @@ fn main() {
                 )
             })
             .collect();
-        println!("  #{:<2} score {:>2}  {}", rank + 1, m.score, binding.join(" "));
+        println!(
+            "  #{:<2} score {:>2}  {}",
+            rank + 1,
+            m.score,
+            binding.join(" ")
+        );
     }
 
     // The same query through Topk-EN must agree (the §5 extensions flow
     // through the identical per-query-node run-time graph).
-    let en: Vec<Score> = topk_en(&resolved, &store, 8).iter().map(|m| m.score).collect();
+    let en: Vec<Score> = topk_en(&resolved, &store, 8)
+        .iter()
+        .map(|m| m.score)
+        .collect();
     let full: Vec<Score> = matches.iter().map(|m| m.score).collect();
     assert_eq!(en, full);
     println!("\nTopk-EN agrees on all {} scores", en.len());
@@ -78,11 +86,7 @@ fn catalog() -> LabeledGraph {
         nodes_insert(&mut nodes, name, id);
         id
     };
-    fn nodes_insert(
-        m: &mut std::collections::HashMap<String, NodeId>,
-        k: &str,
-        v: NodeId,
-    ) {
+    fn nodes_insert(m: &mut std::collections::HashMap<String, NodeId>, k: &str, v: NodeId) {
         m.insert(k.to_string(), v);
     }
 

@@ -3,12 +3,47 @@
 //! ```text
 //! ktpm closure <graph.txt> <store.tc>          precompute + persist the closure
 //! ktpm query   <graph.txt> <query.txt> [opts]  run a top-k twig query
+//! ktpm serve   <graph.txt> [opts]              run the TCP query service
 //!
 //! options for `query`:
 //!   -k <n>            number of matches (default 10)
 //!   --store <path>    use a persisted closure store instead of computing
-//!   --algo <name>     topk | topk-en | dp-b | dp-p   (default topk-en)
+//!   --algo <name>     topk | topk-en | dp-b | dp-p | brute   (default topk-en)
 //!   --on-demand       skip closure precomputation (lazy per-label SSSP)
+//!
+//! options for `serve`:
+//!   --addr <host:port>  listen address (default 127.0.0.1:7878)
+//!   --store <path>      use a persisted closure store instead of computing
+//!   --on-demand         skip closure precomputation (lazy per-label SSSP)
+//!   --workers <n>       worker threads (default: CPU count, capped at 16)
+//!   --ttl <secs>        idle-session eviction timeout (default 300)
+//! ```
+//!
+//! ## The `serve` wire protocol
+//!
+//! `ktpm serve` speaks a line-based TCP protocol; one request per line,
+//! one response (possibly multi-line) per request:
+//!
+//! ```text
+//! -> OPEN <algo> <query>      query in twig text with `;` for newlines,
+//!                             e.g. OPEN topk-en C -> E; C -> S
+//! <- OK <session>
+//! -> NEXT <session> <n>
+//! <- OK <j> MORE|DONE         then j lines `M <score> <node> <node> ...`
+//! -> CLOSE <session>
+//! <- OK closed
+//! -> STATS
+//! <- OK key=value ...
+//! <- ERR <message>            on any failure; the connection stays open
+//! ```
+//!
+//! Sessions are resumable cursors: `NEXT` continues exactly where the
+//! previous batch stopped without re-running query setup, and repeated
+//! queries are served from the engine's result cache. Try it:
+//!
+//! ```text
+//! $ ktpm serve graph.txt --addr 127.0.0.1:7878 &
+//! $ printf 'OPEN topk-en C -> E; C -> S\nNEXT 1 2\nNEXT 1 2\nCLOSE 1\n' | nc 127.0.0.1 7878
 //! ```
 //!
 //! Graph files use the `n <id> <label>` / `e <src> <dst> [w]` format of
@@ -16,6 +51,7 @@
 //! format of [`ktpm::query::TreeQuery::parse`].
 
 use ktpm::prelude::*;
+use ktpm::service::{QueryEngine, Server, ServiceConfig};
 use std::io::BufReader;
 use std::process::ExitCode;
 
@@ -24,9 +60,11 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("closure") => cmd_closure(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!("usage: ktpm closure <graph.txt> <store.tc>");
             eprintln!("       ktpm query <graph.txt> <query.txt> [-k n] [--store p] [--algo a] [--on-demand]");
+            eprintln!("       ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--workers n] [--ttl secs]");
             return ExitCode::from(2);
         }
     };
@@ -42,6 +80,19 @@ fn main() -> ExitCode {
 fn load_graph(path: &str) -> Result<LabeledGraph, Box<dyn std::error::Error>> {
     let f = std::fs::File::open(path)?;
     Ok(ktpm::graph::io::read_graph(BufReader::new(f))?)
+}
+
+/// Picks the storage backend shared by `query` and `serve`.
+fn open_store(
+    g: &LabeledGraph,
+    store_path: &Option<String>,
+    on_demand: bool,
+) -> Result<Box<dyn ClosureSource>, Box<dyn std::error::Error>> {
+    Ok(match (store_path, on_demand) {
+        (Some(p), _) => Box::new(FileStore::open(std::path::Path::new(p))?),
+        (None, true) => Box::new(OnDemandStore::new(g.clone())),
+        (None, false) => Box::new(MemStore::new(ClosureTables::compute(g))),
+    })
 }
 
 fn cmd_closure(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
@@ -65,6 +116,10 @@ fn cmd_closure(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Valid `--algo` names for `ktpm query` (the service's algorithms plus
+/// the DP baselines).
+const QUERY_ALGOS: &str = "topk | topk-en | dp-b | dp-p | brute";
+
 fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut positional = Vec::new();
     let mut k = 10usize;
@@ -82,19 +137,16 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let [graph_path, query_path] = positional.as_slice() else {
-        return Err("usage: ktpm query <graph.txt> <query.txt> [-k n] [--store p] [--algo a]".into());
+        return Err(
+            "usage: ktpm query <graph.txt> <query.txt> [-k n] [--store p] [--algo a]".into(),
+        );
     };
     let g = load_graph(graph_path)?;
     let query_text = std::fs::read_to_string(query_path)?;
     let query = TreeQuery::parse(&query_text)?;
     let resolved = query.resolve(g.interner());
 
-    // Pick the storage backend.
-    let store: Box<dyn ClosureSource> = match (&store_path, on_demand) {
-        (Some(p), _) => Box::new(FileStore::open(std::path::Path::new(p))?),
-        (None, true) => Box::new(OnDemandStore::new(g.clone())),
-        (None, false) => Box::new(MemStore::new(ClosureTables::compute(&g))),
-    };
+    let store = open_store(&g, &store_path, on_demand)?;
 
     let t = std::time::Instant::now();
     let matches: Vec<ScoredMatch> = match algo.as_str() {
@@ -112,7 +164,15 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "dp-p" => DpPEnumerator::new(&resolved, store.as_ref())
             .take(k)
             .collect(),
-        other => return Err(format!("unknown algorithm {other:?}").into()),
+        "brute" => {
+            let rg = RuntimeGraph::load(&resolved, store.as_ref());
+            let mut all = ktpm::core::brute::all_matches(&rg);
+            all.truncate(k);
+            all
+        }
+        other => {
+            return Err(format!("unknown algorithm {other:?} (expected {QUERY_ALGOS})").into())
+        }
     };
     let dt = t.elapsed();
     println!(
@@ -135,4 +195,51 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         println!("{:<3} score={:<6} {}", rank + 1, m.score, binding.join(" "));
     }
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut positional = Vec::new();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut store_path: Option<String> = None;
+    let mut on_demand = false;
+    let mut config = ServiceConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs host:port")?.clone(),
+            "--store" => store_path = Some(it.next().ok_or("--store needs a path")?.clone()),
+            "--on-demand" => on_demand = true,
+            "--workers" => config.workers = it.next().ok_or("--workers needs a count")?.parse()?,
+            "--ttl" => {
+                config.session_ttl =
+                    std::time::Duration::from_secs(it.next().ok_or("--ttl needs seconds")?.parse()?)
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [graph_path] = positional.as_slice() else {
+        return Err(
+            "usage: ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--workers n] [--ttl secs]"
+                .into(),
+        );
+    };
+    let g = load_graph(graph_path)?;
+    let t = std::time::Instant::now();
+    let source: ktpm::storage::SharedSource = open_store(&g, &store_path, on_demand)?.into();
+    let workers = config.workers;
+    let handle = QueryEngine::new(g.interner().clone(), source, config);
+    let server = Server::spawn(handle, addr.as_str())?;
+    println!(
+        "serving {} nodes / {} edges on {} ({} workers, setup {:?})",
+        g.num_nodes(),
+        g.num_edges(),
+        server.local_addr(),
+        workers,
+        t.elapsed()
+    );
+    println!("protocol: OPEN <algo> <query> | NEXT <session> <n> | CLOSE <session> | STATS");
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
 }

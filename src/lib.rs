@@ -48,6 +48,16 @@
 //! | [`baseline`] | DP-B / DP-P (SIGMOD'08) reimplementations |
 //! | [`kgpm`] | graph-pattern matching: decomposition, mtree, mtree+ |
 //! | [`workload`] | dataset & query generators for the §6 experiments |
+//! | [`service`] | concurrent query service: sessions, result cache, TCP protocol |
+//!
+//! ## Serving
+//!
+//! Beyond one-shot queries, [`service`] keeps enumeration state alive
+//! across requests: open a session, pull "next k" matches repeatedly
+//! (resuming is free — the `Topk`/`Topk-EN` iterators are parked
+//! between calls), and let hot queries hit the LRU result cache. See
+//! `ktpm serve` (the TCP front end) and `examples/service_embed.rs`
+//! (the in-process API).
 
 pub use ktpm_baseline as baseline;
 pub use ktpm_closure as closure;
@@ -56,6 +66,7 @@ pub use ktpm_graph as graph;
 pub use ktpm_kgpm as kgpm;
 pub use ktpm_query as query;
 pub use ktpm_runtime as runtime;
+pub use ktpm_service as service;
 pub use ktpm_storage as storage;
 pub use ktpm_workload as workload;
 
@@ -70,8 +81,15 @@ pub mod prelude {
         Dist, GraphBuilder, LabelId, LabeledGraph, NodeId, Score, INF_DIST, INF_SCORE,
     };
     pub use ktpm_kgpm::{GraphMatch, KgpmContext, TreeMatcher};
-    pub use ktpm_query::{EdgeKind, GraphQuery, QNodeId, ResolvedQuery, TreeQuery, TreeQueryBuilder};
+    pub use ktpm_query::{
+        EdgeKind, GraphQuery, QNodeId, ResolvedQuery, TreeQuery, TreeQueryBuilder,
+    };
     pub use ktpm_runtime::RuntimeGraph;
-    pub use ktpm_storage::{write_store, ClosureSource, FileStore, MemStore, OnDemandStore};
+    pub use ktpm_service::{
+        Algo, NextBatch, QueryEngine, Server, ServiceConfig, ServiceHandle, SessionId,
+    };
+    pub use ktpm_storage::{
+        write_store, ClosureSource, FileStore, MemStore, OnDemandStore, SharedSource,
+    };
     pub use ktpm_workload::{generate, query_set, random_tree_query, GraphSpec, QuerySpec};
 }

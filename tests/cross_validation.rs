@@ -267,8 +267,14 @@ fn on_demand_store_agrees_with_memory() {
     // Full-load path too.
     let rg_mem = RuntimeGraph::load(&resolved, &mem);
     let rg_od = RuntimeGraph::load(&resolved, &od);
-    let a: Vec<Score> = TopkEnumerator::new(&rg_mem).take(20).map(|m| m.score).collect();
-    let b: Vec<Score> = TopkEnumerator::new(&rg_od).take(20).map(|m| m.score).collect();
+    let a: Vec<Score> = TopkEnumerator::new(&rg_mem)
+        .take(20)
+        .map(|m| m.score)
+        .collect();
+    let b: Vec<Score> = TopkEnumerator::new(&rg_od)
+        .take(20)
+        .map(|m| m.score)
+        .collect();
     assert_eq!(a, b);
     // Only the labels the query touches were swept.
     assert!(od.sweeps() <= 4, "swept {} labels", od.sweeps());

@@ -82,9 +82,9 @@ proptest! {
     fn closure_matches_floyd_warshall(g in graph_strategy(10, 3, 3)) {
         let tc = ClosureTables::compute(&g);
         let fw = ktpm::closure::reference::floyd_warshall(&g);
-        for i in 0..g.num_nodes() {
-            for j in 0..g.num_nodes() {
-                let expect = (fw[i][j] != INF_DIST).then_some(fw[i][j]);
+        for (i, row) in fw.iter().enumerate() {
+            for (j, &d) in row.iter().enumerate() {
+                let expect = (d != INF_DIST).then_some(d);
                 prop_assert_eq!(tc.dist(NodeId(i as u32), NodeId(j as u32)), expect);
             }
         }
