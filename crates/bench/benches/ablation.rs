@@ -24,7 +24,7 @@ fn side_queues(c: &mut Criterion) {
     let queries = queries_for(&ds, 20, 3, true);
     let rgs: Vec<_> = queries
         .iter()
-        .map(|q| RuntimeGraph::load(q, &ds.store))
+        .map(|q| RuntimeGraph::load(q, ds.store.as_ref()))
         .collect();
     let mut group = c.benchmark_group("ablation_side_queues");
     group
@@ -57,7 +57,7 @@ fn bound_mode(c: &mut Criterion) {
                 queries
                     .iter()
                     .map(|q| {
-                        TopkEnEnumerator::with_bound(q, &ds.store, mode)
+                        TopkEnEnumerator::with_bound(q, ds.store.as_ref(), mode)
                             .take(20)
                             .count()
                     })

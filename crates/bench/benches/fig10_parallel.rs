@@ -1,0 +1,69 @@
+//! Figure 10 (ours, fig7-style) — ParTopk shard scalability over the
+//! GS family: wall time per query at 1/2/4/8 shards, plus the graph-size
+//! sweep at a fixed shard count. The `experiments -- par` section prints
+//! the same data as a table; this bench gives it criterion sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktpm_bench::{prepare_dataset, queries_for, run_par};
+use ktpm_exec::WorkerPool;
+use ktpm_workload::{gs_family, GraphSpec};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn parallel_scalability(c: &mut Criterion) {
+    let pool = Arc::new(WorkerPool::new(8));
+    let k = 1000;
+
+    // Vary shard count on a mid-size GS graph.
+    let ds = prepare_dataset("FIG10", &GraphSpec::power_law(2000, 0xF10));
+    let queries = queries_for(&ds, 10, 3, true);
+    assert!(!queries.is_empty());
+    let mut group = c.benchmark_group("fig10_vary_shards");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("ParTopk", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    queries
+                        .iter()
+                        .map(|q| run_par(&ds, q, k, shards, &pool).produced)
+                        .sum::<usize>()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Vary graph size at 4 shards (the paper's fig7(e)/(f) axis). The
+    // first three GS members keep the bench short; `experiments -- par`
+    // covers the full family.
+    let mut group = c.benchmark_group("fig10_vary_graph");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(2));
+    for (name, spec) in gs_family().into_iter().take(3) {
+        let ds = prepare_dataset(name, &spec);
+        let queries = queries_for(&ds, 10, 3, true);
+        if queries.is_empty() {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("ParTopk4", name), &(), |b, _| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|q| run_par(&ds, q, k, 4, &pool).produced)
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel_scalability);
+criterion_main!(benches);

@@ -4,23 +4,37 @@
 //! cargo run --release -p ktpm-bench --bin experiments -- all
 //! cargo run --release -p ktpm-bench --bin experiments -- table2 fig6
 //! cargo run --release -p ktpm-bench --bin experiments -- --quick all
+//! cargo run --release -p ktpm-bench --bin experiments -- --smoke
 //! ```
 //!
 //! Sections: `table2` (closure costs), `table3` (run-time graph sizes),
 //! `fig6` (four-system comparison), `fig7` (Topk/Topk-EN scalability),
-//! `fig8` (general twigs / Topk-GT), `fig9` (kGPM mtree vs mtree+).
+//! `fig8` (general twigs / Topk-GT), `fig9` (kGPM mtree vs mtree+),
+//! `par` (ParTopk shard scalability over the GS family).
 //! Absolute numbers are machine- and scale-dependent; EXPERIMENTS.md
 //! records the shape comparison against the paper.
+//!
+//! `--smoke` runs the short deterministic perf harness CI wires into
+//! its `bench-smoke` job: per-algorithm wall times (Topk, Topk-EN and
+//! 1/2/4-shard ParTopk) on the default GS3 workload, written to
+//! `BENCH_parallel.json` at the workspace root and uploaded as a
+//! workflow artifact — the repo's perf trajectory, one point per CI
+//! run.
 
 use ktpm_bench::*;
+use ktpm_exec::WorkerPool;
 use ktpm_kgpm::{KgpmContext, TreeMatcher};
 use ktpm_workload::{gd_family, gs_family, query_sizes, GraphSpec, DEFAULT_GD, DEFAULT_GS};
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Config {
     queries_per_set: usize,
     ks: Vec<usize>,
     kgpm_nodes: usize,
+    /// `k` for the ParTopk scalability section (large enough that
+    /// enumeration, the part sharding parallelizes, dominates).
+    par_k: usize,
 }
 
 fn main() {
@@ -31,21 +45,27 @@ fn main() {
             queries_per_set: 3,
             ks: vec![10, 20, 100],
             kgpm_nodes: 600,
+            par_k: 1000,
         }
     } else {
         Config {
             queries_per_set: 10,
             ks: vec![10, 20, 100],
             kgpm_nodes: 1200,
+            par_k: 4000,
         }
     };
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
     let mut sections: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
     if sections.is_empty() || sections.contains(&"all") {
-        sections = vec!["table2", "table3", "fig6", "fig7", "fig8", "fig9"];
+        sections = vec!["table2", "table3", "fig6", "fig7", "fig8", "fig9", "par"];
     }
     let t0 = Instant::now();
     for s in sections {
@@ -56,6 +76,7 @@ fn main() {
             "fig7" => fig7(&cfg),
             "fig8" => fig8(&cfg),
             "fig9" => fig9(&cfg),
+            "par" => par(&cfg),
             other => eprintln!("unknown section {other:?}"),
         }
     }
@@ -357,6 +378,117 @@ fn fig9(cfg: &Config) {
         );
     }
     println!();
+}
+
+/// The match-dense wildcard-star query set driving the parallel
+/// figures: branching under every root makes enumeration (the part
+/// sharding splits) dominate loading; random-walk `T*` sets on the GS
+/// family are the opposite regime (dozens of matches, all setup) and
+/// would only measure the serial run-time-graph load.
+fn star_queries(ds: &Dataset) -> Vec<ktpm_query::ResolvedQuery> {
+    [("L0", 2), ("L7", 2), ("L0", 3)]
+        .into_iter()
+        .filter_map(|(root, fanout)| wildcard_star(ds, root, fanout))
+        .collect()
+}
+
+/// ParTopk shard scalability over the GS family (fig7-style layout:
+/// vary shards at fixed k per graph size).
+fn par(cfg: &Config) {
+    println!("== ParTopk: shard scalability over the GS family (wildcard stars) ==");
+    let shard_counts = [1usize, 2, 4, 8];
+    let pool = Arc::new(WorkerPool::new(
+        shard_counts.iter().copied().max().expect("non-empty"),
+    ));
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("(pool width {}, {} cores)", pool.width(), cores);
+    for (name, spec) in gs_family() {
+        let ds = prepare_dataset(name, &spec);
+        let queries = star_queries(&ds);
+        if queries.is_empty() {
+            println!("{:<6} (no queries)", name);
+            continue;
+        }
+        print!("{:<6} k={:<6}", ds.name, cfg.par_k);
+        let mut base = 0.0;
+        for &s in &shard_counts {
+            let m = run_par_avg(&ds, &queries, cfg.par_k, s, &pool);
+            if s == 1 {
+                base = m.total_secs();
+            }
+            print!(
+                " P{s}: {:>9} ({:>4.2}x)",
+                fmt_secs(m.total_secs()),
+                base / m.total_secs().max(1e-12)
+            );
+        }
+        println!();
+    }
+    println!();
+}
+
+/// The CI `bench-smoke` harness: short, deterministic workload; JSON out.
+fn smoke() {
+    let t0 = Instant::now();
+    let (name, spec) = gs_family()[DEFAULT_GS].clone();
+    let ds = prepare_dataset(name, &spec);
+    let queries = star_queries(&ds);
+    assert!(!queries.is_empty(), "smoke workload generated no queries");
+    let k = 50_000;
+    let shard_counts = [1usize, 2, 4];
+    let pool = Arc::new(WorkerPool::new(4));
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "== bench-smoke: {} ({} nodes), {} wildcard-star queries, k={k}, {cores} cores ==",
+        ds.name,
+        ds.graph.num_nodes(),
+        queries.len()
+    );
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    for algo in [Algo::Topk, Algo::TopkEn] {
+        let m = run_algo_avg(&ds, &queries, k, algo);
+        println!("{:<10} {:>10}", algo.name(), fmt_secs(m.total_secs()));
+        entries.push((algo.name().to_string(), m.total_secs()));
+    }
+    let mut par_secs = std::collections::BTreeMap::new();
+    for &s in &shard_counts {
+        let m = run_par_avg(&ds, &queries, k, s, &pool);
+        println!("ParTopk/{s}  {:>10}", fmt_secs(m.total_secs()));
+        entries.push((format!("ParTopk/{s}"), m.total_secs()));
+        par_secs.insert(s, m.total_secs());
+    }
+    let speedup = par_secs[&1] / par_secs[&4].max(1e-12);
+    println!("speedup 4 shards over 1: {speedup:.2}x");
+
+    let algos_json: Vec<String> = entries
+        .iter()
+        .map(|(n, secs)| format!("    \"{n}\": {secs:.6}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"parallel\",\n  \"workload\": \"{} wildcard stars\",\n  \
+         \"nodes\": {},\n  \"queries\": {},\n  \"k\": {k},\n  \"cores\": {cores},\n  \
+         \"pool_width\": {},\n  \"wall_secs\": {{\n{}\n  }},\n  \
+         \"speedup_4_shards_over_1\": {speedup:.4}\n}}\n",
+        ds.name,
+        ds.graph.num_nodes(),
+        queries.len(),
+        pool.width(),
+        algos_json.join(",\n"),
+    );
+    let path = workspace_root().join("BENCH_parallel.json");
+    std::fs::write(&path, json).expect("write BENCH_parallel.json");
+    println!("wrote {} in {:?}", path.display(), t0.elapsed());
+}
+
+/// The workspace root, resolved from this crate's manifest directory
+/// (stable under any invocation cwd): `crates/bench` → two levels up.
+fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root")
+        .to_path_buf()
 }
 
 fn fmt_bytes(b: u64) -> String {

@@ -9,13 +9,15 @@
 
 use ktpm_baseline::{DpBEnumerator, DpPEnumerator};
 use ktpm_closure::ClosureTables;
-use ktpm_core::{TopkEnEnumerator, TopkEnumerator};
+use ktpm_core::{ParTopk, ParallelPolicy, TopkEnEnumerator, TopkEnumerator};
+use ktpm_exec::WorkerPool;
 use ktpm_graph::LabeledGraph;
 use ktpm_query::ResolvedQuery;
 use ktpm_runtime::RuntimeGraph;
-use ktpm_storage::{write_store, ClosureSource, FileStore};
+use ktpm_storage::{write_store, FileStore, SharedSource};
 use ktpm_workload::{generate, query_set, GraphSpec};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A prepared dataset: graph + on-disk closure store + offline stats.
@@ -24,8 +26,9 @@ pub struct Dataset {
     pub name: String,
     /// The data graph.
     pub graph: LabeledGraph,
-    /// The opened on-disk closure store.
-    pub store: FileStore,
+    /// The opened on-disk closure store, behind a shared handle so
+    /// parallel runs can clone it per shard.
+    pub store: SharedSource,
     /// Closure computation wall time (seconds); 0 when served from cache.
     pub closure_secs: f64,
     /// Closure edge count.
@@ -74,7 +77,9 @@ pub fn prepare_dataset(name: &str, spec: &GraphSpec) -> Dataset {
         (secs, edges)
     };
     let file_bytes = std::fs::metadata(&path).expect("store file").len();
-    let store = FileStore::open(&path).expect("open closure store");
+    let store: SharedSource = FileStore::open(&path)
+        .expect("open closure store")
+        .into_shared();
     let closure_edges = if closure_edges == 0 {
         // Served from cache: recount cheaply from the index.
         store
@@ -110,6 +115,23 @@ pub fn queries_for(ds: &Dataset, size: usize, count: usize, distinct: bool) -> V
         .into_iter()
         .map(|q| q.resolve(ds.graph.interner()))
         .collect()
+}
+
+/// A match-dense `root -> *#1, ..., *#fanout` wildcard star (the §5
+/// general-twig workload). Wildcard children multiply the branching
+/// under every root candidate, so total matches grow combinatorially
+/// while the run-time graph stays linear in the root label's tables —
+/// the large-k regime where enumeration dominates loading, which is
+/// exactly what partitioned execution parallelizes. Returns `None` if
+/// the label does not occur in the dataset.
+pub fn wildcard_star(ds: &Dataset, root_label: &str, fanout: usize) -> Option<ResolvedQuery> {
+    ds.graph.interner().get(root_label)?;
+    let text: String = (1..=fanout)
+        .map(|i| format!("{root_label} -> *#{i}\n"))
+        .collect();
+    ktpm_query::TreeQuery::parse(&text)
+        .ok()
+        .map(|q| q.resolve(ds.graph.interner()))
 }
 
 /// One algorithm measurement over a single query.
@@ -170,7 +192,7 @@ pub fn run_algo(ds: &Dataset, query: &ResolvedQuery, k: usize, algo: Algo) -> Me
     match algo {
         Algo::Topk => {
             let t0 = Instant::now();
-            let rg = RuntimeGraph::load(query, &ds.store);
+            let rg = RuntimeGraph::load(query, ds.store.as_ref());
             let mut it = TopkEnumerator::new(&rg);
             let first = it.next();
             m.top1_secs = t0.elapsed().as_secs_f64();
@@ -180,7 +202,7 @@ pub fn run_algo(ds: &Dataset, query: &ResolvedQuery, k: usize, algo: Algo) -> Me
         }
         Algo::DpB => {
             let t0 = Instant::now();
-            let rg = RuntimeGraph::load(query, &ds.store);
+            let rg = RuntimeGraph::load(query, ds.store.as_ref());
             let mut it = DpBEnumerator::new(&rg);
             let first = it.next();
             m.top1_secs = t0.elapsed().as_secs_f64();
@@ -190,7 +212,7 @@ pub fn run_algo(ds: &Dataset, query: &ResolvedQuery, k: usize, algo: Algo) -> Me
         }
         Algo::TopkEn => {
             let t0 = Instant::now();
-            let mut it = TopkEnEnumerator::new(query, &ds.store);
+            let mut it = TopkEnEnumerator::new(query, ds.store.as_ref());
             let first = it.next();
             m.top1_secs = t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
@@ -199,7 +221,7 @@ pub fn run_algo(ds: &Dataset, query: &ResolvedQuery, k: usize, algo: Algo) -> Me
         }
         Algo::DpP => {
             let t0 = Instant::now();
-            let mut it = DpPEnumerator::new(query, &ds.store);
+            let mut it = DpPEnumerator::new(query, ds.store.as_ref());
             let first = it.next();
             m.top1_secs = t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
@@ -213,16 +235,65 @@ pub fn run_algo(ds: &Dataset, query: &ResolvedQuery, k: usize, algo: Algo) -> Me
     m
 }
 
+/// Runs `ParTopk` with `shards` shards for the top-`k` matches of
+/// `query` on `pool`, measuring the same phases as [`run_algo`]. With
+/// `shards == 1` this is the sequential canonical-order baseline the
+/// speedup figures compare against.
+pub fn run_par(
+    ds: &Dataset,
+    query: &ResolvedQuery,
+    k: usize,
+    shards: usize,
+    pool: &Arc<WorkerPool>,
+) -> Measurement {
+    ds.store.reset_io();
+    let mut m = Measurement::default();
+    let policy = ParallelPolicy::with_shards(shards);
+    let t0 = Instant::now();
+    let mut it = ParTopk::new(query, Arc::clone(&ds.store), &policy, Arc::clone(pool));
+    let first = it.next();
+    m.top1_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    m.produced = usize::from(first.is_some()) + it.take(k.saturating_sub(1)).count();
+    m.enum_secs = t1.elapsed().as_secs_f64();
+    let io = ds.store.io();
+    m.edges_loaded = io.edges_read;
+    m.bytes_read = io.bytes_read;
+    m
+}
+
+/// Averages [`run_par`] over a query set (same shape as
+/// [`run_algo_avg`], including the warm-up run).
+pub fn run_par_avg(
+    ds: &Dataset,
+    queries: &[ResolvedQuery],
+    k: usize,
+    shards: usize,
+    pool: &Arc<WorkerPool>,
+) -> Measurement {
+    run_avg(queries, k, |q, k| run_par(ds, q, k, shards, pool))
+}
+
 /// Averages `run_algo` over a query set.
 pub fn run_algo_avg(ds: &Dataset, queries: &[ResolvedQuery], k: usize, algo: Algo) -> Measurement {
+    run_avg(queries, k, |q, k| run_algo(ds, q, k, algo))
+}
+
+/// Averages a per-query measurement over a query set, after one k=1
+/// warm-up run (page cache / allocator, so the first k doesn't pay
+/// setup).
+fn run_avg(
+    queries: &[ResolvedQuery],
+    k: usize,
+    mut run: impl FnMut(&ResolvedQuery, usize) -> Measurement,
+) -> Measurement {
     let mut acc = Measurement::default();
     if queries.is_empty() {
         return acc;
     }
-    // Warm the page cache / allocator so the first k doesn't pay setup.
-    let _ = run_algo(ds, &queries[0], 1, algo);
+    let _ = run(&queries[0], 1);
     for q in queries {
-        let m = run_algo(ds, q, k, algo);
+        let m = run(q, k);
         acc.top1_secs += m.top1_secs;
         acc.enum_secs += m.enum_secs;
         acc.edges_loaded += m.edges_loaded;
@@ -245,7 +316,7 @@ pub fn runtime_graph_sizes(ds: &Dataset, queries: &[ResolvedQuery]) -> (f64, f64
     }
     let (mut nodes, mut edges) = (0usize, 0usize);
     for q in queries {
-        let rg = RuntimeGraph::load(q, &ds.store);
+        let rg = RuntimeGraph::load(q, ds.store.as_ref());
         let s = rg.stats();
         nodes += s.nodes;
         edges += s.edges;
@@ -290,13 +361,35 @@ mod tests {
         let ds = prepare_dataset("SMOKE2", &GraphSpec::power_law(400, 5));
         let queries = queries_for(&ds, 5, 3, true);
         for q in &queries {
-            let rg = RuntimeGraph::load(q, &ds.store);
+            let rg = RuntimeGraph::load(q, ds.store.as_ref());
             let a: Vec<_> = TopkEnumerator::new(&rg).take(10).map(|m| m.score).collect();
-            let b: Vec<_> = TopkEnEnumerator::new(q, &ds.store)
+            let b: Vec<_> = TopkEnEnumerator::new(q, ds.store.as_ref())
                 .take(10)
                 .map(|m| m.score)
                 .collect();
             assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn par_topk_agrees_with_sequential_on_prepared_dataset() {
+        let ds = prepare_dataset("SMOKE2", &GraphSpec::power_law(400, 5));
+        let queries = queries_for(&ds, 5, 2, true);
+        let pool = ktpm_exec::default_pool();
+        for q in &queries {
+            let want = ktpm_core::topk_full(q, ds.store.as_ref(), 25);
+            for shards in [1usize, 2, 4] {
+                let m = run_par(&ds, q, 25, shards, &pool);
+                assert_eq!(m.produced, want.len().min(25), "shards {shards}");
+                let got = ktpm_core::par_topk(
+                    q,
+                    Arc::clone(&ds.store),
+                    25,
+                    &ParallelPolicy::with_shards(shards),
+                    Arc::clone(&pool),
+                );
+                assert_eq!(got, want, "shards {shards}");
+            }
         }
     }
 

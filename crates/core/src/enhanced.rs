@@ -60,6 +60,21 @@ impl<'s> TopkEnEnumerator<'s> {
         Self::with_bound_shared(query, source, BoundMode::Tight)
     }
 
+    /// The partitioned form: enumerates only matches whose *root* data
+    /// node lies in `shard`, loading lazily like [`Self::new`] but driven
+    /// solely by this shard's root bucket. Used by `ParTopk`'s lazy
+    /// shard engine.
+    pub fn new_sharded(
+        query: &ResolvedQuery,
+        source: SharedSource,
+        shard: ktpm_storage::ShardSpec,
+    ) -> TopkEnEnumerator<'static> {
+        let mut lists = SlotLists::default();
+        let loader =
+            PriorityLoader::new_sharded(query, source, BoundMode::Tight, &mut lists, shard);
+        TopkEnEnumerator::from_parts(query, loader, lists)
+    }
+
     /// As [`Self::new_shared`] with an explicit bound mode.
     pub fn with_bound_shared(
         query: &ResolvedQuery,

@@ -14,9 +14,22 @@ use crate::matches::{CandidateSpec, PoppedMatch, ScoredMatch, NO_PARENT};
 use ktpm_graph::Score;
 use ktpm_query::{QNodeId, TreeQuery};
 use ktpm_runtime::{GraphRef, RuntimeGraph};
+use ktpm_storage::ShardSpec;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
+
+/// Deferred list construction state for [`SlotLists::build_on_demand`]:
+/// slot lists are materialized from the run-time graph the first time
+/// they are touched, so an enumerator restricted to a few roots only
+/// pays for the lists its matches actually reach.
+#[derive(Debug, Clone)]
+struct SlotFill {
+    rg: Arc<RuntimeGraph>,
+    bs: Arc<BsData>,
+    /// Per `(u, parent_idx)`: whether the list has been materialized.
+    built: Vec<Vec<bool>>,
+}
 
 /// The `L`/`H` lists of every `(parent candidate, child slot)` pair plus
 /// the root list (root candidates keyed by `bs`).
@@ -26,6 +39,8 @@ pub struct SlotLists {
     pub(crate) lists: Vec<Vec<LazySortedList>>,
     /// Root candidates keyed by `bs` (§3.3 "organized in a similar way").
     pub(crate) root: LazySortedList,
+    /// When set, non-root lists fill lazily on first access.
+    fill: Option<SlotFill>,
 }
 
 impl SlotLists {
@@ -62,7 +77,56 @@ impl SlotLists {
         SlotLists {
             lists,
             root: LazySortedList::new(root_items),
+            fill: None,
         }
+    }
+
+    /// Builds the root list eagerly — restricted to root candidates whose
+    /// data node lies in `shard` — and defers every non-root list to first
+    /// access. Produces exactly the lists [`Self::build_full`] would for
+    /// the slots it materializes, but an enumerator that only explores a
+    /// fraction of the run-time graph (a root shard, or a small `k`) pays
+    /// O(touched lists) instead of O(m_R) up front. The graph and `bs`
+    /// data are shared (`Arc`), so `P` shard enumerators over one query
+    /// add only their root slices and touched lists.
+    pub fn build_on_demand(rg: Arc<RuntimeGraph>, bs: Arc<BsData>, shard: ShardSpec) -> Self {
+        let tree = rg.query().tree();
+        let n_t = tree.len();
+        let mut lists: Vec<Vec<LazySortedList>> = Vec::with_capacity(n_t);
+        lists.push(Vec::new());
+        for ui in 1..n_t {
+            let p = tree.parent(QNodeId(ui as u32)).expect("non-root");
+            lists.push(vec![LazySortedList::default(); rg.candidates().len(p)]);
+        }
+        let root = tree.root();
+        let root_items: Vec<(Score, u32)> = (0..rg.candidates().len(root) as u32)
+            .filter(|&i| bs.is_valid(root, i) && shard.contains(rg.node(root, i)))
+            .map(|i| (bs.bs(root, i), i))
+            .collect();
+        let built = lists.iter().map(|per| vec![false; per.len()]).collect();
+        SlotLists {
+            lists,
+            root: LazySortedList::new(root_items),
+            fill: Some(SlotFill { rg, bs, built }),
+        }
+    }
+
+    /// Materializes the deferred list of child slot `u` under parent
+    /// candidate `pi` — the same per-slot construction as
+    /// [`Self::build_full`].
+    fn fill_slot(rg: &RuntimeGraph, bs: &BsData, u: u32, pi: u32) -> LazySortedList {
+        let un = QNodeId(u);
+        let p = rg.query().tree().parent(un).expect("non-root");
+        if !bs.is_valid(p, pi) {
+            return LazySortedList::default();
+        }
+        let items: Vec<(Score, u32)> = rg
+            .edges(un, pi)
+            .iter()
+            .filter(|&&(j, _)| bs.is_valid(un, j))
+            .map(|&(j, d)| (bs.bs(un, j) + d as Score, j))
+            .collect();
+        LazySortedList::new(items)
     }
 
     /// Allocates empty lists shaped for a lazily-loaded run (Algorithm 3).
@@ -80,12 +144,20 @@ impl SlotLists {
         SlotLists {
             lists,
             root: LazySortedList::default(),
+            fill: None,
         }
     }
 
-    /// The list of child slot `u` under parent candidate `pi`.
+    /// The list of child slot `u` under parent candidate `pi`,
+    /// materializing it first in deferred mode.
     #[inline]
     pub(crate) fn slot(&mut self, u: u32, pi: u32) -> &mut LazySortedList {
+        if let Some(f) = &mut self.fill {
+            if !f.built[u as usize][pi as usize] {
+                f.built[u as usize][pi as usize] = true;
+                self.lists[u as usize][pi as usize] = Self::fill_slot(&f.rg, &f.bs, u, pi);
+            }
+        }
         &mut self.lists[u as usize][pi as usize]
     }
 
@@ -334,11 +406,31 @@ impl<'g> TopkEnumerator<'g> {
         TopkEnumerator::with_graph(GraphRef::Shared(rg), true)
     }
 
+    /// The partitioned form: enumerates only matches whose *root* data
+    /// node lies in `shard`, over a run-time graph and `bs` data shared
+    /// with the other shards of the same query. Lists build on demand
+    /// ([`SlotLists::build_on_demand`]), so `P` shard enumerators don't
+    /// each repeat the O(m_R) list construction. Within its shard the
+    /// emitted order (and every score/witness) is identical to what
+    /// [`Self::new`] produces for those matches.
+    pub fn new_sharded(
+        rg: Arc<RuntimeGraph>,
+        bs: Arc<BsData>,
+        shard: ShardSpec,
+    ) -> TopkEnumerator<'static> {
+        let lists = SlotLists::build_on_demand(Arc::clone(&rg), bs, shard);
+        TopkEnumerator::from_lists(GraphRef::Shared(rg), lists, true)
+    }
+
     fn with_graph(rg: GraphRef<'g>, use_side_queues: bool) -> Self {
         let g = rg.get();
         let bs = BsData::compute(g);
-        let mut lists = SlotLists::build_full(g, &bs);
-        let mut core = LawlerCore::new(g.query().tree());
+        let lists = SlotLists::build_full(g, &bs);
+        Self::from_lists(rg, lists, use_side_queues)
+    }
+
+    fn from_lists(rg: GraphRef<'g>, mut lists: SlotLists, use_side_queues: bool) -> Self {
+        let mut core = LawlerCore::new(rg.get().query().tree());
         let mut q = BinaryHeap::new();
         let mut specs = Vec::new();
         if let Some(init) = core.initial_candidate(&mut lists) {
@@ -522,6 +614,55 @@ mod tests {
                 .join()
                 .unwrap();
         assert_eq!(borrowed, scores);
+    }
+
+    #[test]
+    fn sharded_enumerators_partition_the_full_stream() {
+        // A 1-way "shard" reproduces the full stream byte for byte
+        // (on-demand lists must not change anything), and an n-way split
+        // partitions the match set: every match appears in exactly the
+        // shard owning its root, scores non-decreasing per shard. Ties
+        // within one shard may legally order differently from the full
+        // run (different side-queue rounds), so cross-shard assertions
+        // compare canonically sorted streams.
+        let g = paper_graph();
+        let q = TreeQuery::parse("a -> b\na -> c\nc -> d\nc -> e")
+            .unwrap()
+            .resolve(g.interner());
+        let store = MemStore::new(ClosureTables::compute(&g));
+        let rg = Arc::new(RuntimeGraph::load(&q, &store));
+        let bs = Arc::new(BsData::compute(&rg));
+        let full: Vec<ScoredMatch> = TopkEnumerator::new(&rg).collect();
+        assert!(!full.is_empty());
+
+        let one: Vec<ScoredMatch> =
+            TopkEnumerator::new_sharded(Arc::clone(&rg), Arc::clone(&bs), ShardSpec::full())
+                .collect();
+        assert_eq!(one, full);
+
+        let canon = |mut ms: Vec<ScoredMatch>| {
+            ms.sort_by(|a, b| (a.score, &a.assignment).cmp(&(b.score, &b.assignment)));
+            ms
+        };
+        for n in [2usize, 3, 5] {
+            let mut union = Vec::new();
+            for spec in ShardSpec::split(n) {
+                let part: Vec<ScoredMatch> =
+                    TopkEnumerator::new_sharded(Arc::clone(&rg), Arc::clone(&bs), spec).collect();
+                assert!(
+                    part.windows(2).all(|w| w[0].score <= w[1].score),
+                    "shard {spec} must stream in score order"
+                );
+                let want: Vec<ScoredMatch> = full
+                    .iter()
+                    .filter(|m| spec.contains(m.assignment[0]))
+                    .cloned()
+                    .collect();
+                assert_eq!(canon(part.clone()), canon(want), "shard {spec} of {n}");
+                union.extend(part);
+            }
+            assert_eq!(canon(union), canon(full.clone()), "{n}-way partition");
+        }
     }
 
     #[test]

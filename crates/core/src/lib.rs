@@ -17,6 +17,18 @@
 //! `Topk-GT` (§5, general twigs) is not a separate algorithm: the
 //! run-time graph is per-query-node (see `ktpm-runtime`), so duplicate
 //! labels, wildcards and `/` edges flow through the same enumerators.
+//!
+//! ## Parallel partitioned execution
+//!
+//! [`ParTopk`] splits the root candidate set into [`ShardSpec`] shards,
+//! runs an independent enumerator per shard on a shared worker pool and
+//! lazily k-way-merges the streams. The merged stream equals
+//! [`topk_full`] *exactly* (order, scores, witnesses) because both
+//! emit the workspace's **canonical order** — ascending
+//! `(score, assignment)`, the deterministic tie-break defined in
+//! [`partition`]. The raw iterators ([`TopkEnumerator`],
+//! [`TopkEnEnumerator`]) keep their algorithmic tie order; wrap them in
+//! [`canonical`] when determinism across runs or algorithms matters.
 
 pub mod brute;
 mod bs;
@@ -25,6 +37,8 @@ mod lawler;
 mod lazylist;
 mod loader;
 mod matches;
+pub mod parallel;
+pub mod partition;
 
 pub use bs::BsData;
 pub use enhanced::TopkEnEnumerator;
@@ -32,17 +46,27 @@ pub use lawler::{SlotLists, TopkEnumerator};
 pub use lazylist::LazySortedList;
 pub use loader::{BoundMode, PriorityLoader};
 pub use matches::ScoredMatch;
+pub use parallel::{par_topk, ParTopk, ParallelPolicy, ShardEngine};
+pub use partition::{canonical, Canonical};
+// Re-exported so callers configuring shards need not depend on storage.
+pub use ktpm_storage::ShardSpec;
 
 use ktpm_query::ResolvedQuery;
 use ktpm_storage::ClosureSource;
 
-/// Convenience: top-k via Algorithm 1 (full run-time graph load).
+/// Convenience: top-k via Algorithm 1 (full run-time graph load), in
+/// the canonical `(score, assignment)` order — the reference stream
+/// every other execution mode (including [`ParTopk`]) reproduces
+/// exactly.
 pub fn topk_full(query: &ResolvedQuery, source: &dyn ClosureSource, k: usize) -> Vec<ScoredMatch> {
     let rg = ktpm_runtime::RuntimeGraph::load(query, source);
-    TopkEnumerator::new(&rg).take(k).collect()
+    canonical(TopkEnumerator::new(&rg)).take(k).collect()
 }
 
-/// Convenience: top-k via Algorithm 3 (priority-based lazy load).
+/// Convenience: top-k via Algorithm 3 (priority-based lazy load), in
+/// the canonical `(score, assignment)` order.
 pub fn topk_en(query: &ResolvedQuery, source: &dyn ClosureSource, k: usize) -> Vec<ScoredMatch> {
-    TopkEnEnumerator::new(query, source).take(k).collect()
+    canonical(TopkEnEnumerator::new(query, source))
+        .take(k)
+        .collect()
 }

@@ -28,7 +28,9 @@ use crate::lawler::SlotLists;
 use ktpm_graph::{Dist, NodeId, Score, INF_DIST};
 use ktpm_query::{EdgeKind, QNodeId, ResolvedQuery};
 use ktpm_runtime::CandidateSets;
-use ktpm_storage::{merge_sorted_blocks, ClosureSource, EdgeCursor, SharedSource, SourceRef};
+use ktpm_storage::{
+    merge_sorted_blocks, ClosureSource, EdgeCursor, ShardSpec, SharedSource, SourceRef,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashSet;
@@ -91,7 +93,13 @@ impl<'s> PriorityLoader<'s> {
         bound: BoundMode,
         lists: &mut SlotLists,
     ) -> Self {
-        Self::with_source(query, SourceRef::Borrowed(source), bound, lists)
+        Self::with_source(
+            query,
+            SourceRef::Borrowed(source),
+            bound,
+            lists,
+            ShardSpec::full(),
+        )
     }
 
     /// As [`Self::new`] over a shared (`Arc`) source: the loader owns a
@@ -104,7 +112,28 @@ impl<'s> PriorityLoader<'s> {
         bound: BoundMode,
         lists: &mut SlotLists,
     ) -> PriorityLoader<'static> {
-        PriorityLoader::with_source(query, SourceRef::Shared(source), bound, lists)
+        PriorityLoader::with_source(
+            query,
+            SourceRef::Shared(source),
+            bound,
+            lists,
+            ShardSpec::full(),
+        )
+    }
+
+    /// As [`Self::new_shared`], restricted to matches rooted in `shard`:
+    /// the root candidate bucket is filtered, so loading is driven only
+    /// by this shard's sub-universe. The `Q_g` bound stays a valid lower
+    /// bound for the restricted universe — it ranges over a superset of
+    /// the matter the shard can use, so it can only be conservative.
+    pub fn new_sharded(
+        query: &ResolvedQuery,
+        source: SharedSource,
+        bound: BoundMode,
+        lists: &mut SlotLists,
+        shard: ShardSpec,
+    ) -> PriorityLoader<'static> {
+        PriorityLoader::with_source(query, SourceRef::Shared(source), bound, lists, shard)
     }
 
     fn with_source(
@@ -112,11 +141,12 @@ impl<'s> PriorityLoader<'s> {
         source: SourceRef<'s>,
         bound: BoundMode,
         lists: &mut SlotLists,
+        shard: ShardSpec,
     ) -> Self {
         let tree = query.tree();
         let n_t = tree.len();
         let src = source.get();
-        let (cands, evs) = CandidateSets::from_d_tables(query, src);
+        let (cands, evs) = CandidateSets::from_d_tables_sharded(query, src, shard);
         *lists = SlotLists::empty_shaped(
             tree,
             &(0..n_t)

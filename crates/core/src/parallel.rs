@@ -1,0 +1,383 @@
+//! `ParTopk` — parallel partitioned top-k enumeration.
+//!
+//! The paper's enumerators are strictly sequential per query. Ranked-
+//! enumeration theory (Tziavelis et al., *Optimal Join Algorithms Meet
+//! Top-k*) observes that any-k enumeration decomposes by disjoint
+//! subproblem and re-merges through a heap without losing the score-
+//! order guarantee. Here the decomposition is by **root candidate**:
+//! a [`ktpm_storage::ShardSpec`] split slices the root candidate set
+//! into `P` disjoint, exhaustive shards; each shard runs an independent
+//! sequential enumerator ([`TopkEnumerator`] over a *shared* run-time
+//! graph, or [`TopkEnEnumerator`] over the shared store), and the
+//! shard streams are lazily k-way merged on `(score, assignment)`.
+//! Because each stream is first put into the canonical order
+//! ([`crate::partition`]), the merged stream equals [`crate::topk_full`]
+//! exactly — order, scores and witnesses — for every shard count.
+//!
+//! ## Scheduling
+//!
+//! Shard work runs as **finite jobs** on a shared [`WorkerPool`]
+//! (`ktpm-exec`): setup plus one batch of matches per job, enumerator
+//! state handed back to the caller between batches. Jobs never block on
+//! other jobs, so any number of concurrent `ParTopk` runs share one
+//! pool without deadlock, and a `ParTopk` parked inside a service
+//! session holds no pool thread. The merge refills every near-empty
+//! shard in one scatter, so balanced streams keep all workers busy
+//! while skewed streams only pay for what the merge actually consumes
+//! (at most one batch of lookahead per shard).
+
+use crate::bs::BsData;
+use crate::enhanced::TopkEnEnumerator;
+use crate::lawler::TopkEnumerator;
+use crate::matches::ScoredMatch;
+use crate::partition::{canonical, Canonical};
+use ktpm_exec::WorkerPool;
+use ktpm_graph::{NodeId, Score};
+use ktpm_query::ResolvedQuery;
+use ktpm_runtime::RuntimeGraph;
+use ktpm_storage::{ShardSpec, SharedSource};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+/// Which sequential enumerator runs inside each shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardEngine {
+    /// Algorithm 1 per shard over one *shared* run-time graph: the
+    /// O(m_R) load and `bs` pass happen once, shards build their slot
+    /// lists on demand. Best when several/all shards will be consumed.
+    Full,
+    /// Algorithm 3 per shard: each shard loads lazily from the shared
+    /// store, driven by its own root bucket. Cheapest for tiny `k` on
+    /// huge graphs; pays per-shard `D`-table initialization.
+    Lazy,
+}
+
+/// How a query is split across shard workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelPolicy {
+    /// Number of root shards (1 = sequential execution on the pool).
+    pub shards: usize,
+    /// Matches pulled from a shard per job; bounds both per-shard
+    /// lookahead and scheduling overhead.
+    pub batch: usize,
+    /// The per-shard enumerator.
+    pub engine: ShardEngine,
+}
+
+impl Default for ParallelPolicy {
+    fn default() -> Self {
+        ParallelPolicy {
+            shards: std::thread::available_parallelism().map_or(4, |n| n.get().clamp(1, 8)),
+            batch: 64,
+            engine: ShardEngine::Full,
+        }
+    }
+}
+
+impl ParallelPolicy {
+    /// A policy with `shards` shards and default batch/engine.
+    pub fn with_shards(shards: usize) -> Self {
+        ParallelPolicy {
+            shards,
+            ..ParallelPolicy::default()
+        }
+    }
+}
+
+/// One shard's sequential enumerator, already in canonical order.
+/// Boxed: the enumerators are hundreds of bytes and hop between the
+/// caller and pool workers every batch.
+enum ShardIter {
+    Full(Box<Canonical<TopkEnumerator<'static>>>),
+    Lazy(Box<Canonical<TopkEnEnumerator<'static>>>),
+}
+
+impl Iterator for ShardIter {
+    type Item = ScoredMatch;
+
+    fn next(&mut self) -> Option<ScoredMatch> {
+        match self {
+            ShardIter::Full(it) => it.next(),
+            ShardIter::Lazy(it) => it.next(),
+        }
+    }
+}
+
+/// Pulls up to `n` matches; the flag is false once the stream ended.
+fn pull(it: &mut ShardIter, n: usize) -> (VecDeque<ScoredMatch>, bool) {
+    let mut out = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        match it.next() {
+            Some(m) => out.push_back(m),
+            None => return (out, false),
+        }
+    }
+    (out, true)
+}
+
+/// A shard's parked enumerator (`None` once exhausted) plus the batch
+/// buffer the merge drains between refills.
+struct ShardStream {
+    iter: Option<ShardIter>,
+    buf: VecDeque<ScoredMatch>,
+}
+
+type ShardJobResult = (Option<ShardIter>, VecDeque<ScoredMatch>);
+
+/// The lazily merged parallel enumerator; see module docs. Yields the
+/// exact [`crate::topk_full`] stream; `take(k)` gives the top-k.
+pub struct ParTopk {
+    shards: Vec<ShardStream>,
+    /// Merge heap: the current head of every live shard, keyed by the
+    /// canonical `(score, assignment)` order (shard index only breaks
+    /// the tie between — impossible — identical assignments).
+    heap: BinaryHeap<Reverse<(Score, Vec<NodeId>, usize)>>,
+    pool: Arc<WorkerPool>,
+    batch: usize,
+}
+
+impl ParTopk {
+    /// Splits `query` per `policy` and runs shard setup (plus each
+    /// shard's first batch) concurrently on `pool`. Setup cost: one
+    /// run-time-graph load + `bs` pass on the calling thread for
+    /// [`ShardEngine::Full`], nothing shared for [`ShardEngine::Lazy`].
+    pub fn new(
+        query: &ResolvedQuery,
+        source: SharedSource,
+        policy: &ParallelPolicy,
+        pool: Arc<WorkerPool>,
+    ) -> ParTopk {
+        let batch = policy.batch.max(1);
+        let specs = ShardSpec::split(policy.shards);
+        let jobs: Vec<Box<dyn FnOnce() -> ShardJobResult + Send>> = match policy.engine {
+            ShardEngine::Full => {
+                let rg = Arc::new(RuntimeGraph::load(query, source.as_ref()));
+                let bs = Arc::new(BsData::compute(&rg));
+                specs
+                    .into_iter()
+                    .map(|spec| {
+                        let (rg, bs) = (Arc::clone(&rg), Arc::clone(&bs));
+                        Box::new(move || {
+                            let mut it = ShardIter::Full(Box::new(canonical(
+                                TopkEnumerator::new_sharded(rg, bs, spec),
+                            )));
+                            let (buf, alive) = pull(&mut it, batch);
+                            (alive.then_some(it), buf)
+                        }) as Box<dyn FnOnce() -> ShardJobResult + Send>
+                    })
+                    .collect()
+            }
+            ShardEngine::Lazy => specs
+                .into_iter()
+                .map(|spec| {
+                    let query = query.clone();
+                    let source = Arc::clone(&source);
+                    Box::new(move || {
+                        let mut it = ShardIter::Lazy(Box::new(canonical(
+                            TopkEnEnumerator::new_sharded(&query, source, spec),
+                        )));
+                        let (buf, alive) = pull(&mut it, batch);
+                        (alive.then_some(it), buf)
+                    }) as Box<dyn FnOnce() -> ShardJobResult + Send>
+                })
+                .collect(),
+        };
+        let results = pool.scatter(jobs);
+        let single = results.len() == 1;
+        let mut par = ParTopk {
+            shards: Vec::with_capacity(results.len()),
+            heap: BinaryHeap::new(),
+            pool,
+            batch,
+        };
+        for (i, (iter, buf)) in results.into_iter().enumerate() {
+            par.shards.push(ShardStream { iter, buf });
+            // A lone shard is already globally ordered: it streams
+            // straight from its buffer, bypassing the merge heap.
+            if !single {
+                par.push_head(i);
+            }
+        }
+        par
+    }
+
+    /// Number of shards this run was split into.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Moves shard `s`'s next buffered match into the merge heap.
+    fn push_head(&mut self, s: usize) {
+        if let Some(m) = self.shards[s].buf.pop_front() {
+            self.heap.push(Reverse((m.score, m.assignment, s)));
+        }
+    }
+
+    /// One scatter refilling every live shard whose buffer ran dry.
+    /// Balanced shards drain in lockstep, so this usually refills all of
+    /// them in parallel rather than one at a time.
+    fn refill_dry(&mut self) {
+        let batch = self.batch;
+        let mut idx = Vec::new();
+        let mut jobs: Vec<Box<dyn FnOnce() -> ShardJobResult + Send>> = Vec::new();
+        for (i, sh) in self.shards.iter_mut().enumerate() {
+            if sh.buf.is_empty() {
+                if let Some(mut it) = sh.iter.take() {
+                    idx.push(i);
+                    jobs.push(Box::new(move || {
+                        let (buf, alive) = pull(&mut it, batch);
+                        (alive.then_some(it), buf)
+                    }));
+                }
+            }
+        }
+        let results = match jobs.len() {
+            0 => return,
+            // One dry shard: the pool round-trip buys nothing.
+            1 => vec![jobs.pop().expect("len checked")()],
+            _ => self.pool.scatter(jobs),
+        };
+        for (i, (iter, buf)) in idx.into_iter().zip(results) {
+            self.shards[i].iter = iter;
+            self.shards[i].buf = buf;
+        }
+    }
+}
+
+impl Iterator for ParTopk {
+    type Item = ScoredMatch;
+
+    fn next(&mut self) -> Option<ScoredMatch> {
+        if self.shards.len() == 1 {
+            // Single-stream fast path (no merge): the canonical shard
+            // stream is the answer.
+            if self.shards[0].buf.is_empty() && self.shards[0].iter.is_some() {
+                self.refill_dry();
+            }
+            return self.shards[0].buf.pop_front();
+        }
+        let Reverse((score, assignment, s)) = self.heap.pop()?;
+        if self.shards[s].buf.is_empty() && self.shards[s].iter.is_some() {
+            self.refill_dry();
+        }
+        self.push_head(s);
+        Some(ScoredMatch { score, assignment })
+    }
+}
+
+/// Convenience: the exact [`crate::topk_full`] top-k, computed by
+/// `policy.shards`-way partitioned execution on `pool`.
+pub fn par_topk(
+    query: &ResolvedQuery,
+    source: SharedSource,
+    k: usize,
+    policy: &ParallelPolicy,
+    pool: Arc<WorkerPool>,
+) -> Vec<ScoredMatch> {
+    ParTopk::new(query, source, policy, pool).take(k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk_full;
+    use ktpm_closure::ClosureTables;
+    use ktpm_graph::fixtures::{citation_graph, paper_graph};
+    use ktpm_graph::LabeledGraph;
+    use ktpm_query::TreeQuery;
+    use ktpm_storage::MemStore;
+
+    fn pool() -> Arc<WorkerPool> {
+        ktpm_exec::default_pool()
+    }
+
+    fn check(g: &LabeledGraph, query: &str) {
+        let q = TreeQuery::parse(query).unwrap().resolve(g.interner());
+        let tables = ClosureTables::compute(g);
+        let store = MemStore::new(tables.clone());
+        let shared = MemStore::with_block_edges(tables, 2).into_shared();
+        let want = topk_full(&q, &store, usize::MAX);
+        for engine in [ShardEngine::Full, ShardEngine::Lazy] {
+            for shards in [1usize, 2, 3, 4, 7] {
+                for batch in [1usize, 3, 64] {
+                    let policy = ParallelPolicy {
+                        shards,
+                        batch,
+                        engine,
+                    };
+                    let got = par_topk(&q, Arc::clone(&shared), usize::MAX, &policy, pool());
+                    assert_eq!(
+                        got, want,
+                        "query {query:?} {engine:?} shards {shards} batch {batch}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_reproduces_topk_full_on_fixtures() {
+        let g = paper_graph();
+        check(&g, "a -> b\na -> c\nc -> d\nc -> e");
+        check(&g, "a -> c\nc -> d");
+        check(&g, "a");
+        let g = citation_graph();
+        check(&g, "C -> E\nC -> S");
+    }
+
+    #[test]
+    fn duplicate_labels_and_wildcards_partition_cleanly() {
+        let g = paper_graph();
+        check(&g, "a#1 -> a#2");
+        check(&g, "c -> *#1");
+        check(&g, "a => b");
+    }
+
+    #[test]
+    fn no_match_queries_yield_nothing() {
+        let g = paper_graph();
+        let q = TreeQuery::parse("s -> a").unwrap().resolve(g.interner());
+        let shared = MemStore::new(ClosureTables::compute(&g)).into_shared();
+        let policy = ParallelPolicy::with_shards(4);
+        assert_eq!(par_topk(&q, shared, 10, &policy, pool()), Vec::new());
+    }
+
+    #[test]
+    fn take_k_prefixes_agree_across_shard_counts() {
+        let g = paper_graph();
+        let q = TreeQuery::parse("a -> b\na -> c\nc -> d\nc -> e")
+            .unwrap()
+            .resolve(g.interner());
+        let shared = MemStore::new(ClosureTables::compute(&g)).into_shared();
+        let all = par_topk(
+            &q,
+            Arc::clone(&shared),
+            usize::MAX,
+            &ParallelPolicy::with_shards(1),
+            pool(),
+        );
+        for k in [1usize, 2, 5, 17] {
+            for shards in [2usize, 4] {
+                let got = par_topk(
+                    &q,
+                    Arc::clone(&shared),
+                    k,
+                    &ParallelPolicy::with_shards(shards),
+                    pool(),
+                );
+                assert_eq!(
+                    got,
+                    all[..k.min(all.len())].to_vec(),
+                    "k {k} shards {shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partopk_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ParTopk>();
+    }
+}

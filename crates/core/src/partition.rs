@@ -1,0 +1,148 @@
+//! The canonical output order and root-partitioned sub-enumerators.
+//!
+//! ## Why a canonical order exists
+//!
+//! Every enumerator in this workspace yields matches in non-decreasing
+//! score order, but the paper leaves the order *within* an equal-score
+//! group unspecified — and in practice it falls out of heap insertion
+//! sequences, which differ between algorithms and (crucially) between
+//! shard layouts of the same query. Partitioned execution re-merges
+//! per-shard streams, so "same order as the sequential run" is only
+//! meaningful once ties are broken deterministically.
+//!
+//! This module defines the workspace-wide **canonical order**:
+//!
+//! > ascending `(score, assignment)`, assignments compared
+//! > lexicographically in query-BFS node order.
+//!
+//! Assignments are unique per match, so this is a total order. It is
+//! independent of algorithm, shard count and thread schedule, which is
+//! what makes the order-preservation argument for `ParTopk`
+//! compositional:
+//!
+//! 1. each shard owns the matches rooted at its slice of the root
+//!    candidate set ([`ktpm_storage::ShardSpec`] splits are disjoint
+//!    and exhaustive, and a match has exactly one root);
+//! 2. [`Canonical`] re-orders each shard's stream into the canonical
+//!    order without breaking laziness (it buffers one equal-score group
+//!    at a time — legal because scores never decrease);
+//! 3. a k-way merge keyed on `(score, assignment)` of canonically
+//!    ordered disjoint streams is itself canonically ordered.
+//!
+//! Hence `ParTopk` with *any* shard count emits exactly the sequence of
+//! [`crate::topk_full`] — order, scores and witnesses.
+//!
+//! The price is bounded lookahead: emitting the first match of a score
+//! group requires having pulled the whole group from the inner
+//! enumerator. Memory and delay are O(largest equal-score group).
+
+use crate::matches::ScoredMatch;
+use std::collections::VecDeque;
+
+/// An adaptor re-ordering a non-decreasing-score match stream into the
+/// canonical `(score, assignment)` order; see module docs.
+pub struct Canonical<I> {
+    inner: I,
+    /// The current equal-score group, already sorted.
+    group: VecDeque<ScoredMatch>,
+    /// First match of the *next* group (pulled while closing a group).
+    lookahead: Option<ScoredMatch>,
+}
+
+/// Wraps `inner` (which must yield non-decreasing scores) into the
+/// canonical order.
+pub fn canonical<I: Iterator<Item = ScoredMatch>>(inner: I) -> Canonical<I> {
+    Canonical {
+        inner,
+        group: VecDeque::new(),
+        lookahead: None,
+    }
+}
+
+impl<I: Iterator<Item = ScoredMatch>> Iterator for Canonical<I> {
+    type Item = ScoredMatch;
+
+    fn next(&mut self) -> Option<ScoredMatch> {
+        if let Some(m) = self.group.pop_front() {
+            return Some(m);
+        }
+        let first = self.lookahead.take().or_else(|| self.inner.next())?;
+        let score = first.score;
+        let mut group = vec![first];
+        loop {
+            match self.inner.next() {
+                Some(m) if m.score == score => group.push(m),
+                boundary => {
+                    debug_assert!(
+                        boundary.as_ref().is_none_or(|m| m.score > score),
+                        "inner stream must be non-decreasing in score"
+                    );
+                    self.lookahead = boundary;
+                    break;
+                }
+            }
+        }
+        // Unstable is safe: assignments are pairwise distinct.
+        group.sort_unstable_by(|a, b| a.assignment.cmp(&b.assignment));
+        self.group = group.into();
+        self.group.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktpm_graph::NodeId;
+
+    fn m(score: i64, a: &[u32]) -> ScoredMatch {
+        ScoredMatch {
+            score: score as ktpm_graph::Score,
+            assignment: a.iter().map(|&v| NodeId(v)).collect(),
+        }
+    }
+
+    #[test]
+    fn sorts_within_equal_score_groups_only() {
+        let raw = vec![
+            m(1, &[3, 0]),
+            m(1, &[0, 9]),
+            m(1, &[0, 2]),
+            m(4, &[7, 7]),
+            m(5, &[1, 0]),
+            m(5, &[0, 0]),
+        ];
+        let got: Vec<ScoredMatch> = canonical(raw.into_iter()).collect();
+        let want = vec![
+            m(1, &[0, 2]),
+            m(1, &[0, 9]),
+            m(1, &[3, 0]),
+            m(4, &[7, 7]),
+            m(5, &[0, 0]),
+            m(5, &[1, 0]),
+        ];
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn lookahead_is_bounded_to_one_group() {
+        // The adaptor must not drain the inner iterator beyond the group
+        // boundary: after taking the whole first group, exactly one
+        // boundary element may have been consumed.
+        let raw = vec![m(1, &[1]), m(1, &[0]), m(2, &[5]), m(3, &[6])];
+        let mut inner = raw.into_iter();
+        let mut c = canonical(inner.by_ref());
+        assert_eq!(c.next(), Some(m(1, &[0])));
+        assert_eq!(c.next(), Some(m(1, &[1])));
+        assert_eq!(c.next(), Some(m(2, &[5])));
+        // The group-2 read consumed m(3) as lookahead; nothing further.
+        assert_eq!(c.next(), Some(m(3, &[6])));
+        assert_eq!(c.next(), None);
+    }
+
+    #[test]
+    fn empty_and_single_streams() {
+        assert_eq!(canonical(std::iter::empty()).count(), 0);
+        let got: Vec<_> = canonical(std::iter::once(m(9, &[1, 2]))).collect();
+        assert_eq!(got, vec![m(9, &[1, 2])]);
+    }
+}

@@ -1,13 +1,25 @@
-//! A fixed-size worker pool for query execution.
+//! # ktpm-exec
+//!
+//! A fixed-size worker pool for query execution, shared by every layer
+//! that schedules CPU-bound jobs: the service engine runs request
+//! batches on one, and the parallel partitioned enumerator (`ParTopk`
+//! in `ktpm-core`) scatters per-shard jobs on another — both from the
+//! batch CLI and from `ktpm serve`.
 //!
 //! Deliberately minimal (std-only, no external executor): one shared
-//! MPMC-by-mutex job queue drained by N threads. Query batches are
-//! short and CPU-bound, so a simple queue is enough; the pool's job is
-//! to cap concurrent enumeration work at a configured width no matter
-//! how many client connections pile in.
+//! MPMC-by-mutex job queue drained by N threads. Jobs are short and
+//! CPU-bound, so a simple queue is enough; the pool's function is to
+//! cap concurrent work at a configured width no matter how many
+//! callers pile in.
+//!
+//! Jobs must run to completion without blocking on other jobs of the
+//! same pool — that discipline is what makes it safe for a request
+//! worker (on the service's request pool) to block in
+//! [`WorkerPool::scatter`] on a *different* pool: shard jobs never
+//! wait on anything, so there is no circular wait.
 
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -60,10 +72,50 @@ impl WorkerPool {
             .expect("job panicked on a worker thread (see worker's panic output)")
     }
 
+    /// Runs every job concurrently on the pool and blocks until all
+    /// finish, returning results in submission order. Panics on the
+    /// caller's thread if any job panicked.
+    pub fn scatter<T: Send + 'static>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<T> {
+        let n = jobs.len();
+        let (tx, rx) = channel::<(usize, T)>();
+        for (i, job) in jobs.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.execute(move || {
+                let _ = tx.send((i, job()));
+            });
+        }
+        drop(tx); // receivers below terminate once every job-held clone is gone
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut received = 0;
+        while let Ok((i, v)) = rx.recv() {
+            out[i] = Some(v);
+            received += 1;
+        }
+        assert_eq!(
+            received, n,
+            "a scatter job panicked on a worker thread (see worker's panic output)"
+        );
+        out.into_iter().map(|v| v.expect("all received")).collect()
+    }
+
     /// Number of worker threads.
     pub fn width(&self) -> usize {
         self.workers.len()
     }
+}
+
+/// A lazily-created process-wide pool sized to the machine (at least 2,
+/// at most 16 workers), for callers without their own pool — the batch
+/// CLI and the test suites. Long-lived services size their own.
+pub fn default_pool() -> Arc<WorkerPool> {
+    static POOL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+    Arc::clone(POOL.get_or_init(|| {
+        let width = std::thread::available_parallelism().map_or(4, |n| n.get().clamp(2, 16));
+        Arc::new(WorkerPool::new(width))
+    }))
 }
 
 fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>) {
@@ -125,6 +177,44 @@ mod tests {
     }
 
     #[test]
+    fn scatter_preserves_submission_order() {
+        let pool = WorkerPool::new(4);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32usize)
+            .map(|i| {
+                Box::new(move || {
+                    // Stagger so completion order scrambles.
+                    std::thread::sleep(std::time::Duration::from_micros(((32 - i) * 50) as u64));
+                    i * 10
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let out = pool.scatter(jobs);
+        assert_eq!(out, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scatter_of_nothing_is_empty() {
+        let pool = WorkerPool::new(1);
+        let out: Vec<u8> = pool.scatter(Vec::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scatter_panics_if_any_job_panics() {
+        let pool = WorkerPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("bad shard")),
+            Box::new(|| 3),
+        ];
+        let observed =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.scatter(jobs)));
+        assert!(observed.is_err(), "caller must observe the panic");
+        // The pool survives.
+        assert_eq!(pool.run(|| 41 + 1), 42);
+    }
+
+    #[test]
     fn panicking_job_does_not_kill_the_pool() {
         let pool = WorkerPool::new(1);
         // The panic surfaces on the caller thread...
@@ -141,5 +231,14 @@ mod tests {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.width(), 1);
         assert_eq!(pool.run(|| 7), 7);
+    }
+
+    #[test]
+    fn default_pool_is_shared_and_alive() {
+        let a = default_pool();
+        let b = default_pool();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.width() >= 2);
+        assert_eq!(a.run(|| 5), 5);
     }
 }

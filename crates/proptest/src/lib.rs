@@ -197,7 +197,7 @@ impl<S: Strategy> Strategy for Vec<S> {
 pub mod collection {
     use super::*;
 
-    /// Lengths accepted by [`vec`]: a fixed size or a range.
+    /// Lengths accepted by [`vec()`]: a fixed size or a range.
     pub trait IntoSizeRange {
         fn pick(&self, rng: &mut StdRng) -> usize;
     }
@@ -229,7 +229,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S, R> {
         element: S,
         size: R,

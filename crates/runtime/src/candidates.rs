@@ -12,7 +12,7 @@
 
 use ktpm_graph::{Dist, NodeId};
 use ktpm_query::{EdgeKind, QNodeId, QueryLabel, ResolvedQuery};
-use ktpm_storage::ClosureSource;
+use ktpm_storage::{ClosureSource, ShardSpec};
 use std::collections::HashMap;
 
 /// Candidate sets `V_u` for every query node, with dense per-node indices.
@@ -51,12 +51,27 @@ impl CandidateSets {
         query: &ResolvedQuery,
         source: &dyn ClosureSource,
     ) -> (Self, Vec<Vec<Dist>>) {
+        Self::from_d_tables_sharded(query, source, ShardSpec::full())
+    }
+
+    /// As [`Self::from_d_tables`] with the *root* bucket restricted to
+    /// `shard`. Non-root sets are untouched: a shard owns every match
+    /// whose root lies in it, and subtree nodes are unconstrained.
+    pub fn from_d_tables_sharded(
+        query: &ResolvedQuery,
+        source: &dyn ClosureSource,
+        shard: ShardSpec,
+    ) -> (Self, Vec<Vec<Dist>>) {
         let n_t = query.len();
         let mut cands: Vec<Vec<NodeId>> = vec![Vec::new(); n_t];
         let mut evs: Vec<Vec<Dist>> = vec![Vec::new(); n_t];
-        // Root: full label bucket (root nodes need no incoming edges).
+        // Root: full label bucket (root nodes need no incoming edges),
+        // restricted to the requested shard.
         for i in 0..source.num_nodes() {
             let v = NodeId(i as u32);
+            if !shard.contains(v) {
+                continue;
+            }
             let l = source.node_label(v);
             match query.label(query.tree().root()) {
                 QueryLabel::Label(ql) if ql == l => cands[0].push(v),
@@ -217,6 +232,33 @@ mod tests {
         let (sets, _) = CandidateSets::from_d_tables(&q, &store);
         let e_node = QNodeId(1);
         assert_eq!(sets.of(e_node), &[NodeId(8)]); // only v9 (δ(v5,v9)=1)
+    }
+
+    #[test]
+    fn sharded_d_mode_partitions_only_the_root_bucket() {
+        let (store, q) = setup("a -> b\na -> c\nc -> d\nc -> e");
+        let (full, full_evs) = CandidateSets::from_d_tables(&q, &store);
+        let shards = ShardSpec::split(3);
+        let mut roots_seen = Vec::new();
+        for &s in &shards {
+            let (part, evs) = CandidateSets::from_d_tables_sharded(&q, &store, s);
+            // Root bucket: exactly the full bucket's members in this shard.
+            let want: Vec<NodeId> = full
+                .of(QNodeId(0))
+                .iter()
+                .copied()
+                .filter(|&v| s.contains(v))
+                .collect();
+            assert_eq!(part.of(QNodeId(0)), want.as_slice());
+            roots_seen.extend(want);
+            // Every non-root set (and its bounds) is untouched.
+            for u in q.tree().node_ids().skip(1) {
+                assert_eq!(part.of(u), full.of(u));
+                assert_eq!(evs[u.index()], full_evs[u.index()]);
+            }
+        }
+        roots_seen.sort_unstable();
+        assert_eq!(roots_seen, full.of(QNodeId(0)));
     }
 
     #[test]

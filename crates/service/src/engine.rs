@@ -3,10 +3,10 @@
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
-use crate::pool::WorkerPool;
 use crate::session::{Session, SessionId, SessionTable};
 use crate::ServiceConfig;
 use ktpm_core::ScoredMatch;
+use ktpm_exec::WorkerPool;
 use ktpm_graph::LabelInterner;
 use ktpm_query::TreeQuery;
 use ktpm_storage::SharedSource;
@@ -23,19 +23,30 @@ pub enum Algo {
     /// Algorithm 3 (`Topk-EN`): lazy loading with delayed insertion —
     /// the default; cheapest for small `k`.
     TopkEn,
+    /// `ParTopk`: root-partitioned parallel execution on the engine's
+    /// shard pool, per the engine's [`ktpm_core::ParallelPolicy`].
+    /// Emits exactly the `topk_full` stream.
+    Par,
     /// The exhaustive test oracle (exponential; tiny inputs only).
     Brute,
 }
 
 impl Algo {
     /// Every algorithm, in documentation order.
-    pub const ALL: [Algo; 3] = [Algo::Topk, Algo::TopkEn, Algo::Brute];
+    ///
+    /// This is the **single source of truth** for algorithm names: the
+    /// `OPEN` protocol parser validates against it (via
+    /// [`Algo::parse`]), `ktpm query --algo` routes through it, and
+    /// both render errors with [`Algo::valid_names`] — the lists cannot
+    /// drift.
+    pub const ALL: [Algo; 4] = [Algo::Topk, Algo::TopkEn, Algo::Par, Algo::Brute];
 
     /// The wire/CLI name.
     pub fn name(self) -> &'static str {
         match self {
             Algo::Topk => "topk",
             Algo::TopkEn => "topk-en",
+            Algo::Par => "par",
             Algo::Brute => "brute",
         }
     }
@@ -120,6 +131,11 @@ pub struct QueryEngine {
     cache: Mutex<ResultCache>,
     metrics: ServiceMetrics,
     pool: WorkerPool,
+    /// Separate pool for `ParTopk` shard jobs. Request jobs (on `pool`)
+    /// block waiting for shard jobs; shard jobs never block — keeping
+    /// the two on distinct pools rules out circular waits no matter how
+    /// many parallel sessions pile in.
+    shard_pool: Arc<WorkerPool>,
     next_id: AtomicU64,
     config: ServiceConfig,
 }
@@ -150,6 +166,7 @@ impl QueryEngine {
                 cache: Mutex::new(ResultCache::new(config.cache_capacity)),
                 metrics: ServiceMetrics::default(),
                 pool: WorkerPool::new(config.workers),
+                shard_pool: Arc::new(WorkerPool::new(config.parallel.shards)),
                 next_id: AtomicU64::new(1),
                 config,
             }),
@@ -194,6 +211,8 @@ impl ServiceHandle {
             resolved,
             Arc::clone(&e.source),
             cached.as_ref(),
+            e.config.parallel,
+            Arc::clone(&e.shard_pool),
         );
         let id = SessionId(e.next_id.fetch_add(1, Ordering::Relaxed));
         let max = e.config.max_sessions;
@@ -319,7 +338,7 @@ mod tests {
             assert_eq!(Algo::parse(a.name()), Some(a));
         }
         assert_eq!(Algo::parse("nope"), None);
-        assert_eq!(Algo::valid_names(), "topk | topk-en | brute");
+        assert_eq!(Algo::valid_names(), "topk | topk-en | par | brute");
     }
 
     #[test]

@@ -24,9 +24,15 @@
 //!   produced. Hot repeated queries are answered without touching an
 //!   enumerator at all; a session that outruns the cached prefix
 //!   transparently falls back to live enumeration.
-//! * **Wire protocol** ([`protocol`]) + [`server`] — a line-based TCP
+//! * **Wire protocol** ([`protocol`]) + [`Server`] — a line-based TCP
 //!   front end (`OPEN` / `NEXT` / `CLOSE` / `STATS`) used by
 //!   `ktpm serve`.
+//! * **Parallel execution** — `Algo::Par` sessions run `ParTopk`
+//!   (root-partitioned shards, lazily re-merged) on a dedicated shard
+//!   pool, per the engine-wide [`ktpm_core::ParallelPolicy`] in
+//!   [`ServiceConfig::parallel`]. Every session algorithm emits the
+//!   canonical `(score, assignment)` order, so `par` streams, cached
+//!   prefixes and sequential streams are interchangeable byte for byte.
 //!
 //! ## Embedding
 //!
@@ -51,15 +57,17 @@
 mod cache;
 mod engine;
 mod metrics;
-mod pool;
 pub mod protocol;
 mod server;
 mod session;
 
 pub use cache::{CacheKey, CachedPrefix, ResultCache};
 pub use engine::{Algo, NextBatch, QueryEngine, ServiceError, ServiceHandle};
+// The pool moved to `ktpm-exec` so core's `ParTopk` and the batch CLI
+// schedule shard jobs on the same implementation; re-exported here for
+// embedders that imported it from the service crate.
+pub use ktpm_exec::WorkerPool;
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
-pub use pool::WorkerPool;
 pub use server::Server;
 pub use session::{SessionId, SessionTable};
 
@@ -77,6 +85,10 @@ pub struct ServiceConfig {
     pub max_sessions: usize,
     /// Maximum number of cached query results (LRU beyond it).
     pub cache_capacity: usize,
+    /// Shard policy for [`Algo::Par`] sessions; also sizes the engine's
+    /// dedicated shard-job pool (kept separate from the request pool so
+    /// blocked requests can never starve their own shard jobs).
+    pub parallel: ktpm_core::ParallelPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -86,6 +98,7 @@ impl Default for ServiceConfig {
             session_ttl: Duration::from_secs(300),
             max_sessions: 10_000,
             cache_capacity: 1_024,
+            parallel: ktpm_core::ParallelPolicy::default(),
         }
     }
 }

@@ -3,9 +3,12 @@
 //! Requests are single lines, UTF-8, `\n`-terminated:
 //!
 //! ```text
-//! OPEN <algo> <query>      algo: topk | topk-en | brute; the query is
-//!                          the twig text format with `;` standing in
-//!                          for newlines, e.g. `OPEN topk-en C -> E; C -> S`
+//! OPEN <algo> <query>      algo: topk | topk-en | par | brute (one
+//!                          const list, [`crate::Algo::ALL`]); the query
+//!                          is the twig text format with `;` standing in
+//!                          for newlines, e.g. `OPEN topk-en C -> E; C -> S`.
+//!                          `par` runs ParTopk on the engine's shard pool
+//!                          and yields the exact `topk_full` stream.
 //! NEXT <session> <n>       next n matches of the session
 //! CLOSE <session>          end the session
 //! STATS                    engine counters

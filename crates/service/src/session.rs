@@ -21,7 +21,11 @@
 
 use crate::cache::{CacheKey, CachedPrefix};
 use crate::engine::Algo;
-use ktpm_core::{brute, ScoredMatch, TopkEnEnumerator, TopkEnumerator};
+use ktpm_core::{
+    brute, canonical, Canonical, ParTopk, ParallelPolicy, ScoredMatch, TopkEnEnumerator,
+    TopkEnumerator,
+};
+use ktpm_exec::WorkerPool;
 use ktpm_query::ResolvedQuery;
 use ktpm_runtime::RuntimeGraph;
 use ktpm_storage::SharedSource;
@@ -48,14 +52,20 @@ impl std::str::FromStr for SessionId {
     }
 }
 
-/// The parked enumerator of one session.
+/// The parked enumerator of one session. Every variant streams in the
+/// canonical `(score, assignment)` order, so any algorithm's stream for
+/// a query is byte-identical to `topk_full` — which is what lets `par`
+/// sessions, cached prefixes and resumed cursors mix freely.
 enum SessionIter {
     /// Algorithm 1 over a session-owned run-time graph (boxed, like
     /// `En`: enumerator state dwarfs the brute cursor).
-    Full(Box<TopkEnumerator<'static>>),
+    Full(Box<Canonical<TopkEnumerator<'static>>>),
     /// Algorithm 3 over the engine's shared store (boxed: its loader
     /// state dwarfs the other variants).
-    En(Box<TopkEnEnumerator<'static>>),
+    En(Box<Canonical<TopkEnEnumerator<'static>>>),
+    /// `ParTopk` over the engine's shard pool. Parked sessions hold no
+    /// pool thread — shard work runs as finite batch jobs.
+    Par(Box<ParTopk>),
     /// The exhaustive oracle (pre-materialized at creation).
     Brute(std::vec::IntoIter<ScoredMatch>),
 }
@@ -67,6 +77,7 @@ impl Iterator for SessionIter {
         match self {
             SessionIter::Full(it) => it.next(),
             SessionIter::En(it) => it.next(),
+            SessionIter::Par(it) => it.next(),
             SessionIter::Brute(it) => it.next(),
         }
     }
@@ -79,6 +90,9 @@ pub struct Session {
     canonical: String,
     query: ResolvedQuery,
     source: SharedSource,
+    /// Shard policy + pool for `Algo::Par` sessions (engine-wide).
+    parallel: ParallelPolicy,
+    shard_pool: Arc<WorkerPool>,
     /// Created on first demand the buffer cannot satisfy.
     iter: Option<SessionIter>,
     /// All matches produced for this query so far (cached prefix +
@@ -110,6 +124,8 @@ impl Session {
         query: ResolvedQuery,
         source: SharedSource,
         cached: Option<&CachedPrefix>,
+        parallel: ParallelPolicy,
+        shard_pool: Arc<WorkerPool>,
     ) -> Self {
         let (buffer, complete) = match cached {
             Some(p) => (p.matches.as_ref().clone(), p.complete),
@@ -120,6 +136,8 @@ impl Session {
             canonical,
             query,
             source,
+            parallel,
+            shard_pool,
             iter: None,
             published_len: buffer.len(),
             buffer,
@@ -143,7 +161,13 @@ impl Session {
             let it = self.iter.get_or_insert_with(|| {
                 // First live pull: fast-forward past the prefix the
                 // buffer already covers so the streams stay aligned.
-                let mut it = make_iter(self.algo, &self.query, &self.source);
+                let mut it = make_iter(
+                    self.algo,
+                    &self.query,
+                    &self.source,
+                    &self.parallel,
+                    &self.shard_pool,
+                );
                 for _ in 0..self.buffer.len() {
                     it.next();
                 }
@@ -195,18 +219,32 @@ impl Session {
     }
 }
 
-fn make_iter(algo: Algo, query: &ResolvedQuery, source: &SharedSource) -> SessionIter {
+fn make_iter(
+    algo: Algo,
+    query: &ResolvedQuery,
+    source: &SharedSource,
+    parallel: &ParallelPolicy,
+    shard_pool: &Arc<WorkerPool>,
+) -> SessionIter {
     match algo {
         Algo::Topk => {
             let rg = Arc::new(RuntimeGraph::load(query, source.as_ref()));
-            SessionIter::Full(Box::new(TopkEnumerator::new_shared(rg)))
+            SessionIter::Full(Box::new(canonical(TopkEnumerator::new_shared(rg))))
         }
-        Algo::TopkEn => SessionIter::En(Box::new(TopkEnEnumerator::new_shared(
+        Algo::TopkEn => SessionIter::En(Box::new(canonical(TopkEnEnumerator::new_shared(
             query,
             Arc::clone(source),
+        )))),
+        Algo::Par => SessionIter::Par(Box::new(ParTopk::new(
+            query,
+            Arc::clone(source),
+            parallel,
+            Arc::clone(shard_pool),
         ))),
         Algo::Brute => {
             let rg = RuntimeGraph::load(query, source.as_ref());
+            // `all_matches` already sorts by `(score, assignment)` —
+            // the canonical order.
             SessionIter::Brute(brute::all_matches(&rg).into_iter())
         }
     }
@@ -324,6 +362,14 @@ mod tests {
     use ktpm_query::TreeQuery;
     use ktpm_storage::MemStore;
 
+    fn pol() -> ParallelPolicy {
+        ParallelPolicy::default()
+    }
+
+    fn pool() -> Arc<WorkerPool> {
+        ktpm_exec::default_pool()
+    }
+
     fn setup() -> (ResolvedQuery, SharedSource) {
         let g = citation_graph();
         let q = TreeQuery::parse("C -> E\nC -> S")
@@ -348,8 +394,18 @@ mod tests {
             q.clone(),
             Arc::clone(&src),
             None,
+            pol(),
+            pool(),
         );
-        let mut b = Session::new(Algo::TopkEn, "C -> E\nC -> S".into(), q, src, None);
+        let mut b = Session::new(
+            Algo::TopkEn,
+            "C -> E\nC -> S".into(),
+            q,
+            src,
+            None,
+            pol(),
+            pool(),
+        );
         let mut batched = Vec::new();
         loop {
             let adv = a.advance(2);
@@ -374,6 +430,8 @@ mod tests {
             q.clone(),
             Arc::clone(&src),
             None,
+            pol(),
+            pool(),
         );
         let all = warm.advance(100).matches;
         // New session with only the first two matches cached.
@@ -381,7 +439,15 @@ mod tests {
             matches: Arc::new(all[..2].to_vec()),
             complete: false,
         };
-        let mut s = Session::new(Algo::TopkEn, "C -> E\nC -> S".into(), q, src, Some(&cached));
+        let mut s = Session::new(
+            Algo::TopkEn,
+            "C -> E\nC -> S".into(),
+            q,
+            src,
+            Some(&cached),
+            pol(),
+            pool(),
+        );
         let first = s.advance(2);
         assert_eq!(first.matches, all[..2].to_vec());
         assert!(s.iter.is_none(), "cache must satisfy the first batch");
@@ -393,7 +459,15 @@ mod tests {
     #[test]
     fn advance_publishes_growing_prefixes() {
         let (q, src) = setup();
-        let mut s = Session::new(Algo::TopkEn, "C -> E\nC -> S".into(), q, src, None);
+        let mut s = Session::new(
+            Algo::TopkEn,
+            "C -> E\nC -> S".into(),
+            q,
+            src,
+            None,
+            pol(),
+            pool(),
+        );
         let a = s.advance(2);
         let p = a.publish.expect("new matches must be published");
         assert_eq!(p.matches.len(), 2);
@@ -417,6 +491,8 @@ mod tests {
                     q.clone(),
                     Arc::clone(&src),
                     None,
+                    pol(),
+                    pool(),
                 ),
                 10,
             )
@@ -424,7 +500,15 @@ mod tests {
         table
             .insert_capped(
                 SessionId(2),
-                Session::new(Algo::TopkEn, "C -> E\nC -> S".into(), q, src, None),
+                Session::new(
+                    Algo::TopkEn,
+                    "C -> E\nC -> S".into(),
+                    q,
+                    src,
+                    None,
+                    pol(),
+                    pool(),
+                ),
                 10,
             )
             .unwrap_or_else(|_| panic!("table has room"));

@@ -8,7 +8,7 @@
 //! algorithms.
 
 use ktpm_closure::ClosureTables;
-use ktpm_core::{topk_full, ScoredMatch};
+use ktpm_core::{topk_full, ParallelPolicy, ScoredMatch, ShardEngine};
 use ktpm_graph::fixtures::{citation_graph, paper_graph};
 use ktpm_graph::{LabeledGraph, Score};
 use ktpm_query::TreeQuery;
@@ -66,6 +66,10 @@ fn concurrent_clients_cross_validate_against_topk_full() {
         &g,
         ServiceConfig {
             workers: 4,
+            parallel: ParallelPolicy {
+                shards: 2,
+                ..ParallelPolicy::default()
+            },
             ..ServiceConfig::default()
         },
     );
@@ -84,10 +88,10 @@ fn concurrent_clients_cross_validate_against_topk_full() {
                 for round in 0..3 {
                     for qi in 0..queries.len() {
                         let qi = (qi + t + round) % queries.len();
-                        let algo = if (t + round) % 2 == 0 {
-                            Algo::Topk
-                        } else {
-                            Algo::TopkEn
+                        let algo = match (t + round) % 3 {
+                            0 => Algo::Topk,
+                            1 => Algo::TopkEn,
+                            _ => Algo::Par,
                         };
                         let id = handle.open(&queries[qi], algo).unwrap();
                         let mut got = Vec::new();
@@ -119,6 +123,96 @@ fn concurrent_clients_cross_validate_against_topk_full() {
     assert_eq!(stats.metrics.sessions_opened, 8 * 3 * 5);
     assert_eq!(stats.metrics.sessions_closed, 8 * 3 * 5);
     assert_eq!(stats.metrics.errors, 0);
+}
+
+#[test]
+fn par_sessions_stream_exactly_topk_full() {
+    // `par` sessions must be byte-identical to the oracle — order,
+    // scores and witnesses — across batch boundaries and shard counts.
+    let (g, queries) = synthetic();
+    for shards in [1usize, 3] {
+        let handle = handle_for(
+            &g,
+            ServiceConfig {
+                parallel: ParallelPolicy {
+                    shards,
+                    batch: 8,
+                    engine: ShardEngine::Full,
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        for q in &queries {
+            let want = oracle(&g, q, 40);
+            let id = handle.open(q, Algo::Par).unwrap();
+            let mut got = Vec::new();
+            while got.len() < 40 {
+                let b = handle.next(id, 7).unwrap();
+                got.extend(b.matches);
+                if b.exhausted {
+                    break;
+                }
+            }
+            got.truncate(40);
+            assert_eq!(got, want, "query {q:?} shards {shards}");
+            handle.close(id).unwrap();
+        }
+    }
+}
+
+#[test]
+fn one_par_session_hammered_by_concurrent_clients() {
+    // The race test: many threads pull batches from the SAME ParTopk
+    // session. Concurrent `next` calls serialize on the session lock,
+    // so the batches must partition the exact oracle stream — nothing
+    // lost, nothing duplicated, no interleaving corruption — while the
+    // shard jobs of the single ParTopk run race on the shard pool.
+    let (g, queries) = synthetic();
+    let handle = handle_for(
+        &g,
+        ServiceConfig {
+            workers: 4,
+            parallel: ParallelPolicy {
+                shards: 4,
+                batch: 4,
+                engine: ShardEngine::Full,
+            },
+            ..ServiceConfig::default()
+        },
+    );
+    let query = &queries[1];
+    let want = oracle(&g, query, 1_000_000);
+    assert!(want.len() > 20, "race needs a non-trivial stream");
+    let id = handle.open(query, Algo::Par).unwrap();
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let handle = handle.clone();
+            std::thread::spawn(move || {
+                let mut mine = Vec::new();
+                loop {
+                    // Odd, per-thread batch sizes stress the cursor.
+                    let batch = handle.next(id, 3 + t % 4).unwrap();
+                    let done = batch.exhausted;
+                    mine.extend(batch.matches);
+                    if done {
+                        return mine;
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut got: Vec<ScoredMatch> = Vec::new();
+    for t in threads {
+        got.extend(t.join().unwrap());
+    }
+    handle.close(id).unwrap();
+    assert_eq!(got.len(), want.len(), "stream must partition exactly");
+    // The oracle is already in canonical (score, assignment) order, so
+    // sorting the union must reproduce it exactly; any dropped or
+    // double-served match would break the equality.
+    got.sort_by(|a, b| (a.score, &a.assignment).cmp(&(b.score, &b.assignment)));
+    assert_eq!(got, want);
+    assert_eq!(handle.stats().metrics.errors, 0);
 }
 
 #[test]

@@ -25,6 +25,7 @@ mod iostats;
 mod mem;
 mod ondemand;
 mod reader;
+mod shard;
 mod source;
 mod writer;
 
@@ -32,6 +33,7 @@ pub use iostats::{IoSnapshot, IoStats};
 pub use mem::MemStore;
 pub use ondemand::OnDemandStore;
 pub use reader::FileStore;
+pub use shard::ShardSpec;
 pub use source::{
     merge_sorted_blocks, ClosureSource, EdgeCursor, SharedSource, SourceRef, StorageError,
 };

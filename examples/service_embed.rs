@@ -54,6 +54,20 @@ fn main() {
         t.join().unwrap();
     }
 
+    // Parallel partitioned execution (`ParTopk`): same engine, same
+    // query, `Algo::Par` — the stream is byte-identical to `topk`
+    // (canonical order) but shard work runs on the engine's shard pool.
+    let par_sid = handle.open(query, Algo::Par).expect("valid query");
+    let par_all = handle.next(par_sid, 100).expect("session is live");
+    handle.close(par_sid).expect("session is live");
+    let resolved = TreeQuery::parse(query).unwrap().resolve(g.interner());
+    let oracle_store = MemStore::new(ClosureTables::compute(&g));
+    assert_eq!(par_all.matches, topk_full(&resolved, &oracle_store, 100));
+    println!(
+        "par session reproduced topk_full exactly ({} matches)",
+        par_all.matches.len()
+    );
+
     // The repeated query above was served from the result cache.
     let stats = handle.stats();
     println!(

@@ -8,7 +8,10 @@
 //! options for `query`:
 //!   -k <n>            number of matches (default 10)
 //!   --store <path>    use a persisted closure store instead of computing
-//!   --algo <name>     topk | topk-en | dp-b | dp-p | brute   (default topk-en)
+//!   --algo <name>     topk | topk-en | par | brute (the service list)
+//!                     plus the DP baselines dp-b | dp-p  (default topk-en)
+//!   --parallel <n>    shard count for `par` (implies --algo par;
+//!                     default: CPU count, capped at 8)
 //!   --on-demand       skip closure precomputation (lazy per-label SSSP)
 //!
 //! options for `serve`:
@@ -16,8 +19,23 @@
 //!   --store <path>      use a persisted closure store instead of computing
 //!   --on-demand         skip closure precomputation (lazy per-label SSSP)
 //!   --workers <n>       worker threads (default: CPU count, capped at 16)
+//!   --parallel <n>      shard count for `par` sessions (default as above)
 //!   --ttl <secs>        idle-session eviction timeout (default 300)
 //! ```
+//!
+//! ## Parallel execution (`--algo par`, `--parallel N`)
+//!
+//! `par` runs `ParTopk`: the query's root-candidate set is split into
+//! `N` disjoint shards (node-id stride — every match belongs to exactly
+//! one shard, the one owning its root), each shard runs an independent
+//! sequential enumerator on a shared worker pool, and the shard streams
+//! are lazily k-way merged. **Order preservation:** each shard stream
+//! is put into the workspace's canonical order (ascending
+//! `(score, assignment)`), and a merge of disjoint canonically-ordered
+//! streams keyed the same way is itself canonical — so `par` output is
+//! byte-identical to `--algo topk` for every shard count. The same
+//! policy drives `OPEN par ...` sessions in `ktpm serve` (configured by
+//! `--parallel`).
 //!
 //! ## The `serve` wire protocol
 //!
@@ -50,10 +68,12 @@
 //! [`ktpm::graph::io`]; query files use the `A -> B` / `A => B` twig
 //! format of [`ktpm::query::TreeQuery::parse`].
 
+use ktpm::core::{par_topk, ParallelPolicy};
 use ktpm::prelude::*;
 use ktpm::service::{QueryEngine, Server, ServiceConfig};
 use std::io::BufReader;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,8 +83,8 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!("usage: ktpm closure <graph.txt> <store.tc>");
-            eprintln!("       ktpm query <graph.txt> <query.txt> [-k n] [--store p] [--algo a] [--on-demand]");
-            eprintln!("       ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--workers n] [--ttl secs]");
+            eprintln!("       ktpm query <graph.txt> <query.txt> [-k n] [--store p] [--algo a] [--parallel n] [--on-demand]");
+            eprintln!("       ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--workers n] [--parallel n] [--ttl secs]");
             return ExitCode::from(2);
         }
     };
@@ -116,62 +136,92 @@ fn cmd_closure(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// Valid `--algo` names for `ktpm query` (the service's algorithms plus
-/// the DP baselines).
-const QUERY_ALGOS: &str = "topk | topk-en | dp-b | dp-p | brute";
+/// The DP baselines only `ktpm query` runs (the service algorithms come
+/// from the shared [`Algo::ALL`] const, so the two lists cannot drift).
+const BASELINE_ALGOS: &str = "dp-b | dp-p";
 
 fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut positional = Vec::new();
     let mut k = 10usize;
     let mut store_path: Option<String> = None;
-    let mut algo = "topk-en".to_string();
+    let mut algo: Option<String> = None;
+    let mut parallel: Option<usize> = None;
     let mut on_demand = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "-k" => k = it.next().ok_or("-k needs a value")?.parse()?,
             "--store" => store_path = Some(it.next().ok_or("--store needs a path")?.clone()),
-            "--algo" => algo = it.next().ok_or("--algo needs a name")?.clone(),
+            "--algo" => algo = Some(it.next().ok_or("--algo needs a name")?.clone()),
+            "--parallel" => parallel = Some(it.next().ok_or("--parallel needs a count")?.parse()?),
             "--on-demand" => on_demand = true,
             other => positional.push(other.to_string()),
         }
     }
     let [graph_path, query_path] = positional.as_slice() else {
         return Err(
-            "usage: ktpm query <graph.txt> <query.txt> [-k n] [--store p] [--algo a]".into(),
+            "usage: ktpm query <graph.txt> <query.txt> [-k n] [--store p] [--algo a] [--parallel n]"
+                .into(),
         );
+    };
+    // --parallel alone selects parallel execution; combining it with a
+    // different explicit --algo would silently ignore one of the two.
+    let algo = match (algo, parallel) {
+        (None, Some(_)) => "par".to_string(),
+        (None, None) => "topk-en".to_string(),
+        (Some(a), Some(_)) if a != "par" => {
+            return Err(format!("--parallel requires --algo par (got --algo {a})").into())
+        }
+        (Some(a), _) => a,
     };
     let g = load_graph(graph_path)?;
     let query_text = std::fs::read_to_string(query_path)?;
     let query = TreeQuery::parse(&query_text)?;
     let resolved = query.resolve(g.interner());
 
-    let store = open_store(&g, &store_path, on_demand)?;
+    let store: SharedSource = open_store(&g, &store_path, on_demand)?.into();
 
     let t = std::time::Instant::now();
-    let matches: Vec<ScoredMatch> = match algo.as_str() {
-        "topk-en" => TopkEnEnumerator::new(&resolved, store.as_ref())
-            .take(k)
-            .collect(),
-        "topk" => {
-            let rg = RuntimeGraph::load(&resolved, store.as_ref());
-            TopkEnumerator::new(&rg).take(k).collect()
+    // Service algorithms emit the canonical `(score, assignment)` order
+    // (ties deterministic, `par` byte-identical to `topk`); the DP
+    // baselines keep their native tie order.
+    let matches: Vec<ScoredMatch> = match (Algo::parse(&algo), algo.as_str()) {
+        (Some(Algo::TopkEn), _) => topk_en(&resolved, store.as_ref(), k),
+        (Some(Algo::Topk), _) => topk_full(&resolved, store.as_ref(), k),
+        (Some(Algo::Par), _) => {
+            let mut policy = ParallelPolicy::default();
+            if let Some(n) = parallel {
+                policy.shards = n;
+            }
+            par_topk(
+                &resolved,
+                Arc::clone(&store),
+                k,
+                &policy,
+                ktpm::exec::default_pool(),
+            )
         }
-        "dp-b" => {
+        (Some(Algo::Brute), _) => {
             let rg = RuntimeGraph::load(&resolved, store.as_ref());
-            DpBEnumerator::new(&rg).take(k).collect()
-        }
-        "dp-p" => DpPEnumerator::new(&resolved, store.as_ref())
-            .take(k)
-            .collect(),
-        "brute" => {
-            let rg = RuntimeGraph::load(&resolved, store.as_ref());
+            // `all_matches` already sorts by `(score, assignment)` —
+            // the canonical order.
             let mut all = ktpm::core::brute::all_matches(&rg);
             all.truncate(k);
             all
         }
-        other => {
-            return Err(format!("unknown algorithm {other:?} (expected {QUERY_ALGOS})").into())
+        (None, "dp-b") => {
+            let rg = RuntimeGraph::load(&resolved, store.as_ref());
+            DpBEnumerator::new(&rg).take(k).collect()
+        }
+        (None, "dp-p") => DpPEnumerator::new(&resolved, store.as_ref())
+            .take(k)
+            .collect(),
+        (None, other) => {
+            return Err(format!(
+                "unknown algorithm {other:?} (expected {} | {BASELINE_ALGOS})",
+                Algo::valid_names()
+            )
+            .into())
         }
     };
     let dt = t.elapsed();
@@ -210,6 +260,9 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--store" => store_path = Some(it.next().ok_or("--store needs a path")?.clone()),
             "--on-demand" => on_demand = true,
             "--workers" => config.workers = it.next().ok_or("--workers needs a count")?.parse()?,
+            "--parallel" => {
+                config.parallel.shards = it.next().ok_or("--parallel needs a count")?.parse()?
+            }
             "--ttl" => {
                 config.session_ttl =
                     std::time::Duration::from_secs(it.next().ok_or("--ttl needs seconds")?.parse()?)
@@ -219,7 +272,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     let [graph_path] = positional.as_slice() else {
         return Err(
-            "usage: ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--workers n] [--ttl secs]"
+            "usage: ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--workers n] [--parallel n] [--ttl secs]"
                 .into(),
         );
     };

@@ -44,10 +44,11 @@
 //! | [`closure`] | transitive closure, label-pair tables, 2-hop (PLL) index |
 //! | [`storage`] | on-disk closure store, block cursors, I/O accounting |
 //! | [`runtime`] | run-time graph `G_R` construction |
-//! | [`core`] | **Algorithms 1–3**: `Topk`, `ComputeFirst`, `Topk-EN` |
+//! | [`core`] | **Algorithms 1–3** (`Topk`, `ComputeFirst`, `Topk-EN`) + `ParTopk` |
 //! | [`baseline`] | DP-B / DP-P (SIGMOD'08) reimplementations |
 //! | [`kgpm`] | graph-pattern matching: decomposition, mtree, mtree+ |
 //! | [`workload`] | dataset & query generators for the §6 experiments |
+//! | [`exec`] | shared worker pool scheduling shard jobs and request batches |
 //! | [`service`] | concurrent query service: sessions, result cache, TCP protocol |
 //!
 //! ## Serving
@@ -58,10 +59,28 @@
 //! between calls), and let hot queries hit the LRU result cache. See
 //! `ktpm serve` (the TCP front end) and `examples/service_embed.rs`
 //! (the in-process API).
+//!
+//! ## Parallel execution
+//!
+//! `ParTopk` ([`core::parallel`]) splits a query's root-candidate set
+//! into `P` disjoint shards ([`storage::ShardSpec`], node-id stride),
+//! runs an independent sequential enumerator per shard on an
+//! [`exec::WorkerPool`], and lazily k-way-merges the shard streams.
+//! Every match has exactly one root, so shards partition the match
+//! universe; each stream is put into the workspace's **canonical
+//! order** (ascending `(score, assignment)` — [`core::partition`]),
+//! and a `(score, assignment)`-keyed merge of disjoint canonical
+//! streams is itself canonical. Hence `ParTopk` output is
+//! byte-identical to [`core::topk_full`] for *every* shard count —
+//! order, scores and witnesses. Exposed end to end: `--algo par` /
+//! `--parallel N` in `ktpm query`, `OPEN par …` sessions in
+//! `ktpm serve` (policy in `ServiceConfig::parallel`), and the
+//! `bench-smoke` CI job's `BENCH_parallel.json` perf trajectory.
 
 pub use ktpm_baseline as baseline;
 pub use ktpm_closure as closure;
 pub use ktpm_core as core;
+pub use ktpm_exec as exec;
 pub use ktpm_graph as graph;
 pub use ktpm_kgpm as kgpm;
 pub use ktpm_query as query;
@@ -75,8 +94,10 @@ pub mod prelude {
     pub use ktpm_baseline::{DpBEnumerator, DpPEnumerator};
     pub use ktpm_closure::{sssp, ClosureTables};
     pub use ktpm_core::{
-        topk_en, topk_full, BoundMode, ScoredMatch, TopkEnEnumerator, TopkEnumerator,
+        canonical, par_topk, topk_en, topk_full, BoundMode, ParTopk, ParallelPolicy, ScoredMatch,
+        ShardEngine, ShardSpec, TopkEnEnumerator, TopkEnumerator,
     };
+    pub use ktpm_exec::WorkerPool;
     pub use ktpm_graph::{
         Dist, GraphBuilder, LabelId, LabeledGraph, NodeId, Score, INF_DIST, INF_SCORE,
     };

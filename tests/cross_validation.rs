@@ -9,6 +9,7 @@
 use ktpm::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
 
 /// A small random graph with controllable label count and weights.
 fn random_graph(rng: &mut StdRng, nodes: usize, labels: usize, max_w: u32) -> LabeledGraph {
@@ -97,6 +98,30 @@ fn check_one(g: &LabeledGraph, q: &TreeQuery, k: usize, block_edges: usize) {
         .map(|m| m.score)
         .collect();
     assert_eq!(dpp, oracle, "DP-P vs oracle");
+
+    // ParTopk must reproduce `topk_full` *exactly* — order, scores and
+    // witnesses — for every shard count and either shard engine. Tiny
+    // batches force the refill/merge machinery through its paces.
+    let want_exact = topk_full(&resolved, &store, k);
+    let shared: SharedSource =
+        MemStore::with_block_edges(store.tables().clone(), block_edges).into_shared();
+    for engine in [ShardEngine::Full, ShardEngine::Lazy] {
+        for shards in [1usize, 2, 5] {
+            let policy = ParallelPolicy {
+                shards,
+                batch: 2,
+                engine,
+            };
+            let got = par_topk(
+                &resolved,
+                Arc::clone(&shared),
+                k,
+                &policy,
+                ktpm::exec::default_pool(),
+            );
+            assert_eq!(got, want_exact, "ParTopk {engine:?} x{shards} vs topk_full");
+        }
+    }
 
     // Every Topk match must be structurally valid (labels + distances).
     for m in TopkEnumerator::new(&rg).take(k) {

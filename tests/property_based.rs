@@ -5,10 +5,13 @@
 //! * the Lawler enumerator emits a non-decreasing, duplicate-free match
 //!   stream whose scores re-verify against closure distances;
 //! * `Topk` and `Topk-EN` agree on arbitrary graph/query combinations;
+//! * `ParTopk` with arbitrary shard counts is byte-identical to
+//!   `topk_full` on random `workload::graphs` instances;
 //! * the closure store round-trips through the on-disk format.
 
 use ktpm::prelude::*;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Strategy: a labeled digraph as (labels per node, edges).
 fn graph_strategy(
@@ -139,6 +142,60 @@ proptest! {
         let en: Vec<Score> = TopkEnEnumerator::new(&resolved, &store)
             .take(k).map(|m| m.score).collect();
         prop_assert_eq!(full, en);
+    }
+
+    #[test]
+    fn par_topk_is_byte_identical_to_topk_full_on_workload_graphs(
+        nodes in 20..140usize,
+        seed in 0..10_000u64,
+        weighted in 0..2u32,
+        size in 2..5usize,
+        shards in 1..9usize,
+        batch in 1..5usize,
+        k in 1..60usize,
+    ) {
+        // A generated `workload::graphs` instance (community-structured
+        // DAG), not the uniform random graphs above: this is the data
+        // the parallel layer actually serves.
+        let mut spec = GraphSpec {
+            nodes,
+            labels: 5,
+            label_skew: 0.5,
+            avg_out_degree: 2.5,
+            community: 30,
+            cross_fraction: 0.1,
+            weight_range: (1, 1),
+            seed,
+        };
+        if weighted == 1 {
+            spec = spec.weighted(1, 4);
+        }
+        let g = generate(&spec);
+        // Queries are extracted from the graph itself; a graph too
+        // sparse to yield one skips the case.
+        let query = random_tree_query(&g, QuerySpec {
+            size,
+            distinct_labels: false,
+            seed: seed ^ 0xA5A5,
+        });
+        if let Some(q) = query {
+            let resolved = q.resolve(g.interner());
+            let tables = ClosureTables::compute(&g);
+            let store = MemStore::with_block_edges(tables.clone(), 2);
+            let want = topk_full(&resolved, &store, k);
+            let shared: SharedSource = MemStore::with_block_edges(tables, 2).into_shared();
+            for engine in [ShardEngine::Full, ShardEngine::Lazy] {
+                let policy = ParallelPolicy { shards, batch, engine };
+                let got = par_topk(
+                    &resolved,
+                    Arc::clone(&shared),
+                    k,
+                    &policy,
+                    ktpm::exec::default_pool(),
+                );
+                prop_assert_eq!(&got, &want, "{:?} x{} batch {}", engine, shards, batch);
+            }
+        }
     }
 
     #[test]
