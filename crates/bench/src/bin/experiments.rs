@@ -16,10 +16,13 @@
 //!
 //! `--smoke` runs the short deterministic perf harness CI wires into
 //! its `bench-smoke` job: per-algorithm wall times (Topk, Topk-EN and
-//! 1/2/4-shard ParTopk) on the default GS3 workload, written to
-//! `BENCH_parallel.json` at the workspace root and uploaded as a
-//! workflow artifact — the repo's perf trajectory, one point per CI
-//! run.
+//! 1/2/4-shard ParTopk) on the default GS3 workload, plus a
+//! `plan_open` section measuring cold-open vs warm-open latency over a
+//! shared `QueryPlan` (warm opens do zero candidate discovery —
+//! asserted via `iostats`) and the service plan-cache hit rate.
+//! Written to `BENCH_parallel.json` at the workspace root and uploaded
+//! as a workflow artifact — the repo's perf trajectory, one point per
+//! CI run.
 
 use ktpm_bench::*;
 use ktpm_exec::WorkerPool;
@@ -461,6 +464,71 @@ fn smoke() {
     let speedup = par_secs[&1] / par_secs[&4].max(1e-12);
     println!("speedup 4 shards over 1: {speedup:.2}x");
 
+    // Cold-open vs warm-open latency over one shared QueryPlan: the
+    // cold open pays candidate discovery + run-time-graph load + bs;
+    // warm opens reuse all of it (verified: zero further storage I/O).
+    let q = &queries[0];
+    let open_k = 100usize;
+    ds.store.reset_io();
+    let t = Instant::now();
+    let plan = Arc::new(ktpm_core::QueryPlan::new(q.clone(), Arc::clone(&ds.store)));
+    let cold_n = ktpm_core::canonical(ktpm_core::TopkEnumerator::from_plan(&plan))
+        .take(open_k)
+        .count();
+    let cold_secs = t.elapsed().as_secs_f64();
+    let after_cold = ds.store.io();
+    let warm_runs = 5;
+    let t = Instant::now();
+    for _ in 0..warm_runs {
+        let n = ktpm_core::canonical(ktpm_core::TopkEnumerator::from_plan(&plan))
+            .take(open_k)
+            .count();
+        assert_eq!(n, cold_n, "warm opens must reproduce the stream");
+    }
+    let warm_secs = t.elapsed().as_secs_f64() / warm_runs as f64;
+    let warm_io = ds.store.io().since(&after_cold);
+    assert_eq!(
+        warm_io.d_entries + warm_io.e_entries + warm_io.edges_read,
+        0,
+        "warm opens must do zero candidate discovery / loading"
+    );
+    let open_speedup = cold_secs / warm_secs.max(1e-12);
+    println!(
+        "plan open (top-{open_k}): cold {} warm {} ({open_speedup:.1}x, warm sweeps: 0)",
+        fmt_secs(cold_secs),
+        fmt_secs(warm_secs)
+    );
+
+    // Plan-cache hit rate through the service engine: every query
+    // opened twice per algorithm -> first open per query text misses,
+    // all others hit.
+    let handle = ktpm_service::QueryEngine::new(
+        ds.graph.interner().clone(),
+        Arc::clone(&ds.store),
+        ktpm_service::ServiceConfig::default(),
+    );
+    let query_texts: Vec<String> = [("L0", 2usize), ("L7", 2), ("L0", 3)]
+        .into_iter()
+        .map(|(root, fanout)| {
+            (1..=fanout)
+                .map(|i| format!("{root} -> *#{i}\n"))
+                .collect::<String>()
+        })
+        .collect();
+    for text in &query_texts {
+        for algo in [ktpm_service::Algo::Topk, ktpm_service::Algo::Par] {
+            let id = handle.open(text, algo).expect("open");
+            handle.next(id, 10).expect("next");
+            handle.close(id).expect("close");
+        }
+    }
+    let m = handle.stats().metrics;
+    let hit_rate = m.plan_hits as f64 / (m.plan_hits + m.plan_misses).max(1) as f64;
+    println!(
+        "plan cache: {} hits / {} misses (hit rate {hit_rate:.2})",
+        m.plan_hits, m.plan_misses
+    );
+
     let algos_json: Vec<String> = entries
         .iter()
         .map(|(n, secs)| format!("    \"{n}\": {secs:.6}"))
@@ -469,12 +537,18 @@ fn smoke() {
         "{{\n  \"bench\": \"parallel\",\n  \"workload\": \"{} wildcard stars\",\n  \
          \"nodes\": {},\n  \"queries\": {},\n  \"k\": {k},\n  \"cores\": {cores},\n  \
          \"pool_width\": {},\n  \"wall_secs\": {{\n{}\n  }},\n  \
-         \"speedup_4_shards_over_1\": {speedup:.4}\n}}\n",
+         \"speedup_4_shards_over_1\": {speedup:.4},\n  \
+         \"plan_open\": {{\n    \"k\": {open_k},\n    \"cold_secs\": {cold_secs:.6},\n    \
+         \"warm_secs\": {warm_secs:.6},\n    \"speedup\": {open_speedup:.4},\n    \
+         \"warm_discovery_sweeps\": 0,\n    \"cache_hits\": {},\n    \
+         \"cache_misses\": {},\n    \"cache_hit_rate\": {hit_rate:.4}\n  }}\n}}\n",
         ds.name,
         ds.graph.num_nodes(),
         queries.len(),
         pool.width(),
         algos_json.join(",\n"),
+        m.plan_hits,
+        m.plan_misses,
     );
     let path = workspace_root().join("BENCH_parallel.json");
     std::fs::write(&path, json).expect("write BENCH_parallel.json");

@@ -18,11 +18,13 @@
 use crate::lawler::{LawlerCore, SlotLists};
 use crate::loader::{BoundMode, PriorityLoader};
 use crate::matches::{CandidateSpec, ScoredMatch};
+use crate::plan::{LazySetup, QueryPlan};
 use ktpm_graph::Score;
 use ktpm_query::{QNodeId, ResolvedQuery};
-use ktpm_storage::{ClosureSource, SharedSource};
+use ktpm_storage::{ClosureSource, SharedSource, SourceRef};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Algorithm 3: the `Topk-EN` enumerator. Yields matches in
 /// non-decreasing score order; `take(k)` gives the top-k.
@@ -72,6 +74,35 @@ impl<'s> TopkEnEnumerator<'s> {
         let mut lists = SlotLists::default();
         let loader =
             PriorityLoader::new_sharded(query, source, BoundMode::Tight, &mut lists, shard);
+        TopkEnEnumerator::from_parts(query, loader, lists)
+    }
+
+    /// Algorithm 3 over a shared [`QueryPlan`]: the §4.1 candidate
+    /// discovery (`D`/`E` table sweeps) comes from the plan — computed
+    /// on its first use, shared ever after — so constructing this
+    /// enumerator on a warm plan performs **zero** storage reads. Edge
+    /// loading during iteration stays lazy and per-enumerator, exactly
+    /// as with [`Self::new`].
+    pub fn from_plan(plan: &QueryPlan) -> TopkEnEnumerator<'static> {
+        Self::from_setup(
+            plan.query(),
+            Arc::clone(plan.source()),
+            BoundMode::Tight,
+            plan.lazy(),
+        )
+    }
+
+    /// As [`Self::from_plan`] from an explicit setup (used by
+    /// `ParTopk`'s lazy shard engine with root-restricted setups).
+    pub(crate) fn from_setup(
+        query: &ResolvedQuery,
+        source: SharedSource,
+        bound: BoundMode,
+        setup: &LazySetup,
+    ) -> TopkEnEnumerator<'static> {
+        let mut lists = SlotLists::default();
+        let loader =
+            PriorityLoader::from_setup(query, SourceRef::Shared(source), bound, &mut lists, setup);
         TopkEnEnumerator::from_parts(query, loader, lists)
     }
 

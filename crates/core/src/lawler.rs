@@ -11,23 +11,102 @@
 use crate::bs::BsData;
 use crate::lazylist::LazySortedList;
 use crate::matches::{CandidateSpec, PoppedMatch, ScoredMatch, NO_PARENT};
+use crate::plan::QueryPlan;
 use ktpm_graph::Score;
 use ktpm_query::{QNodeId, TreeQuery};
 use ktpm_runtime::{GraphRef, RuntimeGraph};
 use ktpm_storage::ShardSpec;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-/// Deferred list construction state for [`SlotLists::build_on_demand`]:
-/// slot lists are materialized from the run-time graph the first time
-/// they are touched, so an enumerator restricted to a few roots only
-/// pays for the lists its matches actually reach.
-#[derive(Debug, Clone)]
-struct SlotFill {
+/// Shared, concurrency-safe slot-list templates over one run-time
+/// graph.
+///
+/// Each `(child query node, parent candidate)` list is materialized at
+/// most once (`OnceLock`-backed), no matter how many enumerators —
+/// shards of one query, or whole sessions racing on a hot
+/// [`QueryPlan`] — touch it first; losers of the race block briefly
+/// and reuse the winner's list. Enumerators *clone* the built template
+/// into their private [`SlotLists`], so per-enumerator rank state
+/// (materialized prefixes) stays unshared while the O(group)
+/// construction cost is paid once per plan.
+#[derive(Debug)]
+pub struct SlotTemplates {
     rg: Arc<RuntimeGraph>,
     bs: Arc<BsData>,
-    /// Per `(u, parent_idx)`: whether the list has been materialized.
+    /// `cells[u][parent_idx]` for `u >= 1`; `cells[0]` empty.
+    cells: Vec<Vec<OnceLock<LazySortedList>>>,
+    /// The unsharded root list (sharded roots are cheap filters and
+    /// are built per enumerator).
+    root: OnceLock<LazySortedList>,
+}
+
+impl SlotTemplates {
+    /// Empty templates shaped for `rg`; lists fill on first touch.
+    pub fn new(rg: Arc<RuntimeGraph>, bs: Arc<BsData>) -> Self {
+        let tree = rg.query().tree();
+        let mut cells: Vec<Vec<OnceLock<LazySortedList>>> = Vec::with_capacity(tree.len());
+        cells.push(Vec::new());
+        for ui in 1..tree.len() {
+            let p = tree.parent(QNodeId(ui as u32)).expect("non-root");
+            cells.push(
+                (0..rg.candidates().len(p))
+                    .map(|_| OnceLock::new())
+                    .collect(),
+            );
+        }
+        SlotTemplates {
+            rg,
+            bs,
+            cells,
+            root: OnceLock::new(),
+        }
+    }
+
+    /// The underlying shared run-time graph.
+    pub fn runtime_graph(&self) -> &Arc<RuntimeGraph> {
+        &self.rg
+    }
+
+    /// The template of child slot `u` under parent candidate `pi`,
+    /// materializing it exactly once across all sharers.
+    fn slot(&self, u: u32, pi: u32) -> &LazySortedList {
+        self.cells[u as usize][pi as usize]
+            .get_or_init(|| SlotLists::fill_slot(&self.rg, &self.bs, u, pi))
+    }
+
+    /// A fresh root list restricted to `shard` (the full-shard list is
+    /// built once and cloned).
+    fn root_list(&self, shard: ShardSpec) -> LazySortedList {
+        if shard.is_full() {
+            return self
+                .root
+                .get_or_init(|| Self::build_root(&self.rg, &self.bs, shard))
+                .clone();
+        }
+        Self::build_root(&self.rg, &self.bs, shard)
+    }
+
+    fn build_root(rg: &RuntimeGraph, bs: &BsData, shard: ShardSpec) -> LazySortedList {
+        let root = rg.query().tree().root();
+        let items: Vec<(Score, u32)> = (0..rg.candidates().len(root) as u32)
+            .filter(|&i| bs.is_valid(root, i) && shard.contains(rg.node(root, i)))
+            .map(|i| (bs.bs(root, i), i))
+            .collect();
+        LazySortedList::new(items)
+    }
+}
+
+/// Deferred list construction state for [`SlotLists::from_templates`]:
+/// slot lists are copied out of the shared templates the first time
+/// they are touched, so an enumerator restricted to a few roots only
+/// pays for the lists its matches actually reach (and the template
+/// itself is only *built* by the first toucher across all sharers).
+#[derive(Debug, Clone)]
+struct SlotFill {
+    templates: Arc<SlotTemplates>,
+    /// Per `(u, parent_idx)`: whether the local copy has been made.
     built: Vec<Vec<bool>>,
 }
 
@@ -90,24 +169,30 @@ impl SlotLists {
     /// data are shared (`Arc`), so `P` shard enumerators over one query
     /// add only their root slices and touched lists.
     pub fn build_on_demand(rg: Arc<RuntimeGraph>, bs: Arc<BsData>, shard: ShardSpec) -> Self {
-        let tree = rg.query().tree();
+        Self::from_templates(Arc::new(SlotTemplates::new(rg, bs)), shard)
+    }
+
+    /// As [`Self::build_on_demand`] over *shared* templates: every list
+    /// a previous sharer already touched is a clone, not a rebuild, and
+    /// first touches race safely on the templates' `OnceLock`s.
+    pub fn from_templates(templates: Arc<SlotTemplates>, shard: ShardSpec) -> Self {
+        let tree = templates.rg.query().tree();
         let n_t = tree.len();
         let mut lists: Vec<Vec<LazySortedList>> = Vec::with_capacity(n_t);
         lists.push(Vec::new());
         for ui in 1..n_t {
             let p = tree.parent(QNodeId(ui as u32)).expect("non-root");
-            lists.push(vec![LazySortedList::default(); rg.candidates().len(p)]);
+            lists.push(vec![
+                LazySortedList::default();
+                templates.rg.candidates().len(p)
+            ]);
         }
-        let root = tree.root();
-        let root_items: Vec<(Score, u32)> = (0..rg.candidates().len(root) as u32)
-            .filter(|&i| bs.is_valid(root, i) && shard.contains(rg.node(root, i)))
-            .map(|i| (bs.bs(root, i), i))
-            .collect();
+        let root = templates.root_list(shard);
         let built = lists.iter().map(|per| vec![false; per.len()]).collect();
         SlotLists {
             lists,
-            root: LazySortedList::new(root_items),
-            fill: Some(SlotFill { rg, bs, built }),
+            root,
+            fill: Some(SlotFill { templates, built }),
         }
     }
 
@@ -155,7 +240,7 @@ impl SlotLists {
         if let Some(f) = &mut self.fill {
             if !f.built[u as usize][pi as usize] {
                 f.built[u as usize][pi as usize] = true;
-                self.lists[u as usize][pi as usize] = Self::fill_slot(&f.rg, &f.bs, u, pi);
+                self.lists[u as usize][pi as usize] = f.templates.slot(u, pi).clone();
             }
         }
         &mut self.lists[u as usize][pi as usize]
@@ -418,8 +503,29 @@ impl<'g> TopkEnumerator<'g> {
         bs: Arc<BsData>,
         shard: ShardSpec,
     ) -> TopkEnumerator<'static> {
-        let lists = SlotLists::build_on_demand(Arc::clone(&rg), bs, shard);
+        Self::from_templates(Arc::new(SlotTemplates::new(rg, bs)), shard)
+    }
+
+    /// As [`Self::new_sharded`] over *shared* [`SlotTemplates`]:
+    /// several enumerators — the shards of one `ParTopk` run, or any
+    /// number of sessions of one cached [`QueryPlan`] — fill each slot
+    /// list once between them instead of once each.
+    pub fn from_templates(
+        templates: Arc<SlotTemplates>,
+        shard: ShardSpec,
+    ) -> TopkEnumerator<'static> {
+        let rg = Arc::clone(templates.runtime_graph());
+        let lists = SlotLists::from_templates(templates, shard);
         TopkEnumerator::from_lists(GraphRef::Shared(rg), lists, true)
+    }
+
+    /// Algorithm 1 over a shared [`QueryPlan`]: the run-time graph,
+    /// `bs` pass and slot templates come from the plan (built on its
+    /// first use, shared ever after), so constructing this enumerator
+    /// on a warm plan performs **zero** candidate discovery or storage
+    /// I/O.
+    pub fn from_plan(plan: &QueryPlan) -> TopkEnumerator<'static> {
+        Self::from_templates(Arc::clone(plan.slot_templates()), ShardSpec::full())
     }
 
     fn with_graph(rg: GraphRef<'g>, use_side_queues: bool) -> Self {

@@ -29,6 +29,17 @@
 //! [`partition`]. The raw iterators ([`TopkEnumerator`],
 //! [`TopkEnEnumerator`]) keep their algorithmic tie order; wrap them in
 //! [`canonical`] when determinism across runs or algorithms matters.
+//!
+//! ## Shared query plans
+//!
+//! [`QueryPlan`] factors the per-query setup pipeline — candidate
+//! discovery, run-time-graph load, `bs` pass, slot-list templates —
+//! out of the enumerators into an immutable, `Arc`-shared object built
+//! lazily and at most once per half (full-loading vs lazy-loading).
+//! `TopkEnumerator::from_plan`, `TopkEnEnumerator::from_plan` and
+//! `ParTopk::from_plan` construct enumerators that do **zero**
+//! candidate discovery on a warm plan; the serving layer keeps a
+//! cross-session cache of plans keyed by canonical query text.
 
 pub mod brute;
 mod bs;
@@ -39,15 +50,17 @@ mod loader;
 mod matches;
 pub mod parallel;
 pub mod partition;
+mod plan;
 
 pub use bs::BsData;
 pub use enhanced::TopkEnEnumerator;
-pub use lawler::{SlotLists, TopkEnumerator};
+pub use lawler::{SlotLists, SlotTemplates, TopkEnumerator};
 pub use lazylist::LazySortedList;
 pub use loader::{BoundMode, PriorityLoader};
 pub use matches::ScoredMatch;
 pub use parallel::{par_topk, ParTopk, ParallelPolicy, ShardEngine};
 pub use partition::{canonical, Canonical};
+pub use plan::QueryPlan;
 // Re-exported so callers configuring shards need not depend on storage.
 pub use ktpm_storage::ShardSpec;
 

@@ -25,6 +25,7 @@
 //! constants (documented deviation).
 
 use crate::lawler::SlotLists;
+use crate::plan::{LazySetup, SeedEdge};
 use ktpm_graph::{Dist, NodeId, Score, INF_DIST};
 use ktpm_query::{EdgeKind, QNodeId, ResolvedQuery};
 use ktpm_runtime::CandidateSets;
@@ -34,6 +35,7 @@ use ktpm_storage::{
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Which lower bound drives the loading order (tight = Topk-EN, loose =
 /// DP-P; see §4 intro: "we develop a tighter trigger than that in DP-P").
@@ -55,7 +57,9 @@ enum CursorState {
 pub struct PriorityLoader<'s> {
     source: SourceRef<'s>,
     query: ResolvedQuery,
-    cands: CandidateSets,
+    /// Shared with the setup cache that discovered them (cheap to hand
+    /// to every loader of a hot query).
+    cands: Arc<CandidateSets>,
     bound: BoundMode,
     // Per query node u.
     children_count: Vec<u32>,
@@ -143,10 +147,27 @@ impl<'s> PriorityLoader<'s> {
         lists: &mut SlotLists,
         shard: ShardSpec,
     ) -> Self {
+        let setup = LazySetup::discover(query, source.get(), shard);
+        Self::from_setup(query, source, bound, lists, &setup)
+    }
+
+    /// Builds a loader from an already-discovered [`LazySetup`] (a
+    /// `QueryPlan`'s cached §4.1 initialization): candidate sets are
+    /// shared, `eᵥ` bounds copied, and the `E`-seed edges replayed in
+    /// their recorded order — so construction performs **no** storage
+    /// reads. Per-loader state (cursors, `Q_g`, loaded edges) starts
+    /// fresh, exactly as a cold build would.
+    pub(crate) fn from_setup(
+        query: &ResolvedQuery,
+        source: SourceRef<'s>,
+        bound: BoundMode,
+        lists: &mut SlotLists,
+        setup: &LazySetup,
+    ) -> Self {
         let tree = query.tree();
         let n_t = tree.len();
         let src = source.get();
-        let (cands, evs) = CandidateSets::from_d_tables_sharded(query, src, shard);
+        let cands = Arc::clone(&setup.cands);
         *lists = SlotLists::empty_shaped(
             tree,
             &(0..n_t)
@@ -185,7 +206,7 @@ impl<'s> PriorityLoader<'s> {
             bs_bar: sizes.iter().map(|&n| vec![Score::MAX; n]).collect(),
             nonempty: sizes.iter().map(|&n| vec![0; n]).collect(),
             active: sizes.iter().map(|&n| vec![false; n]).collect(),
-            ev: evs,
+            ev: setup.evs.clone(),
             version: sizes.iter().map(|&n| vec![0; n]).collect(),
             cursor: sizes
                 .iter()
@@ -209,24 +230,28 @@ impl<'s> PriorityLoader<'s> {
                 loader.push_qg(u.0, i);
             }
         }
-        // E-seed `//` edges into leaves (Line 1: "for each loaded Eᵅᵦ
+        // Replay the recorded E-seeds (Line 1: "for each loaded Eᵅᵦ
         // there must be an edge (u, u') in T ... and u' is a leaf").
-        for u in tree.node_ids().skip(1) {
-            if !tree.is_leaf(u) || tree.edge_kind(u) != EdgeKind::Descendant {
+        // Seeds carry data-node ids: under a root-shard restriction
+        // `index_of` filters out-of-shard parents exactly as the
+        // original `load_e` loop did.
+        for &SeedEdge {
+            u,
+            parent,
+            child,
+            dist,
+        } in setup.eseed.iter()
+        {
+            let un = QNodeId(u);
+            let p = tree.parent(un).expect("seeded nodes are non-root");
+            let (Some(pi), Some(ci)) = (
+                loader.cands.index_of(p, parent),
+                loader.cands.index_of(un, child),
+            ) else {
                 continue;
-            }
-            let p = tree.parent(u).expect("non-root");
-            for (a, b) in ktpm_runtime_label_pairs(&loader.query, loader.source.get(), p, u) {
-                for (v, child, dist) in loader.source.get().load_e(a, b) {
-                    let (Some(pi), Some(ci)) =
-                        (loader.cands.index_of(p, v), loader.cands.index_of(u, child))
-                    else {
-                        continue;
-                    };
-                    if loader.seeded[u.index()][ci as usize].insert(pi) {
-                        loader.note_insert(lists, u.0, pi, dist as Score, ci);
-                    }
-                }
+            };
+            if loader.seeded[un.index()][ci as usize].insert(pi) {
+                loader.note_insert(lists, u, pi, dist as Score, ci);
             }
         }
         loader
@@ -274,7 +299,7 @@ impl<'s> PriorityLoader<'s> {
 
     /// Candidate sets (shared with the enumeration layer).
     pub fn candidates(&self) -> &CandidateSets {
-        &self.cands
+        self.cands.as_ref()
     }
 
     /// Slot lists touched since the previous call; `(0, 0)` is the root

@@ -26,15 +26,14 @@
 //! while skewed streams only pay for what the merge actually consumes
 //! (at most one batch of lookahead per shard).
 
-use crate::bs::BsData;
 use crate::enhanced::TopkEnEnumerator;
 use crate::lawler::TopkEnumerator;
 use crate::matches::ScoredMatch;
 use crate::partition::{canonical, Canonical};
+use crate::plan::QueryPlan;
 use ktpm_exec::WorkerPool;
 use ktpm_graph::{NodeId, Score};
 use ktpm_query::ResolvedQuery;
-use ktpm_runtime::RuntimeGraph;
 use ktpm_storage::{ShardSpec, SharedSource};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -49,7 +48,8 @@ pub enum ShardEngine {
     Full,
     /// Algorithm 3 per shard: each shard loads lazily from the shared
     /// store, driven by its own root bucket. Cheapest for tiny `k` on
-    /// huge graphs; pays per-shard `D`-table initialization.
+    /// huge graphs; candidate discovery is done once per run (shared
+    /// through the plan) and root-restricted per shard.
     Lazy,
 }
 
@@ -139,28 +139,38 @@ pub struct ParTopk {
 
 impl ParTopk {
     /// Splits `query` per `policy` and runs shard setup (plus each
-    /// shard's first batch) concurrently on `pool`. Setup cost: one
-    /// run-time-graph load + `bs` pass on the calling thread for
-    /// [`ShardEngine::Full`], nothing shared for [`ShardEngine::Lazy`].
+    /// shard's first batch) concurrently on `pool`, over a transient
+    /// one-run [`QueryPlan`]. Callers that serve the same query
+    /// repeatedly should hold a plan and use [`Self::from_plan`], which
+    /// skips every per-query setup cost on warm runs.
     pub fn new(
         query: &ResolvedQuery,
         source: SharedSource,
         policy: &ParallelPolicy,
         pool: Arc<WorkerPool>,
     ) -> ParTopk {
+        Self::from_plan(&QueryPlan::new(query.clone(), source), policy, pool)
+    }
+
+    /// As [`Self::new`] over a shared [`QueryPlan`]: shard setup comes
+    /// from the plan (run-time graph + `bs` + slot templates for
+    /// [`ShardEngine::Full`], cached candidate discovery for
+    /// [`ShardEngine::Lazy`]), built on the plan's first use — on the
+    /// calling thread here — and shared by every later run *and* by the
+    /// `P` shards of this run.
+    pub fn from_plan(plan: &QueryPlan, policy: &ParallelPolicy, pool: Arc<WorkerPool>) -> ParTopk {
         let batch = policy.batch.max(1);
         let specs = ShardSpec::split(policy.shards);
         let jobs: Vec<Box<dyn FnOnce() -> ShardJobResult + Send>> = match policy.engine {
             ShardEngine::Full => {
-                let rg = Arc::new(RuntimeGraph::load(query, source.as_ref()));
-                let bs = Arc::new(BsData::compute(&rg));
+                let templates = Arc::clone(plan.slot_templates());
                 specs
                     .into_iter()
                     .map(|spec| {
-                        let (rg, bs) = (Arc::clone(&rg), Arc::clone(&bs));
+                        let templates = Arc::clone(&templates);
                         Box::new(move || {
                             let mut it = ShardIter::Full(Box::new(canonical(
-                                TopkEnumerator::new_sharded(rg, bs, spec),
+                                TopkEnumerator::from_templates(templates, spec),
                             )));
                             let (buf, alive) = pull(&mut it, batch);
                             (alive.then_some(it), buf)
@@ -168,20 +178,29 @@ impl ParTopk {
                     })
                     .collect()
             }
-            ShardEngine::Lazy => specs
-                .into_iter()
-                .map(|spec| {
-                    let query = query.clone();
-                    let source = Arc::clone(&source);
-                    Box::new(move || {
-                        let mut it = ShardIter::Lazy(Box::new(canonical(
-                            TopkEnEnumerator::new_sharded(&query, source, spec),
-                        )));
-                        let (buf, alive) = pull(&mut it, batch);
-                        (alive.then_some(it), buf)
-                    }) as Box<dyn FnOnce() -> ShardJobResult + Send>
-                })
-                .collect(),
+            ShardEngine::Lazy => {
+                let setup = Arc::clone(plan.lazy());
+                specs
+                    .into_iter()
+                    .map(|spec| {
+                        let setup = Arc::clone(&setup);
+                        let query = plan.query().clone();
+                        let source = Arc::clone(plan.source());
+                        Box::new(move || {
+                            let restricted = setup.restrict_root(spec);
+                            let mut it =
+                                ShardIter::Lazy(Box::new(canonical(TopkEnEnumerator::from_setup(
+                                    &query,
+                                    source,
+                                    crate::BoundMode::Tight,
+                                    &restricted,
+                                ))));
+                            let (buf, alive) = pull(&mut it, batch);
+                            (alive.then_some(it), buf)
+                        }) as Box<dyn FnOnce() -> ShardJobResult + Send>
+                    })
+                    .collect()
+            }
         };
         let results = pool.scatter(jobs);
         let single = results.len() == 1;

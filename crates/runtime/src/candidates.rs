@@ -106,6 +106,27 @@ impl CandidateSets {
         (Self::finish(cands), evs)
     }
 
+    /// Wraps externally discovered candidate lists (one per query node,
+    /// each ascending by data node id), building the reverse indices.
+    /// Used by setup caches that derive candidate sets from an already
+    /// loaded run-time graph instead of re-sweeping storage.
+    pub fn from_lists(cands: Vec<Vec<NodeId>>) -> Self {
+        Self::finish(cands)
+    }
+
+    /// These sets with the *root* bucket restricted to `shard` (query
+    /// node 0); every other set is copied unchanged, mirroring
+    /// [`Self::from_d_tables_sharded`]. Each call deep-clones the lists
+    /// and rebuilds the reverse indices — O(total candidates) — so that
+    /// root candidate indices stay dense; callers taking many shards of
+    /// one query pay that copy per shard (still far cheaper than the
+    /// per-shard storage sweeps it replaces).
+    pub fn restrict_root(&self, shard: ShardSpec) -> Self {
+        let mut cands = self.cands.clone();
+        cands[0].retain(|&v| shard.contains(v));
+        Self::finish(cands)
+    }
+
     fn finish(cands: Vec<Vec<NodeId>>) -> Self {
         let index = cands
             .iter()

@@ -1,4 +1,4 @@
-//! The LRU result cache.
+//! The LRU result cache and the cross-session query-plan cache.
 //!
 //! Keyed by `(algorithm, canonical query text)`; the value is the
 //! longest *prefix* of the score-ordered match stream any session has
@@ -19,7 +19,7 @@
 //!   and offered prefix, so concurrent sessions racing to publish
 //!   cannot shrink the cache.
 
-use ktpm_core::ScoredMatch;
+use ktpm_core::{QueryPlan, ScoredMatch};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -35,52 +35,44 @@ pub struct CachedPrefix {
     pub complete: bool,
 }
 
-/// An LRU map from query fingerprints to match prefixes.
-///
-/// Recency is tracked with a monotone stamp per entry; eviction scans
-/// for the minimum (O(capacity), fine at the configured sizes — the
-/// scan only runs when the cache is full and a *new* key arrives).
-pub struct ResultCache {
+/// Stamp-based LRU bookkeeping shared by [`ResultCache`] and
+/// [`PlanCache`]: a monotone recency stamp per entry, refreshed on
+/// every touch, and an O(capacity) min-stamp victim scan when a *new*
+/// key arrives at a full cache (fine at the configured sizes — the
+/// scan never runs on hits).
+struct Lru<K, V> {
     capacity: usize,
     stamp: u64,
-    entries: HashMap<CacheKey, (CachedPrefix, u64)>,
+    entries: HashMap<K, (V, u64)>,
 }
 
-impl ResultCache {
-    /// An empty cache holding at most `capacity` entries.
-    pub fn new(capacity: usize) -> Self {
-        ResultCache {
+impl<K: std::hash::Hash + Eq + Clone, V> Lru<K, V> {
+    fn new(capacity: usize) -> Self {
+        Lru {
             capacity: capacity.max(1),
             stamp: 0,
             entries: HashMap::new(),
         }
     }
 
-    /// Looks up `key`, refreshing its recency.
-    pub fn get(&mut self, key: &CacheKey) -> Option<CachedPrefix> {
+    /// The entry for `key`, with its recency refreshed.
+    fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: std::hash::Hash + Eq + ?Sized,
+    {
         self.stamp += 1;
         let stamp = self.stamp;
-        self.entries.get_mut(key).map(|(p, s)| {
+        self.entries.get_mut(key).map(|(v, s)| {
             *s = stamp;
-            p.clone()
+            v
         })
     }
 
-    /// Publishes a prefix for `key`, keeping the longest one seen. A
-    /// complete prefix always wins over an incomplete one of equal
-    /// length.
-    pub fn insert(&mut self, key: CacheKey, prefix: CachedPrefix) {
+    /// Inserts a *new* key (callers check presence via [`Self::get_mut`]
+    /// first), evicting the least recently used entry when full.
+    fn insert(&mut self, key: K, value: V) {
         self.stamp += 1;
-        let stamp = self.stamp;
-        if let Some((existing, s)) = self.entries.get_mut(&key) {
-            *s = stamp;
-            let better = prefix.matches.len() > existing.matches.len()
-                || (prefix.matches.len() == existing.matches.len() && prefix.complete);
-            if better {
-                *existing = prefix;
-            }
-            return;
-        }
         if self.entries.len() >= self.capacity {
             if let Some(victim) = self
                 .entries
@@ -91,17 +83,110 @@ impl ResultCache {
                 self.entries.remove(&victim);
             }
         }
-        self.entries.insert(key, (prefix, stamp));
+        self.entries.insert(key, (value, self.stamp));
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// An LRU map from query fingerprints to match prefixes.
+pub struct ResultCache {
+    lru: Lru<CacheKey, CachedPrefix>,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            lru: Lru::new(capacity),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency.
+    pub fn get(&mut self, key: &CacheKey) -> Option<CachedPrefix> {
+        self.lru.get_mut(key).map(|p| p.clone())
+    }
+
+    /// Publishes a prefix for `key`, keeping the longest one seen. A
+    /// complete prefix always wins over an incomplete one of equal
+    /// length.
+    pub fn insert(&mut self, key: CacheKey, prefix: CachedPrefix) {
+        if let Some(existing) = self.lru.get_mut(&key) {
+            let better = prefix.matches.len() > existing.matches.len()
+                || (prefix.matches.len() == existing.matches.len() && prefix.complete);
+            if better {
+                *existing = prefix;
+            }
+            return;
+        }
+        self.lru.insert(key, prefix);
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.lru.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
+    }
+}
+
+/// The cross-session query-plan cache: canonical query text →
+/// `Arc<`[`QueryPlan`]`>`.
+///
+/// Unlike the result cache, the key carries **no algorithm**: one plan
+/// feeds `topk`, `topk-en`, `par` and `brute` sessions alike (each
+/// algorithm materializes the plan half it needs, at most once). The
+/// cached value is the plan handle — registering a plan is cheap; the
+/// expensive setup happens lazily inside the plan on first enumerator
+/// construction, guarded by `OnceLock` so concurrent sessions racing on
+/// a cold plan produce exactly one build.
+///
+/// Eviction is LRU by capacity (the same stamp bookkeeping as
+/// [`ResultCache`], shared through one private helper).
+/// Memory per warm entry is dominated by the plan's run-time graph
+/// (O(m_R)); sessions holding an evicted plan's `Arc` keep it alive
+/// until they close, so eviction never invalidates live sessions.
+pub struct PlanCache {
+    lru: Lru<String, Arc<QueryPlan>>,
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` plans.
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            lru: Lru::new(capacity),
+        }
+    }
+
+    /// The plan for `key`, registering `build()`'s result on a miss.
+    /// The returned flag is `true` on a hit. Recency is refreshed
+    /// either way.
+    pub fn get_or_insert(
+        &mut self,
+        key: &str,
+        build: impl FnOnce() -> QueryPlan,
+    ) -> (Arc<QueryPlan>, bool) {
+        if let Some(plan) = self.lru.get_mut(key) {
+            return (Arc::clone(plan), true);
+        }
+        let plan = Arc::new(build());
+        self.lru.insert(key.to_string(), Arc::clone(&plan));
+        (plan, false)
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -176,5 +261,40 @@ mod tests {
         let mut c = ResultCache::new(4);
         c.insert(("topk", "q".into()), prefix(1, true));
         assert!(c.get(&("topk-en", "q".into())).is_none());
+    }
+
+    fn plan() -> QueryPlan {
+        let g = ktpm_graph::fixtures::citation_graph();
+        let q = ktpm_query::TreeQuery::parse("C -> E")
+            .unwrap()
+            .resolve(g.interner());
+        let store =
+            ktpm_storage::MemStore::new(ktpm_closure::ClosureTables::compute(&g)).into_shared();
+        QueryPlan::new(q, store)
+    }
+
+    #[test]
+    fn plan_cache_hits_share_one_arc() {
+        let mut c = PlanCache::new(4);
+        let (p1, hit) = c.get_or_insert("q1", plan);
+        assert!(!hit);
+        let (p2, hit) = c.get_or_insert("q1", plan);
+        assert!(hit);
+        assert!(Arc::ptr_eq(&p1, &p2), "hits must share the plan");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used() {
+        let mut c = PlanCache::new(2);
+        c.get_or_insert("a", plan);
+        c.get_or_insert("b", plan);
+        c.get_or_insert("a", plan); // refresh a; b is now LRU
+        c.get_or_insert("c", plan);
+        assert_eq!(c.len(), 2);
+        let (_, hit) = c.get_or_insert("a", plan);
+        assert!(hit);
+        let (_, hit) = c.get_or_insert("b", plan);
+        assert!(!hit, "b must have been evicted");
     }
 }

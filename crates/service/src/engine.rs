@@ -1,11 +1,11 @@
 //! The query engine: shared store + session table + result cache +
 //! worker pool, behind a cloneable [`ServiceHandle`].
 
-use crate::cache::{CacheKey, ResultCache};
+use crate::cache::{CacheKey, PlanCache, ResultCache};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::session::{Session, SessionId, SessionTable};
 use crate::ServiceConfig;
-use ktpm_core::ScoredMatch;
+use ktpm_core::{QueryPlan, ScoredMatch};
 use ktpm_exec::WorkerPool;
 use ktpm_graph::LabelInterner;
 use ktpm_query::TreeQuery;
@@ -56,7 +56,9 @@ impl Algo {
         Algo::ALL.into_iter().find(|a| a.name() == s)
     }
 
-    /// `"topk | topk-en | brute"` — for error messages.
+    /// `"topk | topk-en | par | brute"` — every [`Algo::ALL`] name,
+    /// for error messages (rendered from the const, so it can never go
+    /// stale against the algorithm list again).
     pub fn valid_names() -> String {
         Algo::ALL
             .iter()
@@ -116,6 +118,8 @@ pub struct EngineStats {
     pub sessions_active: usize,
     /// Entries in the result cache.
     pub cache_entries: usize,
+    /// Entries in the cross-session query-plan cache.
+    pub plan_entries: usize,
     /// Worker pool width.
     pub workers: usize,
     /// Monotonic counters.
@@ -129,6 +133,10 @@ pub struct QueryEngine {
     source: SharedSource,
     sessions: SessionTable,
     cache: Mutex<ResultCache>,
+    /// Cross-session query-plan cache (keyed by canonical query text,
+    /// shared across all algorithms): a warm `OPEN` reuses the cached
+    /// setup and performs zero candidate-discovery work.
+    plans: Mutex<PlanCache>,
     metrics: ServiceMetrics,
     pool: WorkerPool,
     /// Separate pool for `ParTopk` shard jobs. Request jobs (on `pool`)
@@ -164,6 +172,7 @@ impl QueryEngine {
                 source,
                 sessions: SessionTable::new(),
                 cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+                plans: Mutex::new(PlanCache::new(config.plan_cache_capacity)),
                 metrics: ServiceMetrics::default(),
                 pool: WorkerPool::new(config.workers),
                 shard_pool: Arc::new(WorkerPool::new(config.parallel.shards)),
@@ -205,11 +214,24 @@ impl ServiceHandle {
             Some(_) => e.metrics.cache_hit(),
             None => e.metrics.cache_miss(),
         }
+        // The plan cache is keyed by query text alone: one plan feeds
+        // every algorithm. Registering is cheap — the expensive setup
+        // runs lazily inside the plan, once, when the first session
+        // actually needs it.
+        let (plan, plan_hit) = e
+            .plans
+            .lock()
+            .expect("plan cache lock")
+            .get_or_insert(&key.1, || QueryPlan::new(resolved, Arc::clone(&e.source)));
+        if plan_hit {
+            e.metrics.plan_hit();
+        } else {
+            e.metrics.plan_miss();
+        }
         let session = Session::new(
             algo,
             key.1,
-            resolved,
-            Arc::clone(&e.source),
+            plan,
             cached.as_ref(),
             e.config.parallel,
             Arc::clone(&e.shard_pool),
@@ -317,6 +339,7 @@ impl ServiceHandle {
         EngineStats {
             sessions_active: e.sessions.len(),
             cache_entries: e.cache.lock().expect("cache lock").len(),
+            plan_entries: e.plans.lock().expect("plan cache lock").len(),
             workers: e.pool.width(),
             metrics: e.metrics.snapshot(),
         }

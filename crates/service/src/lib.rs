@@ -24,6 +24,21 @@
 //!   produced. Hot repeated queries are answered without touching an
 //!   enumerator at all; a session that outruns the cached prefix
 //!   transparently falls back to live enumeration.
+//! * **Plan cache** — an LRU of [`ktpm_core::QueryPlan`]s keyed by
+//!   canonical query text **alone** (no algorithm: one plan feeds
+//!   `topk`, `topk-en`, `par` and `brute` sessions). A plan holds the
+//!   per-query setup the paper's algorithms pay up front — candidate
+//!   discovery, the run-time graph, the `bs` pass, slot-list
+//!   templates — built lazily, at most once, behind `OnceLock`s that
+//!   concurrent sessions can race on safely. A *warm* `OPEN` therefore
+//!   performs **zero** candidate-discovery work (verifiable via
+//!   `ktpm_storage::iostats` and the `plan_hits`/`plan_misses` `STATS`
+//!   counters). Capacity is [`ServiceConfig::plan_cache_capacity`];
+//!   eviction is LRU, and per-entry memory is bounded by the plan's
+//!   run-time graph (O(m_R) for the hot query) — size the capacity to
+//!   the working set of hot queries, not the total query space.
+//!   Sessions hold their plan's `Arc`, so eviction never invalidates
+//!   live sessions.
 //! * **Wire protocol** ([`protocol`]) + [`Server`] — a line-based TCP
 //!   front end (`OPEN` / `NEXT` / `CLOSE` / `STATS`) used by
 //!   `ktpm serve`.
@@ -61,7 +76,7 @@ pub mod protocol;
 mod server;
 mod session;
 
-pub use cache::{CacheKey, CachedPrefix, ResultCache};
+pub use cache::{CacheKey, CachedPrefix, PlanCache, ResultCache};
 pub use engine::{Algo, NextBatch, QueryEngine, ServiceError, ServiceHandle};
 // The pool moved to `ktpm-exec` so core's `ParTopk` and the batch CLI
 // schedule shard jobs on the same implementation; re-exported here for
@@ -85,6 +100,11 @@ pub struct ServiceConfig {
     pub max_sessions: usize,
     /// Maximum number of cached query results (LRU beyond it).
     pub cache_capacity: usize,
+    /// Maximum number of cached query plans (LRU beyond it). Each warm
+    /// plan holds its query's run-time graph and slot templates —
+    /// O(m_R) memory — so this bounds plan memory to the hot-query
+    /// working set.
+    pub plan_cache_capacity: usize,
     /// Shard policy for [`Algo::Par`] sessions; also sizes the engine's
     /// dedicated shard-job pool (kept separate from the request pool so
     /// blocked requests can never starve their own shard jobs).
@@ -98,6 +118,7 @@ impl Default for ServiceConfig {
             session_ttl: Duration::from_secs(300),
             max_sessions: 10_000,
             cache_capacity: 1_024,
+            plan_cache_capacity: 256,
             parallel: ktpm_core::ParallelPolicy::default(),
         }
     }

@@ -12,6 +12,8 @@ pub struct ServiceMetrics {
     matches_served: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
     errors: AtomicU64,
 }
 
@@ -32,6 +34,11 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Sessions that had to start a live enumerator.
     pub cache_misses: u64,
+    /// Sessions opened onto an already-cached query plan (shared
+    /// setup: zero candidate-discovery work).
+    pub plan_hits: u64,
+    /// Sessions whose open registered a fresh query plan.
+    pub plan_misses: u64,
     /// Requests that failed (bad query, unknown session, ...).
     pub errors: u64,
 }
@@ -52,6 +59,8 @@ impl ServiceMetrics {
         next_call => next_calls,
         cache_hit => cache_hits,
         cache_miss => cache_misses,
+        plan_hit => plan_hits,
+        plan_miss => plan_misses,
         error => errors,
     }
 
@@ -75,6 +84,8 @@ impl ServiceMetrics {
             matches_served: self.matches_served.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
         }
     }
@@ -85,7 +96,8 @@ impl MetricsSnapshot {
     pub fn to_wire(&self) -> String {
         format!(
             "sessions_opened={} sessions_closed={} sessions_evicted={} next_calls={} \
-             matches_served={} cache_hits={} cache_misses={} errors={}",
+             matches_served={} cache_hits={} cache_misses={} plan_hits={} plan_misses={} \
+             errors={}",
             self.sessions_opened,
             self.sessions_closed,
             self.sessions_evicted,
@@ -93,6 +105,8 @@ impl MetricsSnapshot {
             self.matches_served,
             self.cache_hits,
             self.cache_misses,
+            self.plan_hits,
+            self.plan_misses,
             self.errors,
         )
     }
@@ -113,6 +127,9 @@ mod tests {
         m.matches_served(10);
         m.cache_hit();
         m.cache_miss();
+        m.plan_hit();
+        m.plan_hit();
+        m.plan_miss();
         m.error();
         let s = m.snapshot();
         assert_eq!(s.sessions_opened, 2);
@@ -122,7 +139,10 @@ mod tests {
         assert_eq!(s.matches_served, 10);
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.plan_hits, 2);
+        assert_eq!(s.plan_misses, 1);
         assert_eq!(s.errors, 1);
         assert!(s.to_wire().contains("matches_served=10"));
+        assert!(s.to_wire().contains("plan_hits=2 plan_misses=1"));
     }
 }

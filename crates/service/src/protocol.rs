@@ -14,6 +14,26 @@
 //! STATS                    engine counters
 //! ```
 //!
+//! ## The `;` → newline rewrite
+//!
+//! Requests are single lines, but the twig text format is
+//! newline-separated — so the parser rewrites **every** `;` in the
+//! `OPEN` query text to a newline, unconditionally. `;` is therefore
+//! *not* valid inside label text: a label containing one is split into
+//! separate query lines and (in general) fails to parse as a rooted
+//! tree, which the engine reports as `ERR bad query ...`. A query that
+//! is empty after the rewrite (e.g. `OPEN topk ;;;`) never reaches the
+//! engine: the parser answers `ERR empty query after ';' rewrite ...`
+//! directly.
+//!
+//! ## `NEXT <session> 0`
+//!
+//! A zero-sized batch is a liveness probe, pinned to answer
+//! `OK 0 MORE` — never `DONE`, even on a drained or known-empty
+//! stream — and to never touch (or lazily create) the session's
+//! enumerator. Stream termination is only ever reported by a `NEXT`
+//! with `n >= 1`.
+//!
 //! Responses:
 //!
 //! ```text
@@ -70,9 +90,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             let (algo, query) = rest
                 .split_once(char::is_whitespace)
                 .ok_or("usage: OPEN <algo> <query>")?;
+            // Unconditional rewrite; see the module docs — `;` cannot
+            // appear inside label text.
             let query = query.replace(';', "\n");
             if query.trim().is_empty() {
-                return Err("usage: OPEN <algo> <query>".into());
+                return Err("empty query after ';' rewrite (usage: OPEN <algo> <query>)".into());
             }
             Ok(Request::Open {
                 algo: algo.to_string(),
@@ -212,6 +234,41 @@ mod tests {
         assert!(parse_request("NEXT 1 2 3").is_err());
         assert!(parse_request("CLOSE").is_err());
         assert!(parse_request("FETCH 1 2").is_err());
+    }
+
+    #[test]
+    fn queries_empty_after_semicolon_rewrite_are_rejected() {
+        // Semicolons become newlines unconditionally; a query that is
+        // all separators parses to nothing and must ERR in the parser.
+        for line in ["OPEN topk ;", "OPEN topk ;;;", "OPEN topk ; ; ;"] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains("rewrite"), "{line:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn semicolons_inside_label_text_split_into_lines() {
+        // The rewrite is blind to context: a `;` inside what the client
+        // meant as one label yields two query lines. (Here they form a
+        // two-root forest, which the engine rejects as a bad query.)
+        assert_eq!(
+            parse_request("OPEN topk A;B -> C").unwrap(),
+            Request::Open {
+                algo: "topk".into(),
+                query: "A\nB -> C".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn next_zero_is_a_valid_request() {
+        assert_eq!(
+            parse_request("NEXT 3 0").unwrap(),
+            Request::Next {
+                id: SessionId(3),
+                n: 0
+            }
+        );
     }
 
     #[test]

@@ -147,9 +147,10 @@ pub fn respond(handle: &ServiceHandle, line: &str) -> String {
         Ok(Request::Stats) => {
             let s = handle.stats();
             format!(
-                "OK sessions_active={} cache_entries={} workers={} {}\n",
+                "OK sessions_active={} cache_entries={} plan_entries={} workers={} {}\n",
                 s.sessions_active,
                 s.cache_entries,
+                s.plan_entries,
                 s.workers,
                 s.metrics.to_wire()
             )
@@ -191,9 +192,71 @@ mod tests {
         assert_eq!(respond(&h, &format!("CLOSE {id}")), "OK closed\n");
         assert!(respond(&h, &format!("NEXT {id} 1")).starts_with("ERR unknown session"));
         assert!(respond(&h, "STATS").contains("sessions_opened=1"));
+        assert!(respond(&h, "STATS").contains("plan_entries=1"));
         assert!(respond(&h, "OPEN warp C -> E").starts_with("ERR unknown algorithm"));
         assert!(respond(&h, "OPEN topk a b c").starts_with("ERR bad query"));
         assert!(respond(&h, "HELLO").starts_with("ERR unknown command"));
+    }
+
+    #[test]
+    fn unknown_algo_error_lists_every_algorithm_name() {
+        // The rendered ERR must advertise the full Algo::ALL list —
+        // this is the wire-visible guard against the name list going
+        // stale (as the old "topk | topk-en | brute" doc comment did).
+        let h = test_handle();
+        let err = respond(&h, "OPEN warp C -> E");
+        assert!(err.starts_with("ERR unknown algorithm"), "{err:?}");
+        for algo in Algo::ALL {
+            assert!(
+                err.contains(algo.name()),
+                "ERR message {err:?} must list {:?}",
+                algo.name()
+            );
+        }
+        assert!(err.contains(&Algo::valid_names()), "{err:?}");
+    }
+
+    #[test]
+    fn next_zero_returns_ok_zero_more_without_touching_the_enumerator() {
+        let h = test_handle();
+        // Fresh session: NEXT 0 probes without starting enumeration.
+        let open = respond(&h, "OPEN topk-en C -> E; C -> S");
+        let id = open.trim().strip_prefix("OK ").expect("open succeeds");
+        assert_eq!(respond(&h, &format!("NEXT {id} 0")), "OK 0 MORE\n");
+        // Drained session: still MORE, never DONE, per the protocol
+        // module docs (termination is only reported with n >= 1).
+        let done = respond(&h, &format!("NEXT {id} 100"));
+        assert!(done.starts_with("OK 5 DONE"), "{done:?}");
+        assert_eq!(respond(&h, &format!("NEXT {id} 0")), "OK 0 MORE\n");
+        // A session opened on an empty *complete* cached stream must
+        // also answer MORE to a zero probe instead of DONE (this was
+        // the case that used to report DONE).
+        let no_match = respond(&h, "OPEN topk-en S -> C");
+        let id2 = no_match.trim().strip_prefix("OK ").expect("open succeeds");
+        let drained = respond(&h, &format!("NEXT {id2} 10"));
+        assert!(drained.starts_with("OK 0 DONE"), "{drained:?}");
+        respond(&h, &format!("CLOSE {id2}"));
+        let id3 = respond(&h, "OPEN topk-en S -> C");
+        let id3 = id3.trim().strip_prefix("OK ").expect("open succeeds");
+        assert_eq!(respond(&h, &format!("NEXT {id3} 0")), "OK 0 MORE\n");
+    }
+
+    #[test]
+    fn all_semicolon_queries_error_before_reaching_the_engine() {
+        let h = test_handle();
+        let err = respond(&h, "OPEN topk ;;;");
+        assert!(
+            err.starts_with("ERR empty query after ';' rewrite"),
+            "{err:?}"
+        );
+        // `;` inside label text: rewritten into two lines -> bad query.
+        let err = respond(&h, "OPEN topk C;E -> S");
+        assert!(err.starts_with("ERR bad query"), "{err:?}");
+        assert_eq!(
+            h.stats().metrics.errors,
+            1,
+            "parser ERRs are not engine errors"
+        );
     }
 
     #[test]

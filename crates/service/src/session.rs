@@ -3,10 +3,12 @@
 //! A [`Session`] is the server-side half of a client's cursor over one
 //! query's match stream. It owns:
 //!
-//! * the live enumerator (`Topk` over an owned run-time graph, or
-//!   `Topk-EN` over the shared store — both via the `'static` shared
-//!   constructors, so the session is `Send` and can hop between worker
-//!   threads between requests);
+//! * an `Arc` to the query's shared [`QueryPlan`] (from the engine's
+//!   plan cache) and, once the client outruns the result cache, a live
+//!   enumerator built *from* that plan — so a session of a hot query
+//!   never repeats candidate discovery, run-time-graph construction or
+//!   the `bs` pass, and the enumerator (`'static` + `Send`) can hop
+//!   between worker threads between requests;
 //! * a `buffer` of every match produced so far for this query, and a
 //!   client cursor `pos` into it. The buffer exists so a session opened
 //!   on a cached prefix can serve from it immediately and only start
@@ -22,13 +24,10 @@
 use crate::cache::{CacheKey, CachedPrefix};
 use crate::engine::Algo;
 use ktpm_core::{
-    brute, canonical, Canonical, ParTopk, ParallelPolicy, ScoredMatch, TopkEnEnumerator,
+    brute, canonical, Canonical, ParTopk, ParallelPolicy, QueryPlan, ScoredMatch, TopkEnEnumerator,
     TopkEnumerator,
 };
 use ktpm_exec::WorkerPool;
-use ktpm_query::ResolvedQuery;
-use ktpm_runtime::RuntimeGraph;
-use ktpm_storage::SharedSource;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -88,8 +87,9 @@ pub struct Session {
     algo: Algo,
     /// Canonicalized query text (the session's cache-key half).
     canonical: String,
-    query: ResolvedQuery,
-    source: SharedSource,
+    /// The shared per-query setup plan; holding the `Arc` keeps the
+    /// plan alive even if the engine's plan cache evicts it.
+    plan: Arc<QueryPlan>,
     /// Shard policy + pool for `Algo::Par` sessions (engine-wide).
     parallel: ParallelPolicy,
     shard_pool: Arc<WorkerPool>,
@@ -121,8 +121,7 @@ impl Session {
     pub(crate) fn new(
         algo: Algo,
         canonical: String,
-        query: ResolvedQuery,
-        source: SharedSource,
+        plan: Arc<QueryPlan>,
         cached: Option<&CachedPrefix>,
         parallel: ParallelPolicy,
         shard_pool: Arc<WorkerPool>,
@@ -134,8 +133,7 @@ impl Session {
         Session {
             algo,
             canonical,
-            query,
-            source,
+            plan,
             parallel,
             shard_pool,
             iter: None,
@@ -155,19 +153,23 @@ impl Session {
     /// the cursor. Resuming is O(new work): earlier batches are never
     /// recomputed.
     pub(crate) fn advance(&mut self, n: usize) -> Advance {
+        // `n == 0` is pinned by the wire protocol: report "0 more,
+        // stream not finished" without touching (or even creating) the
+        // enumerator — a zero-sized probe must never trigger setup.
+        if n == 0 {
+            return Advance {
+                matches: Vec::new(),
+                exhausted: false,
+                publish: None,
+            };
+        }
         let want = self.pos.saturating_add(n);
         let was_complete = self.complete;
         while self.buffer.len() < want && !self.complete {
             let it = self.iter.get_or_insert_with(|| {
                 // First live pull: fast-forward past the prefix the
                 // buffer already covers so the streams stay aligned.
-                let mut it = make_iter(
-                    self.algo,
-                    &self.query,
-                    &self.source,
-                    &self.parallel,
-                    &self.shard_pool,
-                );
+                let mut it = make_iter(self.algo, &self.plan, &self.parallel, &self.shard_pool);
                 for _ in 0..self.buffer.len() {
                     it.next();
                 }
@@ -219,33 +221,27 @@ impl Session {
     }
 }
 
+/// Builds a session's live enumerator **from the shared plan**: on a
+/// warm plan none of these arms performs candidate discovery or (for
+/// the full-graph algorithms) any storage I/O at all.
 fn make_iter(
     algo: Algo,
-    query: &ResolvedQuery,
-    source: &SharedSource,
+    plan: &Arc<QueryPlan>,
     parallel: &ParallelPolicy,
     shard_pool: &Arc<WorkerPool>,
 ) -> SessionIter {
     match algo {
-        Algo::Topk => {
-            let rg = Arc::new(RuntimeGraph::load(query, source.as_ref()));
-            SessionIter::Full(Box::new(canonical(TopkEnumerator::new_shared(rg))))
-        }
-        Algo::TopkEn => SessionIter::En(Box::new(canonical(TopkEnEnumerator::new_shared(
-            query,
-            Arc::clone(source),
-        )))),
-        Algo::Par => SessionIter::Par(Box::new(ParTopk::new(
-            query,
-            Arc::clone(source),
+        Algo::Topk => SessionIter::Full(Box::new(canonical(TopkEnumerator::from_plan(plan)))),
+        Algo::TopkEn => SessionIter::En(Box::new(canonical(TopkEnEnumerator::from_plan(plan)))),
+        Algo::Par => SessionIter::Par(Box::new(ParTopk::from_plan(
+            plan,
             parallel,
             Arc::clone(shard_pool),
         ))),
         Algo::Brute => {
-            let rg = RuntimeGraph::load(query, source.as_ref());
             // `all_matches` already sorts by `(score, assignment)` —
             // the canonical order.
-            SessionIter::Brute(brute::all_matches(&rg).into_iter())
+            SessionIter::Brute(brute::all_matches(plan.runtime_graph()).into_iter())
         }
     }
 }
@@ -370,12 +366,15 @@ mod tests {
         ktpm_exec::default_pool()
     }
 
-    fn setup() -> (ResolvedQuery, SharedSource) {
+    fn plan() -> Arc<QueryPlan> {
         let g = citation_graph();
         let q = TreeQuery::parse("C -> E\nC -> S")
             .unwrap()
             .resolve(g.interner());
-        (q, MemStore::new(ClosureTables::compute(&g)).into_shared())
+        Arc::new(QueryPlan::new(
+            q,
+            MemStore::new(ClosureTables::compute(&g)).into_shared(),
+        ))
     }
 
     #[test]
@@ -387,12 +386,11 @@ mod tests {
 
     #[test]
     fn batched_advance_equals_one_shot() {
-        let (q, src) = setup();
+        let p = plan();
         let mut a = Session::new(
             Algo::TopkEn,
             "C -> E\nC -> S".into(),
-            q.clone(),
-            Arc::clone(&src),
+            Arc::clone(&p),
             None,
             pol(),
             pool(),
@@ -400,8 +398,7 @@ mod tests {
         let mut b = Session::new(
             Algo::TopkEn,
             "C -> E\nC -> S".into(),
-            q,
-            src,
+            p,
             None,
             pol(),
             pool(),
@@ -422,13 +419,12 @@ mod tests {
 
     #[test]
     fn cached_prefix_serves_then_falls_back_to_live() {
-        let (q, src) = setup();
+        let p = plan();
         // Produce the full stream once.
         let mut warm = Session::new(
             Algo::TopkEn,
             "C -> E\nC -> S".into(),
-            q.clone(),
-            Arc::clone(&src),
+            Arc::clone(&p),
             None,
             pol(),
             pool(),
@@ -442,8 +438,7 @@ mod tests {
         let mut s = Session::new(
             Algo::TopkEn,
             "C -> E\nC -> S".into(),
-            q,
-            src,
+            p,
             Some(&cached),
             pol(),
             pool(),
@@ -458,12 +453,10 @@ mod tests {
 
     #[test]
     fn advance_publishes_growing_prefixes() {
-        let (q, src) = setup();
         let mut s = Session::new(
             Algo::TopkEn,
             "C -> E\nC -> S".into(),
-            q,
-            src,
+            plan(),
             None,
             pol(),
             pool(),
@@ -480,7 +473,7 @@ mod tests {
 
     #[test]
     fn table_sweep_evicts_only_idle_sessions() {
-        let (q, src) = setup();
+        let p = plan();
         let table = SessionTable::new();
         table
             .insert_capped(
@@ -488,8 +481,7 @@ mod tests {
                 Session::new(
                     Algo::TopkEn,
                     "C -> E\nC -> S".into(),
-                    q.clone(),
-                    Arc::clone(&src),
+                    Arc::clone(&p),
                     None,
                     pol(),
                     pool(),
@@ -503,8 +495,7 @@ mod tests {
                 Session::new(
                     Algo::TopkEn,
                     "C -> E\nC -> S".into(),
-                    q,
-                    src,
+                    p,
                     None,
                     pol(),
                     pool(),

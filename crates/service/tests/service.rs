@@ -323,6 +323,133 @@ fn outrunning_the_cached_prefix_falls_back_to_live_enumeration() {
 }
 
 #[test]
+fn warm_opens_share_the_plan_across_algorithms_with_zero_discovery() {
+    // The plan cache is keyed by query text alone: after one cold open
+    // (any algorithm), every later open of the same query — same or
+    // different algorithm — reuses the cached setup. For the
+    // full-graph algorithms a warm open does zero storage I/O of any
+    // kind; candidate-discovery sweeps (D/E entries) must be zero for
+    // every warm open.
+    let g = citation_graph();
+    let store = MemStore::new(ClosureTables::compute(&g)).into_shared();
+    let handle = QueryEngine::new(
+        g.interner().clone(),
+        Arc::clone(&store),
+        ServiceConfig::default(),
+    );
+    let query = "C -> E\nC -> S";
+    let want = oracle(&g, query, 100);
+
+    // Cold open (Topk): builds the plan's full half.
+    let id = handle.open(query, Algo::Topk).unwrap();
+    let cold = handle.next(id, 100).unwrap();
+    handle.close(id).unwrap();
+    assert_eq!(cold.matches, want);
+    let after_cold = store.io();
+    assert!(
+        after_cold.edges_read > 0,
+        "cold open must have loaded the graph"
+    );
+
+    // Warm opens: different algorithms, different result-cache keys —
+    // all plan hits, zero discovery sweeps, zero reads entirely for
+    // the full-graph algorithms.
+    for (i, algo) in [Algo::Par, Algo::Brute, Algo::Topk].into_iter().enumerate() {
+        let id = handle.open(query, algo).unwrap();
+        let warm = handle.next(id, 100).unwrap();
+        handle.close(id).unwrap();
+        assert_eq!(warm.matches, want, "warm {} stream", algo.name());
+        let now = store.io();
+        assert_eq!(
+            now.since(&after_cold),
+            ktpm_storage::IoSnapshot::default(),
+            "warm {} open performed storage I/O",
+            algo.name()
+        );
+        let m = handle.stats().metrics;
+        assert_eq!(m.plan_hits, i as u64 + 1);
+        assert_eq!(m.plan_misses, 1);
+    }
+
+    // Topk-EN reuses the plan's (derived) discovery: its cursors do
+    // read edge blocks lazily, but candidate-discovery sweep counters
+    // stay exactly where the cold open left them.
+    let id = handle.open(query, Algo::TopkEn).unwrap();
+    let warm = handle.next(id, 100).unwrap();
+    handle.close(id).unwrap();
+    assert_eq!(scores(&warm.matches), scores(&want));
+    let now = store.io();
+    assert_eq!(
+        now.d_entries, after_cold.d_entries,
+        "warm topk-en swept D tables"
+    );
+    assert_eq!(
+        now.e_entries, after_cold.e_entries,
+        "warm topk-en swept E tables"
+    );
+    assert_eq!(handle.stats().plan_entries, 1);
+}
+
+#[test]
+fn concurrent_opens_of_one_query_share_one_plan() {
+    // Eight clients race to open the same query on a cold engine: the
+    // plan cache must register exactly one plan (1 miss, 7 hits) and
+    // the plan's OnceLock must run exactly one build — verified by
+    // comparing total storage I/O against a single cold run.
+    let g = citation_graph();
+    let query = "C -> E\nC -> S";
+    let single_io = {
+        let store = MemStore::new(ClosureTables::compute(&g)).into_shared();
+        let handle = QueryEngine::new(
+            g.interner().clone(),
+            Arc::clone(&store),
+            ServiceConfig::default(),
+        );
+        let id = handle.open(query, Algo::Topk).unwrap();
+        handle.next(id, 100).unwrap();
+        handle.close(id).unwrap();
+        store.io()
+    };
+    let store = MemStore::new(ClosureTables::compute(&g)).into_shared();
+    let handle = QueryEngine::new(
+        g.interner().clone(),
+        Arc::clone(&store),
+        ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        },
+    );
+    let want = oracle(&g, query, 100);
+    let barrier = Arc::new(std::sync::Barrier::new(8));
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let handle = handle.clone();
+            let barrier = Arc::clone(&barrier);
+            let want = want.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                let id = handle.open(query, Algo::Topk).unwrap();
+                let got = handle.next(id, 100).unwrap();
+                assert_eq!(got.matches, want);
+                handle.close(id).unwrap();
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let m = handle.stats().metrics;
+    assert_eq!(m.plan_misses, 1, "exactly one open may register the plan");
+    assert_eq!(m.plan_hits, 7, "every other open must hit it");
+    assert_eq!(
+        store.io(),
+        single_io,
+        "8 racing sessions must pay exactly one plan build's worth of I/O"
+    );
+    assert_eq!(handle.stats().plan_entries, 1);
+}
+
+#[test]
 fn session_cap_holds_under_concurrent_opens() {
     let g = citation_graph();
     let handle = handle_for(

@@ -16,6 +16,13 @@
 //! All integers little-endian. The `L` layout mirrors §4.1: incoming
 //! edges of each node, grouped exclusively per (source label, node),
 //! sorted by distance, addressable without scanning the table.
+//!
+//! The `get_*` readers are **fallible**: a buffer too short for the
+//! requested integer yields [`StorageError::Corrupt`] instead of a
+//! panic, so a truncated or bit-rotted snapshot surfaces as an `Err`
+//! from [`crate::FileStore::open`] rather than aborting the process.
+
+use crate::source::StorageError;
 
 pub const MAGIC: &[u8; 8] = b"KTPMCLO1";
 pub const FOOTER_LEN: u64 = 8 + 8;
@@ -34,16 +41,37 @@ pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-pub fn get_u32(buf: &[u8], pos: &mut usize) -> u32 {
-    let v = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().expect("u32"));
-    *pos += 4;
-    v
+/// Reads a little-endian `u32` at `*pos`, advancing the position.
+/// Errors with [`StorageError::Corrupt`] when fewer than 4 bytes
+/// remain — the offset reported is the read position within `buf`.
+pub fn get_u32(buf: &[u8], pos: &mut usize) -> Result<u32, StorageError> {
+    match buf.get(*pos..).and_then(|b| b.get(..4)) {
+        Some(bytes) => {
+            let v = u32::from_le_bytes(bytes.try_into().expect("sliced to 4 bytes"));
+            *pos += 4;
+            Ok(v)
+        }
+        None => Err(StorageError::Corrupt {
+            offset: *pos as u64,
+            needed: 4,
+        }),
+    }
 }
 
-pub fn get_u64(buf: &[u8], pos: &mut usize) -> u64 {
-    let v = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().expect("u64"));
-    *pos += 8;
-    v
+/// Reads a little-endian `u64` at `*pos`, advancing the position;
+/// fallible exactly like [`get_u32`].
+pub fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64, StorageError> {
+    match buf.get(*pos..).and_then(|b| b.get(..8)) {
+        Some(bytes) => {
+            let v = u64::from_le_bytes(bytes.try_into().expect("sliced to 8 bytes"));
+            *pos += 8;
+            Ok(v)
+        }
+        None => Err(StorageError::Corrupt {
+            offset: *pos as u64,
+            needed: 8,
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -56,8 +84,8 @@ mod tests {
         put_u32(&mut buf, 0xDEAD_BEEF);
         put_u32(&mut buf, 7);
         let mut pos = 0;
-        assert_eq!(get_u32(&buf, &mut pos), 0xDEAD_BEEF);
-        assert_eq!(get_u32(&buf, &mut pos), 7);
+        assert_eq!(get_u32(&buf, &mut pos).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(get_u32(&buf, &mut pos).unwrap(), 7);
         assert_eq!(pos, 8);
     }
 
@@ -66,6 +94,37 @@ mod tests {
         let mut buf = Vec::new();
         put_u64(&mut buf, u64::MAX - 3);
         let mut pos = 0;
-        assert_eq!(get_u64(&buf, &mut pos), u64::MAX - 3);
+        assert_eq!(get_u64(&buf, &mut pos).unwrap(), u64::MAX - 3);
+    }
+
+    #[test]
+    fn short_buffers_error_instead_of_panicking() {
+        // Every truncation point of a u32/u64 read must yield Corrupt
+        // with the exact position and need — and leave `pos` untouched.
+        let buf = [1u8, 2, 3];
+        for start in 0..=buf.len() {
+            let mut pos = start;
+            match get_u32(&buf, &mut pos) {
+                Err(StorageError::Corrupt { offset, needed }) => {
+                    assert_eq!(offset, start as u64);
+                    assert_eq!(needed, 4);
+                }
+                other => panic!("expected Corrupt, got {other:?}"),
+            }
+            assert_eq!(pos, start, "failed reads must not advance");
+            let mut pos = start;
+            assert!(matches!(
+                get_u64(&buf, &mut pos),
+                Err(StorageError::Corrupt { needed: 8, .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn reads_past_usize_boundary_do_not_overflow() {
+        let buf = [0u8; 4];
+        let mut pos = usize::MAX - 1;
+        assert!(get_u32(&buf, &mut pos).is_err());
+        assert!(get_u64(&buf, &mut pos).is_err());
     }
 }

@@ -1,4 +1,11 @@
 //! The file-backed [`ClosureSource`] with positioned block reads.
+//!
+//! Every byte read off disk is bounds-checked against the file length
+//! *before* buffers are allocated, and parsed with the fallible
+//! [`crate::format`] readers — so a truncated or corrupted snapshot
+//! surfaces as [`StorageError::Corrupt`] from [`FileStore::open`] (or
+//! degrades to empty tables on the infallible trait methods), never as
+//! a panic or an absurd allocation.
 
 use crate::format::*;
 use crate::iostats::{IoSnapshot, IoStats};
@@ -17,17 +24,45 @@ type DirCache = HashMap<(LabelId, LabelId), Arc<Vec<DirEntry>>>;
 
 struct Shared {
     file: Mutex<std::fs::File>,
+    /// Snapshot length at open time; every read is validated against it
+    /// so corrupt counts/offsets cannot trigger huge allocations or
+    /// reads past EOF.
+    len: u64,
     io: IoStats,
 }
 
 impl Shared {
-    /// One positioned read = one counted block fetch.
-    fn read_at(&self, off: u64, buf: &mut [u8]) -> Result<(), StorageError> {
+    /// One positioned read = one counted block fetch. Validates the
+    /// range against the snapshot length *before* allocating — a
+    /// corrupt on-disk count must neither size an allocation nor read
+    /// past EOF; both cases are [`StorageError::Corrupt`].
+    fn read_vec(&self, off: u64, bytes: usize) -> Result<Vec<u8>, StorageError> {
+        if off
+            .checked_add(bytes as u64)
+            .is_none_or(|end| end > self.len)
+        {
+            return Err(StorageError::Corrupt {
+                offset: off,
+                needed: bytes,
+            });
+        }
+        let mut buf = vec![0u8; bytes];
         let mut f = self.file.lock().expect("store file lock");
         f.seek(SeekFrom::Start(off))?;
-        f.read_exact(buf)?;
-        self.io.add_block(buf.len() as u64);
-        Ok(())
+        f.read_exact(&mut buf).map_err(|e| map_eof(e, off, bytes))?;
+        self.io.add_block(bytes as u64);
+        Ok(buf)
+    }
+}
+
+/// Maps a short read onto [`StorageError::Corrupt`] (the snapshot ends
+/// where the format says data should be); other I/O errors pass
+/// through.
+fn map_eof(e: std::io::Error, offset: u64, needed: usize) -> StorageError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        StorageError::Corrupt { offset, needed }
+    } else {
+        StorageError::Io(e)
     }
 }
 
@@ -43,6 +78,10 @@ pub struct FileStore {
 
 impl FileStore {
     /// Opens a store written by [`crate::write_store`].
+    ///
+    /// Errors: [`StorageError::BadFormat`] when the file is not a
+    /// closure store at all (wrong magic), [`StorageError::Corrupt`]
+    /// when it is one but truncated or damaged.
     pub fn open(path: &Path) -> Result<Self, StorageError> {
         Self::open_with_block_edges(path, DEFAULT_BLOCK_EDGES)
     }
@@ -52,53 +91,99 @@ impl FileStore {
         let mut file = std::fs::File::open(path)?;
         let len = file.metadata()?.len();
         if len < FOOTER_LEN + 16 {
-            return Err(StorageError::BadFormat("file too short".into()));
+            // Too short to even hold header + footer. Still check what
+            // magic there is, so "not our file at all" keeps reporting
+            // BadFormat and only truncated *stores* report Corrupt. A
+            // vacuous prefix match proves nothing — require at least
+            // half the magic before diagnosing a damaged store.
+            let mut head = vec![0u8; len.min(8) as usize];
+            file.read_exact(&mut head)?;
+            if head.len() < 4 || head != MAGIC[..head.len()] {
+                return Err(StorageError::BadFormat("bad magic".into()));
+            }
+            return Err(StorageError::Corrupt {
+                offset: len,
+                needed: (FOOTER_LEN + 16 - len) as usize,
+            });
         }
         // Header.
         let mut head = [0u8; 16];
         file.seek(SeekFrom::Start(0))?;
-        file.read_exact(&mut head)?;
+        file.read_exact(&mut head).map_err(|e| map_eof(e, 0, 16))?;
         if &head[..8] != MAGIC {
             return Err(StorageError::BadFormat("bad magic".into()));
         }
         let mut pos = 8;
-        let num_nodes = get_u32(&head, &mut pos) as usize;
-        let _num_labels = get_u32(&head, &mut pos);
-        let mut label_buf = vec![0u8; num_nodes * 4];
-        file.read_exact(&mut label_buf)?;
+        let num_nodes = get_u32(&head, &mut pos)? as usize;
+        let _num_labels = get_u32(&head, &mut pos)?;
+        let label_bytes = num_nodes
+            .checked_mul(4)
+            .filter(|&b| 16 + b as u64 + FOOTER_LEN <= len)
+            .ok_or(StorageError::Corrupt {
+                offset: 16,
+                needed: num_nodes.saturating_mul(4),
+            })?;
+        let mut label_buf = vec![0u8; label_bytes];
+        file.read_exact(&mut label_buf)
+            .map_err(|e| map_eof(e, 16, label_bytes))?;
         let labels: Vec<LabelId> = label_buf
             .chunks_exact(4)
-            .map(|c| LabelId(u32::from_le_bytes(c.try_into().unwrap())))
+            .map(|c| LabelId(u32::from_le_bytes(c.try_into().expect("chunked to 4"))))
             .collect();
         // Footer.
         let mut foot = [0u8; FOOTER_LEN as usize];
         file.seek(SeekFrom::Start(len - FOOTER_LEN))?;
-        file.read_exact(&mut foot)?;
+        file.read_exact(&mut foot)
+            .map_err(|e| map_eof(e, len - FOOTER_LEN, foot.len()))?;
         if &foot[8..] != MAGIC {
-            return Err(StorageError::BadFormat("bad footer magic".into()));
+            // The header proved this is one of our stores; a wrong
+            // footer means the tail (where the index lives) is gone.
+            return Err(StorageError::Corrupt {
+                offset: len - 8,
+                needed: 8,
+            });
         }
         let mut pos = 0;
-        let index_off = get_u64(&foot, &mut pos);
-        // Index.
+        let index_off = get_u64(&foot, &mut pos)?;
+        // Index (bounds-check the count before trusting it).
+        if index_off
+            .checked_add(4)
+            .is_none_or(|end| end > len - FOOTER_LEN)
+        {
+            return Err(StorageError::Corrupt {
+                offset: index_off,
+                needed: 4,
+            });
+        }
         file.seek(SeekFrom::Start(index_off))?;
         let mut count_buf = [0u8; 4];
-        file.read_exact(&mut count_buf)?;
+        file.read_exact(&mut count_buf)
+            .map_err(|e| map_eof(e, index_off, 4))?;
         let num_pairs = u32::from_le_bytes(count_buf) as usize;
-        let mut idx_buf = vec![0u8; num_pairs * (4 + 4 + 8 + 8 + 8)];
-        file.read_exact(&mut idx_buf)?;
+        let idx_bytes = num_pairs
+            .checked_mul(4 + 4 + 8 + 8 + 8)
+            .filter(|&b| index_off + 4 + b as u64 <= len - FOOTER_LEN)
+            .ok_or(StorageError::Corrupt {
+                offset: index_off + 4,
+                needed: num_pairs.saturating_mul(32),
+            })?;
+        let mut idx_buf = vec![0u8; idx_bytes];
+        file.read_exact(&mut idx_buf)
+            .map_err(|e| map_eof(e, index_off + 4, idx_bytes))?;
         let mut index = HashMap::with_capacity(num_pairs);
         let mut pos = 0;
         for _ in 0..num_pairs {
-            let a = LabelId(get_u32(&idx_buf, &mut pos));
-            let b = LabelId(get_u32(&idx_buf, &mut pos));
-            let d = get_u64(&idx_buf, &mut pos);
-            let e = get_u64(&idx_buf, &mut pos);
-            let dir = get_u64(&idx_buf, &mut pos);
+            let a = LabelId(get_u32(&idx_buf, &mut pos)?);
+            let b = LabelId(get_u32(&idx_buf, &mut pos)?);
+            let d = get_u64(&idx_buf, &mut pos)?;
+            let e = get_u64(&idx_buf, &mut pos)?;
+            let dir = get_u64(&idx_buf, &mut pos)?;
             index.insert((a, b), (d, e, dir));
         }
         Ok(FileStore {
             shared: Arc::new(Shared {
                 file: Mutex::new(file),
+                len,
                 io: IoStats::new(),
             }),
             labels,
@@ -113,6 +198,12 @@ impl FileStore {
         Arc::new(self)
     }
 
+    /// Reads the 4-byte count at `off`, bounds-validated.
+    fn read_count(&self, off: u64) -> Result<usize, StorageError> {
+        let buf = self.shared.read_vec(off, 4)?;
+        Ok(u32::from_le_bytes(buf.try_into().expect("read 4 bytes")) as usize)
+    }
+
     fn directory(
         &self,
         a: LabelId,
@@ -124,17 +215,18 @@ impl FileStore {
         let Some(&(_, _, dir_off)) = self.index.get(&(a, b)) else {
             return Ok(None);
         };
-        let mut count_buf = [0u8; 4];
-        self.shared.read_at(dir_off, &mut count_buf)?;
-        let count = u32::from_le_bytes(count_buf) as usize;
-        let mut buf = vec![0u8; count * (4 + 8 + 4)];
-        self.shared.read_at(dir_off + 4, &mut buf)?;
+        let count = self.read_count(dir_off)?;
+        let bytes = count.checked_mul(4 + 8 + 4).ok_or(StorageError::Corrupt {
+            offset: dir_off,
+            needed: count.saturating_mul(4 + 8 + 4),
+        })?;
+        let buf = self.shared.read_vec(dir_off + 4, bytes)?;
         let mut pos = 0;
         let mut dir = Vec::with_capacity(count);
         for _ in 0..count {
-            let v = NodeId(get_u32(&buf, &mut pos));
-            let off = get_u64(&buf, &mut pos);
-            let len = get_u32(&buf, &mut pos);
+            let v = NodeId(get_u32(&buf, &mut pos)?);
+            let off = get_u64(&buf, &mut pos)?;
+            let len = get_u32(&buf, &mut pos)?;
             dir.push((v, off, len));
         }
         let dir = Arc::new(dir);
@@ -146,16 +238,58 @@ impl FileStore {
     }
 
     fn read_group(&self, off: u64, len: usize) -> Result<Vec<(NodeId, Dist)>, StorageError> {
-        let mut buf = vec![0u8; len * L_ENTRY_BYTES];
-        self.shared.read_at(off, &mut buf)?;
+        let bytes = len
+            .checked_mul(L_ENTRY_BYTES)
+            .ok_or(StorageError::Corrupt {
+                offset: off,
+                needed: len.saturating_mul(L_ENTRY_BYTES),
+            })?;
+        let buf = self.shared.read_vec(off, bytes)?;
         let mut pos = 0;
         let mut out = Vec::with_capacity(len);
         for _ in 0..len {
-            let s = NodeId(get_u32(&buf, &mut pos));
-            let d = get_u32(&buf, &mut pos);
+            let s = NodeId(get_u32(&buf, &mut pos)?);
+            let d = get_u32(&buf, &mut pos)?;
             out.push((s, d));
         }
         self.shared.io.add_edges(len as u64);
+        Ok(out)
+    }
+
+    fn load_d_inner(&self, d_off: u64) -> Result<Vec<(NodeId, Dist)>, StorageError> {
+        let count = self.read_count(d_off)?;
+        let bytes = count.checked_mul(8).ok_or(StorageError::Corrupt {
+            offset: d_off,
+            needed: count.saturating_mul(8),
+        })?;
+        let buf = self.shared.read_vec(d_off + 4, bytes)?;
+        let mut pos = 0;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let v = NodeId(get_u32(&buf, &mut pos)?);
+            let dist = get_u32(&buf, &mut pos)?;
+            out.push((v, dist));
+        }
+        self.shared.io.add_d_entries(count as u64);
+        Ok(out)
+    }
+
+    fn load_e_inner(&self, e_off: u64) -> Result<Vec<(NodeId, NodeId, Dist)>, StorageError> {
+        let count = self.read_count(e_off)?;
+        let bytes = count.checked_mul(12).ok_or(StorageError::Corrupt {
+            offset: e_off,
+            needed: count.saturating_mul(12),
+        })?;
+        let buf = self.shared.read_vec(e_off + 4, bytes)?;
+        let mut pos = 0;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let s = NodeId(get_u32(&buf, &mut pos)?);
+            let d = NodeId(get_u32(&buf, &mut pos)?);
+            let dist = get_u32(&buf, &mut pos)?;
+            out.push((s, d, dist));
+        }
+        self.shared.io.add_e_entries(count as u64);
         Ok(out)
     }
 }
@@ -179,49 +313,14 @@ impl ClosureSource for FileStore {
         let Some(&(d_off, _, _)) = self.index.get(&(a, b)) else {
             return Vec::new();
         };
-        let mut count_buf = [0u8; 4];
-        if self.shared.read_at(d_off, &mut count_buf).is_err() {
-            return Vec::new();
-        }
-        let count = u32::from_le_bytes(count_buf) as usize;
-        let mut buf = vec![0u8; count * 8];
-        if self.shared.read_at(d_off + 4, &mut buf).is_err() {
-            return Vec::new();
-        }
-        let mut pos = 0;
-        let mut out = Vec::with_capacity(count);
-        for _ in 0..count {
-            let v = NodeId(get_u32(&buf, &mut pos));
-            let dist = get_u32(&buf, &mut pos);
-            out.push((v, dist));
-        }
-        self.shared.io.add_d_entries(count as u64);
-        out
+        self.load_d_inner(d_off).unwrap_or_default()
     }
 
     fn load_e(&self, a: LabelId, b: LabelId) -> Vec<(NodeId, NodeId, Dist)> {
         let Some(&(_, e_off, _)) = self.index.get(&(a, b)) else {
             return Vec::new();
         };
-        let mut count_buf = [0u8; 4];
-        if self.shared.read_at(e_off, &mut count_buf).is_err() {
-            return Vec::new();
-        }
-        let count = u32::from_le_bytes(count_buf) as usize;
-        let mut buf = vec![0u8; count * 12];
-        if self.shared.read_at(e_off + 4, &mut buf).is_err() {
-            return Vec::new();
-        }
-        let mut pos = 0;
-        let mut out = Vec::with_capacity(count);
-        for _ in 0..count {
-            let s = NodeId(get_u32(&buf, &mut pos));
-            let d = NodeId(get_u32(&buf, &mut pos));
-            let dist = get_u32(&buf, &mut pos);
-            out.push((s, d, dist));
-        }
-        self.shared.io.add_e_entries(count as u64);
-        out
+        self.load_e_inner(e_off).unwrap_or_default()
     }
 
     fn load_pair(&self, a: LabelId, b: LabelId) -> Vec<(NodeId, NodeId, Dist)> {
@@ -295,17 +394,20 @@ impl EdgeCursor for FileCursor {
             return Vec::new();
         }
         let take = self.remaining.min(self.block_edges);
-        let mut buf = vec![0u8; take * L_ENTRY_BYTES];
-        if self.shared.read_at(self.off, &mut buf).is_err() {
+        let Ok(buf) = self.shared.read_vec(self.off, take * L_ENTRY_BYTES) else {
             self.remaining = 0;
             return Vec::new();
-        }
+        };
         let mut pos = 0;
         let mut out = Vec::with_capacity(take);
         for _ in 0..take {
-            let s = NodeId(get_u32(&buf, &mut pos));
-            let d = get_u32(&buf, &mut pos);
-            out.push((s, d));
+            let Ok(s) = get_u32(&buf, &mut pos) else {
+                break;
+            };
+            let Ok(d) = get_u32(&buf, &mut pos) else {
+                break;
+            };
+            out.push((NodeId(s), d));
         }
         self.off += (take * L_ENTRY_BYTES) as u64;
         self.remaining -= take;

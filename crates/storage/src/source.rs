@@ -13,6 +13,18 @@ pub enum StorageError {
     Io(std::io::Error),
     /// The file is not a closure store or has an unsupported version.
     BadFormat(String),
+    /// The file *is* a closure store but its bytes are inconsistent —
+    /// truncated, bit-rotted, or carrying out-of-bounds offsets or
+    /// counts. `offset` is where the reader needed `needed` more valid
+    /// bytes than the snapshot provides. Every read path returns this
+    /// instead of panicking, so a corrupt snapshot can never abort the
+    /// process that opens it.
+    Corrupt {
+        /// File (or section-relative) offset of the failed read.
+        offset: u64,
+        /// Bytes the reader needed at `offset`.
+        needed: usize,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -20,6 +32,11 @@ impl fmt::Display for StorageError {
         match self {
             StorageError::Io(e) => write!(f, "i/o error: {e}"),
             StorageError::BadFormat(m) => write!(f, "bad store format: {m}"),
+            StorageError::Corrupt { offset, needed } => write!(
+                f,
+                "corrupt store: needed {needed} byte(s) at offset {offset} \
+                 (truncated or damaged snapshot)"
+            ),
         }
     }
 }

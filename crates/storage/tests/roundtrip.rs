@@ -133,3 +133,87 @@ fn open_rejects_garbage() {
     assert!(FileStore::open(&path).is_err());
     std::fs::remove_file(&path).ok();
 }
+
+/// A valid store's bytes, for the corruption tests below. `name` must
+/// be unique per test: tests run concurrently in one process, so a
+/// shared scratch path would race write/read/delete.
+fn store_bytes(name: &str) -> Vec<u8> {
+    let g = paper_graph();
+    let tables = ClosureTables::compute(&g);
+    let path = tempfile(name);
+    write_store(&tables, &path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+#[test]
+fn open_truncated_at_every_byte_returns_err_never_panics() {
+    // Truncate the snapshot at EVERY byte boundary — through the magic,
+    // the header counts, the label table, every section and the footer.
+    // Open must return Err (Corrupt once the header magic survives,
+    // i.e. cut >= 8 and len >= the minimum) and never panic or abort.
+    let bytes = store_bytes("bytes-truncated-src");
+    let path = tempfile("truncated");
+    for cut in 0..bytes.len() {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let res = FileStore::open(&path);
+        assert!(
+            res.is_err(),
+            "truncation at {cut}/{} must fail",
+            bytes.len()
+        );
+        if cut >= 32 {
+            // Header magic intact and past the minimum length: the
+            // failure must be diagnosed as corruption, not format.
+            assert!(
+                matches!(res, Err(ktpm_storage::StorageError::Corrupt { .. })),
+                "truncation at {cut} should be Corrupt, got {res:?}",
+                res = res.err()
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupt_index_offset_is_rejected_not_followed() {
+    // Point the footer's index offset past EOF: open must fail with
+    // Corrupt instead of seeking into the void or allocating by a
+    // garbage count.
+    let mut bytes = store_bytes("bytes-badindex-src");
+    let n = bytes.len();
+    bytes[n - 16..n - 8].copy_from_slice(&(u64::MAX - 7).to_le_bytes());
+    let path = tempfile("badindex");
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        FileStore::open(&path),
+        Err(ktpm_storage::StorageError::Corrupt { .. })
+    ));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupt_section_counts_degrade_to_empty_tables_without_panic() {
+    // Blow up the first pair's D-section count (the first 4 bytes after
+    // the label table). Open succeeds — the header/index are intact —
+    // and the poisoned reads return empty instead of allocating
+    // count * 8 bytes or panicking.
+    let g = paper_graph();
+    let tables = ClosureTables::compute(&g);
+    let path = tempfile("badcount");
+    write_store(&tables, &path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let d_off = 16 + g.num_nodes() * 4; // header + labels
+    bytes[d_off..d_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    let store = FileStore::open(&path).unwrap();
+    for (a, b) in store.pair_keys() {
+        // The first pair's D read hits the corrupt count; all reads
+        // must complete without panicking.
+        let _ = store.load_d(a, b);
+        let _ = store.load_e(a, b);
+        let _ = store.load_pair(a, b);
+    }
+    std::fs::remove_file(&path).ok();
+}

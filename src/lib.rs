@@ -56,8 +56,12 @@
 //! Beyond one-shot queries, [`service`] keeps enumeration state alive
 //! across requests: open a session, pull "next k" matches repeatedly
 //! (resuming is free — the `Topk`/`Topk-EN` iterators are parked
-//! between calls), and let hot queries hit the LRU result cache. See
-//! `ktpm serve` (the TCP front end) and `examples/service_embed.rs`
+//! between calls), and let hot queries hit the LRU result cache. Query
+//! *setup* is amortized too: a cross-session plan cache of
+//! [`core::QueryPlan`]s (candidate discovery + run-time graph + `bs` +
+//! slot templates, keyed by canonical query text, shared by every
+//! algorithm) makes a warm `OPEN` pay zero candidate-discovery work.
+//! See `ktpm serve` (the TCP front end) and `examples/service_embed.rs`
 //! (the in-process API).
 //!
 //! ## Parallel execution
@@ -94,8 +98,8 @@ pub mod prelude {
     pub use ktpm_baseline::{DpBEnumerator, DpPEnumerator};
     pub use ktpm_closure::{sssp, ClosureTables};
     pub use ktpm_core::{
-        canonical, par_topk, topk_en, topk_full, BoundMode, ParTopk, ParallelPolicy, ScoredMatch,
-        ShardEngine, ShardSpec, TopkEnEnumerator, TopkEnumerator,
+        canonical, par_topk, topk_en, topk_full, BoundMode, ParTopk, ParallelPolicy, QueryPlan,
+        ScoredMatch, ShardEngine, ShardSpec, TopkEnEnumerator, TopkEnumerator,
     };
     pub use ktpm_exec::WorkerPool;
     pub use ktpm_graph::{

@@ -7,7 +7,9 @@
 //! * `Topk` and `Topk-EN` agree on arbitrary graph/query combinations;
 //! * `ParTopk` with arbitrary shard counts is byte-identical to
 //!   `topk_full` on random `workload::graphs` instances;
-//! * the closure store round-trips through the on-disk format.
+//! * the closure store round-trips through the on-disk format;
+//! * truncated / bit-flipped snapshots of random workload graphs open
+//!   as `Err`, never a panic, and corrupted reads degrade gracefully.
 
 use ktpm::prelude::*;
 use proptest::prelude::*;
@@ -196,6 +198,69 @@ proptest! {
                 prop_assert_eq!(&got, &want, "{:?} x{} batch {}", engine, shards, batch);
             }
         }
+    }
+
+    #[test]
+    fn corrupt_or_truncated_stores_error_never_panic(
+        nodes in 20..100usize,
+        seed in 0..10_000u64,
+        cut_permille in 0..1000usize,
+        flip_seed in 0..u64::MAX,
+        flip_bit in 0..8u32,
+    ) {
+        // A random *workload* graph (the data the storage layer really
+        // persists), written through the real writer.
+        let g = generate(&GraphSpec {
+            nodes,
+            labels: 5,
+            label_skew: 0.5,
+            avg_out_degree: 2.0,
+            community: 25,
+            cross_fraction: 0.1,
+            weight_range: (1, 3),
+            seed,
+        });
+        let tables = ClosureTables::compute(&g);
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "ktpm-corrupt-{}-{nodes}-{seed}-{cut_permille}.bin",
+            std::process::id()
+        ));
+        write_store(&tables, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        prop_assert!(!bytes.is_empty());
+
+        // Truncation (strictly shorter) must surface as Err from open —
+        // never a panic, never a bogus allocation, never an abort.
+        let cut = bytes.len() * cut_permille / 1000;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        prop_assert!(
+            FileStore::open(&path).is_err(),
+            "truncation at {cut}/{} must fail to open",
+            bytes.len()
+        );
+
+        // A single flipped bit anywhere: open may legitimately succeed
+        // (flips in data regions don't touch the header/index), but
+        // neither open nor any subsequent read may panic.
+        let pos = (flip_seed % bytes.len() as u64) as usize;
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 1 << flip_bit;
+        std::fs::write(&path, &corrupt).unwrap();
+        if let Ok(store) = FileStore::open(&path) {
+            for (a, b) in store.pair_keys() {
+                let _ = store.load_d(a, b);
+                let _ = store.load_e(a, b);
+                let _ = store.load_pair(a, b);
+            }
+            for v in 0..store.num_nodes().min(8) {
+                let v = NodeId(v as u32);
+                let label = store.node_label(v);
+                let mut cur = store.incoming_cursor(label, v);
+                while !cur.next_block().is_empty() {}
+            }
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
