@@ -10,7 +10,7 @@
 
 use crate::dpb::DpEngine;
 use ktpm_core::{BoundMode, PriorityLoader, ScoredMatch, SlotLists};
-use ktpm_graph::NodeId;
+
 use ktpm_query::ResolvedQuery;
 use ktpm_storage::ClosureSource;
 use std::collections::HashSet;
@@ -23,7 +23,7 @@ pub struct DpPEnumerator<'s> {
     engine: Option<DpEngine>,
     /// Next root-stream rank to examine in the current engine build.
     scan: usize,
-    emitted: HashSet<Vec<NodeId>>,
+    emitted: HashSet<ktpm_graph::NodeRow>,
 }
 
 impl<'s> DpPEnumerator<'s> {
@@ -47,7 +47,8 @@ impl<'s> DpPEnumerator<'s> {
     }
 
     fn rebuild_if_dirty(&mut self) {
-        if !self.loader.drain_dirty().is_empty() {
+        if !self.loader.dirty().is_empty() {
+            self.loader.clear_dirty();
             self.engine = None;
             self.scan = 1;
         }

@@ -430,6 +430,31 @@ fn par(cfg: &Config) {
     println!();
 }
 
+/// Drains up to `k` matches off `it`, diffing the bench allocator's
+/// counter around the loop: `(allocations, wall seconds, matches)`.
+/// Enumerator construction happens before the call, so setup cost is
+/// excluded — this isolates the enumeration hot path the deviation
+/// encoding targets.
+fn drain_counting<I: Iterator<Item = ktpm_core::ScoredMatch>>(
+    it: I,
+    k: usize,
+) -> (u64, f64, usize) {
+    let a0 = ktpm_bench::alloc_count();
+    let t = Instant::now();
+    let n = it.take(k).count();
+    (ktpm_bench::alloc_count() - a0, t.elapsed().as_secs_f64(), n)
+}
+
+/// Clone-baseline allocations/op for the `deviation_encoding` gate,
+/// measured on this workload (GS3 wildcard stars, k = 50 000) at the
+/// last clone-based tree (PR 3): every popped match stored a full
+/// `Vec<u32>` assignment and `divide`/`materialize`/`reevaluate` cloned
+/// it again per call. Allocation *counts* are deterministic for a
+/// deterministic workload, so these travel across machines (unlike
+/// wall times, which are recorded for context only).
+const CLONE_BASELINE_ALLOCS_PER_OP: [(&str, f64); 3] =
+    [("Topk", 4.403), ("Topk-EN", 4.592), ("ParTopk/1", 6.336)];
+
 /// The CI `bench-smoke` harness: short, deterministic workload; JSON out.
 fn smoke() {
     let t0 = Instant::now();
@@ -529,9 +554,78 @@ fn smoke() {
         m.plan_hits, m.plan_misses
     );
 
+    // Allocations/op on the enumeration hot path, per engine, against
+    // the recorded clone baseline (the metric the arena-backed
+    // deviation encoding is gated on in CI).
+    let mut de_rows: Vec<(&str, f64, f64)> = Vec::new();
+    {
+        let (mut allocs, mut wall, mut ops) = (0u64, 0.0f64, 0usize);
+        for q in &queries {
+            let rg = ktpm_runtime::RuntimeGraph::load(q, ds.store.as_ref());
+            let (a, w, n) = drain_counting(ktpm_core::TopkEnumerator::new(&rg), k);
+            allocs += a;
+            wall += w;
+            ops += n;
+        }
+        de_rows.push(("Topk", allocs as f64 / ops.max(1) as f64, wall));
+    }
+    {
+        let (mut allocs, mut wall, mut ops) = (0u64, 0.0f64, 0usize);
+        for q in &queries {
+            let (a, w, n) =
+                drain_counting(ktpm_core::TopkEnEnumerator::new(q, ds.store.as_ref()), k);
+            allocs += a;
+            wall += w;
+            ops += n;
+        }
+        de_rows.push(("Topk-EN", allocs as f64 / ops.max(1) as f64, wall));
+    }
+    {
+        let (mut allocs, mut wall, mut ops) = (0u64, 0.0f64, 0usize);
+        let policy = ktpm_core::ParallelPolicy {
+            shards: 1,
+            batch: 64,
+            engine: ktpm_core::ShardEngine::Full,
+        };
+        for q in &queries {
+            let it = ktpm_core::ParTopk::new(q, Arc::clone(&ds.store), &policy, Arc::clone(&pool));
+            let (a, w, n) = drain_counting(it, k);
+            allocs += a;
+            wall += w;
+            ops += n;
+        }
+        de_rows.push(("ParTopk/1", allocs as f64 / ops.max(1) as f64, wall));
+    }
+    let mut min_reduction = f64::INFINITY;
+    for &(name, apo, wall) in &de_rows {
+        let base = CLONE_BASELINE_ALLOCS_PER_OP
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map_or(0.0, |&(_, b)| b);
+        let red = if apo > 0.0 { base / apo } else { f64::INFINITY };
+        min_reduction = min_reduction.min(red);
+        println!(
+            "deviation encoding {name:<10} {apo:>7.3} allocs/op (clone baseline {base:.3}, \
+             {red:.1}x) in {}",
+            fmt_secs(wall)
+        );
+    }
+
     let algos_json: Vec<String> = entries
         .iter()
         .map(|(n, secs)| format!("    \"{n}\": {secs:.6}"))
+        .collect();
+    let de_allocs_json: Vec<String> = de_rows
+        .iter()
+        .map(|(n, apo, _)| format!("      \"{n}\": {apo:.4}"))
+        .collect();
+    let de_base_json: Vec<String> = CLONE_BASELINE_ALLOCS_PER_OP
+        .iter()
+        .map(|(n, b)| format!("      \"{n}\": {b:.4}"))
+        .collect();
+    let de_wall_json: Vec<String> = de_rows
+        .iter()
+        .map(|(n, _, w)| format!("      \"{n}\": {w:.6}"))
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"parallel\",\n  \"workload\": \"{} wildcard stars\",\n  \
@@ -541,7 +635,12 @@ fn smoke() {
          \"plan_open\": {{\n    \"k\": {open_k},\n    \"cold_secs\": {cold_secs:.6},\n    \
          \"warm_secs\": {warm_secs:.6},\n    \"speedup\": {open_speedup:.4},\n    \
          \"warm_discovery_sweeps\": 0,\n    \"cache_hits\": {},\n    \
-         \"cache_misses\": {},\n    \"cache_hit_rate\": {hit_rate:.4}\n  }}\n}}\n",
+         \"cache_misses\": {},\n    \"cache_hit_rate\": {hit_rate:.4}\n  }},\n  \
+         \"deviation_encoding\": {{\n    \"k\": {k},\n    \
+         \"allocs_per_op\": {{\n{}\n    }},\n    \
+         \"clone_baseline_allocs_per_op\": {{\n{}\n    }},\n    \
+         \"wall_secs\": {{\n{}\n    }},\n    \
+         \"min_alloc_reduction\": {}\n  }}\n}}\n",
         ds.name,
         ds.graph.num_nodes(),
         queries.len(),
@@ -549,6 +648,14 @@ fn smoke() {
         algos_json.join(",\n"),
         m.plan_hits,
         m.plan_misses,
+        de_allocs_json.join(",\n"),
+        de_base_json.join(",\n"),
+        de_wall_json.join(",\n"),
+        if min_reduction.is_finite() {
+            format!("{min_reduction:.2}")
+        } else {
+            "null".to_string()
+        },
     );
     let path = workspace_root().join("BENCH_parallel.json");
     std::fs::write(&path, json).expect("write BENCH_parallel.json");

@@ -7,6 +7,55 @@
 //! and figure of the paper's §6 maps to a function here; the
 //! `experiments` binary prints them in the paper's layout.
 
+#[cfg(feature = "count-allocs")]
+mod counting_alloc {
+    //! A counting wrapper around the system allocator: every `alloc`
+    //! and `realloc` bumps one relaxed atomic. The smoke harness diffs
+    //! the counter around enumeration loops to report allocations/op —
+    //! the metric the arena-backed deviation encoding is gated on.
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub(crate) static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    pub(crate) struct CountingAlloc;
+
+    // SAFETY: delegates verbatim to `System`; the counter has no effect
+    // on allocation behavior.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+}
+
+/// Heap allocation events (alloc + realloc) since process start.
+/// Always 0 when the `count-allocs` feature is off.
+pub fn alloc_count() -> u64 {
+    #[cfg(feature = "count-allocs")]
+    {
+        counting_alloc::ALLOCS.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "count-allocs"))]
+    {
+        0
+    }
+}
+
 use ktpm_baseline::{DpBEnumerator, DpPEnumerator};
 use ktpm_closure::ClosureTables;
 use ktpm_core::{ParTopk, ParallelPolicy, TopkEnEnumerator, TopkEnumerator};

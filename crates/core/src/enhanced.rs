@@ -17,31 +17,41 @@
 
 use crate::lawler::{LawlerCore, SlotLists};
 use crate::loader::{BoundMode, PriorityLoader};
-use crate::matches::{CandidateSpec, ScoredMatch};
+use crate::matches::{CandidateSpec, HeapEntry, ScoredMatch};
 use crate::plan::{LazySetup, QueryPlan};
 use ktpm_graph::Score;
 use ktpm_query::{QNodeId, ResolvedQuery};
 use ktpm_storage::{ClosureSource, SharedSource, SourceRef};
-use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Algorithm 3: the `Topk-EN` enumerator. Yields matches in
 /// non-decreasing score order; `take(k)` gives the top-k.
+///
+/// Specs refer to their generating popped match by **arena id** (the
+/// `parent` of the internal `CandidateSpec`); the parked machinery
+/// resolves the single assignment position it needs per spec through
+/// arena point lookups — no popped match is ever cloned or
+/// materialized off the emission path.
 pub struct TopkEnEnumerator<'s> {
     query: ResolvedQuery,
     core: LawlerCore,
     lists: SlotLists,
     loader: PriorityLoader<'s>,
     specs: Vec<CandidateSpec>,
-    /// Finalized candidates: `(score, seq, spec id)`.
-    q: BinaryHeap<Reverse<(Score, u32, u32)>>,
+    /// Finalized candidates, keyed `(score, seq, spec id)`.
+    q: BinaryHeap<HeapEntry>,
     /// Parked candidate ids per list key (`(0,0)` = root list).
     parked_by_list: HashMap<(u32, u32), Vec<u32>>,
     parked_alive: Vec<bool>,
     parked_version: Vec<u32>,
-    /// Parked candidates by current score, versioned lazy deletion.
-    parked_heap: BinaryHeap<Reverse<(Score, u32, u32)>>,
+    /// Parked candidates keyed `(score, spec id, version)` — versioned
+    /// lazy deletion.
+    parked_heap: BinaryHeap<HeapEntry>,
+    /// Reused divide output buffer (cleared each pop).
+    div_buf: Vec<(CandidateSpec, bool)>,
+    /// Reused dirty-key dedup scratch for [`Self::after_expand`].
+    dirty_scratch: HashSet<(u32, u32)>,
     initial_created: bool,
     flushed: bool,
     seq: u32,
@@ -130,7 +140,10 @@ impl<'s> TopkEnEnumerator<'s> {
     }
 
     fn from_parts(query: &ResolvedQuery, loader: PriorityLoader<'s>, lists: SlotLists) -> Self {
-        let core = LawlerCore::new(query.tree());
+        // Arena hint: every root candidate pops at least once before
+        // the stream ends, so the root bucket size is a cheap estimate.
+        let hint = loader.candidates().len(QNodeId(0));
+        let core = LawlerCore::new(query.tree(), hint.max(16));
         TopkEnEnumerator {
             query: query.clone(),
             core,
@@ -142,6 +155,8 @@ impl<'s> TopkEnEnumerator<'s> {
             parked_alive: Vec::new(),
             parked_version: Vec::new(),
             parked_heap: BinaryHeap::new(),
+            div_buf: Vec::new(),
+            dirty_scratch: HashSet::new(),
             initial_created: false,
             flushed: false,
             seq: 0,
@@ -155,7 +170,11 @@ impl<'s> TopkEnEnumerator<'s> {
 
     fn push_q(&mut self, id: u32, score: Score) {
         self.specs[id as usize].score = score;
-        self.q.push(Reverse((score, self.seq, id)));
+        self.q.push(HeapEntry {
+            key: score,
+            a: self.seq,
+            b: id,
+        });
         self.seq += 1;
     }
 
@@ -169,7 +188,7 @@ impl<'s> TopkEnEnumerator<'s> {
                 .parent(QNodeId(spec.pos))
                 .expect("non-root")
                 .0;
-            let pi = self.core.popped_match(spec.parent).assignment[p as usize];
+            let pi = self.core.node_at(spec.parent, p);
             (spec.pos, pi)
         }
     }
@@ -184,8 +203,11 @@ impl<'s> TopkEnEnumerator<'s> {
         self.parked_alive[id as usize] = true;
         self.specs[id as usize].score = score;
         if score != Score::MAX {
-            self.parked_heap
-                .push(Reverse((score, id, self.parked_version[id as usize])));
+            self.parked_heap.push(HeapEntry {
+                key: score,
+                a: id,
+                b: self.parked_version[id as usize],
+            });
         }
     }
 
@@ -201,8 +223,13 @@ impl<'s> TopkEnEnumerator<'s> {
 
     /// Re-evaluates parked candidates on freshly dirtied lists and
     /// promotes everything the current `Q_g` bound certifies.
+    /// Allocation-free in steady state: the dirty-key dedup set, the
+    /// per-key id vectors and the loader's dirty buffer are all reused.
     fn after_expand(&mut self) {
-        let dirty: HashSet<(u32, u32)> = self.loader.drain_dirty().into_iter().collect();
+        let mut dirty = std::mem::take(&mut self.dirty_scratch);
+        dirty.clear();
+        dirty.extend(self.loader.dirty().iter().copied());
+        self.loader.clear_dirty();
         for &key in &dirty {
             if key == (0, 0) && !self.initial_created && !self.lists.root.is_empty() {
                 self.initial_created = true;
@@ -212,10 +239,13 @@ impl<'s> TopkEnEnumerator<'s> {
                     self.push_q(id, init.score);
                 }
             }
-            let Some(ids) = self.parked_by_list.get(&key) else {
+            // Take the key's id list out, re-insert after the sweep:
+            // nothing in the loop parks, so the list cannot grow under
+            // us, and this avoids cloning it per dirtied key.
+            let Some(ids) = self.parked_by_list.remove(&key) else {
                 continue;
             };
-            for id in ids.clone() {
+            for &id in &ids {
                 if !self.parked_alive[id as usize] {
                     continue;
                 }
@@ -223,11 +253,16 @@ impl<'s> TopkEnEnumerator<'s> {
                 if let Some(score) = self.core.reevaluate(&mut self.lists, &spec) {
                     self.specs[id as usize].score = score;
                     self.parked_version[id as usize] += 1;
-                    self.parked_heap
-                        .push(Reverse((score, id, self.parked_version[id as usize])));
+                    self.parked_heap.push(HeapEntry {
+                        key: score,
+                        a: id,
+                        b: self.parked_version[id as usize],
+                    });
                 }
             }
+            self.parked_by_list.insert(key, ids);
         }
+        self.dirty_scratch = dirty;
         self.promote_parked();
     }
 
@@ -235,7 +270,12 @@ impl<'s> TopkEnEnumerator<'s> {
     fn promote_parked(&mut self) {
         loop {
             let gtop = self.loader.qg_top();
-            let Some(&Reverse((score, id, ver))) = self.parked_heap.peek() else {
+            let Some(&HeapEntry {
+                key: score,
+                a: id,
+                b: ver,
+            }) = self.parked_heap.peek()
+            else {
                 return;
             };
             if !self.parked_alive[id as usize] || self.parked_version[id as usize] != ver {
@@ -257,8 +297,11 @@ impl<'s> TopkEnEnumerator<'s> {
                 Some(ns) => {
                     self.specs[id as usize].score = ns;
                     self.parked_version[id as usize] += 1;
-                    self.parked_heap
-                        .push(Reverse((ns, id, self.parked_version[id as usize])));
+                    self.parked_heap.push(HeapEntry {
+                        key: ns,
+                        a: id,
+                        b: self.parked_version[id as usize],
+                    });
                     if ns >= score {
                         // Accurate score still above the bound: stop here
                         // (the heap top cannot certify either).
@@ -310,24 +353,26 @@ impl<'s> TopkEnEnumerator<'s> {
     }
 
     fn emit(&mut self) -> ScoredMatch {
-        let Reverse((_, _, id)) = self.q.pop().expect("emit called with non-empty Q");
+        let HeapEntry { b: id, .. } = self.q.pop().expect("emit called with non-empty Q");
         let spec = self.specs[id as usize];
         let m_id = self.core.materialize(&mut self.lists, spec);
         let gtop = self.loader.qg_top();
-        let children = self.core.divide_raw(&mut self.lists, m_id);
-        for (child, known) in children {
+        let mut children = std::mem::take(&mut self.div_buf);
+        self.core.divide_into(&mut self.lists, m_id, &mut children);
+        for &(child, known) in &children {
             self.place(child, known, gtop);
         }
-        let m = self.core.popped_match(m_id);
+        children.clear();
+        self.div_buf = children;
+        // Emission-time materialization off the arena's scratch row.
+        let score = self.core.score(m_id);
         let tree = self.query.tree();
+        let asn = self.core.load_assignment(m_id);
         let assignment = tree
             .node_ids()
-            .map(|u| self.loader.candidates().node(u, m.assignment[u.index()]))
+            .map(|u| self.loader.candidates().node(u, asn[u.index()]))
             .collect();
-        ScoredMatch {
-            score: m.score,
-            assignment,
-        }
+        ScoredMatch { score, assignment }
     }
 }
 
@@ -336,7 +381,7 @@ impl Iterator for TopkEnEnumerator<'_> {
 
     fn next(&mut self) -> Option<ScoredMatch> {
         loop {
-            let qtop = self.q.peek().map(|&Reverse((s, _, _))| s);
+            let qtop = self.q.peek().map(|e| e.key);
             let gtop = self.loader.qg_top();
             match (qtop, gtop) {
                 (Some(qs), Some(gs)) if qs <= gs => return Some(self.emit()),
@@ -350,10 +395,7 @@ impl Iterator for TopkEnEnumerator<'_> {
                         if !self.loader.expand_top(&mut self.lists) {
                             break;
                         }
-                        let done = match (
-                            self.q.peek().map(|&Reverse((s, _, _))| s),
-                            self.loader.qg_top(),
-                        ) {
+                        let done = match (self.q.peek().map(|e| e.key), self.loader.qg_top()) {
                             (Some(qs), Some(gs)) => qs <= gs,
                             (_, None) => true,
                             (None, _) => false,

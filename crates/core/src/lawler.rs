@@ -10,13 +10,12 @@
 
 use crate::bs::BsData;
 use crate::lazylist::LazySortedList;
-use crate::matches::{CandidateSpec, PoppedMatch, ScoredMatch, NO_PARENT};
+use crate::matches::{CandidateSpec, HeapEntry, MatchArena, ScoredMatch, NO_PARENT};
 use crate::plan::QueryPlan;
 use ktpm_graph::Score;
 use ktpm_query::{QNodeId, TreeQuery};
 use ktpm_runtime::{GraphRef, RuntimeGraph};
 use ktpm_storage::ShardSpec;
-use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::{Arc, OnceLock};
 
@@ -67,6 +66,23 @@ impl SlotTemplates {
     /// The underlying shared run-time graph.
     pub fn runtime_graph(&self) -> &Arc<RuntimeGraph> {
         &self.rg
+    }
+
+    /// Approximate heap bytes of the materialized slot lists (cells
+    /// that were never touched count nothing). Feeds the per-plan
+    /// memory estimate surfaced in service `STATS`.
+    pub fn approx_bytes(&self) -> usize {
+        // One list entry is `(Score, u32, u32)` = 16 bytes.
+        let list_bytes = |l: &LazySortedList| l.len() * 16;
+        let mut total = self.root.get().map_or(0, list_bytes);
+        for per_parent in &self.cells {
+            for cell in per_parent {
+                if let Some(l) = cell.get() {
+                    total += list_bytes(l);
+                }
+            }
+        }
+        total
     }
 
     /// The template of child slot `u` under parent candidate `pi`,
@@ -240,7 +256,15 @@ impl SlotLists {
         if let Some(f) = &mut self.fill {
             if !f.built[u as usize][pi as usize] {
                 f.built[u as usize][pi as usize] = true;
-                self.lists[u as usize][pi as usize] = f.templates.slot(u, pi).clone();
+                self.lists[u as usize][pi as usize] = if Arc::strong_count(&f.templates) == 1 {
+                    // Sole holder of the templates (a transient one-run
+                    // plan): nobody can ever share the template cell,
+                    // so build the list straight into this enumerator
+                    // and skip the fill-then-clone round-trip.
+                    Self::fill_slot(&f.templates.rg, &f.templates.bs, u, pi)
+                } else {
+                    f.templates.slot(u, pi).clone()
+                };
             }
         }
         &mut self.lists[u as usize][pi as usize]
@@ -263,33 +287,39 @@ impl SlotLists {
 
 /// The shared Lawler machinery. Slot lists are passed in by the driver
 /// (Algorithm 1 owns static lists; Algorithm 3's grow during loading).
+/// Popped matches live in the arena-backed deviation encoding
+/// ([`MatchArena`]): the pop → divide → emit cycle allocates nothing
+/// per match, and full assignments materialize only at emission.
 pub(crate) struct LawlerCore {
     /// Parent BFS index per query node (`u32::MAX` for the root).
     parents: Vec<u32>,
     n_t: usize,
-    pub(crate) popped: Vec<PoppedMatch>,
+    arena: MatchArena,
     /// Scratch for subtree membership during materialization.
     in_subtree: Vec<bool>,
 }
 
 /// The list a replacement at `pos` draws from: the root list for
-/// `pos == 0`, otherwise the slot list under the parent's assignment.
+/// `pos == 0`, otherwise the slot list under the parent candidate the
+/// arena's current (scratch) row assigns.
 fn list_at<'l>(
     lists: &'l mut SlotLists,
     parents: &[u32],
-    assignment: &[u32],
+    arena: &MatchArena,
     pos: u32,
 ) -> &'l mut LazySortedList {
     if pos == 0 {
         &mut lists.root
     } else {
         let p = parents[pos as usize];
-        lists.slot(pos, assignment[p as usize])
+        lists.slot(pos, arena.scratch_at(p))
     }
 }
 
 impl LawlerCore {
-    pub fn new(tree: &TreeQuery) -> Self {
+    /// A core for `tree` whose arena reserves room for about `hint`
+    /// popped matches (a capacity hint only — the arena grows freely).
+    pub fn new(tree: &TreeQuery, hint: usize) -> Self {
         let parents: Vec<u32> = tree
             .node_ids()
             .map(|u| tree.parent(u).map_or(u32::MAX, |p| p.0))
@@ -298,7 +328,7 @@ impl LawlerCore {
         LawlerCore {
             parents,
             n_t,
-            popped: Vec::new(),
+            arena: MatchArena::new(n_t, hint),
             in_subtree: vec![false; n_t],
         }
     }
@@ -315,19 +345,17 @@ impl LawlerCore {
         })
     }
 
-    /// Materializes a candidate into a full assignment (O(n_T)): copy the
-    /// parent match, swap the replaced position, re-derive only the
-    /// replaced node's subtree via best-descendant links (list minima).
+    /// Materializes a candidate into a popped-match record (O(n_T), no
+    /// allocation): the arena scratch row is loaded with the parent's
+    /// assignment, the replaced position swapped, and only the replaced
+    /// node's subtree re-derived via best-descendant links (list
+    /// minima) — the changed positions become the record's patch.
     pub fn materialize(&mut self, lists: &mut SlotLists, spec: CandidateSpec) -> u32 {
-        let mut assignment = if spec.parent == NO_PARENT {
-            vec![u32::MAX; self.n_t]
-        } else {
-            self.popped[spec.parent as usize].assignment.clone()
-        };
-        let (_, replacement) = list_at(lists, &self.parents, &assignment, spec.pos)
+        self.arena.begin(spec.parent);
+        let (_, replacement) = list_at(lists, &self.parents, &self.arena, spec.pos)
             .rank(spec.rank as usize)
             .expect("candidate rank was verified at divide time");
-        assignment[spec.pos as usize] = replacement;
+        self.arena.set(spec.pos, replacement);
         // Re-derive the subtree strictly below `pos`.
         let pos = spec.pos as usize;
         self.in_subtree.fill(false);
@@ -339,46 +367,43 @@ impl LawlerCore {
             }
             self.in_subtree[w] = true;
             let (_, best) = lists
-                .slot(w as u32, assignment[p])
+                .slot(w as u32, self.arena.scratch_at(p as u32))
                 .first()
                 .expect("valid parents always have a non-empty slot list");
-            assignment[w] = best;
+            self.arena.set(w as u32, best);
         }
-        self.popped.push(PoppedMatch {
-            assignment,
-            score: spec.score,
-            div_pos: if spec.parent == NO_PARENT {
-                NO_PARENT
-            } else {
-                spec.pos
-            },
-            rank_at_div: spec.rank,
-        });
-        (self.popped.len() - 1) as u32
+        let div_pos = if spec.parent == NO_PARENT {
+            NO_PARENT
+        } else {
+            spec.pos
+        };
+        self.arena
+            .commit(spec.parent, spec.score, div_pos, spec.rank)
     }
 
-    /// Divides the subspace of popped match `m_id` (procedure `Divide`),
-    /// producing at most `n_T` O(1)-sized candidates. Rank queries that
-    /// come back empty are empty subspaces (Lemma 3.2) and are skipped;
-    /// the Algorithm-3 driver overrides that via `divide_raw`.
-    pub fn divide(&mut self, lists: &mut SlotLists, m_id: u32) -> Vec<CandidateSpec> {
-        self.divide_raw(lists, m_id)
-            .into_iter()
-            .filter_map(|(spec, known)| known.then_some(spec))
-            .collect()
-    }
-
-    /// Like [`Self::divide`] but also yields candidates whose replacement
-    /// rank is not (yet) available, flagged `false`, with score
-    /// `Score::MAX`. Algorithm 3 parks those until more edges load.
-    pub fn divide_raw(&mut self, lists: &mut SlotLists, m_id: u32) -> Vec<(CandidateSpec, bool)> {
-        let m = &self.popped[m_id as usize];
-        let (assignment, score, div_pos, rank_at_div) =
-            (m.assignment.clone(), m.score, m.div_pos, m.rank_at_div);
-        let mut out = Vec::with_capacity(self.n_t);
+    /// Divides the subspace of popped match `m_id` (procedure `Divide`)
+    /// into `out` (cleared first; reused across pops so division
+    /// allocates nothing): at most `n_T` O(1)-sized candidates, each
+    /// flagged with whether its replacement rank exists yet. Candidates
+    /// flagged `false` carry score `Score::MAX`; Algorithm 1 drops
+    /// them (empty subspaces, Lemma 3.2), Algorithm 3 parks them until
+    /// more edges load.
+    pub fn divide_into(
+        &mut self,
+        lists: &mut SlotLists,
+        m_id: u32,
+        out: &mut Vec<(CandidateSpec, bool)>,
+    ) {
+        out.clear();
+        // Dividing happens right after materializing `m_id`, so this is
+        // memoized; the explicit load keeps the call order-independent.
+        self.arena.load(m_id);
+        let score = self.arena.score(m_id);
+        let div_pos = self.arena.div_pos(m_id);
+        let rank_at_div = self.arena.rank_at_div(m_id);
         // Case 1 (Theorem 3.1): continue the exclusion chain at div_pos.
         if div_pos != NO_PARENT {
-            let list = list_at(lists, &self.parents, &assignment, div_pos);
+            let list = list_at(lists, &self.parents, &self.arena, div_pos);
             let old_key = list
                 .rank(rank_at_div as usize)
                 .expect("the popped match's own element exists")
@@ -405,7 +430,7 @@ impl LawlerCore {
             div_pos as usize + 1
         };
         for x in start..self.n_t {
-            let list = list_at(lists, &self.parents, &assignment, x as u32);
+            let list = list_at(lists, &self.parents, &self.arena, x as u32);
             let Some((k1, _)) = list.rank(1) else {
                 // The match's own element must exist; in lazy mode a just-
                 // divided position always holds a loaded element, so an
@@ -426,28 +451,48 @@ impl LawlerCore {
                 found,
             ));
         }
-        out
     }
 
     /// Re-evaluates a previously unknown or parked candidate against the
     /// current lists (they may have grown since). Returns the updated
-    /// score if the rank now exists.
+    /// score if the rank now exists. Needs only one position of the
+    /// parent's assignment — a point lookup in the arena, no
+    /// materialization.
     pub fn reevaluate(&mut self, lists: &mut SlotLists, spec: &CandidateSpec) -> Option<Score> {
-        let m = &self.popped[spec.parent as usize];
-        let base_rank = if spec.pos == m.div_pos {
-            m.rank_at_div
+        let m = spec.parent;
+        let base_rank = if spec.pos == self.arena.div_pos(m) {
+            self.arena.rank_at_div(m)
         } else {
             1
         };
-        let (assignment, score) = (m.assignment.clone(), m.score);
-        let list = list_at(lists, &self.parents, &assignment, spec.pos);
+        let score = self.arena.score(m);
+        let list = if spec.pos == 0 {
+            &mut lists.root
+        } else {
+            let p = self.parents[spec.pos as usize];
+            lists.slot(spec.pos, self.arena.node_at(m, p))
+        };
         let base_key = list.rank(base_rank as usize)?.0;
         let (new_key, _) = list.rank(spec.rank as usize)?;
         Some(score - base_key + new_key)
     }
 
-    pub fn popped_match(&self, m_id: u32) -> &PoppedMatch {
-        &self.popped[m_id as usize]
+    /// Total score of popped match `m_id`.
+    pub fn score(&self, m_id: u32) -> Score {
+        self.arena.score(m_id)
+    }
+
+    /// The candidate index one position of popped match `m_id` assigns
+    /// (an arena point lookup; the row is not materialized).
+    pub fn node_at(&self, m_id: u32, pos: u32) -> u32 {
+        self.arena.node_at(m_id, pos)
+    }
+
+    /// Emission-time materialization: popped match `m_id`'s full
+    /// assignment row (candidate indices, query-BFS order), rebuilt by
+    /// the arena's parent-pointer walk into its reusable scratch row.
+    pub fn load_assignment(&mut self, m_id: u32) -> &[u32] {
+        self.arena.load(m_id)
     }
 }
 
@@ -460,12 +505,20 @@ pub struct TopkEnumerator<'g> {
     rg: GraphRef<'g>,
     core: LawlerCore,
     lists: SlotLists,
-    /// Global queue `Q`: `(score, seq, candidate id)`.
-    q: BinaryHeap<Reverse<(Score, u32, u32)>>,
+    /// Global queue `Q`: compact entries keyed `(score, seq, spec id)`.
+    q: BinaryHeap<HeapEntry>,
     /// All candidate specs ever created, with their creation round.
     specs: Vec<(CandidateSpec, u32)>,
-    /// Per-round side queues `Q_l`.
-    side: Vec<BinaryHeap<Reverse<(Score, u32, u32)>>>,
+    /// The side queues `Q_l`, compacted into one flat pool: a round's
+    /// non-best children are all known at divide time, so each round is
+    /// a pre-sorted run in `side_pool` and "promote the next best of
+    /// round `l`" is a cursor bump — no per-round heap, no per-round
+    /// allocation.
+    side_pool: Vec<HeapEntry>,
+    /// Per round: `(cursor, end)` into `side_pool`.
+    side_runs: Vec<(u32, u32)>,
+    /// Reused divide output buffer (cleared each pop).
+    div_buf: Vec<(CandidateSpec, bool)>,
     round: u32,
     use_side_queues: bool,
     seq: u32,
@@ -536,12 +589,19 @@ impl<'g> TopkEnumerator<'g> {
     }
 
     fn from_lists(rg: GraphRef<'g>, mut lists: SlotLists, use_side_queues: bool) -> Self {
-        let mut core = LawlerCore::new(rg.get().query().tree());
+        // Arena hint: every root candidate pops at least once before
+        // the stream ends, so the (shard-restricted) root list length
+        // is a cheap lower-bound-flavored estimate.
+        let mut core = LawlerCore::new(rg.get().query().tree(), lists.root.len().max(16));
         let mut q = BinaryHeap::new();
         let mut specs = Vec::new();
         if let Some(init) = core.initial_candidate(&mut lists) {
             specs.push((init, 0));
-            q.push(Reverse((init.score, 0, 0)));
+            q.push(HeapEntry {
+                key: init.score,
+                a: 0,
+                b: 0,
+            });
         }
         TopkEnumerator {
             rg,
@@ -549,37 +609,24 @@ impl<'g> TopkEnumerator<'g> {
             lists,
             q,
             specs,
-            side: vec![BinaryHeap::new()],
+            side_pool: Vec::new(),
+            side_runs: vec![(0, 0)],
+            div_buf: Vec::new(),
             round: 0,
             use_side_queues,
             seq: 1,
         }
     }
 
-    fn push_spec(&mut self, spec: CandidateSpec, round: u32, to_side: bool) {
+    fn push_spec_q(&mut self, spec: CandidateSpec, round: u32) {
         let id = self.specs.len() as u32;
         self.specs.push((spec, round));
-        let entry = Reverse((spec.score, self.seq, id));
+        self.q.push(HeapEntry {
+            key: spec.score,
+            a: self.seq,
+            b: id,
+        });
         self.seq += 1;
-        if to_side {
-            self.side[round as usize].push(entry);
-        } else {
-            self.q.push(entry);
-        }
-    }
-
-    fn to_scored(&self, m_id: u32) -> ScoredMatch {
-        let m = self.core.popped_match(m_id);
-        let rg = self.rg.get();
-        let tree = rg.query().tree();
-        let assignment = tree
-            .node_ids()
-            .map(|u| rg.node(u, m.assignment[u.index()]))
-            .collect();
-        ScoredMatch {
-            score: m.score,
-            assignment,
-        }
     }
 }
 
@@ -587,38 +634,68 @@ impl Iterator for TopkEnumerator<'_> {
     type Item = ScoredMatch;
 
     fn next(&mut self) -> Option<ScoredMatch> {
-        let Reverse((_, _, cid)) = self.q.pop()?;
+        let HeapEntry { b: cid, .. } = self.q.pop()?;
         let (spec, spec_round) = self.specs[cid as usize];
-        // Promote the next best of the round this candidate came from.
+        // Promote the next best of the round this candidate came from:
+        // runs are pre-sorted, so this is the next pool entry.
         if self.use_side_queues {
-            if let Some(e) = self.side[spec_round as usize].pop() {
+            let (cur, end) = &mut self.side_runs[spec_round as usize];
+            if cur < end {
+                let e = self.side_pool[*cur as usize];
+                *cur += 1;
                 self.q.push(e);
             }
         }
         let m_id = self.core.materialize(&mut self.lists, spec);
         self.round += 1;
-        self.side.push(BinaryHeap::new());
         let round = self.round;
-        let mut children = self.core.divide(&mut self.lists, m_id);
+        let mut children = std::mem::take(&mut self.div_buf);
+        self.core.divide_into(&mut self.lists, m_id, &mut children);
+        // Algorithm 1 over static lists: unknown ranks are empty
+        // subspaces (Lemma 3.2), dropped here.
+        children.retain(|&(_, known)| known);
+        let start = self.side_pool.len() as u32;
         if self.use_side_queues && !children.is_empty() {
-            // Best child goes to Q, the rest to this round's side queue.
+            // Best child goes to Q, the rest become this round's run.
             let best = children
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, s)| s.score)
+                .min_by_key(|(_, (s, _))| s.score)
                 .map(|(i, _)| i)
                 .expect("non-empty");
-            let best_spec = children.swap_remove(best);
-            self.push_spec(best_spec, round, false);
-            for c in children {
-                self.push_spec(c, round, true);
+            let (best_spec, _) = children.swap_remove(best);
+            self.push_spec_q(best_spec, round);
+            for &(c, _) in &children {
+                let id = self.specs.len() as u32;
+                self.specs.push((c, round));
+                self.side_pool.push(HeapEntry {
+                    key: c.score,
+                    a: self.seq,
+                    b: id,
+                });
+                self.seq += 1;
             }
+            // Same delivery order as the former per-round min-heap.
+            self.side_pool[start as usize..].sort_unstable_by_key(|e| (e.key, e.a, e.b));
+            self.side_runs.push((start, self.side_pool.len() as u32));
         } else {
-            for c in children {
-                self.push_spec(c, round, false);
+            for &(c, _) in &children {
+                self.push_spec_q(c, round);
             }
+            self.side_runs.push((start, start));
         }
-        Some(self.to_scored(m_id))
+        children.clear();
+        self.div_buf = children;
+        // Emission-time materialization: the only per-match row built.
+        let score = self.core.score(m_id);
+        let rg = self.rg.get();
+        let tree = rg.query().tree();
+        let asn = self.core.load_assignment(m_id);
+        let assignment = tree
+            .node_ids()
+            .map(|u| rg.node(u, asn[u.index()]))
+            .collect();
+        Some(ScoredMatch { score, assignment })
     }
 }
 
@@ -768,6 +845,280 @@ mod tests {
                 union.extend(part);
             }
             assert_eq!(canon(union), canon(full.clone()), "{n}-way partition");
+        }
+    }
+
+    /// The pre-arena, clone-based Lawler driver, retained verbatim as a
+    /// test referee: every popped match stores its full `Vec<u32>`
+    /// assignment, and `materialize`/`divide` clone it per call; side
+    /// queues are per-round binary heaps. The arena-backed encoding
+    /// must reproduce this stream **element for element** — score,
+    /// assignment and raw (pre-canonical) tie order.
+    mod clone_reference {
+        use super::super::*;
+        use std::cmp::Reverse;
+
+        struct CloneMatch {
+            assignment: Vec<u32>,
+            score: Score,
+            div_pos: u32,
+            rank_at_div: u32,
+        }
+
+        pub(super) struct CloneEnumerator<'g> {
+            rg: &'g RuntimeGraph,
+            parents: Vec<u32>,
+            n_t: usize,
+            in_subtree: Vec<bool>,
+            popped: Vec<CloneMatch>,
+            lists: SlotLists,
+            q: BinaryHeap<Reverse<(Score, u32, u32)>>,
+            specs: Vec<(CandidateSpec, u32)>,
+            side: Vec<BinaryHeap<Reverse<(Score, u32, u32)>>>,
+            round: u32,
+            seq: u32,
+        }
+
+        fn list_at<'l>(
+            lists: &'l mut SlotLists,
+            parents: &[u32],
+            assignment: &[u32],
+            pos: u32,
+        ) -> &'l mut LazySortedList {
+            if pos == 0 {
+                &mut lists.root
+            } else {
+                let p = parents[pos as usize];
+                lists.slot(pos, assignment[p as usize])
+            }
+        }
+
+        impl<'g> CloneEnumerator<'g> {
+            pub fn new(rg: &'g RuntimeGraph) -> Self {
+                let bs = BsData::compute(rg);
+                let mut lists = SlotLists::build_full(rg, &bs);
+                let tree = rg.query().tree();
+                let parents: Vec<u32> = tree
+                    .node_ids()
+                    .map(|u| tree.parent(u).map_or(u32::MAX, |p| p.0))
+                    .collect();
+                let n_t = tree.len();
+                let mut q = BinaryHeap::new();
+                let mut specs = Vec::new();
+                if let Some((score, _)) = lists.root.rank(1) {
+                    let init = CandidateSpec {
+                        score,
+                        parent: NO_PARENT,
+                        pos: 0,
+                        rank: 1,
+                    };
+                    specs.push((init, 0));
+                    q.push(Reverse((score, 0, 0)));
+                }
+                CloneEnumerator {
+                    rg,
+                    parents,
+                    n_t,
+                    in_subtree: vec![false; n_t],
+                    popped: Vec::new(),
+                    lists,
+                    q,
+                    specs,
+                    side: vec![BinaryHeap::new()],
+                    round: 0,
+                    seq: 1,
+                }
+            }
+
+            fn materialize(&mut self, spec: CandidateSpec) -> u32 {
+                let mut assignment = if spec.parent == NO_PARENT {
+                    vec![u32::MAX; self.n_t]
+                } else {
+                    self.popped[spec.parent as usize].assignment.clone()
+                };
+                let (_, replacement) =
+                    list_at(&mut self.lists, &self.parents, &assignment, spec.pos)
+                        .rank(spec.rank as usize)
+                        .expect("candidate rank was verified at divide time");
+                assignment[spec.pos as usize] = replacement;
+                let pos = spec.pos as usize;
+                self.in_subtree.fill(false);
+                self.in_subtree[pos] = true;
+                for w in (pos + 1)..self.n_t {
+                    let p = self.parents[w] as usize;
+                    if !self.in_subtree[p] {
+                        continue;
+                    }
+                    self.in_subtree[w] = true;
+                    let (_, best) = self
+                        .lists
+                        .slot(w as u32, assignment[p])
+                        .first()
+                        .expect("valid parents have non-empty slot lists");
+                    assignment[w] = best;
+                }
+                self.popped.push(CloneMatch {
+                    assignment,
+                    score: spec.score,
+                    div_pos: if spec.parent == NO_PARENT {
+                        NO_PARENT
+                    } else {
+                        spec.pos
+                    },
+                    rank_at_div: spec.rank,
+                });
+                (self.popped.len() - 1) as u32
+            }
+
+            fn divide(&mut self, m_id: u32) -> Vec<CandidateSpec> {
+                let m = &self.popped[m_id as usize];
+                let (assignment, score, div_pos, rank_at_div) =
+                    (m.assignment.clone(), m.score, m.div_pos, m.rank_at_div);
+                let mut out = Vec::new();
+                if div_pos != NO_PARENT {
+                    let list = list_at(&mut self.lists, &self.parents, &assignment, div_pos);
+                    let old_key = list
+                        .rank(rank_at_div as usize)
+                        .expect("the popped match's own element exists")
+                        .0;
+                    if let Some((new_key, _)) = list.rank(rank_at_div as usize + 1) {
+                        out.push(CandidateSpec {
+                            score: score - old_key + new_key,
+                            parent: m_id,
+                            pos: div_pos,
+                            rank: rank_at_div + 1,
+                        });
+                    }
+                }
+                let start = if div_pos == NO_PARENT {
+                    0
+                } else {
+                    div_pos as usize + 1
+                };
+                for x in start..self.n_t {
+                    let list = list_at(&mut self.lists, &self.parents, &assignment, x as u32);
+                    let Some((k1, _)) = list.rank(1) else {
+                        continue;
+                    };
+                    if let Some((k2, _)) = list.rank(2) {
+                        out.push(CandidateSpec {
+                            score: score - k1 + k2,
+                            parent: m_id,
+                            pos: x as u32,
+                            rank: 2,
+                        });
+                    }
+                }
+                out
+            }
+
+            fn push_spec(&mut self, spec: CandidateSpec, round: u32, to_side: bool) {
+                let id = self.specs.len() as u32;
+                self.specs.push((spec, round));
+                let entry = Reverse((spec.score, self.seq, id));
+                self.seq += 1;
+                if to_side {
+                    self.side[round as usize].push(entry);
+                } else {
+                    self.q.push(entry);
+                }
+            }
+        }
+
+        impl Iterator for CloneEnumerator<'_> {
+            type Item = ScoredMatch;
+
+            fn next(&mut self) -> Option<ScoredMatch> {
+                let Reverse((_, _, cid)) = self.q.pop()?;
+                let (spec, spec_round) = self.specs[cid as usize];
+                if let Some(e) = self.side[spec_round as usize].pop() {
+                    self.q.push(e);
+                }
+                let m_id = self.materialize(spec);
+                self.round += 1;
+                self.side.push(BinaryHeap::new());
+                let round = self.round;
+                let mut children = self.divide(m_id);
+                if !children.is_empty() {
+                    let best = children
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, s)| s.score)
+                        .map(|(i, _)| i)
+                        .expect("non-empty");
+                    let best_spec = children.swap_remove(best);
+                    self.push_spec(best_spec, round, false);
+                    for c in children {
+                        self.push_spec(c, round, true);
+                    }
+                }
+                let m = &self.popped[m_id as usize];
+                let tree = self.rg.query().tree();
+                Some(ScoredMatch {
+                    score: m.score,
+                    assignment: tree
+                        .node_ids()
+                        .map(|u| self.rg.node(u, m.assignment[u.index()]))
+                        .collect(),
+                })
+            }
+        }
+    }
+
+    mod arena_vs_clone_reference {
+        use super::clone_reference::CloneEnumerator;
+        use super::*;
+        use ktpm_workload::{generate, random_tree_query, GraphSpec, QuerySpec};
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// The tentpole's referee: on random workload graphs and
+            /// queries, the arena-backed `Topk` stream equals the
+            /// retained clone-based driver element for element — raw
+            /// tie order included — across a resume split.
+            #[test]
+            fn arena_topk_equals_clone_reference_stream(
+                nodes in 20..120usize,
+                seed in 0..10_000u64,
+                size in 2..5usize,
+                k in 1..80usize,
+                pause in 0..80usize,
+            ) {
+                let spec = GraphSpec {
+                    nodes,
+                    labels: 5,
+                    label_skew: 0.5,
+                    avg_out_degree: 2.5,
+                    community: 30,
+                    cross_fraction: 0.1,
+                    weight_range: (1, 3),
+                    seed,
+                };
+                let g = generate(&spec);
+                let query = random_tree_query(&g, QuerySpec {
+                    size,
+                    distinct_labels: false,
+                    seed: seed ^ 0x77,
+                });
+                if let Some(q) = query {
+                    let resolved = q.resolve(g.interner());
+                    let store = ktpm_storage::MemStore::new(
+                        ktpm_closure::ClosureTables::compute(&g),
+                    );
+                    let rg = RuntimeGraph::load(&resolved, &store);
+                    let want: Vec<ScoredMatch> =
+                        CloneEnumerator::new(&rg).take(k).collect();
+                    // Split consumption at `pause` to exercise parked
+                    // arena state across the resume boundary.
+                    let j = pause.min(k);
+                    let mut it = TopkEnumerator::new(&rg);
+                    let mut got: Vec<ScoredMatch> = it.by_ref().take(j).collect();
+                    got.extend(it.take(k - j));
+                    prop_assert_eq!(got, want);
+                }
+            }
         }
     }
 

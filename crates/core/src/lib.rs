@@ -40,6 +40,50 @@
 //! `ParTopk::from_plan` construct enumerators that do **zero**
 //! candidate discovery on a warm plan; the serving layer keeps a
 //! cross-session cache of plans keyed by canonical query text.
+//!
+//! ## Hot path memory layout
+//!
+//! The paper's optimality argument is about enumeration *delay*, so
+//! the pop → divide → emit cycle is engineered to allocate nothing per
+//! match:
+//!
+//! * **Deviation arena.** Popped matches are not stored as full
+//!   assignments. Each is a compact record — parent arena id, division
+//!   position/rank, score — plus a *patch*: the `(position,
+//!   candidate)` pairs the match changed relative to its parent (the
+//!   replaced node and its re-derived subtree, captured at pop time so
+//!   reconstruction never depends on later list growth). Records and
+//!   patches live in two flat, append-only vectors inside the
+//!   enumerator's `MatchArena`; candidates stay the O(1)
+//!   `CandidateSpec` links of §3.3. This is the parent-pointer
+//!   solution representation ranked-enumeration systems (Tziavelis et
+//!   al.) use to get their any-k bounds.
+//! * **Arena lifetime.** One arena per enumerator, alive as long as
+//!   the enumerator: a parked service session keeps its arena (the
+//!   resume state), and each `ParTopk` shard owns a private arena so
+//!   the k-way merge stays lock-free. Chains of deviation records are
+//!   cut by full-row checkpoints every `CHECKPOINT_DEPTH` links,
+//!   bounding reconstruction walks at ~1/32 of clone-encoding memory.
+//! * **Emission-time materialization.** A full assignment row is built
+//!   only when a match is actually emitted: a parent-pointer walk to
+//!   the nearest checkpoint applies patches oldest-first into the
+//!   arena's reusable scratch row, and the emitted
+//!   [`ScoredMatch`] stores it in a [`ktpm_graph::NodeRow`] — inline
+//!   (no heap) for queries up to 8 nodes. The parked-candidate
+//!   machinery of `Topk-EN` needs only single positions of arbitrary
+//!   parents and uses point lookups that walk patches without
+//!   materializing anything.
+//! * **Compact queues.** The global queue `Q` holds flat 16-byte
+//!   `HeapEntry` records. The §3.3 side queues `Q_l` are one pooled
+//!   vector of pre-sorted per-round runs — a round's non-best children
+//!   are all known at divide time, so "promote the next best" is a
+//!   cursor bump, not a heap operation.
+//!
+//! Net effect (bench-smoke, GS3 wildcard stars, k = 50 000): from
+//! ~4.4–6.3 allocations per emitted match under the old clone
+//! encoding to ~0.01–0.1 — tracked per run in `BENCH_parallel.json`'s
+//! `deviation_encoding` section and gated in CI against the recorded
+//! clone baseline.
 
 pub mod brute;
 mod bs;

@@ -80,7 +80,7 @@ pub struct PriorityLoader<'s> {
     root_final: Vec<bool>,
     /// `(lb, u, i, version)` min-heap with lazy deletion.
     qg: BinaryHeap<Reverse<(Score, u32, u32, u32)>>,
-    /// Slot lists touched since the last [`Self::drain_dirty`];
+    /// Slot lists touched since the last [`Self::clear_dirty`];
     /// `(0, 0)` denotes the root list.
     dirty: Vec<(u32, u32)>,
     /// Edges inserted into lists so far (reported as loaded `m'_R`).
@@ -302,10 +302,16 @@ impl<'s> PriorityLoader<'s> {
         self.cands.as_ref()
     }
 
-    /// Slot lists touched since the previous call; `(0, 0)` is the root
-    /// list.
-    pub fn drain_dirty(&mut self) -> Vec<(u32, u32)> {
-        std::mem::take(&mut self.dirty)
+    /// Slot lists touched since the last [`Self::clear_dirty`];
+    /// `(0, 0)` is the root list. Keys may repeat — callers dedup.
+    pub fn dirty(&self) -> &[(u32, u32)] {
+        &self.dirty
+    }
+
+    /// Resets the dirty-list log, keeping its buffer (the log/clear
+    /// cycle runs once per expansion batch and must not allocate).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
     }
 
     /// Total edges inserted into lists (the measured `m'_R`).

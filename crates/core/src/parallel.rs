@@ -32,7 +32,7 @@ use crate::matches::ScoredMatch;
 use crate::partition::{canonical, Canonical};
 use crate::plan::QueryPlan;
 use ktpm_exec::WorkerPool;
-use ktpm_graph::{NodeId, Score};
+use ktpm_graph::{NodeRow, Score};
 use ktpm_query::ResolvedQuery;
 use ktpm_storage::{ShardSpec, SharedSource};
 use std::cmp::Reverse;
@@ -125,16 +125,53 @@ struct ShardStream {
 
 type ShardJobResult = (Option<ShardIter>, VecDeque<ScoredMatch>);
 
+/// The parallel enumerator's execution mode.
+enum ParInner {
+    /// One shard covers the whole root set: scatter, batching and the
+    /// k-way merge all collapse — the run *is* its single canonical
+    /// shard stream, driven inline on the calling thread with zero
+    /// pool round-trips (`ParTopk/1` used to cost ~2x plain `Topk`
+    /// purely in scheduling and buffering overhead).
+    Single(ShardIter),
+    /// The genuinely partitioned form: per-shard batch jobs on the
+    /// pool, lazily k-way merged.
+    Multi {
+        shards: Vec<ShardStream>,
+        /// Merge heap: the current head of every live shard, keyed by
+        /// the canonical `(score, assignment)` order (shard index only
+        /// breaks the tie between — impossible — identical
+        /// assignments). Rows are memoized [`NodeRow`]s moved through
+        /// the heap, so the tiebreak never re-materializes a match.
+        heap: BinaryHeap<Reverse<(Score, NodeRow, usize)>>,
+        pool: Arc<WorkerPool>,
+        batch: usize,
+    },
+}
+
 /// The lazily merged parallel enumerator; see module docs. Yields the
 /// exact [`crate::topk_full`] stream; `take(k)` gives the top-k.
 pub struct ParTopk {
-    shards: Vec<ShardStream>,
-    /// Merge heap: the current head of every live shard, keyed by the
-    /// canonical `(score, assignment)` order (shard index only breaks
-    /// the tie between — impossible — identical assignments).
-    heap: BinaryHeap<Reverse<(Score, Vec<NodeId>, usize)>>,
-    pool: Arc<WorkerPool>,
-    batch: usize,
+    inner: ParInner,
+    shards: usize,
+}
+
+/// Builds one shard's canonical enumerator per the policy's engine.
+fn shard_iter(plan: &QueryPlan, engine: ShardEngine, spec: ShardSpec) -> ShardIter {
+    match engine {
+        ShardEngine::Full => ShardIter::Full(Box::new(canonical(TopkEnumerator::from_templates(
+            Arc::clone(plan.slot_templates()),
+            spec,
+        )))),
+        ShardEngine::Lazy => {
+            let restricted = plan.lazy().restrict_root(spec);
+            ShardIter::Lazy(Box::new(canonical(TopkEnEnumerator::from_setup(
+                plan.query(),
+                Arc::clone(plan.source()),
+                crate::BoundMode::Tight,
+                &restricted,
+            ))))
+        }
+    }
 }
 
 impl ParTopk {
@@ -155,12 +192,20 @@ impl ParTopk {
     /// As [`Self::new`] over a shared [`QueryPlan`]: shard setup comes
     /// from the plan (run-time graph + `bs` + slot templates for
     /// [`ShardEngine::Full`], cached candidate discovery for
-    /// [`ShardEngine::Lazy`]), built on the plan's first use — on the
-    /// calling thread here — and shared by every later run *and* by the
-    /// `P` shards of this run.
+    /// [`ShardEngine::Lazy`]), built on the plan's first use and shared
+    /// by every later run *and* by the `P` shards of this run. With one
+    /// shard the pool is bypassed entirely (the run drives its single
+    /// canonical shard stream inline).
     pub fn from_plan(plan: &QueryPlan, policy: &ParallelPolicy, pool: Arc<WorkerPool>) -> ParTopk {
         let batch = policy.batch.max(1);
         let specs = ShardSpec::split(policy.shards);
+        if specs.len() == 1 {
+            let spec = specs[0];
+            return ParTopk {
+                inner: ParInner::Single(shard_iter(plan, policy.engine, spec)),
+                shards: 1,
+            };
+        }
         let jobs: Vec<Box<dyn FnOnce() -> ShardJobResult + Send>> = match policy.engine {
             ShardEngine::Full => {
                 let templates = Arc::clone(plan.slot_templates());
@@ -203,33 +248,38 @@ impl ParTopk {
             }
         };
         let results = pool.scatter(jobs);
-        let single = results.len() == 1;
+        let mut shards = Vec::with_capacity(results.len());
+        for (iter, buf) in results {
+            shards.push(ShardStream { iter, buf });
+        }
+        let n = shards.len();
         let mut par = ParTopk {
-            shards: Vec::with_capacity(results.len()),
-            heap: BinaryHeap::new(),
-            pool,
-            batch,
+            inner: ParInner::Multi {
+                shards,
+                heap: BinaryHeap::new(),
+                pool,
+                batch,
+            },
+            shards: n,
         };
-        for (i, (iter, buf)) in results.into_iter().enumerate() {
-            par.shards.push(ShardStream { iter, buf });
-            // A lone shard is already globally ordered: it streams
-            // straight from its buffer, bypassing the merge heap.
-            if !single {
-                par.push_head(i);
-            }
+        for i in 0..n {
+            par.push_head(i);
         }
         par
     }
 
     /// Number of shards this run was split into.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.shards
     }
 
     /// Moves shard `s`'s next buffered match into the merge heap.
     fn push_head(&mut self, s: usize) {
-        if let Some(m) = self.shards[s].buf.pop_front() {
-            self.heap.push(Reverse((m.score, m.assignment, s)));
+        let ParInner::Multi { shards, heap, .. } = &mut self.inner else {
+            unreachable!("push_head is a merge-path helper");
+        };
+        if let Some(m) = shards[s].buf.pop_front() {
+            heap.push(Reverse((m.score, m.assignment, s)));
         }
     }
 
@@ -237,10 +287,19 @@ impl ParTopk {
     /// Balanced shards drain in lockstep, so this usually refills all of
     /// them in parallel rather than one at a time.
     fn refill_dry(&mut self) {
-        let batch = self.batch;
+        let ParInner::Multi {
+            shards,
+            pool,
+            batch,
+            ..
+        } = &mut self.inner
+        else {
+            unreachable!("refill_dry is a merge-path helper");
+        };
+        let batch = *batch;
         let mut idx = Vec::new();
         let mut jobs: Vec<Box<dyn FnOnce() -> ShardJobResult + Send>> = Vec::new();
-        for (i, sh) in self.shards.iter_mut().enumerate() {
+        for (i, sh) in shards.iter_mut().enumerate() {
             if sh.buf.is_empty() {
                 if let Some(mut it) = sh.iter.take() {
                     idx.push(i);
@@ -255,11 +314,11 @@ impl ParTopk {
             0 => return,
             // One dry shard: the pool round-trip buys nothing.
             1 => vec![jobs.pop().expect("len checked")()],
-            _ => self.pool.scatter(jobs),
+            _ => pool.scatter(jobs),
         };
         for (i, (iter, buf)) in idx.into_iter().zip(results) {
-            self.shards[i].iter = iter;
-            self.shards[i].buf = buf;
+            shards[i].iter = iter;
+            shards[i].buf = buf;
         }
     }
 }
@@ -268,16 +327,22 @@ impl Iterator for ParTopk {
     type Item = ScoredMatch;
 
     fn next(&mut self) -> Option<ScoredMatch> {
-        if self.shards.len() == 1 {
-            // Single-stream fast path (no merge): the canonical shard
-            // stream is the answer.
-            if self.shards[0].buf.is_empty() && self.shards[0].iter.is_some() {
-                self.refill_dry();
+        // 1-shard fast path: delegate to the underlying canonical
+        // enumerator — no batching, no merge, no pool.
+        let (score, assignment, s) = match &mut self.inner {
+            ParInner::Single(it) => return it.next(),
+            ParInner::Multi { heap, .. } => {
+                let Reverse(head) = heap.pop()?;
+                head
             }
-            return self.shards[0].buf.pop_front();
-        }
-        let Reverse((score, assignment, s)) = self.heap.pop()?;
-        if self.shards[s].buf.is_empty() && self.shards[s].iter.is_some() {
+        };
+        let needs_refill = {
+            let ParInner::Multi { shards, .. } = &self.inner else {
+                unreachable!("Single returned above");
+            };
+            shards[s].buf.is_empty() && shards[s].iter.is_some()
+        };
+        if needs_refill {
             self.refill_dry();
         }
         self.push_head(s);

@@ -41,9 +41,15 @@ use std::collections::VecDeque;
 
 /// An adaptor re-ordering a non-decreasing-score match stream into the
 /// canonical `(score, assignment)` order; see module docs.
+///
+/// The group buffer persists across groups, so steady-state operation
+/// performs no allocation: matches arrive with their assignment rows
+/// already materialized at emission (inline for small queries), the
+/// tiebreak compares those memoized rows directly — no re-walk, no
+/// copy — and the buffer's capacity is recycled group after group.
 pub struct Canonical<I> {
     inner: I,
-    /// The current equal-score group, already sorted.
+    /// The current equal-score group, sorted once it is complete.
     group: VecDeque<ScoredMatch>,
     /// First match of the *next* group (pulled while closing a group).
     lookahead: Option<ScoredMatch>,
@@ -66,12 +72,14 @@ impl<I: Iterator<Item = ScoredMatch>> Iterator for Canonical<I> {
         if let Some(m) = self.group.pop_front() {
             return Some(m);
         }
+        // The buffer is empty here: refill it with the next complete
+        // equal-score group (capacity reused from previous groups).
         let first = self.lookahead.take().or_else(|| self.inner.next())?;
         let score = first.score;
-        let mut group = vec![first];
+        self.group.push_back(first);
         loop {
             match self.inner.next() {
-                Some(m) if m.score == score => group.push(m),
+                Some(m) if m.score == score => self.group.push_back(m),
                 boundary => {
                     debug_assert!(
                         boundary.as_ref().is_none_or(|m| m.score > score),
@@ -82,9 +90,11 @@ impl<I: Iterator<Item = ScoredMatch>> Iterator for Canonical<I> {
                 }
             }
         }
-        // Unstable is safe: assignments are pairwise distinct.
-        group.sort_unstable_by(|a, b| a.assignment.cmp(&b.assignment));
-        self.group = group.into();
+        // Unstable is safe: assignments are pairwise distinct. The
+        // deque was filled from empty, so this is one contiguous slice.
+        self.group
+            .make_contiguous()
+            .sort_unstable_by(|a, b| a.assignment.cmp(&b.assignment));
         self.group.pop_front()
     }
 }

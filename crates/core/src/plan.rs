@@ -135,6 +135,31 @@ impl QueryPlan {
         &self.full().slots
     }
 
+    /// Approximate heap bytes held by this plan's materialized halves,
+    /// estimated from candidate-list and slot-template lengths (`STATS`
+    /// surfaces the per-plan total through the service's plan cache).
+    /// A cold plan reports ~0; the estimate grows as halves and slot
+    /// lists materialize.
+    pub fn approx_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        if let Some(fs) = self.full.get() {
+            let stats = fs.rg.stats();
+            // Run-time graph: one (u32, u32) entry per edge plus the
+            // candidate index maps; bs: one Score per candidate.
+            total += stats.edges as u64 * 8 + stats.nodes as u64 * 4;
+            total += stats.nodes as u64 * 8;
+            total += fs.slots.approx_bytes() as u64;
+        }
+        if let Some(lz) = self.lazy.get() {
+            let tree = self.query.tree();
+            let cand_total: u64 = tree.node_ids().map(|u| lz.cands.len(u) as u64).sum();
+            // Candidate node ids + eᵥ bounds + recorded seed edges.
+            total += cand_total * 8;
+            total += lz.eseed.len() as u64 * std::mem::size_of::<SeedEdge>() as u64;
+        }
+        total
+    }
+
     pub(crate) fn full(&self) -> &FullSetup {
         self.full.get_or_init(|| {
             self.builds.fetch_add(1, Ordering::Relaxed);
@@ -369,6 +394,19 @@ mod tests {
                 "seeds, query {query:?}"
             );
         }
+    }
+
+    #[test]
+    fn memory_estimate_tracks_materialized_halves() {
+        // A cold plan reports ~0 bytes (nothing forced); after an
+        // enumerator materializes the full half, the estimate reflects
+        // the loaded graph + touched slot templates.
+        let g = paper_graph();
+        let plan = plan_for(&g, "a -> b\na -> c");
+        assert_eq!(plan.approx_bytes(), 0);
+        let n = canonical(TopkEnumerator::from_plan(&plan)).count();
+        assert!(n > 0);
+        assert!(plan.approx_bytes() > 0, "warm plan reports its footprint");
     }
 
     #[test]

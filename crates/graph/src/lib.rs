@@ -27,8 +27,10 @@ mod digraph;
 pub mod fixtures;
 pub mod io;
 mod labels;
+mod noderow;
 mod types;
 
 pub use digraph::{EdgeRef, GraphBuilder, GraphError, GraphStats, LabeledGraph};
 pub use labels::LabelInterner;
+pub use noderow::NodeRow;
 pub use types::{Dist, LabelId, NodeId, Score, INF_DIST, INF_SCORE};

@@ -1,0 +1,282 @@
+//! [`NodeRow`] — the inline small-row representation of a match
+//! assignment.
+//!
+//! Enumeration emits one assignment row per match; at k = 50 000 a
+//! `Vec<NodeId>` row means 50 000 heap allocations on the hottest path
+//! for no reason — real queries are small (the paper's twigs are
+//! typically 2–8 nodes). `NodeRow` stores up to [`NodeRow::INLINE`]
+//! nodes inline (one enum word + a fixed array, no heap) and spills to
+//! a `Vec` only beyond that, so the emission path of every enumerator
+//! is allocation-free for typical queries while arbitrarily large
+//! queries still work.
+//!
+//! The type dereferences to `[NodeId]` (indexing, iteration, slicing)
+//! and compares lexicographically — including against plain
+//! `Vec<NodeId>` / `[NodeId]`, so call sites and tests read as before.
+
+use crate::types::NodeId;
+use std::fmt;
+use std::ops::Deref;
+
+/// How a row's nodes are stored; see module docs.
+#[derive(Clone)]
+enum Repr {
+    /// Up to [`NodeRow::INLINE`] nodes, no heap.
+    Inline {
+        len: u8,
+        buf: [NodeId; NodeRow::INLINE],
+    },
+    /// The spill representation for larger queries.
+    Heap(Vec<NodeId>),
+}
+
+/// A match assignment row: one mapped data node per query node, in the
+/// query's BFS node order. Inline (allocation-free) up to
+/// [`NodeRow::INLINE`] nodes.
+#[derive(Clone)]
+pub struct NodeRow(Repr);
+
+impl NodeRow {
+    /// Rows up to this many nodes are stored inline, without touching
+    /// the heap. Sized for the paper's twig workloads (T2–T8); larger
+    /// queries spill transparently.
+    pub const INLINE: usize = 8;
+
+    /// An empty row.
+    #[inline]
+    pub fn new() -> Self {
+        NodeRow(Repr::Inline {
+            len: 0,
+            buf: [NodeId(0); Self::INLINE],
+        })
+    }
+
+    /// An empty row that will hold `n` nodes (heap-backed when
+    /// `n > INLINE`, so pushes never re-spill).
+    pub fn with_capacity(n: usize) -> Self {
+        if n <= Self::INLINE {
+            Self::new()
+        } else {
+            NodeRow(Repr::Heap(Vec::with_capacity(n)))
+        }
+    }
+
+    /// Appends a node.
+    #[inline]
+    pub fn push(&mut self, v: NodeId) {
+        match &mut self.0 {
+            Repr::Inline { len, buf } if (*len as usize) < Self::INLINE => {
+                buf[*len as usize] = v;
+                *len += 1;
+            }
+            Repr::Inline { len, buf } => {
+                let mut vec = Vec::with_capacity(Self::INLINE * 2);
+                vec.extend_from_slice(&buf[..*len as usize]);
+                vec.push(v);
+                self.0 = Repr::Heap(vec);
+            }
+            Repr::Heap(vec) => vec.push(v),
+        }
+    }
+
+    /// The nodes as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[NodeId] {
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(vec) => vec,
+        }
+    }
+
+    /// Copies the row into a plain `Vec`.
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for NodeRow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for NodeRow {
+    type Target = [NodeId];
+
+    #[inline]
+    fn deref(&self) -> &[NodeId] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for NodeRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl PartialEq for NodeRow {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for NodeRow {}
+
+impl PartialOrd for NodeRow {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for NodeRow {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::hash::Hash for NodeRow {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl PartialEq<Vec<NodeId>> for NodeRow {
+    fn eq(&self, other: &Vec<NodeId>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<NodeRow> for Vec<NodeId> {
+    fn eq(&self, other: &NodeRow) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[NodeId]> for NodeRow {
+    fn eq(&self, other: &[NodeId]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl FromIterator<NodeId> for NodeRow {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut row = NodeRow::with_capacity(iter.size_hint().0);
+        for v in iter {
+            row.push(v);
+        }
+        row
+    }
+}
+
+impl From<Vec<NodeId>> for NodeRow {
+    fn from(v: Vec<NodeId>) -> Self {
+        if v.len() <= Self::INLINE {
+            v.iter().copied().collect()
+        } else {
+            NodeRow(Repr::Heap(v))
+        }
+    }
+}
+
+impl From<&[NodeId]> for NodeRow {
+    fn from(v: &[NodeId]) -> Self {
+        v.iter().copied().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeRow {
+    type Item = &'a NodeId;
+    type IntoIter = std::slice::Iter<'a, NodeId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(ids: &[u32]) -> NodeRow {
+        ids.iter().map(|&v| NodeId(v)).collect()
+    }
+
+    #[test]
+    fn inline_rows_stay_inline_and_roundtrip() {
+        let r = row(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        assert!(matches!(r.0, Repr::Inline { .. }));
+        assert_eq!(r.len(), 8);
+        assert_eq!(r[2], NodeId(4));
+        assert_eq!(
+            r.to_vec(),
+            vec![
+                NodeId(3),
+                NodeId(1),
+                NodeId(4),
+                NodeId(1),
+                NodeId(5),
+                NodeId(9),
+                NodeId(2),
+                NodeId(6)
+            ]
+        );
+    }
+
+    #[test]
+    fn ninth_push_spills_to_heap() {
+        let mut r = row(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        r.push(NodeId(8));
+        assert!(matches!(r.0, Repr::Heap(_)));
+        assert_eq!(r.len(), 9);
+        assert_eq!(r[8], NodeId(8));
+        r.push(NodeId(9));
+        assert_eq!(r.len(), 10);
+    }
+
+    #[test]
+    fn comparisons_are_lexicographic_and_cross_type() {
+        assert!(row(&[1, 2]) < row(&[1, 3]));
+        assert!(row(&[1]) < row(&[1, 0]));
+        assert_eq!(row(&[5, 6]), vec![NodeId(5), NodeId(6)]);
+        assert_eq!(vec![NodeId(5), NodeId(6)], row(&[5, 6]));
+        // Spilled and inline rows with equal contents compare equal.
+        let long: Vec<NodeId> = (0..12).map(NodeId).collect();
+        let spilled = NodeRow::from(long.clone());
+        assert!(matches!(spilled.0, Repr::Heap(_)));
+        let rebuilt: NodeRow = long.iter().copied().collect();
+        assert_eq!(spilled, rebuilt);
+    }
+
+    #[test]
+    fn hash_agrees_across_representations() {
+        use std::collections::HashSet;
+        let long: Vec<NodeId> = (0..12).map(NodeId).collect();
+        let mut set = HashSet::new();
+        set.insert(NodeRow::from(long.clone()));
+        assert!(!set.insert(long.iter().copied().collect::<NodeRow>()));
+    }
+
+    #[test]
+    fn deref_gives_slice_api() {
+        let r = row(&[2, 0, 1]);
+        assert_eq!(r.first(), Some(&NodeId(2)));
+        assert_eq!(r.iter().count(), 3);
+        assert!((&r)
+            .into_iter()
+            .eq([NodeId(2), NodeId(0), NodeId(1)].iter()));
+        assert!(!r.is_empty());
+        assert!(NodeRow::new().is_empty());
+    }
+
+    #[test]
+    fn from_small_vec_goes_inline() {
+        let r = NodeRow::from(vec![NodeId(1), NodeId(2)]);
+        assert!(matches!(r.0, Repr::Inline { .. }));
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -89,6 +89,10 @@ impl<K: std::hash::Hash + Eq + Clone, V> Lru<K, V> {
     fn len(&self) -> usize {
         self.entries.len()
     }
+
+    fn values(&self) -> impl Iterator<Item = &V> {
+        self.entries.values().map(|(v, _)| v)
+    }
 }
 
 /// An LRU map from query fingerprints to match prefixes.
@@ -188,6 +192,14 @@ impl PlanCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// A snapshot of the cached plan handles (cheap `Arc` clones).
+    /// `STATS` walks each plan's [`QueryPlan::approx_bytes`] — an
+    /// O(slot cells) scan — *outside* the cache lock, so a polling
+    /// stats endpoint never stalls concurrent `OPEN`s on this mutex.
+    pub fn plans(&self) -> Vec<Arc<QueryPlan>> {
+        self.lru.values().cloned().collect()
+    }
 }
 
 #[cfg(test)]
@@ -201,7 +213,7 @@ mod tests {
                 (0..n)
                     .map(|i| ScoredMatch {
                         score: i as u64,
-                        assignment: vec![NodeId(i as u32)],
+                        assignment: vec![NodeId(i as u32)].into(),
                     })
                     .collect(),
             ),

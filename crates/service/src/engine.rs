@@ -120,6 +120,11 @@ pub struct EngineStats {
     pub cache_entries: usize,
     /// Entries in the cross-session query-plan cache.
     pub plan_entries: usize,
+    /// Approximate bytes held by all cached query plans (candidate
+    /// lists + materialized slot templates; cold plans count ~0).
+    pub plan_bytes: u64,
+    /// Approximate bytes of the single largest cached plan.
+    pub plan_largest_bytes: u64,
     /// Worker pool width.
     pub workers: usize,
     /// Monotonic counters.
@@ -336,10 +341,25 @@ impl ServiceHandle {
     /// Aggregate engine state.
     pub fn stats(&self) -> EngineStats {
         let e = &self.engine;
+        // Snapshot the plan handles under the lock, size them outside
+        // it: the per-plan estimate walks slot-template cells, which
+        // must not block concurrent opens.
+        let (plan_entries, snapshot) = {
+            let plans = e.plans.lock().expect("plan cache lock");
+            (plans.len(), plans.plans())
+        };
+        let (mut plan_bytes, mut plan_largest_bytes) = (0u64, 0u64);
+        for plan in &snapshot {
+            let b = plan.approx_bytes();
+            plan_bytes += b;
+            plan_largest_bytes = plan_largest_bytes.max(b);
+        }
         EngineStats {
             sessions_active: e.sessions.len(),
             cache_entries: e.cache.lock().expect("cache lock").len(),
-            plan_entries: e.plans.lock().expect("plan cache lock").len(),
+            plan_entries,
+            plan_bytes,
+            plan_largest_bytes,
             workers: e.pool.width(),
             metrics: e.metrics.snapshot(),
         }

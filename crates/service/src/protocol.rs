@@ -189,7 +189,7 @@ pub fn parse_next_response(text: &str) -> Result<NextBatch, String> {
             .map_err(|e| format!("bad score: {e}"))?;
         let assignment = p
             .map(|t| t.parse().map(ktpm_graph::NodeId))
-            .collect::<Result<Vec<_>, _>>()
+            .collect::<Result<ktpm_graph::NodeRow, _>>()
             .map_err(|e| format!("bad node id: {e}"))?;
         matches.push(ktpm_core::ScoredMatch { score, assignment });
     }
@@ -277,11 +277,11 @@ mod tests {
             matches: vec![
                 ScoredMatch {
                     score: 2,
-                    assignment: vec![NodeId(0), NodeId(4), NodeId(3)],
+                    assignment: vec![NodeId(0), NodeId(4), NodeId(3)].into(),
                 },
                 ScoredMatch {
                     score: 3,
-                    assignment: vec![NodeId(1), NodeId(4), NodeId(3)],
+                    assignment: vec![NodeId(1), NodeId(4), NodeId(3)].into(),
                 },
             ],
             exhausted: true,

@@ -147,10 +147,13 @@ pub fn respond(handle: &ServiceHandle, line: &str) -> String {
         Ok(Request::Stats) => {
             let s = handle.stats();
             format!(
-                "OK sessions_active={} cache_entries={} plan_entries={} workers={} {}\n",
+                "OK sessions_active={} cache_entries={} plan_entries={} plan_bytes={} \
+                 plan_largest_bytes={} workers={} {}\n",
                 s.sessions_active,
                 s.cache_entries,
                 s.plan_entries,
+                s.plan_bytes,
+                s.plan_largest_bytes,
                 s.workers,
                 s.metrics.to_wire()
             )
@@ -193,6 +196,21 @@ mod tests {
         assert!(respond(&h, &format!("NEXT {id} 1")).starts_with("ERR unknown session"));
         assert!(respond(&h, "STATS").contains("sessions_opened=1"));
         assert!(respond(&h, "STATS").contains("plan_entries=1"));
+        // Per-plan memory: the topk-en session above materialized the
+        // plan's lazy half, so the cache reports a non-zero footprint
+        // and (with one plan) total == largest.
+        let stats = respond(&h, "STATS");
+        let field = |name: &str| -> u64 {
+            stats
+                .split(&format!("{name}="))
+                .nth(1)
+                .and_then(|r| r.split_whitespace().next())
+                .expect("field present")
+                .parse()
+                .expect("numeric field")
+        };
+        assert!(field("plan_bytes") > 0, "{stats}");
+        assert_eq!(field("plan_bytes"), field("plan_largest_bytes"), "{stats}");
         assert!(respond(&h, "OPEN warp C -> E").starts_with("ERR unknown algorithm"));
         assert!(respond(&h, "OPEN topk a b c").starts_with("ERR bad query"));
         assert!(respond(&h, "HELLO").starts_with("ERR unknown command"));

@@ -472,6 +472,66 @@ mod tests {
     }
 
     #[test]
+    fn parked_arena_survives_ttl_eviction_of_unrelated_sessions() {
+        // A session's live enumerator owns its deviation arena. Park it
+        // mid-stream, let the TTL sweep reclaim a *different* idle
+        // session, and the survivor must resume off its parked arena —
+        // no re-enumeration, stream identical to an uninterrupted run.
+        let p = plan();
+        let mut oneshot = Session::new(
+            Algo::Topk,
+            "C -> E\nC -> S".into(),
+            Arc::clone(&p),
+            None,
+            pol(),
+            pool(),
+        );
+        let want = oneshot.advance(100).matches;
+        assert_eq!(want.len(), 5);
+
+        let table = SessionTable::new();
+        table
+            .insert_capped(
+                SessionId(1),
+                Session::new(
+                    Algo::Topk,
+                    "C -> E\nC -> S".into(),
+                    Arc::clone(&p),
+                    None,
+                    pol(),
+                    pool(),
+                ),
+                10,
+            )
+            .unwrap_or_else(|_| panic!("table has room"));
+        table
+            .insert_capped(
+                SessionId(2),
+                Session::new(Algo::Topk, "C -> E\nC -> S".into(), p, None, pol(), pool()),
+                10,
+            )
+            .unwrap_or_else(|_| panic!("table has room"));
+        // Session 1 produces a prefix (its enumerator + arena go live),
+        // then parks.
+        let slot = table.get(SessionId(1)).expect("live");
+        let first = slot.session.lock().unwrap().advance(2).matches;
+        assert_eq!(first, want[..2].to_vec());
+        assert!(slot.session.lock().unwrap().iter.is_some());
+        // Session 2 idles past the TTL; session 1 stays fresh.
+        std::thread::sleep(Duration::from_millis(30));
+        table.get(SessionId(1));
+        let evicted = table.sweep(Duration::from_millis(20));
+        assert_eq!(evicted.len(), 1);
+        assert!(table.get(SessionId(2)).is_none());
+        // The survivor resumes exactly where its arena left off.
+        let slot = table.get(SessionId(1)).expect("survived the sweep");
+        let mut s = slot.session.lock().unwrap();
+        let rest = s.advance(100);
+        assert!(rest.exhausted);
+        assert_eq!(rest.matches, want[2..].to_vec());
+    }
+
+    #[test]
     fn table_sweep_evicts_only_idle_sessions() {
         let p = plan();
         let table = SessionTable::new();

@@ -1,21 +1,41 @@
 //! Binary layout of the closure store file.
 //!
 //! ```text
-//! magic "KTPMCLO1"
+//! magic "KTPMCLO2"
 //! u32 num_nodes, u32 num_labels
 //! labels: num_nodes * u32
+//! u32 crc32 over [num_nodes .. labels]                  (v2 only)
 //! per pair (in index order):
-//!   D section:    u32 count, count * (u32 node, u32 dist)
-//!   E section:    u32 count, count * (u32 src, u32 dst, u32 dist)
-//!   L directory:  u32 group_count, group_count * (u32 dst, u64 abs_off, u32 len)
-//!   L groups:     per group: len * (u32 src, u32 dist), ascending dist
-//! index: u32 num_pairs, num_pairs * (u32 a, u32 b, u64 d_off, u64 e_off, u64 dir_off)
-//! footer: u64 index_offset, magic "KTPMCLO1"
+//!   D section:    u32 count, count * (u32 node, u32 dist), u32 crc32†
+//!   E section:    u32 count, count * (u32 src, u32 dst, u32 dist), u32 crc32†
+//!   L directory:  u32 group_count, group_count * (u32 dst, u64 abs_off, u32 len), u32 crc32†
+//!   L groups:     per group: len * (u32 src, u32 dist), ascending dist,
+//!                 then u32 crc32 over all of the pair's groups†
+//! index: u32 num_pairs, num_pairs * (u32 a, u32 b, u64 d_off, u64 e_off, u64 dir_off), u32 crc32†
+//! footer: u64 index_offset, magic "KTPMCLO2"
 //! ```
+//!
+//! († = format version 2 only.)
 //!
 //! All integers little-endian. The `L` layout mirrors §4.1: incoming
 //! edges of each node, grouped exclusively per (source label, node),
 //! sorted by distance, addressable without scanning the table.
+//!
+//! ## Versions and checksums
+//!
+//! Version 2 (magic `KTPMCLO2`) appends a CRC-32 (IEEE) to every
+//! section, covering the section's payload bytes (including its count
+//! prefix). The reader verifies the header and index checksums
+//! **eagerly at open**, every `D`/`E`/directory checksum on the read
+//! that first touches the section, and a pair's group-region checksum
+//! on whole-pair loads — so bit rot is detected the moment damaged
+//! bytes are read, as [`StorageError::Corrupt`], not merely
+//! bounds-checked. Block cursors ([`crate::EdgeCursor`]) stream group
+//! fragments and stay bounds-checked only (verifying would force
+//! reading the whole group, defeating lazy loading).
+//!
+//! Version 1 files (magic `KTPMCLO1`, no checksums) still open and
+//! read — verification is simply skipped.
 //!
 //! The `get_*` readers are **fallible**: a buffer too short for the
 //! requested integer yields [`StorageError::Corrupt`] instead of a
@@ -23,9 +43,91 @@
 //! from [`crate::FileStore::open`] rather than aborting the process.
 
 use crate::source::StorageError;
+use std::sync::OnceLock;
 
-pub const MAGIC: &[u8; 8] = b"KTPMCLO1";
+/// Current format magic (version 2, per-section checksums).
+pub const MAGIC: &[u8; 8] = b"KTPMCLO2";
+/// Version-1 magic (no checksums); still readable.
+pub const MAGIC_V1: &[u8; 8] = b"KTPMCLO1";
 pub const FOOTER_LEN: u64 = 8 + 8;
+
+/// On-disk format versions the writer can emit and the reader accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormatVersion {
+    /// Magic `KTPMCLO1`: no checksums.
+    V1,
+    /// Magic `KTPMCLO2`: CRC-32 per section (the default).
+    V2,
+}
+
+impl FormatVersion {
+    /// The magic bytes of this version.
+    pub fn magic(self) -> &'static [u8; 8] {
+        match self {
+            FormatVersion::V1 => MAGIC_V1,
+            FormatVersion::V2 => MAGIC,
+        }
+    }
+
+    /// Detects the version from magic bytes.
+    pub fn from_magic(bytes: &[u8]) -> Option<FormatVersion> {
+        if bytes == MAGIC {
+            Some(FormatVersion::V2)
+        } else if bytes == MAGIC_V1 {
+            Some(FormatVersion::V1)
+        } else {
+            None
+        }
+    }
+
+    /// Whether sections carry a trailing CRC-32.
+    pub fn has_crc(self) -> bool {
+        matches!(self, FormatVersion::V2)
+    }
+}
+
+fn crc_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// Streaming CRC-32 (IEEE 802.3) update; start from
+/// [`CRC_INIT`], finish with [`crc32_finish`].
+pub fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut c = state;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+/// Initial CRC-32 state.
+pub const CRC_INIT: u32 = 0xFFFF_FFFF;
+
+/// Finalizes a streaming CRC-32 state.
+pub fn crc32_finish(state: u32) -> u32 {
+    state ^ 0xFFFF_FFFF
+}
+
+/// One-shot CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_finish(crc32_update(CRC_INIT, bytes))
+}
 
 /// Size of one `L` entry on disk: `(u32 src, u32 dist)`.
 pub const L_ENTRY_BYTES: usize = 8;
@@ -126,5 +228,25 @@ mod tests {
         let mut pos = usize::MAX - 1;
         assert!(get_u32(&buf, &mut pos).is_err());
         assert!(get_u64(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Streaming equals one-shot.
+        let s = crc32_update(CRC_INIT, b"1234");
+        let s = crc32_update(s, b"56789");
+        assert_eq!(crc32_finish(s), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn version_magic_roundtrip() {
+        assert_eq!(FormatVersion::from_magic(MAGIC), Some(FormatVersion::V2));
+        assert_eq!(FormatVersion::from_magic(MAGIC_V1), Some(FormatVersion::V1));
+        assert_eq!(FormatVersion::from_magic(b"KTPMXXX9"), None);
+        assert!(FormatVersion::V2.has_crc());
+        assert!(!FormatVersion::V1.has_crc());
     }
 }

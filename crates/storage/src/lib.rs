@@ -29,6 +29,7 @@ mod shard;
 mod source;
 mod writer;
 
+pub use format::FormatVersion;
 pub use iostats::{IoSnapshot, IoStats};
 pub use mem::MemStore;
 pub use ondemand::OnDemandStore;
@@ -37,4 +38,4 @@ pub use shard::ShardSpec;
 pub use source::{
     merge_sorted_blocks, ClosureSource, EdgeCursor, SharedSource, SourceRef, StorageError,
 };
-pub use writer::write_store;
+pub use writer::{write_store, write_store_versioned};

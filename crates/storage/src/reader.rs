@@ -6,6 +6,13 @@
 //! surfaces as [`StorageError::Corrupt`] from [`FileStore::open`] (or
 //! degrades to empty tables on the infallible trait methods), never as
 //! a panic or an absurd allocation.
+//!
+//! Version-2 snapshots additionally carry per-section CRC-32 checksums
+//! (see the `format` module docs): the header and index are verified eagerly
+//! at [`FileStore::open`], each `D`/`E`/directory section on first
+//! read, and a pair's group region on whole-pair loads —
+//! [`FileStore::verify`] scrubs everything at once. Version-1 files
+//! (no checksums) keep opening and reading unchanged.
 
 use crate::format::*;
 use crate::iostats::{IoSnapshot, IoStats};
@@ -74,14 +81,17 @@ pub struct FileStore {
     index: HashMap<(LabelId, LabelId), (u64, u64, u64)>,
     dirs: Mutex<DirCache>,
     block_edges: usize,
+    version: FormatVersion,
 }
 
 impl FileStore {
-    /// Opens a store written by [`crate::write_store`].
+    /// Opens a store written by [`crate::write_store`] (either format
+    /// version — v2 checksums are verified, v1 has none).
     ///
     /// Errors: [`StorageError::BadFormat`] when the file is not a
     /// closure store at all (wrong magic), [`StorageError::Corrupt`]
-    /// when it is one but truncated or damaged.
+    /// when it is one but truncated or damaged (including a header or
+    /// index checksum mismatch, verified eagerly here).
     pub fn open(path: &Path) -> Result<Self, StorageError> {
         Self::open_with_block_edges(path, DEFAULT_BLOCK_EDGES)
     }
@@ -98,7 +108,13 @@ impl FileStore {
             // half the magic before diagnosing a damaged store.
             let mut head = vec![0u8; len.min(8) as usize];
             file.read_exact(&mut head)?;
-            if head.len() < 4 || head != MAGIC[..head.len()] {
+            let is_store_prefix = if head.len() < 8 {
+                // Both versions share the first 7 bytes.
+                head.len() >= 4 && head == MAGIC[..head.len().min(7)]
+            } else {
+                FormatVersion::from_magic(&head).is_some()
+            };
+            if !is_store_prefix {
                 return Err(StorageError::BadFormat("bad magic".into()));
             }
             return Err(StorageError::Corrupt {
@@ -110,15 +126,16 @@ impl FileStore {
         let mut head = [0u8; 16];
         file.seek(SeekFrom::Start(0))?;
         file.read_exact(&mut head).map_err(|e| map_eof(e, 0, 16))?;
-        if &head[..8] != MAGIC {
+        let Some(version) = FormatVersion::from_magic(&head[..8]) else {
             return Err(StorageError::BadFormat("bad magic".into()));
-        }
+        };
+        let head_crc_len: u64 = if version.has_crc() { 4 } else { 0 };
         let mut pos = 8;
         let num_nodes = get_u32(&head, &mut pos)? as usize;
         let _num_labels = get_u32(&head, &mut pos)?;
         let label_bytes = num_nodes
             .checked_mul(4)
-            .filter(|&b| 16 + b as u64 + FOOTER_LEN <= len)
+            .filter(|&b| 16 + b as u64 + head_crc_len + FOOTER_LEN <= len)
             .ok_or(StorageError::Corrupt {
                 offset: 16,
                 needed: num_nodes.saturating_mul(4),
@@ -126,6 +143,20 @@ impl FileStore {
         let mut label_buf = vec![0u8; label_bytes];
         file.read_exact(&mut label_buf)
             .map_err(|e| map_eof(e, 16, label_bytes))?;
+        if version.has_crc() {
+            // Eager header verification: counts + labels.
+            let mut crc_buf = [0u8; 4];
+            file.read_exact(&mut crc_buf)
+                .map_err(|e| map_eof(e, 16 + label_bytes as u64, 4))?;
+            let state = crc32_update(CRC_INIT, &head[8..16]);
+            let state = crc32_update(state, &label_buf);
+            if crc32_finish(state) != u32::from_le_bytes(crc_buf) {
+                return Err(StorageError::Corrupt {
+                    offset: 8,
+                    needed: 8 + label_bytes,
+                });
+            }
+        }
         let labels: Vec<LabelId> = label_buf
             .chunks_exact(4)
             .map(|c| LabelId(u32::from_le_bytes(c.try_into().expect("chunked to 4"))))
@@ -135,7 +166,7 @@ impl FileStore {
         file.seek(SeekFrom::Start(len - FOOTER_LEN))?;
         file.read_exact(&mut foot)
             .map_err(|e| map_eof(e, len - FOOTER_LEN, foot.len()))?;
-        if &foot[8..] != MAGIC {
+        if &foot[8..] != version.magic() {
             // The header proved this is one of our stores; a wrong
             // footer means the tail (where the index lives) is gone.
             return Err(StorageError::Corrupt {
@@ -160,9 +191,10 @@ impl FileStore {
         file.read_exact(&mut count_buf)
             .map_err(|e| map_eof(e, index_off, 4))?;
         let num_pairs = u32::from_le_bytes(count_buf) as usize;
+        let idx_crc_len: u64 = if version.has_crc() { 4 } else { 0 };
         let idx_bytes = num_pairs
             .checked_mul(4 + 4 + 8 + 8 + 8)
-            .filter(|&b| index_off + 4 + b as u64 <= len - FOOTER_LEN)
+            .filter(|&b| index_off + 4 + b as u64 + idx_crc_len <= len - FOOTER_LEN)
             .ok_or(StorageError::Corrupt {
                 offset: index_off + 4,
                 needed: num_pairs.saturating_mul(32),
@@ -170,6 +202,20 @@ impl FileStore {
         let mut idx_buf = vec![0u8; idx_bytes];
         file.read_exact(&mut idx_buf)
             .map_err(|e| map_eof(e, index_off + 4, idx_bytes))?;
+        if version.has_crc() {
+            // Eager index verification.
+            let mut crc_buf = [0u8; 4];
+            file.read_exact(&mut crc_buf)
+                .map_err(|e| map_eof(e, index_off + 4 + idx_bytes as u64, 4))?;
+            let state = crc32_update(CRC_INIT, &count_buf);
+            let state = crc32_update(state, &idx_buf);
+            if crc32_finish(state) != u32::from_le_bytes(crc_buf) {
+                return Err(StorageError::Corrupt {
+                    offset: index_off,
+                    needed: idx_bytes + 4,
+                });
+            }
+        }
         let mut index = HashMap::with_capacity(num_pairs);
         let mut pos = 0;
         for _ in 0..num_pairs {
@@ -190,6 +236,7 @@ impl FileStore {
             index,
             dirs: Mutex::new(HashMap::new()),
             block_edges: block_edges.max(1),
+            version,
         })
     }
 
@@ -198,10 +245,110 @@ impl FileStore {
         Arc::new(self)
     }
 
+    /// The snapshot's on-disk format version.
+    pub fn version(&self) -> FormatVersion {
+        self.version
+    }
+
+    /// Scrubs the whole snapshot: re-verifies every `D`/`E`/directory
+    /// section checksum and every pair's group-region checksum (the
+    /// header and index were already verified at open). A no-op `Ok`
+    /// on checksum-free v1 files. Returns the first mismatch as
+    /// [`StorageError::Corrupt`].
+    pub fn verify(&self) -> Result<(), StorageError> {
+        if !self.version.has_crc() {
+            return Ok(());
+        }
+        let mut keys: Vec<_> = self.index.iter().map(|(&k, &v)| (k, v)).collect();
+        keys.sort_unstable_by_key(|&(k, _)| k);
+        for ((a, b), (d_off, e_off, _)) in keys {
+            let count = self.read_count(d_off)?;
+            self.read_body(d_off, count, 8)?;
+            let count = self.read_count(e_off)?;
+            self.read_body(e_off, count, 12)?;
+            let dir = self.directory(a, b)?.expect("pair key came from the index");
+            self.read_group_region(&dir)?;
+        }
+        Ok(())
+    }
+
     /// Reads the 4-byte count at `off`, bounds-validated.
     fn read_count(&self, off: u64) -> Result<usize, StorageError> {
         let buf = self.shared.read_vec(off, 4)?;
         Ok(u32::from_le_bytes(buf.try_into().expect("read 4 bytes")) as usize)
+    }
+
+    /// Reads a counted section's body (`count * entry_bytes` at
+    /// `count_off + 4`), verifying the trailing CRC over count + body
+    /// on v2 snapshots. Returns exactly the body bytes.
+    fn read_body(
+        &self,
+        count_off: u64,
+        count: usize,
+        entry_bytes: usize,
+    ) -> Result<Vec<u8>, StorageError> {
+        let body_bytes = count
+            .checked_mul(entry_bytes)
+            .ok_or(StorageError::Corrupt {
+                offset: count_off,
+                needed: count.saturating_mul(entry_bytes),
+            })?;
+        if !self.version.has_crc() {
+            return self.shared.read_vec(count_off + 4, body_bytes);
+        }
+        let mut buf = self.shared.read_vec(count_off + 4, body_bytes + 4)?;
+        let expect = u32::from_le_bytes(
+            buf[body_bytes..]
+                .try_into()
+                .expect("sliced the trailing 4 bytes"),
+        );
+        let state = crc32_update(CRC_INIT, &(count as u32).to_le_bytes());
+        let state = crc32_update(state, &buf[..body_bytes]);
+        if crc32_finish(state) != expect {
+            return Err(StorageError::Corrupt {
+                offset: count_off,
+                needed: body_bytes + 8,
+            });
+        }
+        buf.truncate(body_bytes);
+        Ok(buf)
+    }
+
+    /// Reads (and on v2 verifies) a pair's whole contiguous group
+    /// region, as laid out by the writer in directory order. Offsets
+    /// come from the directory, which on v1 snapshots is *unverified* —
+    /// all arithmetic is checked so corrupt offsets surface as
+    /// [`StorageError::Corrupt`], never as an overflow panic.
+    fn read_group_region(&self, dir: &[DirEntry]) -> Result<Vec<u8>, StorageError> {
+        let Some(&(_, start, _)) = dir.first() else {
+            return Ok(Vec::new());
+        };
+        let (_, last_off, last_len) = *dir.last().expect("non-empty");
+        let end = last_off
+            .checked_add(last_len as u64 * L_ENTRY_BYTES as u64)
+            .filter(|&e| e >= start)
+            .ok_or(StorageError::Corrupt {
+                offset: last_off,
+                needed: last_len as usize * L_ENTRY_BYTES,
+            })?;
+        let bytes = (end - start) as usize;
+        if !self.version.has_crc() {
+            return self.shared.read_vec(start, bytes);
+        }
+        let mut buf = self.shared.read_vec(start, bytes + 4)?;
+        let expect = u32::from_le_bytes(
+            buf[bytes..]
+                .try_into()
+                .expect("sliced the trailing 4 bytes"),
+        );
+        if crc32(&buf[..bytes]) != expect {
+            return Err(StorageError::Corrupt {
+                offset: start,
+                needed: bytes + 4,
+            });
+        }
+        buf.truncate(bytes);
+        Ok(buf)
     }
 
     fn directory(
@@ -216,11 +363,7 @@ impl FileStore {
             return Ok(None);
         };
         let count = self.read_count(dir_off)?;
-        let bytes = count.checked_mul(4 + 8 + 4).ok_or(StorageError::Corrupt {
-            offset: dir_off,
-            needed: count.saturating_mul(4 + 8 + 4),
-        })?;
-        let buf = self.shared.read_vec(dir_off + 4, bytes)?;
+        let buf = self.read_body(dir_off, count, 4 + 8 + 4)?;
         let mut pos = 0;
         let mut dir = Vec::with_capacity(count);
         for _ in 0..count {
@@ -258,11 +401,7 @@ impl FileStore {
 
     fn load_d_inner(&self, d_off: u64) -> Result<Vec<(NodeId, Dist)>, StorageError> {
         let count = self.read_count(d_off)?;
-        let bytes = count.checked_mul(8).ok_or(StorageError::Corrupt {
-            offset: d_off,
-            needed: count.saturating_mul(8),
-        })?;
-        let buf = self.shared.read_vec(d_off + 4, bytes)?;
+        let buf = self.read_body(d_off, count, 8)?;
         let mut pos = 0;
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
@@ -276,11 +415,7 @@ impl FileStore {
 
     fn load_e_inner(&self, e_off: u64) -> Result<Vec<(NodeId, NodeId, Dist)>, StorageError> {
         let count = self.read_count(e_off)?;
-        let bytes = count.checked_mul(12).ok_or(StorageError::Corrupt {
-            offset: e_off,
-            needed: count.saturating_mul(12),
-        })?;
-        let buf = self.shared.read_vec(e_off + 4, bytes)?;
+        let buf = self.read_body(e_off, count, 12)?;
         let mut pos = 0;
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
@@ -327,13 +462,37 @@ impl ClosureSource for FileStore {
         let Ok(Some(dir)) = self.directory(a, b) else {
             return Vec::new();
         };
+        // Whole-pair load: one read of the contiguous group region,
+        // CRC-verified on v2 (a mismatch degrades to empty, like every
+        // corrupt read on the infallible trait methods).
+        let Ok(region) = self.read_group_region(&dir) else {
+            return Vec::new();
+        };
+        let Some(&(_, base, _)) = dir.first() else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
+        let mut total = 0u64;
         for &(v, off, len) in dir.iter() {
-            match self.read_group(off, len as usize) {
-                Ok(group) => out.extend(group.into_iter().map(|(s, d)| (s, v, d))),
-                Err(_) => return out,
+            // Directory offsets are unverified on v1 snapshots: a
+            // corrupt entry below the region base degrades to a partial
+            // result instead of underflowing.
+            let Some(rel) = off.checked_sub(base) else {
+                return out;
+            };
+            let mut pos = rel as usize;
+            for _ in 0..len {
+                let Ok(s) = get_u32(&region, &mut pos) else {
+                    return out;
+                };
+                let Ok(d) = get_u32(&region, &mut pos) else {
+                    return out;
+                };
+                out.push((NodeId(s), v, d));
             }
+            total += len as u64;
         }
+        self.shared.io.add_edges(total);
         out
     }
 

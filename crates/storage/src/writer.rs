@@ -7,20 +7,39 @@ use ktpm_graph::NodeId;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
-/// Writes the closure store file for `tables` at `path`.
+/// Writes the closure store file for `tables` at `path`, in the current
+/// format version (per-section CRC-32 checksums; see the `format`
+/// module docs).
 ///
 /// Pairs are written in sorted key order so the output is deterministic.
 pub fn write_store(tables: &ClosureTables, path: &Path) -> Result<(), StorageError> {
+    write_store_versioned(tables, path, FormatVersion::V2)
+}
+
+/// As [`write_store`] with an explicit [`FormatVersion`] — `V1` emits
+/// the checksum-free legacy layout (used to exercise the reader's
+/// old-version path and to produce files for pre-checksum consumers).
+pub fn write_store_versioned(
+    tables: &ClosureTables,
+    path: &Path,
+    version: FormatVersion,
+) -> Result<(), StorageError> {
+    let crc = version.has_crc();
     let file = std::fs::File::create(path)?;
     let mut w = BufWriter::new(file);
     let mut offset: u64 = 0;
     let emit = |w: &mut BufWriter<std::fs::File>, buf: &[u8], offset: &mut u64| {
         w.write_all(buf).map(|()| *offset += buf.len() as u64)
     };
+    /// Appends the CRC-32 of everything in `buf` past `from`.
+    fn seal(buf: &mut Vec<u8>, from: usize) {
+        let sum = crc32(&buf[from..]);
+        put_u32(buf, sum);
+    }
 
-    // Header.
+    // Header: magic, counts, labels [, crc over counts + labels].
     let mut buf = Vec::new();
-    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(version.magic());
     let n = tables.num_nodes();
     let num_labels = (0..n)
         .map(|i| tables.label(NodeId(i as u32)).0 + 1)
@@ -30,6 +49,9 @@ pub fn write_store(tables: &ClosureTables, path: &Path) -> Result<(), StorageErr
     put_u32(&mut buf, num_labels);
     for i in 0..n {
         put_u32(&mut buf, tables.label(NodeId(i as u32)).0);
+    }
+    if crc {
+        seal(&mut buf, 8);
     }
     emit(&mut w, &buf, &mut offset)?;
 
@@ -51,6 +73,9 @@ pub fn write_store(tables: &ClosureTables, path: &Path) -> Result<(), StorageErr
                 table.min_incoming_dist(v).expect("non-empty group"),
             );
         }
+        if crc {
+            seal(&mut buf, 0);
+        }
         emit(&mut w, &buf, &mut offset)?;
 
         // E section.
@@ -62,12 +87,16 @@ pub fn write_store(tables: &ClosureTables, path: &Path) -> Result<(), StorageErr
             put_u32(&mut buf, d.0);
             put_u32(&mut buf, dist);
         }
+        if crc {
+            seal(&mut buf, 0);
+        }
         emit(&mut w, &buf, &mut offset)?;
 
         // L directory + groups. Directory entries carry absolute offsets,
-        // so compute the groups' base first.
+        // so compute the groups' base first (past the directory and, in
+        // v2, its trailing checksum).
         let dir_off = offset;
-        let dir_bytes = 4 + table.dst_nodes().len() * (4 + 8 + 4);
+        let dir_bytes = 4 + table.dst_nodes().len() * (4 + 8 + 4) + if crc { 4 } else { 0 };
         let mut groups_base = dir_off + dir_bytes as u64;
         let mut buf = Vec::new();
         put_u32(&mut buf, table.dst_nodes().len() as u32);
@@ -78,11 +107,20 @@ pub fn write_store(tables: &ClosureTables, path: &Path) -> Result<(), StorageErr
             put_u32(&mut buf, len as u32);
             groups_base += (len * L_ENTRY_BYTES) as u64;
         }
+        if crc {
+            seal(&mut buf, 0);
+        }
+        let groups_from = buf.len();
         for &v in table.dst_nodes() {
             for &(s, dist) in table.incoming(v) {
                 put_u32(&mut buf, s.0);
                 put_u32(&mut buf, dist);
             }
+        }
+        if crc {
+            // One checksum over the pair's whole group region, verified
+            // on whole-pair loads (cursors stream and stay unchecked).
+            seal(&mut buf, groups_from);
         }
         emit(&mut w, &buf, &mut offset)?;
         index_entries.push((a.0, b.0, d_off, e_off, dir_off));
@@ -99,8 +137,11 @@ pub fn write_store(tables: &ClosureTables, path: &Path) -> Result<(), StorageErr
         put_u64(&mut buf, e);
         put_u64(&mut buf, dir);
     }
+    if crc {
+        seal(&mut buf, 0);
+    }
     put_u64(&mut buf, index_off);
-    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(version.magic());
     emit(&mut w, &buf, &mut offset)?;
     w.flush()?;
     Ok(())

@@ -103,7 +103,7 @@ pub mod prelude {
     };
     pub use ktpm_exec::WorkerPool;
     pub use ktpm_graph::{
-        Dist, GraphBuilder, LabelId, LabeledGraph, NodeId, Score, INF_DIST, INF_SCORE,
+        Dist, GraphBuilder, LabelId, LabeledGraph, NodeId, NodeRow, Score, INF_DIST, INF_SCORE,
     };
     pub use ktpm_kgpm::{GraphMatch, KgpmContext, TreeMatcher};
     pub use ktpm_query::{
@@ -114,7 +114,8 @@ pub mod prelude {
         Algo, NextBatch, QueryEngine, Server, ServiceConfig, ServiceHandle, SessionId,
     };
     pub use ktpm_storage::{
-        write_store, ClosureSource, FileStore, MemStore, OnDemandStore, SharedSource,
+        write_store, write_store_versioned, ClosureSource, FileStore, FormatVersion, MemStore,
+        OnDemandStore, SharedSource,
     };
     pub use ktpm_workload::{generate, query_set, random_tree_query, GraphSpec, QuerySpec};
 }

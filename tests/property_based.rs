@@ -201,6 +201,70 @@ proptest! {
     }
 
     #[test]
+    fn arena_encoded_engines_match_clone_based_reference_with_resume(
+        nodes in 20..120usize,
+        seed in 0..10_000u64,
+        size in 2..5usize,
+        shards in 1..7usize,
+        k in 1..60usize,
+        pause in 0..60usize,
+    ) {
+        // The arena-backed deviation encoding must leave every engine's
+        // canonical stream element-for-element identical — score,
+        // assignment and order — to the retained clone-based reference
+        // (`brute::all_matches` fully materializes every match the
+        // pre-arena way), for random k, shard counts and resume points.
+        // Consumption is split at `pause` so the parked enumerator
+        // state (arena, heaps, shard buffers) crosses a resume
+        // boundary mid-stream.
+        let spec = GraphSpec {
+            nodes,
+            labels: 5,
+            label_skew: 0.5,
+            avg_out_degree: 2.5,
+            community: 30,
+            cross_fraction: 0.1,
+            weight_range: (1, 3),
+            seed,
+        };
+        let g = generate(&spec);
+        let query = random_tree_query(&g, QuerySpec {
+            size,
+            distinct_labels: false,
+            seed: seed ^ 0x5A5A,
+        });
+        if let Some(q) = query {
+            let resolved = q.resolve(g.interner());
+            let tables = ClosureTables::compute(&g);
+            let store = MemStore::with_block_edges(tables.clone(), 2);
+            let rg = RuntimeGraph::load(&resolved, &store);
+            let reference = ktpm::core::brute::all_matches(&rg);
+            let want: Vec<ScoredMatch> = reference.into_iter().take(k).collect();
+            let j = pause.min(k);
+            let split = |mut it: Box<dyn Iterator<Item = ScoredMatch>>| -> Vec<ScoredMatch> {
+                let mut out: Vec<ScoredMatch> = it.by_ref().take(j).collect();
+                out.extend(it.take(k - j));
+                out
+            };
+            let topk = split(Box::new(canonical(TopkEnumerator::new(&rg))));
+            prop_assert_eq!(&topk, &want, "Topk, k {} pause {}", k, j);
+            let en = split(Box::new(canonical(TopkEnEnumerator::new(&resolved, &store))));
+            prop_assert_eq!(&en, &want, "Topk-EN, k {} pause {}", k, j);
+            let shared: SharedSource = MemStore::with_block_edges(tables, 2).into_shared();
+            for engine in [ShardEngine::Full, ShardEngine::Lazy] {
+                let policy = ParallelPolicy { shards, batch: 3, engine };
+                let par = split(Box::new(ParTopk::new(
+                    &resolved,
+                    Arc::clone(&shared),
+                    &policy,
+                    ktpm::exec::default_pool(),
+                )));
+                prop_assert_eq!(&par, &want, "{:?} x{} k {} pause {}", engine, shards, k, j);
+            }
+        }
+    }
+
+    #[test]
     fn corrupt_or_truncated_stores_error_never_panic(
         nodes in 20..100usize,
         seed in 0..10_000u64,
