@@ -58,7 +58,7 @@ pub fn alloc_count() -> u64 {
 
 use ktpm_baseline::{DpBEnumerator, DpPEnumerator};
 use ktpm_closure::ClosureTables;
-use ktpm_core::{ParTopk, ParallelPolicy, TopkEnEnumerator, TopkEnumerator};
+use ktpm_core::{build_stream, MatchStream, ParallelPolicy, QueryPlan};
 use ktpm_exec::WorkerPool;
 use ktpm_graph::LabeledGraph;
 use ktpm_query::ResolvedQuery;
@@ -233,35 +233,67 @@ impl Algo {
     }
 }
 
+/// Measures one facade stream — the same execution path `ktpm::api`,
+/// `ktpm query` and serving sessions run: the engine is selected by
+/// [`ktpm_core::Algo`] through the single [`build_stream`] dispatch,
+/// top-1 is one pull, and the remaining `k-1` matches arrive in ONE
+/// batched `next_batch` call (the shape a `NEXT <s> k` serves).
+pub fn run_stream(
+    ds: &Dataset,
+    query: &ResolvedQuery,
+    k: usize,
+    algo: ktpm_core::Algo,
+    policy: &ParallelPolicy,
+    pool: &Arc<WorkerPool>,
+) -> Measurement {
+    ds.store.reset_io();
+    let mut m = Measurement::default();
+    let t0 = Instant::now();
+    let plan = QueryPlan::new(query.clone(), Arc::clone(&ds.store));
+    let mut it = build_stream(algo, &plan, policy, Arc::clone(pool));
+    let first = MatchStream::next(&mut *it);
+    m.top1_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let mut rest = Vec::new();
+    if first.is_some() {
+        it.next_batch(k.saturating_sub(1), &mut rest);
+    }
+    m.produced = usize::from(first.is_some()) + rest.len();
+    m.enum_secs = t1.elapsed().as_secs_f64();
+    let io = ds.store.io();
+    m.edges_loaded = io.edges_read;
+    m.bytes_read = io.bytes_read;
+    m
+}
+
 /// Runs `algo` for the top-`k` matches of `query`, measuring phases and
-/// I/O against the dataset's disk store.
+/// I/O against the dataset's disk store. The paper algorithms go
+/// through the facade stream ([`run_stream`] — no per-algorithm
+/// constructor special-casing); the DP baselines predate the facade
+/// and keep their own drivers.
 pub fn run_algo(ds: &Dataset, query: &ResolvedQuery, k: usize, algo: Algo) -> Measurement {
+    let core = match algo {
+        Algo::Topk => Some(ktpm_core::Algo::Topk),
+        Algo::TopkEn => Some(ktpm_core::Algo::TopkEn),
+        Algo::DpB | Algo::DpP => None,
+    };
+    if let Some(core) = core {
+        return run_stream(
+            ds,
+            query,
+            k,
+            core,
+            &ParallelPolicy::default(),
+            &ktpm_exec::default_pool(),
+        );
+    }
     ds.store.reset_io();
     let mut m = Measurement::default();
     match algo {
-        Algo::Topk => {
-            let t0 = Instant::now();
-            let rg = RuntimeGraph::load(query, ds.store.as_ref());
-            let mut it = TopkEnumerator::new(&rg);
-            let first = it.next();
-            m.top1_secs = t0.elapsed().as_secs_f64();
-            let t1 = Instant::now();
-            m.produced = usize::from(first.is_some()) + it.take(k.saturating_sub(1)).count();
-            m.enum_secs = t1.elapsed().as_secs_f64();
-        }
         Algo::DpB => {
             let t0 = Instant::now();
             let rg = RuntimeGraph::load(query, ds.store.as_ref());
             let mut it = DpBEnumerator::new(&rg);
-            let first = it.next();
-            m.top1_secs = t0.elapsed().as_secs_f64();
-            let t1 = Instant::now();
-            m.produced = usize::from(first.is_some()) + it.take(k.saturating_sub(1)).count();
-            m.enum_secs = t1.elapsed().as_secs_f64();
-        }
-        Algo::TopkEn => {
-            let t0 = Instant::now();
-            let mut it = TopkEnEnumerator::new(query, ds.store.as_ref());
             let first = it.next();
             m.top1_secs = t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
@@ -277,6 +309,7 @@ pub fn run_algo(ds: &Dataset, query: &ResolvedQuery, k: usize, algo: Algo) -> Me
             m.produced = usize::from(first.is_some()) + it.take(k.saturating_sub(1)).count();
             m.enum_secs = t1.elapsed().as_secs_f64();
         }
+        Algo::Topk | Algo::TopkEn => unreachable!("routed through run_stream above"),
     }
     let io = ds.store.io();
     m.edges_loaded = io.edges_read;
@@ -285,9 +318,9 @@ pub fn run_algo(ds: &Dataset, query: &ResolvedQuery, k: usize, algo: Algo) -> Me
 }
 
 /// Runs `ParTopk` with `shards` shards for the top-`k` matches of
-/// `query` on `pool`, measuring the same phases as [`run_algo`]. With
-/// `shards == 1` this is the sequential canonical-order baseline the
-/// speedup figures compare against.
+/// `query` on `pool` — [`run_stream`] with [`ktpm_core::Algo::Par`].
+/// With `shards == 1` this is the sequential canonical-order baseline
+/// the speedup figures compare against.
 pub fn run_par(
     ds: &Dataset,
     query: &ResolvedQuery,
@@ -295,20 +328,14 @@ pub fn run_par(
     shards: usize,
     pool: &Arc<WorkerPool>,
 ) -> Measurement {
-    ds.store.reset_io();
-    let mut m = Measurement::default();
-    let policy = ParallelPolicy::with_shards(shards);
-    let t0 = Instant::now();
-    let mut it = ParTopk::new(query, Arc::clone(&ds.store), &policy, Arc::clone(pool));
-    let first = it.next();
-    m.top1_secs = t0.elapsed().as_secs_f64();
-    let t1 = Instant::now();
-    m.produced = usize::from(first.is_some()) + it.take(k.saturating_sub(1)).count();
-    m.enum_secs = t1.elapsed().as_secs_f64();
-    let io = ds.store.io();
-    m.edges_loaded = io.edges_read;
-    m.bytes_read = io.bytes_read;
-    m
+    run_stream(
+        ds,
+        query,
+        k,
+        ktpm_core::Algo::Par,
+        &ParallelPolicy::with_shards(shards),
+        pool,
+    )
 }
 
 /// Averages [`run_par`] over a query set (same shape as
@@ -390,6 +417,7 @@ pub fn fmt_secs(s: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ktpm_core::{TopkEnEnumerator, TopkEnumerator};
 
     #[test]
     fn prepare_and_measure_smoke() {

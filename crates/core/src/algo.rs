@@ -1,0 +1,149 @@
+//! The canonical algorithm registry.
+//!
+//! Every execution surface — the `ktpm::api` facade, `ktpm query`,
+//! the wire protocol's `OPEN <algo> …`, the bench drivers — selects an
+//! engine through this one enum, so the set of names, their parsing and
+//! their per-algorithm capabilities cannot drift between layers. (The
+//! enum lived in `ktpm-service` until the facade redesign; it moved
+//! here because core owns the engines and the [`crate::build_stream`]
+//! dispatch that constructs them.)
+
+use crate::plan::QueryPlan;
+use crate::stream::{build_stream, BoxedMatchStream};
+use crate::ParallelPolicy;
+use ktpm_exec::WorkerPool;
+use std::sync::Arc;
+
+/// The algorithms behind the single [`crate::MatchStream`] surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// Algorithm 1 (`Topk`): full run-time graph load, optimal
+    /// per-result delay.
+    Topk,
+    /// Algorithm 3 (`Topk-EN`): lazy loading with delayed insertion —
+    /// the default; cheapest for small `k`.
+    TopkEn,
+    /// `ParTopk`: root-partitioned parallel execution per a
+    /// [`crate::ParallelPolicy`]. Emits exactly the `topk_full` stream.
+    Par,
+    /// The exhaustive test oracle (exponential; tiny inputs only).
+    Brute,
+}
+
+/// What an algorithm supports; see [`Algo::caps`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlgoCaps {
+    /// The engine honors [`crate::ParallelPolicy::shards`] > 1 (root
+    /// partitioning). Builders reject explicit shard counts on engines
+    /// without it instead of silently running sequentially.
+    pub sharded: bool,
+    /// A warm [`QueryPlan`] removes *all* per-stream setup: building a
+    /// stream does no work proportional to the match count. (`Brute`
+    /// shares the plan's run-time graph but still materializes the
+    /// whole match set per stream, so it does not qualify.)
+    pub plan_reuse: bool,
+}
+
+impl Algo {
+    /// Every algorithm, in documentation order.
+    ///
+    /// This is the **single source of truth** for algorithm names: the
+    /// `OPEN` protocol parser validates against it (via
+    /// [`Algo::parse`]), `ktpm query --algo` and the `ktpm::api`
+    /// builder route through it, and all render errors with
+    /// [`Algo::valid_names`] — the lists cannot drift.
+    pub const ALL: [Algo; 4] = [Algo::Topk, Algo::TopkEn, Algo::Par, Algo::Brute];
+
+    /// The wire/CLI name (lowercase).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Topk => "topk",
+            Algo::TopkEn => "topk-en",
+            Algo::Par => "par",
+            Algo::Brute => "brute",
+        }
+    }
+
+    /// Parses a wire/CLI name, **case-insensitively** — protocol verbs
+    /// are case-insensitive, so `OPEN TOPK …` must select the same
+    /// engine as `OPEN topk …` (it used to err).
+    pub fn parse(s: &str) -> Option<Algo> {
+        let lower = s.to_ascii_lowercase();
+        Algo::ALL.into_iter().find(|a| a.name() == lower)
+    }
+
+    /// `"topk | topk-en | par | brute"` — every [`Algo::ALL`] name,
+    /// for error messages (rendered from the const, so it can never go
+    /// stale against the algorithm list).
+    pub fn valid_names() -> String {
+        Algo::ALL
+            .iter()
+            .map(|a| a.name())
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+
+    /// Per-algorithm capability flags.
+    pub const fn caps(self) -> AlgoCaps {
+        match self {
+            Algo::Topk | Algo::TopkEn => AlgoCaps {
+                sharded: false,
+                plan_reuse: true,
+            },
+            Algo::Par => AlgoCaps {
+                sharded: true,
+                plan_reuse: true,
+            },
+            Algo::Brute => AlgoCaps {
+                sharded: false,
+                plan_reuse: false,
+            },
+        }
+    }
+
+    /// Builds this algorithm's canonical-order match stream from a
+    /// shared plan; shorthand for [`crate::build_stream`].
+    pub fn stream(
+        self,
+        plan: &QueryPlan,
+        policy: &ParallelPolicy,
+        pool: Arc<WorkerPool>,
+    ) -> BoxedMatchStream {
+        build_stream(self, plan, policy, pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algo_names_roundtrip() {
+        for a in Algo::ALL {
+            assert_eq!(Algo::parse(a.name()), Some(a));
+        }
+        assert_eq!(Algo::parse("nope"), None);
+        assert_eq!(Algo::valid_names(), "topk | topk-en | par | brute");
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        // Like the protocol verbs: `OPEN TOPK ...` must work.
+        assert_eq!(Algo::parse("TOPK"), Some(Algo::Topk));
+        assert_eq!(Algo::parse("Topk-EN"), Some(Algo::TopkEn));
+        assert_eq!(Algo::parse("PAR"), Some(Algo::Par));
+        assert_eq!(Algo::parse("BrUtE"), Some(Algo::Brute));
+    }
+
+    #[test]
+    fn capability_flags() {
+        assert!(Algo::Par.caps().sharded);
+        for a in [Algo::Topk, Algo::TopkEn, Algo::Brute] {
+            assert!(!a.caps().sharded, "{a:?}");
+        }
+        for a in [Algo::Topk, Algo::TopkEn, Algo::Par] {
+            assert!(a.caps().plan_reuse, "{a:?}");
+        }
+        assert!(!Algo::Brute.caps().plan_reuse);
+    }
+}

@@ -18,6 +18,19 @@
 //! run-time graph is per-query-node (see `ktpm-runtime`), so duplicate
 //! labels, wildcards and `/` edges flow through the same enumerators.
 //!
+//! ## One enumeration surface
+//!
+//! Consumers do not touch the enumerators above directly: every engine
+//! runs behind the object-safe [`MatchStream`] trait (primitive:
+//! **batched pull**, [`MatchStream::next_batch`]), selected through the
+//! canonical [`Algo`] registry and constructed by the single
+//! [`build_stream`] dispatch from a shared [`QueryPlan`]. All four
+//! streams are byte-identical for a query (canonical order), so the
+//! algorithm choice is purely a performance decision. The root crate's
+//! `ktpm::api` module wraps this in an `Executor`/`QueryBuilder`
+//! facade; the serving layer, CLI and bench drivers all go through the
+//! same dispatch.
+//!
 //! ## Parallel partitioned execution
 //!
 //! [`ParTopk`] splits the root candidate set into [`ShardSpec`] shards,
@@ -85,6 +98,7 @@
 //! `deviation_encoding` section and gated in CI against the recorded
 //! clone baseline.
 
+mod algo;
 pub mod brute;
 mod bs;
 mod enhanced;
@@ -95,7 +109,9 @@ mod matches;
 pub mod parallel;
 pub mod partition;
 mod plan;
+pub mod stream;
 
+pub use algo::{Algo, AlgoCaps};
 pub use bs::BsData;
 pub use enhanced::TopkEnEnumerator;
 pub use lawler::{SlotLists, SlotTemplates, TopkEnumerator};
@@ -104,7 +120,8 @@ pub use loader::{BoundMode, PriorityLoader};
 pub use matches::ScoredMatch;
 pub use parallel::{par_topk, ParTopk, ParallelPolicy, ShardEngine};
 pub use partition::{canonical, Canonical};
-pub use plan::QueryPlan;
+pub use plan::{canonical_query_text, QueryPlan};
+pub use stream::{build_stream, limit, BoxedMatchStream, MatchStream, StreamState};
 // Re-exported so callers configuring shards need not depend on storage.
 pub use ktpm_storage::ShardSpec;
 

@@ -39,6 +39,21 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
+/// Canonicalizes query text so semantically identical requests share
+/// one plan-cache entry: lines trimmed, inner whitespace collapsed,
+/// blank lines dropped. Line *order* is preserved (it defines the
+/// tree's BFS numbering). The serving layer and the `ktpm::api` facade
+/// both key their plan caches by this text, so their entries
+/// interoperate.
+pub fn canonical_query_text(query: &str) -> String {
+    query
+        .lines()
+        .map(|l| l.split_whitespace().collect::<Vec<_>>().join(" "))
+        .filter(|l| !l.is_empty())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 /// The immutable, shareable setup state of one query over one store;
 /// see module docs. Construction is cheap (no storage access) — the
 /// expensive halves materialize on first use and are then shared by

@@ -1,0 +1,358 @@
+//! One enumeration surface: the object-safe [`MatchStream`] trait and
+//! the [`build_stream`] dispatch behind every execution layer.
+//!
+//! The paper's contribution is a family of interchangeable enumerators
+//! that all emit the same ranked match stream; any-k systems in the
+//! ranked-enumeration literature (Tziavelis et al., VLDB 2020) present
+//! exactly one iterator interface over many internal algorithms. This
+//! module is that interface for this workspace: every engine —
+//! `Topk`, `Topk-EN`, `ParTopk`, the brute oracle — is consumed as a
+//! `Box<dyn MatchStream + Send>` in the **canonical**
+//! `(score, assignment)` order, so sessions, the CLI, the bench
+//! drivers and embedders stop dispatching on the algorithm themselves.
+//!
+//! ## Batched pull
+//!
+//! The primitive is [`MatchStream::next_batch`], not a single-item
+//! `next`: a parked service session answering `NEXT <s> n` used to pay
+//! one virtual call (plus an `Option` move of the inline assignment
+//! row, up to ~70 bytes) *per match*; with batched pull it pays one
+//! virtual call per request and the engine's own monomorphized loop
+//! pushes matches straight into the caller's buffer. [`MatchStream::next`]
+//! is a provided method for callers that genuinely want one match.
+//!
+//! ### Contract
+//!
+//! `next_batch(n, out)` appends **up to** `n` matches to `out` and
+//! returns [`StreamState::Done`] iff the stream is known exhausted.
+//! Appending fewer than `n` implies `Done`; `More` promises exactly
+//! `n` were appended (the stream may still turn out to be exhausted on
+//! the next call, which then appends nothing and returns `Done`).
+//! After `Done`, every later call appends nothing and returns `Done`.
+
+use crate::algo::Algo;
+use crate::brute;
+use crate::matches::ScoredMatch;
+use crate::parallel::{ParTopk, ParallelPolicy};
+use crate::partition::{canonical, Canonical};
+use crate::plan::QueryPlan;
+use ktpm_exec::WorkerPool;
+use std::sync::Arc;
+
+/// Whether a [`MatchStream`] may produce more matches; see the module
+/// docs for the exact `next_batch` contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamState {
+    /// The batch was filled completely; the stream is not known to be
+    /// exhausted.
+    More,
+    /// The stream is exhausted: this and every later call append
+    /// nothing further.
+    Done,
+}
+
+impl StreamState {
+    /// `true` for [`StreamState::Done`].
+    pub fn is_done(self) -> bool {
+        matches!(self, StreamState::Done)
+    }
+}
+
+/// An object-safe ranked match stream in the canonical
+/// `(score, assignment)` order; implemented by every engine. See the
+/// module docs for the batched-pull contract.
+pub trait MatchStream {
+    /// Appends up to `n` matches to `out`; `Done` iff exhausted.
+    fn next_batch(&mut self, n: usize, out: &mut Vec<ScoredMatch>) -> StreamState;
+
+    /// Pulls a single match. Provided in terms of [`Self::next_batch`];
+    /// engines override it with their native single pull.
+    fn next(&mut self) -> Option<ScoredMatch> {
+        let mut one = Vec::with_capacity(1);
+        self.next_batch(1, &mut one);
+        one.pop()
+    }
+}
+
+/// The boxed form every execution layer passes around.
+pub type BoxedMatchStream = Box<dyn MatchStream + Send>;
+
+/// `Box<dyn MatchStream + Send>` is itself an iterator, so stream
+/// consumers keep the whole iterator vocabulary (`take`, `collect`,
+/// `by_ref`, …). Per-item iteration costs one virtual call per match —
+/// batch-sized consumers should call [`MatchStream::next_batch`].
+impl<'a> Iterator for Box<dyn MatchStream + Send + 'a> {
+    type Item = ScoredMatch;
+
+    fn next(&mut self) -> Option<ScoredMatch> {
+        MatchStream::next(&mut **self)
+    }
+}
+
+/// Any canonically-ordered iterator streams batches through its own
+/// monomorphized `next` loop. This covers `Topk` and `Topk-EN` behind
+/// [`canonical`] — their raw tie order becomes the workspace order at
+/// the wrapper, so a facade stream is byte-identical across engines.
+impl<I: Iterator<Item = ScoredMatch>> MatchStream for Canonical<I> {
+    fn next_batch(&mut self, n: usize, out: &mut Vec<ScoredMatch>) -> StreamState {
+        out.reserve(n.min(1024));
+        for _ in 0..n {
+            match Iterator::next(self) {
+                Some(m) => out.push(m),
+                None => return StreamState::Done,
+            }
+        }
+        StreamState::More
+    }
+
+    fn next(&mut self) -> Option<ScoredMatch> {
+        Iterator::next(self)
+    }
+}
+
+/// `ParTopk` batches natively: one virtual call per batch, then the
+/// k-way merge runs monomorphized — the per-match virtual hop the
+/// session layer used to pay on parallel streams is gone.
+impl MatchStream for ParTopk {
+    fn next_batch(&mut self, n: usize, out: &mut Vec<ScoredMatch>) -> StreamState {
+        out.reserve(n.min(1024));
+        for _ in 0..n {
+            match Iterator::next(self) {
+                Some(m) => out.push(m),
+                None => return StreamState::Done,
+            }
+        }
+        StreamState::More
+    }
+
+    fn next(&mut self) -> Option<ScoredMatch> {
+        Iterator::next(self)
+    }
+}
+
+/// Pre-materialized streams (the brute oracle, cached replays): a
+/// batch is one `extend`, and exhaustion is reported eagerly (the
+/// length is known).
+impl MatchStream for std::vec::IntoIter<ScoredMatch> {
+    fn next_batch(&mut self, n: usize, out: &mut Vec<ScoredMatch>) -> StreamState {
+        out.extend(self.by_ref().take(n));
+        if self.len() == 0 {
+            StreamState::Done
+        } else {
+            StreamState::More
+        }
+    }
+
+    fn next(&mut self) -> Option<ScoredMatch> {
+        Iterator::next(self)
+    }
+}
+
+/// A stream truncated after `k` matches (the builder's `.k(…)`).
+struct Limited {
+    inner: BoxedMatchStream,
+    left: usize,
+}
+
+impl MatchStream for Limited {
+    fn next_batch(&mut self, n: usize, out: &mut Vec<ScoredMatch>) -> StreamState {
+        if self.left == 0 {
+            return StreamState::Done;
+        }
+        if n == 0 {
+            // Matches remain: an empty batch must report `More` (the
+            // contract reserves `Done` for exhaustion, and `Done` is
+            // sticky), like every engine impl does.
+            return StreamState::More;
+        }
+        let take = n.min(self.left);
+        let before = out.len();
+        let state = self.inner.next_batch(take, out);
+        self.left -= out.len() - before; // appended ≤ take ≤ left
+        if self.left == 0 {
+            StreamState::Done
+        } else {
+            state
+        }
+    }
+
+    fn next(&mut self) -> Option<ScoredMatch> {
+        if self.left == 0 {
+            return None;
+        }
+        let m = MatchStream::next(&mut *self.inner);
+        if m.is_some() {
+            self.left -= 1;
+        }
+        m
+    }
+}
+
+/// Caps `stream` at `k` total matches.
+pub fn limit(stream: BoxedMatchStream, k: usize) -> BoxedMatchStream {
+    Box::new(Limited {
+        inner: stream,
+        left: k,
+    })
+}
+
+/// **The** algorithm dispatch: builds `algo`'s stream from a shared
+/// [`QueryPlan`]. Every arm emits the canonical `(score, assignment)`
+/// order, so the choice of engine changes performance characteristics
+/// only — never the stream. On a warm plan, no arm repeats candidate
+/// discovery (see [`QueryPlan`]).
+///
+/// `policy`/`pool` drive [`Algo::Par`] (root sharding + the worker
+/// pool its shard jobs run on); the sequential engines ignore both.
+/// This is the single place algorithm names meet constructors — the
+/// serving layer, CLI, bench drivers and the `ktpm::api` facade all
+/// call it instead of matching on the algorithm themselves.
+pub fn build_stream(
+    algo: Algo,
+    plan: &QueryPlan,
+    policy: &ParallelPolicy,
+    pool: Arc<WorkerPool>,
+) -> BoxedMatchStream {
+    match algo {
+        Algo::Topk => Box::new(canonical(crate::TopkEnumerator::from_plan(plan))),
+        Algo::TopkEn => Box::new(canonical(crate::TopkEnEnumerator::from_plan(plan))),
+        Algo::Par => Box::new(ParTopk::from_plan(plan, policy, pool)),
+        // `all_matches` already sorts by `(score, assignment)` — the
+        // canonical order.
+        Algo::Brute => Box::new(brute::all_matches(plan.runtime_graph()).into_iter()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktpm_closure::ClosureTables;
+    use ktpm_graph::fixtures::{citation_graph, paper_graph};
+    use ktpm_graph::LabeledGraph;
+    use ktpm_query::TreeQuery;
+    use ktpm_storage::MemStore;
+
+    fn plan_for(g: &LabeledGraph, query: &str) -> QueryPlan {
+        let q = TreeQuery::parse(query).unwrap().resolve(g.interner());
+        let store = MemStore::with_block_edges(ClosureTables::compute(g), 2).into_shared();
+        QueryPlan::new(q, store)
+    }
+
+    fn pool() -> Arc<WorkerPool> {
+        ktpm_exec::default_pool()
+    }
+
+    #[test]
+    fn every_algo_streams_the_same_matches() {
+        let g = citation_graph();
+        let plan = plan_for(&g, "C -> E\nC -> S");
+        let want: Vec<ScoredMatch> =
+            build_stream(Algo::Topk, &plan, &ParallelPolicy::default(), pool()).collect();
+        assert_eq!(want.len(), 5);
+        for algo in Algo::ALL {
+            let got: Vec<ScoredMatch> =
+                build_stream(algo, &plan, &ParallelPolicy::with_shards(3), pool()).collect();
+            assert_eq!(got, want, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn batched_pull_equals_item_pull_under_any_interleaving() {
+        let g = paper_graph();
+        let plan = plan_for(&g, "a -> b\na -> c\nc -> d\nc -> e");
+        for algo in Algo::ALL {
+            let want: Vec<ScoredMatch> =
+                build_stream(algo, &plan, &ParallelPolicy::with_shards(2), pool()).collect();
+            // Interleave next() and next_batch() pulls of varying size.
+            let mut it = build_stream(algo, &plan, &ParallelPolicy::with_shards(2), pool());
+            let mut got = Vec::new();
+            let mut step = 0usize;
+            loop {
+                let state = if step.is_multiple_of(2) {
+                    match MatchStream::next(&mut *it) {
+                        Some(m) => {
+                            got.push(m);
+                            StreamState::More
+                        }
+                        None => StreamState::Done,
+                    }
+                } else {
+                    it.next_batch(1 + step % 3, &mut got)
+                };
+                if state.is_done() {
+                    // Done must be sticky: nothing more comes out.
+                    let len = got.len();
+                    assert_eq!(it.next_batch(8, &mut got), StreamState::Done);
+                    assert_eq!(got.len(), len, "{algo:?}: Done stream produced more");
+                    break;
+                }
+                step += 1;
+            }
+            assert_eq!(got, want, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn next_batch_appends_without_clobbering() {
+        let g = citation_graph();
+        let plan = plan_for(&g, "C -> E\nC -> S");
+        let mut it = build_stream(Algo::TopkEn, &plan, &ParallelPolicy::default(), pool());
+        let mut out = Vec::new();
+        assert_eq!(it.next_batch(2, &mut out), StreamState::More);
+        assert_eq!(out.len(), 2);
+        let state = it.next_batch(100, &mut out);
+        assert_eq!(state, StreamState::Done);
+        assert_eq!(out.len(), 5, "later batches append after the first two");
+    }
+
+    #[test]
+    fn limit_caps_the_stream_and_reports_done() {
+        let g = citation_graph();
+        let plan = plan_for(&g, "C -> E\nC -> S");
+        let full: Vec<ScoredMatch> =
+            build_stream(Algo::Topk, &plan, &ParallelPolicy::default(), pool()).collect();
+        let mut it = limit(
+            build_stream(Algo::Topk, &plan, &ParallelPolicy::default(), pool()),
+            3,
+        );
+        let mut out = Vec::new();
+        let state = it.next_batch(10, &mut out);
+        assert_eq!(out, full[..3].to_vec());
+        assert_eq!(state, StreamState::Done);
+        assert_eq!(MatchStream::next(&mut *it), None);
+        // And item-wise.
+        let it = limit(
+            build_stream(Algo::Topk, &plan, &ParallelPolicy::default(), pool()),
+            2,
+        );
+        assert_eq!(it.collect::<Vec<_>>(), full[..2].to_vec());
+    }
+
+    #[test]
+    fn limited_zero_sized_batch_is_not_done() {
+        // `Done` means exhausted and is sticky; an n == 0 probe on a
+        // live capped stream must say `More` and leave the stream
+        // intact (this used to report a spurious `Done`).
+        let g = citation_graph();
+        let plan = plan_for(&g, "C -> E\nC -> S");
+        let mut it = limit(
+            build_stream(Algo::Topk, &plan, &ParallelPolicy::default(), pool()),
+            3,
+        );
+        let mut out = Vec::new();
+        assert_eq!(it.next_batch(0, &mut out), StreamState::More);
+        assert!(out.is_empty());
+        assert_eq!(it.next_batch(10, &mut out), StreamState::Done);
+        assert_eq!(out.len(), 3);
+        // Exhausted now: Done is sticky, even for n == 0.
+        assert_eq!(it.next_batch(0, &mut out), StreamState::Done);
+        assert_eq!(it.next_batch(4, &mut out), StreamState::Done);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn boxed_streams_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<BoxedMatchStream>();
+    }
+}

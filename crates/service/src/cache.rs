@@ -93,6 +93,19 @@ impl<K: std::hash::Hash + Eq + Clone, V> Lru<K, V> {
     fn values(&self) -> impl Iterator<Item = &V> {
         self.entries.values().map(|(v, _)| v)
     }
+
+    /// Entries with their recency stamps (for budget-driven eviction).
+    fn iter_stamped(&self) -> impl Iterator<Item = (&K, &V, u64)> {
+        self.entries.iter().map(|(k, (v, s))| (k, v, *s))
+    }
+
+    fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: std::hash::Hash + Eq + ?Sized,
+    {
+        self.entries.remove(key).map(|(v, _)| v)
+    }
 }
 
 /// An LRU map from query fingerprints to match prefixes.
@@ -150,37 +163,100 @@ impl ResultCache {
 /// construction, guarded by `OnceLock` so concurrent sessions racing on
 /// a cold plan produce exactly one build.
 ///
-/// Eviction is LRU by capacity (the same stamp bookkeeping as
-/// [`ResultCache`], shared through one private helper).
+/// Eviction is LRU by **entry count** (the same stamp bookkeeping as
+/// [`ResultCache`], shared through one private helper) and, when a
+/// byte budget is configured, additionally by **approximate bytes**:
+/// after every lookup the cache walks [`QueryPlan::approx_bytes`] and
+/// evicts least-recently-used entries until the total fits the budget.
+/// Both caps apply independently. Plans grow *after* insertion (their
+/// setup halves materialize on first enumerator use), which is why the
+/// byte check runs on every `get_or_insert` rather than only on
+/// insertion — and why it is off (`None`) by default: the walk is
+/// O(entries × slot cells) under the engine's plan-cache lock.
 /// Memory per warm entry is dominated by the plan's run-time graph
 /// (O(m_R)); sessions holding an evicted plan's `Arc` keep it alive
 /// until they close, so eviction never invalidates live sessions.
 pub struct PlanCache {
     lru: Lru<String, Arc<QueryPlan>>,
+    max_bytes: Option<u64>,
 }
 
 impl PlanCache {
-    /// An empty cache holding at most `capacity` plans.
+    /// An empty cache holding at most `capacity` plans, no byte budget.
     pub fn new(capacity: usize) -> Self {
+        Self::with_byte_budget(capacity, None)
+    }
+
+    /// As [`PlanCache::new`] with an optional byte budget over the sum
+    /// of cached plans' [`QueryPlan::approx_bytes`].
+    pub fn with_byte_budget(capacity: usize, max_bytes: Option<u64>) -> Self {
         PlanCache {
             lru: Lru::new(capacity),
+            max_bytes,
         }
+    }
+
+    /// The configured byte budget, if any.
+    pub fn byte_budget(&self) -> Option<u64> {
+        self.max_bytes
     }
 
     /// The plan for `key`, registering `build()`'s result on a miss.
     /// The returned flag is `true` on a hit. Recency is refreshed
-    /// either way.
+    /// either way; the byte budget (if any) is enforced afterwards,
+    /// never evicting the entry just returned.
     pub fn get_or_insert(
         &mut self,
         key: &str,
         build: impl FnOnce() -> QueryPlan,
     ) -> (Arc<QueryPlan>, bool) {
         if let Some(plan) = self.lru.get_mut(key) {
-            return (Arc::clone(plan), true);
+            let plan = Arc::clone(plan);
+            self.enforce_bytes(key);
+            return (plan, true);
         }
         let plan = Arc::new(build());
         self.lru.insert(key.to_string(), Arc::clone(&plan));
+        self.enforce_bytes(key);
         (plan, false)
+    }
+
+    /// Evicts least-recently-used plans until the total approximate
+    /// bytes fit the budget. `keep` (the plan the caller is about to
+    /// use) is exempt, so the cache always serves the current request
+    /// even when that one plan alone exceeds the budget.
+    fn enforce_bytes(&mut self, keep: &str) {
+        let Some(budget) = self.max_bytes else {
+            return;
+        };
+        // Common case — under budget — allocates nothing: one sizing
+        // sweep, no key clones. Only an actual overflow pays for the
+        // keyed, stamp-sorted eviction list.
+        let total: u64 = self
+            .lru
+            .iter_stamped()
+            .map(|(_, v, _)| v.approx_bytes())
+            .sum();
+        if total <= budget {
+            return;
+        }
+        let mut sized: Vec<(String, u64, u64)> = self
+            .lru
+            .iter_stamped()
+            .map(|(k, v, stamp)| (k.clone(), stamp, v.approx_bytes()))
+            .collect();
+        sized.sort_unstable_by_key(|&(_, stamp, _)| stamp); // oldest first
+        let mut total = total;
+        for (key, _, bytes) in sized {
+            if total <= budget {
+                break;
+            }
+            if key == keep {
+                continue;
+            }
+            self.lru.remove(&key);
+            total -= bytes;
+        }
     }
 
     /// Number of cached plans.
@@ -308,5 +384,66 @@ mod tests {
         assert!(hit);
         let (_, hit) = c.get_or_insert("b", plan);
         assert!(!hit, "b must have been evicted");
+    }
+
+    /// A plan forced warm (its full half built) so `approx_bytes` is
+    /// non-zero — the state byte eviction keys on.
+    fn warm_plan() -> QueryPlan {
+        let p = plan();
+        let _ = p.runtime_graph();
+        assert!(p.approx_bytes() > 0);
+        p
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_plans_until_total_fits() {
+        let one = warm_plan().approx_bytes();
+        // Budget fits two warm plans but not three.
+        let mut c = PlanCache::with_byte_budget(16, Some(one * 2));
+        assert_eq!(c.byte_budget(), Some(one * 2));
+        c.get_or_insert("a", warm_plan);
+        c.get_or_insert("b", warm_plan);
+        assert_eq!(c.len(), 2, "within budget: nothing evicted");
+        c.get_or_insert("a", warm_plan); // refresh a; b is now LRU
+        c.get_or_insert("c", warm_plan);
+        assert_eq!(c.len(), 2, "over budget: LRU entry evicted");
+        let (_, hit) = c.get_or_insert("a", warm_plan);
+        assert!(hit, "recently-used entry survives");
+        let (_, hit) = c.get_or_insert("b", warm_plan);
+        assert!(!hit, "LRU entry was the byte-eviction victim");
+    }
+
+    #[test]
+    fn byte_budget_never_evicts_the_requested_plan() {
+        let one = warm_plan().approx_bytes();
+        // Budget smaller than a single warm plan: the cache must still
+        // hand the plan out (and hit on it while it stays the only /
+        // most recent entry).
+        let mut c = PlanCache::with_byte_budget(16, Some(one / 2));
+        let (p1, hit) = c.get_or_insert("a", warm_plan);
+        assert!(!hit);
+        assert_eq!(c.len(), 1);
+        let (p2, hit) = c.get_or_insert("a", warm_plan);
+        assert!(hit, "the just-returned plan is exempt from eviction");
+        assert!(Arc::ptr_eq(&p1, &p2));
+    }
+
+    #[test]
+    fn entry_count_cap_still_applies_with_byte_budget() {
+        let mut c = PlanCache::with_byte_budget(2, Some(u64::MAX));
+        c.get_or_insert("a", warm_plan);
+        c.get_or_insert("b", warm_plan);
+        c.get_or_insert("c", warm_plan);
+        assert_eq!(c.len(), 2, "count cap is independent of the budget");
+    }
+
+    #[test]
+    fn no_budget_means_no_byte_eviction() {
+        let mut c = PlanCache::new(16);
+        assert_eq!(c.byte_budget(), None);
+        for key in ["a", "b", "c", "d"] {
+            c.get_or_insert(key, warm_plan);
+        }
+        assert_eq!(c.len(), 4);
     }
 }

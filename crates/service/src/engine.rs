@@ -14,59 +14,11 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// The algorithms a session can run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Algo {
-    /// Algorithm 1 (`Topk`): full run-time graph load, optimal
-    /// per-result delay.
-    Topk,
-    /// Algorithm 3 (`Topk-EN`): lazy loading with delayed insertion —
-    /// the default; cheapest for small `k`.
-    TopkEn,
-    /// `ParTopk`: root-partitioned parallel execution on the engine's
-    /// shard pool, per the engine's [`ktpm_core::ParallelPolicy`].
-    /// Emits exactly the `topk_full` stream.
-    Par,
-    /// The exhaustive test oracle (exponential; tiny inputs only).
-    Brute,
-}
-
-impl Algo {
-    /// Every algorithm, in documentation order.
-    ///
-    /// This is the **single source of truth** for algorithm names: the
-    /// `OPEN` protocol parser validates against it (via
-    /// [`Algo::parse`]), `ktpm query --algo` routes through it, and
-    /// both render errors with [`Algo::valid_names`] — the lists cannot
-    /// drift.
-    pub const ALL: [Algo; 4] = [Algo::Topk, Algo::TopkEn, Algo::Par, Algo::Brute];
-
-    /// The wire/CLI name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Algo::Topk => "topk",
-            Algo::TopkEn => "topk-en",
-            Algo::Par => "par",
-            Algo::Brute => "brute",
-        }
-    }
-
-    /// Parses a wire/CLI name.
-    pub fn parse(s: &str) -> Option<Algo> {
-        Algo::ALL.into_iter().find(|a| a.name() == s)
-    }
-
-    /// `"topk | topk-en | par | brute"` — every [`Algo::ALL`] name,
-    /// for error messages (rendered from the const, so it can never go
-    /// stale against the algorithm list again).
-    pub fn valid_names() -> String {
-        Algo::ALL
-            .iter()
-            .map(|a| a.name())
-            .collect::<Vec<_>>()
-            .join(" | ")
-    }
-}
+// The canonical algorithm registry moved to `ktpm_core` (the facade
+// redesign): one enum shared by the wire protocol, CLI, bench drivers
+// and the `ktpm::api` builder. Re-exported here so service embedders
+// keep their `ktpm_service::Algo` imports.
+pub use ktpm_core::{Algo, AlgoCaps};
 
 /// Errors surfaced to service clients.
 #[derive(Debug)]
@@ -125,10 +77,24 @@ pub struct EngineStats {
     pub plan_bytes: u64,
     /// Approximate bytes of the single largest cached plan.
     pub plan_largest_bytes: u64,
+    /// The plan cache's byte budget
+    /// ([`ServiceConfig::plan_cache_max_bytes`]); 0 = unlimited.
+    pub plan_bytes_limit: u64,
     /// Worker pool width.
     pub workers: usize,
     /// Monotonic counters.
     pub metrics: MetricsSnapshot,
+}
+
+/// What [`ServiceHandle::warm_plans`] accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmReport {
+    /// Plans newly registered and built.
+    pub warmed: usize,
+    /// Queries that failed to parse and were skipped.
+    pub skipped: usize,
+    /// Total [`QueryPlan::approx_bytes`] across the warmed plans.
+    pub plan_bytes: u64,
 }
 
 /// The shared engine state; use [`QueryEngine::new`] to get a
@@ -177,7 +143,10 @@ impl QueryEngine {
                 source,
                 sessions: SessionTable::new(),
                 cache: Mutex::new(ResultCache::new(config.cache_capacity)),
-                plans: Mutex::new(PlanCache::new(config.plan_cache_capacity)),
+                plans: Mutex::new(PlanCache::with_byte_budget(
+                    config.plan_cache_capacity,
+                    config.plan_cache_max_bytes,
+                )),
                 metrics: ServiceMetrics::default(),
                 pool: WorkerPool::new(config.workers),
                 shard_pool: Arc::new(WorkerPool::new(config.parallel.shards)),
@@ -189,16 +158,12 @@ impl QueryEngine {
 }
 
 /// Canonicalizes query text so semantically identical requests share
-/// sessions' cache entries: lines trimmed, inner whitespace collapsed,
-/// blank lines dropped. Line *order* is preserved (it defines the
-/// tree's BFS numbering).
+/// sessions' cache entries. Delegates to
+/// [`ktpm_core::canonical_query_text`] — the same key the `ktpm::api`
+/// facade uses, so facade-warmed plan caches and engine plan caches
+/// interoperate.
 pub(crate) fn canonicalize(query: &str) -> String {
-    query
-        .lines()
-        .map(|l| l.split_whitespace().collect::<Vec<_>>().join(" "))
-        .filter(|l| !l.is_empty())
-        .collect::<Vec<_>>()
-        .join("\n")
+    ktpm_core::canonical_query_text(query)
 }
 
 impl ServiceHandle {
@@ -315,6 +280,50 @@ impl ServiceHandle {
         Ok(batch.matches)
     }
 
+    /// Pre-builds query plans before traffic arrives (`ktpm serve
+    /// --warm <file>`): each query is canonicalized, parsed, registered
+    /// in the cross-session plan cache and its **full** setup half is
+    /// forced — candidate discovery, run-time graph, `bs` pass — so
+    /// the first real `OPEN` of a warmed query is a plan hit with zero
+    /// discovery work (the lazy half derives from the loaded graph
+    /// without storage I/O). Unparseable queries are skipped and
+    /// counted; duplicates collapse onto one plan. Warm-up does not
+    /// touch the `plan_hits`/`plan_misses` metrics — those measure
+    /// client traffic.
+    pub fn warm_plans<'q>(&self, queries: impl IntoIterator<Item = &'q str>) -> WarmReport {
+        let e = &self.engine;
+        let mut report = WarmReport::default();
+        let mut plans: Vec<Arc<QueryPlan>> = Vec::new();
+        for text in queries {
+            let canonical = canonicalize(text);
+            let Ok(tree) = TreeQuery::parse(&canonical) else {
+                report.skipped += 1;
+                continue;
+            };
+            let resolved = tree.resolve(&e.interner);
+            let (plan, hit) = e
+                .plans
+                .lock()
+                .expect("plan cache lock")
+                .get_or_insert(&canonical, || {
+                    QueryPlan::new(resolved, Arc::clone(&e.source))
+                });
+            if !hit {
+                report.warmed += 1;
+            }
+            if !plans.iter().any(|p| Arc::ptr_eq(p, &plan)) {
+                plans.push(plan);
+            }
+        }
+        // Force the builds *outside* the cache lock: candidate
+        // discovery is the expensive part warm-up exists to pre-pay.
+        for plan in &plans {
+            let _ = plan.runtime_graph();
+            report.plan_bytes += plan.approx_bytes();
+        }
+        report
+    }
+
     /// Evicts sessions idle past the TTL (also runs opportunistically
     /// when the table is full and from the server's janitor thread).
     /// Evicted sessions publish their prefixes first, so their work is
@@ -360,6 +369,7 @@ impl ServiceHandle {
             plan_entries,
             plan_bytes,
             plan_largest_bytes,
+            plan_bytes_limit: e.config.plan_cache_max_bytes.unwrap_or(0),
             workers: e.pool.width(),
             metrics: e.metrics.snapshot(),
         }
@@ -374,14 +384,113 @@ impl ServiceHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ktpm_closure::ClosureTables;
+    use ktpm_graph::fixtures::citation_graph;
+    use ktpm_storage::MemStore;
+
+    fn handle_with(config: ServiceConfig) -> ServiceHandle {
+        let g = citation_graph();
+        let store = MemStore::new(ClosureTables::compute(&g)).into_shared();
+        QueryEngine::new(g.interner().clone(), store, config)
+    }
 
     #[test]
     fn algo_names_roundtrip() {
+        // `Algo` moved to ktpm_core; the re-export (and the wire names)
+        // must stay intact for embedders.
         for a in Algo::ALL {
             assert_eq!(Algo::parse(a.name()), Some(a));
         }
         assert_eq!(Algo::parse("nope"), None);
         assert_eq!(Algo::valid_names(), "topk | topk-en | par | brute");
+    }
+
+    #[test]
+    fn warm_plans_prebuilds_so_first_open_hits() {
+        let h = handle_with(ServiceConfig::default());
+        let report = h.warm_plans(["C -> E\nC -> S", "C -> E; broken ->", "C -> E\nC -> S"]);
+        assert_eq!(report.warmed, 1, "duplicates collapse onto one plan");
+        assert_eq!(report.skipped, 1, "unparseable queries are skipped");
+        assert!(report.plan_bytes > 0, "warm plans report their footprint");
+        // Warm-up leaves traffic metrics untouched...
+        let m = h.stats().metrics;
+        assert_eq!((m.plan_hits, m.plan_misses), (0, 0));
+        // ...and the first real OPEN of the warmed query is a plan hit
+        // with zero candidate discovery (the engine store does no I/O).
+        let source = {
+            let id = h.open("C -> E\nC -> S", Algo::Topk).unwrap();
+            h.next(id, 5).unwrap();
+            h.close(id).unwrap();
+            h.stats()
+        };
+        assert_eq!(source.metrics.plan_hits, 1);
+        assert_eq!(source.metrics.plan_misses, 0);
+    }
+
+    #[test]
+    fn warm_plan_open_does_zero_candidate_discovery() {
+        let g = citation_graph();
+        let store = MemStore::new(ClosureTables::compute(&g)).into_shared();
+        let h = QueryEngine::new(
+            g.interner().clone(),
+            Arc::clone(&store),
+            ServiceConfig::default(),
+        );
+        h.warm_plans(["C -> E\nC -> S"]);
+        store.reset_io();
+        let id = h.open("C -> E\nC -> S", Algo::Topk).unwrap();
+        let batch = h.next(id, 5).unwrap();
+        assert_eq!(batch.matches.len(), 5);
+        let io = store.io();
+        assert_eq!(
+            io.d_entries + io.e_entries + io.edges_read,
+            0,
+            "a warmed query's first session must not touch storage"
+        );
+    }
+
+    #[test]
+    fn plan_cache_byte_budget_evicts_and_shows_in_stats() {
+        // Measure one fully-drained plan's footprint (slot lists keep
+        // materializing during enumeration, so drain through the same
+        // path the budgeted engine will use), then budget for ~1.5 of
+        // them: keeping a second drained plan must evict the LRU one.
+        let probe = handle_with(ServiceConfig::default());
+        let id = probe.open("C -> E\nC -> S", Algo::Topk).unwrap();
+        probe.next(id, 5).unwrap();
+        probe.close(id).unwrap();
+        let one = probe.stats().plan_bytes;
+        assert!(one > 0);
+
+        let h = handle_with(ServiceConfig {
+            plan_cache_max_bytes: Some(one * 3 / 2),
+            ..ServiceConfig::default()
+        });
+        assert_eq!(h.stats().plan_bytes_limit, one * 3 / 2);
+        for query in ["C -> E\nC -> S", "C -> S\nC -> E"] {
+            let id = h.open(query, Algo::Topk).unwrap();
+            h.next(id, 5).unwrap();
+            h.close(id).unwrap();
+        }
+        // Plans warm during `next`, after cache registration — both
+        // fit at registration time, so both are still cached here.
+        assert_eq!(h.stats().plan_entries, 2);
+        // The next cache access sees 2×`one` > budget and evicts the
+        // LRU plan (the second query), keeping the one it serves.
+        let id = h.open("C -> E\nC -> S", Algo::Topk).unwrap();
+        h.close(id).unwrap();
+        let s = h.stats();
+        assert_eq!(
+            s.plan_entries, 1,
+            "two warm plans exceed the budget; the LRU one is evicted"
+        );
+        assert!(s.plan_bytes <= s.plan_bytes_limit, "within budget again");
+        let m = s.metrics;
+        assert_eq!(
+            (m.plan_hits, m.plan_misses),
+            (1, 2),
+            "eviction keeps the hot plan hot"
+        );
     }
 
     #[test]

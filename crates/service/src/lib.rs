@@ -15,10 +15,11 @@
 //!   threads.
 //! * **Sessions** ([`SessionId`]) — a client opens a session for a
 //!   `(query, algorithm)` pair and repeatedly asks for "next n"
-//!   matches. The session parks the live `TopkEnumerator` /
-//!   `TopkEnEnumerator` (the crate-`core` iterators, via their
-//!   `new_shared` constructors) so resuming never pays setup again.
-//!   Idle sessions are evicted after a TTL.
+//!   matches. The session parks a live `Box<dyn MatchStream + Send>`
+//!   built by [`ktpm_core::build_stream`] (the one dispatch every
+//!   algorithm shares) so resuming never pays setup again; each `NEXT`
+//!   is one batched `next_batch` pull. Idle sessions are evicted after
+//!   a TTL.
 //! * **Result cache** — an LRU keyed by the canonicalized query text
 //!   plus algorithm, holding the longest match prefix any session has
 //!   produced. Hot repeated queries are answered without touching an
@@ -36,9 +37,14 @@
 //!   counters). Capacity is [`ServiceConfig::plan_cache_capacity`];
 //!   eviction is LRU, and per-entry memory is bounded by the plan's
 //!   run-time graph (O(m_R) for the hot query) — size the capacity to
-//!   the working set of hot queries, not the total query space.
-//!   Sessions hold their plan's `Arc`, so eviction never invalidates
-//!   live sessions.
+//!   the working set of hot queries, not the total query space — or
+//!   set [`ServiceConfig::plan_cache_max_bytes`] to bound it by
+//!   approximate bytes directly (LRU eviction once the summed plan
+//!   footprint exceeds the budget; `plan_cache_bytes_limit` in
+//!   `STATS`). Sessions hold their plan's `Arc`, so eviction never
+//!   invalidates live sessions. Known-hot queries can be pre-built
+//!   before traffic arrives with [`ServiceHandle::warm_plans`]
+//!   (`ktpm serve --warm <file>`).
 //! * **Wire protocol** ([`protocol`]) + [`Server`] — a line-based TCP
 //!   front end (`OPEN` / `NEXT` / `CLOSE` / `STATS`) used by
 //!   `ktpm serve`.
@@ -77,7 +83,7 @@ mod server;
 mod session;
 
 pub use cache::{CacheKey, CachedPrefix, PlanCache, ResultCache};
-pub use engine::{Algo, NextBatch, QueryEngine, ServiceError, ServiceHandle};
+pub use engine::{Algo, AlgoCaps, NextBatch, QueryEngine, ServiceError, ServiceHandle, WarmReport};
 // The pool moved to `ktpm-exec` so core's `ParTopk` and the batch CLI
 // schedule shard jobs on the same implementation; re-exported here for
 // embedders that imported it from the service crate.
@@ -105,6 +111,13 @@ pub struct ServiceConfig {
     /// O(m_R) memory — so this bounds plan memory to the hot-query
     /// working set.
     pub plan_cache_capacity: usize,
+    /// Optional byte budget over the plan cache: when the summed
+    /// [`ktpm_core::QueryPlan::approx_bytes`] of cached plans exceeds
+    /// it, least-recently-used plans are evicted until it fits (the
+    /// entry-count cap above still applies). `None` (the default)
+    /// disables the budget and its per-lookup sizing walk. Surfaced in
+    /// `STATS` as `plan_cache_bytes_limit` (0 = off).
+    pub plan_cache_max_bytes: Option<u64>,
     /// Shard policy for [`Algo::Par`] sessions; also sizes the engine's
     /// dedicated shard-job pool (kept separate from the request pool so
     /// blocked requests can never starve their own shard jobs).
@@ -119,6 +132,7 @@ impl Default for ServiceConfig {
             max_sessions: 10_000,
             cache_capacity: 1_024,
             plan_cache_capacity: 256,
+            plan_cache_max_bytes: None,
             parallel: ktpm_core::ParallelPolicy::default(),
         }
     }

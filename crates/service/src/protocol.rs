@@ -4,12 +4,22 @@
 //!
 //! ```text
 //! OPEN <algo> <query>      algo: topk | topk-en | par | brute (one
-//!                          const list, [`crate::Algo::ALL`]); the query
-//!                          is the twig text format with `;` standing in
-//!                          for newlines, e.g. `OPEN topk-en C -> E; C -> S`.
-//!                          `par` runs ParTopk on the engine's shard pool
-//!                          and yields the exact `topk_full` stream.
-//! NEXT <session> <n>       next n matches of the session
+//!                          const list, [`crate::Algo::ALL`] — the
+//!                          canonical registry, relocated to
+//!                          `ktpm_core` and shared with the CLI and
+//!                          the `ktpm::api` facade; names are
+//!                          case-insensitive like the verbs, so
+//!                          `OPEN TOPK …` works). The query is the
+//!                          twig text format with `;` standing in for
+//!                          newlines, e.g. `OPEN topk-en C -> E; C -> S`.
+//!                          Every algorithm streams the identical
+//!                          canonical order; `par` just runs it
+//!                          root-sharded on the engine's shard pool.
+//! NEXT <session> <n>       next n matches of the session. Sessions
+//!                          run `Box<dyn MatchStream>` cursors with
+//!                          batched pull: the n matches arrive from
+//!                          ONE `next_batch` call on the parked
+//!                          stream, not n single-item pulls.
 //! CLOSE <session>          end the session
 //! STATS                    engine counters
 //! ```

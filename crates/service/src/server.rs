@@ -148,12 +148,13 @@ pub fn respond(handle: &ServiceHandle, line: &str) -> String {
             let s = handle.stats();
             format!(
                 "OK sessions_active={} cache_entries={} plan_entries={} plan_bytes={} \
-                 plan_largest_bytes={} workers={} {}\n",
+                 plan_largest_bytes={} plan_cache_bytes_limit={} workers={} {}\n",
                 s.sessions_active,
                 s.cache_entries,
                 s.plan_entries,
                 s.plan_bytes,
                 s.plan_largest_bytes,
+                s.plan_bytes_limit,
                 s.workers,
                 s.metrics.to_wire()
             )
@@ -214,6 +215,26 @@ mod tests {
         assert!(respond(&h, "OPEN warp C -> E").starts_with("ERR unknown algorithm"));
         assert!(respond(&h, "OPEN topk a b c").starts_with("ERR bad query"));
         assert!(respond(&h, "HELLO").starts_with("ERR unknown command"));
+    }
+
+    #[test]
+    fn open_algo_names_are_case_insensitive_like_verbs() {
+        // `open topk` works, so `OPEN TOPK` must too — one canonical
+        // normalization in the relocated `Algo::parse`.
+        let h = test_handle();
+        for line in [
+            "OPEN TOPK C -> E; C -> S",
+            "open Topk-EN C -> E; C -> S",
+            "OPEN PAR C -> E; C -> S",
+            "OPEN Brute C -> E; C -> S",
+        ] {
+            let resp = respond(&h, line);
+            assert!(resp.starts_with("OK "), "{line:?} -> {resp:?}");
+            let id = resp.trim().strip_prefix("OK ").unwrap().to_string();
+            let next = respond(&h, &format!("NEXT {id} 100"));
+            assert!(next.starts_with("OK 5 DONE"), "{line:?} -> {next:?}");
+            respond(&h, &format!("CLOSE {id}"));
+        }
     }
 
     #[test]

@@ -5,10 +5,13 @@
 //!
 //! * an `Arc` to the query's shared [`QueryPlan`] (from the engine's
 //!   plan cache) and, once the client outruns the result cache, a live
-//!   enumerator built *from* that plan — so a session of a hot query
-//!   never repeats candidate discovery, run-time-graph construction or
-//!   the `bs` pass, and the enumerator (`'static` + `Send`) can hop
-//!   between worker threads between requests;
+//!   [`ktpm_core::MatchStream`] built *from* that plan by the single
+//!   [`ktpm_core::build_stream`] dispatch — so a session of a hot
+//!   query never repeats candidate discovery, run-time-graph
+//!   construction or the `bs` pass, and the stream (`'static + Send`)
+//!   can hop between worker threads between requests. Each `NEXT` is
+//!   served by **one** batched `next_batch` pull, not a per-match
+//!   virtual call;
 //! * a `buffer` of every match produced so far for this query, and a
 //!   client cursor `pos` into it. The buffer exists so a session opened
 //!   on a cached prefix can serve from it immediately and only start
@@ -23,10 +26,7 @@
 
 use crate::cache::{CacheKey, CachedPrefix};
 use crate::engine::Algo;
-use ktpm_core::{
-    brute, canonical, Canonical, ParTopk, ParallelPolicy, QueryPlan, ScoredMatch, TopkEnEnumerator,
-    TopkEnumerator,
-};
+use ktpm_core::{build_stream, BoxedMatchStream, ParallelPolicy, QueryPlan, ScoredMatch};
 use ktpm_exec::WorkerPool;
 use std::collections::HashMap;
 use std::fmt;
@@ -51,37 +51,6 @@ impl std::str::FromStr for SessionId {
     }
 }
 
-/// The parked enumerator of one session. Every variant streams in the
-/// canonical `(score, assignment)` order, so any algorithm's stream for
-/// a query is byte-identical to `topk_full` — which is what lets `par`
-/// sessions, cached prefixes and resumed cursors mix freely.
-enum SessionIter {
-    /// Algorithm 1 over a session-owned run-time graph (boxed, like
-    /// `En`: enumerator state dwarfs the brute cursor).
-    Full(Box<Canonical<TopkEnumerator<'static>>>),
-    /// Algorithm 3 over the engine's shared store (boxed: its loader
-    /// state dwarfs the other variants).
-    En(Box<Canonical<TopkEnEnumerator<'static>>>),
-    /// `ParTopk` over the engine's shard pool. Parked sessions hold no
-    /// pool thread — shard work runs as finite batch jobs.
-    Par(Box<ParTopk>),
-    /// The exhaustive oracle (pre-materialized at creation).
-    Brute(std::vec::IntoIter<ScoredMatch>),
-}
-
-impl Iterator for SessionIter {
-    type Item = ScoredMatch;
-
-    fn next(&mut self) -> Option<ScoredMatch> {
-        match self {
-            SessionIter::Full(it) => it.next(),
-            SessionIter::En(it) => it.next(),
-            SessionIter::Par(it) => it.next(),
-            SessionIter::Brute(it) => it.next(),
-        }
-    }
-}
-
 /// One resumable enumeration cursor; see module docs.
 pub struct Session {
     algo: Algo,
@@ -93,8 +62,12 @@ pub struct Session {
     /// Shard policy + pool for `Algo::Par` sessions (engine-wide).
     parallel: ParallelPolicy,
     shard_pool: Arc<WorkerPool>,
-    /// Created on first demand the buffer cannot satisfy.
-    iter: Option<SessionIter>,
+    /// The parked live stream ([`ktpm_core::build_stream`] — the one
+    /// canonical algorithm dispatch), created on first demand the
+    /// buffer cannot satisfy. Every algorithm streams the canonical
+    /// `(score, assignment)` order, so `par` sessions, cached prefixes
+    /// and resumed cursors mix freely.
+    iter: Option<BoxedMatchStream>,
     /// All matches produced for this query so far (cached prefix +
     /// live); grows monotonically.
     buffer: Vec<ScoredMatch>,
@@ -165,19 +138,48 @@ impl Session {
         }
         let want = self.pos.saturating_add(n);
         let was_complete = self.complete;
-        while self.buffer.len() < want && !self.complete {
+        if self.buffer.len() < want && !self.complete {
+            let (algo, plan, parallel, shard_pool) =
+                (self.algo, &self.plan, &self.parallel, &self.shard_pool);
+            let prefix = self.buffer.len();
             let it = self.iter.get_or_insert_with(|| {
                 // First live pull: fast-forward past the prefix the
                 // buffer already covers so the streams stay aligned.
-                let mut it = make_iter(self.algo, &self.plan, &self.parallel, &self.shard_pool);
-                for _ in 0..self.buffer.len() {
-                    it.next();
+                // Skipped matches are discarded in bounded chunks —
+                // a cached prefix can be arbitrarily long, and holding
+                // it all in one throwaway Vec would spike memory.
+                const SKIP_CHUNK: usize = 1024;
+                let mut it = build_stream(algo, plan, parallel, Arc::clone(shard_pool));
+                let mut skip = Vec::with_capacity(prefix.min(SKIP_CHUNK));
+                let mut remaining = prefix;
+                while remaining > 0 {
+                    skip.clear();
+                    if it
+                        .next_batch(remaining.min(SKIP_CHUNK), &mut skip)
+                        .is_done()
+                    {
+                        break;
+                    }
+                    remaining -= remaining.min(SKIP_CHUNK);
                 }
                 it
             });
-            match it.next() {
-                Some(m) => self.buffer.push(m),
-                None => self.complete = true,
+            // One batched pull per request: `NEXT <s> n` is a single
+            // `next_batch` call end to end (the loop re-enters only if
+            // a stream under-fills a non-final batch, which the
+            // `MatchStream` contract rules out).
+            while self.buffer.len() < want && !self.complete {
+                let need = want - self.buffer.len();
+                let before = self.buffer.len();
+                if it.next_batch(need, &mut self.buffer).is_done() {
+                    self.complete = true;
+                } else {
+                    debug_assert_eq!(
+                        self.buffer.len() - before,
+                        need,
+                        "MatchStream contract: More implies a full batch"
+                    );
+                }
             }
         }
         let end = want.min(self.buffer.len());
@@ -218,31 +220,6 @@ impl Session {
             matches: Arc::new(self.buffer.clone()),
             complete: self.complete,
         })
-    }
-}
-
-/// Builds a session's live enumerator **from the shared plan**: on a
-/// warm plan none of these arms performs candidate discovery or (for
-/// the full-graph algorithms) any storage I/O at all.
-fn make_iter(
-    algo: Algo,
-    plan: &Arc<QueryPlan>,
-    parallel: &ParallelPolicy,
-    shard_pool: &Arc<WorkerPool>,
-) -> SessionIter {
-    match algo {
-        Algo::Topk => SessionIter::Full(Box::new(canonical(TopkEnumerator::from_plan(plan)))),
-        Algo::TopkEn => SessionIter::En(Box::new(canonical(TopkEnEnumerator::from_plan(plan)))),
-        Algo::Par => SessionIter::Par(Box::new(ParTopk::from_plan(
-            plan,
-            parallel,
-            Arc::clone(shard_pool),
-        ))),
-        Algo::Brute => {
-            // `all_matches` already sorts by `(score, assignment)` —
-            // the canonical order.
-            SessionIter::Brute(brute::all_matches(plan.runtime_graph()).into_iter())
-        }
     }
 }
 

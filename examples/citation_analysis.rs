@@ -9,7 +9,9 @@
 //!
 //! Run with: `cargo run --release --example citation_analysis`
 
+use ktpm::api::Executor;
 use ktpm::prelude::*;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -35,7 +37,10 @@ fn main() {
     let mut path = std::env::temp_dir();
     path.push("ktpm-citation-demo.bin");
     write_store(&tables, &path).expect("write closure store");
-    let store = FileStore::open(&path).expect("open closure store");
+    let store: SharedSource = FileStore::open(&path)
+        .expect("open closure store")
+        .into_shared();
+    let exec = Executor::new(g.interner().clone(), Arc::clone(&store));
 
     // Extract a realistic 8-venue twig query from the graph itself, so it
     // is guaranteed to have matches (the paper's §6 methodology).
@@ -58,10 +63,16 @@ fn main() {
         );
     }
 
-    // Online: top-10 highest-impact combinations via Topk-EN.
+    // Online: top-10 highest-impact combinations, streamed through the
+    // facade (Topk-EN: lazy loading — only the closure blocks the top
+    // ranks actually need are read off disk).
     let t1 = Instant::now();
-    let mut en = TopkEnEnumerator::new(&resolved, &store);
-    let matches: Vec<ScoredMatch> = en.by_ref().take(10).collect();
+    let matches: Vec<ScoredMatch> = exec
+        .query_resolved(resolved.clone())
+        .algo(Algo::TopkEn)
+        .k(10)
+        .topk()
+        .expect("stream");
     let dt = t1.elapsed();
     println!(
         "\ntop-{} impact combinations (Topk-EN, {dt:?}):",

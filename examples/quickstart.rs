@@ -3,12 +3,15 @@
 //! Builds the Figure 2(b) data graph, runs the Figure 2(a) query
 //! `a -> b, a -> c, c -> d, c -> e`, and prints the top-k matches with
 //! both the optimal enumerator (`Topk`, Algorithm 1) and the
-//! priority-based `Topk-EN` (Algorithm 3), including how many closure
-//! edges each had to touch.
+//! priority-based `Topk-EN` (Algorithm 3) — selected through the one
+//! `ktpm::api` facade; the streams are byte-identical, only the I/O
+//! profile differs (shown via the store's edge counters).
 //!
 //! Run with: `cargo run --example quickstart`
 
+use ktpm::api::Executor;
 use ktpm::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     // The data graph reconstructed from the paper's Figure 2(b).
@@ -27,42 +30,54 @@ fn main() {
         "closure: {} edges across {} label-pair tables (θ = {:.1})\n",
         stats.edges, stats.pairs, stats.theta
     );
-    let store = MemStore::new(tables);
+    let store: SharedSource = MemStore::new(tables).into_shared();
 
-    // The query tree of Figure 2(a), in the bundled text format.
-    let query = TreeQuery::parse(
-        "a -> b\n\
-         a -> c\n\
-         c -> d\n\
-         c -> e",
-    )
-    .expect("valid query");
-    let resolved = query.resolve(g.interner());
+    // The query tree of Figure 2(a), in the bundled text format; the
+    // executor is the one entry point for every algorithm.
+    let query = "a -> b\n\
+                 a -> c\n\
+                 c -> d\n\
+                 c -> e";
+    let exec = Executor::new(g.interner().clone(), Arc::clone(&store));
+    let resolved = TreeQuery::parse(query)
+        .expect("valid query")
+        .resolve(g.interner());
 
     // Algorithm 1: full run-time graph load + optimal Lawler enumeration.
-    let rg = RuntimeGraph::load(&resolved, &store);
-    println!(
-        "run-time graph: {} nodes, {} edges",
-        rg.stats().nodes,
-        rg.stats().edges
-    );
-    println!("top-5 via Topk (Algorithm 1):");
-    for (rank, m) in TopkEnumerator::new(&rg).take(5).enumerate() {
-        print_match(&g, &resolved, rank + 1, &m);
-    }
-
-    // Algorithm 3: lazily loads only the closure edges it needs.
     store.reset_io();
-    let mut en = TopkEnEnumerator::new(&resolved, &store);
-    println!("\ntop-5 via Topk-EN (Algorithm 3):");
-    let top: Vec<ScoredMatch> = en.by_ref().take(5).collect();
+    let top: Vec<ScoredMatch> = exec
+        .query(query)
+        .expect("valid query")
+        .algo(Algo::Topk)
+        .k(5)
+        .topk()
+        .expect("stream");
+    let full_edges = store.io().edges_read;
+    println!("top-5 via Topk (Algorithm 1):");
     for (rank, m) in top.iter().enumerate() {
         print_match(&g, &resolved, rank + 1, m);
     }
+
+    // Algorithm 3: lazily loads only the closure edges it needs; the
+    // stream is identical — the facade makes the engine a pure
+    // performance choice.
+    store.reset_io();
+    let en: Vec<ScoredMatch> = exec
+        .query(query)
+        .expect("valid query")
+        .algo(Algo::TopkEn)
+        .k(5)
+        .topk()
+        .expect("stream");
+    println!("\ntop-5 via Topk-EN (Algorithm 3):");
+    for (rank, m) in en.iter().enumerate() {
+        print_match(&g, &resolved, rank + 1, m);
+    }
+    assert_eq!(en, top, "facade streams are byte-identical across engines");
     println!(
-        "Topk-EN loaded {} closure edges (full run-time graph: {})",
-        en.edges_loaded(),
-        rg.num_edges()
+        "Topk-EN loaded {} closure edges (Topk's full load: {})",
+        store.io().edges_read,
+        full_edges
     );
 }
 

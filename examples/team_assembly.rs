@@ -11,6 +11,7 @@
 //!
 //! Run with: `cargo run --example team_assembly`
 
+use ktpm::api::Executor;
 use ktpm::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -23,7 +24,10 @@ fn main() {
         g.num_edges()
     );
 
-    let store = MemStore::new(ClosureTables::compute(&g));
+    let exec = Executor::new(
+        g.interner().clone(),
+        MemStore::new(ClosureTables::compute(&g)).into_shared(),
+    );
 
     // The org chart to staff: a lead managing two engineers and a
     // designer; one engineer works with an analyst.
@@ -45,7 +49,11 @@ fn main() {
     );
     let resolved = query.resolve(g.interner());
 
-    let teams: Vec<ScoredMatch> = TopkEnEnumerator::new(&resolved, &store).take(5).collect();
+    let teams: Vec<ScoredMatch> = exec
+        .query_resolved(resolved.clone())
+        .k(5)
+        .topk()
+        .expect("stream");
     if teams.is_empty() {
         println!("no team satisfies the org chart");
         return;

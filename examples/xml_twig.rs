@@ -14,6 +14,7 @@
 //!
 //! Run with: `cargo run --example xml_twig`
 
+use ktpm::api::Executor;
 use ktpm::prelude::*;
 
 fn main() {
@@ -23,7 +24,10 @@ fn main() {
         g.num_nodes(),
         g.num_edges()
     );
-    let store = MemStore::new(ClosureTables::compute(&g));
+    let exec = Executor::new(
+        g.interner().clone(),
+        MemStore::new(ClosureTables::compute(&g)).into_shared(),
+    );
 
     let query = TreeQuery::parse(
         "book => title\n\
@@ -41,7 +45,12 @@ fn main() {
     );
     let resolved = query.resolve(g.interner());
 
-    let matches: Vec<ScoredMatch> = topk_full(&resolved, &store, 8);
+    let matches: Vec<ScoredMatch> = exec
+        .query_resolved(resolved.clone())
+        .algo(Algo::Topk)
+        .k(8)
+        .topk()
+        .expect("stream");
     println!("top-{} twig matches:", matches.len());
     for (rank, m) in matches.iter().enumerate() {
         let binding: Vec<String> = resolved
@@ -65,15 +74,18 @@ fn main() {
         );
     }
 
-    // The same query through Topk-EN must agree (the §5 extensions flow
-    // through the identical per-query-node run-time graph).
-    let en: Vec<Score> = topk_en(&resolved, &store, 8)
-        .iter()
-        .map(|m| m.score)
-        .collect();
-    let full: Vec<Score> = matches.iter().map(|m| m.score).collect();
-    assert_eq!(en, full);
-    println!("\nTopk-EN agrees on all {} scores", en.len());
+    // The same query through Topk-EN must agree element for element —
+    // the §5 extensions flow through the identical per-query-node
+    // run-time graph, and facade streams are canonical regardless of
+    // the engine.
+    let en: Vec<ScoredMatch> = exec
+        .query_resolved(resolved.clone())
+        .algo(Algo::TopkEn)
+        .k(8)
+        .topk()
+        .expect("stream");
+    assert_eq!(en, matches);
+    println!("\nTopk-EN agrees on all {} matches", en.len());
 }
 
 /// A library catalog: books contain titles/chapters/authors; authors

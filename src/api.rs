@@ -1,0 +1,413 @@
+//! The one-stop query API: [`Executor`] + [`QueryBuilder`] over the
+//! single [`MatchStream`] enumeration surface.
+//!
+//! Every engine in this workspace — `Topk`, `Topk-EN`, `ParTopk`, the
+//! brute oracle — emits the same canonical ranked match stream; this
+//! module is the one place callers select and run them, replacing the
+//! per-algorithm constructor special-casing the CLI, bench drivers and
+//! examples used to carry. Ranked-enumeration systems present exactly
+//! one any-k iterator over many internal algorithms (Tziavelis et al.,
+//! VLDB 2020); this is that interface here:
+//!
+//! ```
+//! use ktpm::api::Executor;
+//! use ktpm::prelude::*;
+//!
+//! let g = ktpm::graph::fixtures::citation_graph();
+//! let store = MemStore::new(ClosureTables::compute(&g)).into_shared();
+//! let exec = Executor::new(g.interner().clone(), store);
+//!
+//! // All four algorithms behind one builder; streams are byte-identical.
+//! let top: Vec<ScoredMatch> = exec
+//!     .query("C -> E\nC -> S")?
+//!     .algo(Algo::Par)
+//!     .shards(2)
+//!     .k(3)
+//!     .stream()?
+//!     .collect();
+//! assert_eq!(top.len(), 3);
+//!
+//! // Batched pull: one virtual call per batch, not per match.
+//! let mut stream = exec.query("C -> E\nC -> S")?.algo(Algo::Topk).stream()?;
+//! let mut batch = Vec::new();
+//! while !stream.next_batch(2, &mut batch).is_done() {}
+//! assert_eq!(batch[..3], top[..]);
+//! # Ok::<(), ktpm::api::ApiError>(())
+//! ```
+//!
+//! The builder resolves to a [`BoxedMatchStream`] via the canonical
+//! [`ktpm_core::build_stream`] dispatch, so anything expressible here
+//! behaves identically inside the serving layer (`ktpm serve` sessions
+//! run the very same streams). Repeated queries should share setup:
+//! pass a plan handle ([`QueryBuilder::plan`]) or a cache
+//! ([`QueryBuilder::plan_cache`]) and warm runs skip candidate
+//! discovery entirely.
+
+use ktpm_core::{
+    build_stream, canonical_query_text, Algo, BoxedMatchStream, ParallelPolicy, QueryPlan,
+    ScoredMatch, ShardEngine,
+};
+use ktpm_exec::WorkerPool;
+use ktpm_graph::LabelInterner;
+use ktpm_query::{ResolvedQuery, TreeQuery};
+use ktpm_service::PlanCache;
+use ktpm_storage::SharedSource;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+// Re-exported so `use ktpm::api::*` is self-contained.
+pub use ktpm_core::{AlgoCaps, MatchStream, StreamState};
+
+/// Errors from the facade.
+#[derive(Debug)]
+pub enum ApiError {
+    /// The query text failed to parse.
+    BadQuery(String),
+    /// A builder option the selected algorithm does not support (e.g.
+    /// `.shards(…)` on a non-sharded engine; see [`Algo::caps`]).
+    Unsupported(String),
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::BadQuery(m) => write!(f, "bad query: {m}"),
+            ApiError::Unsupported(m) => write!(f, "unsupported option: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// A query executor over one closure store: the entry point of the
+/// facade. Cheap to construct and to share (`&Executor` is all a
+/// builder borrows); one per `(graph, store)` pair is the intended
+/// shape, mirroring the serving layer's engine.
+pub struct Executor {
+    interner: LabelInterner,
+    source: SharedSource,
+    pool: Arc<WorkerPool>,
+}
+
+impl Executor {
+    /// An executor resolving query labels through `interner` (clone it
+    /// off the data graph) and matching against `source`. Parallel
+    /// streams run on the process-wide default worker pool; use
+    /// [`Executor::with_pool`] to supply your own.
+    pub fn new(interner: LabelInterner, source: impl Into<SharedSource>) -> Executor {
+        Executor::with_pool(interner, source, ktpm_exec::default_pool())
+    }
+
+    /// As [`Executor::new`] with an explicit worker pool for
+    /// [`Algo::Par`] shard jobs.
+    pub fn with_pool(
+        interner: LabelInterner,
+        source: impl Into<SharedSource>,
+        pool: Arc<WorkerPool>,
+    ) -> Executor {
+        Executor {
+            interner,
+            source: source.into(),
+            pool,
+        }
+    }
+
+    /// The closure store this executor matches against.
+    pub fn source(&self) -> &SharedSource {
+        &self.source
+    }
+
+    /// Starts a query from twig text (`A -> B` / `A => B` lines; see
+    /// [`TreeQuery::parse`]). Defaults: `Algo::TopkEn`, unbounded `k`,
+    /// the default [`ParallelPolicy`].
+    pub fn query(&self, text: &str) -> Result<QueryBuilder<'_>, ApiError> {
+        let canonical = canonical_query_text(text);
+        let tree = TreeQuery::parse(&canonical).map_err(|e| ApiError::BadQuery(e.to_string()))?;
+        Ok(self.query_resolved_keyed(tree.resolve(&self.interner), canonical))
+    }
+
+    /// Starts a query from an already-resolved tree (programmatic
+    /// callers that never had query text).
+    pub fn query_resolved(&self, query: ResolvedQuery) -> QueryBuilder<'_> {
+        self.query_resolved_keyed(query, String::new())
+    }
+
+    fn query_resolved_keyed(&self, query: ResolvedQuery, canonical: String) -> QueryBuilder<'_> {
+        QueryBuilder {
+            exec: self,
+            query,
+            canonical,
+            algo: Algo::TopkEn,
+            k: None,
+            policy: ParallelPolicy::default(),
+            shards_set: false,
+            plan: None,
+            deferred_err: None,
+        }
+    }
+
+    /// A shareable [`QueryPlan`] for `text` over this executor's store
+    /// — hand it to [`QueryBuilder::plan`] across repeated runs so
+    /// only the first pays setup (what `--repeat` and the serving
+    /// layer's plan cache do).
+    pub fn plan_for(&self, text: &str) -> Result<Arc<QueryPlan>, ApiError> {
+        let canonical = canonical_query_text(text);
+        let tree = TreeQuery::parse(&canonical).map_err(|e| ApiError::BadQuery(e.to_string()))?;
+        Ok(Arc::new(QueryPlan::new(
+            tree.resolve(&self.interner),
+            Arc::clone(&self.source),
+        )))
+    }
+}
+
+/// One query's execution choices; terminate with
+/// [`QueryBuilder::stream`] (a lazy [`BoxedMatchStream`]) or
+/// [`QueryBuilder::topk`] (collect). Consumes itself on terminal
+/// calls; all setters are chainable.
+pub struct QueryBuilder<'e> {
+    exec: &'e Executor,
+    query: ResolvedQuery,
+    /// Canonical query text (plan-cache key); empty for resolved-only
+    /// queries, for which [`QueryBuilder::plan_cache`] is rejected at
+    /// [`QueryBuilder::stream`] (no text, no cache key).
+    canonical: String,
+    algo: Algo,
+    k: Option<usize>,
+    policy: ParallelPolicy,
+    /// A setter detected misuse; surfaced as `Err` by the terminal
+    /// calls (setters are infallible by signature).
+    deferred_err: Option<ApiError>,
+    shards_set: bool,
+    plan: Option<Arc<QueryPlan>>,
+}
+
+impl QueryBuilder<'_> {
+    /// Selects the algorithm (default: [`Algo::TopkEn`]). The stream
+    /// is byte-identical across algorithms — this is a performance
+    /// choice only.
+    pub fn algo(mut self, algo: Algo) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Caps the stream at the top `k` matches (default: unbounded).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// Root-shard count for sharded engines. Rejected at
+    /// [`QueryBuilder::stream`] if the selected algorithm's
+    /// [`Algo::caps`] lack sharding — an explicit error instead of a
+    /// silently sequential run.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.policy.shards = shards;
+        self.shards_set = true;
+        self
+    }
+
+    /// Matches pulled per shard job (sharded engines; see
+    /// [`ParallelPolicy::batch`]).
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.policy.batch = batch;
+        self
+    }
+
+    /// The per-shard engine for [`Algo::Par`] (see [`ShardEngine`]).
+    pub fn shard_engine(mut self, engine: ShardEngine) -> Self {
+        self.policy.engine = engine;
+        self
+    }
+
+    /// Runs over `plan` instead of building a fresh one — the plan
+    /// must have been created for this same query text and store
+    /// (e.g. by [`Executor::plan_for`]). Warm plans skip candidate
+    /// discovery entirely.
+    pub fn plan(mut self, plan: Arc<QueryPlan>) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Resolves the plan through `cache` (keyed by canonical query
+    /// text, exactly like the serving layer): a hit reuses the cached
+    /// setup, a miss registers a cold plan for future runs. Only valid
+    /// on text-built queries ([`Executor::query`]) — a
+    /// [`Executor::query_resolved`] builder has no cache key, and
+    /// keying it on nothing would collide every resolved query onto
+    /// one plan; the terminal call reports that as
+    /// [`ApiError::Unsupported`]. Use [`QueryBuilder::plan`] there.
+    pub fn plan_cache(mut self, cache: &Mutex<PlanCache>) -> Self {
+        if self.canonical.is_empty() {
+            self.deferred_err = Some(ApiError::Unsupported(
+                "plan_cache() needs a text query for its cache key; this query was built \
+                 with query_resolved() — pass a plan handle via .plan(...) instead"
+                    .to_string(),
+            ));
+            return self;
+        }
+        let (plan, _hit) = cache
+            .lock()
+            .expect("plan cache lock")
+            .get_or_insert(&self.canonical, || {
+                QueryPlan::new(self.query.clone(), Arc::clone(&self.exec.source))
+            });
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Builds the match stream: every algorithm behind one
+    /// `Box<dyn MatchStream + Send>`, in the canonical
+    /// `(score, assignment)` order.
+    pub fn stream(self) -> Result<BoxedMatchStream, ApiError> {
+        if let Some(err) = self.deferred_err {
+            return Err(err);
+        }
+        if self.shards_set && self.policy.shards > 1 && !self.algo.caps().sharded {
+            return Err(ApiError::Unsupported(format!(
+                "algorithm {:?} does not support sharding (asked for {} shards); \
+                 use .algo(Algo::Par)",
+                self.algo.name(),
+                self.policy.shards
+            )));
+        }
+        let plan = match self.plan {
+            Some(p) => p,
+            None => Arc::new(QueryPlan::new(
+                self.query.clone(),
+                Arc::clone(&self.exec.source),
+            )),
+        };
+        let stream = build_stream(self.algo, &plan, &self.policy, Arc::clone(&self.exec.pool));
+        Ok(match self.k {
+            Some(k) => ktpm_core::limit(stream, k),
+            None => stream,
+        })
+    }
+
+    /// Convenience: builds the stream and collects it (bounded by
+    /// [`QueryBuilder::k`] if set — set it, unless you really want
+    /// every match).
+    pub fn topk(self) -> Result<Vec<ScoredMatch>, ApiError> {
+        Ok(self.stream()?.collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktpm_closure::ClosureTables;
+    use ktpm_graph::fixtures::citation_graph;
+    use ktpm_storage::MemStore;
+
+    fn exec() -> Executor {
+        let g = citation_graph();
+        let store = MemStore::new(ClosureTables::compute(&g)).into_shared();
+        Executor::new(g.interner().clone(), store)
+    }
+
+    #[test]
+    fn all_algorithms_stream_identically_through_the_builder() {
+        let e = exec();
+        let want = e
+            .query("C -> E\nC -> S")
+            .unwrap()
+            .algo(Algo::Topk)
+            .topk()
+            .unwrap();
+        assert_eq!(want.len(), 5);
+        for algo in Algo::ALL {
+            let mut b = e.query("C -> E\nC -> S").unwrap().algo(algo);
+            if algo.caps().sharded {
+                b = b.shards(3);
+            }
+            assert_eq!(b.topk().unwrap(), want, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn k_caps_the_stream() {
+        let e = exec();
+        let top2 = e.query("C -> E\nC -> S").unwrap().k(2).topk().unwrap();
+        assert_eq!(top2.len(), 2);
+    }
+
+    #[test]
+    fn shards_on_sequential_algo_is_an_explicit_error() {
+        let e = exec();
+        let Err(err) = e
+            .query("C -> E")
+            .unwrap()
+            .algo(Algo::Topk)
+            .shards(4)
+            .stream()
+        else {
+            panic!("sharded Topk must be rejected");
+        };
+        assert!(matches!(err, ApiError::Unsupported(_)), "{err}");
+        // One shard is sequential anyway: allowed on any algorithm.
+        assert!(e
+            .query("C -> E")
+            .unwrap()
+            .algo(Algo::Topk)
+            .shards(1)
+            .stream()
+            .is_ok());
+    }
+
+    #[test]
+    fn bad_query_errors() {
+        let e = exec();
+        assert!(matches!(e.query("C -> "), Err(ApiError::BadQuery(_))));
+    }
+
+    #[test]
+    fn plan_cache_shares_setup_across_builder_runs() {
+        let e = exec();
+        let cache = Mutex::new(PlanCache::new(8));
+        let a = e
+            .query("C -> E\nC -> S")
+            .unwrap()
+            .plan_cache(&cache)
+            .topk()
+            .unwrap();
+        // Second run hits the same plan (whitespace-insensitively).
+        let b = e
+            .query("  C ->  E \n C -> S ")
+            .unwrap()
+            .algo(Algo::Topk)
+            .plan_cache(&cache)
+            .topk()
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn plan_cache_on_resolved_query_is_an_explicit_error() {
+        // A resolved-only builder has no cache key; caching it would
+        // collide every resolved query onto one plan and silently
+        // serve the wrong matches. It must error instead.
+        let g = citation_graph();
+        let store = MemStore::new(ClosureTables::compute(&g)).into_shared();
+        let e = Executor::new(g.interner().clone(), store);
+        let cache = Mutex::new(PlanCache::new(8));
+        let rq = ktpm_query::TreeQuery::parse("C -> E")
+            .unwrap()
+            .resolve(g.interner());
+        let err = e.query_resolved(rq).plan_cache(&cache).topk().unwrap_err();
+        assert!(matches!(err, ApiError::Unsupported(_)), "{err}");
+        assert_eq!(cache.lock().unwrap().len(), 0, "nothing was cached");
+    }
+
+    #[test]
+    fn resolved_queries_run_without_text() {
+        let g = citation_graph();
+        let store = MemStore::new(ClosureTables::compute(&g)).into_shared();
+        let e = Executor::new(g.interner().clone(), store);
+        let rq = ktpm_query::TreeQuery::parse("C -> E\nC -> S")
+            .unwrap()
+            .resolve(g.interner());
+        let got = e.query_resolved(rq).algo(Algo::Par).topk().unwrap();
+        assert_eq!(got.len(), 5);
+    }
+}

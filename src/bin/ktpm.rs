@@ -33,7 +33,23 @@
 //!                       OPEN repeats none of it. LRU-evicted; each warm
 //!                       entry costs O(m_R) memory, so size this to the
 //!                       hot-query working set.
+//!   --plan-cache-bytes <n>
+//!                       byte budget over the plan cache (default: off;
+//!                       n = 0 also means off): LRU plans are evicted
+//!                       once the summed plan footprint exceeds it; the
+//!                       entry-count cap above still applies. STATS
+//!                       reports the budget as plan_cache_bytes_limit
+//!                       (0 = off).
+//!   --warm <file>       pre-build plans for a query list before
+//!                       accepting connections: one query per line, `;`
+//!                       for newlines (the wire form). The first OPEN of
+//!                       a warmed query does zero candidate discovery.
 //! ```
+//!
+//! `ktpm query` runs every service algorithm through the `ktpm::api`
+//! facade (`Executor`/`QueryBuilder` → one `MatchStream`): algorithm
+//! names come from the shared `Algo` registry (case-insensitive), and
+//! the stream is byte-identical whichever engine runs it.
 //!
 //! ## Parallel execution (`--algo par`, `--parallel N`)
 //!
@@ -80,7 +96,7 @@
 //! [`ktpm::graph::io`]; query files use the `A -> B` / `A => B` twig
 //! format of [`ktpm::query::TreeQuery::parse`].
 
-use ktpm::core::{brute, canonical, ParTopk, ParallelPolicy, QueryPlan};
+use ktpm::api::Executor;
 use ktpm::prelude::*;
 use ktpm::service::{QueryEngine, Server, ServiceConfig};
 use std::io::BufReader;
@@ -96,7 +112,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!("usage: ktpm closure <graph.txt> <store.tc>");
             eprintln!("       ktpm query <graph.txt> <query.txt> [-k n] [--store p] [--algo a] [--parallel n] [--repeat n] [--on-demand]");
-            eprintln!("       ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--workers n] [--parallel n] [--ttl secs] [--plan-cache n]");
+            eprintln!("       ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--workers n] [--parallel n] [--ttl secs] [--plan-cache n] [--plan-cache-bytes n] [--warm file]");
             return ExitCode::from(2);
         }
     };
@@ -191,17 +207,17 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     };
     let g = load_graph(graph_path)?;
     let query_text = std::fs::read_to_string(query_path)?;
-    let query = TreeQuery::parse(&query_text)?;
-    let resolved = query.resolve(g.interner());
+    let resolved = TreeQuery::parse(&query_text)?.resolve(g.interner());
 
     let store: SharedSource = open_store(&g, &store_path, on_demand)?.into();
 
-    // Service algorithms run over ONE shared QueryPlan: with
-    // `--repeat n` the setup pipeline (candidate discovery, run-time
-    // graph, bs pass, slot templates) is paid by run 1 and reused by
-    // runs 2..n — the same amortization `ktpm serve`'s plan cache
-    // gives concurrent sessions. The DP baselines predate plans and
-    // rebuild per run.
+    // Service algorithms all run behind the facade's single
+    // `MatchStream` surface — no per-algorithm construction here. With
+    // `--repeat n` they share ONE QueryPlan: the setup pipeline
+    // (candidate discovery, run-time graph, bs pass, slot templates)
+    // is paid by run 1 and reused by runs 2..n — the same amortization
+    // `ktpm serve`'s plan cache gives concurrent sessions. The DP
+    // baselines predate plans and rebuild per run.
     let service_algo = Algo::parse(&algo);
     if service_algo.is_none() && !matches!(algo.as_str(), "dp-b" | "dp-p") {
         return Err(format!(
@@ -211,44 +227,38 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         )
         .into());
     }
-    let plan = Arc::new(QueryPlan::new(resolved.clone(), Arc::clone(&store)));
-    let mut policy = ParallelPolicy::default();
-    if let Some(n) = parallel {
-        policy.shards = n;
-    }
+    let exec = Executor::new(g.interner().clone(), Arc::clone(&store));
+    let plan = match service_algo {
+        Some(_) => Some(exec.plan_for(&query_text)?),
+        None => None,
+    };
     let mut matches: Vec<ScoredMatch> = Vec::new();
     let mut dt = std::time::Duration::ZERO;
     for run in 1..=repeat {
         let t = std::time::Instant::now();
-        // Service algorithms emit the canonical `(score, assignment)`
+        // Facade streams emit the canonical `(score, assignment)`
         // order (ties deterministic, `par` byte-identical to `topk`);
         // the DP baselines keep their native tie order.
-        matches = match (service_algo, algo.as_str()) {
-            (Some(Algo::TopkEn), _) => canonical(TopkEnEnumerator::from_plan(&plan))
-                .take(k)
-                .collect(),
-            (Some(Algo::Topk), _) => canonical(TopkEnumerator::from_plan(&plan))
-                .take(k)
-                .collect(),
-            (Some(Algo::Par), _) => ParTopk::from_plan(&plan, &policy, ktpm::exec::default_pool())
-                .take(k)
-                .collect(),
-            (Some(Algo::Brute), _) => {
-                // `all_matches` already sorts by `(score, assignment)`
-                // — the canonical order.
-                let mut all = brute::all_matches(plan.runtime_graph());
-                all.truncate(k);
-                all
+        matches = match service_algo {
+            Some(a) => {
+                // `resolved` was parsed once above; re-parsing per run
+                // would pollute the warm timings --repeat exists to
+                // show.
+                let mut b = exec
+                    .query_resolved(resolved.clone())
+                    .algo(a)
+                    .k(k)
+                    .plan(Arc::clone(plan.as_ref().expect("built for service algos")));
+                if let Some(n) = parallel {
+                    b = b.shards(n);
+                }
+                b.topk()?
             }
-            // All four `Some` arms are spelled out above so that adding
-            // a variant to `Algo` is a compile error here, not a silent
-            // fall-through to a baseline. `None` is dp-b | dp-p by the
-            // pre-validation.
-            (None, "dp-b") => {
+            None if algo == "dp-b" => {
                 let rg = RuntimeGraph::load(&resolved, store.as_ref());
                 DpBEnumerator::new(&rg).take(k).collect()
             }
-            (None, _) => DpPEnumerator::new(&resolved, store.as_ref())
+            None => DpPEnumerator::new(&resolved, store.as_ref())
                 .take(k)
                 .collect(),
         };
@@ -257,11 +267,13 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             println!(
                 "# run {run}/{repeat}: {} matches in {dt:?} ({})",
                 matches.len(),
-                match (service_algo.is_some(), run == 1) {
-                    (true, true) => "cold: builds the plan",
-                    (true, false) => "warm: shared plan",
+                match (service_algo, run == 1) {
+                    // `plan_reuse` capability: warm runs skip setup.
+                    (Some(a), false) if a.caps().plan_reuse => "warm: shared plan",
+                    (Some(Algo::Brute), false) => "brute: re-materializes each run",
+                    (Some(_), _) => "cold: builds the plan",
                     // dp-b / dp-p predate plans: every run rebuilds.
-                    (false, _) => "dp baseline: full rebuild each run",
+                    (None, _) => "dp baseline: full rebuild each run",
                 }
             );
         }
@@ -293,6 +305,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut positional = Vec::new();
     let mut addr = "127.0.0.1:7878".to_string();
     let mut store_path: Option<String> = None;
+    let mut warm_path: Option<String> = None;
     let mut on_demand = false;
     let mut config = ServiceConfig::default();
     let mut it = args.iter();
@@ -300,6 +313,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         match a.as_str() {
             "--addr" => addr = it.next().ok_or("--addr needs host:port")?.clone(),
             "--store" => store_path = Some(it.next().ok_or("--store needs a path")?.clone()),
+            "--warm" => warm_path = Some(it.next().ok_or("--warm needs a file")?.clone()),
             "--on-demand" => on_demand = true,
             "--workers" => config.workers = it.next().ok_or("--workers needs a count")?.parse()?,
             "--parallel" => {
@@ -313,12 +327,22 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 config.plan_cache_capacity =
                     it.next().ok_or("--plan-cache needs a count")?.parse()?
             }
+            "--plan-cache-bytes" => {
+                // 0 means "off" here exactly as in STATS
+                // (plan_cache_bytes_limit=0): Some(0) would instead
+                // evict every plan but the one in use.
+                let bytes: u64 = it
+                    .next()
+                    .ok_or("--plan-cache-bytes needs a count")?
+                    .parse()?;
+                config.plan_cache_max_bytes = (bytes > 0).then_some(bytes);
+            }
             other => positional.push(other.to_string()),
         }
     }
     let [graph_path] = positional.as_slice() else {
         return Err(
-            "usage: ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--workers n] [--parallel n] [--ttl secs] [--plan-cache n]"
+            "usage: ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--workers n] [--parallel n] [--ttl secs] [--plan-cache n] [--plan-cache-bytes n] [--warm file]"
                 .into(),
         );
     };
@@ -327,6 +351,27 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let source: ktpm::storage::SharedSource = open_store(&g, &store_path, on_demand)?.into();
     let workers = config.workers;
     let handle = QueryEngine::new(g.interner().clone(), source, config);
+    // Plan warm-up happens BEFORE the listener binds: the first client
+    // request of a warmed query is a plan hit with zero discovery work.
+    if let Some(path) = warm_path {
+        let list = std::fs::read_to_string(&path)?;
+        let t = std::time::Instant::now();
+        // One query per line, `;` standing in for newlines exactly as
+        // on the wire (`OPEN <algo> <query>`).
+        let queries: Vec<String> = list
+            .lines()
+            .map(|l| l.replace(';', "\n"))
+            .filter(|l| !l.trim().is_empty())
+            .collect();
+        let report = handle.warm_plans(queries.iter().map(String::as_str));
+        println!(
+            "warmed {} plans from {path} ({} plan bytes, {} skipped) in {:?}",
+            report.warmed,
+            report.plan_bytes,
+            report.skipped,
+            t.elapsed()
+        );
+    }
     let server = Server::spawn(handle, addr.as_str())?;
     println!(
         "serving {} nodes / {} edges on {} ({} workers, setup {:?})",

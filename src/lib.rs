@@ -21,19 +21,31 @@
 //! b.add_edge(e1, s1, 1);
 //! let g = b.build().unwrap();
 //!
-//! // The twig query of the paper's Figure 1: C -> E, C -> S (both `//`).
-//! let query = TreeQuery::parse("C -> E\nC -> S").unwrap();
-//!
 //! // Offline: shortest-distance transitive closure, organized as
 //! // label-pair tables (persist with `write_store` for real block I/O).
-//! let store = MemStore::new(ClosureTables::compute(&g));
+//! let store = MemStore::new(ClosureTables::compute(&g)).into_shared();
 //!
-//! // Online: top-k matches via the optimal enumerator.
-//! let resolved = query.resolve(g.interner());
-//! let matches = topk_full(&resolved, &store, 10);
+//! // Online: top-k matches through the facade — one builder for every
+//! // algorithm (Topk, Topk-EN, ParTopk, brute), one identical stream.
+//! // The twig query is the paper's Figure 1: C -> E, C -> S (both `//`).
+//! let exec = Executor::new(g.interner().clone(), store);
+//! let matches = exec.query("C -> E\nC -> S").unwrap().k(10).topk().unwrap();
 //! assert_eq!(matches.len(), 1);
 //! assert_eq!(matches[0].score, 3); // δ(C,E) + δ(C,S) = 1 + 2
 //! ```
+//!
+//! ## One enumeration surface
+//!
+//! All four engines run behind one object-safe trait,
+//! [`core::MatchStream`], whose primitive is **batched pull**
+//! (`next_batch(n, &mut out)` — one virtual call per batch, not per
+//! match); [`api::Executor`] / [`api::QueryBuilder`] are the
+//! ergonomic front end, and [`core::build_stream`] +
+//! the canonical [`core::Algo`] registry (with per-algorithm
+//! capability flags) are the single dispatch every layer — facade,
+//! serving sessions, CLI, bench drivers — goes through. Algorithm
+//! choice is a performance decision only: the streams are
+//! byte-identical.
 //!
 //! ## Crate map
 //!
@@ -44,7 +56,8 @@
 //! | [`closure`] | transitive closure, label-pair tables, 2-hop (PLL) index |
 //! | [`storage`] | on-disk closure store, block cursors, I/O accounting |
 //! | [`runtime`] | run-time graph `G_R` construction |
-//! | [`core`] | **Algorithms 1–3** (`Topk`, `ComputeFirst`, `Topk-EN`) + `ParTopk` |
+//! | [`core`] | **Algorithms 1–3** (`Topk`, `ComputeFirst`, `Topk-EN`) + `ParTopk`, the [`core::MatchStream`] surface, [`core::Algo`] registry |
+//! | [`api`] | **the facade**: `Executor` / `QueryBuilder` → `Box<dyn MatchStream + Send>` |
 //! | [`baseline`] | DP-B / DP-P (SIGMOD'08) reimplementations |
 //! | [`kgpm`] | graph-pattern matching: decomposition, mtree, mtree+ |
 //! | [`workload`] | dataset & query generators for the §6 experiments |
@@ -81,6 +94,8 @@
 //! `ktpm serve` (policy in `ServiceConfig::parallel`), and the
 //! `bench-smoke` CI job's `BENCH_parallel.json` perf trajectory.
 
+pub mod api;
+
 pub use ktpm_baseline as baseline;
 pub use ktpm_closure as closure;
 pub use ktpm_core as core;
@@ -95,11 +110,13 @@ pub use ktpm_workload as workload;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use crate::api::{ApiError, Executor, QueryBuilder};
     pub use ktpm_baseline::{DpBEnumerator, DpPEnumerator};
     pub use ktpm_closure::{sssp, ClosureTables};
     pub use ktpm_core::{
-        canonical, par_topk, topk_en, topk_full, BoundMode, ParTopk, ParallelPolicy, QueryPlan,
-        ScoredMatch, ShardEngine, ShardSpec, TopkEnEnumerator, TopkEnumerator,
+        build_stream, canonical, canonical_query_text, par_topk, topk_en, topk_full, Algo,
+        AlgoCaps, BoundMode, BoxedMatchStream, MatchStream, ParTopk, ParallelPolicy, QueryPlan,
+        ScoredMatch, ShardEngine, ShardSpec, StreamState, TopkEnEnumerator, TopkEnumerator,
     };
     pub use ktpm_exec::WorkerPool;
     pub use ktpm_graph::{
@@ -111,7 +128,8 @@ pub mod prelude {
     };
     pub use ktpm_runtime::RuntimeGraph;
     pub use ktpm_service::{
-        Algo, NextBatch, QueryEngine, Server, ServiceConfig, ServiceHandle, SessionId,
+        NextBatch, PlanCache, QueryEngine, Server, ServiceConfig, ServiceHandle, SessionId,
+        WarmReport,
     };
     pub use ktpm_storage::{
         write_store, write_store_versioned, ClosureSource, FileStore, FormatVersion, MemStore,

@@ -7,6 +7,10 @@
 //! * `Topk` and `Topk-EN` agree on arbitrary graph/query combinations;
 //! * `ParTopk` with arbitrary shard counts is byte-identical to
 //!   `topk_full` on random `workload::graphs` instances;
+//! * facade-built streams (`ktpm::api`, `Box<dyn MatchStream>`) are
+//!   element-for-element identical to directly-constructed engines for
+//!   every `Algo` × random k/shards, under mid-stream `next`/
+//!   `next_batch` interleaving with a resume split;
 //! * the closure store round-trips through the on-disk format;
 //! * truncated / bit-flipped snapshots of random workload graphs open
 //!   as `Err`, never a panic, and corrupted reads degrade gracefully.
@@ -260,6 +264,105 @@ proptest! {
                     ktpm::exec::default_pool(),
                 )));
                 prop_assert_eq!(&par, &want, "{:?} x{} k {} pause {}", engine, shards, k, j);
+            }
+        }
+    }
+
+    #[test]
+    fn facade_streams_equal_direct_engines_for_every_algo(
+        nodes in 20..100usize,
+        seed in 0..10_000u64,
+        size in 2..5usize,
+        shards in 1..7usize,
+        lazy_shards in 0..2u32,
+        k in 1..60usize,
+        pause in 0..60usize,
+        chunk in 1..7usize,
+    ) {
+        // The `ktpm::api` facade is a pure re-plumbing: a stream built
+        // by `Executor::query(..).algo(a).k(k).stream()` must be
+        // element-for-element identical — score, assignment, order —
+        // to the directly-constructed engine it dispatches to, for
+        // every algorithm, shard count and k. Consumption mixes the
+        // two pull primitives: item pulls (`next`) up to the resume
+        // split at `pause`, then batched pulls of `chunk` — so parked
+        // mid-stream state crosses both a primitive switch and a
+        // resume boundary.
+        let spec = GraphSpec {
+            nodes,
+            labels: 5,
+            label_skew: 0.5,
+            avg_out_degree: 2.5,
+            community: 30,
+            cross_fraction: 0.1,
+            weight_range: (1, 3),
+            seed,
+        };
+        let g = generate(&spec);
+        let query = random_tree_query(&g, QuerySpec {
+            size,
+            distinct_labels: false,
+            seed: seed ^ 0x3C3C,
+        });
+        if let Some(q) = query {
+            let resolved = q.resolve(g.interner());
+            let tables = ClosureTables::compute(&g);
+            let shared: SharedSource = MemStore::with_block_edges(tables, 2).into_shared();
+            let exec = Executor::new(g.interner().clone(), Arc::clone(&shared));
+            let pool = ktpm::exec::default_pool();
+            let engine = if lazy_shards == 1 { ShardEngine::Lazy } else { ShardEngine::Full };
+            let policy = ParallelPolicy { shards, batch: 3, engine };
+            for algo in Algo::ALL {
+                // The reference: directly-constructed engines, on
+                // purpose NOT the facade.
+                let plan = QueryPlan::new(resolved.clone(), Arc::clone(&shared));
+                let want: Vec<ScoredMatch> = match algo {
+                    Algo::Topk => canonical(TopkEnumerator::from_plan(&plan)).take(k).collect(),
+                    Algo::TopkEn => {
+                        canonical(TopkEnEnumerator::from_plan(&plan)).take(k).collect()
+                    }
+                    Algo::Par => ParTopk::from_plan(&plan, &policy, Arc::clone(&pool))
+                        .take(k)
+                        .collect(),
+                    Algo::Brute => {
+                        let mut all = ktpm::core::brute::all_matches(plan.runtime_graph());
+                        all.truncate(k);
+                        all
+                    }
+                };
+                let mut b = exec
+                    .query_resolved(resolved.clone())
+                    .algo(algo)
+                    .k(k)
+                    .batch(3)
+                    .shard_engine(engine);
+                if algo.caps().sharded {
+                    b = b.shards(shards);
+                }
+                let mut it = b.stream().unwrap();
+                let j = pause.min(k);
+                let mut got: Vec<ScoredMatch> = Vec::new();
+                while got.len() < j {
+                    // Item pulls (one virtual call per match).
+                    match it.next() {
+                        Some(m) => got.push(m),
+                        None => break,
+                    }
+                }
+                // Resume split: switch primitives mid-stream.
+                loop {
+                    let before = got.len();
+                    if it.next_batch(chunk, &mut got).is_done() {
+                        break;
+                    }
+                    // `More` promises a full batch was appended.
+                    prop_assert_eq!(got.len(), before + chunk, "{:?}", algo);
+                }
+                prop_assert_eq!(
+                    &got, &want,
+                    "{:?} shards {} k {} pause {} chunk {}",
+                    algo, shards, k, j, chunk
+                );
             }
         }
     }
