@@ -566,6 +566,23 @@ fn smoke() {
         m.plan_hits, m.plan_misses
     );
 
+    // Many-connection soak over the event-loop front end: hundreds of
+    // concurrent pipelined sessions, per-NEXT latency percentiles, and
+    // the invariant that nominal load sheds nothing (CI gates on the
+    // emitted sheds / protocol_errors).
+    let soak = serve_soak(&ds);
+    println!(
+        "serve soak (event loop): {} conns / {} sessions, {} NEXTs, p50 {:.2}ms p99 {:.2}ms, \
+         {} protocol errors, {} sheds",
+        soak.connections,
+        soak.sessions,
+        soak.next_requests,
+        soak.p50_ms,
+        soak.p99_ms,
+        soak.protocol_errors,
+        soak.sheds
+    );
+
     // One MatchStream surface: per-item vs batched pull
     // (`api_batched_pull`). The *replay* rows isolate the pull overhead
     // itself — a pre-materialized stream whose per-match production
@@ -741,7 +758,11 @@ fn smoke() {
          \"allocs_per_op\": {{\n{}\n    }},\n    \
          \"clone_baseline_allocs_per_op\": {{\n{}\n    }},\n    \
          \"wall_secs\": {{\n{}\n    }},\n    \
-         \"min_alloc_reduction\": {}\n  }}\n}}\n",
+         \"min_alloc_reduction\": {}\n  }},\n  \
+         \"serve_soak\": {{\n    \"connections\": {},\n    \
+         \"sessions\": {},\n    \"next_requests\": {},\n    \
+         \"next_p50_ms\": {:.4},\n    \"next_p99_ms\": {:.4},\n    \
+         \"protocol_errors\": {},\n    \"sheds\": {}\n  }}\n}}\n",
         ds.name,
         ds.graph.num_nodes(),
         queries.len(),
@@ -758,10 +779,130 @@ fn smoke() {
         } else {
             "null".to_string()
         },
+        soak.connections,
+        soak.sessions,
+        soak.next_requests,
+        soak.p50_ms,
+        soak.p99_ms,
+        soak.protocol_errors,
+        soak.sheds,
     );
     let path = workspace_root().join("BENCH_parallel.json");
     std::fs::write(&path, json).expect("write BENCH_parallel.json");
     println!("wrote {} in {:?}", path.display(), t0.elapsed());
+}
+
+struct ServeSoak {
+    connections: usize,
+    sessions: usize,
+    next_requests: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    protocol_errors: usize,
+    sheds: u64,
+}
+
+/// Many-connection soak over the `ktpm-net` event-loop front end: every
+/// connection pipelines its session OPENs, then rounds of `NEXT` across
+/// all of them — hundreds of sessions concurrently open on one reactor
+/// thread. Latency is per pipelined request, measured from the batch
+/// write to that response's arrival (so it includes queueing behind
+/// earlier requests on the same connection, which is what a pipelining
+/// client experiences).
+fn serve_soak(ds: &Dataset) -> ServeSoak {
+    const CONNS: usize = 120;
+    const SESSIONS_PER_CONN: usize = 5; // 600 concurrently open sessions
+    const ROUNDS: usize = 3;
+    const BATCH: usize = 5;
+    let handle = ktpm_service::QueryEngine::new(
+        ds.graph.interner().clone(),
+        Arc::clone(&ds.store),
+        ktpm_service::ServiceConfig::default(),
+    );
+    let server = ktpm_net::EventServer::spawn(
+        handle.clone(),
+        ("127.0.0.1", 0),
+        ktpm_net::NetConfig::default(),
+    )
+    .expect("soak server");
+    let addr = server.local_addr();
+    let clients: Vec<_> = (0..CONNS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                use std::io::{BufRead, BufReader, Write};
+                let stream = std::net::TcpStream::connect(addr).expect("soak connect");
+                let _ = stream.set_nodelay(true);
+                stream
+                    .set_read_timeout(Some(std::time::Duration::from_secs(120)))
+                    .expect("read timeout");
+                let mut writer = stream.try_clone().expect("clone stream");
+                let mut reader = BufReader::new(stream);
+                let mut errors = 0usize;
+                let mut lat_ms: Vec<f64> = Vec::with_capacity(SESSIONS_PER_CONN * ROUNDS);
+                // Pipeline every OPEN, then read the session ids.
+                let batch = "OPEN topk-en L0 -> *#1; L0 -> *#2\n".repeat(SESSIONS_PER_CONN);
+                writer.write_all(batch.as_bytes()).expect("write opens");
+                let mut ids = Vec::new();
+                for _ in 0..SESSIONS_PER_CONN {
+                    let mut line = String::new();
+                    reader.read_line(&mut line).expect("read open response");
+                    match line.trim().strip_prefix("OK ") {
+                        Some(id) => ids.push(id.to_string()),
+                        None => errors += 1,
+                    }
+                }
+                for _ in 0..ROUNDS {
+                    let mut batch = String::new();
+                    for id in &ids {
+                        batch.push_str(&format!("NEXT {id} {BATCH}\n"));
+                    }
+                    let t = Instant::now();
+                    writer.write_all(batch.as_bytes()).expect("write nexts");
+                    for _ in 0..ids.len() {
+                        let mut header = String::new();
+                        reader.read_line(&mut header).expect("read next response");
+                        let mut fields = header.split_whitespace();
+                        if fields.next() != Some("OK") {
+                            errors += 1;
+                            continue;
+                        }
+                        let count: usize = fields.next().and_then(|c| c.parse().ok()).unwrap_or(0);
+                        for _ in 0..count {
+                            let mut m = String::new();
+                            reader.read_line(&mut m).expect("read match line");
+                        }
+                        lat_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                    }
+                }
+                (lat_ms, errors)
+            })
+        })
+        .collect();
+    let mut lat: Vec<f64> = Vec::new();
+    let mut protocol_errors = 0usize;
+    for c in clients {
+        let (l, e) = c.join().expect("soak client thread");
+        lat.extend(l);
+        protocol_errors += e;
+    }
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| {
+        if lat.is_empty() {
+            return 0.0; // protocol_errors will be non-zero; CI fails on that
+        }
+        lat[((p / 100.0) * (lat.len() - 1) as f64).round() as usize]
+    };
+    let soak = ServeSoak {
+        connections: CONNS,
+        sessions: CONNS * SESSIONS_PER_CONN,
+        next_requests: lat.len(),
+        p50_ms: pct(50.0),
+        p99_ms: pct(99.0),
+        protocol_errors,
+        sheds: handle.stats().metrics.shed_total,
+    };
+    server.shutdown();
+    soak
 }
 
 /// The workspace root, resolved from this crate's manifest directory

@@ -1,0 +1,95 @@
+//! # ktpm-net
+//!
+//! The event-driven serving tier: a readiness-loop TCP front end for a
+//! [`ktpm_service::ServiceHandle`] that replaces thread-per-connection
+//! with a small fixed thread set.
+//!
+//! The paper's enumeration model already decouples *sessions* from
+//! *connections*: a parked session is a `Box<dyn MatchStream>` in the
+//! engine's session table, costing memory but no thread. The legacy
+//! [`ktpm_service::Server`] squanders that — every connected client
+//! pins an OS thread even while idle between `NEXT` calls, so
+//! thousands of open-but-quiet dashboards exhaust threads long before
+//! they exhaust sessions. This crate finishes the decoupling on the
+//! transport side:
+//!
+//! * **One reactor thread** owns every socket. The listener and all
+//!   connections are non-blocking; the reactor sweeps them in a
+//!   readiness loop (accept → read/parse → flush), parking briefly
+//!   ([`NetConfig::poll_interval`]) when nothing is ready. No external
+//!   async runtime, no OS-specific poller — plain `std::net`
+//!   non-blocking I/O, in keeping with the workspace's no-external-deps
+//!   rule.
+//! * **A fixed executor pool** ([`NetConfig::workers`]) runs requests.
+//!   A connection is handed to at most one worker at a time, which
+//!   drains its queued requests in order — that exclusivity is the
+//!   whole pipelining-order guarantee.
+//! * **Pipelining**: request parsing is incremental, so a client can
+//!   write `OPEN` + several `NEXT` lines back-to-back and read the
+//!   responses — complete, in request order, byte-identical to the
+//!   legacy front end (both render via [`ktpm_service::respond`]) —
+//!   without a round-trip between them.
+//! * **Explicit backpressure**: each connection has a bounded request
+//!   queue ([`NetConfig::max_pipeline`]) and write buffer
+//!   ([`NetConfig::max_write_buffer`]). Requests beyond either bound
+//!   are shed with an in-order `ERR overloaded` (counted in the
+//!   `shed_total` STATS field) instead of queueing without limit; past
+//!   a hard pending cap the reactor stops reading the socket entirely
+//!   and TCP flow control holds the client.
+//! * **Idle timeouts**: connections silent for
+//!   [`ktpm_service::ServiceConfig::idle_timeout`] are closed. Their
+//!   sessions survive (session TTL is separate) and can be resumed
+//!   from a new connection.
+//!
+//! ```no_run
+//! use ktpm_net::{EventServer, NetConfig};
+//! # fn handle() -> ktpm_service::ServiceHandle { unimplemented!() }
+//! let server = EventServer::spawn(handle(), ("127.0.0.1", 0), NetConfig::default()).unwrap();
+//! println!("serving on {}", server.local_addr());
+//! # server.shutdown();
+//! ```
+
+mod conn;
+mod reactor;
+
+pub use reactor::EventServer;
+
+use std::time::Duration;
+
+/// Tuning knobs for the event-loop front end. Engine-shared behavior
+/// (idle timeout, sweep interval, session TTL) lives in
+/// [`ktpm_service::ServiceConfig`] instead — both front ends read it
+/// from the handle.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Executor worker threads running requests. This bounds engine
+    /// concurrency from this front end regardless of connection count —
+    /// the point of the event loop.
+    pub workers: usize,
+    /// Per-connection bound on queued (pipelined) engine requests;
+    /// requests past it are shed with `ERR overloaded`.
+    pub max_pipeline: usize,
+    /// Per-connection bound on unflushed response bytes; while a
+    /// slow-reading client is over it, further requests are shed.
+    pub max_write_buffer: usize,
+    /// How long the reactor parks when no socket made progress. Bounds
+    /// the latency added to a response that became ready while the
+    /// reactor slept; lower burns more idle CPU.
+    pub poll_interval: Duration,
+    /// Maximum bytes of a single request line; beyond it the connection
+    /// gets `ERR line too long` and is closed (a newline-less flood
+    /// must not grow the read buffer forever).
+    pub max_line_len: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get().clamp(2, 8)),
+            max_pipeline: 64,
+            max_write_buffer: 256 * 1024,
+            poll_interval: Duration::from_micros(500),
+            max_line_len: 64 * 1024,
+        }
+    }
+}

@@ -379,6 +379,13 @@ impl ServiceHandle {
     pub fn config(&self) -> &ServiceConfig {
         &self.engine.config
     }
+
+    /// The live counters, for front ends that account connection-level
+    /// events (accepts, sheds, pipeline depths) against the same
+    /// `STATS` the engine reports.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.engine.metrics
+    }
 }
 
 #[cfg(test)]

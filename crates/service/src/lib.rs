@@ -89,7 +89,11 @@ pub use engine::{Algo, AlgoCaps, NextBatch, QueryEngine, ServiceError, ServiceHa
 // embedders that imported it from the service crate.
 pub use ktpm_exec::WorkerPool;
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
-pub use server::Server;
+// `respond` and `serve_connection` are public so alternative front ends
+// (the `ktpm-net` event loop) render through the exact same path as the
+// in-crate thread-per-connection server — byte-identical responses are
+// a protocol guarantee, not a coincidence.
+pub use server::{respond, serve_connection, Server};
 pub use session::{SessionId, SessionTable};
 
 use std::time::Duration;
@@ -101,6 +105,18 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Idle sessions older than this are evicted.
     pub session_ttl: Duration,
+    /// How often the server's janitor thread runs TTL eviction
+    /// ([`ServiceHandle::sweep_expired`]). Short-TTL tests and soaks
+    /// tune this down instead of racing a magic constant; `ktpm serve`
+    /// exposes it as `--sweep-interval-ms`.
+    pub sweep_interval: Duration,
+    /// Connections with no client request for this long are closed by
+    /// the front ends (the legacy thread-per-connection path sets it as
+    /// a socket read timeout; the event loop tracks it per connection).
+    /// `None` disables the timeout — an idle client then pins a thread
+    /// forever on the legacy path, which is exactly the failure mode
+    /// the default guards against.
+    pub idle_timeout: Option<Duration>,
     /// Maximum number of concurrently open sessions (`open` fails
     /// beyond it after TTL eviction has been attempted).
     pub max_sessions: usize,
@@ -129,6 +145,8 @@ impl Default for ServiceConfig {
         ServiceConfig {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get().min(16)),
             session_ttl: Duration::from_secs(300),
+            sweep_interval: Duration::from_millis(200),
+            idle_timeout: Some(Duration::from_secs(300)),
             max_sessions: 10_000,
             cache_capacity: 1_024,
             plan_cache_capacity: 256,

@@ -2,7 +2,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Monotonic counters describing engine activity since start.
+/// Monotonic counters describing engine activity since start, plus the
+/// serving-tier gauges (`connections_active` is the only non-monotonic
+/// field: the front ends increment it on accept and decrement it on
+/// connection close).
 #[derive(Debug, Default)]
 pub struct ServiceMetrics {
     sessions_opened: AtomicU64,
@@ -15,6 +18,9 @@ pub struct ServiceMetrics {
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
     errors: AtomicU64,
+    connections_active: AtomicU64,
+    queue_depth_max: AtomicU64,
+    shed_total: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServiceMetrics`].
@@ -41,6 +47,17 @@ pub struct MetricsSnapshot {
     pub plan_misses: u64,
     /// Requests that failed (bad query, unknown session, ...).
     pub errors: u64,
+    /// Client connections currently held by a front end (legacy
+    /// thread-per-connection or the `ktpm-net` event loop).
+    pub connections_active: u64,
+    /// High-water mark of any connection's pending-request queue (the
+    /// pipelining depth clients actually reached; only the event-loop
+    /// front end queues, so the legacy path leaves this at 0).
+    pub queue_depth_max: u64,
+    /// Requests refused with `ERR overloaded`: pipeline queue or write
+    /// buffer full, or a connection dropped because the front end could
+    /// not spawn a handler thread.
+    pub shed_total: u64,
 }
 
 macro_rules! bump {
@@ -62,6 +79,7 @@ impl ServiceMetrics {
         plan_hit => plan_hits,
         plan_miss => plan_misses,
         error => errors,
+        shed => shed_total,
     }
 
     /// Adds `n` evicted sessions.
@@ -72,6 +90,22 @@ impl ServiceMetrics {
     /// Adds `n` served matches.
     pub fn matches_served(&self, n: u64) {
         self.matches_served.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A front end accepted a connection (raises the gauge).
+    pub fn connection_opened(&self) {
+        self.connections_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A front end released a connection (lowers the gauge).
+    pub fn connection_closed(&self) {
+        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records an observed per-connection pending-queue depth; only the
+    /// maximum ever seen is kept.
+    pub fn queue_depth_observed(&self, depth: u64) {
+        self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
     }
 
     /// Reads all counters.
@@ -87,6 +121,9 @@ impl ServiceMetrics {
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
+            shed_total: self.shed_total.load(Ordering::Relaxed),
         }
     }
 }
@@ -97,7 +134,7 @@ impl MetricsSnapshot {
         format!(
             "sessions_opened={} sessions_closed={} sessions_evicted={} next_calls={} \
              matches_served={} cache_hits={} cache_misses={} plan_hits={} plan_misses={} \
-             errors={}",
+             errors={} connections_active={} queue_depth_max={} shed_total={}",
             self.sessions_opened,
             self.sessions_closed,
             self.sessions_evicted,
@@ -108,6 +145,9 @@ impl MetricsSnapshot {
             self.plan_hits,
             self.plan_misses,
             self.errors,
+            self.connections_active,
+            self.queue_depth_max,
+            self.shed_total,
         )
     }
 }
@@ -131,6 +171,14 @@ mod tests {
         m.plan_hit();
         m.plan_miss();
         m.error();
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_closed();
+        m.queue_depth_observed(3);
+        m.queue_depth_observed(9);
+        m.queue_depth_observed(5); // max is sticky
+        m.shed();
+        m.shed();
         let s = m.snapshot();
         assert_eq!(s.sessions_opened, 2);
         assert_eq!(s.sessions_closed, 1);
@@ -142,7 +190,13 @@ mod tests {
         assert_eq!(s.plan_hits, 2);
         assert_eq!(s.plan_misses, 1);
         assert_eq!(s.errors, 1);
+        assert_eq!(s.connections_active, 1, "gauge: 2 opened - 1 closed");
+        assert_eq!(s.queue_depth_max, 9, "high-water mark, not last value");
+        assert_eq!(s.shed_total, 2);
         assert!(s.to_wire().contains("matches_served=10"));
         assert!(s.to_wire().contains("plan_hits=2 plan_misses=1"));
+        assert!(s
+            .to_wire()
+            .contains("connections_active=1 queue_depth_max=9 shed_total=2"));
     }
 }

@@ -24,6 +24,44 @@
 //! STATS                    engine counters
 //! ```
 //!
+//! ## Pipelining
+//!
+//! Requests on one connection are answered **in request order**, and a
+//! client does not have to wait for a response before sending the next
+//! request: writing several lines back-to-back (e.g. an `OPEN` followed
+//! immediately by `NEXT`s against the session id it *will* return —
+//! ids are assigned sequentially per engine) is valid on both front
+//! ends. The legacy thread-per-connection server interleaves
+//! read/respond per line; the `ktpm-net` event-loop server parses
+//! requests incrementally off the socket, queues them per connection
+//! (bounded), and streams the responses back in order — several `NEXT`
+//! batches can be in the pipe at once, so consecutive answers arrive
+//! without a full client round-trip between them. Responses are
+//! byte-identical between the two front ends: both render through the
+//! same [`crate::Server`]-level `respond` path.
+//!
+//! ## Backpressure: `ERR overloaded`
+//!
+//! The event-loop front end bounds each connection's pending-request
+//! queue and write buffer. A request that arrives while either bound
+//! is exceeded is **shed**: it is answered `ERR overloaded` (in order,
+//! like any response) without reaching the engine, and counted in the
+//! `shed_total` STATS field. The legacy front end sheds whole
+//! connections instead: if it cannot spawn a handler thread (fd/thread
+//! exhaustion), the new connection receives `ERR overloaded` and is
+//! closed. Clients should treat `ERR overloaded` as retryable after
+//! draining in-flight responses.
+//!
+//! ## Idle timeouts
+//!
+//! Connections with no client request for
+//! [`crate::ServiceConfig::idle_timeout`] (default 300 s, `--idle-timeout`
+//! on `ktpm serve`, `None` = never) are closed by the server: the
+//! legacy path via a socket read timeout, the event loop via its
+//! readiness sweep. Idle *sessions* are independent — they live until
+//! the session TTL and survive their connection, so a client may
+//! reconnect and resume a session by id.
+//!
 //! ## The `;` → newline rewrite
 //!
 //! Requests are single lines, but the twig text format is
@@ -54,8 +92,15 @@
 //! OK closed                             for CLOSE
 //! OK <key>=<value> ...                  for STATS (one line)
 //! ERR <message>                         any failure; the connection
-//!                                       stays usable
+//!                                       stays usable (ERR overloaded
+//!                                       = shed, retry after draining)
 //! ```
+//!
+//! `STATS` includes the serving-tier fields `connections_active` (a
+//! gauge across both front ends), `queue_depth_max` (the deepest
+//! pending-request queue any pipelined connection reached on the event
+//! loop) and `shed_total` (requests or connections refused with
+//! `ERR overloaded`), alongside the engine counters.
 //!
 //! Verbs are case-insensitive; everything else is verbatim.
 

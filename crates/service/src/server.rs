@@ -37,12 +37,23 @@ impl Server {
         let janitor = {
             let handle = handle.clone();
             let stop = Arc::clone(&stop);
+            let interval = handle.config().sweep_interval;
             std::thread::Builder::new()
                 .name("ktpm-janitor".into())
                 .spawn(move || {
                     while !stop.load(Ordering::Relaxed) {
                         handle.sweep_expired();
-                        std::thread::sleep(Duration::from_millis(200));
+                        // Time-sliced so a long configured interval
+                        // never delays shutdown by a full period.
+                        let deadline = std::time::Instant::now() + interval;
+                        while !stop.load(Ordering::Relaxed) {
+                            let left =
+                                deadline.saturating_duration_since(std::time::Instant::now());
+                            if left.is_zero() {
+                                break;
+                            }
+                            std::thread::sleep(left.min(Duration::from_millis(50)));
+                        }
                     }
                 })?
         };
@@ -94,26 +105,79 @@ fn accept_loop(listener: TcpListener, handle: ServiceHandle, stop: Arc<AtomicBoo
             std::thread::sleep(Duration::from_millis(20));
             continue;
         };
-        let handle = handle.clone();
-        let _ = std::thread::Builder::new()
-            .name("ktpm-conn".into())
-            .spawn(move || {
-                let _ = serve_connection(stream, &handle);
-            });
+        // Keep a second handle to the socket: if the spawn fails (thread
+        // or fd exhaustion) the closure — and the stream it captured —
+        // are gone, but the connection must still be refused audibly
+        // (`ERR overloaded` + a shed count) instead of silently dropped
+        // as the old `let _ = spawn(..)` did.
+        let conn = handle.clone();
+        match stream.try_clone() {
+            Ok(thread_stream) => {
+                let spawned =
+                    std::thread::Builder::new()
+                        .name("ktpm-conn".into())
+                        .spawn(move || {
+                            let _ = serve_connection(thread_stream, &conn);
+                        });
+                if spawned.is_err() {
+                    refuse_overloaded(stream, &handle);
+                }
+            }
+            Err(_) => refuse_overloaded(stream, &handle),
+        }
     }
 }
 
-/// Drives one client connection until EOF. Public so alternative
-/// transports (unix sockets, in-process pipes, tests) can reuse the
-/// request loop with any bidirectional byte stream.
+/// Declines `stream` because the server cannot serve it right now:
+/// best-effort `ERR overloaded` so the client sees backpressure rather
+/// than a silent hangup, counted in `shed_total`.
+fn refuse_overloaded(mut stream: TcpStream, handle: &ServiceHandle) {
+    handle.metrics().shed();
+    let _ = stream.write_all(b"ERR overloaded\n");
+    let _ = stream.flush();
+}
+
+/// Drives one client connection until EOF or idle timeout
+/// ([`crate::ServiceConfig::idle_timeout`], applied as a socket read
+/// timeout so an idle client cannot pin this thread forever). Public so
+/// alternative transports (unix sockets, in-process pipes, tests) can
+/// reuse the request loop with any bidirectional byte stream.
+///
+/// Requests pipeline naturally here too: the reader consumes one line
+/// at a time from the socket buffer, so a client may write several
+/// requests back-to-back and read the responses — always complete and
+/// in request order — afterwards.
 pub fn serve_connection(stream: TcpStream, handle: &ServiceHandle) -> std::io::Result<()> {
+    handle.metrics().connection_opened();
+    // Count the close on every exit path, including errors.
+    struct Gauge<'a>(&'a ServiceHandle);
+    impl Drop for Gauge<'_> {
+        fn drop(&mut self) {
+            self.0.metrics().connection_closed();
+        }
+    }
+    let _gauge = Gauge(handle);
+    stream.set_read_timeout(handle.config().idle_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut line = String::new();
     loop {
         line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // client closed
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(_) => {}
+            // Read timeout: the client sent nothing (not even a partial
+            // line we could wait out) for the whole idle window — hang
+            // up and release the thread.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(());
+            }
+            Err(e) => return Err(e),
         }
         if line.trim().is_empty() {
             continue;

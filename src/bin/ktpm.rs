@@ -23,6 +23,29 @@
 //!   --store <path>      use a persisted closure store instead of computing
 //!   --on-demand         skip closure precomputation (lazy per-label SSSP)
 //!   --workers <n>       worker threads (default: CPU count, capped at 16)
+//!   --event-loop        serve with the `ktpm-net` readiness loop instead
+//!                       of a thread per connection: one reactor thread
+//!                       multiplexes every socket, a fixed executor pool
+//!                       runs requests, parked connections hold no
+//!                       thread, and clients may pipeline requests
+//!                       (responses stream back in request order,
+//!                       byte-identical to the legacy path). Overload is
+//!                       shed per request with `ERR overloaded`.
+//!   --net-workers <n>   event-loop executor threads (default: CPU
+//!                       count, clamped to 2..8; implies --event-loop)
+//!   --pipeline <n>      per-connection bound on queued pipelined
+//!                       requests before shedding (default 64; implies
+//!                       --event-loop)
+//!   --write-buf <bytes> per-connection bound on unflushed response
+//!                       bytes before shedding (default 262144; implies
+//!                       --event-loop)
+//!   --idle-timeout <secs>
+//!                       close connections silent for this long, on both
+//!                       front ends (default 300; 0 = never). Sessions
+//!                       survive their connection and can be resumed.
+//!   --sweep-interval-ms <n>
+//!                       janitor cadence for session-TTL eviction
+//!                       (default 200)
 //!   --parallel <n>      shard count for `par` sessions (default as above)
 //!   --ttl <secs>        idle-session eviction timeout (default 300)
 //!   --plan-cache <n>    cached query plans (default 256). Plans hold a
@@ -97,6 +120,7 @@
 //! format of [`ktpm::query::TreeQuery::parse`].
 
 use ktpm::api::Executor;
+use ktpm::net::{EventServer, NetConfig};
 use ktpm::prelude::*;
 use ktpm::service::{QueryEngine, Server, ServiceConfig};
 use std::io::BufReader;
@@ -112,7 +136,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!("usage: ktpm closure <graph.txt> <store.tc>");
             eprintln!("       ktpm query <graph.txt> <query.txt> [-k n] [--store p] [--algo a] [--parallel n] [--repeat n] [--on-demand]");
-            eprintln!("       ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--workers n] [--parallel n] [--ttl secs] [--plan-cache n] [--plan-cache-bytes n] [--warm file]");
+            eprintln!("       ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--workers n] [--parallel n] [--ttl secs] [--plan-cache n] [--plan-cache-bytes n] [--warm file] [--event-loop] [--net-workers n] [--pipeline n] [--write-buf bytes] [--idle-timeout secs] [--sweep-interval-ms n]");
             return ExitCode::from(2);
         }
     };
@@ -307,7 +331,9 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut store_path: Option<String> = None;
     let mut warm_path: Option<String> = None;
     let mut on_demand = false;
+    let mut event_loop = false;
     let mut config = ServiceConfig::default();
+    let mut net_config = NetConfig::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -315,6 +341,31 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--store" => store_path = Some(it.next().ok_or("--store needs a path")?.clone()),
             "--warm" => warm_path = Some(it.next().ok_or("--warm needs a file")?.clone()),
             "--on-demand" => on_demand = true,
+            "--event-loop" => event_loop = true,
+            "--net-workers" => {
+                event_loop = true;
+                net_config.workers = it.next().ok_or("--net-workers needs a count")?.parse()?;
+            }
+            "--pipeline" => {
+                event_loop = true;
+                net_config.max_pipeline = it.next().ok_or("--pipeline needs a count")?.parse()?;
+            }
+            "--write-buf" => {
+                event_loop = true;
+                net_config.max_write_buffer =
+                    it.next().ok_or("--write-buf needs a byte count")?.parse()?;
+            }
+            "--idle-timeout" => {
+                let secs: u64 = it.next().ok_or("--idle-timeout needs seconds")?.parse()?;
+                config.idle_timeout = (secs > 0).then(|| std::time::Duration::from_secs(secs));
+            }
+            "--sweep-interval-ms" => {
+                config.sweep_interval = std::time::Duration::from_millis(
+                    it.next()
+                        .ok_or("--sweep-interval-ms needs millis")?
+                        .parse()?,
+                )
+            }
             "--workers" => config.workers = it.next().ok_or("--workers needs a count")?.parse()?,
             "--parallel" => {
                 config.parallel.shards = it.next().ok_or("--parallel needs a count")?.parse()?
@@ -342,7 +393,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     let [graph_path] = positional.as_slice() else {
         return Err(
-            "usage: ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--workers n] [--parallel n] [--ttl secs] [--plan-cache n] [--plan-cache-bytes n] [--warm file]"
+            "usage: ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--workers n] [--parallel n] [--ttl secs] [--plan-cache n] [--plan-cache-bytes n] [--warm file] [--event-loop] [--net-workers n] [--pipeline n] [--write-buf bytes] [--idle-timeout secs] [--sweep-interval-ms n]"
                 .into(),
         );
     };
@@ -372,12 +423,20 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             t.elapsed()
         );
     }
-    let server = Server::spawn(handle, addr.as_str())?;
+    // Either front end serves the same protocol over the same handle;
+    // the boxed server is held only to keep its threads alive.
+    let (local_addr, front_end, _server): (_, _, Box<dyn std::any::Any>) = if event_loop {
+        let s = EventServer::spawn(handle, addr.as_str(), net_config)?;
+        (s.local_addr(), "event loop", Box::new(s))
+    } else {
+        let s = Server::spawn(handle, addr.as_str())?;
+        (s.local_addr(), "thread per connection", Box::new(s))
+    };
     println!(
-        "serving {} nodes / {} edges on {} ({} workers, setup {:?})",
+        "serving {} nodes / {} edges on {} ({} workers, {front_end}, setup {:?})",
         g.num_nodes(),
         g.num_edges(),
-        server.local_addr(),
+        local_addr,
         workers,
         t.elapsed()
     );

@@ -63,6 +63,7 @@
 //! | [`workload`] | dataset & query generators for the §6 experiments |
 //! | [`exec`] | shared worker pool scheduling shard jobs and request batches |
 //! | [`service`] | concurrent query service: sessions, result cache, TCP protocol |
+//! | [`net`] | event-driven TCP front end: readiness loop, pipelining, backpressure |
 //!
 //! ## Serving
 //!
@@ -76,6 +77,16 @@
 //! algorithm) makes a warm `OPEN` pay zero candidate-discovery work.
 //! See `ktpm serve` (the TCP front end) and `examples/service_embed.rs`
 //! (the in-process API).
+//!
+//! Two interchangeable TCP front ends speak the same wire protocol over
+//! the same engine: the legacy thread-per-connection
+//! [`service::Server`], and the [`net::EventServer`] readiness loop
+//! (`ktpm serve --event-loop`) — one reactor thread multiplexing every
+//! connection, a fixed executor pool, pipelined requests answered in
+//! order, and bounded per-connection queues that shed overload with
+//! `ERR overloaded` instead of queueing without limit. Parked sessions
+//! hold no thread on either path; on the event loop, parked
+//! *connections* don't either.
 //!
 //! ## Parallel execution
 //!
@@ -102,6 +113,7 @@ pub use ktpm_core as core;
 pub use ktpm_exec as exec;
 pub use ktpm_graph as graph;
 pub use ktpm_kgpm as kgpm;
+pub use ktpm_net as net;
 pub use ktpm_query as query;
 pub use ktpm_runtime as runtime;
 pub use ktpm_service as service;
@@ -123,6 +135,7 @@ pub mod prelude {
         Dist, GraphBuilder, LabelId, LabeledGraph, NodeId, NodeRow, Score, INF_DIST, INF_SCORE,
     };
     pub use ktpm_kgpm::{GraphMatch, KgpmContext, TreeMatcher};
+    pub use ktpm_net::{EventServer, NetConfig};
     pub use ktpm_query::{
         EdgeKind, GraphQuery, QNodeId, ResolvedQuery, TreeQuery, TreeQueryBuilder,
     };
