@@ -22,7 +22,11 @@
 //! asserted via `iostats`), the service plan-cache hit rate, an
 //! `api_batched_pull` section comparing per-item vs batched pull delay
 //! through the `MatchStream` surface (CI asserts batched ≤ per-item),
-//! and the `deviation_encoding` allocations/op gate. Written to
+//! a `graph_update` section comparing the live-update warm path
+//! (incremental closure repair + delta-aware invalidation + warm
+//! re-open) against a cold rebuild of the mutated graph (CI asserts
+//! the warm path wins and the re-open is a plan hit), and the
+//! `deviation_encoding` allocations/op gate. Written to
 //! `BENCH_parallel.json` at the workspace root and uploaded as a
 //! workflow artifact — the repo's perf trajectory, one point per CI
 //! run.
@@ -583,6 +587,25 @@ fn smoke() {
         soak.sheds
     );
 
+    // Live graph update: weight-only delta through the service engine.
+    // Delta-aware invalidation keeps unaffected plans warm, so the
+    // re-open after the update must beat serving the same query off a
+    // cold rebuild (full closure recompute on the mutated graph + cold
+    // open) — the CI gate for the mutation API.
+    let gu = graph_update_bench(&ds);
+    println!(
+        "graph update: re-open after update {} vs cold rebuild {} ({:.0}x, plan hit: {}); \
+         apply took {}, {} pairs touched, {} plans / {} prefixes invalidated",
+        fmt_secs(gu.warm_reopen_secs),
+        fmt_secs(gu.cold_rebuild_secs),
+        gu.speedup,
+        gu.warm_plan_hit,
+        fmt_secs(gu.update_secs),
+        gu.touched_pairs,
+        gu.plans_invalidated,
+        gu.prefix_entries_invalidated,
+    );
+
     // One MatchStream surface: per-item vs batched pull
     // (`api_batched_pull`). The *replay* rows isolate the pull overhead
     // itself — a pre-materialized stream whose per-match production
@@ -762,7 +785,13 @@ fn smoke() {
          \"serve_soak\": {{\n    \"connections\": {},\n    \
          \"sessions\": {},\n    \"next_requests\": {},\n    \
          \"next_p50_ms\": {:.4},\n    \"next_p99_ms\": {:.4},\n    \
-         \"protocol_errors\": {},\n    \"sheds\": {}\n  }}\n}}\n",
+         \"protocol_errors\": {},\n    \"sheds\": {}\n  }},\n  \
+         \"graph_update\": {{\n    \"update_secs\": {:.6},\n    \
+         \"warm_reopen_secs\": {:.6},\n    \
+         \"cold_rebuild_secs\": {:.6},\n    \"speedup\": {:.4},\n    \
+         \"warm_plan_hit\": {},\n    \"touched_pairs\": {},\n    \
+         \"plans_invalidated\": {},\n    \
+         \"prefix_entries_invalidated\": {}\n  }}\n}}\n",
         ds.name,
         ds.graph.num_nodes(),
         queries.len(),
@@ -786,10 +815,132 @@ fn smoke() {
         soak.p99_ms,
         soak.protocol_errors,
         soak.sheds,
+        gu.update_secs,
+        gu.warm_reopen_secs,
+        gu.cold_rebuild_secs,
+        gu.speedup,
+        gu.warm_plan_hit,
+        gu.touched_pairs,
+        gu.plans_invalidated,
+        gu.prefix_entries_invalidated,
     );
     let path = workspace_root().join("BENCH_parallel.json");
     std::fs::write(&path, json).expect("write BENCH_parallel.json");
     println!("wrote {} in {:?}", path.display(), t0.elapsed());
+}
+
+struct GraphUpdateBench {
+    update_secs: f64,
+    warm_reopen_secs: f64,
+    cold_rebuild_secs: f64,
+    speedup: f64,
+    warm_plan_hit: bool,
+    touched_pairs: usize,
+    plans_invalidated: usize,
+    prefix_entries_invalidated: usize,
+}
+
+/// Re-open-after-update latency vs a cold rebuild. A weight-only delta
+/// is applied through `QueryEngine::apply_delta` over a `LiveStore`
+/// (incremental closure repair + delta-aware cache invalidation), then
+/// a previously warmed query whose closure table the delta did *not*
+/// touch is re-opened — delta-aware invalidation kept its plan cached,
+/// so that open must be a plan hit with zero candidate discovery. The
+/// baseline pays what a restart (or `FlushAll`) pays to serve the same
+/// query after the update: full `ClosureTables::compute` on the
+/// mutated graph plus a cold open. Both paths must stream identical
+/// matches. `update_secs` (the repair + invalidation itself) is
+/// reported for context; the gate compares the re-open latencies.
+fn graph_update_bench(ds: &Dataset) -> GraphUpdateBench {
+    use ktpm_graph::GraphDelta;
+    use ktpm_service::Algo;
+    let open_k = 100usize;
+    let tables = ktpm_closure::ClosureTables::compute(&ds.graph);
+
+    // Weight-bump one tail edge (low-degree end of this generator, so
+    // the update stays local and most label pairs survive). A bump
+    // masked by an equal-length alternative path touches nothing —
+    // walk back until the dry-run repair reports real dirty tables.
+    let all_edges: Vec<_> = ds.graph.edges().collect();
+    let (delta, mutated, outcome) = all_edges
+        .iter()
+        .rev()
+        .find_map(|e| {
+            let delta = GraphDelta::new().set_weight(e.from, e.to, e.weight + 1);
+            let (mutated, effects) = ds.graph.apply_delta(&delta).expect("delta applies");
+            let mut probe = tables.clone();
+            let outcome = probe.repair(&mutated, &effects);
+            (!outcome.touched_pairs.is_empty()).then_some((delta, mutated, outcome))
+        })
+        .expect("some weight bump changes the closure");
+    let touched: std::collections::BTreeSet<_> = outcome.touched_pairs.into_iter().collect();
+
+    // Concrete-label one-edge queries (wildcards would match every
+    // touched pair): one reading a table the delta leaves intact, one
+    // reading a dirty table (so the report shows a real invalidation).
+    let interner = ds.graph.interner();
+    let pair_query = |key: &ktpm_closure::PairKey| {
+        format!("{} -> {}\n", interner.name(key.0), interner.name(key.1))
+    };
+    let unaffected = tables
+        .iter_pairs()
+        .map(|(key, _)| key)
+        .find(|key| !touched.contains(key))
+        .map(|key| pair_query(&key))
+        .expect("a label pair the delta does not touch");
+    let affected = pair_query(touched.iter().next().expect("touched pairs"));
+
+    let live = ktpm_storage::LiveStore::with_tables(ds.graph.clone(), tables).into_shared();
+    let handle = ktpm_service::QueryEngine::new(
+        interner.clone(),
+        live,
+        ktpm_service::ServiceConfig::default(),
+    );
+    for text in [&unaffected, &affected] {
+        let id = handle.open(text, Algo::Topk).expect("warm open");
+        handle.next(id, open_k).expect("warm next");
+        handle.close(id).expect("warm close");
+    }
+
+    let t = Instant::now();
+    let report = handle.apply_delta(&delta).expect("apply delta");
+    let update_secs = t.elapsed().as_secs_f64();
+
+    let before = handle.stats().metrics;
+    let t = Instant::now();
+    let id = handle.open(&unaffected, Algo::Topk).expect("warm re-open");
+    let warm_batch = handle.next(id, open_k).expect("warm re-open next");
+    handle.close(id).expect("warm re-open close");
+    let warm_reopen_secs = t.elapsed().as_secs_f64();
+    let warm_plan_hit = handle.stats().metrics.plan_hits == before.plan_hits + 1;
+
+    let t = Instant::now();
+    let cold_store =
+        ktpm_storage::MemStore::new(ktpm_closure::ClosureTables::compute(&mutated)).into_shared();
+    let cold = ktpm_service::QueryEngine::new(
+        interner.clone(),
+        cold_store,
+        ktpm_service::ServiceConfig::default(),
+    );
+    let id = cold.open(&unaffected, Algo::Topk).expect("cold open");
+    let cold_batch = cold.next(id, open_k).expect("cold next");
+    cold.close(id).expect("cold close");
+    let cold_rebuild_secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        warm_batch.matches, cold_batch.matches,
+        "warm re-open must stream identical to a cold rebuild"
+    );
+
+    GraphUpdateBench {
+        update_secs,
+        warm_reopen_secs,
+        cold_rebuild_secs,
+        speedup: cold_rebuild_secs / warm_reopen_secs.max(1e-12),
+        warm_plan_hit,
+        touched_pairs: report.touched_pairs,
+        plans_invalidated: report.plans_invalidated,
+        prefix_entries_invalidated: report.prefix_entries_invalidated,
+    }
 }
 
 struct ServeSoak {

@@ -19,7 +19,9 @@
 mod dijkstra;
 pub mod pll;
 pub mod reference;
+mod repair;
 mod tables;
 
 pub use dijkstra::sssp;
+pub use repair::{RepairOutcome, RepairStats};
 pub use tables::{ClosureStats, ClosureTables, PairKey, PairTable};

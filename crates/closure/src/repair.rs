@@ -1,0 +1,337 @@
+//! Incremental closure repair under graph deltas.
+//!
+//! Recomputing the full closure is one SSSP per source — the cold-path
+//! cost a live deployment cannot pay per update. This module repairs an
+//! existing [`ClosureTables`] in place from the [`DeltaEffects`] of an
+//! applied [`ktpm_graph::GraphDelta`], in two phases:
+//!
+//! 1. **Tightened tails** (weight increases, deletions). Old distances
+//!    may overestimate reachability, so every source that could reach a
+//!    tightened tail in the *old* closure — plus the tail itself — gets
+//!    a targeted re-SSSP over the mutated graph. Sources that never
+//!    reached a mutated edge keep their rows untouched.
+//! 2. **Eased edges** (weight decreases, insertions). Old distances stay
+//!    valid upper bounds, so each eased edge `(u, v, w)` propagates with
+//!    the classic one-edge relaxation `d'(x, y) = min(d(x, y),
+//!    d(x, u) + w + d(v, y))` over the predecessors of `u` and the
+//!    successors of `v`. Eased edges are applied *sequentially*: after
+//!    each relaxation the distance map is exact for the graph containing
+//!    all edges processed so far, so paths threading several new edges
+//!    are still found (standard incremental APSP argument; weights >= 1
+//!    keep each new edge on a shortest path at most once).
+//!
+//! Only the label-pair tables whose triples actually changed are rebuilt
+//! and reported in [`RepairOutcome::touched_pairs`] — the signal the
+//! serving layer's delta-aware cache invalidation keys on.
+
+use crate::dijkstra::sssp;
+use crate::tables::{ClosureTables, PairKey};
+use ktpm_graph::{DeltaEffects, Dist, LabeledGraph, NodeId, INF_DIST};
+use std::collections::{HashMap, HashSet};
+
+/// Work counters for one repair.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Sources re-run through SSSP (tightened phase).
+    pub resssp_sources: usize,
+    /// Eased edges propagated incrementally.
+    pub eased_edges: usize,
+    /// Closure triples added, removed, or re-weighted.
+    pub triples_changed: usize,
+    /// Label-pair tables rebuilt.
+    pub tables_rebuilt: usize,
+}
+
+/// Result of one repair: which label pairs changed, and how much work it
+/// took.
+#[derive(Debug, Clone, Default)]
+pub struct RepairOutcome {
+    /// Label pairs whose `Lᵅᵦ` table contents changed, ascending.
+    pub touched_pairs: Vec<PairKey>,
+    /// Work counters.
+    pub stats: RepairStats,
+}
+
+impl ClosureTables {
+    /// Repairs `self` to be the closure of `new_graph`, given the
+    /// [`DeltaEffects`] that produced it. `new_graph` must be the result
+    /// of applying that delta to the graph `self` was computed from;
+    /// node count and labels must be unchanged.
+    pub fn repair(&mut self, new_graph: &LabeledGraph, effects: &DeltaEffects) -> RepairOutcome {
+        assert_eq!(
+            self.num_nodes(),
+            new_graph.num_nodes(),
+            "delta repair requires a fixed node set"
+        );
+        let n = self.num_nodes();
+        let mut stats = RepairStats::default();
+        if effects.is_noop() {
+            return RepairOutcome::default();
+        }
+
+        // Mutable adjacency view of the closure: out[x] = {y: d(x,y)},
+        // inc[y] = {x: d(x,y)}.
+        let mut out: Vec<HashMap<NodeId, Dist>> = vec![HashMap::new(); n];
+        let mut inc: Vec<HashMap<NodeId, Dist>> = vec![HashMap::new(); n];
+        for (_, table) in self.iter_pairs() {
+            for (x, y, d) in table.iter_edges() {
+                out[x.index()].insert(y, d);
+                inc[y.index()].insert(x, d);
+            }
+        }
+        let mut dirty: HashSet<PairKey> = HashSet::new();
+
+        // Phase 1: targeted re-SSSP for sources that reached a tightened
+        // tail (their old rows may be stale in either direction).
+        if !effects.tightened_tails.is_empty() {
+            let mut sources: HashSet<NodeId> = HashSet::new();
+            for &u in &effects.tightened_tails {
+                sources.insert(u);
+                sources.extend(inc[u.index()].keys().copied());
+            }
+            let mut sources: Vec<NodeId> = sources.into_iter().collect();
+            sources.sort_unstable();
+            stats.resssp_sources = sources.len();
+            let mut scratch = vec![INF_DIST; n];
+            for x in sources {
+                let old_row = std::mem::take(&mut out[x.index()]);
+                let new_row: HashMap<NodeId, Dist> =
+                    sssp(new_graph, x, &mut scratch).into_iter().collect();
+                for (&y, &od) in &old_row {
+                    if new_row.get(&y) != Some(&od) {
+                        dirty.insert((self.label(x), self.label(y)));
+                        stats.triples_changed += 1;
+                    }
+                    inc[y.index()].remove(&x);
+                }
+                for (&y, &nd) in &new_row {
+                    if !old_row.contains_key(&y) {
+                        dirty.insert((self.label(x), self.label(y)));
+                        stats.triples_changed += 1;
+                    }
+                    inc[y.index()].insert(x, nd);
+                }
+                out[x.index()] = new_row;
+            }
+        }
+
+        // Phase 2: sequential one-edge relaxation per eased edge.
+        stats.eased_edges = effects.eased.len();
+        for &(u, v, w) in &effects.eased {
+            let mut preds: Vec<(NodeId, Dist)> = vec![(u, 0)];
+            preds.extend(inc[u.index()].iter().map(|(&x, &d)| (x, d)));
+            let mut succs: Vec<(NodeId, Dist)> = vec![(v, 0)];
+            succs.extend(out[v.index()].iter().map(|(&y, &d)| (y, d)));
+            for &(x, dx) in &preds {
+                for &(y, dy) in &succs {
+                    let cand = dx.saturating_add(w).saturating_add(dy);
+                    let cur = out[x.index()].get(&y).copied();
+                    if cur.is_none_or(|c| cand < c) {
+                        out[x.index()].insert(y, cand);
+                        inc[y.index()].insert(x, cand);
+                        dirty.insert((self.label(x), self.label(y)));
+                        stats.triples_changed += 1;
+                    }
+                }
+            }
+        }
+
+        // Rebuild only the dirty tables from the updated adjacency.
+        let mut touched: Vec<PairKey> = dirty.into_iter().collect();
+        touched.sort_unstable();
+        stats.tables_rebuilt = touched.len();
+        for &(la, lb) in &touched {
+            let mut triples = Vec::new();
+            for x in 0..n {
+                let x = NodeId(x as u32);
+                if self.label(x) != la {
+                    continue;
+                }
+                for (&y, &d) in &out[x.index()] {
+                    if self.label(y) == lb {
+                        triples.push((x, y, d));
+                    }
+                }
+            }
+            self.set_pair_triples((la, lb), triples);
+        }
+        RepairOutcome {
+            touched_pairs: touched,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktpm_graph::{GraphBuilder, GraphDelta, LabeledGraph};
+
+    /// Asserts `repaired` and a cold recompute of `g` are identical
+    /// table-for-table and triple-for-triple.
+    fn assert_matches_cold(repaired: &ClosureTables, g: &LabeledGraph) {
+        let cold = ClosureTables::compute_with_threads(g, 2);
+        assert_eq!(repaired.num_edges(), cold.num_edges(), "edge totals");
+        let mut rk: Vec<PairKey> = repaired.iter_pairs().map(|(k, _)| k).collect();
+        let mut ck: Vec<PairKey> = cold.iter_pairs().map(|(k, _)| k).collect();
+        rk.sort_unstable();
+        ck.sort_unstable();
+        assert_eq!(rk, ck, "pair keys");
+        for (k, t) in cold.iter_pairs() {
+            let r = repaired.pair(k.0, k.1).expect("pair present");
+            let mut te: Vec<_> = t.iter_edges().collect();
+            let mut re: Vec<_> = r.iter_edges().collect();
+            te.sort_unstable();
+            re.sort_unstable();
+            assert_eq!(te, re, "pair {k:?}");
+        }
+    }
+
+    fn apply_and_repair(
+        g: &LabeledGraph,
+        tc: &mut ClosureTables,
+        delta: &GraphDelta,
+    ) -> (LabeledGraph, RepairOutcome) {
+        let (g2, fx) = g.apply_delta(delta).unwrap();
+        let outcome = tc.repair(&g2, &fx);
+        (g2, outcome)
+    }
+
+    #[test]
+    fn weight_decrease_repairs_incrementally() {
+        let g = ktpm_graph::fixtures::paper_graph();
+        // Raise one edge, then lower it back below the original.
+        let e = g.edges().next().unwrap();
+        let (g2, _) = g
+            .apply_delta(&GraphDelta::new().set_weight(e.from, e.to, 4))
+            .unwrap();
+        let mut tc = ClosureTables::compute(&g2);
+        let (g3, outcome) =
+            apply_and_repair(&g2, &mut tc, &GraphDelta::new().set_weight(e.from, e.to, 2));
+        assert_eq!(outcome.stats.resssp_sources, 0, "pure decrease: no SSSP");
+        assert_eq!(outcome.stats.eased_edges, 1);
+        assert_matches_cold(&tc, &g3);
+    }
+
+    #[test]
+    fn weight_increase_repairs_by_targeted_resssp() {
+        let g = ktpm_graph::fixtures::paper_graph();
+        let e = g.edges().next().unwrap();
+        let mut tc = ClosureTables::compute(&g);
+        let (g2, outcome) =
+            apply_and_repair(&g, &mut tc, &GraphDelta::new().set_weight(e.from, e.to, 9));
+        assert!(outcome.stats.resssp_sources >= 1);
+        assert!(outcome.stats.resssp_sources < g.num_nodes(), "targeted");
+        assert_matches_cold(&tc, &g2);
+    }
+
+    #[test]
+    fn edge_insert_and_delete_repair() {
+        let g = ktpm_graph::fixtures::paper_graph();
+        let mut tc = ClosureTables::compute(&g);
+        // Insert a shortcut from the last node back to the first.
+        let (a, b) = (NodeId(12), NodeId(0));
+        let (g2, _) = apply_and_repair(&g, &mut tc, &GraphDelta::new().insert_edge(a, b, 1));
+        assert_matches_cold(&tc, &g2);
+        // Then delete it again.
+        let (g3, _) = apply_and_repair(&g2, &mut tc, &GraphDelta::new().delete_edge(a, b));
+        assert_matches_cold(&tc, &g3);
+    }
+
+    #[test]
+    fn noop_delta_touches_nothing() {
+        let g = ktpm_graph::fixtures::paper_graph();
+        let e = g.edges().next().unwrap();
+        let mut tc = ClosureTables::compute(&g);
+        let (_, outcome) = apply_and_repair(
+            &g,
+            &mut tc,
+            &GraphDelta::new().set_weight(e.from, e.to, e.weight),
+        );
+        assert!(outcome.touched_pairs.is_empty());
+        assert_eq!(outcome.stats, RepairStats::default());
+    }
+
+    #[test]
+    fn touched_pairs_stay_local_to_mutated_labels() {
+        // Two disconnected components with disjoint label sets: mutating
+        // one must not dirty the other's tables.
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_node("a");
+        let a1 = b.add_node("b");
+        let c0 = b.add_node("c");
+        let c1 = b.add_node("d");
+        b.add_edge(a0, a1, 2);
+        b.add_edge(c0, c1, 2);
+        let g = b.build().unwrap();
+        let mut tc = ClosureTables::compute(&g);
+        let (g2, outcome) = apply_and_repair(&g, &mut tc, &GraphDelta::new().set_weight(a0, a1, 1));
+        let la = g.interner().get("a").unwrap();
+        let lb = g.interner().get("b").unwrap();
+        assert_eq!(outcome.touched_pairs, vec![(la, lb)]);
+        assert_matches_cold(&tc, &g2);
+    }
+
+    #[test]
+    fn random_delta_sequences_match_cold_rebuild() {
+        // Deterministic xorshift so the test is reproducible offline.
+        let mut state: u64 = 0x9e3779b97f4a7c15;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = GraphBuilder::new();
+        let labels = ["a", "b", "c", "d"];
+        let nodes: Vec<NodeId> = (0..12)
+            .map(|i| b.add_node(labels[i % labels.len()]))
+            .collect();
+        for i in 0..nodes.len() {
+            for j in 0..nodes.len() {
+                if i != j && rng() % 3 == 0 {
+                    b.add_edge(nodes[i], nodes[j], (rng() % 5 + 1) as Dist);
+                }
+            }
+        }
+        let mut g = b.build().unwrap();
+        let mut tc = ClosureTables::compute(&g);
+        for _ in 0..30 {
+            let u = nodes[(rng() % nodes.len() as u64) as usize];
+            let v = nodes[(rng() % nodes.len() as u64) as usize];
+            if u == v {
+                continue;
+            }
+            let delta = match g.edge_weight(u, v) {
+                Some(_) if rng() % 3 == 0 => GraphDelta::new().delete_edge(u, v),
+                Some(_) => GraphDelta::new().set_weight(u, v, (rng() % 6 + 1) as Dist),
+                None => GraphDelta::new().insert_edge(u, v, (rng() % 6 + 1) as Dist),
+            };
+            let (g2, fx) = g.apply_delta(&delta).unwrap();
+            tc.repair(&g2, &fx);
+            g = g2;
+            assert_matches_cold(&tc, &g);
+        }
+    }
+
+    #[test]
+    fn mixed_batch_with_eased_and_tightened_ops() {
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..6).map(|i| b.add_node(["x", "y"][i % 2])).collect();
+        for w in n.windows(2) {
+            b.add_edge(w[0], w[1], 3);
+        }
+        b.add_edge(n[5], n[0], 3);
+        let g = b.build().unwrap();
+        let mut tc = ClosureTables::compute(&g);
+        let delta = GraphDelta::new()
+            .set_weight(n[0], n[1], 1) // eased
+            .set_weight(n[2], n[3], 9) // tightened
+            .insert_edge(n[0], n[3], 2) // eased
+            .delete_edge(n[5], n[0]); // tightened
+        let (g2, fx) = g.apply_delta(&delta).unwrap();
+        assert!(!fx.eased.is_empty() && !fx.tightened_tails.is_empty());
+        tc.repair(&g2, &fx);
+        assert_matches_cold(&tc, &g2);
+    }
+}

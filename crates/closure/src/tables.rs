@@ -262,6 +262,18 @@ impl ClosureTables {
             .and_then(|t| t.dist(u, v))
     }
 
+    /// Replaces one `Lᵅᵦ` table from raw triples, dropping it when empty.
+    /// Edge accounting stays consistent; used by the incremental repair.
+    pub(crate) fn set_pair_triples(&mut self, key: PairKey, triples: Vec<(NodeId, NodeId, Dist)>) {
+        if let Some(old) = self.pairs.remove(&key) {
+            self.total_edges -= old.num_edges();
+        }
+        if !triples.is_empty() {
+            self.total_edges += triples.len();
+            self.pairs.insert(key, PairTable::from_triples(triples));
+        }
+    }
+
     /// θ — average edges per non-empty label-pair type.
     pub fn theta(&self) -> f64 {
         if self.pairs.is_empty() {

@@ -120,7 +120,7 @@ pub use loader::{BoundMode, PriorityLoader};
 pub use matches::ScoredMatch;
 pub use parallel::{par_topk, ParTopk, ParallelPolicy, ShardEngine};
 pub use partition::{canonical, Canonical};
-pub use plan::{canonical_query_text, QueryPlan};
+pub use plan::{canonical_query_text, query_reads_touched_pairs, QueryPlan};
 pub use stream::{build_stream, limit, BoxedMatchStream, MatchStream, StreamState};
 // Re-exported so callers configuring shards need not depend on storage.
 pub use ktpm_storage::ShardSpec;

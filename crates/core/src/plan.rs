@@ -54,6 +54,38 @@ pub fn canonical_query_text(query: &str) -> String {
         .join("\n")
 }
 
+/// Whether a resolved query reads any of the closure tables in
+/// `touched_pairs` — the delta-aware invalidation predicate shared by
+/// [`QueryPlan::is_affected_by`] and the serving layer's result cache
+/// (which only has query *text* to re-resolve, no plan handle).
+///
+/// A query reads one closure table per tree edge: the pair
+/// `(parent label, child label)`, where a wildcard node reads every
+/// table on its side and an unmatchable label reads none. Single-node
+/// queries read no pair table at all and are never affected.
+pub fn query_reads_touched_pairs(
+    query: &ResolvedQuery,
+    touched_pairs: &[(ktpm_graph::LabelId, ktpm_graph::LabelId)],
+) -> bool {
+    use ktpm_query::QueryLabel;
+    if touched_pairs.is_empty() {
+        return false;
+    }
+    let tree = query.tree();
+    let matches = |ql: QueryLabel, l: ktpm_graph::LabelId| match ql {
+        QueryLabel::Label(have) => have == l,
+        QueryLabel::Wildcard => true,
+        QueryLabel::Unmatchable => false,
+    };
+    tree.node_ids().skip(1).any(|u| {
+        let p = tree.parent(u).expect("non-root");
+        let (pl, ul) = (query.label(p), query.label(u));
+        touched_pairs
+            .iter()
+            .any(|&(a, b)| matches(pl, a) && matches(ul, b))
+    })
+}
+
 /// The immutable, shareable setup state of one query over one store;
 /// see module docs. Construction is cheap (no storage access) — the
 /// expensive halves materialize on first use and are then shared by
@@ -64,6 +96,7 @@ pub struct QueryPlan {
     full: OnceLock<FullSetup>,
     lazy: OnceLock<Arc<LazySetup>>,
     builds: AtomicU64,
+    graph_version: AtomicU64,
 }
 
 /// The full-loading half: run-time graph, `bs`, shared slot templates.
@@ -103,12 +136,14 @@ impl QueryPlan {
     /// A cold plan for `query` over `source`. No storage is touched
     /// until the first enumerator is built from the plan.
     pub fn new(query: ResolvedQuery, source: SharedSource) -> Self {
+        let graph_version = AtomicU64::new(source.graph_version());
         QueryPlan {
             query,
             source,
             full: OnceLock::new(),
             lazy: OnceLock::new(),
             builds: AtomicU64::new(0),
+            graph_version,
         }
     }
 
@@ -144,6 +179,39 @@ impl QueryPlan {
     /// Whether any setup half has been materialized (a "warm" plan).
     pub fn is_warm(&self) -> bool {
         self.full.get().is_some() || self.lazy.get().is_some()
+    }
+
+    /// The graph version this plan is valid against. Captured from the
+    /// source at construction; bumped via [`Self::stamp_version`] when a
+    /// delta leaves the plan's tables untouched.
+    pub fn graph_version(&self) -> u64 {
+        self.graph_version.load(Ordering::Acquire)
+    }
+
+    /// Re-stamps the plan as current for graph version `v`. Only the
+    /// invalidation layer calls this, and only after
+    /// [`Self::is_affected_by`] proved the delta cannot change any
+    /// closure table the plan reads.
+    pub fn stamp_version(&self, v: u64) {
+        self.graph_version.store(v, Ordering::Release);
+    }
+
+    /// Whether a delta that changed exactly the closure tables in
+    /// `touched_pairs` can affect this plan's setup or results.
+    ///
+    /// A plan reads one closure table per query-tree edge: the pair
+    /// `(parent label, child label)`, where a wildcard query node reads
+    /// every table on its side. Unmatchable labels have no candidates
+    /// and read nothing. Node/label assignment is fixed under deltas,
+    /// so a plan none of whose edge pairs is touched keeps its candidate
+    /// sets, `eᵥ` bounds, run-time-graph edges, and result stream
+    /// bit-for-bit — it survives with a version bump instead of being
+    /// dropped.
+    pub fn is_affected_by(
+        &self,
+        touched_pairs: &[(ktpm_graph::LabelId, ktpm_graph::LabelId)],
+    ) -> bool {
+        query_reads_touched_pairs(&self.query, touched_pairs)
     }
 
     pub(crate) fn slot_templates(&self) -> &Arc<SlotTemplates> {
@@ -444,6 +512,34 @@ mod tests {
         }
         assert!(plan.is_warm());
         assert_eq!(plan.builds(), 2, "one build per half, however many racers");
+    }
+
+    #[test]
+    fn version_stamp_and_affectedness_predicate() {
+        let g = paper_graph();
+        let lbl = |n: &str| g.interner().get(n).unwrap();
+        let plan = plan_for(&g, "a -> b\na -> c");
+        assert_eq!(plan.graph_version(), 0, "snapshot stores pin version 0");
+
+        assert!(!plan.is_affected_by(&[]));
+        // (a, b) is a plan edge: affected.
+        assert!(plan.is_affected_by(&[(lbl("a"), lbl("b"))]));
+        // (c, d) is not: survives.
+        assert!(!plan.is_affected_by(&[(lbl("c"), lbl("d"))]));
+        // Reversed direction is a different table: survives.
+        assert!(!plan.is_affected_by(&[(lbl("b"), lbl("a"))]));
+
+        // Wildcards read every table on their side.
+        let wild = plan_for(&g, "c -> *#1");
+        assert!(wild.is_affected_by(&[(lbl("c"), lbl("e"))]));
+        assert!(!wild.is_affected_by(&[(lbl("a"), lbl("e"))]));
+
+        // Single-node queries read no pair table at all.
+        let single = plan_for(&g, "a");
+        assert!(!single.is_affected_by(&[(lbl("a"), lbl("b"))]));
+
+        plan.stamp_version(7);
+        assert_eq!(plan.graph_version(), 7);
     }
 
     #[test]

@@ -1,0 +1,382 @@
+//! Live graph mutations.
+//!
+//! A [`GraphDelta`] batches edge updates — weight changes first, then
+//! edge insert/delete, per the roadmap — that are applied to an
+//! otherwise-immutable [`LabeledGraph`] via [`LabeledGraph::apply_delta`].
+//! Applying a delta produces the mutated graph plus a [`DeltaEffects`]
+//! classification that downstream layers consume: the closure repair
+//! picks the cheap propagation path for *eased* edges (weight decreases
+//! and insertions, where old distances stay valid upper bounds) and a
+//! targeted re-SSSP for *tightened* tails (weight increases and
+//! deletions, where old distances may overestimate reachability).
+//!
+//! Deltas reference existing nodes only: the node set and label
+//! assignment are fixed at build time. That invariant is what keeps
+//! candidate-bucket membership stable across updates and makes
+//! delta-aware plan invalidation a pure label-pair predicate.
+
+use crate::digraph::{GraphBuilder, LabeledGraph};
+use crate::types::{Dist, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One edge mutation inside a [`GraphDelta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphDeltaOp {
+    /// Changes the weight of an existing edge `from -> to`.
+    SetWeight {
+        /// Edge source.
+        from: NodeId,
+        /// Edge target.
+        to: NodeId,
+        /// New weight (>= 1).
+        weight: Dist,
+    },
+    /// Inserts a new edge `from -> to`; the edge must not already exist.
+    InsertEdge {
+        /// Edge source.
+        from: NodeId,
+        /// Edge target.
+        to: NodeId,
+        /// Edge weight (>= 1).
+        weight: Dist,
+    },
+    /// Deletes the existing edge `from -> to`.
+    DeleteEdge {
+        /// Edge source.
+        from: NodeId,
+        /// Edge target.
+        to: NodeId,
+    },
+}
+
+/// An error raised while validating or applying a [`GraphDelta`].
+///
+/// Ops are validated *sequentially*: a `DeleteEdge` may target an edge
+/// inserted earlier in the same delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeltaError {
+    /// An op referenced a node id outside the graph.
+    UnknownNode(NodeId),
+    /// A weight of zero was supplied (weights must be >= 1).
+    ZeroWeight(NodeId, NodeId),
+    /// A self-loop was supplied.
+    SelfLoop(NodeId),
+    /// `SetWeight`/`DeleteEdge` targeted an edge that does not exist.
+    MissingEdge(NodeId, NodeId),
+    /// `InsertEdge` targeted an edge that already exists.
+    DuplicateEdge(NodeId, NodeId),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::UnknownNode(v) => write!(f, "delta references unknown node {v}"),
+            DeltaError::ZeroWeight(u, v) => {
+                write!(
+                    f,
+                    "delta sets zero weight on ({u},{v}); weights must be >= 1"
+                )
+            }
+            DeltaError::SelfLoop(v) => write!(f, "delta self-loop on {v} is not allowed"),
+            DeltaError::MissingEdge(u, v) => write!(f, "delta targets missing edge ({u},{v})"),
+            DeltaError::DuplicateEdge(u, v) => {
+                write!(f, "delta inserts already-existing edge ({u},{v})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// An ordered batch of edge mutations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    ops: Vec<GraphDeltaOp>,
+}
+
+impl GraphDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a weight change; returns `self` for chaining.
+    pub fn set_weight(mut self, from: NodeId, to: NodeId, weight: Dist) -> Self {
+        self.ops.push(GraphDeltaOp::SetWeight { from, to, weight });
+        self
+    }
+
+    /// Appends an edge insertion; returns `self` for chaining.
+    pub fn insert_edge(mut self, from: NodeId, to: NodeId, weight: Dist) -> Self {
+        self.ops.push(GraphDeltaOp::InsertEdge { from, to, weight });
+        self
+    }
+
+    /// Appends an edge deletion; returns `self` for chaining.
+    pub fn delete_edge(mut self, from: NodeId, to: NodeId) -> Self {
+        self.ops.push(GraphDeltaOp::DeleteEdge { from, to });
+        self
+    }
+
+    /// Appends an op in place.
+    pub fn push(&mut self, op: GraphDeltaOp) {
+        self.ops.push(op);
+    }
+
+    /// The ops in application order.
+    pub fn ops(&self) -> &[GraphDeltaOp] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the delta carries no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Net effect of a delta, classified against the *pre-delta* graph.
+///
+/// Ops compose within a batch (a weight raised then restored is a
+/// no-op), so effects describe the final edge set only.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaEffects {
+    /// Edges whose weight decreased plus newly inserted edges, with
+    /// their final weight. Old shortest distances remain valid upper
+    /// bounds, so these propagate incrementally.
+    pub eased: Vec<(NodeId, NodeId, Dist)>,
+    /// Tail (source) nodes of edges whose weight increased or that were
+    /// deleted. Every closure row that could reach such a tail needs a
+    /// targeted recompute.
+    pub tightened_tails: Vec<NodeId>,
+    /// Endpoints of every edge whose final state differs from the
+    /// pre-delta graph, ascending and deduplicated.
+    pub touched_nodes: Vec<NodeId>,
+}
+
+impl DeltaEffects {
+    /// Whether the delta left the graph unchanged.
+    pub fn is_noop(&self) -> bool {
+        self.eased.is_empty() && self.tightened_tails.is_empty()
+    }
+}
+
+impl LabeledGraph {
+    /// Applies a batch of edge mutations, returning the mutated graph and
+    /// the net [`DeltaEffects`]. The receiver is left untouched; nodes
+    /// and labels carry over verbatim.
+    pub fn apply_delta(
+        &self,
+        delta: &GraphDelta,
+    ) -> Result<(LabeledGraph, DeltaEffects), DeltaError> {
+        let n = self.num_nodes();
+        let check = |u: NodeId, v: NodeId| -> Result<(), DeltaError> {
+            if u.index() >= n {
+                return Err(DeltaError::UnknownNode(u));
+            }
+            if v.index() >= n {
+                return Err(DeltaError::UnknownNode(v));
+            }
+            if u == v {
+                return Err(DeltaError::SelfLoop(u));
+            }
+            Ok(())
+        };
+
+        let orig: HashMap<(NodeId, NodeId), Dist> =
+            self.edges().map(|e| ((e.from, e.to), e.weight)).collect();
+        let mut edges = orig.clone();
+        for &op in delta.ops() {
+            match op {
+                GraphDeltaOp::SetWeight { from, to, weight } => {
+                    check(from, to)?;
+                    if weight == 0 {
+                        return Err(DeltaError::ZeroWeight(from, to));
+                    }
+                    match edges.get_mut(&(from, to)) {
+                        Some(w) => *w = weight,
+                        None => return Err(DeltaError::MissingEdge(from, to)),
+                    }
+                }
+                GraphDeltaOp::InsertEdge { from, to, weight } => {
+                    check(from, to)?;
+                    if weight == 0 {
+                        return Err(DeltaError::ZeroWeight(from, to));
+                    }
+                    if edges.insert((from, to), weight).is_some() {
+                        return Err(DeltaError::DuplicateEdge(from, to));
+                    }
+                }
+                GraphDeltaOp::DeleteEdge { from, to } => {
+                    check(from, to)?;
+                    if edges.remove(&(from, to)).is_none() {
+                        return Err(DeltaError::MissingEdge(from, to));
+                    }
+                }
+            }
+        }
+
+        // Classify the net effect against the pre-delta edge set.
+        let mut fx = DeltaEffects::default();
+        for (&(u, v), &w) in &edges {
+            match orig.get(&(u, v)) {
+                None => fx.eased.push((u, v, w)),
+                Some(&ow) if w < ow => fx.eased.push((u, v, w)),
+                Some(&ow) if w > ow => fx.tightened_tails.push(u),
+                Some(_) => continue,
+            }
+            fx.touched_nodes.push(u);
+            fx.touched_nodes.push(v);
+        }
+        for (&(u, v), _) in orig.iter().filter(|(k, _)| !edges.contains_key(k)) {
+            fx.tightened_tails.push(u);
+            fx.touched_nodes.push(u);
+            fx.touched_nodes.push(v);
+        }
+        fx.eased.sort_unstable();
+        fx.tightened_tails.sort_unstable();
+        fx.tightened_tails.dedup();
+        fx.touched_nodes.sort_unstable();
+        fx.touched_nodes.dedup();
+
+        let mut b = GraphBuilder::from_nodes_of(self);
+        let mut flat: Vec<((NodeId, NodeId), Dist)> = edges.into_iter().collect();
+        flat.sort_unstable();
+        for ((u, v), w) in flat {
+            b.add_edge(u, v, w);
+        }
+        let g = b.build().expect("delta ops were validated");
+        Ok((g, fx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_graph;
+
+    #[test]
+    fn weight_decrease_is_eased() {
+        let g = paper_graph();
+        let e = g.edges().next().unwrap();
+        // Paper graph is unit-weighted; raise first so a decrease exists.
+        let (g2, fx) = g
+            .apply_delta(&GraphDelta::new().set_weight(e.from, e.to, 5))
+            .unwrap();
+        assert_eq!(fx.eased, vec![]);
+        assert_eq!(fx.tightened_tails, vec![e.from]);
+        let (g3, fx2) = g2
+            .apply_delta(&GraphDelta::new().set_weight(e.from, e.to, 2))
+            .unwrap();
+        assert_eq!(fx2.eased, vec![(e.from, e.to, 2)]);
+        assert!(fx2.tightened_tails.is_empty());
+        assert_eq!(g3.edge_weight(e.from, e.to), Some(2));
+        assert_eq!(fx2.touched_nodes, {
+            let mut t = vec![e.from, e.to];
+            t.sort_unstable();
+            t
+        });
+    }
+
+    #[test]
+    fn insert_and_delete_roundtrip_is_noop() {
+        let g = paper_graph();
+        let (a, b) = (NodeId(0), NodeId(12));
+        assert_eq!(g.edge_weight(a, b), None);
+        let delta = GraphDelta::new().insert_edge(a, b, 3).delete_edge(a, b);
+        let (g2, fx) = g.apply_delta(&delta).unwrap();
+        assert!(fx.is_noop());
+        assert!(fx.touched_nodes.is_empty());
+        assert_eq!(g2.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn insert_then_reweight_composes() {
+        let g = paper_graph();
+        let (a, b) = (NodeId(0), NodeId(12));
+        let delta = GraphDelta::new().insert_edge(a, b, 9).set_weight(a, b, 4);
+        let (g2, fx) = g.apply_delta(&delta).unwrap();
+        assert_eq!(fx.eased, vec![(a, b, 4)]);
+        assert!(fx.tightened_tails.is_empty());
+        assert_eq!(g2.edge_weight(a, b), Some(4));
+    }
+
+    #[test]
+    fn delete_is_tightened() {
+        let g = paper_graph();
+        let e = g.edges().next().unwrap();
+        let (g2, fx) = g
+            .apply_delta(&GraphDelta::new().delete_edge(e.from, e.to))
+            .unwrap();
+        assert_eq!(fx.tightened_tails, vec![e.from]);
+        assert!(fx.eased.is_empty());
+        assert_eq!(g2.edge_weight(e.from, e.to), None);
+        assert_eq!(g2.num_edges(), g.num_edges() - 1);
+    }
+
+    #[test]
+    fn labels_and_nodes_carry_over() {
+        let g = paper_graph();
+        let e = g.edges().next().unwrap();
+        let (g2, _) = g
+            .apply_delta(&GraphDelta::new().set_weight(e.from, e.to, 7))
+            .unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_labels(), g.num_labels());
+        for v in g.nodes() {
+            assert_eq!(g.label(v), g2.label(v));
+        }
+        for l in 0..g.num_labels() as u32 {
+            let l = crate::LabelId(l);
+            assert_eq!(g.nodes_with_label(l), g2.nodes_with_label(l));
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let g = paper_graph();
+        let e = g.edges().next().unwrap();
+        let far = NodeId(999);
+        assert_eq!(
+            g.apply_delta(&GraphDelta::new().set_weight(far, e.to, 1))
+                .unwrap_err(),
+            DeltaError::UnknownNode(far)
+        );
+        assert_eq!(
+            g.apply_delta(&GraphDelta::new().set_weight(e.from, e.to, 0))
+                .unwrap_err(),
+            DeltaError::ZeroWeight(e.from, e.to)
+        );
+        assert_eq!(
+            g.apply_delta(&GraphDelta::new().insert_edge(e.from, e.from, 1))
+                .unwrap_err(),
+            DeltaError::SelfLoop(e.from)
+        );
+        assert_eq!(
+            g.apply_delta(&GraphDelta::new().insert_edge(e.from, e.to, 1))
+                .unwrap_err(),
+            DeltaError::DuplicateEdge(e.from, e.to)
+        );
+        assert_eq!(
+            g.apply_delta(&GraphDelta::new().delete_edge(NodeId(0), NodeId(12)))
+                .unwrap_err(),
+            DeltaError::MissingEdge(NodeId(0), NodeId(12))
+        );
+    }
+
+    #[test]
+    fn same_weight_set_is_noop() {
+        let g = paper_graph();
+        let e = g.edges().next().unwrap();
+        let (_, fx) = g
+            .apply_delta(&GraphDelta::new().set_weight(e.from, e.to, e.weight))
+            .unwrap();
+        assert!(fx.is_noop());
+    }
+}

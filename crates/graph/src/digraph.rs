@@ -171,6 +171,20 @@ impl LabeledGraph {
         self.out_weights.iter().all(|&w| w == 1)
     }
 
+    /// Weight of the edge `u -> v`, if present. Binary search over `u`'s
+    /// out-neighbors (sorted by target id at build time).
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Dist> {
+        if u.index() >= self.num_nodes() {
+            return None;
+        }
+        let lo = self.out_offsets[u.index()] as usize;
+        let hi = self.out_offsets[u.index() + 1] as usize;
+        self.out_targets[lo..hi]
+            .binary_search(&v)
+            .ok()
+            .map(|i| self.out_weights[lo + i])
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> GraphStats {
         let max_out = self.nodes().map(|v| self.out_degree(v)).max().unwrap_or(0);
@@ -243,6 +257,17 @@ impl GraphBuilder {
     /// Adds a directed edge `from -> to` with `weight >= 1`.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: Dist) {
         self.edges.push((from, to, weight));
+    }
+
+    /// Seeds a builder with the nodes and interner of an existing graph,
+    /// but no edges — the delta path uses this to rebuild a mutated
+    /// graph with identical node ids and label assignment.
+    pub fn from_nodes_of(g: &LabeledGraph) -> Self {
+        Self {
+            labels: g.labels.clone(),
+            interner: g.interner.clone(),
+            edges: Vec::new(),
+        }
     }
 
     /// Current number of nodes added.

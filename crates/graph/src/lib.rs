@@ -23,6 +23,7 @@
 //! assert_eq!(g.label_name(g.label(c)), "C");
 //! ```
 
+mod delta;
 mod digraph;
 pub mod fixtures;
 pub mod io;
@@ -30,6 +31,7 @@ mod labels;
 mod noderow;
 mod types;
 
+pub use delta::{DeltaEffects, DeltaError, GraphDelta, GraphDeltaOp};
 pub use digraph::{EdgeRef, GraphBuilder, GraphError, GraphStats, LabeledGraph};
 pub use labels::LabelInterner;
 pub use noderow::NodeRow;

@@ -60,7 +60,12 @@ use std::time::Duration;
 /// (idle timeout, sweep interval, session TTL) lives in
 /// [`ktpm_service::ServiceConfig`] instead — both front ends read it
 /// from the handle.
+///
+/// `#[non_exhaustive]`: construct via [`NetConfig::default`] (or
+/// [`NetConfig::new`]) and refine with the builder-style `with_*`
+/// methods, so future knobs land without breaking embedders.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct NetConfig {
     /// Executor worker threads running requests. This bounds engine
     /// concurrency from this front end regardless of connection count —
@@ -77,7 +82,7 @@ pub struct NetConfig {
     /// reactor slept; lower burns more idle CPU.
     pub poll_interval: Duration,
     /// Maximum bytes of a single request line; beyond it the connection
-    /// gets `ERR line too long` and is closed (a newline-less flood
+    /// gets `ERR line-too-long` and is closed (a newline-less flood
     /// must not grow the read buffer forever).
     pub max_line_len: usize,
 }
@@ -91,5 +96,43 @@ impl Default for NetConfig {
             poll_interval: Duration::from_micros(500),
             max_line_len: 64 * 1024,
         }
+    }
+}
+
+impl NetConfig {
+    /// The default configuration (alias of [`NetConfig::default`],
+    /// reads better at the head of a builder chain).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets [`NetConfig::workers`].
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets [`NetConfig::max_pipeline`].
+    pub fn with_max_pipeline(mut self, max: usize) -> Self {
+        self.max_pipeline = max;
+        self
+    }
+
+    /// Sets [`NetConfig::max_write_buffer`].
+    pub fn with_max_write_buffer(mut self, bytes: usize) -> Self {
+        self.max_write_buffer = bytes;
+        self
+    }
+
+    /// Sets [`NetConfig::poll_interval`].
+    pub fn with_poll_interval(mut self, interval: Duration) -> Self {
+        self.poll_interval = interval;
+        self
+    }
+
+    /// Sets [`NetConfig::max_line_len`].
+    pub fn with_max_line_len(mut self, bytes: usize) -> Self {
+        self.max_line_len = bytes;
+        self
     }
 }

@@ -284,7 +284,7 @@ fn tick(
                     parse_available(conn, handle, queue, cfg);
                     if conn.read_buf.len() > cfg.max_line_len {
                         let mut s = conn.shared.lock().expect("conn lock");
-                        s.push_response(b"ERR line too long\n");
+                        s.push_response(b"ERR line-too-long\n");
                         s.pending.clear();
                         s.closing = true;
                         break;

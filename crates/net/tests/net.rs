@@ -21,10 +21,7 @@ fn handle_with(config: ServiceConfig) -> ServiceHandle {
 }
 
 fn small_config() -> ServiceConfig {
-    ServiceConfig {
-        workers: 2,
-        ..ServiceConfig::default()
-    }
+    ServiceConfig::new().with_workers(2)
 }
 
 /// Oracle scores for the query both pipelining tests use.
@@ -91,7 +88,7 @@ fn check_script_response(resp: &str) {
     assert_eq!(got, expected, "pipelined batches stream the oracle order");
     assert_eq!(lines[9], "OK 2", "second OPEN");
     assert!(lines[10].starts_with("OK "), "{resp:?}");
-    assert_eq!(*lines.last().unwrap(), "ERR unknown session 1");
+    assert_eq!(*lines.last().unwrap(), "ERR unknown-session 1");
     assert!(
         lines[lines.len() - 3..].starts_with(&["OK closed", "OK closed"]),
         "CLOSE responses arrive in order: {resp:?}"
@@ -129,11 +126,7 @@ fn overload_sheds_in_order_with_err_overloaded() {
     let server = EventServer::spawn(
         handle.clone(),
         ("127.0.0.1", 0),
-        NetConfig {
-            workers: 1,
-            max_pipeline: 1,
-            ..NetConfig::default()
-        },
+        NetConfig::new().with_workers(1).with_max_pipeline(1),
     )
     .unwrap();
     // A burst can race the (fast) worker draining the queue, so sheds
@@ -165,10 +158,7 @@ fn overload_sheds_in_order_with_err_overloaded() {
 
 #[test]
 fn event_loop_closes_idle_connections_but_keeps_sessions() {
-    let handle = handle_with(ServiceConfig {
-        idle_timeout: Some(Duration::from_millis(150)),
-        ..small_config()
-    });
+    let handle = handle_with(small_config().with_idle_timeout(Some(Duration::from_millis(150))));
     let server = EventServer::spawn(handle, ("127.0.0.1", 0), NetConfig::default()).unwrap();
     let mut first = TcpStream::connect(server.local_addr()).unwrap();
     first
@@ -199,10 +189,7 @@ fn legacy_server_times_out_idle_connections() {
     // Satellite: the thread-per-connection path used to block in
     // `read_line` forever, pinning a thread per idle client. With
     // `idle_timeout` it must hang up on its own.
-    let handle = handle_with(ServiceConfig {
-        idle_timeout: Some(Duration::from_millis(150)),
-        ..small_config()
-    });
+    let handle = handle_with(small_config().with_idle_timeout(Some(Duration::from_millis(150))));
     let server = Server::spawn(handle.clone(), ("127.0.0.1", 0)).unwrap();
     let mut stream = TcpStream::connect(server.local_addr()).unwrap();
     stream
@@ -232,11 +219,11 @@ fn janitor_sweep_interval_is_config_not_hardcoded() {
     // A sweep interval far beyond the test: sessions past their TTL
     // stay resident because the janitor never fires (the old hard-coded
     // 200 ms sweep would have evicted). Shutdown must still be prompt.
-    let slow = handle_with(ServiceConfig {
-        session_ttl: Duration::from_millis(20),
-        sweep_interval: Duration::from_secs(3600),
-        ..small_config()
-    });
+    let slow = handle_with(
+        small_config()
+            .with_session_ttl(Duration::from_millis(20))
+            .with_sweep_interval(Duration::from_secs(3600)),
+    );
     let server = Server::spawn(slow.clone(), ("127.0.0.1", 0)).unwrap();
     let resp = pipeline_exchange(server.local_addr(), &["OPEN topk C -> E"]);
     assert_eq!(resp.trim(), "OK 1");
@@ -255,11 +242,11 @@ fn janitor_sweep_interval_is_config_not_hardcoded() {
 
     // A tight interval evicts promptly — on the event loop's janitor
     // this time, which shares the config field.
-    let fast = handle_with(ServiceConfig {
-        session_ttl: Duration::from_millis(20),
-        sweep_interval: Duration::from_millis(10),
-        ..small_config()
-    });
+    let fast = handle_with(
+        small_config()
+            .with_session_ttl(Duration::from_millis(20))
+            .with_sweep_interval(Duration::from_millis(10)),
+    );
     let server = EventServer::spawn(fast.clone(), ("127.0.0.1", 0), NetConfig::default()).unwrap();
     let resp = pipeline_exchange(server.local_addr(), &["OPEN topk C -> E"]);
     assert_eq!(resp.trim(), "OK 1");
@@ -276,10 +263,7 @@ fn oversized_request_lines_close_the_connection_with_an_error() {
     let server = EventServer::spawn(
         handle_with(small_config()),
         ("127.0.0.1", 0),
-        NetConfig {
-            max_line_len: 256,
-            ..NetConfig::default()
-        },
+        NetConfig::new().with_max_line_len(256),
     )
     .unwrap();
     let mut stream = TcpStream::connect(server.local_addr()).unwrap();
@@ -290,7 +274,7 @@ fn oversized_request_lines_close_the_connection_with_an_error() {
     stream.flush().unwrap();
     let mut out = String::new();
     stream.read_to_string(&mut out).unwrap();
-    assert_eq!(out, "ERR line too long\n");
+    assert_eq!(out, "ERR line-too-long\n");
     server.shutdown();
 }
 
@@ -301,10 +285,7 @@ fn oversized_request_lines_close_the_connection_with_an_error() {
 fn five_hundred_concurrent_pipelined_sessions() {
     const CONNS: usize = 64;
     const SESSIONS_PER_CONN: usize = 8; // 512 concurrent sessions
-    let handle = handle_with(ServiceConfig {
-        workers: 4,
-        ..ServiceConfig::default()
-    });
+    let handle = handle_with(ServiceConfig::new().with_workers(4));
     let server =
         EventServer::spawn(handle.clone(), ("127.0.0.1", 0), NetConfig::default()).unwrap();
     let addr = server.local_addr();

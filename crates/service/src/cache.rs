@@ -106,6 +106,20 @@ impl<K: std::hash::Hash + Eq + Clone, V> Lru<K, V> {
     {
         self.entries.remove(key).map(|(v, _)| v)
     }
+
+    /// Drops every entry `keep` rejects, returning how many were
+    /// removed. Recency stamps of survivors are left untouched.
+    fn retain(&mut self, mut keep: impl FnMut(&K, &V) -> bool) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|k, (v, _)| keep(k, v));
+        before - self.entries.len()
+    }
+
+    fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
 }
 
 /// An LRU map from query fingerprints to match prefixes.
@@ -139,6 +153,20 @@ impl ResultCache {
             return;
         }
         self.lru.insert(key, prefix);
+    }
+
+    /// Drops every prefix whose canonicalized query text `affected`
+    /// accepts (the delta-aware invalidation pass; the predicate sees
+    /// the text half of the key, so one verdict covers all algorithms
+    /// of that query). Returns how many entries were removed.
+    pub fn invalidate_matching(&mut self, mut affected: impl FnMut(&str) -> bool) -> usize {
+        self.lru.retain(|(_, text), _| !affected(text))
+    }
+
+    /// Drops everything (the flush-all invalidation policy), returning
+    /// how many entries were removed.
+    pub fn invalidate_all(&mut self) -> usize {
+        self.lru.clear()
     }
 
     /// Number of cached entries.
@@ -257,6 +285,33 @@ impl PlanCache {
             self.lru.remove(&key);
             total -= bytes;
         }
+    }
+
+    /// The delta-aware invalidation pass: drops every plan that
+    /// [`QueryPlan::is_affected_by`] the touched label pairs and
+    /// re-stamps every survivor as current for graph `version`
+    /// ([`QueryPlan::stamp_version`] — a delta that cannot change any
+    /// table a plan reads leaves the plan bit-for-bit valid). Returns
+    /// how many plans were dropped.
+    pub fn invalidate_affected(
+        &mut self,
+        touched_pairs: &[(ktpm_graph::LabelId, ktpm_graph::LabelId)],
+        version: u64,
+    ) -> usize {
+        self.lru.retain(|_, plan| {
+            if plan.is_affected_by(touched_pairs) {
+                false
+            } else {
+                plan.stamp_version(version);
+                true
+            }
+        })
+    }
+
+    /// Drops every plan (the flush-all invalidation policy), returning
+    /// how many were removed.
+    pub fn invalidate_all(&mut self) -> usize {
+        self.lru.clear()
     }
 
     /// Number of cached plans.
@@ -445,5 +500,53 @@ mod tests {
             c.get_or_insert(key, warm_plan);
         }
         assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn result_cache_invalidation_is_selective() {
+        let mut c = ResultCache::new(8);
+        c.insert(("topk", "hot".into()), prefix(2, true));
+        c.insert(("topk-en", "hot".into()), prefix(3, true));
+        c.insert(("topk", "cold".into()), prefix(1, true));
+        let dropped = c.invalidate_matching(|text| text == "hot");
+        assert_eq!(dropped, 2, "both algorithms of the hot query go");
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&key("cold")).is_some());
+        assert_eq!(c.invalidate_all(), 1);
+        assert!(c.is_empty());
+    }
+
+    fn plan_for(text: &str) -> impl Fn() -> QueryPlan + '_ {
+        move || {
+            let g = ktpm_graph::fixtures::citation_graph();
+            let q = ktpm_query::TreeQuery::parse(text)
+                .unwrap()
+                .resolve(g.interner());
+            let store =
+                ktpm_storage::MemStore::new(ktpm_closure::ClosureTables::compute(&g)).into_shared();
+            QueryPlan::new(q, store)
+        }
+    }
+
+    #[test]
+    fn plan_cache_invalidation_drops_affected_and_stamps_survivors() {
+        let g = ktpm_graph::fixtures::citation_graph();
+        let lbl = |n: &str| g.interner().get(n).unwrap();
+        let mut c = PlanCache::new(8);
+        let (affected, _) = c.get_or_insert("C -> E", plan_for("C -> E"));
+        let (survivor, _) = c.get_or_insert("C -> S", plan_for("C -> S"));
+        let touched = [(lbl("C"), lbl("E"))];
+        let dropped = c.invalidate_affected(&touched, 5);
+        assert_eq!(dropped, 1);
+        assert_eq!(c.len(), 1);
+        assert!(affected.is_affected_by(&touched));
+        assert_eq!(survivor.graph_version(), 5, "survivors are re-stamped");
+        let (again, hit) = c.get_or_insert("C -> S", plan_for("C -> S"));
+        assert!(hit);
+        assert!(Arc::ptr_eq(&survivor, &again));
+        let (_, hit) = c.get_or_insert("C -> E", plan_for("C -> E"));
+        assert!(!hit, "the affected plan was dropped");
+        assert_eq!(c.invalidate_all(), 2);
+        assert!(c.is_empty());
     }
 }

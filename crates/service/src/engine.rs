@@ -4,12 +4,13 @@
 use crate::cache::{CacheKey, PlanCache, ResultCache};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::session::{Session, SessionId, SessionTable};
-use crate::ServiceConfig;
-use ktpm_core::{QueryPlan, ScoredMatch};
+use crate::{InvalidationPolicy, ServiceConfig};
+use ktpm_core::{query_reads_touched_pairs, QueryPlan, ScoredMatch};
 use ktpm_exec::WorkerPool;
-use ktpm_graph::LabelInterner;
+use ktpm_graph::{GraphDelta, LabelInterner};
 use ktpm_query::TreeQuery;
-use ktpm_storage::SharedSource;
+use ktpm_storage::{SharedSource, StorageError};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -21,7 +22,15 @@ use std::sync::{Arc, Mutex};
 pub use ktpm_core::{Algo, AlgoCaps};
 
 /// Errors surfaced to service clients.
+///
+/// `Display` renders `<code> <detail>` where `<code>` is the stable
+/// machine-readable word of [`ServiceError::code`] — the wire layer
+/// prepends `ERR `, so every error reply starts `ERR <code> …` (the
+/// taxonomy documented in [`crate::protocol`]). The enum is
+/// `#[non_exhaustive]`: match with a wildcard arm, or dispatch on the
+/// code word.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ServiceError {
     /// The query text failed to parse or resolve.
     BadQuery(String),
@@ -31,26 +40,72 @@ pub enum ServiceError {
     UnknownSession(SessionId),
     /// The session table is full even after TTL eviction.
     SessionLimit(usize),
+    /// The session's plan was invalidated by a graph delta after it
+    /// opened: its stream describes a graph that no longer exists, so
+    /// it cannot be extended consistently. Re-`OPEN` the query to
+    /// stream against the current graph.
+    StaleVersion {
+        /// The fenced session.
+        session: SessionId,
+        /// Graph version the session's plan was built against.
+        plan_version: u64,
+        /// Store version the invalidating delta produced.
+        store_version: u64,
+    },
+    /// A graph delta failed at the storage layer (immutable snapshot
+    /// backend, or a rejected delta); no state changed.
+    Update(StorageError),
+}
+
+impl ServiceError {
+    /// The stable error-code word this error renders on the wire
+    /// (`ERR <code> …`). Codes are part of the protocol contract —
+    /// see the taxonomy table in [`crate::protocol`].
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::BadQuery(_) => "bad-query",
+            ServiceError::UnknownAlgo(_) => "unknown-algo",
+            ServiceError::UnknownSession(_) => "unknown-session",
+            ServiceError::SessionLimit(_) => "session-limit",
+            ServiceError::StaleVersion { .. } => "stale-version",
+            ServiceError::Update(StorageError::UpdatesUnsupported(_)) => "update-unsupported",
+            ServiceError::Update(StorageError::DeltaRejected(_)) => "update-rejected",
+            ServiceError::Update(_) => "update-failed",
+        }
+    }
 }
 
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ", self.code())?;
         match self {
-            ServiceError::BadQuery(m) => write!(f, "bad query: {m}"),
+            ServiceError::BadQuery(m) => write!(f, "{m}"),
             ServiceError::UnknownAlgo(a) => {
-                write!(
-                    f,
-                    "unknown algorithm {a:?} (expected {})",
-                    Algo::valid_names()
-                )
+                write!(f, "{a:?} (expected {})", Algo::valid_names())
             }
-            ServiceError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServiceError::UnknownSession(id) => write!(f, "{id}"),
             ServiceError::SessionLimit(n) => write!(f, "session limit reached ({n})"),
+            ServiceError::StaleVersion {
+                session,
+                plan_version,
+                store_version,
+            } => write!(
+                f,
+                "session {session} opened at graph v{plan_version}, store now \
+                 v{store_version}; re-OPEN the query"
+            ),
+            ServiceError::Update(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
+
+impl From<StorageError> for ServiceError {
+    fn from(e: StorageError) -> Self {
+        ServiceError::Update(e)
+    }
+}
 
 /// One batch of results from [`ServiceHandle::next`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,8 +137,29 @@ pub struct EngineStats {
     pub plan_bytes_limit: u64,
     /// Worker pool width.
     pub workers: usize,
+    /// Current graph version of the store (0 forever on immutable
+    /// snapshot backends; bumped once per applied delta on live ones).
+    pub graph_version: u64,
     /// Monotonic counters.
     pub metrics: MetricsSnapshot,
+}
+
+/// What one [`ServiceHandle::apply_delta`] did — the applied delta's
+/// storage-level report plus the serving-layer invalidation tallies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Store version after the delta.
+    pub version: u64,
+    /// Number of closure tables (label pairs) the repair changed.
+    pub touched_pairs: usize,
+    /// Cached plans dropped (their tables were touched); survivors
+    /// were re-stamped to `version` instead.
+    pub plans_invalidated: usize,
+    /// Result-cache prefixes dropped.
+    pub prefix_entries_invalidated: usize,
+    /// Live sessions newly fenced (their next `NEXT` answers
+    /// `stale-version`).
+    pub sessions_fenced: usize,
 }
 
 /// What [`ServiceHandle::warm_plans`] accomplished.
@@ -235,16 +311,27 @@ impl ServiceHandle {
         let engine = Arc::clone(e);
         let batch = e.pool.run(move || {
             let mut session = slot.session.lock().expect("session lock");
+            // Fenced sessions refuse to advance: their parked stream
+            // describes the pre-delta graph. The session stays in the
+            // table (CLOSE still works) but every NEXT is an error.
+            if let Some(store_version) = session.fenced_at() {
+                return Err(ServiceError::StaleVersion {
+                    session: id,
+                    plan_version: session.plan_version(),
+                    store_version,
+                });
+            }
             let adv = session.advance(n);
             if let Some(prefix) = adv.publish {
                 let key = session.cache_key();
                 engine.cache.lock().expect("cache lock").insert(key, prefix);
             }
-            NextBatch {
+            Ok(NextBatch {
                 matches: adv.matches,
                 exhausted: adv.exhausted,
-            }
+            })
         });
+        let batch = batch.inspect_err(|_| e.metrics.error())?;
         e.metrics.matches_served(batch.matches.len() as u64);
         Ok(batch)
     }
@@ -324,6 +411,97 @@ impl ServiceHandle {
         report
     }
 
+    /// Applies a batch of graph mutations to the live store and
+    /// invalidates the serving-layer caches **delta-aware**: the store
+    /// reports exactly which closure tables (label pairs) the repair
+    /// changed, and
+    ///
+    /// * cached plans reading a touched table are dropped, every other
+    ///   plan survives bit-for-bit with a version re-stamp
+    ///   ([`ktpm_core::QueryPlan::stamp_version`]) — a later `OPEN` of
+    ///   an unaffected query is still a plan hit with zero
+    ///   candidate-discovery work;
+    /// * result-cache prefixes of affected queries are dropped (the
+    ///   cached text is re-resolved once per distinct query);
+    /// * live sessions on affected plans are *fenced*: they answer
+    ///   every further `next` with [`ServiceError::StaleVersion`] and
+    ///   never publish their (pre-delta) buffers to the result cache.
+    ///
+    /// Under [`InvalidationPolicy::FlushAll`] everything is treated as
+    /// affected. Errors ([`ServiceError::Update`]) leave all state —
+    /// graph, closure, caches, sessions — untouched.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Result<UpdateReport, ServiceError> {
+        let e = &self.engine;
+        let report = e.source.apply_delta(delta).map_err(|err| {
+            e.metrics.error();
+            ServiceError::Update(err)
+        })?;
+        e.metrics.graph_update();
+        let flush_all = matches!(e.config.invalidation, InvalidationPolicy::FlushAll);
+        let touched = &report.touched_pairs;
+        let plans_invalidated = {
+            let mut plans = e.plans.lock().expect("plan cache lock");
+            if flush_all {
+                plans.invalidate_all()
+            } else {
+                plans.invalidate_affected(touched, report.version)
+            }
+        };
+        let prefix_entries_invalidated = {
+            let mut cache = e.cache.lock().expect("cache lock");
+            if flush_all {
+                cache.invalidate_all()
+            } else {
+                // One parse+resolve per distinct cached query text; the
+                // per-algorithm key entries share the memoized verdict.
+                let mut verdicts: HashMap<String, bool> = HashMap::new();
+                cache.invalidate_matching(|text| {
+                    *verdicts.entry(text.to_string()).or_insert_with(|| {
+                        match TreeQuery::parse(text) {
+                            Ok(tree) => {
+                                query_reads_touched_pairs(&tree.resolve(&e.interner), touched)
+                            }
+                            // A cached text the parser no longer accepts
+                            // cannot be classified: drop it defensively.
+                            Err(_) => true,
+                        }
+                    })
+                })
+            }
+        };
+        let mut sessions_fenced = 0;
+        for slot in e.sessions.all_slots() {
+            let mut session = slot.session.lock().expect("session lock");
+            if flush_all || session.plan().is_affected_by(touched) {
+                if session.fenced_at().is_none() {
+                    sessions_fenced += 1;
+                }
+                session.fence(report.version);
+            } else {
+                // The session's plan may have been LRU-evicted from the
+                // plan cache earlier; re-stamp it here so the session
+                // keeps serving without tripping version checks.
+                session.plan().stamp_version(report.version);
+            }
+        }
+        e.metrics.plans_invalidated(plans_invalidated as u64);
+        e.metrics
+            .prefix_entries_invalidated(prefix_entries_invalidated as u64);
+        Ok(UpdateReport {
+            version: report.version,
+            touched_pairs: report.touched_pairs.len(),
+            plans_invalidated,
+            prefix_entries_invalidated,
+            sessions_fenced,
+        })
+    }
+
+    /// The store's current graph version (0 forever on snapshot
+    /// backends).
+    pub fn graph_version(&self) -> u64 {
+        self.engine.source.graph_version()
+    }
+
     /// Evicts sessions idle past the TTL (also runs opportunistically
     /// when the table is full and from the server's janitor thread).
     /// Evicted sessions publish their prefixes first, so their work is
@@ -371,6 +549,7 @@ impl ServiceHandle {
             plan_largest_bytes,
             plan_bytes_limit: e.config.plan_cache_max_bytes.unwrap_or(0),
             workers: e.pool.width(),
+            graph_version: e.source.graph_version(),
             metrics: e.metrics.snapshot(),
         }
     }
@@ -469,10 +648,7 @@ mod tests {
         let one = probe.stats().plan_bytes;
         assert!(one > 0);
 
-        let h = handle_with(ServiceConfig {
-            plan_cache_max_bytes: Some(one * 3 / 2),
-            ..ServiceConfig::default()
-        });
+        let h = handle_with(ServiceConfig::new().with_plan_cache_max_bytes(Some(one * 3 / 2)));
         assert_eq!(h.stats().plan_bytes_limit, one * 3 / 2);
         for query in ["C -> E\nC -> S", "C -> S\nC -> E"] {
             let id = h.open(query, Algo::Topk).unwrap();
@@ -507,5 +683,137 @@ mod tests {
             canonicalize("A -> B\nA -> C"),
             canonicalize("A -> C\nA -> B")
         );
+    }
+
+    use ktpm_graph::NodeId;
+    use ktpm_storage::LiveStore;
+
+    fn live_handle(config: ServiceConfig) -> (ServiceHandle, SharedSource) {
+        let g = citation_graph();
+        let store = LiveStore::new(g.clone()).into_shared();
+        (
+            QueryEngine::new(g.interner().clone(), Arc::clone(&store), config),
+            store,
+        )
+    }
+
+    /// Weight bump on the direct `v1 -> v4` (C → S) edge: the repair
+    /// touches only the `(C, S)` closure table.
+    fn cs_only_delta() -> ktpm_graph::GraphDelta {
+        ktpm_graph::GraphDelta::new().set_weight(NodeId(0), NodeId(3), 5)
+    }
+
+    #[test]
+    fn snapshot_backend_updates_error_with_code() {
+        let h = handle_with(ServiceConfig::default());
+        let err = h.apply_delta(&cs_only_delta()).unwrap_err();
+        assert_eq!(err.code(), "update-unsupported");
+        assert!(matches!(err, ServiceError::Update(_)));
+        assert_eq!(h.graph_version(), 0);
+        assert_eq!(h.stats().metrics.graph_updates, 0);
+        assert_eq!(h.stats().metrics.errors, 1);
+    }
+
+    #[test]
+    fn delta_aware_invalidation_keeps_unaffected_plans_hot() {
+        let (h, store) = live_handle(ServiceConfig::default());
+        // Warm both queries end to end (plan + complete cached prefix).
+        let unaffected = h.topk("C -> E", Algo::Topk, 100).unwrap();
+        assert!(!unaffected.is_empty());
+        h.topk("C -> E\nC -> S", Algo::Topk, 100).unwrap();
+        assert_eq!(h.stats().plan_entries, 2);
+        assert_eq!(h.stats().cache_entries, 2);
+
+        let report = h.apply_delta(&cs_only_delta()).unwrap();
+        assert_eq!(report.version, 1);
+        assert_eq!(h.graph_version(), 1);
+        assert_eq!(report.touched_pairs, 1, "only (C, S) changed");
+        assert_eq!(report.plans_invalidated, 1, "only the C->S-reading plan");
+        assert_eq!(report.prefix_entries_invalidated, 1);
+        assert_eq!(report.sessions_fenced, 0, "no sessions were open");
+        let m = h.stats().metrics;
+        assert_eq!(m.graph_updates, 1);
+        assert_eq!(m.plans_invalidated, 1);
+        assert_eq!(m.prefix_entries_invalidated, 1);
+        assert_eq!(h.stats().graph_version, 1);
+
+        // The unaffected query re-opens as a plan hit *and* a cache hit
+        // with zero candidate-discovery I/O, streaming identical bytes.
+        store.reset_io();
+        let before = h.stats().metrics;
+        let again = h.topk("C -> E", Algo::Topk, 100).unwrap();
+        assert_eq!(again, unaffected);
+        let after = h.stats().metrics;
+        assert_eq!(after.plan_hits, before.plan_hits + 1);
+        assert_eq!(after.cache_hits, before.cache_hits + 1);
+        let io = store.io();
+        assert_eq!(
+            io.d_entries + io.e_entries + io.edges_read,
+            0,
+            "surviving plan + prefix answer without touching storage"
+        );
+
+        // The affected query rebuilds (plan miss) and must stream the
+        // same results as a cold engine over the mutated graph.
+        let before = h.stats().metrics;
+        let warm = h.topk("C -> E\nC -> S", Algo::Topk, 100).unwrap();
+        assert_eq!(h.stats().metrics.plan_misses, before.plan_misses + 1);
+        let mutated = citation_graph().apply_delta(&cs_only_delta()).unwrap().0;
+        let cold_store = MemStore::new(ClosureTables::compute(&mutated)).into_shared();
+        let cold_h = QueryEngine::new(
+            mutated.interner().clone(),
+            cold_store,
+            ServiceConfig::default(),
+        );
+        let expect = cold_h.topk("C -> E\nC -> S", Algo::Topk, 100).unwrap();
+        assert_eq!(warm, expect, "post-delta stream == cold rebuild");
+    }
+
+    #[test]
+    fn fenced_sessions_error_and_close_without_publishing() {
+        let (h, _) = live_handle(ServiceConfig::default());
+        let affected = h.open("C -> E\nC -> S", Algo::Topk).unwrap();
+        h.next(affected, 2).unwrap();
+        let survivor = h.open("C -> E", Algo::Topk).unwrap();
+        h.next(survivor, 1).unwrap();
+
+        let report = h.apply_delta(&cs_only_delta()).unwrap();
+        assert_eq!(report.sessions_fenced, 1);
+
+        // The survivor keeps streaming; the fenced session errors with
+        // the stale-version code but can still be closed.
+        assert!(h.next(survivor, 1).is_ok());
+        let err = h.next(affected, 1).unwrap_err();
+        assert_eq!(err.code(), "stale-version");
+        assert!(matches!(
+            err,
+            ServiceError::StaleVersion {
+                plan_version: 0,
+                store_version: 1,
+                ..
+            }
+        ));
+        h.close(affected).unwrap();
+        // The fenced session's pre-delta buffer must not have been
+        // republished: the affected query has no cached prefix, so a
+        // fresh open is a cache miss.
+        let before = h.stats().metrics;
+        h.topk("C -> E\nC -> S", Algo::Topk, 100).unwrap();
+        assert_eq!(h.stats().metrics.cache_misses, before.cache_misses + 1);
+    }
+
+    #[test]
+    fn flush_all_policy_drops_everything() {
+        let (h, _) =
+            live_handle(ServiceConfig::new().with_invalidation(InvalidationPolicy::FlushAll));
+        h.topk("C -> E", Algo::Topk, 100).unwrap();
+        let id = h.open("C -> E", Algo::Topk).unwrap();
+        let report = h.apply_delta(&cs_only_delta()).unwrap();
+        assert_eq!(report.plans_invalidated, 1, "unaffected plan dropped too");
+        assert_eq!(report.prefix_entries_invalidated, 1);
+        assert_eq!(report.sessions_fenced, 1);
+        assert_eq!(h.next(id, 1).unwrap_err().code(), "stale-version");
+        assert_eq!(h.stats().plan_entries, 0);
+        assert_eq!(h.stats().cache_entries, 0);
     }
 }

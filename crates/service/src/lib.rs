@@ -83,7 +83,9 @@ mod server;
 mod session;
 
 pub use cache::{CacheKey, CachedPrefix, PlanCache, ResultCache};
-pub use engine::{Algo, AlgoCaps, NextBatch, QueryEngine, ServiceError, ServiceHandle, WarmReport};
+pub use engine::{
+    Algo, AlgoCaps, NextBatch, QueryEngine, ServiceError, ServiceHandle, UpdateReport, WarmReport,
+};
 // The pool moved to `ktpm-exec` so core's `ParTopk` and the batch CLI
 // schedule shard jobs on the same implementation; re-exported here for
 // embedders that imported it from the service crate.
@@ -98,8 +100,32 @@ pub use session::{SessionId, SessionTable};
 
 use std::time::Duration;
 
+/// How the engine invalidates cached state when a graph delta lands
+/// ([`ServiceHandle::apply_delta`] / the wire `UPDATE` verb).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum InvalidationPolicy {
+    /// Only plans, cached prefixes and sessions whose query reads a
+    /// closure table the delta actually changed are dropped (resp.
+    /// fenced); everything else survives with a version re-stamp. The
+    /// default — this is the point of tracking touched label pairs.
+    #[default]
+    DeltaAware,
+    /// Every delta drops all cached plans and prefixes and fences all
+    /// sessions. A debugging/escape-hatch policy: strictly more
+    /// conservative, never required for correctness.
+    FlushAll,
+}
+
 /// Engine tuning knobs.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`ServiceConfig::default`] (or [`ServiceConfig::new`]) and refine
+/// with the builder-style `with_*` methods, so new knobs (like
+/// [`ServiceConfig::invalidation`]) keep appearing without breaking
+/// embedders.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ServiceConfig {
     /// Worker threads executing `next` batches.
     pub workers: usize,
@@ -138,6 +164,9 @@ pub struct ServiceConfig {
     /// dedicated shard-job pool (kept separate from the request pool so
     /// blocked requests can never starve their own shard jobs).
     pub parallel: ktpm_core::ParallelPolicy,
+    /// How graph deltas invalidate cached plans, result prefixes and
+    /// live sessions.
+    pub invalidation: InvalidationPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -152,6 +181,75 @@ impl Default for ServiceConfig {
             plan_cache_capacity: 256,
             plan_cache_max_bytes: None,
             parallel: ktpm_core::ParallelPolicy::default(),
+            invalidation: InvalidationPolicy::default(),
         }
+    }
+}
+
+impl ServiceConfig {
+    /// The default configuration (alias of [`ServiceConfig::default`],
+    /// reads better at the head of a builder chain).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets [`ServiceConfig::workers`].
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets [`ServiceConfig::session_ttl`].
+    pub fn with_session_ttl(mut self, ttl: Duration) -> Self {
+        self.session_ttl = ttl;
+        self
+    }
+
+    /// Sets [`ServiceConfig::sweep_interval`].
+    pub fn with_sweep_interval(mut self, interval: Duration) -> Self {
+        self.sweep_interval = interval;
+        self
+    }
+
+    /// Sets [`ServiceConfig::idle_timeout`] (`None` = never).
+    pub fn with_idle_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Sets [`ServiceConfig::max_sessions`].
+    pub fn with_max_sessions(mut self, max: usize) -> Self {
+        self.max_sessions = max;
+        self
+    }
+
+    /// Sets [`ServiceConfig::cache_capacity`].
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets [`ServiceConfig::plan_cache_capacity`].
+    pub fn with_plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.plan_cache_capacity = capacity;
+        self
+    }
+
+    /// Sets [`ServiceConfig::plan_cache_max_bytes`] (`None` = off).
+    pub fn with_plan_cache_max_bytes(mut self, budget: Option<u64>) -> Self {
+        self.plan_cache_max_bytes = budget;
+        self
+    }
+
+    /// Sets [`ServiceConfig::parallel`].
+    pub fn with_parallel(mut self, parallel: ktpm_core::ParallelPolicy) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Sets [`ServiceConfig::invalidation`].
+    pub fn with_invalidation(mut self, policy: InvalidationPolicy) -> Self {
+        self.invalidation = policy;
+        self
     }
 }

@@ -21,6 +21,9 @@ pub struct ServiceMetrics {
     connections_active: AtomicU64,
     queue_depth_max: AtomicU64,
     shed_total: AtomicU64,
+    graph_updates: AtomicU64,
+    plans_invalidated: AtomicU64,
+    prefix_entries_invalidated: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServiceMetrics`].
@@ -58,6 +61,15 @@ pub struct MetricsSnapshot {
     /// buffer full, or a connection dropped because the front end could
     /// not spawn a handler thread.
     pub shed_total: u64,
+    /// Graph deltas successfully applied (`UPDATE` requests or
+    /// `apply_delta` calls; rejected deltas count as `errors`).
+    pub graph_updates: u64,
+    /// Cached query plans dropped by delta invalidation (plans whose
+    /// closure tables a delta touched; unaffected plans survive with a
+    /// version re-stamp and are *not* counted).
+    pub plans_invalidated: u64,
+    /// Result-cache prefix entries dropped by delta invalidation.
+    pub prefix_entries_invalidated: u64,
 }
 
 macro_rules! bump {
@@ -80,6 +92,18 @@ impl ServiceMetrics {
         plan_miss => plan_misses,
         error => errors,
         shed => shed_total,
+        graph_update => graph_updates,
+    }
+
+    /// Adds `n` delta-invalidated plans.
+    pub fn plans_invalidated(&self, n: u64) {
+        self.plans_invalidated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` delta-invalidated result-cache entries.
+    pub fn prefix_entries_invalidated(&self, n: u64) {
+        self.prefix_entries_invalidated
+            .fetch_add(n, Ordering::Relaxed);
     }
 
     /// Adds `n` evicted sessions.
@@ -124,6 +148,9 @@ impl ServiceMetrics {
             connections_active: self.connections_active.load(Ordering::Relaxed),
             queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
             shed_total: self.shed_total.load(Ordering::Relaxed),
+            graph_updates: self.graph_updates.load(Ordering::Relaxed),
+            plans_invalidated: self.plans_invalidated.load(Ordering::Relaxed),
+            prefix_entries_invalidated: self.prefix_entries_invalidated.load(Ordering::Relaxed),
         }
     }
 }
@@ -134,7 +161,8 @@ impl MetricsSnapshot {
         format!(
             "sessions_opened={} sessions_closed={} sessions_evicted={} next_calls={} \
              matches_served={} cache_hits={} cache_misses={} plan_hits={} plan_misses={} \
-             errors={} connections_active={} queue_depth_max={} shed_total={}",
+             errors={} connections_active={} queue_depth_max={} shed_total={} \
+             graph_updates={} plans_invalidated={} prefix_entries_invalidated={}",
             self.sessions_opened,
             self.sessions_closed,
             self.sessions_evicted,
@@ -148,6 +176,9 @@ impl MetricsSnapshot {
             self.connections_active,
             self.queue_depth_max,
             self.shed_total,
+            self.graph_updates,
+            self.plans_invalidated,
+            self.prefix_entries_invalidated,
         )
     }
 }
@@ -179,6 +210,9 @@ mod tests {
         m.queue_depth_observed(5); // max is sticky
         m.shed();
         m.shed();
+        m.graph_update();
+        m.plans_invalidated(4);
+        m.prefix_entries_invalidated(6);
         let s = m.snapshot();
         assert_eq!(s.sessions_opened, 2);
         assert_eq!(s.sessions_closed, 1);
@@ -195,8 +229,14 @@ mod tests {
         assert_eq!(s.shed_total, 2);
         assert!(s.to_wire().contains("matches_served=10"));
         assert!(s.to_wire().contains("plan_hits=2 plan_misses=1"));
+        assert_eq!(s.graph_updates, 1);
+        assert_eq!(s.plans_invalidated, 4);
+        assert_eq!(s.prefix_entries_invalidated, 6);
         assert!(s
             .to_wire()
             .contains("connections_active=1 queue_depth_max=9 shed_total=2"));
+        assert!(s
+            .to_wire()
+            .contains("graph_updates=1 plans_invalidated=4 prefix_entries_invalidated=6"));
     }
 }

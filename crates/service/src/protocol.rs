@@ -22,6 +22,15 @@
 //!                          stream, not n single-item pulls.
 //! CLOSE <session>          end the session
 //! STATS                    engine counters
+//! UPDATE <op>[; <op>...]   apply a graph delta to a live store. Ops:
+//!                          `set <u> <v> <w>` (re-weight an existing
+//!                          edge), `ins <u> <v> <w>` (insert an edge),
+//!                          `del <u> <v>` (delete an edge); node ids
+//!                          and weights are numeric, ops apply in
+//!                          order as ONE atomic batch (a rejected op
+//!                          rejects the whole delta, nothing changes).
+//!                          Snapshot-backed servers answer
+//!                          `ERR update-unsupported …`.
 //! ```
 //!
 //! ## Pipelining
@@ -82,6 +91,23 @@
 //! enumerator. Stream termination is only ever reported by a `NEXT`
 //! with `n >= 1`.
 //!
+//! ## Graph versions and sessions
+//!
+//! Every applied `UPDATE` bumps the store's monotonic graph version
+//! (`graph_version` in `STATS`). Query plans and cached result
+//! prefixes are invalidated **delta-aware**: only state whose query
+//! reads a closure table the delta actually changed is dropped;
+//! everything else survives with a version re-stamp, so an `OPEN` of
+//! an unaffected hot query after an update is still a plan hit with
+//! zero candidate-discovery work. Open *sessions* follow the same
+//! rule: a session whose plan survives keeps streaming across the
+//! update (its answers were bit-for-bit unaffected); a session whose
+//! plan was invalidated is **fenced** — every further `NEXT` answers
+//! `ERR stale-version …` (its parked stream describes the pre-update
+//! graph and cannot be extended consistently), while `CLOSE` still
+//! works. Clients should re-`OPEN` fenced queries to stream against
+//! the current graph.
+//!
 //! Responses:
 //!
 //! ```text
@@ -91,9 +117,38 @@
 //!                                         BFS order
 //! OK closed                             for CLOSE
 //! OK <key>=<value> ...                  for STATS (one line)
-//! ERR <message>                         any failure; the connection
-//!                                       stays usable (ERR overloaded
-//!                                       = shed, retry after draining)
+//! OK version=<v> touched_pairs=<t> plans_invalidated=<p>
+//!    prefix_entries_invalidated=<q> sessions_fenced=<s>
+//!                                       for UPDATE (one line)
+//! ERR <code> <detail>                   any failure; the connection
+//!                                       stays usable
+//! ```
+//!
+//! ## Error-code taxonomy
+//!
+//! Every `ERR` reply starts with exactly one stable, machine-readable
+//! code word from [`ERROR_CODES`] (locked by a wire test so codes
+//! cannot drift), followed by free-form human detail:
+//!
+//! ```text
+//! bad-request          malformed request line (unknown verb, bad
+//!                      usage, unparseable id/count/op, empty query
+//!                      after the ';' rewrite)
+//! bad-query            well-formed OPEN whose query text failed to
+//!                      parse or resolve as a rooted tree
+//! unknown-algo         OPEN with an algorithm not in the registry
+//! unknown-session      NEXT/CLOSE on a missing/closed/evicted session
+//! session-limit        session table full even after TTL eviction
+//! stale-version        NEXT on a session fenced by a graph update;
+//!                      re-OPEN the query
+//! update-unsupported   UPDATE against an immutable snapshot store
+//! update-rejected      UPDATE refused by validation (unknown node,
+//!                      zero weight, missing/duplicate edge, ...);
+//!                      nothing changed
+//! update-failed        UPDATE failed in the storage layer
+//! overloaded           request or connection shed by backpressure;
+//!                      retry after draining in-flight responses
+//! line-too-long        request line exceeded the front end's limit
 //! ```
 //!
 //! `STATS` includes the serving-tier fields `connections_active` (a
@@ -106,6 +161,25 @@
 
 use crate::engine::NextBatch;
 use crate::session::SessionId;
+use ktpm_graph::{Dist, GraphDelta, NodeId};
+
+/// Every error-code word an `ERR` reply may start with — the wire
+/// contract of the taxonomy table in the module docs. A test drives
+/// each failure path and asserts its first token is listed here, so a
+/// new or renamed code that skips the documentation fails the build.
+pub const ERROR_CODES: &[&str] = &[
+    "bad-request",
+    "bad-query",
+    "unknown-algo",
+    "unknown-session",
+    "session-limit",
+    "stale-version",
+    "update-unsupported",
+    "update-rejected",
+    "update-failed",
+    "overloaded",
+    "line-too-long",
+];
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,6 +205,44 @@ pub enum Request {
     },
     /// `STATS`.
     Stats,
+    /// `UPDATE <op>[; <op>...]` — a graph delta for the live store.
+    Update {
+        /// The parsed mutation batch, ops in request order.
+        delta: GraphDelta,
+    },
+}
+
+const UPDATE_USAGE: &str =
+    "usage: UPDATE <set <u> <v> <w> | ins <u> <v> <w> | del <u> <v>>[; <op> ...]";
+
+/// Parses one `;`-separated op list into a [`GraphDelta`].
+fn parse_delta(rest: &str) -> Result<GraphDelta, String> {
+    let node = |t: &str| -> Result<NodeId, String> {
+        t.parse::<u32>()
+            .map(NodeId)
+            .map_err(|e| format!("bad node id {t:?}: {e}"))
+    };
+    let weight = |t: &str| -> Result<Dist, String> {
+        t.parse::<Dist>()
+            .map_err(|e| format!("bad weight {t:?}: {e}"))
+    };
+    let mut delta = GraphDelta::new();
+    for op in rest.split(';') {
+        let toks: Vec<&str> = op.split_whitespace().collect();
+        let Some((&kind, args)) = toks.split_first() else {
+            continue; // tolerate empty segments (trailing `;`)
+        };
+        match (kind.to_ascii_lowercase().as_str(), args) {
+            ("set", [u, v, w]) => delta = delta.set_weight(node(u)?, node(v)?, weight(w)?),
+            ("ins", [u, v, w]) => delta = delta.insert_edge(node(u)?, node(v)?, weight(w)?),
+            ("del", [u, v]) => delta = delta.delete_edge(node(u)?, node(v)?),
+            _ => return Err(format!("bad update op {:?} ({UPDATE_USAGE})", op.trim())),
+        }
+    }
+    if delta.is_empty() {
+        return Err(format!("empty update ({UPDATE_USAGE})"));
+    }
+    Ok(delta)
 }
 
 /// Parses one request line (without trailing newline).
@@ -183,8 +295,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Close { id })
         }
         "STATS" => Ok(Request::Stats),
+        "UPDATE" => Ok(Request::Update {
+            delta: parse_delta(rest)?,
+        }),
         other => Err(format!(
-            "unknown command {other:?} (expected OPEN | NEXT | CLOSE | STATS)"
+            "unknown command {other:?} (expected OPEN | NEXT | CLOSE | STATS | UPDATE)"
         )),
     }
 }
@@ -313,6 +428,55 @@ mod tests {
                 query: "A\nB -> C".into(),
             }
         );
+    }
+
+    #[test]
+    fn parses_update_deltas() {
+        assert_eq!(
+            parse_request("UPDATE set 0 3 5; ins 1 4 2 ; del 2 3;").unwrap(),
+            Request::Update {
+                delta: GraphDelta::new()
+                    .set_weight(NodeId(0), NodeId(3), 5)
+                    .insert_edge(NodeId(1), NodeId(4), 2)
+                    .delete_edge(NodeId(2), NodeId(3)),
+            }
+        );
+        // Verbs and op names are case-insensitive alike.
+        assert_eq!(
+            parse_request("update DEL 1 2").unwrap(),
+            Request::Update {
+                delta: GraphDelta::new().delete_edge(NodeId(1), NodeId(2)),
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_updates() {
+        for line in [
+            "UPDATE",
+            "UPDATE ;",
+            "UPDATE set 1 2",
+            "UPDATE ins 1 2 3 4",
+            "UPDATE del x 2",
+            "UPDATE set 1 2 -3",
+            "UPDATE frob 1 2",
+        ] {
+            assert!(parse_request(line).is_err(), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn error_code_list_is_sorted_unique_and_hyphenated() {
+        // The taxonomy is a wire contract: no duplicates, no spaces
+        // (codes must be single tokens), and every code is lowercase.
+        let mut seen = std::collections::HashSet::new();
+        for code in ERROR_CODES {
+            assert!(seen.insert(code), "duplicate code {code:?}");
+            assert!(
+                code.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "code {code:?} must be a lowercase hyphenated token"
+            );
+        }
     }
 
     #[test]

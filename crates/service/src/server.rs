@@ -192,7 +192,9 @@ pub fn serve_connection(stream: TcpStream, handle: &ServiceHandle) -> std::io::R
 /// request line.
 pub fn respond(handle: &ServiceHandle, line: &str) -> String {
     match parse_request(line) {
-        Err(msg) => format!("ERR {msg}\n"),
+        // Parser-level failures are all one taxonomy code: the request
+        // line itself was malformed (see the protocol module docs).
+        Err(msg) => format!("ERR bad-request {msg}\n"),
         Ok(Request::Open { algo, query }) => match Algo::parse(&algo) {
             None => format!("ERR {}\n", ServiceError::UnknownAlgo(algo)),
             Some(algo) => match handle.open(&query, algo) {
@@ -212,7 +214,7 @@ pub fn respond(handle: &ServiceHandle, line: &str) -> String {
             let s = handle.stats();
             format!(
                 "OK sessions_active={} cache_entries={} plan_entries={} plan_bytes={} \
-                 plan_largest_bytes={} plan_cache_bytes_limit={} workers={} {}\n",
+                 plan_largest_bytes={} plan_cache_bytes_limit={} workers={} graph_version={} {}\n",
                 s.sessions_active,
                 s.cache_entries,
                 s.plan_entries,
@@ -220,9 +222,22 @@ pub fn respond(handle: &ServiceHandle, line: &str) -> String {
                 s.plan_largest_bytes,
                 s.plan_bytes_limit,
                 s.workers,
+                s.graph_version,
                 s.metrics.to_wire()
             )
         }
+        Ok(Request::Update { delta }) => match handle.apply_delta(&delta) {
+            Ok(r) => format!(
+                "OK version={} touched_pairs={} plans_invalidated={} \
+                 prefix_entries_invalidated={} sessions_fenced={}\n",
+                r.version,
+                r.touched_pairs,
+                r.plans_invalidated,
+                r.prefix_entries_invalidated,
+                r.sessions_fenced
+            ),
+            Err(e) => format!("ERR {e}\n"),
+        },
     }
 }
 
@@ -258,7 +273,7 @@ mod tests {
         let rest = respond(&h, &format!("NEXT {id} 100"));
         assert!(rest.starts_with("OK 3 DONE\n"), "{rest:?}");
         assert_eq!(respond(&h, &format!("CLOSE {id}")), "OK closed\n");
-        assert!(respond(&h, &format!("NEXT {id} 1")).starts_with("ERR unknown session"));
+        assert!(respond(&h, &format!("NEXT {id} 1")).starts_with("ERR unknown-session"));
         assert!(respond(&h, "STATS").contains("sessions_opened=1"));
         assert!(respond(&h, "STATS").contains("plan_entries=1"));
         // Per-plan memory: the topk-en session above materialized the
@@ -276,9 +291,9 @@ mod tests {
         };
         assert!(field("plan_bytes") > 0, "{stats}");
         assert_eq!(field("plan_bytes"), field("plan_largest_bytes"), "{stats}");
-        assert!(respond(&h, "OPEN warp C -> E").starts_with("ERR unknown algorithm"));
-        assert!(respond(&h, "OPEN topk a b c").starts_with("ERR bad query"));
-        assert!(respond(&h, "HELLO").starts_with("ERR unknown command"));
+        assert!(respond(&h, "OPEN warp C -> E").starts_with("ERR unknown-algo"));
+        assert!(respond(&h, "OPEN topk a b c").starts_with("ERR bad-query"));
+        assert!(respond(&h, "HELLO").starts_with("ERR bad-request unknown command"));
     }
 
     #[test]
@@ -308,7 +323,7 @@ mod tests {
         // stale (as the old "topk | topk-en | brute" doc comment did).
         let h = test_handle();
         let err = respond(&h, "OPEN warp C -> E");
-        assert!(err.starts_with("ERR unknown algorithm"), "{err:?}");
+        assert!(err.starts_with("ERR unknown-algo"), "{err:?}");
         for algo in Algo::ALL {
             assert!(
                 err.contains(algo.name()),
@@ -349,17 +364,106 @@ mod tests {
         let h = test_handle();
         let err = respond(&h, "OPEN topk ;;;");
         assert!(
-            err.starts_with("ERR empty query after ';' rewrite"),
+            err.starts_with("ERR bad-request empty query after ';' rewrite"),
             "{err:?}"
         );
         // `;` inside label text: rewritten into two lines -> bad query.
         let err = respond(&h, "OPEN topk C;E -> S");
-        assert!(err.starts_with("ERR bad query"), "{err:?}");
+        assert!(err.starts_with("ERR bad-query"), "{err:?}");
         assert_eq!(
             h.stats().metrics.errors,
             1,
             "parser ERRs are not engine errors"
         );
+    }
+
+    #[test]
+    fn every_err_reply_starts_with_a_documented_code_word() {
+        use crate::protocol::ERROR_CODES;
+        // Drive every in-engine failure path over the respond() wire
+        // surface; each reply's first token after ERR must be one of
+        // the documented taxonomy codes. (The two front-end-only codes,
+        // `overloaded` and `line-too-long`, are asserted by the server
+        // shed path and the ktpm-net reactor tests respectively.)
+        let g = citation_graph();
+        let live = ktpm_storage::LiveStore::new(g.clone()).into_shared();
+        let h = QueryEngine::new(
+            g.interner().clone(),
+            live,
+            ServiceConfig::new().with_workers(2),
+        );
+        let open = respond(&h, "OPEN topk C -> E; C -> S");
+        let sid = open.trim().strip_prefix("OK ").expect("open succeeds");
+        respond(&h, &format!("NEXT {sid} 1"));
+        let failures = [
+            "HELLO",            // bad-request (unknown command)
+            "OPEN topk",        // bad-request (usage)
+            "OPEN topk ;;;",    // bad-request (empty rewrite)
+            "NEXT x 1",         // bad-request (bad id)
+            "UPDATE frob 1 2",  // bad-request (bad op)
+            "UPDATE",           // bad-request (empty delta)
+            "OPEN warp C -> E", // unknown-algo
+            "OPEN topk a b c",  // bad-query
+            "NEXT 999999 1",    // unknown-session
+            "CLOSE 999999",     // unknown-session
+            "UPDATE del 0 6",   // update-rejected (no such edge)
+            "UPDATE set 0 3 0", // update-rejected (zero weight)
+        ];
+        for line in failures {
+            let reply = respond(&h, line);
+            let mut toks = reply.split_whitespace();
+            assert_eq!(toks.next(), Some("ERR"), "{line:?} -> {reply:?}");
+            let code = toks.next().expect("code word present");
+            assert!(
+                ERROR_CODES.contains(&code),
+                "{line:?} produced undocumented code {code:?} ({reply:?})"
+            );
+        }
+        // stale-version: fence the open session with an affecting delta.
+        let update = respond(&h, "UPDATE set 0 3 5");
+        assert!(update.starts_with("OK version=1 "), "{update:?}");
+        let stale = respond(&h, &format!("NEXT {sid} 1"));
+        assert!(stale.starts_with("ERR stale-version"), "{stale:?}");
+        assert!(ERROR_CODES.contains(&"stale-version"));
+        // update-unsupported: a snapshot-backed engine.
+        let snap = test_handle();
+        let reply = respond(&snap, "UPDATE set 0 3 5");
+        assert!(reply.starts_with("ERR update-unsupported"), "{reply:?}");
+    }
+
+    #[test]
+    fn update_over_the_wire_invalidates_and_reports() {
+        let g = citation_graph();
+        let live = ktpm_storage::LiveStore::new(g.clone()).into_shared();
+        let h = QueryEngine::new(
+            g.interner().clone(),
+            live,
+            ServiceConfig::new().with_workers(2),
+        );
+        // Warm two queries: one reads (C, S), one does not.
+        for q in ["OPEN topk C -> E; C -> S", "OPEN topk C -> E"] {
+            let id = respond(&h, q);
+            let id = id.trim().strip_prefix("OK ").expect("open succeeds");
+            respond(&h, &format!("NEXT {id} 100"));
+            respond(&h, &format!("CLOSE {id}"));
+        }
+        assert!(respond(&h, "STATS").contains("graph_version=0"));
+        let reply = respond(&h, "UPDATE set 0 3 5");
+        assert_eq!(
+            reply,
+            "OK version=1 touched_pairs=1 plans_invalidated=1 \
+             prefix_entries_invalidated=1 sessions_fenced=0\n"
+        );
+        let stats = respond(&h, "STATS");
+        assert!(stats.contains("graph_version=1"), "{stats}");
+        assert!(
+            stats.contains("graph_updates=1 plans_invalidated=1 prefix_entries_invalidated=1"),
+            "{stats}"
+        );
+        // The unaffected query re-opens as a plan hit.
+        let id = respond(&h, "OPEN topk C -> E");
+        assert!(id.starts_with("OK "), "{id:?}");
+        assert!(respond(&h, "STATS").contains("plan_hits=1"));
     }
 
     #[test]

@@ -78,6 +78,12 @@ pub struct Session {
     /// Buffer length at the last cache publish (starts at the cached
     /// prefix length: what the cache gave us needs no republishing).
     published_len: usize,
+    /// Set when a graph delta invalidated this session's plan: the
+    /// store version the session fell behind at. A fenced session
+    /// answers every further `next` with `stale-version` (its parked
+    /// stream and buffer describe the pre-delta graph) and never
+    /// publishes to the result cache again.
+    fenced_at: Option<u64>,
 }
 
 /// One batch of session progress, as reported to the engine.
@@ -114,12 +120,38 @@ impl Session {
             buffer,
             pos: 0,
             complete,
+            fenced_at: None,
         }
     }
 
     /// The result-cache key this session reads and publishes.
     pub(crate) fn cache_key(&self) -> CacheKey {
         (self.algo.name(), self.canonical.clone())
+    }
+
+    /// The shared plan this session enumerates from (the invalidation
+    /// walk checks its affectedness).
+    pub(crate) fn plan(&self) -> &Arc<QueryPlan> {
+        &self.plan
+    }
+
+    /// Fences the session at store version `version`: its plan was
+    /// invalidated by a graph delta, so its stream can no longer be
+    /// extended consistently. Fencing is sticky and idempotent (the
+    /// first fencing version is kept — that is when the session's view
+    /// diverged).
+    pub(crate) fn fence(&mut self, version: u64) {
+        self.fenced_at.get_or_insert(version);
+    }
+
+    /// The store version this session fell behind at, if fenced.
+    pub(crate) fn fenced_at(&self) -> Option<u64> {
+        self.fenced_at
+    }
+
+    /// The graph version the session's plan was stamped against.
+    pub(crate) fn plan_version(&self) -> u64 {
+        self.plan.graph_version()
     }
 
     /// Produces the next `n` matches (fewer at stream end), advancing
@@ -213,6 +245,12 @@ impl Session {
     /// into spurious cache hits. (Empty + complete — a query with no
     /// matches at all — is real information and is kept.)
     pub(crate) fn final_prefix(&self) -> Option<CachedPrefix> {
+        // A fenced session's buffer describes the pre-delta graph;
+        // publishing it would resurrect exactly the entries the
+        // invalidation pass just dropped.
+        if self.fenced_at.is_some() {
+            return None;
+        }
         if self.buffer.is_empty() && !self.complete {
             return None;
         }
@@ -300,6 +338,17 @@ impl SessionTable {
     /// Removes and returns a session slot.
     pub(crate) fn remove(&self, id: SessionId) -> Option<Arc<SessionSlot>> {
         self.slots.lock().expect("session table lock").remove(&id)
+    }
+
+    /// A snapshot of every live slot (the delta-invalidation walk;
+    /// TTL clocks are not touched).
+    pub(crate) fn all_slots(&self) -> Vec<Arc<SessionSlot>> {
+        self.slots
+            .lock()
+            .expect("session table lock")
+            .values()
+            .cloned()
+            .collect()
     }
 
     /// Evicts sessions idle longer than `ttl`, returning the evicted

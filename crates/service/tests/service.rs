@@ -64,14 +64,12 @@ fn concurrent_clients_cross_validate_against_topk_full() {
     let (g, queries) = synthetic();
     let handle = handle_for(
         &g,
-        ServiceConfig {
-            workers: 4,
-            parallel: ParallelPolicy {
+        ServiceConfig::new()
+            .with_workers(4)
+            .with_parallel(ParallelPolicy {
                 shards: 2,
                 ..ParallelPolicy::default()
-            },
-            ..ServiceConfig::default()
-        },
+            }),
     );
     let expected: Vec<Vec<Score>> = queries.iter().map(|q| scores(&oracle(&g, q, 40))).collect();
     let expected = Arc::new(expected);
@@ -133,14 +131,11 @@ fn par_sessions_stream_exactly_topk_full() {
     for shards in [1usize, 3] {
         let handle = handle_for(
             &g,
-            ServiceConfig {
-                parallel: ParallelPolicy {
-                    shards,
-                    batch: 8,
-                    engine: ShardEngine::Full,
-                },
-                ..ServiceConfig::default()
-            },
+            ServiceConfig::new().with_parallel(ParallelPolicy {
+                shards,
+                batch: 8,
+                engine: ShardEngine::Full,
+            }),
         );
         for q in &queries {
             let want = oracle(&g, q, 40);
@@ -170,15 +165,13 @@ fn one_par_session_hammered_by_concurrent_clients() {
     let (g, queries) = synthetic();
     let handle = handle_for(
         &g,
-        ServiceConfig {
-            workers: 4,
-            parallel: ParallelPolicy {
+        ServiceConfig::new()
+            .with_workers(4)
+            .with_parallel(ParallelPolicy {
                 shards: 4,
                 batch: 4,
                 engine: ShardEngine::Full,
-            },
-            ..ServiceConfig::default()
-        },
+            }),
     );
     let query = &queries[1];
     let want = oracle(&g, query, 1_000_000);
@@ -414,10 +407,7 @@ fn concurrent_opens_of_one_query_share_one_plan() {
     let handle = QueryEngine::new(
         g.interner().clone(),
         Arc::clone(&store),
-        ServiceConfig {
-            workers: 4,
-            ..ServiceConfig::default()
-        },
+        ServiceConfig::new().with_workers(4),
     );
     let want = oracle(&g, query, 100);
     let barrier = Arc::new(std::sync::Barrier::new(8));
@@ -454,11 +444,9 @@ fn session_cap_holds_under_concurrent_opens() {
     let g = citation_graph();
     let handle = handle_for(
         &g,
-        ServiceConfig {
-            max_sessions: 4,
-            session_ttl: Duration::from_secs(3600), // nothing to reclaim
-            ..ServiceConfig::default()
-        },
+        ServiceConfig::new()
+            .with_max_sessions(4)
+            .with_session_ttl(Duration::from_secs(3600)), // nothing to reclaim
     );
     let threads: Vec<_> = (0..8)
         .map(|_| {
@@ -486,10 +474,7 @@ fn idle_sessions_are_evicted_and_publish_their_prefix() {
     let g = citation_graph();
     let handle = handle_for(
         &g,
-        ServiceConfig {
-            session_ttl: Duration::from_millis(30),
-            ..ServiceConfig::default()
-        },
+        ServiceConfig::new().with_session_ttl(Duration::from_millis(30)),
     );
     let id = handle.open("C -> E\nC -> S", Algo::TopkEn).unwrap();
     handle.next(id, 2).unwrap();
@@ -634,4 +619,60 @@ fn tcp_sessions_are_isolated_between_clients() {
     let b3 = b.next(qb, 100);
     assert!(b3.exhausted);
     server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Live graph updates through the public API
+// ---------------------------------------------------------------------
+
+#[test]
+fn graph_update_invalidates_delta_aware_through_the_public_api() {
+    use ktpm_graph::{GraphDelta, NodeId};
+    use ktpm_storage::LiveStore;
+
+    let g = citation_graph();
+    let handle = QueryEngine::new(
+        g.interner().clone(),
+        LiveStore::new(g.clone()).into_shared(),
+        ServiceConfig::new(),
+    );
+    let unaffected = "C -> E"; // reads only the (C,E) closure table
+    let affected = "C -> E\nC -> S"; // reads (C,S), which the delta touches
+
+    // Warm both queries to completion so plans and prefixes are cached.
+    for q in [unaffected, affected] {
+        let id = handle.open(q, Algo::Topk).unwrap();
+        assert!(handle.next(id, 100).unwrap().exhausted);
+        handle.close(id).unwrap();
+    }
+
+    // v1 -> v4 carries weight 5: only the (C,S) table changes.
+    let delta = GraphDelta::new().set_weight(NodeId(0), NodeId(3), 5);
+    let report = handle.apply_delta(&delta).unwrap();
+    assert_eq!(report.version, 1);
+    assert_eq!(report.plans_invalidated, 1);
+    assert_eq!(report.prefix_entries_invalidated, 1);
+    assert_eq!(handle.stats().graph_version, 1);
+
+    // The unaffected query survives warm: plan hit + cache hit.
+    let before = handle.stats().metrics;
+    let id = handle.open(unaffected, Algo::Topk).unwrap();
+    handle.next(id, 100).unwrap();
+    handle.close(id).unwrap();
+    let after = handle.stats().metrics;
+    assert_eq!(after.plan_hits, before.plan_hits + 1);
+    assert_eq!(after.cache_hits, before.cache_hits + 1);
+
+    // The affected query rebuilds and streams the post-delta oracle.
+    let (mutated, _) = g.apply_delta(&delta).unwrap();
+    let want = oracle(&mutated, affected, 100);
+    let id = handle.open(affected, Algo::Topk).unwrap();
+    let got = handle.next(id, 100).unwrap();
+    handle.close(id).unwrap();
+    assert_eq!(got.matches, want);
+    assert_eq!(
+        handle.stats().metrics.plan_misses,
+        3,
+        "affected re-open rebuilt"
+    );
 }

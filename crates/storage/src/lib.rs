@@ -5,7 +5,7 @@
 //! node sorted by distance), read back block by block with I/O
 //! accounting.
 //!
-//! Three interchangeable backends implement [`ClosureSource`]:
+//! Four interchangeable backends implement [`ClosureSource`]:
 //!
 //! * [`FileStore`] — a single binary file with real positioned block
 //!   reads ([`write_store`] serializes a
@@ -15,13 +15,17 @@
 //!   logical I/O counters, for tests and pure-CPU benchmarks;
 //! * [`OnDemandStore`] — no precomputation at all: pair tables are
 //!   materialized lazily from the data graph, one SSSP sweep per source
-//!   label (§5 "Managing Closure Size").
+//!   label (§5 "Managing Closure Size");
+//! * [`LiveStore`] — the mutable backend: graph + closure behind one
+//!   lock, accepting [`ktpm_graph::GraphDelta`]s with incremental
+//!   closure repair and a monotonic [`ClosureSource::graph_version`].
 //!
 //! All counters live in [`IoStats`] snapshots so experiments can report
 //! edges/blocks/bytes read per phase (Figures 6(c)–6(f)).
 
 mod format;
 mod iostats;
+mod live;
 mod mem;
 mod ondemand;
 mod reader;
@@ -31,11 +35,13 @@ mod writer;
 
 pub use format::FormatVersion;
 pub use iostats::{IoSnapshot, IoStats};
+pub use live::LiveStore;
 pub use mem::MemStore;
 pub use ondemand::OnDemandStore;
 pub use reader::FileStore;
 pub use shard::ShardSpec;
 pub use source::{
-    merge_sorted_blocks, ClosureSource, EdgeCursor, SharedSource, SourceRef, StorageError,
+    merge_sorted_blocks, ClosureSource, DeltaReport, EdgeCursor, SharedSource, SourceRef,
+    StorageError,
 };
 pub use writer::{write_store, write_store_versioned};

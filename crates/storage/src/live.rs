@@ -1,0 +1,295 @@
+//! The mutable [`ClosureSource`]: an in-memory store that accepts
+//! [`GraphDelta`]s.
+//!
+//! [`LiveStore`] pairs the data graph with its closure tables behind one
+//! `RwLock`. Reads (the whole [`ClosureSource`] surface) take the shared
+//! lock and snapshot what they need eagerly — cursors copy their entry
+//! run up front, exactly like [`crate::MemStore`] — so an update can
+//! never tear an in-flight block stream. [`LiveStore::apply_delta`]
+//! takes the exclusive lock, validates and applies the delta to the
+//! graph, repairs the closure incrementally
+//! ([`ktpm_closure::ClosureTables::repair`]), and bumps the monotonic
+//! graph version the serving layer stamps into plans and cache entries.
+
+use crate::format::{DEFAULT_BLOCK_EDGES, L_ENTRY_BYTES};
+use crate::iostats::{IoSnapshot, IoStats};
+use crate::source::{ClosureSource, DeltaReport, EdgeCursor, StorageError};
+use ktpm_closure::ClosureTables;
+use ktpm_graph::{Dist, GraphDelta, LabelId, LabeledGraph, NodeId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+struct LiveInner {
+    graph: LabeledGraph,
+    tables: ClosureTables,
+}
+
+/// An in-memory closure store that accepts live graph updates.
+pub struct LiveStore {
+    inner: RwLock<LiveInner>,
+    version: AtomicU64,
+    io: IoStats,
+    block_edges: usize,
+}
+
+impl LiveStore {
+    /// Computes the closure of `graph` and wraps both.
+    pub fn new(graph: LabeledGraph) -> Self {
+        let tables = ClosureTables::compute(&graph);
+        Self::with_tables(graph, tables)
+    }
+
+    /// Wraps a graph with already-computed closure tables.
+    pub fn with_tables(graph: LabeledGraph, tables: ClosureTables) -> Self {
+        LiveStore {
+            inner: RwLock::new(LiveInner { graph, tables }),
+            version: AtomicU64::new(0),
+            io: IoStats::new(),
+            block_edges: DEFAULT_BLOCK_EDGES,
+        }
+    }
+
+    /// Sets the cursor block size (in `L` entries); returns `self`.
+    pub fn with_block_edges(mut self, block_edges: usize) -> Self {
+        self.block_edges = block_edges.max(1);
+        self
+    }
+
+    /// A clone of the current graph (tests and diagnostics).
+    pub fn graph(&self) -> LabeledGraph {
+        self.inner
+            .read()
+            .expect("live store poisoned")
+            .graph
+            .clone()
+    }
+
+    /// Wraps the store in a [`crate::SharedSource`] for concurrent use.
+    pub fn into_shared(self) -> crate::SharedSource {
+        std::sync::Arc::new(self)
+    }
+}
+
+impl ClosureSource for LiveStore {
+    fn num_nodes(&self) -> usize {
+        self.inner
+            .read()
+            .expect("live store poisoned")
+            .tables
+            .num_nodes()
+    }
+
+    fn node_label(&self, v: NodeId) -> LabelId {
+        self.inner
+            .read()
+            .expect("live store poisoned")
+            .tables
+            .label(v)
+    }
+
+    fn pair_keys(&self) -> Vec<(LabelId, LabelId)> {
+        let inner = self.inner.read().expect("live store poisoned");
+        let mut keys: Vec<_> = inner.tables.iter_pairs().map(|(k, _)| k).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    fn load_d(&self, a: LabelId, b: LabelId) -> Vec<(NodeId, Dist)> {
+        let inner = self.inner.read().expect("live store poisoned");
+        let Some(t) = inner.tables.pair(a, b) else {
+            return Vec::new();
+        };
+        let out: Vec<(NodeId, Dist)> = t
+            .dst_nodes()
+            .iter()
+            .map(|&v| (v, t.min_incoming_dist(v).expect("non-empty group")))
+            .collect();
+        self.io.add_block((out.len() * 8 + 4) as u64);
+        self.io.add_d_entries(out.len() as u64);
+        out
+    }
+
+    fn load_e(&self, a: LabelId, b: LabelId) -> Vec<(NodeId, NodeId, Dist)> {
+        let inner = self.inner.read().expect("live store poisoned");
+        let Some(t) = inner.tables.pair(a, b) else {
+            return Vec::new();
+        };
+        let out = t.min_out().to_vec();
+        self.io.add_block((out.len() * 12 + 4) as u64);
+        self.io.add_e_entries(out.len() as u64);
+        out
+    }
+
+    fn load_pair(&self, a: LabelId, b: LabelId) -> Vec<(NodeId, NodeId, Dist)> {
+        let inner = self.inner.read().expect("live store poisoned");
+        let Some(t) = inner.tables.pair(a, b) else {
+            return Vec::new();
+        };
+        let out: Vec<_> = t.iter_edges().collect();
+        self.io.add_block((out.len() * L_ENTRY_BYTES) as u64);
+        self.io.add_edges(out.len() as u64);
+        out
+    }
+
+    fn incoming_cursor(&self, a: LabelId, v: NodeId) -> Box<dyn EdgeCursor + Send> {
+        let inner = self.inner.read().expect("live store poisoned");
+        // Snapshot eagerly: the cursor stays coherent with the graph
+        // version it was opened against even if a delta lands mid-stream.
+        let entries = inner
+            .tables
+            .pair(a, inner.tables.label(v))
+            .map(|t| t.incoming(v).to_vec())
+            .unwrap_or_default();
+        Box::new(LiveCursor {
+            io: self.io.clone(),
+            entries,
+            pos: 0,
+            block_edges: self.block_edges,
+        })
+    }
+
+    fn lookup_dist(&self, u: NodeId, v: NodeId) -> Option<Dist> {
+        self.inner
+            .read()
+            .expect("live store poisoned")
+            .tables
+            .dist(u, v)
+    }
+
+    fn io(&self) -> IoSnapshot {
+        self.io.snapshot()
+    }
+
+    fn reset_io(&self) {
+        self.io.reset();
+    }
+
+    fn graph_version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    fn apply_delta(&self, delta: &GraphDelta) -> Result<DeltaReport, StorageError> {
+        let mut inner = self.inner.write().expect("live store poisoned");
+        let (new_graph, effects) = inner.graph.apply_delta(delta)?;
+        let outcome = inner.tables.repair(&new_graph, &effects);
+        inner.graph = new_graph;
+        // Publish the version while still holding the write lock so
+        // readers never observe new tables under an old version.
+        let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
+        Ok(DeltaReport {
+            version,
+            touched_pairs: outcome.touched_pairs,
+            stats: outcome.stats,
+        })
+    }
+}
+
+struct LiveCursor {
+    io: IoStats,
+    entries: Vec<(NodeId, Dist)>,
+    pos: usize,
+    block_edges: usize,
+}
+
+impl EdgeCursor for LiveCursor {
+    fn next_block(&mut self) -> Vec<(NodeId, Dist)> {
+        if self.pos >= self.entries.len() {
+            return Vec::new();
+        }
+        let take = (self.entries.len() - self.pos).min(self.block_edges);
+        let out = self.entries[self.pos..self.pos + take].to_vec();
+        self.pos += take;
+        self.io.add_block((take * L_ENTRY_BYTES) as u64);
+        self.io.add_edges(take as u64);
+        out
+    }
+
+    fn remaining(&self) -> usize {
+        self.entries.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+    use ktpm_graph::fixtures::paper_graph;
+
+    #[test]
+    fn starts_at_version_zero_and_bumps_per_delta() {
+        let g = paper_graph();
+        let e = g.edges().next().unwrap();
+        let s = LiveStore::new(g);
+        assert_eq!(s.graph_version(), 0);
+        let r1 = s
+            .apply_delta(&GraphDelta::new().set_weight(e.from, e.to, 5))
+            .unwrap();
+        assert_eq!(r1.version, 1);
+        assert_eq!(s.graph_version(), 1);
+        let r2 = s
+            .apply_delta(&GraphDelta::new().set_weight(e.from, e.to, 1))
+            .unwrap();
+        assert_eq!(r2.version, 2);
+    }
+
+    #[test]
+    fn rejected_delta_leaves_state_untouched() {
+        let g = paper_graph();
+        let s = LiveStore::new(g);
+        let err = s
+            .apply_delta(&GraphDelta::new().delete_edge(NodeId(0), NodeId(12)))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::DeltaRejected(_)));
+        assert_eq!(s.graph_version(), 0);
+    }
+
+    #[test]
+    fn reads_match_memstore_after_update() {
+        let g = paper_graph();
+        let e = g.edges().next().unwrap();
+        let live = LiveStore::new(g.clone());
+        live.apply_delta(&GraphDelta::new().set_weight(e.from, e.to, 3))
+            .unwrap();
+        let (g2, _) = g
+            .apply_delta(&GraphDelta::new().set_weight(e.from, e.to, 3))
+            .unwrap();
+        let cold = MemStore::new(ClosureTables::compute(&g2));
+        for (a, b) in cold.pair_keys() {
+            assert_eq!(live.load_d(a, b), cold.load_d(a, b));
+            assert_eq!(live.load_e(a, b), cold.load_e(a, b));
+            let mut lp = live.load_pair(a, b);
+            let mut cp = cold.load_pair(a, b);
+            lp.sort_unstable();
+            cp.sort_unstable();
+            assert_eq!(lp, cp);
+        }
+        assert_eq!(live.pair_keys(), cold.pair_keys());
+    }
+
+    #[test]
+    fn snapshot_backends_reject_updates() {
+        let g = paper_graph();
+        let e = g.edges().next().unwrap();
+        let mem = MemStore::new(ClosureTables::compute(&g));
+        let err = mem
+            .apply_delta(&GraphDelta::new().set_weight(e.from, e.to, 2))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::UpdatesUnsupported(_)));
+        assert_eq!(mem.graph_version(), 0);
+    }
+
+    #[test]
+    fn open_cursor_survives_concurrent_update() {
+        let g = paper_graph();
+        let a = g.interner().get("a").unwrap();
+        let e = g.edges().next().unwrap();
+        let s = LiveStore::new(g).with_block_edges(1);
+        let mut cur = s.incoming_cursor(a, NodeId(4));
+        let first = cur.next_block();
+        s.apply_delta(&GraphDelta::new().set_weight(e.from, e.to, 9))
+            .unwrap();
+        // The cursor keeps streaming its opening-time snapshot.
+        let rest = cur.next_block();
+        assert_eq!(first.len() + rest.len() + cur.remaining(), 2);
+    }
+}

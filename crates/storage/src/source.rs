@@ -2,12 +2,13 @@
 //! algorithm consumes — plus cursor utilities.
 
 use crate::iostats::IoSnapshot;
-use ktpm_graph::{Dist, LabelId, NodeId};
+use ktpm_graph::{DeltaError, Dist, GraphDelta, LabelId, NodeId};
 use std::fmt;
 use std::sync::Arc;
 
 /// Errors raised by storage backends.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum StorageError {
     /// Underlying I/O failure.
     Io(std::io::Error),
@@ -25,6 +26,12 @@ pub enum StorageError {
         /// Bytes the reader needed at `offset`.
         needed: usize,
     },
+    /// The backend is an immutable snapshot and cannot apply graph
+    /// deltas. Carries the backend name for diagnostics.
+    UpdatesUnsupported(&'static str),
+    /// A delta was rejected before any state changed (unknown node,
+    /// zero weight, missing/duplicate edge, ...).
+    DeltaRejected(DeltaError),
 }
 
 impl fmt::Display for StorageError {
@@ -37,6 +44,11 @@ impl fmt::Display for StorageError {
                 "corrupt store: needed {needed} byte(s) at offset {offset} \
                  (truncated or damaged snapshot)"
             ),
+            StorageError::UpdatesUnsupported(backend) => write!(
+                f,
+                "graph updates unsupported: {backend} store is an immutable snapshot"
+            ),
+            StorageError::DeltaRejected(e) => write!(f, "delta rejected: {e}"),
         }
     }
 }
@@ -47,6 +59,26 @@ impl From<std::io::Error> for StorageError {
     fn from(e: std::io::Error) -> Self {
         StorageError::Io(e)
     }
+}
+
+impl From<DeltaError> for StorageError {
+    fn from(e: DeltaError) -> Self {
+        StorageError::DeltaRejected(e)
+    }
+}
+
+/// What one applied delta did to a live store — the invalidation signal
+/// the serving layer consumes.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaReport {
+    /// Store version after the delta (monotonic, starts at 0).
+    pub version: u64,
+    /// Label pairs whose closure tables changed, ascending. A cached
+    /// plan is stale iff one of its query-tree label pairs is listed
+    /// here (wildcards match any label).
+    pub touched_pairs: Vec<(LabelId, LabelId)>,
+    /// Repair work counters.
+    pub stats: ktpm_closure::RepairStats,
 }
 
 /// A block-at-a-time cursor over `Lᵅᵥ`: the incoming closure edges of one
@@ -146,6 +178,22 @@ pub trait ClosureSource: Send + Sync {
 
     /// Zeroes the I/O counters.
     fn reset_io(&self);
+
+    /// Monotonic version of the underlying graph, bumped once per
+    /// applied delta. Immutable snapshot backends always report 0 —
+    /// their graph can never change, so every plan stamped against them
+    /// stays current forever.
+    fn graph_version(&self) -> u64 {
+        0
+    }
+
+    /// Applies a batch of graph mutations, repairing the closure tables
+    /// in place and returning what changed. Default: this backend is an
+    /// immutable snapshot ([`StorageError::UpdatesUnsupported`]); only
+    /// live backends ([`crate::LiveStore`]) override it.
+    fn apply_delta(&self, _delta: &GraphDelta) -> Result<DeltaReport, StorageError> {
+        Err(StorageError::UpdatesUnsupported("snapshot"))
+    }
 }
 
 /// Merges pre-sorted `(src, dist)` blocks from several cursors into a
@@ -177,6 +225,7 @@ mod tests {
         // layer's foundation.
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<crate::MemStore>();
+        assert_send_sync::<crate::LiveStore>();
         assert_send_sync::<crate::OnDemandStore>();
         assert_send_sync::<crate::FileStore>();
         assert_send_sync::<SharedSource>();

@@ -48,10 +48,10 @@ use ktpm_core::{
     ScoredMatch, ShardEngine,
 };
 use ktpm_exec::WorkerPool;
-use ktpm_graph::LabelInterner;
+use ktpm_graph::{GraphDelta, LabelInterner};
 use ktpm_query::{ResolvedQuery, TreeQuery};
-use ktpm_service::PlanCache;
-use ktpm_storage::SharedSource;
+use ktpm_service::{PlanCache, ServiceError};
+use ktpm_storage::{DeltaReport, SharedSource, StorageError};
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
@@ -59,13 +59,23 @@ use std::sync::{Arc, Mutex};
 pub use ktpm_core::{AlgoCaps, MatchStream, StreamState};
 
 /// Errors from the facade.
+///
+/// `#[non_exhaustive]`: match with a wildcard arm — new variants (like
+/// [`ApiError::Storage`]) keep appearing as the API grows.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ApiError {
     /// The query text failed to parse.
     BadQuery(String),
     /// A builder option the selected algorithm does not support (e.g.
     /// `.shards(…)` on a non-sharded engine; see [`Algo::caps`]).
     Unsupported(String),
+    /// The closure store rejected an operation — a graph delta on a
+    /// snapshot store, or a delta naming a missing edge or zero weight.
+    Storage(StorageError),
+    /// A serving-layer error, for callers driving a
+    /// [`ktpm_service::ServiceHandle`] alongside the facade.
+    Service(ServiceError),
 }
 
 impl fmt::Display for ApiError {
@@ -73,11 +83,25 @@ impl fmt::Display for ApiError {
         match self {
             ApiError::BadQuery(m) => write!(f, "bad query: {m}"),
             ApiError::Unsupported(m) => write!(f, "unsupported option: {m}"),
+            ApiError::Storage(e) => write!(f, "storage: {e}"),
+            ApiError::Service(e) => write!(f, "service: {e}"),
         }
     }
 }
 
 impl std::error::Error for ApiError {}
+
+impl From<StorageError> for ApiError {
+    fn from(e: StorageError) -> Self {
+        ApiError::Storage(e)
+    }
+}
+
+impl From<ServiceError> for ApiError {
+    fn from(e: ServiceError) -> Self {
+        ApiError::Service(e)
+    }
+}
 
 /// A query executor over one closure store: the entry point of the
 /// facade. Cheap to construct and to share (`&Executor` is all a
@@ -144,6 +168,30 @@ impl Executor {
             plan: None,
             deferred_err: None,
         }
+    }
+
+    /// Applies a [`GraphDelta`] to the underlying store, which must
+    /// accept updates (e.g. [`ktpm_storage::LiveStore`]; snapshot
+    /// stores return [`StorageError::UpdatesUnsupported`] wrapped in
+    /// [`ApiError::Storage`]). Returns the store's repair report: the
+    /// new graph version and the closure-table label pairs the delta
+    /// actually changed.
+    ///
+    /// Plans are snapshots. A [`QueryPlan`] handle built before the
+    /// delta (via [`Executor::plan_for`] or [`QueryBuilder::plan_cache`])
+    /// still describes the pre-delta graph — drop affected plans
+    /// yourself (a caller-held [`PlanCache`] does it delta-aware with
+    /// [`PlanCache::invalidate_affected`]), or use the serving layer
+    /// ([`ktpm_service::ServiceHandle::apply_delta`]), which invalidates
+    /// its caches and fences affected sessions automatically.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Result<DeltaReport, ApiError> {
+        Ok(self.source.apply_delta(delta)?)
+    }
+
+    /// The store's current graph version (0 for snapshot stores; bumped
+    /// by every applied delta).
+    pub fn graph_version(&self) -> u64 {
+        self.source.graph_version()
     }
 
     /// A shareable [`QueryPlan`] for `text` over this executor's store
@@ -397,6 +445,64 @@ mod tests {
         let err = e.query_resolved(rq).plan_cache(&cache).topk().unwrap_err();
         assert!(matches!(err, ApiError::Unsupported(_)), "{err}");
         assert_eq!(cache.lock().unwrap().len(), 0, "nothing was cached");
+    }
+
+    #[test]
+    fn apply_delta_updates_live_stores_and_errors_on_snapshots() {
+        use ktpm_graph::NodeId;
+        use ktpm_storage::LiveStore;
+        let delta = GraphDelta::new().set_weight(NodeId(0), NodeId(3), 5);
+
+        // Snapshot store: an explicit, typed refusal.
+        let e = exec();
+        assert!(matches!(
+            e.apply_delta(&delta),
+            Err(ApiError::Storage(StorageError::UpdatesUnsupported(_)))
+        ));
+        assert_eq!(e.graph_version(), 0);
+
+        // Live store: the version bumps and, after invalidating the
+        // affected plan, streams match a cold build of the mutated
+        // graph exactly.
+        let g = citation_graph();
+        let e = Executor::new(
+            g.interner().clone(),
+            LiveStore::new(g.clone()).into_shared(),
+        );
+        let cache = Mutex::new(PlanCache::new(8));
+        let before = e
+            .query("C -> S")
+            .unwrap()
+            .plan_cache(&cache)
+            .topk()
+            .unwrap();
+        let report = e.apply_delta(&delta).unwrap();
+        assert_eq!(report.version, 1);
+        assert_eq!(e.graph_version(), 1);
+        assert_eq!(
+            cache
+                .lock()
+                .unwrap()
+                .invalidate_affected(&report.touched_pairs, report.version),
+            1
+        );
+        let after = e
+            .query("C -> S")
+            .unwrap()
+            .plan_cache(&cache)
+            .topk()
+            .unwrap();
+        let (mutated, _) = g.apply_delta(&delta).unwrap();
+        let cold = Executor::new(
+            mutated.interner().clone(),
+            MemStore::new(ClosureTables::compute(&mutated)).into_shared(),
+        )
+        .query("C -> S")
+        .unwrap()
+        .topk()
+        .unwrap();
+        assert_eq!(after, cold, "post-delta stream equals cold rebuild");
+        assert_ne!(after, before, "the delta moved a match's score");
     }
 
     #[test]

@@ -20,8 +20,18 @@
 //!
 //! options for `serve`:
 //!   --addr <host:port>  listen address (default 127.0.0.1:7878)
-//!   --store <path>      use a persisted closure store instead of computing
+//!   --store <path>      use a persisted closure store instead of computing.
+//!                       Persisted and on-demand stores are snapshots:
+//!                       the `UPDATE` verb answers ERR update-unsupported
+//!                       on them. The default (compute in memory) serves
+//!                       a live store that accepts updates.
 //!   --on-demand         skip closure precomputation (lazy per-label SSSP)
+//!   --invalidation <delta-aware|flush-all>
+//!                       how an applied UPDATE invalidates cached plans,
+//!                       result prefixes and sessions: `delta-aware`
+//!                       (default) drops only state whose query reads a
+//!                       closure table the delta touched; `flush-all`
+//!                       drops everything
 //!   --workers <n>       worker threads (default: CPU count, capped at 16)
 //!   --event-loop        serve with the `ktpm-net` readiness loop instead
 //!                       of a thread per connection: one reactor thread
@@ -103,7 +113,13 @@
 //! <- OK closed
 //! -> STATS
 //! <- OK key=value ...
-//! <- ERR <message>            on any failure; the connection stays open
+//! -> UPDATE <op>[; <op> ...]  live graph mutation, ops: set <u> <v> <w>
+//!                             | ins <u> <v> <w> | del <u> <v>
+//! <- OK version=<v> ...       the new graph version + invalidation counts
+//! <- ERR <code> <detail>      on any failure; the connection stays open.
+//!                             Codes are a stable taxonomy (bad-request,
+//!                             bad-query, stale-version, overloaded, ...);
+//!                             see `ktpm::service::protocol`.
 //! ```
 //!
 //! Sessions are resumable cursors: `NEXT` continues exactly where the
@@ -136,7 +152,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!("usage: ktpm closure <graph.txt> <store.tc>");
             eprintln!("       ktpm query <graph.txt> <query.txt> [-k n] [--store p] [--algo a] [--parallel n] [--repeat n] [--on-demand]");
-            eprintln!("       ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--workers n] [--parallel n] [--ttl secs] [--plan-cache n] [--plan-cache-bytes n] [--warm file] [--event-loop] [--net-workers n] [--pipeline n] [--write-buf bytes] [--idle-timeout secs] [--sweep-interval-ms n]");
+            eprintln!("       ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--workers n] [--parallel n] [--ttl secs] [--plan-cache n] [--plan-cache-bytes n] [--warm file] [--invalidation policy] [--event-loop] [--net-workers n] [--pipeline n] [--write-buf bytes] [--idle-timeout secs] [--sweep-interval-ms n]");
             return ExitCode::from(2);
         }
     };
@@ -378,6 +394,19 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 config.plan_cache_capacity =
                     it.next().ok_or("--plan-cache needs a count")?.parse()?
             }
+            "--invalidation" => {
+                config.invalidation =
+                    match it.next().ok_or("--invalidation needs a policy")?.as_str() {
+                        "delta-aware" => ktpm::service::InvalidationPolicy::DeltaAware,
+                        "flush-all" => ktpm::service::InvalidationPolicy::FlushAll,
+                        other => {
+                            return Err(format!(
+                        "unknown invalidation policy {other:?} (expected delta-aware | flush-all)"
+                    )
+                            .into())
+                        }
+                    }
+            }
             "--plan-cache-bytes" => {
                 // 0 means "off" here exactly as in STATS
                 // (plan_cache_bytes_limit=0): Some(0) would instead
@@ -393,13 +422,20 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     let [graph_path] = positional.as_slice() else {
         return Err(
-            "usage: ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--workers n] [--parallel n] [--ttl secs] [--plan-cache n] [--plan-cache-bytes n] [--warm file] [--event-loop] [--net-workers n] [--pipeline n] [--write-buf bytes] [--idle-timeout secs] [--sweep-interval-ms n]"
+            "usage: ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--workers n] [--parallel n] [--ttl secs] [--plan-cache n] [--plan-cache-bytes n] [--warm file] [--invalidation policy] [--event-loop] [--net-workers n] [--pipeline n] [--write-buf bytes] [--idle-timeout secs] [--sweep-interval-ms n]"
                 .into(),
         );
     };
     let g = load_graph(graph_path)?;
     let t = std::time::Instant::now();
-    let source: ktpm::storage::SharedSource = open_store(&g, &store_path, on_demand)?.into();
+    // Unlike `query`, the default in-memory store here is a LiveStore:
+    // same closure computation, but the UPDATE verb works. Persisted
+    // and on-demand stores stay snapshots (UPDATE answers
+    // ERR update-unsupported).
+    let source: ktpm::storage::SharedSource = match (&store_path, on_demand) {
+        (None, false) => LiveStore::new(g.clone()).into_shared(),
+        _ => open_store(&g, &store_path, on_demand)?.into(),
+    };
     let workers = config.workers;
     let handle = QueryEngine::new(g.interner().clone(), source, config);
     // Plan warm-up happens BEFORE the listener binds: the first client
@@ -440,7 +476,9 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         workers,
         t.elapsed()
     );
-    println!("protocol: OPEN <algo> <query> | NEXT <session> <n> | CLOSE <session> | STATS");
+    println!(
+        "protocol: OPEN <algo> <query> | NEXT <session> <n> | CLOSE <session> | STATS | UPDATE <ops>"
+    );
     // Serve until killed.
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));

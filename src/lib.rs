@@ -132,7 +132,8 @@ pub mod prelude {
     };
     pub use ktpm_exec::WorkerPool;
     pub use ktpm_graph::{
-        Dist, GraphBuilder, LabelId, LabeledGraph, NodeId, NodeRow, Score, INF_DIST, INF_SCORE,
+        Dist, GraphBuilder, GraphDelta, LabelId, LabeledGraph, NodeId, NodeRow, Score, INF_DIST,
+        INF_SCORE,
     };
     pub use ktpm_kgpm::{GraphMatch, KgpmContext, TreeMatcher};
     pub use ktpm_net::{EventServer, NetConfig};
@@ -141,12 +142,12 @@ pub mod prelude {
     };
     pub use ktpm_runtime::RuntimeGraph;
     pub use ktpm_service::{
-        NextBatch, PlanCache, QueryEngine, Server, ServiceConfig, ServiceHandle, SessionId,
-        WarmReport,
+        InvalidationPolicy, NextBatch, PlanCache, QueryEngine, Server, ServiceConfig,
+        ServiceHandle, SessionId, UpdateReport, WarmReport,
     };
     pub use ktpm_storage::{
-        write_store, write_store_versioned, ClosureSource, FileStore, FormatVersion, MemStore,
-        OnDemandStore, SharedSource,
+        write_store, write_store_versioned, ClosureSource, DeltaReport, FileStore, FormatVersion,
+        LiveStore, MemStore, OnDemandStore, SharedSource, StorageError,
     };
     pub use ktpm_workload::{generate, query_set, random_tree_query, GraphSpec, QuerySpec};
 }

@@ -13,7 +13,10 @@
 //!   `next_batch` interleaving with a resume split;
 //! * the closure store round-trips through the on-disk format;
 //! * truncated / bit-flipped snapshots of random workload graphs open
-//!   as `Err`, never a panic, and corrupted reads degrade gracefully.
+//!   as `Err`, never a panic, and corrupted reads degrade gracefully;
+//! * random graph-delta sequences applied to a `LiveStore` leave every
+//!   algorithm's stream element-for-element identical to a cold rebuild
+//!   of the mutated graph, after every single delta.
 
 use ktpm::prelude::*;
 use proptest::prelude::*;
@@ -428,6 +431,92 @@ proptest! {
             }
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn live_delta_sequences_stream_identical_to_cold_rebuild(
+        nodes in 10..40usize,
+        seed in 0..10_000u64,
+        size in 2..4usize,
+        k in 1..40usize,
+        raw_ops in proptest::collection::vec(
+            (0..3u32, 0..10_000u32, 0..10_000u32, 1..5u32),
+            1..8,
+        ),
+    ) {
+        // The live-update invariant: after EVERY delta in a random
+        // sequence (weight changes, inserts, deletes), a stream built
+        // over the incrementally-repaired LiveStore must be
+        // element-for-element identical — score, assignment, order —
+        // to one built over a cold closure recompute of the mutated
+        // graph, for all four algorithms. Raw ops are projected onto
+        // the current graph (set/del need an existing edge, ins a
+        // missing one); impossible ops are skipped.
+        let spec = GraphSpec {
+            nodes,
+            labels: 4,
+            label_skew: 0.5,
+            avg_out_degree: 2.0,
+            community: 20,
+            cross_fraction: 0.1,
+            weight_range: (1, 3),
+            seed,
+        };
+        let mut g = generate(&spec);
+        let query = random_tree_query(&g, QuerySpec {
+            size,
+            distinct_labels: false,
+            seed: seed ^ 0x1D17,
+        });
+        if let Some(q) = query {
+            let resolved = q.resolve(g.interner());
+            let live = Executor::new(
+                g.interner().clone(),
+                LiveStore::new(g.clone()).into_shared(),
+            );
+            let mut version = 0u64;
+            for (kind, a, b, w) in raw_ops {
+                let n = g.num_nodes() as u32;
+                let (u, v) = (NodeId(a % n), NodeId(b % n));
+                if u == v {
+                    continue;
+                }
+                let delta = match (kind, g.edge_weight(u, v)) {
+                    (0, Some(_)) => GraphDelta::new().set_weight(u, v, w),
+                    (1, None) => GraphDelta::new().insert_edge(u, v, w),
+                    (2, Some(_)) => GraphDelta::new().delete_edge(u, v),
+                    _ => continue,
+                };
+                let report = live.apply_delta(&delta).unwrap();
+                version += 1;
+                prop_assert_eq!(report.version, version);
+                let (g2, _) = g.apply_delta(&delta).unwrap();
+                g = g2;
+                let cold = Executor::new(
+                    g.interner().clone(),
+                    MemStore::new(ClosureTables::compute(&g)).into_shared(),
+                );
+                for algo in Algo::ALL {
+                    let want = cold
+                        .query_resolved(resolved.clone())
+                        .algo(algo)
+                        .k(k)
+                        .topk()
+                        .unwrap();
+                    let got = live
+                        .query_resolved(resolved.clone())
+                        .algo(algo)
+                        .k(k)
+                        .topk()
+                        .unwrap();
+                    prop_assert_eq!(
+                        got, want,
+                        "{:?} diverged from cold rebuild after delta {}",
+                        algo, version
+                    );
+                }
+            }
+        }
     }
 
     #[test]
