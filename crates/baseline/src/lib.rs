@@ -1,28 +1,10 @@
 //! # ktpm-baseline
 //!
-//! Reimplementations of the two state-of-the-art baselines the paper
-//! compares against (Gou & Chirkova, "Efficient algorithms for exact
-//! ranked twig-pattern matching over graphs", SIGMOD'08), built from the
-//! description in §1 of the VLDB'15 paper:
-//!
-//! * [`DpBEnumerator`] — **DP-B**: dynamic programming with a ranked
-//!   match stream (a priority queue of length up to `k`) at every node of
-//!   the run-time graph, enumerated in a pull-down fashion. Per
-//!   enumeration round it pays `O(d²_u + log k)` at each query node — the
-//!   `n_T (d_T + log k)` round cost the VLDB'15 paper improves to
-//!   `n_T + log k`.
-//! * [`DpPEnumerator`] — **DP-P**: DP-B run over a priority-order loaded
-//!   run-time graph, "always extending the partial match with the
-//!   smallest current score". It shares `ktpm-core`'s
-//!   [`ktpm_core::PriorityLoader`] with the *loose* bound
-//!   (`b̄s + e_v`, no remaining-edges term): the VLDB'15 paper's §4 states
-//!   its own trigger is strictly tighter. Whenever the certified bound is
-//!   insufficient, more blocks load and the DP structure is rebuilt and
-//!   replayed — reproducing DP-P's characteristic cheap-loading /
-//!   expensive-enumeration trade-off (visible in Figures 6(e)/6(f)).
+//! Compatibility shim: the DP-B / DP-P baseline enumerators (Gou &
+//! Chirkova, SIGMOD'08, rebuilt from §1 of the VLDB'15 paper) now live
+//! in `ktpm-core` so they sit behind the same [`ktpm_core::Algo`]
+//! registry and [`ktpm_core::build_stream`] dispatch as every other
+//! engine (`Algo::DpB` / `Algo::DpP`). This crate re-exports them for
+//! existing callers; new code should depend on `ktpm-core` directly.
 
-mod dpb;
-mod dpp;
-
-pub use dpb::DpBEnumerator;
-pub use dpp::DpPEnumerator;
+pub use ktpm_core::{DpBEnumerator, DpPEnumerator};

@@ -5,7 +5,7 @@
 //! Topk-EN fastest end-to-end for small k.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ktpm_bench::{prepare_dataset, queries_for, run_algo, Algo};
+use ktpm_bench::{paper_name, prepare_dataset, queries_for, run_algo, FIG6};
 use ktpm_workload::GraphSpec;
 use std::time::Duration;
 
@@ -18,15 +18,19 @@ fn four_systems(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_secs(1))
         .measurement_time(Duration::from_secs(3));
-    for algo in Algo::ALL {
-        group.bench_with_input(BenchmarkId::new(algo.name(), "T20"), &algo, |b, &algo| {
-            b.iter(|| {
-                queries
-                    .iter()
-                    .map(|q| run_algo(&ds, q, 20, algo).produced)
-                    .sum::<usize>()
-            })
-        });
+    for algo in FIG6 {
+        group.bench_with_input(
+            BenchmarkId::new(paper_name(algo), "T20"),
+            &algo,
+            |b, &algo| {
+                b.iter(|| {
+                    queries
+                        .iter()
+                        .map(|q| run_algo(&ds, q, 20, algo).produced)
+                        .sum::<usize>()
+                })
+            },
+        );
     }
     group.finish();
 
@@ -36,15 +40,19 @@ fn four_systems(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_secs(1))
         .measurement_time(Duration::from_secs(3));
-    for algo in Algo::ALL {
-        group.bench_with_input(BenchmarkId::new(algo.name(), "T20"), &algo, |b, &algo| {
-            b.iter(|| {
-                queries
-                    .iter()
-                    .map(|q| run_algo(&ds, q, 1, algo).produced)
-                    .sum::<usize>()
-            })
-        });
+    for algo in FIG6 {
+        group.bench_with_input(
+            BenchmarkId::new(paper_name(algo), "T20"),
+            &algo,
+            |b, &algo| {
+                b.iter(|| {
+                    queries
+                        .iter()
+                        .map(|q| run_algo(&ds, q, 1, algo).produced)
+                        .sum::<usize>()
+                })
+            },
+        );
     }
     group.finish();
 }

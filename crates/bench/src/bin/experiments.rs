@@ -25,18 +25,35 @@
 //! a `graph_update` section comparing the live-update warm path
 //! (incremental closure repair + delta-aware invalidation + warm
 //! re-open) against a cold rebuild of the mutated graph (CI asserts
-//! the warm path wins and the re-open is a plan hit), and the
+//! the warm path wins and the re-open is a plan hit), a `kgpm` section
+//! (cold vs warm pattern-plan opens, mtree vs mtree+ drivers, and a
+//! service re-open that CI asserts is a plan hit), and the
 //! `deviation_encoding` allocations/op gate. Written to
 //! `BENCH_parallel.json` at the workspace root and uploaded as a
 //! workflow artifact — the repo's perf trajectory, one point per CI
 //! run.
 
 use ktpm_bench::*;
+use ktpm_core::{KgpmStream, MatchStream, ParallelPolicy, QueryPlan, ShardEngine};
 use ktpm_exec::WorkerPool;
-use ktpm_kgpm::{KgpmContext, TreeMatcher};
 use ktpm_workload::{gd_family, gs_family, query_sizes, GraphSpec, DEFAULT_GD, DEFAULT_GS};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Figure 9's two kGPM configurations: mtree drives enumeration with
+/// the DP-B matcher (full-loading engine), mtree+ with this paper's
+/// Topk-EN (lazy engine). Same registry engine (`Algo::Kgpm`), same
+/// plan — only the tree driver differs.
+const KGPM_DRIVERS: [(&str, ShardEngine); 2] =
+    [("mtree", ShardEngine::Full), ("mtree+", ShardEngine::Lazy)];
+
+fn kgpm_policy(engine: ShardEngine) -> ParallelPolicy {
+    ParallelPolicy {
+        shards: 1,
+        engine,
+        ..ParallelPolicy::default()
+    }
+}
 
 struct Config {
     queries_per_set: usize,
@@ -155,12 +172,12 @@ fn fig6(cfg: &Config) {
             "k", "algo", "total", "top-1", "enum", "edges", "bytes"
         );
         for &k in &cfg.ks {
-            for algo in Algo::ALL {
+            for algo in FIG6 {
                 let m = run_algo_avg(&ds, &queries, k, algo);
                 println!(
                     "{:<4} {:<8} {:>12} {:>12} {:>12} {:>12} {:>12}",
                     k,
-                    algo.name(),
+                    paper_name(algo),
                     fmt_secs(m.total_secs()),
                     fmt_secs(m.top1_secs),
                     fmt_secs(m.enum_secs),
@@ -317,44 +334,54 @@ fn fig8(cfg: &Config) {
 
 /// Figure 9: kGPM — mtree vs mtree+.
 fn fig9(cfg: &Config) {
-    println!("== Figure 9: kGPM (mtree = DP-B inside, mtree+ = Topk-EN inside) ==");
+    println!("== Figure 9: kGPM (mtree = DP-B driver, mtree+ = Topk-EN driver) ==");
     let g = ktpm_workload::generate(&GraphSpec::power_law(cfg.kgpm_nodes, 17));
+    let ug = ktpm_graph::undirect(&g);
     let t = Instant::now();
-    let ctx = KgpmContext::new(&g);
+    let store = ktpm_storage::MemStore::new(ktpm_closure::ClosureTables::compute(&g))
+        .with_graph(g.clone())
+        .into_shared();
     println!(
-        "data graph {} nodes (undirected closure in {:?})",
+        "data graph {} nodes (closure in {:?})",
         g.num_nodes(),
         t.elapsed()
     );
-    // Q1..Q4: growing cyclic patterns.
-    let shapes = [(4usize, 1usize), (4, 2), (5, 2), (6, 3)];
-    let patterns: Vec<_> = shapes
-        .iter()
-        .enumerate()
-        .filter_map(|(i, &(n, extra))| {
-            ktpm_workload::random_graph_query(ctx.graph(), n, extra, 100 + i as u64)
-                .map(|q| (format!("Q{}", i + 1), q))
+    // Q1..Q4: the growing cyclic-pattern family, planned once each.
+    // Both drivers share the plan half (spanning-tree decomposition,
+    // verification edges, lower bounds) — exactly what warm opens of a
+    // serving session reuse.
+    let pool = ktpm_exec::default_pool();
+    let plans: Vec<_> = ktpm_workload::pattern_family()
+        .into_iter()
+        .filter_map(|(name, spec)| {
+            ktpm_workload::pattern_set(&ug, spec, 1, 100)
+                .into_iter()
+                .next()
+                .map(|q| {
+                    let plan = QueryPlan::new_pattern(q, g.interner(), &store)
+                        .expect("graph-attached store supports pattern plans");
+                    (name, plan)
+                })
         })
         .collect();
+    let run = |plan: &QueryPlan, k: usize, engine: ShardEngine| {
+        let t = Instant::now();
+        let mut stream = KgpmStream::from_plan(plan, &kgpm_policy(engine), Arc::clone(&pool));
+        let mut out = Vec::new();
+        stream.next_batch(k, &mut out);
+        (t.elapsed(), out, stream.stats())
+    };
     // (a) vary k with Q2.
-    if patterns.len() >= 2 {
-        let (qname, q) = &patterns[1];
-        println!(
-            "-- vary k (query {qname}: {} nodes, {} edges) --",
-            q.len(),
-            q.num_edges()
-        );
+    if plans.len() >= 2 {
+        let (qname, plan) = &plans[1];
+        println!("-- vary k (query {qname}) --");
         println!(
             "{:<6} {:>12} {:>12} {:>14} {:>14}",
             "k", "mtree", "mtree+", "enum(mtree)", "enum(mtree+)"
         );
         for &k in &cfg.ks {
-            let t0 = Instant::now();
-            let (_, s0) = ctx.topk_with_stats(q, k, TreeMatcher::DpB);
-            let d0 = t0.elapsed();
-            let t1 = Instant::now();
-            let (_, s1) = ctx.topk_with_stats(q, k, TreeMatcher::TopkEn);
-            let d1 = t1.elapsed();
+            let (d0, _, s0) = run(plan, k, ShardEngine::Full);
+            let (d1, _, s1) = run(plan, k, ShardEngine::Lazy);
             println!(
                 "{:<6} {:>12} {:>12} {:>14} {:>14}",
                 k,
@@ -368,17 +395,13 @@ fn fig9(cfg: &Config) {
     // (b) vary query, k = 20.
     println!("-- vary query (k = 20) --");
     println!("{:<6} {:>12} {:>12}", "query", "mtree", "mtree+");
-    for (qname, q) in &patterns {
-        let t0 = Instant::now();
-        let m0 = ctx.topk(q, 20, TreeMatcher::DpB);
-        let d0 = t0.elapsed();
-        let t1 = Instant::now();
-        let m1 = ctx.topk(q, 20, TreeMatcher::TopkEn);
-        let d1 = t1.elapsed();
+    for (qname, plan) in &plans {
+        let (d0, m0, _) = run(plan, 20, ShardEngine::Full);
+        let (d1, m1, _) = run(plan, 20, ShardEngine::Lazy);
         assert_eq!(
             m0.iter().map(|m| m.score).collect::<Vec<_>>(),
             m1.iter().map(|m| m.score).collect::<Vec<_>>(),
-            "matchers disagree on {qname}"
+            "drivers disagree on {qname}"
         );
         println!(
             "{:<6} {:>12} {:>12}",
@@ -492,8 +515,8 @@ fn smoke() {
     let mut entries: Vec<(String, f64)> = Vec::new();
     for algo in [Algo::Topk, Algo::TopkEn] {
         let m = run_algo_avg(&ds, &queries, k, algo);
-        println!("{:<10} {:>10}", algo.name(), fmt_secs(m.total_secs()));
-        entries.push((algo.name().to_string(), m.total_secs()));
+        println!("{:<10} {:>10}", paper_name(algo), fmt_secs(m.total_secs()));
+        entries.push((paper_name(algo).to_string(), m.total_secs()));
     }
     let mut par_secs = std::collections::BTreeMap::new();
     for &s in &shard_counts {
@@ -604,6 +627,22 @@ fn smoke() {
         gu.touched_pairs,
         gu.plans_invalidated,
         gu.prefix_entries_invalidated,
+    );
+
+    // kGPM through the one-surface machinery: cold vs warm pattern-plan
+    // opens, Figure 9's mtree vs mtree+ drivers over one shared plan,
+    // and a service warm re-open that must be a plan hit (CI gate).
+    let kg = kgpm_smoke();
+    println!(
+        "kgpm: cold open {} warm {} ({:.1}x); mtree {} mtree+ {} \
+         ({} matches, warm plan hit: {})",
+        fmt_secs(kg.cold_open_secs),
+        fmt_secs(kg.warm_open_secs),
+        kg.open_speedup,
+        fmt_secs(kg.mtree_secs),
+        fmt_secs(kg.mtree_plus_secs),
+        kg.matches,
+        kg.warm_plan_hit,
     );
 
     // One MatchStream surface: per-item vs batched pull
@@ -791,7 +830,11 @@ fn smoke() {
          \"cold_rebuild_secs\": {:.6},\n    \"speedup\": {:.4},\n    \
          \"warm_plan_hit\": {},\n    \"touched_pairs\": {},\n    \
          \"plans_invalidated\": {},\n    \
-         \"prefix_entries_invalidated\": {}\n  }}\n}}\n",
+         \"prefix_entries_invalidated\": {}\n  }},\n  \
+         \"kgpm\": {{\n    \"k\": {},\n    \"matches\": {},\n    \
+         \"cold_open_secs\": {:.6},\n    \"warm_open_secs\": {:.6},\n    \
+         \"open_speedup\": {:.4},\n    \"mtree_secs\": {:.6},\n    \
+         \"mtree_plus_secs\": {:.6},\n    \"warm_plan_hit\": {}\n  }}\n}}\n",
         ds.name,
         ds.graph.num_nodes(),
         queries.len(),
@@ -823,10 +866,107 @@ fn smoke() {
         gu.touched_pairs,
         gu.plans_invalidated,
         gu.prefix_entries_invalidated,
+        kg.k,
+        kg.matches,
+        kg.cold_open_secs,
+        kg.warm_open_secs,
+        kg.open_speedup,
+        kg.mtree_secs,
+        kg.mtree_plus_secs,
+        kg.warm_plan_hit,
     );
     let path = workspace_root().join("BENCH_parallel.json");
     std::fs::write(&path, json).expect("write BENCH_parallel.json");
     println!("wrote {} in {:?}", path.display(), t0.elapsed());
+}
+
+struct KgpmSmoke {
+    k: usize,
+    matches: usize,
+    cold_open_secs: f64,
+    warm_open_secs: f64,
+    open_speedup: f64,
+    mtree_secs: f64,
+    mtree_plus_secs: f64,
+    warm_plan_hit: bool,
+}
+
+/// kGPM through the same one-surface machinery the tree engines use.
+/// A cold open pays the pattern plan (spanning-tree decomposition,
+/// verification edges, lower bounds over the undirected mirror) plus
+/// streaming; warm opens share the `Arc`'d plan half and only stream.
+/// The mtree vs mtree+ rows reproduce Figure 9's two drivers over one
+/// shared plan. Finally the same pattern text is opened twice through
+/// the service engine — the second open must be a plan-cache hit (the
+/// CI gate: pattern plans are cached and delta-invalidated exactly
+/// like tree plans).
+fn kgpm_smoke() -> KgpmSmoke {
+    let g = ktpm_workload::generate(&GraphSpec::power_law(600, 17));
+    let ug = ktpm_graph::undirect(&g);
+    let store = ktpm_storage::MemStore::new(ktpm_closure::ClosureTables::compute(&g))
+        .with_graph(g.clone())
+        .into_shared();
+    // Q2 of the pattern family: 4 nodes, one non-tree edge.
+    let q = ktpm_workload::pattern_set(&ug, ktpm_workload::pattern_family()[1].1, 1, 100)
+        .into_iter()
+        .next()
+        .expect("pattern extraction on a 600-node power-law graph");
+    let k = 20usize;
+    let pool = ktpm_exec::default_pool();
+
+    let lazy = kgpm_policy(ShardEngine::Lazy);
+    let t = Instant::now();
+    let plan = QueryPlan::new_pattern(q.clone(), g.interner(), &store)
+        .expect("graph-attached store supports pattern plans");
+    let cold = run_plan_stream(&store, &plan, k, Algo::Kgpm, &lazy, &pool);
+    let cold_open_secs = t.elapsed().as_secs_f64();
+    let matches = cold.produced;
+    assert!(matches > 0, "kgpm smoke pattern must match");
+    let warm_runs = 5;
+    let t = Instant::now();
+    for _ in 0..warm_runs {
+        let m = run_plan_stream(&store, &plan, k, Algo::Kgpm, &lazy, &pool);
+        assert_eq!(m.produced, matches, "warm opens must reproduce the stream");
+    }
+    let warm_open_secs = t.elapsed().as_secs_f64() / warm_runs as f64;
+
+    let mut driver_secs = [0.0f64; 2];
+    for (i, &(_, engine)) in KGPM_DRIVERS.iter().enumerate() {
+        let m = run_plan_stream(&store, &plan, k, Algo::Kgpm, &kgpm_policy(engine), &pool);
+        assert_eq!(m.produced, matches, "drivers must agree");
+        driver_secs[i] = m.total_secs();
+    }
+
+    let handle = ktpm_service::QueryEngine::new(
+        g.interner().clone(),
+        store,
+        ktpm_service::ServiceConfig::default(),
+    );
+    let text: String = q
+        .edges()
+        .iter()
+        .map(|&(a, b)| format!("{} -> {}\n", q.label(a), q.label(b)))
+        .collect();
+    let before = handle.stats().metrics.plan_hits;
+    for _ in 0..2 {
+        let id = handle
+            .open(&text, ktpm_service::Algo::Kgpm)
+            .expect("kgpm open");
+        handle.next(id, k).expect("next");
+        handle.close(id).expect("close");
+    }
+    let warm_plan_hit = handle.stats().metrics.plan_hits > before;
+
+    KgpmSmoke {
+        k,
+        matches,
+        cold_open_secs,
+        warm_open_secs,
+        open_speedup: cold_open_secs / warm_open_secs.max(1e-12),
+        mtree_secs: driver_secs[0],
+        mtree_plus_secs: driver_secs[1],
+        warm_plan_hit,
+    }
 }
 
 struct GraphUpdateBench {

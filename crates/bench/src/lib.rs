@@ -56,18 +56,40 @@ pub fn alloc_count() -> u64 {
     }
 }
 
-use ktpm_baseline::{DpBEnumerator, DpPEnumerator};
 use ktpm_closure::ClosureTables;
 use ktpm_core::{build_stream, MatchStream, ParallelPolicy, QueryPlan};
 use ktpm_exec::WorkerPool;
 use ktpm_graph::LabeledGraph;
 use ktpm_query::ResolvedQuery;
 use ktpm_runtime::RuntimeGraph;
-use ktpm_storage::{write_store, FileStore, SharedSource};
+use ktpm_storage::{write_store, FileStore, MemStore, SharedSource};
 use ktpm_workload::{generate, query_set, GraphSpec};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The engine registry the harness measures — the same [`Algo`] the
+/// facade, the CLI and the serving tier dispatch on. The bench crate
+/// adds nothing on top: every measurement routes through the one
+/// [`build_stream`] entry point.
+pub use ktpm_core::Algo;
+
+/// The four systems of Figure 6, in the paper's legend order.
+pub const FIG6: [Algo; 4] = [Algo::DpB, Algo::DpP, Algo::Topk, Algo::TopkEn];
+
+/// Display name as used in the paper's figures (the registry's
+/// [`Algo::name`] is the wire/CLI spelling).
+pub fn paper_name(algo: Algo) -> &'static str {
+    match algo {
+        Algo::DpB => "DP-B",
+        Algo::DpP => "DP-P",
+        Algo::Topk => "Topk",
+        Algo::TopkEn => "Topk-EN",
+        Algo::Par => "Par-Topk",
+        Algo::Brute => "Brute",
+        Algo::Kgpm => "kGPM",
+    }
+}
 
 /// A prepared dataset: graph + on-disk closure store + offline stats.
 pub struct Dataset {
@@ -205,44 +227,16 @@ impl Measurement {
     }
 }
 
-/// The four systems of Figure 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Algo {
-    /// Baseline DP-B (full load + per-node streams).
-    DpB,
-    /// Baseline DP-P (loose priority load + DP).
-    DpP,
-    /// Algorithm 1 (full load + Lawler).
-    Topk,
-    /// Algorithm 3 (tight priority load + Lawler).
-    TopkEn,
-}
-
-impl Algo {
-    /// All four, in the paper's legend order.
-    pub const ALL: [Algo; 4] = [Algo::DpB, Algo::DpP, Algo::Topk, Algo::TopkEn];
-
-    /// Display name as used in the paper.
-    pub fn name(self) -> &'static str {
-        match self {
-            Algo::DpB => "DP-B",
-            Algo::DpP => "DP-P",
-            Algo::Topk => "Topk",
-            Algo::TopkEn => "Topk-EN",
-        }
-    }
-}
-
 /// Measures one facade stream — the same execution path `ktpm::api`,
 /// `ktpm query` and serving sessions run: the engine is selected by
-/// [`ktpm_core::Algo`] through the single [`build_stream`] dispatch,
-/// top-1 is one pull, and the remaining `k-1` matches arrive in ONE
-/// batched `next_batch` call (the shape a `NEXT <s> k` serves).
+/// [`Algo`] through the single [`build_stream`] dispatch, top-1 is one
+/// pull, and the remaining `k-1` matches arrive in ONE batched
+/// `next_batch` call (the shape a `NEXT <s> k` serves).
 pub fn run_stream(
     ds: &Dataset,
     query: &ResolvedQuery,
     k: usize,
-    algo: ktpm_core::Algo,
+    algo: Algo,
     policy: &ParallelPolicy,
     pool: &Arc<WorkerPool>,
 ) -> Measurement {
@@ -266,55 +260,62 @@ pub fn run_stream(
     m
 }
 
-/// Runs `algo` for the top-`k` matches of `query`, measuring phases and
-/// I/O against the dataset's disk store. The paper algorithms go
-/// through the facade stream ([`run_stream`] — no per-algorithm
-/// constructor special-casing); the DP baselines predate the facade
-/// and keep their own drivers.
-pub fn run_algo(ds: &Dataset, query: &ResolvedQuery, k: usize, algo: Algo) -> Measurement {
-    let core = match algo {
-        Algo::Topk => Some(ktpm_core::Algo::Topk),
-        Algo::TopkEn => Some(ktpm_core::Algo::TopkEn),
-        Algo::DpB | Algo::DpP => None,
-    };
-    if let Some(core) = core {
-        return run_stream(
-            ds,
-            query,
-            k,
-            core,
-            &ParallelPolicy::default(),
-            &ktpm_exec::default_pool(),
-        );
-    }
-    ds.store.reset_io();
+/// As [`run_stream`], but over a pre-built plan — the warm-open shape,
+/// where the plan half (candidate discovery, or a pattern's
+/// decomposition and lower bounds) is amortized across opens and only
+/// the stream half is on the clock. `store` must be the source the
+/// plan was built over (its I/O counters are reset and read).
+pub fn run_plan_stream(
+    store: &SharedSource,
+    plan: &QueryPlan,
+    k: usize,
+    algo: Algo,
+    policy: &ParallelPolicy,
+    pool: &Arc<WorkerPool>,
+) -> Measurement {
+    store.reset_io();
     let mut m = Measurement::default();
-    match algo {
-        Algo::DpB => {
-            let t0 = Instant::now();
-            let rg = RuntimeGraph::load(query, ds.store.as_ref());
-            let mut it = DpBEnumerator::new(&rg);
-            let first = it.next();
-            m.top1_secs = t0.elapsed().as_secs_f64();
-            let t1 = Instant::now();
-            m.produced = usize::from(first.is_some()) + it.take(k.saturating_sub(1)).count();
-            m.enum_secs = t1.elapsed().as_secs_f64();
-        }
-        Algo::DpP => {
-            let t0 = Instant::now();
-            let mut it = DpPEnumerator::new(query, ds.store.as_ref());
-            let first = it.next();
-            m.top1_secs = t0.elapsed().as_secs_f64();
-            let t1 = Instant::now();
-            m.produced = usize::from(first.is_some()) + it.take(k.saturating_sub(1)).count();
-            m.enum_secs = t1.elapsed().as_secs_f64();
-        }
-        Algo::Topk | Algo::TopkEn => unreachable!("routed through run_stream above"),
+    let t0 = Instant::now();
+    let mut it = build_stream(algo, plan, policy, Arc::clone(pool));
+    let first = MatchStream::next(&mut *it);
+    m.top1_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let mut rest = Vec::new();
+    if first.is_some() {
+        it.next_batch(k.saturating_sub(1), &mut rest);
     }
-    let io = ds.store.io();
+    m.produced = usize::from(first.is_some()) + rest.len();
+    m.enum_secs = t1.elapsed().as_secs_f64();
+    let io = store.io();
     m.edges_loaded = io.edges_read;
     m.bytes_read = io.bytes_read;
     m
+}
+
+/// Runs `algo` for the top-`k` matches of `query`, measuring phases
+/// and I/O against the dataset's disk store. Every engine — the DP
+/// baselines included — goes through the facade stream
+/// ([`run_stream`]); there is no per-algorithm constructor dispatch
+/// left in the harness.
+pub fn run_algo(ds: &Dataset, query: &ResolvedQuery, k: usize, algo: Algo) -> Measurement {
+    run_stream(
+        ds,
+        query,
+        k,
+        algo,
+        &ParallelPolicy::default(),
+        &ktpm_exec::default_pool(),
+    )
+}
+
+/// A graph-attached in-memory source over the dataset's graph: what
+/// kGPM pattern plans need (the undirected mirror is derived from the
+/// attached graph; the on-disk [`Dataset::store`] is closure-only).
+/// Recomputes the closure, so reserve it for kGPM-sized graphs.
+pub fn pattern_store(ds: &Dataset) -> SharedSource {
+    MemStore::new(ClosureTables::compute(&ds.graph))
+        .with_graph(ds.graph.clone())
+        .into_shared()
 }
 
 /// Runs `ParTopk` with `shards` shards for the top-`k` matches of
@@ -425,12 +426,44 @@ mod tests {
         assert!(ds.file_bytes > 0);
         let queries = queries_for(&ds, 6, 3, true);
         assert!(!queries.is_empty());
-        for algo in Algo::ALL {
+        // Every tree-capable registry engine runs through the one
+        // facade path; kGPM needs a pattern plan (covered below).
+        for algo in Algo::ALL.into_iter().filter(|&a| a != Algo::Kgpm) {
             let m = run_algo_avg(&ds, &queries, 5, algo);
             assert!(m.produced >= 1, "{algo:?} produced nothing");
         }
         let (n, e) = runtime_graph_sizes(&ds, &queries);
         assert!(n > 0.0 && e > 0.0);
+    }
+
+    #[test]
+    fn kgpm_measures_over_a_pattern_plan() {
+        let ds = prepare_dataset("SMOKE", &GraphSpec::citation(400, 123));
+        let store = pattern_store(&ds);
+        let ug = ktpm_graph::undirect(&ds.graph);
+        let q = ktpm_workload::random_graph_query(&ug, 4, 1, 11).expect("pattern extraction");
+        let plan = QueryPlan::new_pattern(q, ds.graph.interner(), &store)
+            .expect("graph-attached store supports pattern plans");
+        let pool = ktpm_exec::default_pool();
+        let seq = run_plan_stream(
+            &store,
+            &plan,
+            8,
+            Algo::Kgpm,
+            &ParallelPolicy::default(),
+            &pool,
+        );
+        assert!(seq.produced >= 1, "kGPM produced nothing");
+        // Sharding must not change what the stream yields.
+        let sharded = run_plan_stream(
+            &store,
+            &plan,
+            8,
+            Algo::Kgpm,
+            &ParallelPolicy::with_shards(3),
+            &pool,
+        );
+        assert_eq!(sharded.produced, seq.produced);
     }
 
     #[test]

@@ -28,6 +28,17 @@ pub enum Algo {
     Par,
     /// The exhaustive test oracle (exponential; tiny inputs only).
     Brute,
+    /// DP-B (ICDE'13 baseline): bottom-up dynamic programming over the
+    /// full run-time graph; canonicalized tie order.
+    DpB,
+    /// DP-P: DP-B over priority-order lazy loading (re-runs §4.1
+    /// initialization per stream, hence no plan reuse).
+    DpP,
+    /// kGPM (§5): ranked graph-pattern enumeration — spanning-tree
+    /// matches verified lazily against non-tree edges. Requires a
+    /// *pattern* plan ([`QueryPlan::new_pattern`]); the other engines
+    /// require tree plans.
+    Kgpm,
 }
 
 /// What an algorithm supports; see [`Algo::caps`].
@@ -52,7 +63,15 @@ impl Algo {
     /// [`Algo::parse`]), `ktpm query --algo` and the `ktpm::api`
     /// builder route through it, and all render errors with
     /// [`Algo::valid_names`] — the lists cannot drift.
-    pub const ALL: [Algo; 4] = [Algo::Topk, Algo::TopkEn, Algo::Par, Algo::Brute];
+    pub const ALL: [Algo; 7] = [
+        Algo::Topk,
+        Algo::TopkEn,
+        Algo::Par,
+        Algo::Brute,
+        Algo::DpB,
+        Algo::DpP,
+        Algo::Kgpm,
+    ];
 
     /// The wire/CLI name (lowercase).
     pub fn name(self) -> &'static str {
@@ -61,18 +80,28 @@ impl Algo {
             Algo::TopkEn => "topk-en",
             Algo::Par => "par",
             Algo::Brute => "brute",
+            Algo::DpB => "dp-b",
+            Algo::DpP => "dp-p",
+            Algo::Kgpm => "kgpm",
         }
     }
 
     /// Parses a wire/CLI name, **case-insensitively** — protocol verbs
     /// are case-insensitive, so `OPEN TOPK …` must select the same
-    /// engine as `OPEN topk …` (it used to err).
+    /// engine as `OPEN topk …` (it used to err). The paper's unhyphened
+    /// spellings `dpb`/`dpp` are accepted as aliases.
     pub fn parse(s: &str) -> Option<Algo> {
         let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "dpb" => return Some(Algo::DpB),
+            "dpp" => return Some(Algo::DpP),
+            _ => {}
+        }
         Algo::ALL.into_iter().find(|a| a.name() == lower)
     }
 
-    /// `"topk | topk-en | par | brute"` — every [`Algo::ALL`] name,
+    /// `"topk | topk-en | par | brute | dp-b | dp-p | kgpm"` — every
+    /// [`Algo::ALL`] name,
     /// for error messages (rendered from the const, so it can never go
     /// stale against the algorithm list).
     pub fn valid_names() -> String {
@@ -97,6 +126,22 @@ impl Algo {
             Algo::Brute => AlgoCaps {
                 sharded: false,
                 plan_reuse: false,
+            },
+            // DP-B builds its slot lists from the plan's cached full
+            // setup; DP-P's priority loading *is* per-stream work.
+            Algo::DpB => AlgoCaps {
+                sharded: false,
+                plan_reuse: true,
+            },
+            Algo::DpP => AlgoCaps {
+                sharded: false,
+                plan_reuse: false,
+            },
+            // kGPM shards through its ParTopk driver; the pattern
+            // plan caches decomposition, setup and the residual bound.
+            Algo::Kgpm => AlgoCaps {
+                sharded: true,
+                plan_reuse: true,
             },
         }
     }
@@ -123,7 +168,10 @@ mod tests {
             assert_eq!(Algo::parse(a.name()), Some(a));
         }
         assert_eq!(Algo::parse("nope"), None);
-        assert_eq!(Algo::valid_names(), "topk | topk-en | par | brute");
+        assert_eq!(
+            Algo::valid_names(),
+            "topk | topk-en | par | brute | dp-b | dp-p | kgpm"
+        );
     }
 
     #[test]
@@ -133,17 +181,29 @@ mod tests {
         assert_eq!(Algo::parse("Topk-EN"), Some(Algo::TopkEn));
         assert_eq!(Algo::parse("PAR"), Some(Algo::Par));
         assert_eq!(Algo::parse("BrUtE"), Some(Algo::Brute));
+        assert_eq!(Algo::parse("KGPM"), Some(Algo::Kgpm));
+        assert_eq!(Algo::parse("DP-B"), Some(Algo::DpB));
+    }
+
+    #[test]
+    fn unhyphened_dp_aliases_parse() {
+        assert_eq!(Algo::parse("dpb"), Some(Algo::DpB));
+        assert_eq!(Algo::parse("DPP"), Some(Algo::DpP));
     }
 
     #[test]
     fn capability_flags() {
-        assert!(Algo::Par.caps().sharded);
-        for a in [Algo::Topk, Algo::TopkEn, Algo::Brute] {
+        for a in [Algo::Par, Algo::Kgpm] {
+            assert!(a.caps().sharded, "{a:?}");
+        }
+        for a in [Algo::Topk, Algo::TopkEn, Algo::Brute, Algo::DpB, Algo::DpP] {
             assert!(!a.caps().sharded, "{a:?}");
         }
-        for a in [Algo::Topk, Algo::TopkEn, Algo::Par] {
+        for a in [Algo::Topk, Algo::TopkEn, Algo::Par, Algo::DpB, Algo::Kgpm] {
             assert!(a.caps().plan_reuse, "{a:?}");
         }
-        assert!(!Algo::Brute.caps().plan_reuse);
+        for a in [Algo::Brute, Algo::DpP] {
+            assert!(!a.caps().plan_reuse, "{a:?}");
+        }
     }
 }

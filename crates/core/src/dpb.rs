@@ -15,12 +15,17 @@
 //! `bs(child) + dist`, and pull child ranks on demand — the paper's
 //! "pull-down fashion ... to avoid visiting every node in G".
 
-use ktpm_core::{BsData, ScoredMatch, SlotLists};
+use crate::bs::BsData;
+use crate::lawler::SlotLists;
+use crate::matches::ScoredMatch;
+use crate::plan::QueryPlan;
 use ktpm_graph::Score;
 use ktpm_query::{QNodeId, TreeQuery};
 use ktpm_runtime::RuntimeGraph;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// One slot stream element: total = dist + (child's rank-j score).
 #[derive(Debug, Clone, Copy)]
@@ -265,29 +270,50 @@ impl DpEngine {
     }
 }
 
-/// DP-B over a fully-loaded run-time graph.
-pub struct DpBEnumerator<'g> {
-    rg: &'g RuntimeGraph,
+/// DP-B over a fully-loaded run-time graph, generic over how the graph
+/// is held: borrowed (`&RuntimeGraph`, the classic single-query path)
+/// or shared (`Arc<RuntimeGraph>`, the `'static` form
+/// [`crate::build_stream`] builds from a [`QueryPlan`]).
+pub struct DpBEnumerator<R: Deref<Target = RuntimeGraph> = Arc<RuntimeGraph>> {
+    rg: R,
     lists: SlotLists,
     engine: DpEngine,
     rank: usize,
 }
 
-impl<'g> DpBEnumerator<'g> {
+impl<'g> DpBEnumerator<&'g RuntimeGraph> {
     /// Builds lists (O(m_R)) and the DP structures.
     pub fn new(rg: &'g RuntimeGraph) -> Self {
         let bs = BsData::compute(rg);
-        let lists = SlotLists::build_full(rg, &bs);
+        Self::from_parts(rg, SlotLists::build_full(rg, &bs))
+    }
+}
+
+impl DpBEnumerator<Arc<RuntimeGraph>> {
+    /// The `'static` plan-backed form: reuses the plan's shared
+    /// run-time graph and `bs` pass (a warm plan repeats neither), only
+    /// the per-stream slot lists are built here (they are mutated as
+    /// the enumeration advances, so they cannot be shared).
+    pub fn from_plan(plan: &QueryPlan) -> Self {
+        let rg = Arc::clone(plan.runtime_graph());
+        let lists = SlotLists::build_full(&rg, plan.bs_data());
+        Self::from_parts(rg, lists)
+    }
+}
+
+impl<R: Deref<Target = RuntimeGraph>> DpBEnumerator<R> {
+    fn from_parts(rg: R, lists: SlotLists) -> Self {
+        let engine = DpEngine::new(rg.query().tree().clone());
         DpBEnumerator {
             rg,
             lists,
-            engine: DpEngine::new(rg.query().tree().clone()),
+            engine,
             rank: 0,
         }
     }
 }
 
-impl Iterator for DpBEnumerator<'_> {
+impl<R: Deref<Target = RuntimeGraph>> Iterator for DpBEnumerator<R> {
     type Item = ScoredMatch;
 
     fn next(&mut self) -> Option<ScoredMatch> {
@@ -311,8 +337,8 @@ impl Iterator for DpBEnumerator<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TopkEnumerator;
     use ktpm_closure::ClosureTables;
-    use ktpm_core::TopkEnumerator;
     use ktpm_graph::fixtures::{citation_graph, paper_graph};
     use ktpm_graph::LabeledGraph;
     use ktpm_query::TreeQuery;

@@ -9,11 +9,14 @@
 //! the paper observes for DP-P in Figures 6(e)/6(f).
 
 use crate::dpb::DpEngine;
-use ktpm_core::{BoundMode, PriorityLoader, ScoredMatch, SlotLists};
-
+use crate::lawler::SlotLists;
+use crate::loader::{BoundMode, PriorityLoader};
+use crate::matches::ScoredMatch;
+use crate::plan::QueryPlan;
 use ktpm_query::ResolvedQuery;
-use ktpm_storage::ClosureSource;
+use ktpm_storage::{ClosureSource, SharedSource};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// The DP-P enumerator. Yields matches in non-decreasing score order.
 pub struct DpPEnumerator<'s> {
@@ -39,6 +42,29 @@ impl<'s> DpPEnumerator<'s> {
             scan: 1,
             emitted: HashSet::new(),
         }
+    }
+
+    /// The `'static` shared-ownership form used by long-lived streams.
+    pub fn new_shared(query: &ResolvedQuery, source: SharedSource) -> DpPEnumerator<'static> {
+        let mut lists = SlotLists::default();
+        let loader = PriorityLoader::new_shared(query, source, BoundMode::Loose, &mut lists);
+        DpPEnumerator {
+            query: query.clone(),
+            lists,
+            loader,
+            engine: None,
+            scan: 1,
+            emitted: HashSet::new(),
+        }
+    }
+
+    /// The plan-backed form [`crate::build_stream`] uses. DP-P's
+    /// loading *is* its enumeration strategy — it always re-runs the
+    /// §4.1 initialization against storage (hence
+    /// `plan_reuse: false` in [`crate::Algo::caps`]); the plan supplies
+    /// the query and the shared store handle.
+    pub fn from_plan(plan: &QueryPlan) -> DpPEnumerator<'static> {
+        Self::new_shared(plan.query(), Arc::clone(plan.source()))
     }
 
     /// Edges loaded from storage so far.

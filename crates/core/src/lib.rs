@@ -12,7 +12,15 @@
 //!   enumeration over the lazily-loaded run-time graph with delayed
 //!   candidate insertion;
 //! * [`brute`] — an exhaustive reference enumerator used as a test
-//!   oracle by the whole workspace.
+//!   oracle by the whole workspace;
+//! * [`DpBEnumerator`] / [`DpPEnumerator`] — the ICDE'13 **DP-B/DP-P**
+//!   baselines the paper compares against (§6), behind the same stream
+//!   surface;
+//! * [`KgpmStream`] — the **kGPM** extension (§5): ranked enumeration
+//!   of graph-pattern matches by [`decompose`]-ing the pattern into
+//!   spanning trees, streaming the primary tree and lazily verifying
+//!   non-tree edges under the residual lower bound (pattern plans:
+//!   [`QueryPlan::new_pattern`]).
 //!
 //! `Topk-GT` (§5, general twigs) is not a separate algorithm: the
 //! run-time graph is per-query-node (see `ktpm-runtime`), so duplicate
@@ -24,9 +32,11 @@
 //! runs behind the object-safe [`MatchStream`] trait (primitive:
 //! **batched pull**, [`MatchStream::next_batch`]), selected through the
 //! canonical [`Algo`] registry and constructed by the single
-//! [`build_stream`] dispatch from a shared [`QueryPlan`]. All four
-//! streams are byte-identical for a query (canonical order), so the
-//! algorithm choice is purely a performance decision. The root crate's
+//! [`build_stream`] dispatch from a shared [`QueryPlan`]. All tree
+//! engines are byte-identical for a query (canonical order), and the
+//! kGPM stream is byte-identical across shard counts and tree
+//! matchers, so the algorithm choice is purely a performance decision.
+//! The root crate's
 //! `ktpm::api` module wraps this in an `Executor`/`QueryBuilder`
 //! facade; the serving layer, CLI and bench drivers all go through the
 //! same dispatch.
@@ -101,7 +111,11 @@
 mod algo;
 pub mod brute;
 mod bs;
+mod decompose;
+mod dpb;
+mod dpp;
 mod enhanced;
+mod kgpm;
 mod lawler;
 mod lazylist;
 mod loader;
@@ -113,14 +127,21 @@ pub mod stream;
 
 pub use algo::{Algo, AlgoCaps};
 pub use bs::BsData;
+pub use decompose::{decompose, SpanningTree};
+pub use dpb::DpBEnumerator;
+pub use dpp::DpPEnumerator;
 pub use enhanced::TopkEnEnumerator;
+pub use kgpm::{GraphMatch, KgpmStats, KgpmStream};
 pub use lawler::{SlotLists, SlotTemplates, TopkEnumerator};
 pub use lazylist::LazySortedList;
 pub use loader::{BoundMode, PriorityLoader};
 pub use matches::ScoredMatch;
 pub use parallel::{par_topk, ParTopk, ParallelPolicy, ShardEngine};
 pub use partition::{canonical, Canonical};
-pub use plan::{canonical_query_text, query_reads_touched_pairs, QueryPlan};
+pub use plan::{
+    canonical_query_text, pattern_reads_touched_pairs, query_reads_touched_pairs,
+    PatternUnsupported, QueryPlan,
+};
 pub use stream::{build_stream, limit, BoxedMatchStream, MatchStream, StreamState};
 // Re-exported so callers configuring shards need not depend on storage.
 pub use ktpm_storage::ShardSpec;

@@ -30,12 +30,14 @@
 //! provably identical across sessions of one query.
 
 use crate::bs::BsData;
+use crate::decompose::decompose;
 use crate::lawler::SlotTemplates;
-use ktpm_graph::{Dist, NodeId};
-use ktpm_query::{EdgeKind, QNodeId, ResolvedQuery};
+use ktpm_graph::{Dist, LabelInterner, NodeId, Score};
+use ktpm_query::{EdgeKind, GraphQuery, QNodeId, QueryLabel, ResolvedQuery};
 use ktpm_runtime::{label_pairs, CandidateSets, RuntimeGraph};
 use ktpm_storage::{ClosureSource, ShardSpec, SharedSource};
 use std::collections::HashSet;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -67,7 +69,6 @@ pub fn query_reads_touched_pairs(
     query: &ResolvedQuery,
     touched_pairs: &[(ktpm_graph::LabelId, ktpm_graph::LabelId)],
 ) -> bool {
-    use ktpm_query::QueryLabel;
     if touched_pairs.is_empty() {
         return false;
     }
@@ -86,18 +87,94 @@ pub fn query_reads_touched_pairs(
     })
 }
 
+/// The graph-pattern counterpart of [`query_reads_touched_pairs`]: the
+/// serving layer's result-cache invalidation, which only has the
+/// pattern *text* (no plan handle), re-parses it and asks whether any
+/// pattern edge reads a touched **undirected** table
+/// ([`ktpm_storage::DeltaReport::undirected_touched_pairs`]). Every
+/// edge is checked in both orientations, matching
+/// [`QueryPlan::is_affected_by`] on pattern plans; labels missing from
+/// the interner have no candidates and read nothing.
+pub fn pattern_reads_touched_pairs(
+    pattern: &GraphQuery,
+    interner: &LabelInterner,
+    undirected_touched_pairs: &[(ktpm_graph::LabelId, ktpm_graph::LabelId)],
+) -> bool {
+    if undirected_touched_pairs.is_empty() {
+        return false;
+    }
+    pattern.edges().iter().any(|&(pa, pb)| {
+        let (Some(a), Some(b)) = (
+            interner.get(pattern.label(pa)),
+            interner.get(pattern.label(pb)),
+        ) else {
+            return false;
+        };
+        undirected_touched_pairs
+            .iter()
+            .any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+    })
+}
+
 /// The immutable, shareable setup state of one query over one store;
 /// see module docs. Construction is cheap (no storage access) — the
 /// expensive halves materialize on first use and are then shared by
 /// every enumerator built from the plan.
+///
+/// A plan is either a **tree plan** ([`QueryPlan::new`]) or a
+/// **pattern plan** ([`QueryPlan::new_pattern`]). A pattern plan *is* a
+/// tree plan over the pattern's primary spanning tree and the source's
+/// undirected mirror, plus a pattern-metadata half carrying the
+/// decomposition — so all the warm-plan machinery (both lazy halves,
+/// sharding, `approx_bytes`, session resume) applies wholesale.
 pub struct QueryPlan {
     query: ResolvedQuery,
     source: SharedSource,
+    pattern: Option<Arc<PatternMeta>>,
     full: OnceLock<FullSetup>,
     lazy: OnceLock<Arc<LazySetup>>,
     builds: AtomicU64,
     graph_version: AtomicU64,
 }
+
+/// The graph-pattern half of a pattern plan: the §5 decomposition of
+/// the [`GraphQuery`], captured once at plan construction so warm
+/// re-opens skip it entirely.
+pub(crate) struct PatternMeta {
+    /// The pattern as written.
+    pub(crate) pattern: GraphQuery,
+    /// Driver-tree BFS position → pattern node index.
+    pub(crate) pattern_node: Vec<usize>,
+    /// Pattern node index → driver-tree BFS position (the inverse).
+    pub(crate) tree_pos: Vec<usize>,
+    /// Pattern edges the driver tree leaves unverified, as
+    /// *tree-position* pairs (precomputed so verification never
+    /// searches the mapping).
+    pub(crate) non_tree: Vec<(usize, usize)>,
+    /// Sum over non-tree edges of each label pair's global minimum
+    /// distance (≥ 1 per edge); the §5 termination bound. Lazy: reads
+    /// the mirror's `D` tables once, on the first stream build.
+    pub(crate) residual_lb: OnceLock<Score>,
+}
+
+/// The store cannot serve graph patterns: it has no data graph to
+/// build the §5 undirected closure from
+/// ([`ktpm_storage::ClosureSource::undirected`] returned `None` — e.g.
+/// a persisted closure-only snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternUnsupported;
+
+impl fmt::Display for PatternUnsupported {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "graph patterns unsupported: the store has no data graph to \
+             build the undirected closure from"
+        )
+    }
+}
+
+impl std::error::Error for PatternUnsupported {}
 
 /// The full-loading half: run-time graph, `bs`, shared slot templates.
 pub(crate) struct FullSetup {
@@ -140,11 +217,113 @@ impl QueryPlan {
         QueryPlan {
             query,
             source,
+            pattern: None,
             full: OnceLock::new(),
             lazy: OnceLock::new(),
             builds: AtomicU64::new(0),
             graph_version,
         }
+    }
+
+    /// A cold **pattern plan** for graph pattern `pattern` over the
+    /// store behind `source`: decomposes the pattern (§5), resolves the
+    /// primary spanning tree against `interner`, and plans that tree
+    /// over the source's undirected mirror. The mirror shares the
+    /// directed graph's node ids and label interner ids
+    /// ([`ktpm_graph::undirect`] preserves both), so one interner
+    /// serves both plan kinds.
+    ///
+    /// The plan's [`Self::graph_version`] is stamped from the
+    /// **directed** source — the version the serving layer's
+    /// delta/fencing machinery speaks — not the mirror's internal
+    /// counter.
+    ///
+    /// Errors with [`PatternUnsupported`] when the backend has no data
+    /// graph to mirror.
+    pub fn new_pattern(
+        pattern: GraphQuery,
+        interner: &LabelInterner,
+        source: &SharedSource,
+    ) -> Result<QueryPlan, PatternUnsupported> {
+        let mirror = source.undirected().ok_or(PatternUnsupported)?;
+        let version = source.graph_version();
+        let trees = decompose(&pattern);
+        let driver = &trees[0];
+        let query = driver.tree.resolve(interner);
+        let mut tree_pos = vec![usize::MAX; pattern.len()];
+        for (t, &p) in driver.pattern_node.iter().enumerate() {
+            tree_pos[p] = t;
+        }
+        let non_tree = driver
+            .non_tree_edges
+            .iter()
+            .map(|&(a, b)| (tree_pos[a], tree_pos[b]))
+            .collect();
+        let meta = PatternMeta {
+            pattern_node: driver.pattern_node.clone(),
+            tree_pos,
+            non_tree,
+            residual_lb: OnceLock::new(),
+            pattern,
+        };
+        let plan = QueryPlan {
+            query,
+            source: mirror,
+            pattern: Some(Arc::new(meta)),
+            full: OnceLock::new(),
+            lazy: OnceLock::new(),
+            builds: AtomicU64::new(0),
+            graph_version: AtomicU64::new(version),
+        };
+        Ok(plan)
+    }
+
+    /// Whether this is a pattern plan (built by [`Self::new_pattern`]).
+    pub fn is_pattern(&self) -> bool {
+        self.pattern.is_some()
+    }
+
+    /// The planned graph pattern, for pattern plans.
+    pub fn pattern_query(&self) -> Option<&GraphQuery> {
+        self.pattern.as_deref().map(|m| &m.pattern)
+    }
+
+    pub(crate) fn pattern_meta(&self) -> Option<&Arc<PatternMeta>> {
+        self.pattern.as_ref()
+    }
+
+    /// The §5 residual lower bound of a pattern plan: the sum over
+    /// non-tree edges of each label pair's global minimum distance in
+    /// the mirror's `D` tables (at least 1 per edge — every pattern
+    /// edge maps to a path of length ≥ 1). `0` for tree plans and for
+    /// patterns whose driver tree covers every edge. Computed once per
+    /// plan, so warm re-opens skip the `D` probes too.
+    pub(crate) fn residual_lb(&self) -> Score {
+        let Some(meta) = self.pattern.as_deref() else {
+            return 0;
+        };
+        *meta.residual_lb.get_or_init(|| {
+            meta.non_tree
+                .iter()
+                .map(|&(ta, tb)| {
+                    let (QueryLabel::Label(a), QueryLabel::Label(b)) = (
+                        self.query.label(QNodeId(ta as u32)),
+                        self.query.label(QNodeId(tb as u32)),
+                    ) else {
+                        // An unmatchable endpoint: the stream is empty,
+                        // any bound is sound.
+                        return 1;
+                    };
+                    self.source
+                        .load_d(a, b)
+                        .into_iter()
+                        .map(|(_, d)| d as Score)
+                        .min()
+                        .unwrap_or(1)
+                        .max(1)
+                })
+                .sum()
+        })
     }
 
     /// The planned query.
@@ -199,19 +378,48 @@ impl QueryPlan {
     /// Whether a delta that changed exactly the closure tables in
     /// `touched_pairs` can affect this plan's setup or results.
     ///
-    /// A plan reads one closure table per query-tree edge: the pair
-    /// `(parent label, child label)`, where a wildcard query node reads
-    /// every table on its side. Unmatchable labels have no candidates
-    /// and read nothing. Node/label assignment is fixed under deltas,
-    /// so a plan none of whose edge pairs is touched keeps its candidate
-    /// sets, `eᵥ` bounds, run-time-graph edges, and result stream
-    /// bit-for-bit — it survives with a version bump instead of being
-    /// dropped.
+    /// A **tree plan** reads one closure table per query-tree edge: the
+    /// pair `(parent label, child label)`, where a wildcard query node
+    /// reads every table on its side. Unmatchable labels have no
+    /// candidates and read nothing. Node/label assignment is fixed
+    /// under deltas, so a plan none of whose edge pairs is touched
+    /// keeps its candidate sets, `eᵥ` bounds, run-time-graph edges, and
+    /// result stream bit-for-bit — it survives with a version bump
+    /// instead of being dropped.
+    ///
+    /// A **pattern plan** reads the *undirected* mirror (driver-tree
+    /// tables, non-tree `lookup_dist` verification and the residual
+    /// `D`-bounds), so callers must pass the
+    /// [`ktpm_storage::DeltaReport::undirected_touched_pairs`] half of
+    /// the report; every pattern edge is checked in both orientations
+    /// (conservative and sound — the mirror's tables are
+    /// direction-symmetric in content but reported as ordered pairs).
     pub fn is_affected_by(
         &self,
         touched_pairs: &[(ktpm_graph::LabelId, ktpm_graph::LabelId)],
     ) -> bool {
-        query_reads_touched_pairs(&self.query, touched_pairs)
+        match self.pattern.as_deref() {
+            None => query_reads_touched_pairs(&self.query, touched_pairs),
+            Some(meta) => {
+                if touched_pairs.is_empty() {
+                    return false;
+                }
+                meta.pattern.edges().iter().any(|&(pa, pb)| {
+                    let (QueryLabel::Label(a), QueryLabel::Label(b)) = (
+                        self.query.label(QNodeId(meta.tree_pos[pa] as u32)),
+                        self.query.label(QNodeId(meta.tree_pos[pb] as u32)),
+                    ) else {
+                        // Unmatchable endpoints stay unmatchable under
+                        // deltas (node labels never change): no table
+                        // read, never affected.
+                        return false;
+                    };
+                    touched_pairs
+                        .iter()
+                        .any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+                })
+            }
+        }
     }
 
     pub(crate) fn slot_templates(&self) -> &Arc<SlotTemplates> {

@@ -6,7 +6,8 @@
 //! ranked-enumeration literature (Tziavelis et al., VLDB 2020) present
 //! exactly one iterator interface over many internal algorithms. This
 //! module is that interface for this workspace: every engine —
-//! `Topk`, `Topk-EN`, `ParTopk`, the brute oracle — is consumed as a
+//! `Topk`, `Topk-EN`, `ParTopk`, the `DP-B`/`DP-P` baselines, the
+//! `kGPM` pattern engine, the brute oracle — is consumed as a
 //! `Box<dyn MatchStream + Send>` in the **canonical**
 //! `(score, assignment)` order, so sessions, the CLI, the bench
 //! drivers and embedders stop dispatching on the algorithm themselves.
@@ -220,6 +221,11 @@ pub fn build_stream(
         // `all_matches` already sorts by `(score, assignment)` — the
         // canonical order.
         Algo::Brute => Box::new(brute::all_matches(plan.runtime_graph()).into_iter()),
+        Algo::DpB => Box::new(canonical(crate::DpBEnumerator::from_plan(plan))),
+        Algo::DpP => Box::new(canonical(crate::DpPEnumerator::from_plan(plan))),
+        // The one engine over *pattern* plans; panics on a tree plan
+        // (upstream surfaces validate the plan kind before dispatch).
+        Algo::Kgpm => Box::new(crate::KgpmStream::from_plan(plan, policy, pool)),
     }
 }
 
@@ -249,7 +255,9 @@ mod tests {
         let want: Vec<ScoredMatch> =
             build_stream(Algo::Topk, &plan, &ParallelPolicy::default(), pool()).collect();
         assert_eq!(want.len(), 5);
-        for algo in Algo::ALL {
+        // Kgpm is the one engine over pattern plans, not tree plans —
+        // it has its own byte-identity tests in `crate::kgpm`.
+        for algo in Algo::ALL.into_iter().filter(|&a| a != Algo::Kgpm) {
             let got: Vec<ScoredMatch> =
                 build_stream(algo, &plan, &ParallelPolicy::with_shards(3), pool()).collect();
             assert_eq!(got, want, "{algo:?}");
@@ -260,7 +268,7 @@ mod tests {
     fn batched_pull_equals_item_pull_under_any_interleaving() {
         let g = paper_graph();
         let plan = plan_for(&g, "a -> b\na -> c\nc -> d\nc -> e");
-        for algo in Algo::ALL {
+        for algo in Algo::ALL.into_iter().filter(|&a| a != Algo::Kgpm) {
             let want: Vec<ScoredMatch> =
                 build_stream(algo, &plan, &ParallelPolicy::with_shards(2), pool()).collect();
             // Interleave next() and next_batch() pulls of varying size.

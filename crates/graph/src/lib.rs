@@ -30,9 +30,11 @@ pub mod io;
 mod labels;
 mod noderow;
 mod types;
+mod undirected;
 
 pub use delta::{DeltaEffects, DeltaError, GraphDelta, GraphDeltaOp};
 pub use digraph::{EdgeRef, GraphBuilder, GraphError, GraphStats, LabeledGraph};
 pub use labels::LabelInterner;
 pub use noderow::NodeRow;
 pub use types::{Dist, LabelId, NodeId, Score, INF_DIST, INF_SCORE};
+pub use undirected::undirect;

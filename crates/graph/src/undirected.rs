@@ -2,8 +2,13 @@
 //!
 //! §5: "For each edge in the data graph, we make it bidirectional. Thus,
 //! our algorithms are immediately applicable."
+//!
+//! Node ids, labels and the interner's label-id assignment are all
+//! preserved (nodes are re-added in id order, so first-use label order
+//! is unchanged) — queries resolved against the directed graph's
+//! interner are valid against the mirror.
 
-use ktpm_graph::{GraphBuilder, LabeledGraph};
+use crate::{GraphBuilder, LabeledGraph};
 
 /// Returns the bidirectional version of `g`: every edge doubled in both
 /// directions with its weight (parallel edges keep the minimum weight).
@@ -23,7 +28,7 @@ pub fn undirect(g: &LabeledGraph) -> LabeledGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ktpm_graph::fixtures::citation_graph;
+    use crate::fixtures::citation_graph;
 
     #[test]
     fn doubles_every_edge() {
@@ -48,6 +53,15 @@ mod tests {
                 u.label_name(u.label(v)),
                 "label of {v}"
             );
+        }
+    }
+
+    #[test]
+    fn interner_label_ids_preserved() {
+        let g = citation_graph();
+        let u = undirect(&g);
+        for v in g.nodes() {
+            assert_eq!(g.label(v), u.label(v), "label id of {v}");
         }
     }
 }

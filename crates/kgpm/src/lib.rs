@@ -19,11 +19,16 @@
 //!
 //! * [`TreeMatcher::DpB`]  — mtree (the ICDE'13 baseline matcher);
 //! * [`TreeMatcher::TopkEn`] — mtree+ (this paper's Topk-EN plugged in).
+//!
+//! Since the engine unification, all of the above lives in `ktpm-core`
+//! ([`ktpm_core::KgpmStream`] behind `Algo::Kgpm` and pattern
+//! [`ktpm_core::QueryPlan`]s); this crate re-exports the vocabulary and
+//! keeps [`KgpmContext`] as a small batch convenience for "one graph,
+//! many pattern queries" callers. New code should go through the
+//! `ktpm::api` facade or `ktpm_core` directly.
 
-mod decompose;
 mod mtree;
-mod undirected;
 
-pub use decompose::{decompose, SpanningTree};
-pub use mtree::{GraphMatch, KgpmContext, KgpmStats, TreeMatcher};
-pub use undirected::undirect;
+pub use ktpm_core::{decompose, GraphMatch, KgpmStats, KgpmStream, SpanningTree};
+pub use ktpm_graph::undirect;
+pub use mtree::{KgpmContext, TreeMatcher};

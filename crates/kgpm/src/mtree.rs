@@ -1,18 +1,24 @@
-//! The enumerate-and-verify kGPM framework (mtree / mtree+).
+//! The enumerate-and-verify kGPM framework (mtree / mtree+) as a thin
+//! batch facade over `ktpm-core`'s streaming engine.
+//!
+//! [`KgpmContext`] predates the unified stack; it remains as the
+//! convenience "one graph, many pattern queries" API, but all the
+//! machinery — decomposition, the pattern [`QueryPlan`], lazy
+//! verification, threshold-driven emission — now lives in
+//! [`ktpm_core::KgpmStream`] behind [`ktpm_core::Algo::Kgpm`]. `topk`
+//! is exactly `limit(build_stream(Kgpm, …), k)` collected.
 
-use crate::decompose::{decompose, SpanningTree};
-use crate::undirected::undirect;
-use ktpm_baseline::DpBEnumerator;
 use ktpm_closure::ClosureTables;
-use ktpm_core::{ScoredMatch, TopkEnEnumerator};
-use ktpm_graph::{LabeledGraph, NodeId, Score};
+use ktpm_core::{
+    GraphMatch, KgpmStats, KgpmStream, MatchStream, ParallelPolicy, QueryPlan, ShardEngine,
+};
+use ktpm_graph::{undirect, LabeledGraph};
 use ktpm_query::GraphQuery;
-use ktpm_runtime::RuntimeGraph;
-use ktpm_storage::{ClosureSource, MemStore};
-use std::collections::BinaryHeap;
+use ktpm_storage::{MemStore, SharedSource};
 
 /// Which top-k tree matcher drives the enumeration (Figure 9's two
-/// systems).
+/// systems). Maps onto [`ShardEngine`]: DP-B is the full-loading
+/// engine, Topk-EN the lazy one.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum TreeMatcher {
     /// mtree: the DP-B matcher of the ICDE'13 framework.
@@ -21,42 +27,45 @@ pub enum TreeMatcher {
     TopkEn,
 }
 
-/// A full graph-pattern match.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct GraphMatch {
-    /// Sum of shortest distances over all pattern edges.
-    pub score: Score,
-    /// Mapped data node per pattern node (pattern node order).
-    pub assignment: Vec<NodeId>,
+impl TreeMatcher {
+    fn engine(self) -> ShardEngine {
+        match self {
+            TreeMatcher::DpB => ShardEngine::Full,
+            TreeMatcher::TopkEn => ShardEngine::Lazy,
+        }
+    }
 }
 
-/// Work counters for one kGPM run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct KgpmStats {
-    /// Tree matches enumerated before termination.
-    pub tree_matches_enumerated: u64,
-    /// Candidates discarded because a non-tree edge had no path.
-    pub rejected_disconnected: u64,
-}
-
-/// Prepared state for running kGPM queries over one data graph: the
-/// bidirectional transform and its closure.
+/// Prepared state for running kGPM queries over one data graph: a
+/// graph-attached source (whose undirected mirror backs pattern plans)
+/// plus the §5 bidirectional transform for inspection.
 pub struct KgpmContext {
     undirected: LabeledGraph,
-    store: MemStore,
+    source: SharedSource,
 }
 
 impl KgpmContext {
-    /// Builds the undirected closure of `g` (§5's transform).
+    /// Builds the closure of `g` and attaches the graph so pattern
+    /// plans can derive the undirected mirror (§5's transform).
     pub fn new(g: &LabeledGraph) -> Self {
         let undirected = undirect(g);
-        let store = MemStore::new(ClosureTables::compute(&undirected));
-        KgpmContext { undirected, store }
+        let source = MemStore::new(ClosureTables::compute(g))
+            .with_graph(g.clone())
+            .into_shared();
+        KgpmContext { undirected, source }
     }
 
     /// The bidirectional data graph.
     pub fn graph(&self) -> &LabeledGraph {
         &self.undirected
+    }
+
+    /// The undirected mirror source (verification probes run on it).
+    #[cfg(test)]
+    fn mirror(&self) -> SharedSource {
+        self.source
+            .undirected()
+            .expect("graph-attached MemStore has a mirror")
     }
 
     /// Top-k graph pattern matches of `q`.
@@ -71,102 +80,28 @@ impl KgpmContext {
         k: usize,
         matcher: TreeMatcher,
     ) -> (Vec<GraphMatch>, KgpmStats) {
-        let mut stats = KgpmStats::default();
         if k == 0 {
-            return (Vec::new(), stats);
+            return (Vec::new(), KgpmStats::default());
         }
-        let trees = decompose(q);
-        let driver = &trees[0];
-        let query = driver.tree.resolve(self.undirected.interner());
-
-        // Lower bound for each non-tree edge: the global minimum distance
-        // of its label pair (from the D tables); at least 1.
-        let lower: Vec<Score> = driver
-            .non_tree_edges
-            .iter()
-            .map(|&(a, b)| self.pair_lower_bound(q.label(a), q.label(b)))
-            .collect();
-        let residual_lb: Score = lower.iter().sum();
-
-        // Top-k heap of full matches: max-heap by (score, assignment).
-        let mut best: BinaryHeap<(Score, Vec<NodeId>)> = BinaryHeap::new();
-
-        let rg; // keep alive for the DP-B borrow
-        let mut stream: Box<dyn Iterator<Item = ScoredMatch>> = match matcher {
-            TreeMatcher::DpB => {
-                rg = RuntimeGraph::load(&query, &self.store);
-                Box::new(DpBEnumerator::new(&rg))
-            }
-            TreeMatcher::TopkEn => Box::new(TopkEnEnumerator::new(&query, &self.store)),
+        let plan = QueryPlan::new_pattern(q.clone(), self.undirected.interner(), &self.source)
+            .expect("graph-attached MemStore supports pattern plans");
+        let policy = ParallelPolicy {
+            shards: 1,
+            engine: matcher.engine(),
+            ..ParallelPolicy::default()
         };
-        for tm in &mut stream {
-            // Termination: even the cheapest completion cannot beat the
-            // current k-th best.
-            if best.len() == k {
-                let kth = best.peek().expect("k > 0").0;
-                if tm.score + residual_lb >= kth {
-                    break;
-                }
-            }
-            stats.tree_matches_enumerated += 1;
-            // Verify non-tree edges.
-            let mut full = tm.score;
-            let mut ok = true;
-            for &(a, b) in &driver.non_tree_edges {
-                let fa = tm.assignment[self.tree_pos(driver, a)];
-                let fb = tm.assignment[self.tree_pos(driver, b)];
-                match self.store.lookup_dist(fa, fb) {
-                    Some(d) => full += d as Score,
-                    None => {
-                        ok = false;
-                        break;
-                    }
-                }
-            }
-            if !ok {
-                stats.rejected_disconnected += 1;
-                continue;
-            }
-            // Reorder the assignment into pattern-node order.
-            let mut assignment = vec![NodeId(u32::MAX); q.len()];
-            for (tree_pos, &pattern) in driver.pattern_node.iter().enumerate() {
-                assignment[pattern] = tm.assignment[tree_pos];
-            }
-            if best.len() < k {
-                best.push((full, assignment));
-            } else if full < best.peek().expect("k > 0").0 {
-                best.pop();
-                best.push((full, assignment));
-            }
+        let mut stream = KgpmStream::from_plan(&plan, &policy, ktpm_exec::default_pool());
+        let mut out = Vec::with_capacity(k.min(1024));
+        while out.len() < k {
+            let Some(m) = MatchStream::next(&mut stream) else {
+                break;
+            };
+            out.push(GraphMatch {
+                score: m.score,
+                assignment: m.assignment.to_vec(),
+            });
         }
-        let mut out: Vec<GraphMatch> = best
-            .into_sorted_vec()
-            .into_iter()
-            .map(|(score, assignment)| GraphMatch { score, assignment })
-            .collect();
-        out.sort_by(|a, b| (a.score, &a.assignment).cmp(&(b.score, &b.assignment)));
-        (out, stats)
-    }
-
-    fn tree_pos(&self, tree: &SpanningTree, pattern_node: usize) -> usize {
-        tree.pattern_node
-            .iter()
-            .position(|&p| p == pattern_node)
-            .expect("spanning tree covers every pattern node")
-    }
-
-    fn pair_lower_bound(&self, a_label: &str, b_label: &str) -> Score {
-        let interner = self.undirected.interner();
-        let (Some(a), Some(b)) = (interner.get(a_label), interner.get(b_label)) else {
-            return 1;
-        };
-        self.store
-            .load_d(a, b)
-            .into_iter()
-            .map(|(_, d)| d as Score)
-            .min()
-            .unwrap_or(1)
-            .max(1)
+        (out, stream.stats())
     }
 }
 
@@ -174,6 +109,7 @@ impl KgpmContext {
 mod tests {
     use super::*;
     use ktpm_graph::fixtures::{citation_graph, paper_graph};
+    use ktpm_graph::{NodeId, Score};
     use std::collections::HashSet;
 
     fn labels(v: &[&str]) -> Vec<String> {
@@ -183,6 +119,7 @@ mod tests {
     /// Brute-force kGPM oracle over the undirected closure.
     fn brute_kgpm(ctx: &KgpmContext, q: &GraphQuery, k: usize) -> Vec<Score> {
         let g = ctx.graph();
+        let mirror = ctx.mirror();
         let mut candidates: Vec<Vec<NodeId>> = Vec::new();
         for u in 0..q.len() {
             let Some(l) = g.interner().get(q.label(u)) else {
@@ -202,7 +139,7 @@ mod tests {
             let mut total: Score = 0;
             let mut ok = true;
             for &(a, b) in q.edges() {
-                match ctx.store.lookup_dist(assignment[a], assignment[b]) {
+                match mirror.lookup_dist(assignment[a], assignment[b]) {
                     Some(d) => total += d as Score,
                     None => {
                         ok = false;
@@ -271,13 +208,13 @@ mod tests {
         let ctx = KgpmContext::new(&paper_graph());
         let q = GraphQuery::new(labels(&["a", "c", "d"]), vec![(0, 1), (1, 2), (0, 2)]).unwrap();
         let (matches, stats) = ctx.topk_with_stats(&q, 50, TreeMatcher::TopkEn);
+        let mirror = ctx.mirror();
         let mut seen = HashSet::new();
         for m in &matches {
             assert!(seen.insert(m.assignment.clone()));
             let mut total: Score = 0;
             for &(a, b) in q.edges() {
-                total += ctx
-                    .store
+                total += mirror
                     .lookup_dist(m.assignment[a], m.assignment[b])
                     .expect("verified edge") as Score;
             }

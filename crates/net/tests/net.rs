@@ -16,7 +16,11 @@ use std::time::{Duration, Instant};
 
 fn handle_with(config: ServiceConfig) -> ServiceHandle {
     let g = citation_graph();
-    let store = MemStore::new(ClosureTables::compute(&g)).into_shared();
+    // Attach the data graph so `OPEN kgpm` sessions have an undirected
+    // mirror to plan over; tree algorithms never look at it.
+    let store = MemStore::new(ClosureTables::compute(&g))
+        .with_graph(g.clone())
+        .into_shared();
     QueryEngine::new(g.interner().clone(), store, config)
 }
 
@@ -115,6 +119,51 @@ fn pipelined_requests_answer_in_order_on_both_front_ends() {
 
     // The acceptance bar: byte-identical response streams.
     assert_eq!(ev_resp, legacy_resp);
+
+    ev.shutdown();
+    legacy.shutdown();
+}
+
+#[test]
+fn kgpm_patterns_stream_identically_on_both_front_ends() {
+    // A cyclic graph pattern is not tree-parseable, so this exercises
+    // the pattern branch of `OPEN` end to end over the wire. The
+    // triangle has 12 matches on citation_graph; pull them in two
+    // batches and drain.
+    let script: &[&str] = &[
+        "OPEN kgpm C -> E; E -> S; S -> C",
+        "NEXT 1 4",
+        "NEXT 1 100",
+        "CLOSE 1",
+    ];
+    let ev = EventServer::spawn(
+        handle_with(small_config()),
+        ("127.0.0.1", 0),
+        NetConfig::default(),
+    )
+    .unwrap();
+    let ev_resp = pipeline_exchange(ev.local_addr(), script);
+
+    let legacy = Server::spawn(handle_with(small_config()), ("127.0.0.1", 0)).unwrap();
+    let legacy_resp = pipeline_exchange(legacy.local_addr(), script);
+
+    assert_eq!(ev_resp, legacy_resp, "front ends agree byte-for-byte");
+
+    let lines: Vec<&str> = ev_resp.lines().collect();
+    assert_eq!(lines[0], "OK 1", "OPEN kgpm: {ev_resp:?}");
+    let scores: Vec<Score> = lines
+        .iter()
+        .filter(|l| l.starts_with("M "))
+        .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
+        .collect();
+    assert_eq!(scores.len(), 12, "triangle matches: {ev_resp:?}");
+    let mut sorted = scores.clone();
+    sorted.sort();
+    assert_eq!(scores, sorted, "ranked order over the wire");
+    assert!(
+        lines.iter().any(|l| l.starts_with("OK 8 DONE")),
+        "drain reports DONE: {ev_resp:?}"
+    );
 
     ev.shutdown();
     legacy.shutdown();

@@ -5,8 +5,58 @@
 //! carry label names. `ktpm-kgpm` decomposes it into rooted spanning
 //! trees and plugs in a top-k tree matcher.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+
+/// Errors raised while parsing the graph-pattern text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphParseError {
+    /// A line did not have the form `<node> -> <node>` or `<node>`.
+    BadLine(usize, String),
+    /// `=>` (child) edges are a tree-query concept; pattern edges map to
+    /// shortest paths and are always written `->`.
+    ChildEdge(usize),
+    /// Wildcard nodes (`*`) are not supported in graph patterns — the
+    /// kGPM decomposition needs concrete, distinct labels.
+    Wildcard(usize),
+    /// `label#disc` discriminators are not supported in graph patterns —
+    /// pattern nodes are identified by (distinct) label alone.
+    Discriminator(usize, String),
+    /// The parsed nodes/edges do not form a valid pattern.
+    Structure(GraphQueryError),
+}
+
+impl fmt::Display for GraphParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphParseError::BadLine(n, l) => write!(f, "line {n}: cannot parse {l:?}"),
+            GraphParseError::ChildEdge(n) => write!(
+                f,
+                "line {n}: '=>' child edges are not valid in graph patterns (use '->')"
+            ),
+            GraphParseError::Wildcard(n) => {
+                write!(
+                    f,
+                    "line {n}: wildcard '*' nodes are not valid in graph patterns"
+                )
+            }
+            GraphParseError::Discriminator(n, t) => write!(
+                f,
+                "line {n}: discriminator {t:?} is not valid in graph patterns \
+                 (labels must be distinct)"
+            ),
+            GraphParseError::Structure(e) => write!(f, "invalid graph pattern: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphParseError {}
+
+impl From<GraphQueryError> for GraphParseError {
+    fn from(e: GraphQueryError) -> Self {
+        GraphParseError::Structure(e)
+    }
+}
 
 /// Errors raised while building a graph query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,6 +157,79 @@ impl GraphQuery {
         Ok(GraphQuery { labels, edges, adj })
     }
 
+    /// Parses the same edge-list text format as
+    /// [`TreeQuery::parse`](crate::TreeQuery::parse), read as an
+    /// *undirected* pattern:
+    ///
+    /// ```text
+    /// # comment lines start with '#'
+    /// A -> B
+    /// B -> C
+    /// C -> A
+    /// ```
+    ///
+    /// Each `->` line is one undirected pattern edge; a token names the
+    /// same pattern node every time it appears (node identity *is* the
+    /// label — graph patterns require distinct labels); a bare token
+    /// declares a single-node pattern. Tree-only syntax is rejected with
+    /// a pointed error: `=>` child edges ([`GraphParseError::ChildEdge`]),
+    /// `*` wildcards ([`GraphParseError::Wildcard`]) and `label#disc`
+    /// discriminators ([`GraphParseError::Discriminator`]).
+    pub fn parse(text: &str) -> Result<GraphQuery, GraphParseError> {
+        let mut labels: Vec<String> = Vec::new();
+        let mut ids: HashMap<String, usize> = HashMap::new();
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let lineno = lineno + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut node = |token: &str| -> Result<usize, GraphParseError> {
+                if token.contains('*') {
+                    return Err(GraphParseError::Wildcard(lineno));
+                }
+                if token.contains('#') {
+                    return Err(GraphParseError::Discriminator(lineno, token.to_owned()));
+                }
+                Ok(*ids.entry(token.to_owned()).or_insert_with(|| {
+                    labels.push(token.to_owned());
+                    labels.len() - 1
+                }))
+            };
+            if line.contains("=>") {
+                return Err(GraphParseError::ChildEdge(lineno));
+            }
+            if line.contains("->") {
+                let mut sides = line.splitn(2, "->");
+                let lhs = sides.next().map(str::trim).unwrap_or("");
+                let rhs = sides.next().map(str::trim).unwrap_or("");
+                if lhs.is_empty()
+                    || rhs.is_empty()
+                    || lhs.contains(char::is_whitespace)
+                    || rhs.contains(char::is_whitespace)
+                {
+                    return Err(GraphParseError::BadLine(lineno, raw.to_owned()));
+                }
+                let a = node(lhs)?;
+                let b = node(rhs)?;
+                edges.push((a, b));
+            } else {
+                // A bare token declares a single pattern node.
+                let mut parts = line.split_whitespace();
+                match (parts.next(), parts.next()) {
+                    (Some(tok), None) => {
+                        node(tok)?;
+                    }
+                    _ => return Err(GraphParseError::BadLine(lineno, raw.to_owned())),
+                }
+            }
+        }
+        // Self loops (`A -> A`) and everything structural fall through to
+        // the builder; duplicate labels cannot arise (identity is label).
+        Ok(GraphQuery::new(labels, edges)?)
+    }
+
     /// Number of pattern nodes.
     pub fn len(&self) -> usize {
         self.labels.len()
@@ -202,6 +325,80 @@ mod tests {
         assert_eq!(
             GraphQuery::new(vec![], vec![]).unwrap_err(),
             GraphQueryError::Empty
+        );
+    }
+
+    #[test]
+    fn parse_triangle() {
+        let q = GraphQuery::parse("# a cyclic pattern\nA -> B\nB -> C\nC -> A\n").unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.num_edges(), 3);
+        assert_eq!(q.excess_edges(), 1);
+        assert_eq!(q.labels(), &["A", "B", "C"]);
+    }
+
+    #[test]
+    fn parse_dedups_both_orientations() {
+        let q = GraphQuery::parse("A -> B\nB -> A").unwrap();
+        assert_eq!(q.num_edges(), 1);
+    }
+
+    #[test]
+    fn parse_single_node() {
+        let q = GraphQuery::parse("  A \n").unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.num_edges(), 0);
+    }
+
+    #[test]
+    fn parse_rejects_child_edges() {
+        assert_eq!(
+            GraphQuery::parse("A -> B\nB => C").unwrap_err(),
+            GraphParseError::ChildEdge(2)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_wildcards() {
+        assert_eq!(
+            GraphQuery::parse("A -> *").unwrap_err(),
+            GraphParseError::Wildcard(1)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_discriminators() {
+        assert!(matches!(
+            GraphQuery::parse("A#1 -> A#2").unwrap_err(),
+            GraphParseError::Discriminator(1, _)
+        ));
+    }
+
+    #[test]
+    fn parse_bad_line() {
+        assert!(matches!(
+            GraphQuery::parse("A -> ").unwrap_err(),
+            GraphParseError::BadLine(1, _)
+        ));
+        assert!(matches!(
+            GraphQuery::parse("A B C").unwrap_err(),
+            GraphParseError::BadLine(1, _)
+        ));
+    }
+
+    #[test]
+    fn parse_structural_errors_propagate() {
+        assert_eq!(
+            GraphQuery::parse("A -> B\nC -> D").unwrap_err(),
+            GraphParseError::Structure(GraphQueryError::Disconnected)
+        );
+        assert_eq!(
+            GraphQuery::parse("A -> A").unwrap_err(),
+            GraphParseError::Structure(GraphQueryError::SelfLoop(0))
+        );
+        assert_eq!(
+            GraphQuery::parse("").unwrap_err(),
+            GraphParseError::Structure(GraphQueryError::Empty)
         );
     }
 }

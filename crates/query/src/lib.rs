@@ -10,7 +10,8 @@
 //!   (Lemma 3.1), which the Lawler enumeration relies on.
 //! * [`GraphQuery`] — an undirected labeled graph pattern for the kGPM
 //!   extension (§5), consumed by `ktpm-kgpm`.
-//! * A tiny text format ([`TreeQuery::parse`]) for tests and examples.
+//! * A tiny text format ([`TreeQuery::parse`], [`GraphQuery::parse`])
+//!   for tests, examples and the wire protocol.
 //!
 //! ## Example
 //!
@@ -37,7 +38,7 @@ mod graph_query;
 mod parse;
 mod tree;
 
-pub use graph_query::{GraphQuery, GraphQueryError};
+pub use graph_query::{GraphParseError, GraphQuery, GraphQueryError};
 pub use parse::ParseError;
 pub use tree::{
     EdgeKind, QNodeId, QueryError, QueryLabel, ResolvedQuery, TreeQuery, TreeQueryBuilder,

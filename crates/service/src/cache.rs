@@ -155,12 +155,18 @@ impl ResultCache {
         self.lru.insert(key, prefix);
     }
 
-    /// Drops every prefix whose canonicalized query text `affected`
-    /// accepts (the delta-aware invalidation pass; the predicate sees
-    /// the text half of the key, so one verdict covers all algorithms
-    /// of that query). Returns how many entries were removed.
-    pub fn invalidate_matching(&mut self, mut affected: impl FnMut(&str) -> bool) -> usize {
-        self.lru.retain(|(_, text), _| !affected(text))
+    /// Drops every prefix `affected` accepts (the delta-aware
+    /// invalidation pass). The predicate sees both key halves —
+    /// `(algorithm name, canonical query text)` — because the same text
+    /// means different reads under different engines: tree algorithms
+    /// read the directed closure, `kgpm` reads the undirected mirror,
+    /// so their verdicts come from different touched-pair lists.
+    /// Returns how many entries were removed.
+    pub fn invalidate_matching(
+        &mut self,
+        mut affected: impl FnMut(&'static str, &str) -> bool,
+    ) -> usize {
+        self.lru.retain(|(algo, text), _| !affected(algo, text))
     }
 
     /// Drops everything (the flush-all invalidation policy), returning
@@ -293,13 +299,39 @@ impl PlanCache {
     /// ([`QueryPlan::stamp_version`] — a delta that cannot change any
     /// table a plan reads leaves the plan bit-for-bit valid). Returns
     /// how many plans were dropped.
+    ///
+    /// Checks every plan against the one `touched_pairs` list; correct
+    /// when the cache holds only tree plans. A cache that may also hold
+    /// pattern plans (which read the *undirected* mirror) must use
+    /// [`PlanCache::invalidate_affected_split`].
     pub fn invalidate_affected(
         &mut self,
         touched_pairs: &[(ktpm_graph::LabelId, ktpm_graph::LabelId)],
         version: u64,
     ) -> usize {
+        self.invalidate_affected_split(touched_pairs, touched_pairs, version)
+    }
+
+    /// As [`PlanCache::invalidate_affected`], with each plan checked
+    /// against the touched-pair list matching what it actually reads:
+    /// tree plans against the directed `touched_pairs`, pattern plans
+    /// ([`QueryPlan::is_pattern`]) against `undirected_touched_pairs`
+    /// ([`ktpm_storage::DeltaReport`] carries both halves). A delta
+    /// masked in one direction then invalidates only the plans whose
+    /// tables it really changed.
+    pub fn invalidate_affected_split(
+        &mut self,
+        touched_pairs: &[(ktpm_graph::LabelId, ktpm_graph::LabelId)],
+        undirected_touched_pairs: &[(ktpm_graph::LabelId, ktpm_graph::LabelId)],
+        version: u64,
+    ) -> usize {
         self.lru.retain(|_, plan| {
-            if plan.is_affected_by(touched_pairs) {
+            let relevant = if plan.is_pattern() {
+                undirected_touched_pairs
+            } else {
+                touched_pairs
+            };
+            if plan.is_affected_by(relevant) {
                 false
             } else {
                 plan.stamp_version(version);
@@ -508,12 +540,26 @@ mod tests {
         c.insert(("topk", "hot".into()), prefix(2, true));
         c.insert(("topk-en", "hot".into()), prefix(3, true));
         c.insert(("topk", "cold".into()), prefix(1, true));
-        let dropped = c.invalidate_matching(|text| text == "hot");
+        let dropped = c.invalidate_matching(|_, text| text == "hot");
         assert_eq!(dropped, 2, "both algorithms of the hot query go");
         assert_eq!(c.len(), 1);
         assert!(c.get(&key("cold")).is_some());
         assert_eq!(c.invalidate_all(), 1);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn result_cache_invalidation_sees_the_algorithm() {
+        // The same text under a tree algorithm and under kgpm reads
+        // different tables; the predicate must be able to tell them
+        // apart.
+        let mut c = ResultCache::new(8);
+        c.insert(("topk", "C -> E".into()), prefix(2, true));
+        c.insert(("kgpm", "C -> E".into()), prefix(2, true));
+        let dropped = c.invalidate_matching(|algo, _| algo == "kgpm");
+        assert_eq!(dropped, 1);
+        assert!(c.get(&("topk", "C -> E".into())).is_some());
+        assert!(c.get(&("kgpm", "C -> E".into())).is_none());
     }
 
     fn plan_for(text: &str) -> impl Fn() -> QueryPlan + '_ {
@@ -548,5 +594,48 @@ mod tests {
         assert!(!hit, "the affected plan was dropped");
         assert_eq!(c.invalidate_all(), 2);
         assert!(c.is_empty());
+    }
+
+    fn pattern_plan_for(text: &str) -> impl Fn() -> QueryPlan + '_ {
+        move || {
+            let g = ktpm_graph::fixtures::citation_graph();
+            let q = ktpm_query::GraphQuery::parse(text).unwrap();
+            let store = ktpm_storage::MemStore::new(ktpm_closure::ClosureTables::compute(&g))
+                .with_graph(g.clone())
+                .into_shared();
+            QueryPlan::new_pattern(q, g.interner(), &store).unwrap()
+        }
+    }
+
+    #[test]
+    fn split_invalidation_checks_each_plan_against_its_own_list() {
+        let g = ktpm_graph::fixtures::citation_graph();
+        let lbl = |n: &str| g.interner().get(n).unwrap();
+        let mut c = PlanCache::new(8);
+        // Same text, both plan kinds: the tree plan reads the directed
+        // (C, E) table, the pattern plan the undirected mirror's.
+        let (tree, _) = c.get_or_insert("C -> E", plan_for("C -> E"));
+        let (pattern, _) = c.get_or_insert("pattern\x1fC -> E", pattern_plan_for("C -> E"));
+        assert!(pattern.is_pattern());
+        // Delta touched (C, E) only in the undirected mirror (e.g. the
+        // directed change was masked): the tree plan must survive with
+        // a re-stamp, the pattern plan must go.
+        let dropped = c.invalidate_affected_split(&[], &[(lbl("C"), lbl("E"))], 7);
+        assert_eq!(dropped, 1);
+        assert_eq!(tree.graph_version(), 7, "tree plan survives re-stamped");
+        let (_, hit) = c.get_or_insert("C -> E", plan_for("C -> E"));
+        assert!(hit);
+        let (pattern, hit) = c.get_or_insert("pattern\x1fC -> E", pattern_plan_for("C -> E"));
+        assert!(!hit, "the pattern plan was the split-invalidation victim");
+        // And the mirror case: only the directed list touched.
+        let dropped = c.invalidate_affected_split(&[(lbl("C"), lbl("E"))], &[], 8);
+        assert_eq!(dropped, 1);
+        assert_eq!(
+            pattern.graph_version(),
+            8,
+            "pattern plan survives re-stamped"
+        );
+        let (_, hit) = c.get_or_insert("pattern\x1fC -> E", pattern_plan_for("C -> E"));
+        assert!(hit);
     }
 }

@@ -5,10 +5,10 @@ use crate::cache::{CacheKey, PlanCache, ResultCache};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::session::{Session, SessionId, SessionTable};
 use crate::{InvalidationPolicy, ServiceConfig};
-use ktpm_core::{query_reads_touched_pairs, QueryPlan, ScoredMatch};
+use ktpm_core::{pattern_reads_touched_pairs, query_reads_touched_pairs, QueryPlan, ScoredMatch};
 use ktpm_exec::WorkerPool;
 use ktpm_graph::{GraphDelta, LabelInterner};
-use ktpm_query::TreeQuery;
+use ktpm_query::{GraphQuery, TreeQuery};
 use ktpm_storage::{SharedSource, StorageError};
 use std::collections::HashMap;
 use std::fmt;
@@ -52,6 +52,11 @@ pub enum ServiceError {
         /// Store version the invalidating delta produced.
         store_version: u64,
     },
+    /// `OPEN kgpm` against a store that cannot serve graph patterns:
+    /// the backend has no data graph attached, so the §5 undirected
+    /// mirror cannot be built (e.g. a persisted closure-only
+    /// snapshot).
+    PatternUnsupported,
     /// A graph delta failed at the storage layer (immutable snapshot
     /// backend, or a rejected delta); no state changed.
     Update(StorageError),
@@ -68,6 +73,7 @@ impl ServiceError {
             ServiceError::UnknownSession(_) => "unknown-session",
             ServiceError::SessionLimit(_) => "session-limit",
             ServiceError::StaleVersion { .. } => "stale-version",
+            ServiceError::PatternUnsupported => "pattern-unsupported",
             ServiceError::Update(StorageError::UpdatesUnsupported(_)) => "update-unsupported",
             ServiceError::Update(StorageError::DeltaRejected(_)) => "update-rejected",
             ServiceError::Update(_) => "update-failed",
@@ -93,6 +99,11 @@ impl fmt::Display for ServiceError {
                 f,
                 "session {session} opened at graph v{plan_version}, store now \
                  v{store_version}; re-OPEN the query"
+            ),
+            ServiceError::PatternUnsupported => write!(
+                f,
+                "graph patterns need a store with a data graph attached \
+                 (this backend has no undirected mirror)"
             ),
             ServiceError::Update(e) => write!(f, "{e}"),
         }
@@ -243,32 +254,54 @@ pub(crate) fn canonicalize(query: &str) -> String {
 }
 
 impl ServiceHandle {
-    /// Opens a session for `(query, algo)`. The query uses the
+    /// Opens a session for `(query, algo)`. Tree algorithms take the
     /// `A -> B` / `A => B` twig text format, newline- (or on the wire,
-    /// `;`-) separated.
+    /// `;`-) separated; [`Algo::Kgpm`] takes the same edge-list text
+    /// read as an undirected graph pattern (cycles allowed, `=>` / `*`
+    /// / `#` not), planned over the store's undirected mirror —
+    /// [`ServiceError::PatternUnsupported`] when the backend has none.
     pub fn open(&self, query: &str, algo: Algo) -> Result<SessionId, ServiceError> {
         let e = &self.engine;
         let canonical = canonicalize(query);
-        let tree = TreeQuery::parse(&canonical).map_err(|err| {
-            e.metrics.error();
-            ServiceError::BadQuery(err.to_string())
-        })?;
-        let resolved = tree.resolve(&e.interner);
         let key: CacheKey = (algo.name(), canonical);
         let cached = e.cache.lock().expect("cache lock").get(&key);
         match &cached {
             Some(_) => e.metrics.cache_hit(),
             None => e.metrics.cache_miss(),
         }
-        // The plan cache is keyed by query text alone: one plan feeds
-        // every algorithm. Registering is cheap — the expensive setup
-        // runs lazily inside the plan, once, when the first session
-        // actually needs it.
-        let (plan, plan_hit) = e
-            .plans
-            .lock()
-            .expect("plan cache lock")
-            .get_or_insert(&key.1, || QueryPlan::new(resolved, Arc::clone(&e.source)));
+        // The plan cache is keyed by query text alone: one tree plan
+        // feeds every tree algorithm (pattern plans live under a
+        // `pattern\x1f` key prefix — same text, different tables read).
+        // Registering is cheap — the expensive setup runs lazily inside
+        // the plan, once, when the first session actually needs it.
+        let (plan, plan_hit) = if algo == Algo::Kgpm {
+            let pattern = GraphQuery::parse(&key.1).map_err(|err| {
+                e.metrics.error();
+                ServiceError::BadQuery(err.to_string())
+            })?;
+            if e.source.undirected().is_none() {
+                e.metrics.error();
+                return Err(ServiceError::PatternUnsupported);
+            }
+            let plan_key = format!("pattern\x1f{}", key.1);
+            e.plans
+                .lock()
+                .expect("plan cache lock")
+                .get_or_insert(&plan_key, || {
+                    QueryPlan::new_pattern(pattern, &e.interner, &e.source)
+                        .expect("mirror presence checked above")
+                })
+        } else {
+            let tree = TreeQuery::parse(&key.1).map_err(|err| {
+                e.metrics.error();
+                ServiceError::BadQuery(err.to_string())
+            })?;
+            let resolved = tree.resolve(&e.interner);
+            e.plans
+                .lock()
+                .expect("plan cache lock")
+                .get_or_insert(&key.1, || QueryPlan::new(resolved, Arc::clone(&e.source)))
+        };
         if plan_hit {
             e.metrics.plan_hit();
         } else {
@@ -383,18 +416,41 @@ impl ServiceHandle {
         let mut plans: Vec<Arc<QueryPlan>> = Vec::new();
         for text in queries {
             let canonical = canonicalize(text);
-            let Ok(tree) = TreeQuery::parse(&canonical) else {
-                report.skipped += 1;
-                continue;
+            // Dual-form, tree first: a text that parses as a rooted
+            // tree warms the tree plan every tree algorithm shares.
+            // Tree-unparseable text (typically cyclic) is retried as a
+            // graph pattern and warms the `pattern\x1f`-keyed plan a
+            // kgpm `OPEN` of the same text will hit — skipped like an
+            // unparseable query when the backend has no mirror.
+            let (plan, hit) = match TreeQuery::parse(&canonical) {
+                Ok(tree) => {
+                    let resolved = tree.resolve(&e.interner);
+                    e.plans
+                        .lock()
+                        .expect("plan cache lock")
+                        .get_or_insert(&canonical, || {
+                            QueryPlan::new(resolved, Arc::clone(&e.source))
+                        })
+                }
+                Err(_) => {
+                    let Ok(pattern) = GraphQuery::parse(&canonical) else {
+                        report.skipped += 1;
+                        continue;
+                    };
+                    if e.source.undirected().is_none() {
+                        report.skipped += 1;
+                        continue;
+                    }
+                    let plan_key = format!("pattern\x1f{canonical}");
+                    e.plans
+                        .lock()
+                        .expect("plan cache lock")
+                        .get_or_insert(&plan_key, || {
+                            QueryPlan::new_pattern(pattern, &e.interner, &e.source)
+                                .expect("mirror presence checked above")
+                        })
+                }
             };
-            let resolved = tree.resolve(&e.interner);
-            let (plan, hit) = e
-                .plans
-                .lock()
-                .expect("plan cache lock")
-                .get_or_insert(&canonical, || {
-                    QueryPlan::new(resolved, Arc::clone(&e.source))
-                });
             if !hit {
                 report.warmed += 1;
             }
@@ -439,12 +495,18 @@ impl ServiceHandle {
         e.metrics.graph_update();
         let flush_all = matches!(e.config.invalidation, InvalidationPolicy::FlushAll);
         let touched = &report.touched_pairs;
+        let undirected_touched = &report.undirected_touched_pairs;
         let plans_invalidated = {
             let mut plans = e.plans.lock().expect("plan cache lock");
             if flush_all {
                 plans.invalidate_all()
             } else {
-                plans.invalidate_affected(touched, report.version)
+                // Tree plans are checked against the directed touched
+                // list, pattern plans against the undirected one (they
+                // read the mirror's tables) — the split keeps a delta
+                // masked on one side from dropping the other side's
+                // plans.
+                plans.invalidate_affected_split(touched, undirected_touched, report.version)
             }
         };
         let prefix_entries_invalidated = {
@@ -452,27 +514,51 @@ impl ServiceHandle {
             if flush_all {
                 cache.invalidate_all()
             } else {
-                // One parse+resolve per distinct cached query text; the
-                // per-algorithm key entries share the memoized verdict.
-                let mut verdicts: HashMap<String, bool> = HashMap::new();
-                cache.invalidate_matching(|text| {
-                    *verdicts.entry(text.to_string()).or_insert_with(|| {
-                        match TreeQuery::parse(text) {
-                            Ok(tree) => {
-                                query_reads_touched_pairs(&tree.resolve(&e.interner), touched)
+                // One parse+resolve per distinct cached query text *per
+                // reading mode* — kgpm entries re-parse as patterns and
+                // check the undirected list, every tree algorithm of a
+                // text shares one memoized tree verdict.
+                let kgpm = Algo::Kgpm.name();
+                let mut verdicts: HashMap<(bool, String), bool> = HashMap::new();
+                cache.invalidate_matching(|algo, text| {
+                    let pattern = algo == kgpm;
+                    *verdicts
+                        .entry((pattern, text.to_string()))
+                        .or_insert_with(|| {
+                            if pattern {
+                                match GraphQuery::parse(text) {
+                                    Ok(p) => pattern_reads_touched_pairs(
+                                        &p,
+                                        &e.interner,
+                                        undirected_touched,
+                                    ),
+                                    // A cached text the parser no longer
+                                    // accepts cannot be classified: drop
+                                    // it defensively.
+                                    Err(_) => true,
+                                }
+                            } else {
+                                match TreeQuery::parse(text) {
+                                    Ok(tree) => query_reads_touched_pairs(
+                                        &tree.resolve(&e.interner),
+                                        touched,
+                                    ),
+                                    Err(_) => true,
+                                }
                             }
-                            // A cached text the parser no longer accepts
-                            // cannot be classified: drop it defensively.
-                            Err(_) => true,
-                        }
-                    })
+                        })
                 })
             }
         };
         let mut sessions_fenced = 0;
         for slot in e.sessions.all_slots() {
             let mut session = slot.session.lock().expect("session lock");
-            if flush_all || session.plan().is_affected_by(touched) {
+            let relevant: &[_] = if session.plan().is_pattern() {
+                undirected_touched
+            } else {
+                touched
+            };
+            if flush_all || session.plan().is_affected_by(relevant) {
                 if session.fenced_at().is_none() {
                     sessions_fenced += 1;
                 }
@@ -588,7 +674,10 @@ mod tests {
             assert_eq!(Algo::parse(a.name()), Some(a));
         }
         assert_eq!(Algo::parse("nope"), None);
-        assert_eq!(Algo::valid_names(), "topk | topk-en | par | brute");
+        assert_eq!(
+            Algo::valid_names(),
+            "topk | topk-en | par | brute | dp-b | dp-p | kgpm"
+        );
     }
 
     #[test]
@@ -800,6 +889,128 @@ mod tests {
         let before = h.stats().metrics;
         h.topk("C -> E\nC -> S", Algo::Topk, 100).unwrap();
         assert_eq!(h.stats().metrics.cache_misses, before.cache_misses + 1);
+    }
+
+    /// The Figure-1 graph's C–E–S triangle pattern: every (c, e, s)
+    /// combination is pairwise connected in the undirected mirror, so
+    /// kGPM yields 3 C × 2 E × 2 S = 12 matches.
+    const TRIANGLE: &str = "C -> E\nE -> S\nS -> C";
+
+    #[test]
+    fn kgpm_sessions_stream_patterns_and_reopen_as_plan_hits() {
+        let (h, _) = live_handle(ServiceConfig::default());
+        let id = h.open(TRIANGLE, Algo::Kgpm).unwrap();
+        let first = h.next(id, 4).unwrap();
+        assert_eq!(first.matches.len(), 4);
+        assert!(!first.exhausted);
+        let rest = h.next(id, 100).unwrap();
+        assert!(rest.exhausted);
+        h.close(id).unwrap();
+        let all: Vec<ScoredMatch> = first.matches.into_iter().chain(rest.matches).collect();
+        assert_eq!(all.len(), 12);
+        assert!(
+            all.windows(2).all(|w| w[0].score <= w[1].score),
+            "kgpm sessions stream in score order across batch boundaries"
+        );
+        let m = h.stats().metrics;
+        assert_eq!((m.plan_hits, m.plan_misses), (0, 1));
+        // Warm re-open: the pattern plan is a cache hit (decomposition,
+        // candidate discovery and the residual bound are all reused)
+        // and the published prefix answers from the result cache.
+        let again = h.topk(TRIANGLE, Algo::Kgpm, 100).unwrap();
+        assert_eq!(again, all, "warm kgpm re-open streams identical bytes");
+        let m = h.stats().metrics;
+        assert_eq!(m.plan_hits, 1);
+        assert_eq!(m.cache_hits, 1);
+    }
+
+    #[test]
+    fn kgpm_on_snapshot_store_without_graph_is_pattern_unsupported() {
+        // The MemStore test handle carries no data graph, so there is
+        // no undirected mirror to plan patterns over.
+        let h = handle_with(ServiceConfig::default());
+        let err = h.open(TRIANGLE, Algo::Kgpm).unwrap_err();
+        assert_eq!(err.code(), "pattern-unsupported");
+        assert!(matches!(err, ServiceError::PatternUnsupported));
+        assert_eq!(h.stats().metrics.errors, 1);
+        assert_eq!(h.stats().plan_entries, 0, "no plan was registered");
+        // Cyclic text is still a bad query for tree algorithms.
+        let err = h.open(TRIANGLE, Algo::Topk).unwrap_err();
+        assert_eq!(err.code(), "bad-query");
+    }
+
+    #[test]
+    fn warm_plans_is_dual_form() {
+        let (h, _) = live_handle(ServiceConfig::default());
+        // A cyclic pattern, a tree query, and junk: the first two warm
+        // (one pattern plan, one tree plan), the junk is skipped.
+        let report = h.warm_plans([TRIANGLE, "C -> E\nC -> S", "broken ->"]);
+        assert_eq!((report.warmed, report.skipped), (2, 1));
+        let id = h.open(TRIANGLE, Algo::Kgpm).unwrap();
+        h.next(id, 3).unwrap();
+        h.close(id).unwrap();
+        let m = h.stats().metrics;
+        assert_eq!(
+            (m.plan_hits, m.plan_misses),
+            (1, 0),
+            "a warmed pattern's first kgpm OPEN is a plan hit"
+        );
+        // Without a mirror, pattern warming is skipped like junk.
+        let snapshot = handle_with(ServiceConfig::default());
+        let r = snapshot.warm_plans([TRIANGLE]);
+        assert_eq!((r.warmed, r.skipped), (0, 1));
+    }
+
+    #[test]
+    fn updates_fence_kgpm_sessions_and_invalidate_only_touched_pattern_plans() {
+        let (h, _) = live_handle(ServiceConfig::default());
+        // Three live sessions over three distinct plans: the triangle
+        // pattern (reads the undirected (E, S) table among others), a
+        // single-edge C->E pattern, and the C->E tree query. The "C ->
+        // E" text is shared — pattern and tree plans must be separate
+        // cache entries.
+        let tri = h.open(TRIANGLE, Algo::Kgpm).unwrap();
+        h.next(tri, 2).unwrap();
+        let ce_pattern = h.open("C -> E", Algo::Kgpm).unwrap();
+        h.next(ce_pattern, 1).unwrap();
+        let ce_tree = h.open("C -> E", Algo::Topk).unwrap();
+        h.next(ce_tree, 1).unwrap();
+        assert_eq!(h.stats().plan_entries, 3);
+
+        // Re-weight v5 -> v7 (an E -> S edge). Node v7 hangs off v5
+        // alone, so undirected repairs touch only S-involving tables:
+        // the triangle's plan is affected, both C->E plans are not
+        // (undirected C–E distances never route through v7, and the
+        // directed (C, E) closure is untouched entirely).
+        let report = h
+            .apply_delta(&ktpm_graph::GraphDelta::new().set_weight(NodeId(4), NodeId(6), 5))
+            .unwrap();
+        assert_eq!(report.plans_invalidated, 1, "only the triangle plan");
+        assert_eq!(report.sessions_fenced, 1, "only the triangle session");
+        assert_eq!(
+            report.prefix_entries_invalidated, 1,
+            "the triangle's published prefix is re-classified as a pattern and dropped"
+        );
+        let err = h.next(tri, 1).unwrap_err();
+        assert_eq!(err.code(), "stale-version");
+        assert!(
+            h.next(ce_pattern, 1).is_ok(),
+            "unaffected kgpm session streams on"
+        );
+        assert!(
+            h.next(ce_tree, 1).is_ok(),
+            "unaffected tree session streams on"
+        );
+
+        // The unaffected pattern re-opens as a plan hit; the fenced one
+        // rebuilds and serves the post-delta graph.
+        let before = h.stats().metrics;
+        h.topk("C -> E", Algo::Kgpm, 1).unwrap();
+        assert_eq!(h.stats().metrics.plan_hits, before.plan_hits + 1);
+        let before = h.stats().metrics;
+        let post = h.topk(TRIANGLE, Algo::Kgpm, 100).unwrap();
+        assert_eq!(h.stats().metrics.plan_misses, before.plan_misses + 1);
+        assert_eq!(post.len(), 12, "all triangles still exist, re-scored");
     }
 
     #[test]

@@ -3,18 +3,26 @@
 //! Requests are single lines, UTF-8, `\n`-terminated:
 //!
 //! ```text
-//! OPEN <algo> <query>      algo: topk | topk-en | par | brute (one
-//!                          const list, [`crate::Algo::ALL`] — the
-//!                          canonical registry, relocated to
-//!                          `ktpm_core` and shared with the CLI and
-//!                          the `ktpm::api` facade; names are
+//! OPEN <algo> <query>      algo: topk | topk-en | par | brute |
+//!                          dp-b | dp-p | kgpm (one const list,
+//!                          [`crate::Algo::ALL`] — the canonical
+//!                          registry in `ktpm_core`, shared with the
+//!                          CLI and the `ktpm::api` facade; names are
 //!                          case-insensitive like the verbs, so
 //!                          `OPEN TOPK …` works). The query is the
 //!                          twig text format with `;` standing in for
 //!                          newlines, e.g. `OPEN topk-en C -> E; C -> S`.
-//!                          Every algorithm streams the identical
+//!                          Every tree algorithm streams the identical
 //!                          canonical order; `par` just runs it
-//!                          root-sharded on the engine's shard pool.
+//!                          root-sharded on the engine's shard pool,
+//!                          and `dp-b` / `dp-p` are the ICDE'13
+//!                          baselines behind the same stream surface.
+//!                          `kgpm` reads the same edge-list text as an
+//!                          **undirected graph pattern** (cycles
+//!                          allowed; `=>`, `*` and `#` are not),
+//!                          planned over the store's undirected
+//!                          mirror — stores without a data graph
+//!                          attached answer `ERR pattern-unsupported`.
 //! NEXT <session> <n>       next n matches of the session. Sessions
 //!                          run `Box<dyn MatchStream>` cursors with
 //!                          batched pull: the n matches arrive from
@@ -141,6 +149,9 @@
 //! session-limit        session table full even after TTL eviction
 //! stale-version        NEXT on a session fenced by a graph update;
 //!                      re-OPEN the query
+//! pattern-unsupported  OPEN kgpm against a store with no data graph
+//!                      attached (no undirected mirror to plan the
+//!                      pattern over)
 //! update-unsupported   UPDATE against an immutable snapshot store
 //! update-rejected      UPDATE refused by validation (unknown node,
 //!                      zero weight, missing/duplicate edge, ...);
@@ -174,6 +185,7 @@ pub const ERROR_CODES: &[&str] = &[
     "unknown-session",
     "session-limit",
     "stale-version",
+    "pattern-unsupported",
     "update-unsupported",
     "update-rejected",
     "update-failed",

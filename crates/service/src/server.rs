@@ -429,6 +429,51 @@ mod tests {
         let snap = test_handle();
         let reply = respond(&snap, "UPDATE set 0 3 5");
         assert!(reply.starts_with("ERR update-unsupported"), "{reply:?}");
+        // pattern-unsupported: OPEN kgpm against a store with no data
+        // graph attached (so no undirected mirror).
+        let reply = respond(&snap, "OPEN kgpm C -> E; E -> S; S -> C");
+        assert!(reply.starts_with("ERR pattern-unsupported"), "{reply:?}");
+    }
+
+    #[test]
+    fn kgpm_speaks_the_same_wire_protocol() {
+        // OPEN KGPM / NEXT / CLOSE over the respond() surface, with an
+        // UPDATE fencing the live kgpm session mid-stream and the plan
+        // cache invalidating only the touched pattern plan.
+        let g = citation_graph();
+        let live = ktpm_storage::LiveStore::new(g.clone()).into_shared();
+        let h = QueryEngine::new(
+            g.interner().clone(),
+            live,
+            ServiceConfig::new().with_workers(2),
+        );
+        // The cyclic C–E–S triangle (kgpm-only: tree algorithms reject
+        // it) plus the single-edge C–E pattern, case-insensitive algo.
+        let open = respond(&h, "OPEN KGPM C -> E; E -> S; S -> C");
+        let tri = open.trim().strip_prefix("OK ").expect("kgpm open succeeds");
+        assert!(respond(&h, "OPEN topk C -> E; E -> S; S -> C").starts_with("ERR bad-query"));
+        let next = respond(&h, &format!("NEXT {tri} 3"));
+        assert!(next.starts_with("OK 3 MORE"), "{next:?}");
+        let open = respond(&h, "OPEN kgpm C -> E");
+        let ce = open.trim().strip_prefix("OK ").expect("open succeeds");
+        respond(&h, &format!("NEXT {ce} 1"));
+        // Re-weight the E -> S edge v5 -> v7: only the triangle's plan
+        // reads a touched undirected table.
+        let update = respond(&h, "UPDATE set 4 6 5");
+        assert!(update.starts_with("OK version=1 "), "{update:?}");
+        assert!(update.contains("plans_invalidated=1"), "{update:?}");
+        assert!(update.contains("sessions_fenced=1"), "{update:?}");
+        let stale = respond(&h, &format!("NEXT {tri} 1"));
+        assert!(stale.starts_with("ERR stale-version"), "{stale:?}");
+        let live_next = respond(&h, &format!("NEXT {ce} 1"));
+        assert!(live_next.starts_with("OK 1 "), "{live_next:?}");
+        // The fenced session still closes; the unaffected pattern
+        // re-opens as a plan hit.
+        assert_eq!(respond(&h, &format!("CLOSE {tri}")), "OK closed\n");
+        assert_eq!(respond(&h, &format!("CLOSE {ce}")), "OK closed\n");
+        let reopen = respond(&h, "OPEN kgpm C -> E");
+        assert!(reopen.starts_with("OK "), "{reopen:?}");
+        assert!(respond(&h, "STATS").contains("plan_hits=1"));
     }
 
     #[test]

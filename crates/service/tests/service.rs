@@ -21,7 +21,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn handle_for(g: &LabeledGraph, config: ServiceConfig) -> ServiceHandle {
-    let store = MemStore::new(ClosureTables::compute(g)).into_shared();
+    // Graph-attached store: the undirected mirror derives lazily, so
+    // `Algo::Kgpm` sessions work alongside the tree algorithms.
+    let store = MemStore::new(ClosureTables::compute(g))
+        .with_graph(g.clone())
+        .into_shared();
     QueryEngine::new(g.interner().clone(), store, config)
 }
 
@@ -211,7 +215,10 @@ fn one_par_session_hammered_by_concurrent_clients() {
 #[test]
 fn session_resume_equals_one_take() {
     // NEXT k twice == one take(2k), exactly (same algorithm, same
-    // engine: tie order must be reproduced, not just scores).
+    // engine: tie order must be reproduced, not just scores). Runs
+    // every registry algorithm, kgpm included — the text parses as a
+    // tree for the tree engines and as a (tree-shaped, undirected)
+    // pattern for kgpm.
     let g = paper_graph();
     let handle = handle_for(&g, ServiceConfig::default());
     let query = "a -> b\na -> c\nc -> d\nc -> e";
@@ -618,6 +625,41 @@ fn tcp_sessions_are_isolated_between_clients() {
     a.close(qa);
     let b3 = b.next(qb, 100);
     assert!(b3.exhausted);
+    server.shutdown();
+}
+
+#[test]
+fn tcp_kgpm_sessions_stream_park_and_resume() {
+    // Graph patterns over the wire: OPEN kgpm with a cyclic edge list,
+    // pull across batch boundaries (the session parks the KgpmStream
+    // between requests), and a second client's re-open of the same
+    // pattern is a plan hit.
+    let g = citation_graph();
+    let handle = handle_for(&g, ServiceConfig::default());
+    let server = Server::spawn(handle.clone(), ("127.0.0.1", 0)).unwrap();
+    let addr = server.local_addr();
+
+    let mut c = Client::connect(addr);
+    let id = c.open("kgpm", "C -> E; E -> S; S -> C");
+    let first = c.next(id, 4);
+    assert_eq!(first.matches.len(), 4);
+    assert!(!first.exhausted);
+    let rest = c.next(id, 100);
+    assert!(rest.exhausted);
+    let all: Vec<ScoredMatch> = first.matches.into_iter().chain(rest.matches).collect();
+    assert_eq!(all.len(), 12, "3 C × 2 E × 2 S pairwise-connected triples");
+    assert!(all.windows(2).all(|w| w[0].score <= w[1].score));
+    c.close(id);
+
+    let mut d = Client::connect(addr);
+    let id = d.open("kgpm", "C -> E; E -> S; S -> C");
+    let again = d.next(id, 100);
+    assert!(again.exhausted);
+    assert_eq!(again.matches, all, "warm kgpm open streams identical bytes");
+    d.close(id);
+    let stats = handle.stats().metrics;
+    assert_eq!(stats.plan_hits, 1, "second open hit the pattern plan");
+    assert_eq!(stats.errors, 0);
     server.shutdown();
 }
 

@@ -15,9 +15,9 @@ use crate::format::{DEFAULT_BLOCK_EDGES, L_ENTRY_BYTES};
 use crate::iostats::{IoSnapshot, IoStats};
 use crate::source::{ClosureSource, DeltaReport, EdgeCursor, StorageError};
 use ktpm_closure::ClosureTables;
-use ktpm_graph::{Dist, GraphDelta, LabelId, LabeledGraph, NodeId};
+use ktpm_graph::{undirect, Dist, GraphDelta, LabelId, LabeledGraph, NodeId};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 struct LiveInner {
     graph: LabeledGraph,
@@ -27,6 +27,13 @@ struct LiveInner {
 /// An in-memory closure store that accepts live graph updates.
 pub struct LiveStore {
     inner: RwLock<LiveInner>,
+    /// Lazily-built undirected mirror ([`ClosureSource::undirected`]) —
+    /// itself a `LiveStore` so deltas repair it incrementally too.
+    /// Lock order is `mirror` before `inner`, on both the build path
+    /// (write + inner read held across the whole closure computation,
+    /// so no delta can slip between snapshotting the graph and
+    /// publishing the mirror) and the delta path (read + inner write).
+    mirror: RwLock<Option<Arc<LiveStore>>>,
     version: AtomicU64,
     io: IoStats,
     block_edges: usize,
@@ -43,6 +50,7 @@ impl LiveStore {
     pub fn with_tables(graph: LabeledGraph, tables: ClosureTables) -> Self {
         LiveStore {
             inner: RwLock::new(LiveInner { graph, tables }),
+            mirror: RwLock::new(None),
             version: AtomicU64::new(0),
             io: IoStats::new(),
             block_edges: DEFAULT_BLOCK_EDGES,
@@ -169,8 +177,29 @@ impl ClosureSource for LiveStore {
     }
 
     fn apply_delta(&self, delta: &GraphDelta) -> Result<DeltaReport, StorageError> {
+        // Lock order: mirror before inner. Holding the mirror slot for
+        // reading across the whole apply keeps a concurrent mirror
+        // build (slot write) from racing the graph mutation.
+        let mirror = self.mirror.read().expect("live store poisoned");
         let mut inner = self.inner.write().expect("live store poisoned");
         let (new_graph, effects) = inner.graph.apply_delta(delta)?;
+        // Mirror the delta into the undirected store (if built) as net
+        // min-weight changes per unordered endpoint pair, *before*
+        // swapping the new graph in — the old graph is still needed to
+        // compute pre-delta undirected weights.
+        let undirected_touched_pairs = match mirror.as_ref() {
+            Some(m) => {
+                let ud = undirected_delta(&inner.graph, &new_graph, delta);
+                if ud.ops().is_empty() {
+                    Vec::new()
+                } else {
+                    m.apply_delta(&ud)
+                        .expect("derived undirected delta is valid by construction")
+                        .touched_pairs
+                }
+            }
+            None => Vec::new(),
+        };
         let outcome = inner.tables.repair(&new_graph, &effects);
         inner.graph = new_graph;
         // Publish the version while still holding the write lock so
@@ -179,9 +208,62 @@ impl ClosureSource for LiveStore {
         Ok(DeltaReport {
             version,
             touched_pairs: outcome.touched_pairs,
+            undirected_touched_pairs,
             stats: outcome.stats,
         })
     }
+
+    fn undirected(&self) -> Option<crate::SharedSource> {
+        if let Some(m) = self.mirror.read().expect("live store poisoned").as_ref() {
+            return Some(Arc::clone(m) as crate::SharedSource);
+        }
+        let mut slot = self.mirror.write().expect("live store poisoned");
+        if slot.is_none() {
+            // Hold `inner` for reading across the whole closure build
+            // (lock order mirror → inner): a delta cannot land between
+            // snapshotting the graph and publishing the mirror.
+            let inner = self.inner.read().expect("live store poisoned");
+            *slot = Some(Arc::new(LiveStore::new(undirect(&inner.graph))));
+        }
+        slot.as_ref().map(|m| Arc::clone(m) as crate::SharedSource)
+    }
+}
+
+/// The undirected projection of one directed delta: for every unordered
+/// endpoint pair an op names, compare the pre- and post-delta undirected
+/// weight (the min over both directions — the weight [`undirect`] gives
+/// that pair) and emit the matching mutation for *both* mirror
+/// directions. Deltas masked by the opposite direction (e.g. bumping
+/// `u→v` while `v→u` is shorter) project to nothing.
+fn undirected_delta(old: &LabeledGraph, new: &LabeledGraph, delta: &GraphDelta) -> GraphDelta {
+    use ktpm_graph::GraphDeltaOp;
+    let und_weight = |g: &LabeledGraph, u: NodeId, v: NodeId| -> Option<Dist> {
+        match (g.edge_weight(u, v), g.edge_weight(v, u)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    };
+    let mut pairs: Vec<(NodeId, NodeId)> = delta
+        .ops()
+        .iter()
+        .map(|op| match *op {
+            GraphDeltaOp::SetWeight { from, to, .. }
+            | GraphDeltaOp::InsertEdge { from, to, .. }
+            | GraphDeltaOp::DeleteEdge { from, to } => (from.min(to), from.max(to)),
+        })
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut out = GraphDelta::new();
+    for (u, v) in pairs {
+        match (und_weight(old, u, v), und_weight(new, u, v)) {
+            (None, Some(w)) => out = out.insert_edge(u, v, w).insert_edge(v, u, w),
+            (Some(_), None) => out = out.delete_edge(u, v).delete_edge(v, u),
+            (Some(a), Some(b)) if a != b => out = out.set_weight(u, v, b).set_weight(v, u, b),
+            _ => {}
+        }
+    }
+    out
 }
 
 struct LiveCursor {
@@ -276,6 +358,81 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, StorageError::UpdatesUnsupported(_)));
         assert_eq!(mem.graph_version(), 0);
+    }
+
+    /// Every read surface of `live` must equal `cold`'s.
+    fn assert_sources_equal(live: &dyn ClosureSource, cold: &dyn ClosureSource) {
+        assert_eq!(live.pair_keys(), cold.pair_keys());
+        for (a, b) in cold.pair_keys() {
+            assert_eq!(live.load_d(a, b), cold.load_d(a, b));
+            assert_eq!(live.load_e(a, b), cold.load_e(a, b));
+            let mut lp = live.load_pair(a, b);
+            let mut cp = cold.load_pair(a, b);
+            lp.sort_unstable();
+            cp.sort_unstable();
+            assert_eq!(lp, cp);
+        }
+    }
+
+    #[test]
+    fn undirected_mirror_matches_cold_undirected_closure() {
+        let g = paper_graph();
+        let s = LiveStore::new(g.clone());
+        let m = s.undirected().expect("live stores mirror");
+        let cold = MemStore::new(ClosureTables::compute(&ktpm_graph::undirect(&g)));
+        assert_sources_equal(m.as_ref(), &cold);
+        // The mirror handle is cached, not rebuilt.
+        let m2 = s.undirected().expect("mirror");
+        assert!(std::sync::Arc::ptr_eq(&m, &m2));
+    }
+
+    #[test]
+    fn deltas_keep_the_mirror_consistent_and_report_undirected_pairs() {
+        let g = paper_graph();
+        let e = g.edges().next().unwrap();
+        let s = LiveStore::new(g.clone());
+        // Before the mirror exists, reports carry no undirected pairs.
+        let r = s
+            .apply_delta(&GraphDelta::new().set_weight(e.from, e.to, 4))
+            .unwrap();
+        assert!(r.undirected_touched_pairs.is_empty());
+        let m = s.undirected().expect("mirror");
+        // A real weight change must flow through to the mirror...
+        let r = s
+            .apply_delta(&GraphDelta::new().set_weight(e.from, e.to, 2))
+            .unwrap();
+        assert!(
+            !r.undirected_touched_pairs.is_empty(),
+            "weight change must touch undirected tables"
+        );
+        // ...and the mirror must read exactly like a cold undirected
+        // closure of the mutated graph.
+        let (g2, _) = g
+            .apply_delta(&GraphDelta::new().set_weight(e.from, e.to, 2))
+            .unwrap();
+        let cold = MemStore::new(ClosureTables::compute(&ktpm_graph::undirect(&g2)));
+        assert_sources_equal(m.as_ref(), &cold);
+    }
+
+    #[test]
+    fn masked_delta_projects_to_no_undirected_change() {
+        // u -> v weight 5 and v -> u weight 1: bumping the heavy
+        // direction leaves the undirected min weight (1) intact.
+        let mut b = ktpm_graph::GraphBuilder::new();
+        let u = b.add_node("a");
+        let v = b.add_node("b");
+        b.add_edge(u, v, 5);
+        b.add_edge(v, u, 1);
+        let g = b.build().unwrap();
+        let s = LiveStore::new(g);
+        let m = s.undirected().expect("mirror");
+        let v0 = m.graph_version();
+        let r = s
+            .apply_delta(&GraphDelta::new().set_weight(u, v, 7))
+            .unwrap();
+        assert!(r.undirected_touched_pairs.is_empty(), "masked: no change");
+        assert_eq!(m.graph_version(), v0, "mirror untouched by masked delta");
+        assert_eq!(m.lookup_dist(u, v), Some(1));
     }
 
     #[test]

@@ -8,11 +8,16 @@ use crate::format::{DEFAULT_BLOCK_EDGES, L_ENTRY_BYTES};
 use crate::iostats::{IoSnapshot, IoStats};
 use crate::source::{ClosureSource, EdgeCursor};
 use ktpm_closure::ClosureTables;
-use ktpm_graph::{Dist, LabelId, NodeId};
+use ktpm_graph::{undirect, Dist, LabelId, LabeledGraph, NodeId};
+use std::sync::OnceLock;
 
 /// An in-memory closure store.
 pub struct MemStore {
     tables: ClosureTables,
+    /// The data graph, when attached ([`MemStore::with_graph`]) —
+    /// enables the lazily-built undirected mirror for graph patterns.
+    graph: Option<LabeledGraph>,
+    mirror: OnceLock<crate::SharedSource>,
     io: IoStats,
     block_edges: usize,
 }
@@ -27,9 +32,19 @@ impl MemStore {
     pub fn with_block_edges(tables: ClosureTables, block_edges: usize) -> Self {
         MemStore {
             tables,
+            graph: None,
+            mirror: OnceLock::new(),
             io: IoStats::new(),
             block_edges: block_edges.max(1),
         }
+    }
+
+    /// Attaches the data graph, enabling [`ClosureSource::undirected`]
+    /// (graph patterns need the bidirectional closure, which only the
+    /// graph — not its directed closure — can produce). Returns `self`.
+    pub fn with_graph(mut self, graph: LabeledGraph) -> Self {
+        self.graph = Some(graph);
+        self
     }
 
     /// The wrapped tables.
@@ -116,6 +131,13 @@ impl ClosureSource for MemStore {
 
     fn reset_io(&self) {
         self.io.reset();
+    }
+
+    fn undirected(&self) -> Option<crate::SharedSource> {
+        let g = self.graph.as_ref()?;
+        Some(std::sync::Arc::clone(self.mirror.get_or_init(|| {
+            MemStore::new(ClosureTables::compute(&undirect(g))).into_shared()
+        })))
     }
 }
 

@@ -32,6 +32,9 @@ pub struct OnDemandStore {
     /// Source labels whose SSSP sweep already ran (all pairs from that
     /// label are materialized together — one sweep serves every β).
     swept: Mutex<std::collections::HashSet<LabelId>>,
+    /// Lazily-built undirected mirror — itself on-demand, so a pattern
+    /// workload only sweeps the labels it touches.
+    mirror: std::sync::OnceLock<crate::SharedSource>,
     io: IoStats,
     sweeps: AtomicU64,
     block_edges: usize,
@@ -49,6 +52,7 @@ impl OnDemandStore {
             graph,
             tables: Mutex::new(HashMap::new()),
             swept: Mutex::new(std::collections::HashSet::new()),
+            mirror: std::sync::OnceLock::new(),
             io: IoStats::new(),
             sweeps: AtomicU64::new(0),
             block_edges: block_edges.max(1),
@@ -189,6 +193,12 @@ impl ClosureSource for OnDemandStore {
 
     fn reset_io(&self) {
         self.io.reset();
+    }
+
+    fn undirected(&self) -> Option<crate::SharedSource> {
+        Some(Arc::clone(self.mirror.get_or_init(|| {
+            OnDemandStore::new(ktpm_graph::undirect(&self.graph)).into_shared()
+        })))
     }
 }
 

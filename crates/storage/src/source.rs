@@ -77,6 +77,14 @@ pub struct DeltaReport {
     /// plan is stale iff one of its query-tree label pairs is listed
     /// here (wildcards match any label).
     pub touched_pairs: Vec<(LabelId, LabelId)>,
+    /// Label pairs whose **undirected** closure tables changed — the
+    /// invalidation signal for graph-pattern (kGPM) state, which reads
+    /// the bidirectional mirror instead of the directed closure. Empty
+    /// when the backend has no materialized mirror (then no pattern
+    /// plans exist either: building one forces the mirror via
+    /// [`ClosureSource::undirected`]) or when the delta was masked by
+    /// the opposite direction and changed nothing undirected.
+    pub undirected_touched_pairs: Vec<(LabelId, LabelId)>,
     /// Repair work counters.
     pub stats: ktpm_closure::RepairStats,
 }
@@ -193,6 +201,21 @@ pub trait ClosureSource: Send + Sync {
     /// live backends ([`crate::LiveStore`]) override it.
     fn apply_delta(&self, _delta: &GraphDelta) -> Result<DeltaReport, StorageError> {
         Err(StorageError::UpdatesUnsupported("snapshot"))
+    }
+
+    /// The closure of the **bidirectional** data graph (§5: "for each
+    /// edge in the data graph, we make it bidirectional"), behind the
+    /// same [`ClosureSource`] surface — what kGPM graph-pattern queries
+    /// enumerate and verify against. Built lazily on first request and
+    /// cached; on live backends it is kept consistent under
+    /// [`ClosureSource::apply_delta`] (see
+    /// [`DeltaReport::undirected_touched_pairs`]).
+    ///
+    /// Default: `None` — the backend has no data graph to mirror
+    /// (e.g. a persisted closure snapshot), so graph patterns are
+    /// unsupported on it.
+    fn undirected(&self) -> Option<SharedSource> {
+        None
     }
 }
 

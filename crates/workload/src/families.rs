@@ -47,6 +47,59 @@ pub fn query_sizes(synthetic: bool) -> Vec<usize> {
     }
 }
 
+/// One member of the cyclic-pattern family (Figure 9's `Q1..Q4`):
+/// pattern size and how many edges it carries beyond a spanning tree.
+/// Feed it to [`crate::random_graph_query`] (over the *undirected*
+/// view of the data graph) to extract a concrete [`GraphQuery`].
+///
+/// [`GraphQuery`]: ktpm_query::GraphQuery
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PatternSpec {
+    /// Pattern nodes (distinct labels).
+    pub nodes: usize,
+    /// Non-tree edges beyond the spanning tree — `0` is a tree-shaped
+    /// pattern (pure driver, no verification), larger values stress
+    /// the lazy non-tree verification.
+    pub extra_edges: usize,
+}
+
+/// The scaled kGPM pattern family `Q1..Q4` (§6.2, Figure 9): growing
+/// pattern size and cyclicity. `Q1` is tree-shaped (the degenerate
+/// case where kGPM reduces to its tree driver); `Q2..Q4` add non-tree
+/// edges that only lazy verification can reject.
+pub fn pattern_family() -> Vec<(&'static str, PatternSpec)> {
+    vec![
+        (
+            "Q1",
+            PatternSpec {
+                nodes: 3,
+                extra_edges: 0,
+            },
+        ),
+        (
+            "Q2",
+            PatternSpec {
+                nodes: 4,
+                extra_edges: 1,
+            },
+        ),
+        (
+            "Q3",
+            PatternSpec {
+                nodes: 5,
+                extra_edges: 2,
+            },
+        ),
+        (
+            "Q4",
+            PatternSpec {
+                nodes: 6,
+                extra_edges: 3,
+            },
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,5 +124,39 @@ mod tests {
     fn query_sizes_match_paper_sets() {
         assert_eq!(query_sizes(false), vec![10, 20, 30, 50, 70]);
         assert_eq!(query_sizes(true).last(), Some(&100));
+    }
+
+    #[test]
+    fn pattern_family_grows_in_size_and_cyclicity() {
+        let fam = pattern_family();
+        assert_eq!(fam.len(), 4);
+        assert_eq!(
+            fam[0],
+            (
+                "Q1",
+                PatternSpec {
+                    nodes: 3,
+                    extra_edges: 0
+                }
+            )
+        );
+        assert!(fam
+            .windows(2)
+            .all(|w| { w[0].1.nodes < w[1].1.nodes && w[0].1.extra_edges < w[1].1.extra_edges }));
+    }
+
+    #[test]
+    fn pattern_sets_extract_concrete_cyclic_patterns() {
+        let g = ktpm_graph::undirect(&crate::generate(&GraphSpec::power_law(600, 17)));
+        for (name, spec) in pattern_family() {
+            let set = crate::pattern_set(&g, spec, 3, 0xF1C);
+            assert!(!set.is_empty(), "{name} extracts on a power-law graph");
+            for q in &set {
+                assert_eq!(q.len(), spec.nodes, "{name}");
+                // Extraction adds *up to* extra_edges beyond the tree.
+                assert!(q.excess_edges() <= spec.extra_edges, "{name}");
+                assert_eq!(q.num_edges(), spec.nodes - 1 + q.excess_edges(), "{name}");
+            }
+        }
     }
 }

@@ -15,15 +15,18 @@
 //!   guaranteed to have at least one match (the paper extracts query
 //!   trees from the run-time graph the same way), with distinct or
 //!   duplicated labels (Eval-IV).
-//! * [`random_graph_query`] — cyclic graph patterns `Q1..Q4` for the
-//!   kGPM evaluation (Figure 9).
-//! * [`gd_family`] / [`gs_family`] / [`query_sizes`] — the scaled
-//!   `GD1..`, `GS1..`, `T10..T100` experiment families.
+//! * [`random_graph_query`] / [`pattern_set`] — cyclic graph patterns
+//!   for the kGPM evaluation (Figure 9).
+//! * [`gd_family`] / [`gs_family`] / [`query_sizes`] /
+//!   [`pattern_family`] — the scaled `GD1..`, `GS1..`, `T10..T100`
+//!   and `Q1..Q4` experiment families.
 
 mod families;
 mod graphs;
 mod queries;
 
-pub use families::{gd_family, gs_family, query_sizes, DEFAULT_GD, DEFAULT_GS};
+pub use families::{
+    gd_family, gs_family, pattern_family, query_sizes, PatternSpec, DEFAULT_GD, DEFAULT_GS,
+};
 pub use graphs::{generate, GraphSpec};
-pub use queries::{query_set, random_graph_query, random_tree_query, QuerySpec};
+pub use queries::{pattern_set, query_set, random_graph_query, random_tree_query, QuerySpec};

@@ -177,6 +177,30 @@ pub fn random_graph_query(
     GraphQuery::new(labels, edges).ok()
 }
 
+/// Extracts a set of cyclic patterns for one member of the kGPM
+/// pattern family (see [`crate::pattern_family`]), the way
+/// [`query_set`] extracts tree-query sets. Extraction can fail on
+/// sparse or label-poor graphs, so fewer than `count` patterns may
+/// come back. Run it over the *undirected* view of the data graph
+/// ([`ktpm_graph::undirect`]) — the view kGPM semantics see.
+pub fn pattern_set(
+    g: &LabeledGraph,
+    spec: crate::PatternSpec,
+    count: usize,
+    seed: u64,
+) -> Vec<GraphQuery> {
+    (0..count)
+        .filter_map(|i| {
+            random_graph_query(
+                g,
+                spec.nodes,
+                spec.extra_edges,
+                seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9),
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

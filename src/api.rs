@@ -1,13 +1,14 @@
 //! The one-stop query API: [`Executor`] + [`QueryBuilder`] over the
 //! single [`MatchStream`] enumeration surface.
 //!
-//! Every engine in this workspace — `Topk`, `Topk-EN`, `ParTopk`, the
-//! brute oracle — emits the same canonical ranked match stream; this
-//! module is the one place callers select and run them, replacing the
-//! per-algorithm constructor special-casing the CLI, bench drivers and
-//! examples used to carry. Ranked-enumeration systems present exactly
-//! one any-k iterator over many internal algorithms (Tziavelis et al.,
-//! VLDB 2020); this is that interface here:
+//! Every engine in this workspace — `Topk`, `Topk-EN`, `ParTopk`,
+//! DP-B/DP-P, the kGPM graph-pattern engine, the brute oracle — emits
+//! a canonical ranked match stream; this module is the one place
+//! callers select and run them, replacing the per-algorithm
+//! constructor special-casing the CLI, bench drivers and examples used
+//! to carry. Ranked-enumeration systems present exactly one any-k
+//! iterator over many internal algorithms (Tziavelis et al., VLDB
+//! 2020); this is that interface here:
 //!
 //! ```
 //! use ktpm::api::Executor;
@@ -42,6 +43,18 @@
 //! pass a plan handle ([`QueryBuilder::plan`]) or a cache
 //! ([`QueryBuilder::plan_cache`]) and warm runs skip candidate
 //! discovery entirely.
+//!
+//! ## Graph patterns
+//!
+//! [`Executor::query`] accepts both query forms of the paper: twig
+//! text ([`TreeQuery::parse`]) and the undirected edge-list form
+//! ([`ktpm_query::GraphQuery::parse`], for [`Algo::Kgpm`]). Text that
+//! parses both ways (plain `A -> B` lines) runs as whichever form the
+//! selected algorithm needs: `Algo::Kgpm` builds a *pattern plan*
+//! ([`QueryPlan::new_pattern`], decomposition + undirected mirror),
+//! every other algorithm a tree plan. The store must expose an
+//! undirected mirror for pattern queries (graph-attached stores do:
+//! `MemStore::with_graph`, `LiveStore`, `OnDemandStore`).
 
 use ktpm_core::{
     build_stream, canonical_query_text, Algo, BoxedMatchStream, ParallelPolicy, QueryPlan,
@@ -49,7 +62,7 @@ use ktpm_core::{
 };
 use ktpm_exec::WorkerPool;
 use ktpm_graph::{GraphDelta, LabelInterner};
-use ktpm_query::{ResolvedQuery, TreeQuery};
+use ktpm_query::{GraphQuery, ResolvedQuery, TreeQuery};
 use ktpm_service::{PlanCache, ServiceError};
 use ktpm_storage::{DeltaReport, SharedSource, StorageError};
 use std::fmt;
@@ -141,31 +154,61 @@ impl Executor {
         &self.source
     }
 
-    /// Starts a query from twig text (`A -> B` / `A => B` lines; see
-    /// [`TreeQuery::parse`]). Defaults: `Algo::TopkEn`, unbounded `k`,
-    /// the default [`ParallelPolicy`].
+    /// Starts a query from text: twig lines (`A -> B` / `A => B`; see
+    /// [`TreeQuery::parse`]) or the undirected edge-list pattern form
+    /// ([`GraphQuery::parse`]). Text valid in both forms keeps both —
+    /// the algorithm selected on the builder decides which plan is
+    /// built ([`Algo::Kgpm`] ⇒ pattern, everything else ⇒ tree).
+    /// Defaults: `Algo::TopkEn`, unbounded `k`, the default
+    /// [`ParallelPolicy`].
     pub fn query(&self, text: &str) -> Result<QueryBuilder<'_>, ApiError> {
         let canonical = canonical_query_text(text);
-        let tree = TreeQuery::parse(&canonical).map_err(|e| ApiError::BadQuery(e.to_string()))?;
-        Ok(self.query_resolved_keyed(tree.resolve(&self.interner), canonical))
+        let tree = TreeQuery::parse(&canonical);
+        let pattern = GraphQuery::parse(&canonical);
+        let (query, pattern) = match (tree, pattern) {
+            (Ok(t), p) => (Some(t.resolve(&self.interner)), p.ok()),
+            (Err(_), Ok(p)) => (None, Some(p)),
+            (Err(te), Err(pe)) => {
+                return Err(ApiError::BadQuery(format!(
+                    "neither a tree query ({te}) nor a graph pattern ({pe})"
+                )));
+            }
+        };
+        Ok(self.builder(query, pattern, canonical))
     }
 
     /// Starts a query from an already-resolved tree (programmatic
     /// callers that never had query text).
     pub fn query_resolved(&self, query: ResolvedQuery) -> QueryBuilder<'_> {
-        self.query_resolved_keyed(query, String::new())
+        self.builder(Some(query), None, String::new())
     }
 
-    fn query_resolved_keyed(&self, query: ResolvedQuery, canonical: String) -> QueryBuilder<'_> {
+    /// Starts a graph-pattern query from an already-built
+    /// [`GraphQuery`]. The algorithm defaults to [`Algo::Kgpm`] — the
+    /// one engine over patterns.
+    pub fn query_pattern(&self, pattern: GraphQuery) -> QueryBuilder<'_> {
+        let mut b = self.builder(None, Some(pattern), String::new());
+        b.algo = Algo::Kgpm;
+        b
+    }
+
+    fn builder(
+        &self,
+        query: Option<ResolvedQuery>,
+        pattern: Option<GraphQuery>,
+        canonical: String,
+    ) -> QueryBuilder<'_> {
         QueryBuilder {
             exec: self,
             query,
+            pattern,
             canonical,
             algo: Algo::TopkEn,
             k: None,
             policy: ParallelPolicy::default(),
             shards_set: false,
             plan: None,
+            cache: None,
             deferred_err: None,
         }
     }
@@ -214,7 +257,12 @@ impl Executor {
 /// calls; all setters are chainable.
 pub struct QueryBuilder<'e> {
     exec: &'e Executor,
-    query: ResolvedQuery,
+    /// The tree form, when the text parsed as a twig (or the builder
+    /// came from [`Executor::query_resolved`]).
+    query: Option<ResolvedQuery>,
+    /// The pattern form, when the text parsed as an undirected graph
+    /// pattern (or the builder came from [`Executor::query_pattern`]).
+    pattern: Option<GraphQuery>,
     /// Canonical query text (plan-cache key); empty for resolved-only
     /// queries, for which [`QueryBuilder::plan_cache`] is rejected at
     /// [`QueryBuilder::stream`] (no text, no cache key).
@@ -227,9 +275,13 @@ pub struct QueryBuilder<'e> {
     deferred_err: Option<ApiError>,
     shards_set: bool,
     plan: Option<Arc<QueryPlan>>,
+    /// Deferred to [`QueryBuilder::stream`]: the plan-cache key depends
+    /// on the *final* algorithm (pattern plans are keyed separately),
+    /// which may be set after [`QueryBuilder::plan_cache`].
+    cache: Option<&'e Mutex<PlanCache>>,
 }
 
-impl QueryBuilder<'_> {
+impl<'e> QueryBuilder<'e> {
     /// Selects the algorithm (default: [`Algo::TopkEn`]). The stream
     /// is byte-identical across algorithms — this is a performance
     /// choice only.
@@ -284,22 +336,17 @@ impl QueryBuilder<'_> {
     /// keying it on nothing would collide every resolved query onto
     /// one plan; the terminal call reports that as
     /// [`ApiError::Unsupported`]. Use [`QueryBuilder::plan`] there.
-    pub fn plan_cache(mut self, cache: &Mutex<PlanCache>) -> Self {
+    pub fn plan_cache(mut self, cache: &'e Mutex<PlanCache>) -> Self {
         if self.canonical.is_empty() {
             self.deferred_err = Some(ApiError::Unsupported(
                 "plan_cache() needs a text query for its cache key; this query was built \
-                 with query_resolved() — pass a plan handle via .plan(...) instead"
+                 without text (query_resolved()/query_pattern()) — pass a plan handle via \
+                 .plan(...) instead"
                     .to_string(),
             ));
             return self;
         }
-        let (plan, _hit) = cache
-            .lock()
-            .expect("plan cache lock")
-            .get_or_insert(&self.canonical, || {
-                QueryPlan::new(self.query.clone(), Arc::clone(&self.exec.source))
-            });
-        self.plan = Some(plan);
+        self.cache = Some(cache);
         self
     }
 
@@ -318,17 +365,88 @@ impl QueryBuilder<'_> {
                 self.policy.shards
             )));
         }
-        let plan = match self.plan {
-            Some(p) => p,
-            None => Arc::new(QueryPlan::new(
-                self.query.clone(),
-                Arc::clone(&self.exec.source),
-            )),
-        };
+        let plan = self.resolve_plan()?;
         let stream = build_stream(self.algo, &plan, &self.policy, Arc::clone(&self.exec.pool));
         Ok(match self.k {
             Some(k) => ktpm_core::limit(stream, k),
             None => stream,
+        })
+    }
+
+    /// The plan the selected algorithm runs over: the caller-supplied
+    /// handle, a plan-cache entry (tree and pattern plans are keyed
+    /// separately), or a fresh plan of the form the algorithm needs.
+    fn resolve_plan(&self) -> Result<Arc<QueryPlan>, ApiError> {
+        let wants_pattern = self.algo == Algo::Kgpm;
+        if let Some(p) = &self.plan {
+            if p.is_pattern() != wants_pattern {
+                return Err(ApiError::Unsupported(format!(
+                    "plan/algorithm mismatch: algorithm {:?} needs a {} plan but the supplied \
+                     plan is a {} plan",
+                    self.algo.name(),
+                    if wants_pattern { "pattern" } else { "tree" },
+                    if p.is_pattern() { "pattern" } else { "tree" },
+                )));
+            }
+            return Ok(Arc::clone(p));
+        }
+        if wants_pattern {
+            let Some(pattern) = &self.pattern else {
+                return Err(ApiError::BadQuery(
+                    match GraphQuery::parse(&self.canonical) {
+                        Err(e) if !self.canonical.is_empty() => {
+                            format!(
+                                "Algo::Kgpm needs a graph pattern, but the query is not one: {e}"
+                            )
+                        }
+                        _ => "Algo::Kgpm needs a graph pattern; build one with Executor::query \
+                          (edge-list text) or Executor::query_pattern"
+                            .to_string(),
+                    },
+                ));
+            };
+            if self.exec.source.undirected().is_none() {
+                return Err(ApiError::Unsupported(
+                    "graph patterns need a store with an undirected mirror — attach the graph \
+                     (MemStore::with_graph, LiveStore, OnDemandStore)"
+                        .to_string(),
+                ));
+            }
+            let build = || {
+                QueryPlan::new_pattern(pattern.clone(), &self.exec.interner, &self.exec.source)
+                    .expect("mirror presence checked above")
+            };
+            return Ok(match self.cache {
+                Some(cache) => {
+                    // Pattern plans answer a different query than tree
+                    // plans of the same text: separate key space.
+                    let key = format!("pattern\x1f{}", self.canonical);
+                    cache
+                        .lock()
+                        .expect("plan cache lock")
+                        .get_or_insert(&key, build)
+                        .0
+                }
+                None => Arc::new(build()),
+            });
+        }
+        let Some(query) = &self.query else {
+            return Err(ApiError::Unsupported(format!(
+                "the query only parsed as a graph pattern, which algorithm {:?} cannot run; \
+                 use .algo(Algo::Kgpm)",
+                self.algo.name()
+            )));
+        };
+        let build = || QueryPlan::new(query.clone(), Arc::clone(&self.exec.source));
+        Ok(match self.cache {
+            Some(cache) => {
+                cache
+                    .lock()
+                    .expect("plan cache lock")
+                    .get_or_insert(&self.canonical, build)
+                    .0
+            }
+            None => Arc::new(build()),
         })
     }
 
@@ -363,13 +481,150 @@ mod tests {
             .topk()
             .unwrap();
         assert_eq!(want.len(), 5);
-        for algo in Algo::ALL {
+        // Kgpm answers the *pattern* reading of the text (undirected
+        // semantics — a different match set); it gets its own tests.
+        for algo in Algo::ALL.into_iter().filter(|&a| a != Algo::Kgpm) {
             let mut b = e.query("C -> E\nC -> S").unwrap().algo(algo);
             if algo.caps().sharded {
                 b = b.shards(3);
             }
             assert_eq!(b.topk().unwrap(), want, "{algo:?}");
         }
+    }
+
+    /// An executor whose store carries the graph, so pattern plans can
+    /// derive the undirected mirror.
+    fn pattern_exec() -> Executor {
+        let g = citation_graph();
+        let store = MemStore::new(ClosureTables::compute(&g))
+            .with_graph(g.clone())
+            .into_shared();
+        Executor::new(g.interner().clone(), store)
+    }
+
+    #[test]
+    fn kgpm_streams_through_the_facade() {
+        let e = pattern_exec();
+        // Cyclic pattern: only parses as a graph pattern.
+        let got = e
+            .query("C -> E\nE -> S\nS -> C")
+            .unwrap()
+            .algo(Algo::Kgpm)
+            .k(10)
+            .topk()
+            .unwrap();
+        // Reference: the kgpm crate's batch API over the same graph.
+        let ctx = ktpm_kgpm::KgpmContext::new(&citation_graph());
+        let q = GraphQuery::parse("C -> E\nE -> S\nS -> C").unwrap();
+        let want = ctx.topk(&q, 10, ktpm_kgpm::TreeMatcher::TopkEn);
+        assert!(!want.is_empty());
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.score, w.score);
+            assert_eq!(g.assignment.to_vec(), w.assignment);
+        }
+        // Sharded kgpm is byte-identical (Kgpm caps sharding).
+        let sharded = e
+            .query("C -> E\nE -> S\nS -> C")
+            .unwrap()
+            .algo(Algo::Kgpm)
+            .shards(4)
+            .k(10)
+            .topk()
+            .unwrap();
+        assert_eq!(sharded, got);
+    }
+
+    #[test]
+    fn pattern_only_text_needs_kgpm_and_tree_algos_say_so() {
+        let e = pattern_exec();
+        let err = e
+            .query("C -> E\nE -> S\nS -> C")
+            .unwrap()
+            .algo(Algo::Topk)
+            .stream()
+            .err()
+            .unwrap();
+        assert!(matches!(err, ApiError::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn kgpm_on_tree_only_text_is_a_bad_query() {
+        let e = pattern_exec();
+        // `=>` child edges exist only in tree queries.
+        let err = e
+            .query("C => E")
+            .unwrap()
+            .algo(Algo::Kgpm)
+            .stream()
+            .err()
+            .unwrap();
+        assert!(matches!(err, ApiError::BadQuery(_)), "{err}");
+    }
+
+    #[test]
+    fn kgpm_without_mirror_is_an_explicit_error() {
+        // A plain MemStore (no attached graph) has no undirected mirror.
+        let e = exec();
+        let err = e
+            .query("C -> E\nE -> S\nS -> C")
+            .unwrap()
+            .algo(Algo::Kgpm)
+            .stream()
+            .err()
+            .unwrap();
+        assert!(matches!(err, ApiError::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn pattern_plans_cache_separately_from_tree_plans() {
+        let e = pattern_exec();
+        let cache = Mutex::new(PlanCache::new(8));
+        // Same text, both forms: tree run then pattern run.
+        let tree = e
+            .query("C -> E\nC -> S")
+            .unwrap()
+            .plan_cache(&cache)
+            .topk()
+            .unwrap();
+        let pat = e
+            .query("C -> E\nC -> S")
+            .unwrap()
+            .algo(Algo::Kgpm)
+            .plan_cache(&cache)
+            .topk()
+            .unwrap();
+        assert_eq!(cache.lock().unwrap().len(), 2, "two distinct keys");
+        assert_ne!(
+            tree.len(),
+            pat.len(),
+            "undirected pattern semantics admit more matches"
+        );
+        // Warm pattern re-open: the cached plan is reused.
+        let pat2 = e
+            .query("C -> E\nC -> S")
+            .unwrap()
+            .algo(Algo::Kgpm)
+            .plan_cache(&cache)
+            .topk()
+            .unwrap();
+        assert_eq!(pat, pat2);
+        assert_eq!(cache.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn plan_algo_mismatch_is_an_explicit_error() {
+        let e = pattern_exec();
+        let plan = e.plan_for("C -> E").unwrap();
+        let err = e
+            .query("C -> E")
+            .unwrap()
+            .algo(Algo::Kgpm)
+            .plan(plan)
+            .stream()
+            .err()
+            .unwrap();
+        assert!(matches!(err, ApiError::Unsupported(_)), "{err}");
     }
 
     #[test]

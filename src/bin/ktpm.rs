@@ -8,10 +8,14 @@
 //! options for `query`:
 //!   -k <n>            number of matches (default 10)
 //!   --store <path>    use a persisted closure store instead of computing
-//!   --algo <name>     topk | topk-en | par | brute (the service list)
-//!                     plus the DP baselines dp-b | dp-p  (default topk-en)
-//!   --parallel <n>    shard count for `par` (implies --algo par;
-//!                     default: CPU count, capped at 8)
+//!   --algo <name>     any name in the shared `Algo` registry:
+//!                     topk | topk-en | par | brute | dp-b | dp-p | kgpm
+//!                     (default topk-en). `kgpm` reads the query as an
+//!                     undirected graph pattern — cycles allowed, `=>`
+//!                     child edges not
+//!   --parallel <n>    shard count for sharded algorithms (implies
+//!                     --algo par when --algo is absent; default: CPU
+//!                     count, capped at 8)
 //!   --repeat <n>      run the query n times over ONE shared QueryPlan:
 //!                     run 1 is cold (pays setup), runs 2..n are warm
 //!                     (zero candidate discovery) — per-run timings show
@@ -79,10 +83,14 @@
 //!                       a warmed query does zero candidate discovery.
 //! ```
 //!
-//! `ktpm query` runs every service algorithm through the `ktpm::api`
-//! facade (`Executor`/`QueryBuilder` → one `MatchStream`): algorithm
-//! names come from the shared `Algo` registry (case-insensitive), and
-//! the stream is byte-identical whichever engine runs it.
+//! `ktpm query` runs every algorithm through the `ktpm::api` facade
+//! (`Executor`/`QueryBuilder` → one `MatchStream`): algorithm names
+//! come from the shared `Algo` registry (case-insensitive) — there is
+//! no CLI-only algorithm list and no per-algorithm construction here —
+//! and the tree-query stream is byte-identical whichever engine runs
+//! it. `--algo kgpm` answers the *pattern* reading of the same query
+//! text (undirected semantics, non-tree edges verified lazily), so its
+//! match set legitimately differs from the tree algorithms'.
 //!
 //! ## Parallel execution (`--algo par`, `--parallel N`)
 //!
@@ -105,7 +113,10 @@
 //!
 //! ```text
 //! -> OPEN <algo> <query>      query in twig text with `;` for newlines,
-//!                             e.g. OPEN topk-en C -> E; C -> S
+//!                             e.g. OPEN topk-en C -> E; C -> S.
+//!                             `OPEN kgpm ...` reads the query as an
+//!                             undirected graph pattern (cycles allowed)
+//!                             and streams ranked pattern matches
 //! <- OK <session>
 //! -> NEXT <session> <n>
 //! <- OK <j> MORE|DONE         then j lines `M <score> <node> <node> ...`
@@ -141,7 +152,7 @@ use ktpm::prelude::*;
 use ktpm::service::{QueryEngine, Server, ServiceConfig};
 use std::io::BufReader;
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -179,7 +190,11 @@ fn open_store(
     Ok(match (store_path, on_demand) {
         (Some(p), _) => Box::new(FileStore::open(std::path::Path::new(p))?),
         (None, true) => Box::new(OnDemandStore::new(g.clone())),
-        (None, false) => Box::new(MemStore::new(ClosureTables::compute(g))),
+        // Attach the graph so `--algo kgpm` / `OPEN kgpm` can derive
+        // the undirected mirror; tree algorithms never look at it.
+        // Persisted stores stay graph-less: kgpm over `--store` is an
+        // explicit pattern-unsupported error.
+        (None, false) => Box::new(MemStore::new(ClosureTables::compute(g)).with_graph(g.clone())),
     })
 }
 
@@ -203,10 +218,6 @@ fn cmd_closure(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     );
     Ok(())
 }
-
-/// The DP baselines only `ktpm query` runs (the service algorithms come
-/// from the shared [`Algo::ALL`] const, so the two lists cannot drift).
-const BASELINE_ALGOS: &str = "dp-b | dp-p";
 
 fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut positional = Vec::new();
@@ -235,106 +246,93 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 .into(),
         );
     };
-    // --parallel alone selects parallel execution; combining it with a
-    // different explicit --algo would silently ignore one of the two.
-    let algo = match (algo, parallel) {
-        (None, Some(_)) => "par".to_string(),
-        (None, None) => "topk-en".to_string(),
-        (Some(a), Some(_)) if a != "par" => {
-            return Err(format!("--parallel requires --algo par (got --algo {a})").into())
-        }
-        (Some(a), _) => a,
+    // --parallel alone selects parallel execution; pairing it with a
+    // non-sharded --algo would silently ignore one of the two.
+    let algo_name = match (&algo, parallel) {
+        (None, Some(_)) => "par",
+        (None, None) => "topk-en",
+        (Some(a), _) => a.as_str(),
     };
-    let g = load_graph(graph_path)?;
-    let query_text = std::fs::read_to_string(query_path)?;
-    let resolved = TreeQuery::parse(&query_text)?.resolve(g.interner());
-
-    let store: SharedSource = open_store(&g, &store_path, on_demand)?.into();
-
-    // Service algorithms all run behind the facade's single
-    // `MatchStream` surface — no per-algorithm construction here. With
-    // `--repeat n` they share ONE QueryPlan: the setup pipeline
-    // (candidate discovery, run-time graph, bs pass, slot templates)
-    // is paid by run 1 and reused by runs 2..n — the same amortization
-    // `ktpm serve`'s plan cache gives concurrent sessions. The DP
-    // baselines predate plans and rebuild per run.
-    let service_algo = Algo::parse(&algo);
-    if service_algo.is_none() && !matches!(algo.as_str(), "dp-b" | "dp-p") {
+    // One name registry for every front end: the CLI accepts exactly
+    // the algorithms `build_stream` dispatches — no CLI-only list.
+    let Some(algo) = Algo::parse(algo_name) else {
         return Err(format!(
-            "unknown algorithm {:?} (expected {} | {BASELINE_ALGOS})",
-            algo,
+            "unknown algorithm {algo_name:?} (expected {})",
             Algo::valid_names()
         )
         .into());
-    }
-    let exec = Executor::new(g.interner().clone(), Arc::clone(&store));
-    let plan = match service_algo {
-        Some(_) => Some(exec.plan_for(&query_text)?),
-        None => None,
     };
+    if parallel.is_some() && !algo.caps().sharded {
+        return Err(format!(
+            "--parallel needs a sharded algorithm (got --algo {algo_name}); use par or kgpm"
+        )
+        .into());
+    }
+    let g = load_graph(graph_path)?;
+    let query_text = std::fs::read_to_string(query_path)?;
+
+    let store: SharedSource = open_store(&g, &store_path, on_demand)?.into();
+
+    // Every algorithm runs behind the facade's single `MatchStream`
+    // surface — no per-algorithm construction here. With `--repeat n`
+    // runs share plans through a PlanCache exactly like `ktpm serve`
+    // sessions: the setup pipeline (candidate discovery, run-time
+    // graph, bs pass, slot templates — or, for kgpm, the pattern
+    // decomposition) is paid by run 1; runs 2..n are warm hits.
+    let exec = Executor::new(g.interner().clone(), Arc::clone(&store));
+    let plans = Mutex::new(PlanCache::new(4));
     let mut matches: Vec<ScoredMatch> = Vec::new();
     let mut dt = std::time::Duration::ZERO;
     for run in 1..=repeat {
         let t = std::time::Instant::now();
         // Facade streams emit the canonical `(score, assignment)`
-        // order (ties deterministic, `par` byte-identical to `topk`);
-        // the DP baselines keep their native tie order.
-        matches = match service_algo {
-            Some(a) => {
-                // `resolved` was parsed once above; re-parsing per run
-                // would pollute the warm timings --repeat exists to
-                // show.
-                let mut b = exec
-                    .query_resolved(resolved.clone())
-                    .algo(a)
-                    .k(k)
-                    .plan(Arc::clone(plan.as_ref().expect("built for service algos")));
-                if let Some(n) = parallel {
-                    b = b.shards(n);
-                }
-                b.topk()?
-            }
-            None if algo == "dp-b" => {
-                let rg = RuntimeGraph::load(&resolved, store.as_ref());
-                DpBEnumerator::new(&rg).take(k).collect()
-            }
-            None => DpPEnumerator::new(&resolved, store.as_ref())
-                .take(k)
-                .collect(),
-        };
+        // order (ties deterministic, sharded engines byte-identical to
+        // their sequential runs for every shard count).
+        let mut b = exec.query(&query_text)?.algo(algo).k(k).plan_cache(&plans);
+        if let Some(n) = parallel {
+            b = b.shards(n);
+        }
+        matches = b.topk()?;
         dt = t.elapsed();
         if repeat > 1 {
             println!(
                 "# run {run}/{repeat}: {} matches in {dt:?} ({})",
                 matches.len(),
-                match (service_algo, run == 1) {
+                match (algo, run == 1) {
                     // `plan_reuse` capability: warm runs skip setup.
-                    (Some(a), false) if a.caps().plan_reuse => "warm: shared plan",
-                    (Some(Algo::Brute), false) => "brute: re-materializes each run",
-                    (Some(_), _) => "cold: builds the plan",
-                    // dp-b / dp-p predate plans: every run rebuilds.
-                    (None, _) => "dp baseline: full rebuild each run",
+                    (a, false) if a.caps().plan_reuse => "warm: shared plan",
+                    (Algo::Brute, false) => "brute: re-materializes each run",
+                    (Algo::DpP, false) => "dp-p: streams from the closure each run",
+                    (_, _) => "cold: builds the plan",
                 }
             );
         }
     }
     println!(
-        "# {} matches in {dt:?} (algo {algo}, {} edges loaded{})",
+        "# {} matches in {dt:?} (algo {}, {} edges loaded{})",
         matches.len(),
+        algo.name(),
         store.io().edges_read,
         if repeat > 1 { " across all runs" } else { "" }
     );
-    for (rank, m) in matches.iter().enumerate() {
-        let binding: Vec<String> = resolved
+    // Column labels per assignment slot: pattern nodes for kgpm rows,
+    // query-tree nodes otherwise (both orders match the emitted rows).
+    let labels: Vec<String> = if algo == Algo::Kgpm {
+        let p = GraphQuery::parse(&query_text)?;
+        p.labels().to_vec()
+    } else {
+        let resolved = TreeQuery::parse(&query_text)?.resolve(g.interner());
+        resolved
             .tree()
             .node_ids()
-            .map(|u| {
-                format!(
-                    "{}={}",
-                    resolved.tree().label_name(u).unwrap_or("*"),
-                    m.assignment[u.index()].0
-                )
-            })
+            .map(|u| resolved.tree().label_name(u).unwrap_or("*").to_string())
+            .collect()
+    };
+    for (rank, m) in matches.iter().enumerate() {
+        let binding: Vec<String> = labels
+            .iter()
+            .zip(m.assignment.iter())
+            .map(|(name, node)| format!("{name}={}", node.0))
             .collect();
         println!("{:<3} score={:<6} {}", rank + 1, m.score, binding.join(" "));
     }

@@ -36,7 +36,8 @@
 //!
 //! ## One enumeration surface
 //!
-//! All four engines run behind one object-safe trait,
+//! All seven engines — the four tree engines, DP-B/DP-P and the kGPM
+//! graph-pattern engine — run behind one object-safe trait,
 //! [`core::MatchStream`], whose primitive is **batched pull**
 //! (`next_batch(n, &mut out)` — one virtual call per batch, not per
 //! match); [`api::Executor`] / [`api::QueryBuilder`] are the
@@ -56,10 +57,10 @@
 //! | [`closure`] | transitive closure, label-pair tables, 2-hop (PLL) index |
 //! | [`storage`] | on-disk closure store, block cursors, I/O accounting |
 //! | [`runtime`] | run-time graph `G_R` construction |
-//! | [`core`] | **Algorithms 1–3** (`Topk`, `ComputeFirst`, `Topk-EN`) + `ParTopk`, the [`core::MatchStream`] surface, [`core::Algo`] registry |
-//! | [`api`] | **the facade**: `Executor` / `QueryBuilder` → `Box<dyn MatchStream + Send>` |
-//! | [`baseline`] | DP-B / DP-P (SIGMOD'08) reimplementations |
-//! | [`kgpm`] | graph-pattern matching: decomposition, mtree, mtree+ |
+//! | [`core`] | **Algorithms 1–3** (`Topk`, `ComputeFirst`, `Topk-EN`) + `ParTopk`, the DP-B / DP-P baselines, the kGPM pattern engine (`KgpmStream`, pattern plans, `decompose`), the [`core::MatchStream`] surface, [`core::Algo`] registry |
+//! | [`api`] | **the facade**: `Executor` / `QueryBuilder` → `Box<dyn MatchStream + Send>` (tree *and* graph-pattern queries) |
+//! | [`baseline`] | compat shim re-exporting `core`'s DP-B / DP-P |
+//! | [`kgpm`] | compat shim over `core`'s kGPM engine: `KgpmContext` batch API, mtree / mtree+ |
 //! | [`workload`] | dataset & query generators for the §6 experiments |
 //! | [`exec`] | shared worker pool scheduling shard jobs and request batches |
 //! | [`service`] | concurrent query service: sessions, result cache, TCP protocol |
@@ -123,19 +124,19 @@ pub use ktpm_workload as workload;
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::api::{ApiError, Executor, QueryBuilder};
-    pub use ktpm_baseline::{DpBEnumerator, DpPEnumerator};
     pub use ktpm_closure::{sssp, ClosureTables};
     pub use ktpm_core::{
-        build_stream, canonical, canonical_query_text, par_topk, topk_en, topk_full, Algo,
-        AlgoCaps, BoundMode, BoxedMatchStream, MatchStream, ParTopk, ParallelPolicy, QueryPlan,
-        ScoredMatch, ShardEngine, ShardSpec, StreamState, TopkEnEnumerator, TopkEnumerator,
+        build_stream, canonical, canonical_query_text, decompose, limit, par_topk, topk_en,
+        topk_full, Algo, AlgoCaps, BoundMode, BoxedMatchStream, DpBEnumerator, DpPEnumerator,
+        MatchStream, ParTopk, ParallelPolicy, PatternUnsupported, QueryPlan, ScoredMatch,
+        ShardEngine, ShardSpec, SpanningTree, StreamState, TopkEnEnumerator, TopkEnumerator,
     };
     pub use ktpm_exec::WorkerPool;
     pub use ktpm_graph::{
         Dist, GraphBuilder, GraphDelta, LabelId, LabeledGraph, NodeId, NodeRow, Score, INF_DIST,
         INF_SCORE,
     };
-    pub use ktpm_kgpm::{GraphMatch, KgpmContext, TreeMatcher};
+    pub use ktpm_kgpm::{GraphMatch, KgpmContext, KgpmStats, KgpmStream, TreeMatcher};
     pub use ktpm_net::{EventServer, NetConfig};
     pub use ktpm_query::{
         EdgeKind, GraphQuery, QNodeId, ResolvedQuery, TreeQuery, TreeQueryBuilder,

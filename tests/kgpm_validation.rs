@@ -1,7 +1,10 @@
-//! Randomized kGPM validation: on random graphs and random cyclic
-//! patterns, both mtree (DP-B inside) and mtree+ (Topk-EN inside) must
-//! agree with exhaustive enumeration over the undirected closure.
+//! Randomized kGPM validation through the `ktpm::api` facade: on
+//! random graphs and random cyclic patterns, both tree drivers —
+//! mtree (DP-B inside, `ShardEngine::Full`) and mtree+ (Topk-EN
+//! inside, `ShardEngine::Lazy`) — must agree with exhaustive
+//! enumeration over the undirected closure, sequentially and sharded.
 
+use ktpm::api::Executor;
 use ktpm::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -22,16 +25,24 @@ fn random_graph(rng: &mut StdRng, nodes: usize, labels: usize) -> LabeledGraph {
     b.build().unwrap()
 }
 
+/// A facade executor whose store carries the data graph, so pattern
+/// plans can derive the undirected mirror.
+fn pattern_exec(g: &LabeledGraph) -> Executor {
+    let store = MemStore::new(ClosureTables::compute(g))
+        .with_graph(g.clone())
+        .into_shared();
+    Executor::new(g.interner().clone(), store)
+}
+
 /// Exhaustive kGPM oracle: all label-consistent assignments whose every
 /// pattern edge has a finite undirected distance, scored and sorted.
-fn oracle(ctx: &KgpmContext, q: &GraphQuery, k: usize) -> Vec<Score> {
-    let g = ctx.graph();
-    let tc = ktpm::closure::ClosureTables::compute(g);
+fn oracle(ug: &LabeledGraph, q: &GraphQuery, k: usize) -> Vec<Score> {
+    let tc = ktpm::closure::ClosureTables::compute(ug);
     let mut candidates: Vec<Vec<NodeId>> = Vec::new();
     for u in 0..q.len() {
-        match g.interner().get(q.label(u)) {
-            Some(l) if !g.nodes_with_label(l).is_empty() => {
-                candidates.push(g.nodes_with_label(l).to_vec())
+        match ug.interner().get(q.label(u)) {
+            Some(l) if !ug.nodes_with_label(l).is_empty() => {
+                candidates.push(ug.nodes_with_label(l).to_vec())
             }
             _ => return Vec::new(),
         }
@@ -103,19 +114,30 @@ fn kgpm_matchers_agree_with_oracle_on_random_workloads() {
         let mut rng = StdRng::seed_from_u64(9000 + t);
         let nodes = rng.random_range(5..12);
         let g = random_graph(&mut rng, nodes, 4);
-        let ctx = KgpmContext::new(&g);
+        let exec = pattern_exec(&g);
+        let ug = ktpm::graph::undirect(&g);
         let Some(q) = random_pattern(&mut rng, 4) else {
             continue;
         };
         let k = rng.random_range(1..12);
-        let expect = oracle(&ctx, &q, k);
-        for matcher in [TreeMatcher::DpB, TreeMatcher::TopkEn] {
-            let got: Vec<Score> = ctx
-                .topk(&q, k, matcher)
-                .into_iter()
-                .map(|m| m.score)
-                .collect();
-            assert_eq!(got, expect, "trial {t}, matcher {matcher:?}, q {q:?}");
+        let expect = oracle(&ug, &q, k);
+        for engine in [ShardEngine::Full, ShardEngine::Lazy] {
+            for shards in [1, 3] {
+                let got: Vec<Score> = exec
+                    .query_pattern(q.clone())
+                    .shard_engine(engine)
+                    .shards(shards)
+                    .k(k)
+                    .topk()
+                    .unwrap()
+                    .into_iter()
+                    .map(|m| m.score)
+                    .collect();
+                assert_eq!(
+                    got, expect,
+                    "trial {t}, engine {engine:?}, {shards} shards, q {q:?}"
+                );
+            }
         }
     }
 }
@@ -124,14 +146,15 @@ fn kgpm_matchers_agree_with_oracle_on_random_workloads() {
 fn kgpm_matches_verify_against_closure() {
     let mut rng = StdRng::seed_from_u64(9999);
     let g = random_graph(&mut rng, 20, 5);
-    let ctx = KgpmContext::new(&g);
-    let tc = ktpm::closure::ClosureTables::compute(ctx.graph());
+    let exec = pattern_exec(&g);
+    let ug = ktpm::graph::undirect(&g);
+    let tc = ktpm::closure::ClosureTables::compute(&ug);
     for t in 0..5u64 {
         let mut prng = StdRng::seed_from_u64(7000 + t);
         let Some(q) = random_pattern(&mut prng, 5) else {
             continue;
         };
-        for m in ctx.topk(&q, 15, TreeMatcher::TopkEn) {
+        for m in exec.query_pattern(q.clone()).k(15).topk().unwrap() {
             let mut total: Score = 0;
             for &(a, b) in q.edges() {
                 let d = tc
@@ -141,11 +164,7 @@ fn kgpm_matches_verify_against_closure() {
             }
             assert_eq!(total, m.score);
             for (u, &v) in m.assignment.iter().enumerate() {
-                assert_eq!(
-                    ctx.graph().label_name(ctx.graph().label(v)),
-                    q.label(u),
-                    "label preserved"
-                );
+                assert_eq!(ug.label_name(ug.label(v)), q.label(u), "label preserved");
             }
         }
     }
