@@ -62,7 +62,7 @@ use ktpm_exec::WorkerPool;
 use ktpm_graph::LabeledGraph;
 use ktpm_query::ResolvedQuery;
 use ktpm_runtime::RuntimeGraph;
-use ktpm_storage::{write_store, FileStore, MemStore, SharedSource};
+use ktpm_storage::{open_store_auto, write_store, MemStore, SharedSource};
 use ktpm_workload::{generate, query_set, GraphSpec};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -106,6 +106,9 @@ pub struct Dataset {
     pub closure_edges: usize,
     /// Size of the store file in bytes.
     pub file_bytes: u64,
+    /// Path of the store file, so benchmarks can re-open it with
+    /// explicit backends or cache budgets (cold/warm paged-store runs).
+    pub path: PathBuf,
 }
 
 fn cache_dir() -> PathBuf {
@@ -136,7 +139,11 @@ pub fn prepare_dataset(name: &str, spec: &GraphSpec) -> Dataset {
         spec.weight_range.1,
     );
     let mut path = cache_dir();
-    path.push(format!("{name}-{fingerprint}.tc"));
+    // The filename carries the store format version so a checkout that
+    // changes the default output format never re-opens a stale cache
+    // file written in the old one (the paged-store smoke section needs
+    // `path` to really be v3).
+    path.push(format!("{name}-{fingerprint}-v3.tc"));
     let (closure_secs, closure_edges) = if path.exists() {
         (0.0, 0)
     } else {
@@ -148,9 +155,9 @@ pub fn prepare_dataset(name: &str, spec: &GraphSpec) -> Dataset {
         (secs, edges)
     };
     let file_bytes = std::fs::metadata(&path).expect("store file").len();
-    let store: SharedSource = FileStore::open(&path)
-        .expect("open closure store")
-        .into_shared();
+    // Version-sniffing open (v3 paged with the default cache budget
+    // here; the helper keeps working if the default format moves).
+    let store: SharedSource = open_store_auto(&path, None).expect("open closure store");
     let closure_edges = if closure_edges == 0 {
         // Served from cache: recount cheaply from the index.
         store
@@ -169,6 +176,7 @@ pub fn prepare_dataset(name: &str, spec: &GraphSpec) -> Dataset {
         closure_secs,
         closure_edges,
         file_bytes,
+        path,
     }
 }
 

@@ -23,7 +23,11 @@
 //!   `Topk-EN` and `ParTopk`'s lazy shard engine. When the full half
 //!   already exists it is *derived* from the loaded graph instead of
 //!   re-sweeping storage, so a warm plan never repeats candidate
-//!   discovery for any algorithm.
+//!   discovery for any algorithm. Discovery touches only the compact
+//!   `D`/`E` tables — never a whole `L` pair region — so over the
+//!   paged (format-v3) store the lazy half fetches **zero** group
+//!   blocks; edge lists stream later, block by verified block, only
+//!   as the Topk-EN priority loader demands them.
 //!
 //! Per-enumerator state (heaps, cursors, materialized list prefixes)
 //! stays private to each enumerator; the plan only shares what is
@@ -748,6 +752,46 @@ mod tests {
 
         plan.stamp_version(7);
         assert_eq!(plan.graph_version(), 7);
+    }
+
+    #[test]
+    fn lazy_setup_over_a_paged_store_reads_tables_not_edge_blocks() {
+        // The lazy half's candidate discovery replays through D/E
+        // tables only; over a format-v3 PagedStore this means no group
+        // block is fetched (and none materialized) until the Topk-EN
+        // priority loader actually pulls a cursor. Enumeration then
+        // matches the in-memory reference exactly.
+        let g = citation_graph();
+        let q = TreeQuery::parse("C -> E\nC -> S")
+            .unwrap()
+            .resolve(g.interner());
+        let tables = ClosureTables::compute(&g);
+        let mut path = std::env::temp_dir();
+        path.push(format!("ktpm-plan-paged-{}.bin", std::process::id()));
+        ktpm_storage::write_store_v3(&tables, &path, 2).unwrap();
+        let paged = ktpm_storage::PagedStore::open(&path).unwrap().into_shared();
+        let plan = QueryPlan::new(q.clone(), Arc::clone(&paged));
+        paged.reset_io();
+        plan.lazy();
+        let io = paged.io();
+        assert!(io.d_entries > 0, "discovery loads D tables");
+        assert_eq!(
+            io.edges_read, 0,
+            "lazy setup must not materialize any L group block"
+        );
+        assert_eq!(io.cache_misses, 0, "no block fetched, cached or not");
+        let want: Vec<_> = {
+            let mem = MemStore::new(tables).into_shared();
+            let mem_plan = QueryPlan::new(q, mem);
+            canonical(TopkEnEnumerator::from_plan(&mem_plan)).collect()
+        };
+        let got: Vec<_> = canonical(TopkEnEnumerator::from_plan(&plan)).collect();
+        assert_eq!(got, want);
+        assert!(
+            paged.io().edges_read > 0,
+            "enumeration itself streams edges through block cursors"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -170,6 +170,59 @@ fn kgpm_patterns_stream_identically_on_both_front_ends() {
 }
 
 #[test]
+fn stats_over_the_wire_reports_paged_store_io() {
+    // A paged-store-backed engine behind the event front end: STATS
+    // must carry the io_* fields, with the block-cache counters showing
+    // real traffic after a query and hits after a warm replay.
+    let g = citation_graph();
+    let tables = ClosureTables::compute(&g);
+    let mut path = std::env::temp_dir();
+    path.push(format!("ktpm-net-paged-{}.bin", std::process::id()));
+    ktpm_storage::write_store_v3(&tables, &path, 2).unwrap();
+    let store = ktpm_storage::PagedStore::open(&path).unwrap().into_shared();
+    let handle = QueryEngine::new(g.interner().clone(), store, small_config());
+    let server = EventServer::spawn(handle, ("127.0.0.1", 0), NetConfig::new()).unwrap();
+    // Same query, two algorithms: the lazy session streams some blocks
+    // (misses); the full-loading session then fetches every block of
+    // the same pair tables, re-hitting the streamed ones. (An identical
+    // second session would be served from the result cache and never
+    // touch storage at all.)
+    let script = [
+        "OPEN topk-en C -> E; C -> S",
+        "NEXT 1 10",
+        "OPEN topk C -> E; C -> S",
+        "NEXT 2 10",
+        "STATS",
+    ];
+    let resp = pipeline_exchange(server.local_addr(), &script);
+    let stats = resp
+        .lines()
+        .find(|l| l.contains("io_block_reads="))
+        .unwrap_or_else(|| panic!("no io_ fields in {resp}"));
+    let field = |name: &str| -> u64 {
+        stats
+            .split(&format!(" {name}="))
+            .nth(1)
+            .and_then(|r| r.split_whitespace().next())
+            .unwrap_or_else(|| panic!("{name} missing from {stats}"))
+            .parse()
+            .expect("numeric field")
+    };
+    assert!(field("io_block_reads") > 0, "{stats}");
+    assert!(
+        field("io_cache_misses") > 0,
+        "cold streaming fetches blocks"
+    );
+    assert!(
+        field("io_cache_hits") > 0,
+        "the full load replays the lazily-streamed blocks warm: {stats}"
+    );
+    assert!(field("io_cache_bytes_resident") > 0);
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn overload_sheds_in_order_with_err_overloaded() {
     let handle = handle_with(small_config());
     let server = EventServer::spawn(

@@ -151,6 +151,10 @@ pub struct EngineStats {
     /// Current graph version of the store (0 forever on immutable
     /// snapshot backends; bumped once per applied delta on live ones).
     pub graph_version: u64,
+    /// The store's cumulative I/O counters (blocks/bytes/edges read,
+    /// and — on the paged backend — block-cache hit/miss/eviction
+    /// counts plus the resident-bytes gauge).
+    pub io: ktpm_storage::IoSnapshot,
     /// Monotonic counters.
     pub metrics: MetricsSnapshot,
 }
@@ -636,6 +640,7 @@ impl ServiceHandle {
             plan_bytes_limit: e.config.plan_cache_max_bytes.unwrap_or(0),
             workers: e.pool.width(),
             graph_version: e.source.graph_version(),
+            io: e.source.io(),
             metrics: e.metrics.snapshot(),
         }
     }

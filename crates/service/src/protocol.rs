@@ -168,6 +168,12 @@
 //! loop) and `shed_total` (requests or connections refused with
 //! `ERR overloaded`), alongside the engine counters.
 //!
+//! It also reports the store's cumulative I/O as `io_*` fields:
+//! `io_block_reads`, `io_bytes_read`, `io_edges_read`, `io_d_entries`,
+//! `io_e_entries`, and — live only on the paged (format-v3) backend —
+//! the block-cache counters `io_cache_hits`, `io_cache_misses`,
+//! `io_cache_evictions` and the `io_cache_bytes_resident` gauge.
+//!
 //! Verbs are case-insensitive; everything else is verbatim.
 
 use crate::engine::NextBatch;

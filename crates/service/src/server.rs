@@ -214,7 +214,10 @@ pub fn respond(handle: &ServiceHandle, line: &str) -> String {
             let s = handle.stats();
             format!(
                 "OK sessions_active={} cache_entries={} plan_entries={} plan_bytes={} \
-                 plan_largest_bytes={} plan_cache_bytes_limit={} workers={} graph_version={} {}\n",
+                 plan_largest_bytes={} plan_cache_bytes_limit={} workers={} graph_version={} \
+                 io_block_reads={} io_bytes_read={} io_edges_read={} io_d_entries={} \
+                 io_e_entries={} io_cache_hits={} io_cache_misses={} io_cache_evictions={} \
+                 io_cache_bytes_resident={} {}\n",
                 s.sessions_active,
                 s.cache_entries,
                 s.plan_entries,
@@ -223,6 +226,15 @@ pub fn respond(handle: &ServiceHandle, line: &str) -> String {
                 s.plan_bytes_limit,
                 s.workers,
                 s.graph_version,
+                s.io.block_reads,
+                s.io.bytes_read,
+                s.io.edges_read,
+                s.io.d_entries,
+                s.io.e_entries,
+                s.io.cache_hits,
+                s.io.cache_misses,
+                s.io.cache_evictions,
+                s.io.cache_bytes_resident,
                 s.metrics.to_wire()
             )
         }
@@ -260,6 +272,49 @@ mod tests {
                 ..ServiceConfig::default()
             },
         )
+    }
+
+    #[test]
+    fn stats_reports_store_io_including_block_cache_counters() {
+        // A paged-store-backed engine: running a query moves the io_*
+        // fields, and the block-cache counters show real hit traffic.
+        let g = citation_graph();
+        let tables = ClosureTables::compute(&g);
+        let mut path = std::env::temp_dir();
+        path.push(format!("ktpm-stats-io-{}.bin", std::process::id()));
+        ktpm_storage::write_store_v3(&tables, &path, 2).unwrap();
+        let store = ktpm_storage::PagedStore::open(&path).unwrap().into_shared();
+        let h = QueryEngine::new(
+            g.interner().clone(),
+            store,
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let open = respond(&h, "OPEN topk-en C -> E; C -> S");
+        let id = open.trim().strip_prefix("OK ").expect("open succeeds");
+        let _ = respond(&h, &format!("NEXT {id} 10"));
+        let stats = respond(&h, "STATS");
+        let field = |name: &str| -> u64 {
+            stats
+                .split(&format!(" {name}="))
+                .nth(1)
+                .and_then(|r| r.split_whitespace().next())
+                .unwrap_or_else(|| panic!("{name} missing from {stats}"))
+                .parse()
+                .expect("numeric field")
+        };
+        assert!(field("io_block_reads") > 0, "{stats}");
+        assert!(field("io_bytes_read") > 0);
+        assert!(field("io_d_entries") > 0, "discovery loaded D tables");
+        assert!(
+            field("io_cache_misses") > 0,
+            "edge streaming fetched blocks"
+        );
+        assert_eq!(field("io_cache_evictions"), 0, "default budget is ample");
+        assert!(field("io_cache_bytes_resident") > 0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! A byte-budgeted LRU cache of verified on-disk blocks, keyed by file
+//! offset — the resident set behind [`crate::PagedStore`].
+//!
+//! The cache itself is a plain (non-thread-safe) structure; the store
+//! wraps it in a `Mutex` and forwards hit/miss/eviction/residency
+//! deltas into [`crate::IoStats`]. Recency is tracked with a lazy
+//! queue: every touch pushes a freshly stamped `(offset, stamp)` entry
+//! and eviction skips entries whose stamp is stale, so a hit is O(1)
+//! amortized with no linked-list surgery.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+struct Slot {
+    data: Arc<Vec<u8>>,
+    /// Stamp of this slot's *newest* queue entry; older queue entries
+    /// for the same offset are stale and skipped during eviction.
+    stamp: u64,
+}
+
+/// LRU over verified block payloads. `budget` is in payload bytes;
+/// `0` means unlimited (nothing is ever evicted).
+pub(crate) struct BlockCache {
+    map: HashMap<u64, Slot>,
+    lru: VecDeque<(u64, u64)>,
+    next_stamp: u64,
+    resident: u64,
+    budget: u64,
+}
+
+impl BlockCache {
+    pub(crate) fn new(budget: u64) -> Self {
+        BlockCache {
+            map: HashMap::new(),
+            lru: VecDeque::new(),
+            next_stamp: 0,
+            resident: 0,
+            budget,
+        }
+    }
+
+    fn touch(&mut self, off: u64) -> u64 {
+        self.next_stamp += 1;
+        self.lru.push_back((off, self.next_stamp));
+        self.next_stamp
+    }
+
+    /// Looks up the block at `off`, refreshing its recency on a hit.
+    pub(crate) fn get(&mut self, off: u64) -> Option<Arc<Vec<u8>>> {
+        self.next_stamp += 1;
+        let stamp = self.next_stamp;
+        let slot = self.map.get_mut(&off)?;
+        slot.stamp = stamp;
+        let data = Arc::clone(&slot.data);
+        self.lru.push_back((off, stamp));
+        self.compact();
+        Some(data)
+    }
+
+    /// Inserts (or replaces) the block at `off`, then evicts
+    /// least-recently-used blocks until the budget holds again. The
+    /// block just inserted is never evicted, even when it alone
+    /// exceeds the budget — a fetched block must survive long enough
+    /// to be returned. Returns `(evicted_blocks, resident_bytes)`.
+    pub(crate) fn insert(&mut self, off: u64, data: Arc<Vec<u8>>) -> (u64, u64) {
+        let bytes = data.len() as u64;
+        let stamp = self.touch(off);
+        if let Some(old) = self.map.insert(off, Slot { data, stamp }) {
+            self.resident -= old.data.len() as u64;
+        }
+        self.resident += bytes;
+        let mut evicted = 0u64;
+        if self.budget > 0 {
+            while self.resident > self.budget {
+                let Some((victim, victim_stamp)) = self.lru.pop_front() else {
+                    break;
+                };
+                if victim == off {
+                    // The entry being inserted reached the front: it is
+                    // the only live block left. Keep it.
+                    self.lru.push_front((victim, victim_stamp));
+                    break;
+                }
+                match self.map.get(&victim) {
+                    Some(slot) if slot.stamp == victim_stamp => {
+                        let slot = self.map.remove(&victim).expect("checked above");
+                        self.resident -= slot.data.len() as u64;
+                        evicted += 1;
+                    }
+                    _ => {} // stale queue entry (re-touched or replaced)
+                }
+            }
+        }
+        self.compact();
+        (evicted, self.resident)
+    }
+
+    /// Prunes stale queue entries once they dominate, keeping the queue
+    /// O(live blocks).
+    fn compact(&mut self) {
+        if self.lru.len() <= 2 * self.map.len() + 16 {
+            return;
+        }
+        let map = &self.map;
+        self.lru
+            .retain(|&(off, stamp)| map.get(&off).is_some_and(|s| s.stamp == stamp));
+    }
+
+    /// Live blocks currently cached.
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Payload bytes currently resident.
+    pub(crate) fn resident_bytes(&self) -> u64 {
+        self.resident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(n: usize) -> Arc<Vec<u8>> {
+        Arc::new(vec![0u8; n])
+    }
+
+    #[test]
+    fn unlimited_budget_never_evicts() {
+        let mut c = BlockCache::new(0);
+        for off in 0..100u64 {
+            let (ev, _) = c.insert(off, block(100));
+            assert_eq!(ev, 0);
+        }
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.resident_bytes(), 10_000);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut c = BlockCache::new(250);
+        c.insert(0, block(100));
+        c.insert(1, block(100));
+        assert!(c.get(0).is_some(), "refresh 0 so 1 is the LRU victim");
+        let (ev, resident) = c.insert(2, block(100));
+        assert_eq!(ev, 1);
+        assert_eq!(resident, 200);
+        assert!(c.get(1).is_none(), "1 was evicted");
+        assert!(c.get(0).is_some() && c.get(2).is_some());
+    }
+
+    #[test]
+    fn oversized_block_survives_its_own_insert() {
+        let mut c = BlockCache::new(50);
+        let (ev, resident) = c.insert(7, block(200));
+        assert_eq!(ev, 0);
+        assert_eq!(resident, 200, "the just-inserted block is kept");
+        assert!(c.get(7).is_some());
+        // The next insert evicts it.
+        let (ev, resident) = c.insert(8, block(40));
+        assert_eq!(ev, 1);
+        assert_eq!(resident, 40);
+        assert!(c.get(7).is_none());
+    }
+
+    #[test]
+    fn replacing_an_offset_adjusts_residency() {
+        let mut c = BlockCache::new(0);
+        c.insert(3, block(100));
+        c.insert(3, block(60));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.resident_bytes(), 60);
+    }
+
+    #[test]
+    fn budget_holds_under_churn() {
+        let mut c = BlockCache::new(1000);
+        let mut evicted = 0;
+        for round in 0..10u64 {
+            for off in 0..40u64 {
+                let (ev, resident) = c.insert(off * 1000 + round % 3, block(100));
+                evicted += ev;
+                assert!(resident <= 1000, "budget violated: {resident}");
+            }
+        }
+        assert!(evicted > 0);
+        assert!(c.resident_bytes() <= 1000);
+        // The lazy queue stays bounded relative to live blocks.
+        assert!(c.lru.len() <= 2 * c.map.len() + 16);
+    }
+}

@@ -15,11 +15,42 @@
 //! footer: u64 index_offset, magic "KTPMCLO2"
 //! ```
 //!
-//! († = format version 2 only.)
+//! († = format versions 2 and 3.)
 //!
 //! All integers little-endian. The `L` layout mirrors §4.1: incoming
 //! edges of each node, grouped exclusively per (source label, node),
 //! sorted by distance, addressable without scanning the table.
+//!
+//! ## Version 3: paged group blocks
+//!
+//! Version 3 (magic `KTPMCLO3`, read by [`crate::PagedStore`]) keeps
+//! the v2 header/D/E/directory/index shape but re-lays the `L` group
+//! regions as fixed-size, individually checksummed blocks:
+//!
+//! ```text
+//! magic "KTPMCLO3"
+//! u32 num_nodes, u32 num_labels, u32 block_entries
+//! labels: num_nodes * u32
+//! u32 crc32 over [num_nodes .. labels]
+//! per pair (in index order):
+//!   D / E / L directory: exactly as v2 (directory offsets point at a
+//!                        group's FIRST block)
+//!   L blocks:     per group: ceil(len / block_entries) blocks; each
+//!                 block = block_entries * 8 payload bytes (the final
+//!                 block zero-padded) + u32 crc32 over the full padded
+//!                 payload. Every group starts on a fresh block — no
+//!                 block ever mixes two destination nodes.
+//! index + footer: as v2, with the v3 magic
+//! ```
+//!
+//! The per-block CRC closes v2's last verification gap: block cursors
+//! can now verify each fragment as it is fetched without reading the
+//! whole group. Because a block holds entries of exactly one
+//! destination node, any [`crate::ShardSpec`] partition of the root
+//! candidates touches *disjoint* block sets — parallel shards never
+//! contend for (or falsely share) a cached block. The `block_entries`
+//! header field makes files self-describing; writers choose it at
+//! serialization time ([`crate::write_store_v3`]).
 //!
 //! ## Versions and checksums
 //!
@@ -30,9 +61,10 @@
 //! that first touches the section, and a pair's group-region checksum
 //! on whole-pair loads — so bit rot is detected the moment damaged
 //! bytes are read, as [`StorageError::Corrupt`], not merely
-//! bounds-checked. Block cursors ([`crate::EdgeCursor`]) stream group
-//! fragments and stay bounds-checked only (verifying would force
-//! reading the whole group, defeating lazy loading).
+//! bounds-checked. On v2, block cursors ([`crate::EdgeCursor`]) stream
+//! group fragments and stay bounds-checked only (verifying would force
+//! reading the whole group, defeating lazy loading); v3's per-block
+//! checksums close that gap.
 //!
 //! Version 1 files (magic `KTPMCLO1`, no checksums) still open and
 //! read — verification is simply skipped.
@@ -45,19 +77,25 @@
 use crate::source::StorageError;
 use std::sync::OnceLock;
 
-/// Current format magic (version 2, per-section checksums).
+/// Version-2 magic (per-section checksums, packed groups).
 pub const MAGIC: &[u8; 8] = b"KTPMCLO2";
 /// Version-1 magic (no checksums); still readable.
 pub const MAGIC_V1: &[u8; 8] = b"KTPMCLO1";
+/// Version-3 magic (paged, per-block checksummed groups — the default
+/// the writer emits, read by [`crate::PagedStore`]).
+pub const MAGIC_V3: &[u8; 8] = b"KTPMCLO3";
 pub const FOOTER_LEN: u64 = 8 + 8;
 
-/// On-disk format versions the writer can emit and the reader accepts.
+/// On-disk format versions the writer can emit and the readers accept.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FormatVersion {
     /// Magic `KTPMCLO1`: no checksums.
     V1,
-    /// Magic `KTPMCLO2`: CRC-32 per section (the default).
+    /// Magic `KTPMCLO2`: CRC-32 per section, packed group regions.
     V2,
+    /// Magic `KTPMCLO3`: paged group blocks, CRC-32 per block (the
+    /// default the writer emits).
+    V3,
 }
 
 impl FormatVersion {
@@ -66,6 +104,7 @@ impl FormatVersion {
         match self {
             FormatVersion::V1 => MAGIC_V1,
             FormatVersion::V2 => MAGIC,
+            FormatVersion::V3 => MAGIC_V3,
         }
     }
 
@@ -75,6 +114,8 @@ impl FormatVersion {
             Some(FormatVersion::V2)
         } else if bytes == MAGIC_V1 {
             Some(FormatVersion::V1)
+        } else if bytes == MAGIC_V3 {
+            Some(FormatVersion::V3)
         } else {
             None
         }
@@ -82,7 +123,7 @@ impl FormatVersion {
 
     /// Whether sections carry a trailing CRC-32.
     pub fn has_crc(self) -> bool {
-        matches!(self, FormatVersion::V2)
+        !matches!(self, FormatVersion::V1)
     }
 }
 
@@ -133,7 +174,19 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 pub const L_ENTRY_BYTES: usize = 8;
 
 /// Default cursor block size in `L` entries (512 bytes per block).
+/// Doubles as the default v3 on-disk block capacity.
 pub const DEFAULT_BLOCK_EDGES: usize = 64;
+
+/// On-disk size of one v3 group block holding `entries` `L` entries:
+/// the fixed (zero-padded) payload plus its trailing CRC-32.
+pub const fn v3_block_bytes(entries: usize) -> usize {
+    entries * L_ENTRY_BYTES + 4
+}
+
+/// Number of v3 blocks a group of `len` entries occupies.
+pub const fn v3_group_blocks(len: usize, block_entries: usize) -> usize {
+    len.div_ceil(block_entries)
+}
 
 pub fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -245,8 +298,20 @@ mod tests {
     fn version_magic_roundtrip() {
         assert_eq!(FormatVersion::from_magic(MAGIC), Some(FormatVersion::V2));
         assert_eq!(FormatVersion::from_magic(MAGIC_V1), Some(FormatVersion::V1));
+        assert_eq!(FormatVersion::from_magic(MAGIC_V3), Some(FormatVersion::V3));
         assert_eq!(FormatVersion::from_magic(b"KTPMXXX9"), None);
         assert!(FormatVersion::V2.has_crc());
+        assert!(FormatVersion::V3.has_crc());
         assert!(!FormatVersion::V1.has_crc());
+    }
+
+    #[test]
+    fn v3_block_geometry() {
+        assert_eq!(v3_block_bytes(64), 64 * 8 + 4);
+        assert_eq!(v3_group_blocks(0, 64), 0);
+        assert_eq!(v3_group_blocks(1, 64), 1);
+        assert_eq!(v3_group_blocks(64, 64), 1);
+        assert_eq!(v3_group_blocks(65, 64), 2);
+        assert_eq!(v3_group_blocks(129, 64), 3);
     }
 }

@@ -16,6 +16,10 @@ struct Counters {
     edges_read: AtomicU64,
     d_entries: AtomicU64,
     e_entries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    cache_bytes_resident: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -31,6 +35,19 @@ pub struct IoSnapshot {
     pub d_entries: u64,
     /// `E` table entries loaded at initialization.
     pub e_entries: u64,
+    /// Block-cache hits (block served without touching disk). Only
+    /// [`crate::PagedStore`] moves these four cache counters; every
+    /// other backend leaves them at 0.
+    pub cache_hits: u64,
+    /// Block-cache misses (each one a verified disk fetch).
+    pub cache_misses: u64,
+    /// Blocks evicted to stay within the cache byte budget.
+    pub cache_evictions: u64,
+    /// Bytes currently resident in the block cache. A gauge, not a
+    /// monotonic counter: [`IoSnapshot::since`] carries the later
+    /// snapshot's value through unchanged, and after
+    /// [`IoStats::reset`] it refreshes on the next cache operation.
+    pub cache_bytes_resident: u64,
 }
 
 impl IoStats {
@@ -56,6 +73,24 @@ impl IoStats {
         self.inner.e_entries.fetch_add(n, Ordering::Relaxed);
     }
 
+    pub(crate) fn add_cache_hit(&self) {
+        self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_cache_miss(&self) {
+        self.inner.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_cache_evictions(&self, n: u64) {
+        self.inner.cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_cache_resident(&self, bytes: u64) {
+        self.inner
+            .cache_bytes_resident
+            .store(bytes, Ordering::Relaxed);
+    }
+
     /// Reads all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -64,21 +99,32 @@ impl IoStats {
             edges_read: self.inner.edges_read.load(Ordering::Relaxed),
             d_entries: self.inner.d_entries.load(Ordering::Relaxed),
             e_entries: self.inner.e_entries.load(Ordering::Relaxed),
+            cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.inner.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.inner.cache_evictions.load(Ordering::Relaxed),
+            cache_bytes_resident: self.inner.cache_bytes_resident.load(Ordering::Relaxed),
         }
     }
 
-    /// Zeroes all counters.
+    /// Zeroes all counters (including the residency gauge, which the
+    /// owning cache refreshes on its next operation).
     pub fn reset(&self) {
         self.inner.block_reads.store(0, Ordering::Relaxed);
         self.inner.bytes_read.store(0, Ordering::Relaxed);
         self.inner.edges_read.store(0, Ordering::Relaxed);
         self.inner.d_entries.store(0, Ordering::Relaxed);
         self.inner.e_entries.store(0, Ordering::Relaxed);
+        self.inner.cache_hits.store(0, Ordering::Relaxed);
+        self.inner.cache_misses.store(0, Ordering::Relaxed);
+        self.inner.cache_evictions.store(0, Ordering::Relaxed);
+        self.inner.cache_bytes_resident.store(0, Ordering::Relaxed);
     }
 }
 
 impl IoSnapshot {
-    /// Difference since an earlier snapshot.
+    /// Difference since an earlier snapshot. Monotonic counters
+    /// subtract; `cache_bytes_resident` is a gauge and carries `self`'s
+    /// (the later snapshot's) value.
     pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
         IoSnapshot {
             block_reads: self.block_reads - earlier.block_reads,
@@ -86,6 +132,10 @@ impl IoSnapshot {
             edges_read: self.edges_read - earlier.edges_read,
             d_entries: self.d_entries - earlier.d_entries,
             e_entries: self.e_entries - earlier.e_entries,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            cache_evictions: self.cache_evictions - earlier.cache_evictions,
+            cache_bytes_resident: self.cache_bytes_resident,
         }
     }
 }
@@ -102,12 +152,21 @@ mod tests {
         s.add_edges(10);
         s.add_d_entries(3);
         s.add_e_entries(5);
+        s.add_cache_hit();
+        s.add_cache_hit();
+        s.add_cache_miss();
+        s.add_cache_evictions(4);
+        s.set_cache_resident(1024);
         let snap = s.snapshot();
         assert_eq!(snap.block_reads, 2);
         assert_eq!(snap.bytes_read, 8192);
         assert_eq!(snap.edges_read, 10);
         assert_eq!(snap.d_entries, 3);
         assert_eq!(snap.e_entries, 5);
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.cache_evictions, 4);
+        assert_eq!(snap.cache_bytes_resident, 1024);
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());
     }
@@ -121,12 +180,23 @@ mod tests {
     }
 
     #[test]
-    fn since_subtracts() {
+    fn since_subtracts_counters_and_carries_the_gauge() {
         let s = IoStats::new();
         s.add_edges(5);
+        s.add_cache_miss();
+        s.set_cache_resident(512);
         let a = s.snapshot();
         s.add_edges(3);
+        s.add_cache_hit();
+        s.set_cache_resident(256);
         let b = s.snapshot();
-        assert_eq!(b.since(&a).edges_read, 3);
+        let d = b.since(&a);
+        assert_eq!(d.edges_read, 3);
+        assert_eq!(d.cache_hits, 1);
+        assert_eq!(d.cache_misses, 0);
+        assert_eq!(
+            d.cache_bytes_resident, 256,
+            "gauge: later value, not a diff"
+        );
     }
 }

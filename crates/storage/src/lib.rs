@@ -5,12 +5,16 @@
 //! node sorted by distance), read back block by block with I/O
 //! accounting.
 //!
-//! Four interchangeable backends implement [`ClosureSource`]:
+//! Five interchangeable backends implement [`ClosureSource`]:
 //!
-//! * [`FileStore`] — a single binary file with real positioned block
-//!   reads ([`write_store`] serializes a
-//!   [`ktpm_closure::ClosureTables`]); this is what the paper's
-//!   disk-resident run-time graph becomes;
+//! * [`PagedStore`] — the current (format v3) disk backend: group
+//!   regions split into fixed-size CRC-verified blocks, fetched lazily
+//!   through a byte-budgeted LRU block cache, so enumeration over a
+//!   closure larger than RAM keeps a bounded resident set
+//!   ([`write_store`] emits v3 by default);
+//! * [`FileStore`] — the v1/v2 single-file reader with positioned
+//!   whole-section block reads; kept for old snapshots (use
+//!   [`open_store_auto`] to dispatch on the file's version);
 //! * [`MemStore`] — the same logical layout in memory, with the same
 //!   logical I/O counters, for tests and pure-CPU benchmarks;
 //! * [`OnDemandStore`] — no precomputation at all: pair tables are
@@ -21,13 +25,16 @@
 //!   closure repair and a monotonic [`ClosureSource::graph_version`].
 //!
 //! All counters live in [`IoStats`] snapshots so experiments can report
-//! edges/blocks/bytes read per phase (Figures 6(c)–6(f)).
+//! edges/blocks/bytes read per phase (Figures 6(c)–6(f)), including the
+//! paged backend's block-cache hit/miss/eviction/residency traffic.
 
+mod cache;
 mod format;
 mod iostats;
 mod live;
 mod mem;
 mod ondemand;
+mod paged;
 mod reader;
 mod shard;
 mod source;
@@ -38,10 +45,11 @@ pub use iostats::{IoSnapshot, IoStats};
 pub use live::LiveStore;
 pub use mem::MemStore;
 pub use ondemand::OnDemandStore;
+pub use paged::{open_store_auto, PagedStore, DEFAULT_BLOCK_CACHE_BYTES};
 pub use reader::FileStore;
 pub use shard::ShardSpec;
 pub use source::{
     merge_sorted_blocks, ClosureSource, DeltaReport, EdgeCursor, SharedSource, SourceRef,
     StorageError,
 };
-pub use writer::{write_store, write_store_versioned};
+pub use writer::{write_store, write_store_v3, write_store_versioned};

@@ -85,19 +85,30 @@ pub struct FileStore {
 }
 
 impl FileStore {
-    /// Opens a store written by [`crate::write_store`] (either format
-    /// version — v2 checksums are verified, v1 has none).
+    /// Opens a v1/v2 store written by [`crate::write_store_versioned`]
+    /// (v2 checksums are verified, v1 has none). Format-v3 (paged)
+    /// files — what [`crate::write_store`] emits today — are read by
+    /// [`crate::PagedStore`]; use [`crate::open_store_auto`] to
+    /// dispatch on the file's actual version.
     ///
     /// Errors: [`StorageError::BadFormat`] when the file is not a
-    /// closure store at all (wrong magic), [`StorageError::Corrupt`]
-    /// when it is one but truncated or damaged (including a header or
-    /// index checksum mismatch, verified eagerly here).
+    /// closure store at all (wrong magic) or is a v3 store,
+    /// [`StorageError::Corrupt`] when it is one but truncated or
+    /// damaged (including a header or index checksum mismatch, verified
+    /// eagerly here).
     pub fn open(path: &Path) -> Result<Self, StorageError> {
         Self::open_with_block_edges(path, DEFAULT_BLOCK_EDGES)
     }
 
     /// Opens with an explicit cursor block size (in `L` entries).
+    /// `block_edges == 0` is [`StorageError::InvalidConfig`] — a
+    /// zero-entry cursor block can never make progress.
     pub fn open_with_block_edges(path: &Path, block_edges: usize) -> Result<Self, StorageError> {
+        if block_edges == 0 {
+            return Err(StorageError::InvalidConfig(
+                "cursor block size must be at least 1 entry".into(),
+            ));
+        }
         let mut file = std::fs::File::open(path)?;
         let len = file.metadata()?.len();
         if len < FOOTER_LEN + 16 {
@@ -129,6 +140,11 @@ impl FileStore {
         let Some(version) = FormatVersion::from_magic(&head[..8]) else {
             return Err(StorageError::BadFormat("bad magic".into()));
         };
+        if version == FormatVersion::V3 {
+            return Err(StorageError::BadFormat(
+                "format v3 (paged) store; open it with PagedStore or open_store_auto".into(),
+            ));
+        }
         let head_crc_len: u64 = if version.has_crc() { 4 } else { 0 };
         let mut pos = 8;
         let num_nodes = get_u32(&head, &mut pos)? as usize;
@@ -235,7 +251,7 @@ impl FileStore {
             labels,
             index,
             dirs: Mutex::new(HashMap::new()),
-            block_edges: block_edges.max(1),
+            block_edges,
             version,
         })
     }

@@ -18,6 +18,15 @@
 //! node space: shard-restricted views of one [`crate::SharedSource`]
 //! (all shards share the same store handle) are taken per query by the
 //! layers above, not by copying tables.
+//!
+//! The format-v3 paged layout is shard-aligned with these specs: every
+//! destination node's `L` group starts on a fresh fixed-size block, so
+//! no block holds entries of two nodes and the block sets touched by
+//! different shards' root partitions are disjoint
+//! ([`crate::PagedStore::group_block_ranges`] exposes the ranges).
+//! Parallel shard workers therefore never re-fetch or re-verify each
+//! other's blocks, and each warms the shared block cache only with its
+//! own partition.
 
 use ktpm_graph::NodeId;
 use std::fmt;

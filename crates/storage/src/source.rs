@@ -29,6 +29,10 @@ pub enum StorageError {
     /// The backend is an immutable snapshot and cannot apply graph
     /// deltas. Carries the backend name for diagnostics.
     UpdatesUnsupported(&'static str),
+    /// A caller-supplied configuration value is unusable (e.g. a zero
+    /// cursor block size or on-disk block capacity). Raised before any
+    /// state is touched, instead of silently clamping.
+    InvalidConfig(String),
     /// A delta was rejected before any state changed (unknown node,
     /// zero weight, missing/duplicate edge, ...).
     DeltaRejected(DeltaError),
@@ -48,6 +52,7 @@ impl fmt::Display for StorageError {
                 f,
                 "graph updates unsupported: {backend} store is an immutable snapshot"
             ),
+            StorageError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
             StorageError::DeltaRejected(e) => write!(f, "delta rejected: {e}"),
         }
     }
@@ -251,6 +256,7 @@ mod tests {
         assert_send_sync::<crate::LiveStore>();
         assert_send_sync::<crate::OnDemandStore>();
         assert_send_sync::<crate::FileStore>();
+        assert_send_sync::<crate::PagedStore>();
         assert_send_sync::<SharedSource>();
     }
 

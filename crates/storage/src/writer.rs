@@ -8,21 +8,55 @@ use std::io::{BufWriter, Write};
 use std::path::Path;
 
 /// Writes the closure store file for `tables` at `path`, in the current
-/// format version (per-section CRC-32 checksums; see the `format`
-/// module docs).
+/// format version (v3: paged group blocks, CRC-32 per block, default
+/// block capacity `DEFAULT_BLOCK_EDGES` (64) entries; see the `format`
+/// module docs). Use [`write_store_versioned`] to emit the older v1/v2
+/// layouts, or [`write_store_v3`] to choose the block capacity.
 ///
 /// Pairs are written in sorted key order so the output is deterministic.
 pub fn write_store(tables: &ClosureTables, path: &Path) -> Result<(), StorageError> {
-    write_store_versioned(tables, path, FormatVersion::V2)
+    write_store_versioned(tables, path, FormatVersion::V3)
 }
 
 /// As [`write_store`] with an explicit [`FormatVersion`] — `V1` emits
-/// the checksum-free legacy layout (used to exercise the reader's
-/// old-version path and to produce files for pre-checksum consumers).
+/// the checksum-free legacy layout, `V2` the packed per-section-CRC
+/// layout (both used to exercise the readers' old-version paths and to
+/// produce files for older consumers).
 pub fn write_store_versioned(
     tables: &ClosureTables,
     path: &Path,
     version: FormatVersion,
+) -> Result<(), StorageError> {
+    let block_entries = match version {
+        FormatVersion::V3 => Some(DEFAULT_BLOCK_EDGES),
+        _ => None,
+    };
+    write_store_inner(tables, path, version, block_entries)
+}
+
+/// Writes a v3 store with an explicit on-disk block capacity (in `L`
+/// entries per block). Small capacities force multi-block groups and
+/// cache churn — useful in tests; `DEFAULT_BLOCK_EDGES` (64) is the
+/// production default. `block_entries == 0` is
+/// [`StorageError::InvalidConfig`].
+pub fn write_store_v3(
+    tables: &ClosureTables,
+    path: &Path,
+    block_entries: usize,
+) -> Result<(), StorageError> {
+    if block_entries == 0 {
+        return Err(StorageError::InvalidConfig(
+            "v3 block capacity must be at least 1 entry".into(),
+        ));
+    }
+    write_store_inner(tables, path, FormatVersion::V3, Some(block_entries))
+}
+
+fn write_store_inner(
+    tables: &ClosureTables,
+    path: &Path,
+    version: FormatVersion,
+    block_entries: Option<usize>,
 ) -> Result<(), StorageError> {
     let crc = version.has_crc();
     let file = std::fs::File::create(path)?;
@@ -37,7 +71,8 @@ pub fn write_store_versioned(
         put_u32(buf, sum);
     }
 
-    // Header: magic, counts, labels [, crc over counts + labels].
+    // Header: magic, counts [, v3 block capacity], labels
+    // [, crc over everything past the magic].
     let mut buf = Vec::new();
     buf.extend_from_slice(version.magic());
     let n = tables.num_nodes();
@@ -47,6 +82,9 @@ pub fn write_store_versioned(
         .unwrap_or(0);
     put_u32(&mut buf, n as u32);
     put_u32(&mut buf, num_labels);
+    if let Some(be) = block_entries {
+        put_u32(&mut buf, be as u32);
+    }
     for i in 0..n {
         put_u32(&mut buf, tables.label(NodeId(i as u32)).0);
     }
@@ -92,9 +130,10 @@ pub fn write_store_versioned(
         }
         emit(&mut w, &buf, &mut offset)?;
 
-        // L directory + groups. Directory entries carry absolute offsets,
-        // so compute the groups' base first (past the directory and, in
-        // v2, its trailing checksum).
+        // L directory + groups. Directory entries carry absolute offsets
+        // (a group's first byte — in v3, its first block), so compute
+        // the groups' base first (past the directory and, with
+        // checksums, its trailing CRC).
         let dir_off = offset;
         let dir_bytes = 4 + table.dst_nodes().len() * (4 + 8 + 4) + if crc { 4 } else { 0 };
         let mut groups_base = dir_off + dir_bytes as u64;
@@ -105,22 +144,47 @@ pub fn write_store_versioned(
             put_u32(&mut buf, v.0);
             put_u64(&mut buf, groups_base);
             put_u32(&mut buf, len as u32);
-            groups_base += (len * L_ENTRY_BYTES) as u64;
+            groups_base += match block_entries {
+                // v3: every group starts on a fresh block boundary and
+                // occupies whole (padded, individually sealed) blocks.
+                Some(be) => (v3_group_blocks(len, be) * v3_block_bytes(be)) as u64,
+                None => (len * L_ENTRY_BYTES) as u64,
+            };
         }
         if crc {
             seal(&mut buf, 0);
         }
-        let groups_from = buf.len();
-        for &v in table.dst_nodes() {
-            for &(s, dist) in table.incoming(v) {
-                put_u32(&mut buf, s.0);
-                put_u32(&mut buf, dist);
+        match block_entries {
+            Some(be) => {
+                // v3 blocks: fixed payload (zero-padded tail) + CRC each.
+                for &v in table.dst_nodes() {
+                    let group = table.incoming(v);
+                    for chunk in group.chunks(be) {
+                        let from = buf.len();
+                        for &(s, dist) in chunk {
+                            put_u32(&mut buf, s.0);
+                            put_u32(&mut buf, dist);
+                        }
+                        buf.resize(from + be * L_ENTRY_BYTES, 0);
+                        seal(&mut buf, from);
+                    }
+                }
             }
-        }
-        if crc {
-            // One checksum over the pair's whole group region, verified
-            // on whole-pair loads (cursors stream and stay unchecked).
-            seal(&mut buf, groups_from);
+            None => {
+                let groups_from = buf.len();
+                for &v in table.dst_nodes() {
+                    for &(s, dist) in table.incoming(v) {
+                        put_u32(&mut buf, s.0);
+                        put_u32(&mut buf, dist);
+                    }
+                }
+                if crc {
+                    // One checksum over the pair's whole group region,
+                    // verified on whole-pair loads (v2 cursors stream
+                    // and stay unchecked).
+                    seal(&mut buf, groups_from);
+                }
+            }
         }
         emit(&mut w, &buf, &mut offset)?;
         index_entries.push((a.0, b.0, d_off, e_off, dir_off));

@@ -1,0 +1,389 @@
+//! Paged (format v3) store suite: lazy verified block fetch, the LRU
+//! block cache, shard-aligned placement, and corruption handling.
+
+use ktpm_closure::ClosureTables;
+use ktpm_graph::fixtures::paper_graph;
+use ktpm_graph::{GraphBuilder, LabeledGraph, NodeId};
+use ktpm_storage::{
+    open_store_auto, write_store, write_store_v3, write_store_versioned, ClosureSource,
+    FormatVersion, MemStore, PagedStore, ShardSpec, StorageError,
+};
+
+fn tempfile(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ktpm-paged-test-{}-{}", std::process::id(), name));
+    p
+}
+
+/// A deterministic multi-label weighted graph big enough for multi-block
+/// groups and cache churn.
+fn dense_graph(n: usize, labels: usize) -> LabeledGraph {
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut b = GraphBuilder::new();
+    let nodes: Vec<_> = (0..n)
+        .map(|i| b.add_node(&format!("L{}", i % labels)))
+        .collect();
+    for u in 0..n {
+        for _ in 0..4 {
+            let v = (next() % n as u64) as usize;
+            if v != u {
+                b.add_edge(nodes[u], nodes[v], (next() % 5 + 1) as u32);
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+fn check_equivalent(mem: &MemStore, paged: &PagedStore) {
+    assert_eq!(mem.num_nodes(), paged.num_nodes());
+    for i in 0..mem.num_nodes() {
+        let v = NodeId(i as u32);
+        assert_eq!(mem.node_label(v), paged.node_label(v));
+    }
+    assert_eq!(mem.pair_keys(), paged.pair_keys());
+    for (a, b) in mem.pair_keys() {
+        assert_eq!(mem.load_d(a, b), paged.load_d(a, b), "D table {a:?}->{b:?}");
+        assert_eq!(mem.load_e(a, b), paged.load_e(a, b), "E table {a:?}->{b:?}");
+        let mut pm = mem.load_pair(a, b);
+        let mut pp = paged.load_pair(a, b);
+        pm.sort_unstable();
+        pp.sort_unstable();
+        assert_eq!(pm, pp, "L table {a:?}->{b:?}");
+    }
+    // Cursors stream identical *content* (block sizes may differ — the
+    // paged cursor is aligned to on-disk blocks), and point lookups
+    // agree everywhere.
+    for (a, _) in mem.pair_keys() {
+        for i in 0..mem.num_nodes() {
+            let v = NodeId(i as u32);
+            let mut cm = mem.incoming_cursor(a, v);
+            let mut cp = paged.incoming_cursor(a, v);
+            assert_eq!(cm.remaining(), cp.remaining());
+            let drain = |c: &mut Box<dyn ktpm_storage::EdgeCursor + Send>| {
+                let mut all = Vec::new();
+                loop {
+                    let blk = c.next_block();
+                    if blk.is_empty() {
+                        break;
+                    }
+                    all.extend(blk);
+                }
+                all
+            };
+            assert_eq!(drain(&mut cm), drain(&mut cp), "cursor {a:?} -> {v:?}");
+        }
+    }
+    for u in 0..mem.num_nodes() {
+        for v in 0..mem.num_nodes() {
+            let (u, v) = (NodeId(u as u32), NodeId(v as u32));
+            assert_eq!(mem.lookup_dist(u, v), paged.lookup_dist(u, v));
+        }
+    }
+}
+
+#[test]
+fn v3_is_the_default_and_roundtrips_against_mem() {
+    let g = paper_graph();
+    let tables = ClosureTables::compute(&g);
+    let path = tempfile("default-roundtrip");
+    write_store(&tables, &path).unwrap();
+    let paged = PagedStore::open(&path).unwrap();
+    assert_eq!(paged.version(), FormatVersion::V3);
+    paged.verify().unwrap();
+    let mem = MemStore::new(tables);
+    check_equivalent(&mem, &paged);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn tiny_blocks_roundtrip_across_block_boundaries() {
+    // block_entries=1..3 force every group across many blocks; content
+    // must still be identical to memory, including resumed cursors.
+    let g = dense_graph(48, 5);
+    let tables = ClosureTables::compute(&g);
+    for be in 1..=3usize {
+        let path = tempfile(&format!("tiny-{be}"));
+        write_store_v3(&tables, &path, be).unwrap();
+        let paged = PagedStore::open(&path).unwrap();
+        assert_eq!(paged.block_entries(), be);
+        paged.verify().unwrap();
+        let mem = MemStore::new(tables.clone());
+        check_equivalent(&mem, &paged);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn writer_rejects_zero_block_capacity() {
+    let tables = ClosureTables::compute(&paper_graph());
+    let path = tempfile("zero-capacity");
+    assert!(matches!(
+        write_store_v3(&tables, &path, 0),
+        Err(StorageError::InvalidConfig(_))
+    ));
+    assert!(!path.exists(), "no file may be created for a bad config");
+}
+
+#[test]
+fn cache_counters_flow_and_warm_reads_skip_disk() {
+    let g = dense_graph(40, 4);
+    let tables = ClosureTables::compute(&g);
+    let path = tempfile("warm");
+    write_store_v3(&tables, &path, 4).unwrap();
+    // Unlimited budget: after one cold pass every block is resident.
+    let paged = PagedStore::open_with_cache_bytes(&path, 0).unwrap();
+    let keys = paged.pair_keys();
+    for &(a, b) in &keys {
+        let _ = paged.load_pair(a, b);
+    }
+    let cold = paged.io();
+    assert!(cold.cache_misses > 0, "cold pass must miss");
+    assert_eq!(cold.cache_hits, 0);
+    assert_eq!(cold.cache_evictions, 0, "unlimited budget never evicts");
+    assert!(cold.cache_bytes_resident > 0);
+    paged.reset_io();
+    for &(a, b) in &keys {
+        let _ = paged.load_pair(a, b);
+    }
+    let warm = paged.io();
+    assert_eq!(warm.cache_misses, 0, "warm pass must be all hits");
+    assert!(warm.cache_hits >= cold.cache_misses);
+    assert_eq!(
+        warm.block_reads, 0,
+        "a warm cache serves group reads with zero disk fetches"
+    );
+    assert_eq!(warm.bytes_read, 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn tight_budget_bounds_resident_bytes_but_stays_correct() {
+    let g = dense_graph(60, 4);
+    let tables = ClosureTables::compute(&g);
+    let path = tempfile("budget");
+    write_store_v3(&tables, &path, 2).unwrap();
+    // Budget of 4 blocks' payload (2 entries * 8B each): far below the
+    // closure size, forcing constant eviction.
+    let budget = 4 * 2 * 8;
+    let paged = PagedStore::open_with_cache_bytes(&path, budget).unwrap();
+    let mem = MemStore::new(tables);
+    check_equivalent(&mem, &paged);
+    let io = paged.io();
+    assert!(io.cache_evictions > 0, "a tight budget must evict");
+    assert!(
+        io.cache_bytes_resident <= budget,
+        "resident {res} exceeds budget {budget}",
+        res = io.cache_bytes_resident
+    );
+    assert!(paged.cache_resident_bytes() <= budget);
+    assert!(paged.cache_blocks() <= 4);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn groups_never_share_blocks_so_shards_touch_disjoint_ranges() {
+    let g = dense_graph(50, 3);
+    let tables = ClosureTables::compute(&g);
+    let path = tempfile("shard-disjoint");
+    write_store_v3(&tables, &path, 3).unwrap();
+    let paged = PagedStore::open(&path).unwrap();
+    let shards = ShardSpec::split(4);
+    for (a, b) in paged.pair_keys() {
+        let ranges = paged.group_block_ranges(a, b).unwrap();
+        // Each group occupies whole blocks, non-overlapping with every
+        // other group (of any pair table — offsets are absolute).
+        let bb = 3 * 8 + 4;
+        let mut per_shard: Vec<Vec<std::ops::Range<u64>>> = vec![Vec::new(); shards.len()];
+        for (v, r) in &ranges {
+            assert_eq!((r.end - r.start) % bb, 0, "group of {v:?} is whole blocks");
+            let owner = shards.iter().position(|s| s.contains(*v)).unwrap();
+            per_shard[owner].push(r.clone());
+        }
+        // Root partitions by shard touch disjoint block ranges.
+        for i in 0..per_shard.len() {
+            for j in i + 1..per_shard.len() {
+                for x in &per_shard[i] {
+                    for y in &per_shard[j] {
+                        assert!(
+                            x.end <= y.start || y.end <= x.start,
+                            "shard {i} range {x:?} overlaps shard {j} range {y:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bit_rot_in_every_block_is_surfaced_never_panics() {
+    // Flip a byte in EVERY v3 group block (payload and CRC positions):
+    // the scrub must report Corrupt each time, and all read paths must
+    // degrade (empty/partial/exhausted cursor) without panicking.
+    let g = paper_graph();
+    let tables = ClosureTables::compute(&g);
+    let src = tempfile("bitrot-src");
+    write_store_v3(&tables, &src, 2).unwrap();
+    let bytes = std::fs::read(&src).unwrap();
+    std::fs::remove_file(&src).ok();
+
+    // Collect every block's byte range up front from a clean open.
+    let clean = tempfile("bitrot-clean");
+    std::fs::write(&clean, &bytes).unwrap();
+    let paged = PagedStore::open(&clean).unwrap();
+    let bb = 2 * 8 + 4;
+    let mut block_offsets = Vec::new();
+    for (a, b) in paged.pair_keys() {
+        for (_, range) in paged.group_block_ranges(a, b).unwrap() {
+            let mut off = range.start;
+            while off < range.end {
+                block_offsets.push(off);
+                off += bb;
+            }
+        }
+    }
+    drop(paged);
+    std::fs::remove_file(&clean).ok();
+    assert!(block_offsets.len() > 10, "fixture too small to mean much");
+
+    let path = tempfile("bitrot");
+    for &off in &block_offsets {
+        // One flip in the payload, one in the block's CRC.
+        for delta in [1u64, bb - 2] {
+            let mut corrupt = bytes.clone();
+            corrupt[(off + delta) as usize] ^= 0x40;
+            std::fs::write(&path, &corrupt).unwrap();
+            let store = PagedStore::open(&path).expect("block rot never breaks open");
+            assert!(
+                matches!(store.verify(), Err(StorageError::Corrupt { .. })),
+                "flip at block {off}+{delta} must fail the scrub"
+            );
+            for (a, b) in store.pair_keys() {
+                let _ = store.load_d(a, b);
+                let _ = store.load_e(a, b);
+                let _ = store.load_pair(a, b);
+            }
+            for v in 0..store.num_nodes() {
+                let v = NodeId(v as u32);
+                let mut cur = store.incoming_cursor(store.node_label(v), v);
+                while !cur.next_block().is_empty() {}
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncation_at_every_byte_errors_never_panics() {
+    let g = paper_graph();
+    let tables = ClosureTables::compute(&g);
+    let src = tempfile("trunc-src");
+    write_store(&tables, &src).unwrap();
+    let bytes = std::fs::read(&src).unwrap();
+    std::fs::remove_file(&src).ok();
+    let path = tempfile("trunc");
+    for cut in 0..bytes.len() {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let res = PagedStore::open(&path);
+        assert!(
+            res.is_err(),
+            "truncation at {cut}/{} must fail",
+            bytes.len()
+        );
+        if cut >= 36 {
+            assert!(
+                matches!(res, Err(StorageError::Corrupt { .. })),
+                "truncation at {cut} should be Corrupt, got {res:?}",
+                res = res.err()
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn paged_store_rejects_v1_and_v2_files() {
+    let tables = ClosureTables::compute(&paper_graph());
+    for version in [FormatVersion::V1, FormatVersion::V2] {
+        let path = tempfile(&format!("reject-{version:?}"));
+        write_store_versioned(&tables, &path, version).unwrap();
+        assert!(
+            matches!(
+                PagedStore::open(&path),
+                Err(StorageError::BadFormat(m)) if m.contains("FileStore")
+            ),
+            "{version:?} must be BadFormat for PagedStore"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn open_store_auto_dispatches_on_version() {
+    let g = paper_graph();
+    let tables = ClosureTables::compute(&g);
+    for version in [FormatVersion::V1, FormatVersion::V2, FormatVersion::V3] {
+        let path = tempfile(&format!("auto-{version:?}"));
+        write_store_versioned(&tables, &path, version).unwrap();
+        let store = open_store_auto(&path, Some(0)).unwrap();
+        let mem = MemStore::new(tables.clone());
+        assert_eq!(store.num_nodes(), mem.num_nodes());
+        for (a, b) in mem.pair_keys() {
+            let mut pm = mem.load_pair(a, b);
+            let mut ps = store.load_pair(a, b);
+            pm.sort_unstable();
+            ps.sort_unstable();
+            assert_eq!(pm, ps, "{version:?} {a:?}->{b:?}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+    // Garbage is still rejected.
+    let path = tempfile("auto-garbage");
+    std::fs::write(&path, b"clearly not a store file at all........").unwrap();
+    assert!(open_store_auto(&path, None).is_err());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn undirected_mirror_serves_graph_patterns() {
+    let g = paper_graph();
+    let tables = ClosureTables::compute(&g);
+    let path = tempfile("undirected");
+    write_store(&tables, &path).unwrap();
+    let paged = PagedStore::open(&path).unwrap().with_graph(g.clone());
+    let mirror = paged.undirected().expect("graph attached");
+    let mem = MemStore::new(tables).with_graph(g);
+    let mem_mirror = mem.undirected().expect("graph attached");
+    assert_eq!(mirror.pair_keys(), mem_mirror.pair_keys());
+    for (a, b) in mirror.pair_keys() {
+        let mut pp = mirror.load_pair(a, b);
+        let mut pm = mem_mirror.load_pair(a, b);
+        pp.sort_unstable();
+        pm.sort_unstable();
+        assert_eq!(pp, pm);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn verify_bypasses_and_does_not_pollute_the_cache() {
+    let g = dense_graph(30, 3);
+    let tables = ClosureTables::compute(&g);
+    let path = tempfile("scrub-cache");
+    write_store_v3(&tables, &path, 2).unwrap();
+    let paged = PagedStore::open_with_cache_bytes(&path, 0).unwrap();
+    paged.verify().unwrap();
+    let io = paged.io();
+    assert!(io.block_reads > 0, "the scrub reads from disk");
+    assert_eq!(io.cache_hits, 0);
+    assert_eq!(io.cache_misses, 0, "the scrub is not cache traffic");
+    assert_eq!(paged.cache_blocks(), 0, "the scrub must not pollute");
+    std::fs::remove_file(&path).ok();
+}

@@ -1,5 +1,9 @@
 //! File store round-trip: everything readable from a [`MemStore`] must be
 //! byte-identical when read back through a [`FileStore`].
+//!
+//! [`FileStore`] reads the v1/v2 layouts, so this suite writes those
+//! versions explicitly ([`write_store`] emits v3 by default now — the
+//! paged suite in `paged.rs` covers that reader).
 
 use ktpm_closure::ClosureTables;
 use ktpm_graph::fixtures::paper_graph;
@@ -7,6 +11,11 @@ use ktpm_graph::{GraphBuilder, NodeId};
 use ktpm_storage::{
     write_store, write_store_versioned, ClosureSource, FileStore, FormatVersion, MemStore,
 };
+
+/// Writes `tables` in the v2 layout (the newest [`FileStore`] reads).
+fn write_v2(tables: &ClosureTables, path: &std::path::Path) {
+    write_store_versioned(tables, path, FormatVersion::V2).unwrap();
+}
 
 fn tempfile(name: &str) -> std::path::PathBuf {
     let mut p = std::env::temp_dir();
@@ -54,7 +63,7 @@ fn paper_graph_roundtrip() {
     let g = paper_graph();
     let tables = ClosureTables::compute(&g);
     let path = tempfile("paper");
-    write_store(&tables, &path).unwrap();
+    write_v2(&tables, &path);
     let file = FileStore::open_with_block_edges(&path, 1).unwrap();
     let mem = MemStore::with_block_edges(tables, 1);
     check_equivalent(&mem, &file);
@@ -85,7 +94,7 @@ fn random_graph_roundtrip() {
     let g = b.build().unwrap();
     let tables = ClosureTables::compute(&g);
     let path = tempfile("random");
-    write_store(&tables, &path).unwrap();
+    write_v2(&tables, &path);
     let file = FileStore::open_with_block_edges(&path, 7).unwrap();
     let mem = MemStore::with_block_edges(tables, 7);
     check_equivalent(&mem, &file);
@@ -97,7 +106,7 @@ fn file_store_counts_real_io() {
     let g = paper_graph();
     let tables = ClosureTables::compute(&g);
     let path = tempfile("iocount");
-    write_store(&tables, &path).unwrap();
+    write_v2(&tables, &path);
     let file = FileStore::open(&path).unwrap();
     file.reset_io();
     let a = g.interner().get("a").unwrap();
@@ -116,7 +125,7 @@ fn lookup_dist_matches_mem() {
     let g = paper_graph();
     let tables = ClosureTables::compute(&g);
     let path = tempfile("dist");
-    write_store(&tables, &path).unwrap();
+    write_v2(&tables, &path);
     let file = FileStore::open(&path).unwrap();
     let mem = MemStore::new(ClosureTables::compute(&g));
     for u in 0..g.num_nodes() {
@@ -125,6 +134,28 @@ fn lookup_dist_matches_mem() {
             assert_eq!(mem.lookup_dist(u, v), file.lookup_dist(u, v));
         }
     }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn zero_block_edges_is_an_explicit_config_error() {
+    // A cursor block size of 0 used to clamp silently to 1; it must be
+    // reported as InvalidConfig so callers learn their knob was wrong.
+    let g = paper_graph();
+    let tables = ClosureTables::compute(&g);
+    let path = tempfile("zero-block-edges");
+    write_v2(&tables, &path);
+    match FileStore::open_with_block_edges(&path, 0) {
+        Err(ktpm_storage::StorageError::InvalidConfig(m)) => {
+            assert!(m.contains("at least 1"), "unhelpful message: {m}")
+        }
+        other => panic!(
+            "block_edges=0 must be InvalidConfig, got {err:?}",
+            err = other.err()
+        ),
+    }
+    // A size of 1 remains valid.
+    assert!(FileStore::open_with_block_edges(&path, 1).is_ok());
     std::fs::remove_file(&path).ok();
 }
 
@@ -143,7 +174,7 @@ fn store_bytes(name: &str) -> Vec<u8> {
     let g = paper_graph();
     let tables = ClosureTables::compute(&g);
     let path = tempfile(name);
-    write_store(&tables, &path).unwrap();
+    write_v2(&tables, &path);
     let bytes = std::fs::read(&path).unwrap();
     std::fs::remove_file(&path).ok();
     bytes
@@ -204,7 +235,7 @@ fn corrupt_section_counts_degrade_to_empty_tables_without_panic() {
     let g = paper_graph();
     let tables = ClosureTables::compute(&g);
     let path = tempfile("badcount");
-    write_store(&tables, &path).unwrap();
+    write_v2(&tables, &path);
     let mut bytes = std::fs::read(&path).unwrap();
     let d_off = 16 + g.num_nodes() * 4 + 4; // header + labels + header crc
     bytes[d_off..d_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
@@ -243,14 +274,34 @@ fn v1_files_without_checksums_still_open_and_read() {
 }
 
 #[test]
-fn v2_is_the_default_and_verifies_clean() {
+fn v2_files_open_and_verify_clean() {
     let g = paper_graph();
     let tables = ClosureTables::compute(&g);
-    let path = tempfile("v2-default");
-    write_store(&tables, &path).unwrap();
+    let path = tempfile("v2-clean");
+    write_v2(&tables, &path);
     let file = FileStore::open(&path).unwrap();
     assert_eq!(file.version(), FormatVersion::V2);
     file.verify().unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn v3_default_output_is_rejected_with_a_pointer_to_paged_store() {
+    // write_store now emits v3; FileStore must refuse it with a
+    // BadFormat that names the right reader, not misparse it.
+    let g = paper_graph();
+    let tables = ClosureTables::compute(&g);
+    let path = tempfile("v3-reject");
+    write_store(&tables, &path).unwrap();
+    match FileStore::open(&path) {
+        Err(ktpm_storage::StorageError::BadFormat(m)) => {
+            assert!(m.contains("PagedStore"), "unhelpful message: {m}")
+        }
+        other => panic!(
+            "v3 store must be BadFormat for FileStore, got {other:?}",
+            other = other.err()
+        ),
+    }
     std::fs::remove_file(&path).ok();
 }
 
@@ -330,7 +381,7 @@ fn crc_mismatch_degrades_infallible_reads_to_empty() {
     let g = paper_graph();
     let tables = ClosureTables::compute(&g);
     let path = tempfile("crc-degrade");
-    write_store(&tables, &path).unwrap();
+    write_v2(&tables, &path);
     let mut bytes = std::fs::read(&path).unwrap();
     let d_payload = 16 + g.num_nodes() * 4 + 4 + 4; // header, labels, hdr crc, D count
     bytes[d_payload] ^= 0xFF;

@@ -37,7 +37,9 @@ fn main() {
     let mut path = std::env::temp_dir();
     path.push("ktpm-citation-demo.bin");
     write_store(&tables, &path).expect("write closure store");
-    let store: SharedSource = FileStore::open(&path)
+    // v3 paged store: group regions are fixed-size CRC-checked blocks,
+    // fetched lazily through a byte-budgeted LRU cache.
+    let store: SharedSource = PagedStore::open(&path)
         .expect("open closure store")
         .into_shared();
     let exec = Executor::new(g.interner().clone(), Arc::clone(&store));
@@ -93,6 +95,10 @@ fn main() {
         io.bytes_read,
         io.edges_read,
         tables.num_edges()
+    );
+    println!(
+        "block cache: {} hits / {} misses, {} evictions, {} bytes resident",
+        io.cache_hits, io.cache_misses, io.cache_evictions, io.cache_bytes_resident
     );
     std::fs::remove_file(&path).ok();
 }

@@ -237,6 +237,20 @@ impl Executor {
         self.source.graph_version()
     }
 
+    /// The store's cumulative I/O counters — blocks/bytes/edges read
+    /// and, on the paged (format-v3) backend, block-cache
+    /// hit/miss/eviction counts plus the resident-bytes gauge. This is
+    /// what `ktpm query --iostats` and the servers' `STATS` line print.
+    pub fn io(&self) -> ktpm_storage::IoSnapshot {
+        self.source.io()
+    }
+
+    /// Zeroes the store's I/O counters, so a following [`Executor::io`]
+    /// reflects one phase in isolation.
+    pub fn reset_io(&self) {
+        self.source.reset_io();
+    }
+
     /// A shareable [`QueryPlan`] for `text` over this executor's store
     /// — hand it to [`QueryBuilder::plan`] across repeated runs so
     /// only the first pays setup (what `--repeat` and the serving

@@ -4,10 +4,23 @@
 //! ktpm closure <graph.txt> <store.tc>          precompute + persist the closure
 //! ktpm query   <graph.txt> <query.txt> [opts]  run a top-k twig query
 //! ktpm serve   <graph.txt> [opts]              run the TCP query service
+//! ktpm store verify <store.tc>                 re-check every checksum in a
+//!                                              persisted store; nonzero exit
+//!                                              on corruption
 //!
 //! options for `query`:
 //!   -k <n>            number of matches (default 10)
-//!   --store <path>    use a persisted closure store instead of computing
+//!   --store <path>    use a persisted closure store instead of computing.
+//!                     The format version is sniffed: v3 stores are read
+//!                     through the paged backend (lazy CRC-verified block
+//!                     fetch behind an LRU block cache), v1/v2 through
+//!                     the whole-section file reader
+//!   --block-cache-bytes <n>
+//!                     byte budget for the v3 block cache (default 8 MiB;
+//!                     0 = unlimited). Ignored for v1/v2 stores
+//!   --iostats         print the store's I/O counters after the run:
+//!                     blocks/bytes/edges read, D/E entries, and the
+//!                     block-cache hit/miss/eviction/resident-bytes set
 //!   --algo <name>     any name in the shared `Algo` registry:
 //!                     topk | topk-en | par | brute | dp-b | dp-p | kgpm
 //!                     (default topk-en). `kgpm` reads the query as an
@@ -28,7 +41,10 @@
 //!                       Persisted and on-demand stores are snapshots:
 //!                       the `UPDATE` verb answers ERR update-unsupported
 //!                       on them. The default (compute in memory) serves
-//!                       a live store that accepts updates.
+//!                       a live store that accepts updates. Version
+//!                       sniffing and --block-cache-bytes work as in
+//!                       `query`; STATS reports the store's io_* counters
+//!                       including the block-cache set.
 //!   --on-demand         skip closure precomputation (lazy per-label SSSP)
 //!   --invalidation <delta-aware|flush-all>
 //!                       how an applied UPDATE invalidates cached plans,
@@ -160,10 +176,12 @@ fn main() -> ExitCode {
         Some("closure") => cmd_closure(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
         _ => {
             eprintln!("usage: ktpm closure <graph.txt> <store.tc>");
-            eprintln!("       ktpm query <graph.txt> <query.txt> [-k n] [--store p] [--algo a] [--parallel n] [--repeat n] [--on-demand]");
-            eprintln!("       ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--workers n] [--parallel n] [--ttl secs] [--plan-cache n] [--plan-cache-bytes n] [--warm file] [--invalidation policy] [--event-loop] [--net-workers n] [--pipeline n] [--write-buf bytes] [--idle-timeout secs] [--sweep-interval-ms n]");
+            eprintln!("       ktpm query <graph.txt> <query.txt> [-k n] [--store p] [--algo a] [--parallel n] [--repeat n] [--on-demand] [--block-cache-bytes n] [--iostats]");
+            eprintln!("       ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--block-cache-bytes n] [--workers n] [--parallel n] [--ttl secs] [--plan-cache n] [--plan-cache-bytes n] [--warm file] [--invalidation policy] [--event-loop] [--net-workers n] [--pipeline n] [--write-buf bytes] [--idle-timeout secs] [--sweep-interval-ms n]");
+            eprintln!("       ktpm store verify <store.tc>");
             return ExitCode::from(2);
         }
     };
@@ -181,20 +199,27 @@ fn load_graph(path: &str) -> Result<LabeledGraph, Box<dyn std::error::Error>> {
     Ok(ktpm::graph::io::read_graph(BufReader::new(f))?)
 }
 
-/// Picks the storage backend shared by `query` and `serve`.
+/// Picks the storage backend shared by `query` and `serve`. Persisted
+/// stores are opened by sniffing the file's format version: v3 goes
+/// through the paged reader (lazy verified block fetch behind the
+/// `--block-cache-bytes` LRU budget; 0 = unlimited), v1/v2 through the
+/// whole-section `FileStore`.
 fn open_store(
     g: &LabeledGraph,
     store_path: &Option<String>,
     on_demand: bool,
-) -> Result<Box<dyn ClosureSource>, Box<dyn std::error::Error>> {
+    block_cache_bytes: Option<u64>,
+) -> Result<SharedSource, Box<dyn std::error::Error>> {
     Ok(match (store_path, on_demand) {
-        (Some(p), _) => Box::new(FileStore::open(std::path::Path::new(p))?),
-        (None, true) => Box::new(OnDemandStore::new(g.clone())),
+        (Some(p), _) => open_store_auto(std::path::Path::new(p), block_cache_bytes)?,
+        (None, true) => OnDemandStore::new(g.clone()).into_shared(),
         // Attach the graph so `--algo kgpm` / `OPEN kgpm` can derive
         // the undirected mirror; tree algorithms never look at it.
         // Persisted stores stay graph-less: kgpm over `--store` is an
         // explicit pattern-unsupported error.
-        (None, false) => Box::new(MemStore::new(ClosureTables::compute(g)).with_graph(g.clone())),
+        (None, false) => MemStore::new(ClosureTables::compute(g))
+            .with_graph(g.clone())
+            .into_shared(),
     })
 }
 
@@ -227,6 +252,8 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut parallel: Option<usize> = None;
     let mut repeat = 1usize;
     let mut on_demand = false;
+    let mut block_cache_bytes: Option<u64> = None;
+    let mut iostats = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -236,13 +263,21 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--parallel" => parallel = Some(it.next().ok_or("--parallel needs a count")?.parse()?),
             "--repeat" => repeat = it.next().ok_or("--repeat needs a count")?.parse()?,
             "--on-demand" => on_demand = true,
+            "--block-cache-bytes" => {
+                block_cache_bytes = Some(
+                    it.next()
+                        .ok_or("--block-cache-bytes needs a byte count")?
+                        .parse()?,
+                )
+            }
+            "--iostats" => iostats = true,
             other => positional.push(other.to_string()),
         }
     }
     let repeat = repeat.max(1);
     let [graph_path, query_path] = positional.as_slice() else {
         return Err(
-            "usage: ktpm query <graph.txt> <query.txt> [-k n] [--store p] [--algo a] [--parallel n] [--repeat n]"
+            "usage: ktpm query <graph.txt> <query.txt> [-k n] [--store p] [--algo a] [--parallel n] [--repeat n] [--on-demand] [--block-cache-bytes n] [--iostats]"
                 .into(),
         );
     };
@@ -271,7 +306,7 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let g = load_graph(graph_path)?;
     let query_text = std::fs::read_to_string(query_path)?;
 
-    let store: SharedSource = open_store(&g, &store_path, on_demand)?.into();
+    let store: SharedSource = open_store(&g, &store_path, on_demand, block_cache_bytes)?;
 
     // Every algorithm runs behind the facade's single `MatchStream`
     // surface — no per-algorithm construction here. With `--repeat n`
@@ -315,6 +350,22 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         store.io().edges_read,
         if repeat > 1 { " across all runs" } else { "" }
     );
+    if iostats {
+        let io = exec.io();
+        println!(
+            "# iostats: block_reads={} bytes_read={} edges_read={} d_entries={} e_entries={} \
+             cache_hits={} cache_misses={} cache_evictions={} cache_bytes_resident={}",
+            io.block_reads,
+            io.bytes_read,
+            io.edges_read,
+            io.d_entries,
+            io.e_entries,
+            io.cache_hits,
+            io.cache_misses,
+            io.cache_evictions,
+            io.cache_bytes_resident
+        );
+    }
     // Column labels per assignment slot: pattern nodes for kgpm rows,
     // query-tree nodes otherwise (both orders match the emitted rows).
     let labels: Vec<String> = if algo == Algo::Kgpm {
@@ -346,6 +397,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut warm_path: Option<String> = None;
     let mut on_demand = false;
     let mut event_loop = false;
+    let mut block_cache_bytes: Option<u64> = None;
     let mut config = ServiceConfig::default();
     let mut net_config = NetConfig::default();
     let mut it = args.iter();
@@ -353,6 +405,13 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         match a.as_str() {
             "--addr" => addr = it.next().ok_or("--addr needs host:port")?.clone(),
             "--store" => store_path = Some(it.next().ok_or("--store needs a path")?.clone()),
+            "--block-cache-bytes" => {
+                block_cache_bytes = Some(
+                    it.next()
+                        .ok_or("--block-cache-bytes needs a byte count")?
+                        .parse()?,
+                )
+            }
             "--warm" => warm_path = Some(it.next().ok_or("--warm needs a file")?.clone()),
             "--on-demand" => on_demand = true,
             "--event-loop" => event_loop = true,
@@ -420,7 +479,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     let [graph_path] = positional.as_slice() else {
         return Err(
-            "usage: ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--workers n] [--parallel n] [--ttl secs] [--plan-cache n] [--plan-cache-bytes n] [--warm file] [--invalidation policy] [--event-loop] [--net-workers n] [--pipeline n] [--write-buf bytes] [--idle-timeout secs] [--sweep-interval-ms n]"
+            "usage: ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--block-cache-bytes n] [--workers n] [--parallel n] [--ttl secs] [--plan-cache n] [--plan-cache-bytes n] [--warm file] [--invalidation policy] [--event-loop] [--net-workers n] [--pipeline n] [--write-buf bytes] [--idle-timeout secs] [--sweep-interval-ms n]"
                 .into(),
         );
     };
@@ -432,7 +491,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     // ERR update-unsupported).
     let source: ktpm::storage::SharedSource = match (&store_path, on_demand) {
         (None, false) => LiveStore::new(g.clone()).into_shared(),
-        _ => open_store(&g, &store_path, on_demand)?.into(),
+        _ => open_store(&g, &store_path, on_demand, block_cache_bytes)?,
     };
     let workers = config.workers;
     let handle = QueryEngine::new(g.interner().clone(), source, config);
@@ -481,4 +540,52 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }
+}
+
+/// `ktpm store verify <store.tc>`: re-checks every checksum in a
+/// persisted snapshot — v3 scrubs each section and every group block,
+/// v2 each section, v1 has none to check (reported as such). Exits
+/// nonzero (via the `Err` path in `main`) on the first corruption.
+fn cmd_store(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let [sub, store_arg] = args else {
+        return Err("usage: ktpm store verify <store.tc>".into());
+    };
+    if sub != "verify" {
+        return Err(format!("unknown store subcommand {sub:?} (expected verify)").into());
+    }
+    let path = std::path::Path::new(store_arg);
+    let t = std::time::Instant::now();
+    // Sniff the version by opening both ways: the paged reader rejects
+    // v1/v2 with BadFormat and vice versa, so exactly one succeeds on a
+    // well-formed file of either lineage.
+    match PagedStore::open(path) {
+        Ok(store) => {
+            store.verify().map_err(|e| format!("{store_arg}: {e}"))?;
+            let io = store.io();
+            println!(
+                "{store_arg}: OK (v3 paged, {} blocks / {} bytes scrubbed, {:?})",
+                io.block_reads,
+                io.bytes_read,
+                t.elapsed()
+            );
+        }
+        Err(StorageError::BadFormat(_)) => {
+            let store = FileStore::open(path).map_err(|e| format!("{store_arg}: {e}"))?;
+            store.verify().map_err(|e| format!("{store_arg}: {e}"))?;
+            let io = store.io();
+            let note = match store.version() {
+                FormatVersion::V1 => " — v1 has no checksums; only structure was checked",
+                _ => "",
+            };
+            println!(
+                "{store_arg}: OK ({:?} file store, {} blocks / {} bytes scrubbed, {:?}{note})",
+                store.version(),
+                io.block_reads,
+                io.bytes_read,
+                t.elapsed()
+            );
+        }
+        Err(e) => return Err(format!("{store_arg}: {e}").into()),
+    }
+    Ok(())
 }

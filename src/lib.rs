@@ -147,8 +147,9 @@ pub mod prelude {
         ServiceHandle, SessionId, UpdateReport, WarmReport,
     };
     pub use ktpm_storage::{
-        write_store, write_store_versioned, ClosureSource, DeltaReport, FileStore, FormatVersion,
-        LiveStore, MemStore, OnDemandStore, SharedSource, StorageError,
+        open_store_auto, write_store, write_store_v3, write_store_versioned, ClosureSource,
+        DeltaReport, FileStore, FormatVersion, IoSnapshot, LiveStore, MemStore, OnDemandStore,
+        PagedStore, SharedSource, StorageError, DEFAULT_BLOCK_CACHE_BYTES,
     };
     pub use ktpm_workload::{generate, query_set, random_tree_query, GraphSpec, QuerySpec};
 }

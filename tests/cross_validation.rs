@@ -255,7 +255,8 @@ fn file_store_end_to_end_agrees_with_memory() {
     let tables = ClosureTables::compute(&g);
     let mut path = std::env::temp_dir();
     path.push(format!("ktpm-xval-{}.bin", std::process::id()));
-    write_store(&tables, &path).unwrap();
+    // Explicit v2: FileStore is the v1/v2 reader (v3 is PagedStore's).
+    write_store_versioned(&tables, &path, FormatVersion::V2).unwrap();
     let file = FileStore::open_with_block_edges(&path, 3).unwrap();
     let mem = MemStore::with_block_edges(tables, 3);
     let from_mem: Vec<Score> = TopkEnEnumerator::new(&resolved, &mem)
@@ -267,6 +268,40 @@ fn file_store_end_to_end_agrees_with_memory() {
         .map(|m| m.score)
         .collect();
     assert_eq!(from_mem, from_file);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn paged_store_end_to_end_agrees_with_memory_under_a_tight_cache() {
+    // The v3 paged tier with a cache budget far below the closure size:
+    // every algorithm must still stream the exact MemStore results while
+    // resident bytes stay bounded.
+    let mut rng = StdRng::seed_from_u64(6100);
+    let g = random_graph(&mut rng, 30, 5, 3);
+    let q = TreeQuery::parse("L0 -> L1\nL0 -> L2\nL2 -> L3").unwrap();
+    let resolved = q.resolve(g.interner());
+    let tables = ClosureTables::compute(&g);
+    let mut path = std::env::temp_dir();
+    path.push(format!("ktpm-xval-paged-{}.bin", std::process::id()));
+    write_store_v3(&tables, &path, 2).unwrap();
+    let budget = 6 * (2 * 8) as u64; // six 2-entry block payloads
+    let paged = PagedStore::open_with_cache_bytes(&path, budget).unwrap();
+    let mem = MemStore::with_block_edges(tables, 2);
+    let from_mem: Vec<Score> = TopkEnEnumerator::new(&resolved, &mem)
+        .take(20)
+        .map(|m| m.score)
+        .collect();
+    let from_paged: Vec<Score> = TopkEnEnumerator::new(&resolved, &paged)
+        .take(20)
+        .map(|m| m.score)
+        .collect();
+    assert_eq!(from_mem, from_paged);
+    let io = paged.io();
+    assert!(
+        io.cache_bytes_resident <= budget,
+        "resident {} over budget {budget}",
+        io.cache_bytes_resident
+    );
     std::fs::remove_file(&path).ok();
 }
 

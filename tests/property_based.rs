@@ -527,7 +527,7 @@ proptest! {
         let cut = bytes.len() * cut_permille / 1000;
         std::fs::write(&path, &bytes[..cut]).unwrap();
         prop_assert!(
-            FileStore::open(&path).is_err(),
+            PagedStore::open(&path).is_err(),
             "truncation at {cut}/{} must fail to open",
             bytes.len()
         );
@@ -539,7 +539,7 @@ proptest! {
         let mut corrupt = bytes.clone();
         corrupt[pos] ^= 1 << flip_bit;
         std::fs::write(&path, &corrupt).unwrap();
-        if let Ok(store) = FileStore::open(&path) {
+        if let Ok(store) = PagedStore::open(&path) {
             for (a, b) in store.pair_keys() {
                 let _ = store.load_d(a, b);
                 let _ = store.load_e(a, b);
@@ -657,7 +657,7 @@ proptest! {
                 .as_nanos() as u64
         ));
         write_store(&tables, &path).unwrap();
-        let file = FileStore::open(&path).unwrap();
+        let file = PagedStore::open(&path).unwrap();
         let mem = MemStore::new(tables);
         prop_assert_eq!(mem.pair_keys(), file.pair_keys());
         for (a, b) in mem.pair_keys() {
@@ -668,6 +668,108 @@ proptest! {
             pm.sort_unstable();
             pf.sort_unstable();
             prop_assert_eq!(pm, pf);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_engine_over_a_paged_store_equals_mem_store(
+        nodes in 15..60usize,
+        seed in 0..10_000u64,
+        size in 2..5usize,
+        shards in 1..5usize,
+        k in 1..40usize,
+        pause in 0..40usize,
+        chunk in 1..5usize,
+        block_entries in 1..6usize,
+        budget_blocks in 0..8u64,
+    ) {
+        // The paged tier must be observationally invisible: every
+        // algorithm — the four tree engines, DP-B/DP-P and kGPM —
+        // streaming over a v3 PagedStore (tiny on-disk blocks, a cache
+        // budget from "a handful of blocks" to unlimited, arbitrary
+        // shard counts, a next/next_batch resume split) must be
+        // element-for-element identical to the same stream over a
+        // MemStore of the same closure.
+        let spec = GraphSpec {
+            nodes,
+            labels: 4,
+            label_skew: 0.5,
+            avg_out_degree: 2.0,
+            community: 20,
+            cross_fraction: 0.15,
+            weight_range: (1, 3),
+            seed,
+        };
+        let g = generate(&spec);
+        let tables = ClosureTables::compute(&g);
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "ktpm-prop-paged-{}-{nodes}-{seed}-{block_entries}-{budget_blocks}.bin",
+            std::process::id()
+        ));
+        write_store_v3(&tables, &path, block_entries).unwrap();
+        // 0 = unlimited; otherwise a budget of `budget_blocks` payloads,
+        // usually far below the closure size, forcing eviction churn.
+        let budget = budget_blocks * (block_entries * 8) as u64;
+        let paged = PagedStore::open_with_cache_bytes(&path, budget)
+            .unwrap()
+            .with_graph(g.clone())
+            .into_shared();
+        let mem: SharedSource = MemStore::with_block_edges(tables, 2)
+            .with_graph(g.clone())
+            .into_shared();
+        let exec_mem = Executor::new(g.interner().clone(), Arc::clone(&mem));
+        let exec_paged = Executor::new(g.interner().clone(), Arc::clone(&paged));
+        let drain = |mut it: BoxedMatchStream| {
+            let j = pause.min(k);
+            let mut got: Vec<ScoredMatch> = Vec::new();
+            while got.len() < j {
+                match it.next() {
+                    Some(m) => got.push(m),
+                    None => return got,
+                }
+            }
+            // Resume split: switch pull primitives mid-stream.
+            while !it.next_batch(chunk, &mut got).is_done() {}
+            got
+        };
+        if let Some(q) = random_tree_query(&g, QuerySpec {
+            size,
+            distinct_labels: false,
+            seed: seed ^ 0x5A5A,
+        }) {
+            let resolved = q.resolve(g.interner());
+            for algo in Algo::ALL.into_iter().filter(|&a| a != Algo::Kgpm) {
+                let build = |exec: &Executor| {
+                    let mut b = exec.query_resolved(resolved.clone()).algo(algo).k(k);
+                    if algo.caps().sharded {
+                        b = b.shards(shards);
+                    }
+                    b.stream().unwrap()
+                };
+                let want = drain(build(&exec_mem));
+                let got = drain(build(&exec_paged));
+                prop_assert_eq!(
+                    &got, &want,
+                    "{:?} be {} budget {} shards {} k {}",
+                    algo, block_entries, budget, shards, k
+                );
+            }
+        }
+        // kGPM: a random cyclic pattern over the undirected mirror.
+        let ug = ktpm::graph::undirect(&g);
+        if let Some(pat) = ktpm::workload::random_graph_query(&ug, size.min(4), 1, seed ^ 0xA5A5) {
+            let build = |exec: &Executor| {
+                exec.query_pattern(pat.clone()).shards(shards).k(k).stream().unwrap()
+            };
+            let want = drain(build(&exec_mem));
+            let got = drain(build(&exec_paged));
+            prop_assert_eq!(
+                &got, &want,
+                "kgpm be {} budget {} shards {} k {}",
+                block_entries, budget, shards, k
+            );
         }
         std::fs::remove_file(&path).ok();
     }
