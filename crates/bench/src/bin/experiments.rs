@@ -39,6 +39,7 @@
 use ktpm_bench::*;
 use ktpm_core::{KgpmStream, MatchStream, ParallelPolicy, QueryPlan, ShardEngine};
 use ktpm_exec::WorkerPool;
+use ktpm_storage::ClosureSource;
 use ktpm_workload::{gd_family, gs_family, query_sizes, GraphSpec, DEFAULT_GD, DEFAULT_GS};
 use std::sync::Arc;
 use std::time::Instant;
@@ -668,6 +669,26 @@ fn smoke() {
         ps.verify_failures,
     );
 
+    // Distributed storage: the same snapshot sharded across files and
+    // served over TCP by an in-process blockd. CI gates
+    // warm_remote_fetches == 0 and scrub_failures == 0.
+    let ss = sharded_store_smoke(&ds, q);
+    println!(
+        "sharded store: {} shards (single-pair probe opened {} file), cold query {} \
+         ({} files), fetch p50/p99 local {:.3}/{:.3}ms remote {:.3}/{:.3}ms, \
+         warm remote fetches {}, scrub failures {}",
+        ss.shard_count,
+        ss.probe_files_opened,
+        fmt_secs(ss.cold_secs),
+        ss.cold_files_opened,
+        ss.local_fetch_p50_ms,
+        ss.local_fetch_p99_ms,
+        ss.remote_fetch_p50_ms,
+        ss.remote_fetch_p99_ms,
+        ss.warm_remote_fetches,
+        ss.scrub_failures,
+    );
+
     // One MatchStream surface: per-item vs batched pull
     // (`api_batched_pull`). The *replay* rows isolate the pull overhead
     // itself — a pre-materialized stream whose per-match production
@@ -864,7 +885,14 @@ fn smoke() {
          \"warm_hits\": {},\n    \"warm_misses\": {},\n    \
          \"warm_hit_rate\": {:.4},\n    \
          \"cached_plan_disk_block_reads\": {},\n    \
-         \"verify_failures\": {}\n  }}\n}}\n",
+         \"verify_failures\": {}\n  }},\n  \
+         \"sharded_store\": {{\n    \"shard_count\": {},\n    \
+         \"probe_files_opened\": {},\n    \"cold_files_opened\": {},\n    \
+         \"cold_secs\": {:.6},\n    \
+         \"local_fetch_p50_ms\": {:.4},\n    \"local_fetch_p99_ms\": {:.4},\n    \
+         \"remote_fetch_p50_ms\": {:.4},\n    \"remote_fetch_p99_ms\": {:.4},\n    \
+         \"warm_remote_fetches\": {},\n    \
+         \"scrub_failures\": {}\n  }}\n}}\n",
         ds.name,
         ds.graph.num_nodes(),
         queries.len(),
@@ -914,6 +942,16 @@ fn smoke() {
         ps.warm_hit_rate,
         ps.cached_plan_disk_block_reads,
         ps.verify_failures,
+        ss.shard_count,
+        ss.probe_files_opened,
+        ss.cold_files_opened,
+        ss.cold_secs,
+        ss.local_fetch_p50_ms,
+        ss.local_fetch_p99_ms,
+        ss.remote_fetch_p50_ms,
+        ss.remote_fetch_p99_ms,
+        ss.warm_remote_fetches,
+        ss.scrub_failures,
     );
     let path = workspace_root().join("BENCH_parallel.json");
     std::fs::write(&path, json).expect("write BENCH_parallel.json");
@@ -1008,6 +1046,155 @@ fn paged_store_smoke(ds: &Dataset, q: &ktpm_query::ResolvedQuery) -> PagedStoreS
         warm_hit_rate,
         cached_plan_disk_block_reads: cached_io.block_reads,
         verify_failures,
+    }
+}
+
+struct ShardedStoreSmoke {
+    shard_count: usize,
+    probe_files_opened: u64,
+    cold_files_opened: u64,
+    cold_secs: f64,
+    local_fetch_p50_ms: f64,
+    local_fetch_p99_ms: f64,
+    remote_fetch_p50_ms: f64,
+    remote_fetch_p99_ms: f64,
+    warm_remote_fetches: u64,
+    scrub_failures: u64,
+}
+
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let i = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[i] * 1e3
+}
+
+/// The distributed storage tiers over the same snapshot, sharded
+/// 4-way. A single-pair probe on a cold [`ktpm_storage::ShardedStore`]
+/// must open exactly the one file that pair routes to (laziness), and
+/// the cold query records how many of the shard files it really
+/// touched. Per-table fetch latency is sampled with a 1-byte cache on
+/// both a local paged handle and a [`ktpm_storage::RemoteStore`]
+/// talking to an in-process `blockd`, so the p50/p99 rows compare the
+/// disk hop against the network hop for the *same* reads. A warm
+/// remote pass — a fresh plan over an already-hot remote store — must
+/// answer entirely out of the shared block cache (the CI gate:
+/// `warm_remote_fetches == 0`), and a full manifest + shard scrub must
+/// be clean (`scrub_failures == 0`).
+fn sharded_store_smoke(ds: &Dataset, q: &ktpm_query::ResolvedQuery) -> ShardedStoreSmoke {
+    let shards = 4u32;
+    let dir = ds.path.with_extension("sharded");
+    if !dir.join("MANIFEST").exists() {
+        let tables = ktpm_closure::ClosureTables::compute(&ds.graph);
+        ktpm_storage::write_store_sharded(
+            &tables,
+            &dir,
+            &ktpm_storage::ShardSpec::new(0, shards),
+            ktpm_storage::DEFAULT_BLOCK_EDGES,
+        )
+        .expect("write sharded snapshot");
+    }
+    let manifest_path = dir.join("MANIFEST");
+    let open_k = 100usize;
+
+    // Laziness: one routed pair opens exactly one shard file.
+    let probe = ktpm_storage::ShardedStore::open(&manifest_path).expect("open sharded store");
+    let (&(a, b), _) = probe
+        .manifest()
+        .routing
+        .iter()
+        .next()
+        .expect("a routed pair");
+    probe.load_d(a, b);
+    let probe_files_opened = probe.io().files_opened;
+    assert_eq!(
+        probe_files_opened, 1,
+        "a single-pair read must open exactly its owning shard file"
+    );
+
+    // Cold query over the sharded tier.
+    let sharded: ktpm_storage::SharedSource = ktpm_storage::ShardedStore::open(&manifest_path)
+        .expect("open sharded store")
+        .into_shared();
+    let t = Instant::now();
+    let plan = Arc::new(ktpm_core::QueryPlan::new(q.clone(), Arc::clone(&sharded)));
+    let cold_n = ktpm_core::canonical(ktpm_core::TopkEnumerator::from_plan(&plan))
+        .take(open_k)
+        .count();
+    let cold_secs = t.elapsed().as_secs_f64();
+    let cold_files_opened = sharded.io().files_opened;
+    assert!(cold_n > 0, "sharded smoke query must match");
+    assert!(cold_files_opened <= shards as u64);
+
+    // Fetch-latency comparison, local disk vs network hop, with a
+    // 1-byte budget so every sampled read really fetches.
+    let local = ktpm_storage::PagedStore::open_with_cache_bytes(&ds.path, 1)
+        .expect("open paged store for latency sampling");
+    let server =
+        ktpm_net::BlockServer::spawn(&dir, ("127.0.0.1", 0)).expect("spawn in-process blockd");
+    let remote = ktpm_storage::RemoteStore::connect_with(
+        &server.local_addr().to_string(),
+        ktpm_storage::RemoteOptions {
+            cache_bytes: 1,
+            ..ktpm_storage::RemoteOptions::default()
+        },
+    )
+    .expect("connect to in-process blockd");
+    let sample = |store: &dyn ktpm_storage::ClosureSource| -> Vec<f64> {
+        let mut lat = Vec::new();
+        for (a, b) in store.pair_keys().into_iter().take(100) {
+            let t = Instant::now();
+            store.load_d(a, b);
+            store.load_e(a, b);
+            lat.push(t.elapsed().as_secs_f64());
+        }
+        lat.sort_by(|x, y| x.partial_cmp(y).expect("finite latencies"));
+        lat
+    };
+    let local_lat = sample(&local);
+    let remote_lat = sample(&remote);
+    assert!(remote.io().remote_fetches > 0);
+
+    // Warm remote serving: a fresh plan over a hot remote store must
+    // answer entirely out of the shared block cache.
+    let hot: ktpm_storage::SharedSource =
+        ktpm_storage::RemoteStore::connect(&server.local_addr().to_string())
+            .expect("connect to in-process blockd")
+            .into_shared();
+    let cold_plan = Arc::new(ktpm_core::QueryPlan::new(q.clone(), Arc::clone(&hot)));
+    let hot_n = ktpm_core::canonical(ktpm_core::TopkEnumerator::from_plan(&cold_plan))
+        .take(open_k)
+        .count();
+    assert_eq!(hot_n, cold_n, "remote stream must equal the local one");
+    let before = hot.io();
+    let warm_plan = Arc::new(ktpm_core::QueryPlan::new(q.clone(), Arc::clone(&hot)));
+    let warm_n = ktpm_core::canonical(ktpm_core::TopkEnumerator::from_plan(&warm_plan))
+        .take(open_k)
+        .count();
+    assert_eq!(
+        warm_n, cold_n,
+        "warm remote re-opens must reproduce the stream"
+    );
+    let warm_remote_fetches = hot.io().since(&before).remote_fetches;
+
+    // Full scrub: manifest CRC + every shard file's content hash and
+    // per-block checksums.
+    let scrub = ktpm_storage::ShardedStore::open(&manifest_path).expect("re-open for scrub");
+    let scrub_failures = u64::from(scrub.verify().is_err());
+    server.shutdown();
+
+    ShardedStoreSmoke {
+        shard_count: shards as usize,
+        probe_files_opened,
+        cold_files_opened,
+        cold_secs,
+        local_fetch_p50_ms: percentile_ms(&local_lat, 0.50),
+        local_fetch_p99_ms: percentile_ms(&local_lat, 0.99),
+        remote_fetch_p50_ms: percentile_ms(&remote_lat, 0.50),
+        remote_fetch_p99_ms: percentile_ms(&remote_lat, 0.99),
+        warm_remote_fetches,
+        scrub_failures,
     }
 }
 

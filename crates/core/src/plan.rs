@@ -779,7 +779,10 @@ mod tests {
             io.edges_read, 0,
             "lazy setup must not materialize any L group block"
         );
-        assert_eq!(io.cache_misses, 0, "no block fetched, cached or not");
+        // D/E section bytes ride the shared block cache too, so the
+        // misses discovery pays are table reads — never group blocks,
+        // which the `edges_read == 0` assertion above pins down.
+        assert!(io.cache_misses > 0, "table reads go through the cache");
         let want: Vec<_> = {
             let mem = MemStore::new(tables).into_shared();
             let mem_plan = QueryPlan::new(q, mem);

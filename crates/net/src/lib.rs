@@ -41,6 +41,11 @@
 //!   sessions survive (session TTL is separate) and can be resumed
 //!   from a new connection.
 //!
+//! The crate also hosts the storage tier's block server
+//! ([`BlockServer`], the `ktpm blockd` subcommand) — a second,
+//! binary-protocol reactor serving raw snapshot blocks to
+//! [`ktpm_storage::RemoteStore`] clients.
+//!
 //! ```no_run
 //! use ktpm_net::{EventServer, NetConfig};
 //! # fn handle() -> ktpm_service::ServiceHandle { unimplemented!() }
@@ -49,9 +54,11 @@
 //! # server.shutdown();
 //! ```
 
+mod blockd;
 mod conn;
 mod reactor;
 
+pub use blockd::BlockServer;
 pub use reactor::EventServer;
 
 use std::time::Duration;

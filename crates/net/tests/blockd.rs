@@ -1,0 +1,282 @@
+//! Block-server integration suite: a [`RemoteStore`] talking to an
+//! in-process [`BlockServer`] over localhost must be element-for-element
+//! identical to the local backends, survive a server crash mid-stream
+//! with a clean [`StorageError::Remote`] (never a hang or panic), and
+//! catch served bit flips with its client-side CRC.
+
+use ktpm_closure::ClosureTables;
+use ktpm_graph::{GraphBuilder, LabeledGraph, NodeId};
+use ktpm_net::BlockServer;
+use ktpm_storage::{
+    open_store_uri, write_store, write_store_sharded, ClosureSource, MemStore, RemoteOptions,
+    RemoteStore, ShardSpec, StorageError,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tempdir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ktpm-blockd-test-{}-{}", std::process::id(), name));
+    std::fs::remove_dir_all(&p).ok();
+    std::fs::remove_file(&p).ok();
+    p
+}
+
+/// Deterministic multi-label weighted graph with enough pairs and
+/// blocks to exercise routing and the cache.
+fn dense_graph(n: usize, labels: usize) -> LabeledGraph {
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut b = GraphBuilder::new();
+    let nodes: Vec<_> = (0..n)
+        .map(|i| b.add_node(&format!("L{}", i % labels)))
+        .collect();
+    for u in 0..n {
+        for _ in 0..4 {
+            let v = (next() % n as u64) as usize;
+            if v != u {
+                b.add_edge(nodes[u], nodes[v], (next() % 5 + 1) as u32);
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+/// Fast-failing client options so fault tests finish quickly.
+fn fast_opts() -> RemoteOptions {
+    RemoteOptions {
+        connect_timeout: Duration::from_millis(300),
+        request_timeout: Duration::from_millis(300),
+        attempts: 2,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(5),
+        ..RemoteOptions::default()
+    }
+}
+
+fn check_equivalent(mem: &MemStore, other: &dyn ClosureSource) {
+    assert_eq!(mem.num_nodes(), other.num_nodes());
+    for i in 0..mem.num_nodes() {
+        let v = NodeId(i as u32);
+        assert_eq!(mem.node_label(v), other.node_label(v));
+    }
+    assert_eq!(mem.pair_keys(), other.pair_keys());
+    for (a, b) in mem.pair_keys() {
+        assert_eq!(mem.load_d(a, b), other.load_d(a, b), "D table {a:?}->{b:?}");
+        assert_eq!(mem.load_e(a, b), other.load_e(a, b), "E table {a:?}->{b:?}");
+        let mut pm = mem.load_pair(a, b);
+        let mut po = other.load_pair(a, b);
+        pm.sort_unstable();
+        po.sort_unstable();
+        assert_eq!(pm, po, "L table {a:?}->{b:?}");
+    }
+    for u in 0..mem.num_nodes() {
+        for v in 0..mem.num_nodes() {
+            let (u, v) = (NodeId(u as u32), NodeId(v as u32));
+            assert_eq!(mem.lookup_dist(u, v), other.lookup_dist(u, v));
+        }
+    }
+}
+
+#[test]
+fn remote_store_matches_mem_over_a_sharded_snapshot() {
+    let g = dense_graph(36, 5);
+    let tables = ClosureTables::compute(&g);
+    let mem = MemStore::new(tables.clone());
+    let dir = tempdir("equiv");
+    write_store_sharded(&tables, &dir, &ShardSpec::new(0, 3), 4).unwrap();
+    let server = BlockServer::spawn(&dir, ("127.0.0.1", 0)).unwrap();
+    let store = RemoteStore::connect(&server.local_addr().to_string()).unwrap();
+    check_equivalent(&mem, &store);
+    assert!(store.take_error().is_none(), "no swallowed errors");
+    let io = store.io();
+    assert!(io.remote_fetches > 0 && io.remote_bytes > 0);
+    assert_eq!(io.remote_retries, 0);
+    assert_eq!(io.remote_errors, 0);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn blockd_serves_a_plain_v3_file_too() {
+    // `load_snapshot_manifest` synthesizes a one-shard manifest for a
+    // single-file snapshot, so blockd can serve any store path.
+    let g = dense_graph(24, 4);
+    let tables = ClosureTables::compute(&g);
+    let mem = MemStore::new(tables.clone());
+    let path = tempdir("single.tc");
+    write_store(&tables, &path).unwrap();
+    let server = BlockServer::spawn(&path, ("127.0.0.1", 0)).unwrap();
+    let store = RemoteStore::connect(&server.local_addr().to_string()).unwrap();
+    assert_eq!(store.manifest().shards.len(), 1);
+    check_equivalent(&mem, &store);
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn warm_cache_answers_without_any_remote_reads() {
+    let g = dense_graph(30, 4);
+    let tables = ClosureTables::compute(&g);
+    let dir = tempdir("warm");
+    write_store_sharded(&tables, &dir, &ShardSpec::new(0, 2), 4).unwrap();
+    let server = BlockServer::spawn(&dir, ("127.0.0.1", 0)).unwrap();
+    // Unlimited budget: one cold pass makes every block resident.
+    let store = RemoteStore::connect_with(
+        &server.local_addr().to_string(),
+        RemoteOptions {
+            cache_bytes: 0,
+            ..RemoteOptions::default()
+        },
+    )
+    .unwrap();
+    for (a, b) in store.pair_keys() {
+        store.load_d(a, b);
+        store.load_e(a, b);
+        store.load_pair(a, b);
+    }
+    let cold = store.io().remote_fetches;
+    assert!(cold > 0);
+    for (a, b) in store.pair_keys() {
+        store.load_d(a, b);
+        store.load_e(a, b);
+        store.load_pair(a, b);
+    }
+    let warm = store.io();
+    assert_eq!(
+        warm.remote_fetches, cold,
+        "warm reads must not touch the network"
+    );
+    assert!(warm.cache_hits > 0);
+    // The server agrees: its fetch counter matches what the client paid.
+    let stats = store.server_stats().unwrap();
+    assert!(stats.contains("fetches="), "{stats}");
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killing_blockd_mid_stream_degrades_cleanly_and_recovers_nothing_stale() {
+    let g = dense_graph(30, 4);
+    let tables = ClosureTables::compute(&g);
+    let dir = tempdir("kill");
+    write_store_sharded(&tables, &dir, &ShardSpec::new(0, 2), 2).unwrap();
+    let server = BlockServer::spawn(&dir, ("127.0.0.1", 0)).unwrap();
+    let store = RemoteStore::connect_with(
+        &server.local_addr().to_string(),
+        RemoteOptions {
+            cache_bytes: 1, // nothing stays resident: every read refetches
+            ..fast_opts()
+        },
+    )
+    .unwrap();
+    let pairs = store.pair_keys();
+    let (a, b) = pairs[0];
+    assert!(!store.load_d(a, b).is_empty(), "server is up");
+
+    server.shutdown();
+
+    // Every further read returns empty — no panic, no hang — and the
+    // first failure is retrievable as a Remote error.
+    for &(a, b) in &pairs {
+        let _ = store.load_d(a, b);
+        let _ = store.load_pair(a, b);
+    }
+    let err = store.take_error().expect("failure must be recorded");
+    match &err {
+        StorageError::Remote { addr, detail } => {
+            assert!(!addr.is_empty());
+            assert!(detail.contains("attempt"), "{detail}");
+        }
+        other => panic!("expected StorageError::Remote, got {other}"),
+    }
+    assert!(store.io().remote_errors > 0);
+    assert!(store.io().remote_retries > 0, "retries were attempted");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn served_bit_flip_is_caught_by_client_crc_retried_once_then_surfaced() {
+    let g = dense_graph(30, 4);
+    let tables = ClosureTables::compute(&g);
+    let mem = MemStore::new(tables.clone());
+    let dir = tempdir("flip");
+    write_store_sharded(&tables, &dir, &ShardSpec::new(0, 2), 4).unwrap();
+    let server = BlockServer::spawn(&dir, ("127.0.0.1", 0)).unwrap();
+    // A 1-byte budget keeps nothing resident, so every group read goes
+    // back to the network (the per-pair directory cache still warms).
+    let store = RemoteStore::connect_with(
+        &server.local_addr().to_string(),
+        RemoteOptions {
+            cache_bytes: 1,
+            ..fast_opts()
+        },
+    )
+    .unwrap();
+    let (a, b) = store
+        .pair_keys()
+        .into_iter()
+        .find(|&(a, b)| !mem.load_pair(a, b).is_empty())
+        .expect("a nonempty pair");
+    let oracle = {
+        let mut p = mem.load_pair(a, b);
+        p.sort_unstable();
+        p
+    };
+    let sorted = |mut p: Vec<_>| {
+        p.sort_unstable();
+        p
+    };
+    assert_eq!(sorted(store.load_pair(a, b)), oracle, "clean server");
+
+    // One poisoned response: the v3 block CRC catches it client-side
+    // and the single paged-layer re-fetch gets clean bytes — the read
+    // succeeds and matches the oracle.
+    server.inject_bit_flips(1);
+    assert_eq!(sorted(store.load_pair(a, b)), oracle);
+    assert!(store.take_error().is_none(), "one flip is absorbed");
+    assert!(store.io().remote_retries > 0, "the re-fetch is counted");
+
+    // Persistent corruption: the retry budget exhausts, the read
+    // degrades instead of returning wrong bytes, and the failure
+    // surfaces through the error slot.
+    server.inject_bit_flips(u32::MAX);
+    assert_ne!(sorted(store.load_pair(a, b)), oracle);
+    let err = store.take_error().expect("corruption is recorded");
+    assert!(
+        matches!(
+            err,
+            StorageError::Corrupt { .. } | StorageError::Remote { .. }
+        ),
+        "unexpected error {err}"
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn open_store_uri_dispatches_tcp_and_local_paths() {
+    let g = dense_graph(24, 4);
+    let tables = ClosureTables::compute(&g);
+    let mem = MemStore::new(tables.clone());
+    let dir = tempdir("uri");
+    write_store_sharded(&tables, &dir, &ShardSpec::new(0, 2), 64).unwrap();
+    let server = BlockServer::spawn(&dir, ("127.0.0.1", 0)).unwrap();
+    let remote = open_store_uri(&format!("tcp://{}", server.local_addr()), None).unwrap();
+    check_equivalent(&mem, remote.as_ref());
+    let local = open_store_uri(dir.join("MANIFEST").to_str().unwrap(), None).unwrap();
+    check_equivalent(&mem, local.as_ref());
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+
+    // A dead address fails fast with a Remote error, not a hang.
+    let Err(err) = RemoteStore::connect_with("127.0.0.1:1", fast_opts()) else {
+        panic!("a dead address must not connect");
+    };
+    assert!(matches!(err, StorageError::Remote { .. }), "{err}");
+}

@@ -60,6 +60,24 @@ pub enum ServiceError {
     /// A graph delta failed at the storage layer (immutable snapshot
     /// backend, or a rejected delta); no state changed.
     Update(StorageError),
+    /// The store degraded while serving reads: a storage failure
+    /// swallowed by the infallible [`ktpm_storage::ClosureSource`] API
+    /// (remote fetch exhausted its retries, corrupt block, lost shard
+    /// file, ...) was recovered via
+    /// [`ktpm_storage::ClosureSource::take_error`]. The observing
+    /// session is *poisoned* — its stream may silently miss matches,
+    /// so every further `next` repeats this error and its buffer is
+    /// never published to the result cache. Re-`OPEN` once the store
+    /// recovers. The code word is `remote-unavailable` for
+    /// [`StorageError::Remote`] and `storage-failed` for everything
+    /// else.
+    StorageFailed {
+        /// The stable code word (`remote-unavailable` or
+        /// `storage-failed`).
+        code: &'static str,
+        /// Human-readable failure detail, from the storage error.
+        detail: String,
+    },
 }
 
 impl ServiceError {
@@ -77,6 +95,19 @@ impl ServiceError {
             ServiceError::Update(StorageError::UpdatesUnsupported(_)) => "update-unsupported",
             ServiceError::Update(StorageError::DeltaRejected(_)) => "update-rejected",
             ServiceError::Update(_) => "update-failed",
+            ServiceError::StorageFailed { code, .. } => code,
+        }
+    }
+
+    /// Classifies a degraded-read storage error recovered via
+    /// [`ktpm_storage::ClosureSource::take_error`].
+    fn storage_failed(err: &StorageError) -> ServiceError {
+        ServiceError::StorageFailed {
+            code: match err {
+                StorageError::Remote { .. } => "remote-unavailable",
+                _ => "storage-failed",
+            },
+            detail: err.to_string(),
         }
     }
 }
@@ -106,6 +137,9 @@ impl fmt::Display for ServiceError {
                  (this backend has no undirected mirror)"
             ),
             ServiceError::Update(e) => write!(f, "{e}"),
+            ServiceError::StorageFailed { detail, .. } => {
+                write!(f, "{detail}; re-OPEN once the store recovers")
+            }
         }
     }
 }
@@ -311,6 +345,13 @@ impl ServiceHandle {
         } else {
             e.metrics.plan_miss();
         }
+        // Plan construction may have read the store (pattern plans
+        // touch the undirected mirror): surface a degraded store now
+        // rather than handing out a session over silently missing data.
+        if let Some(err) = e.source.take_error() {
+            e.metrics.error();
+            return Err(ServiceError::storage_failed(&err));
+        }
         let session = Session::new(
             algo,
             key.1,
@@ -358,7 +399,28 @@ impl ServiceHandle {
                     store_version,
                 });
             }
+            // Poisoned sessions repeat their storage failure: the
+            // stream already silently lost matches when the store
+            // degraded, so extending it would compound the lie.
+            if let Some((code, detail)) = session.failure() {
+                return Err(ServiceError::StorageFailed {
+                    code,
+                    detail: detail.to_string(),
+                });
+            }
             let adv = session.advance(n);
+            // The infallible read API degrades to empty results on
+            // storage failures and parks the first error in the store;
+            // recover it *before* publishing anything — a batch (or
+            // prefix) produced over a degraded store may be missing
+            // matches and must reach neither the client nor the cache.
+            if let Some(err) = engine.source.take_error() {
+                let failure = ServiceError::storage_failed(&err);
+                if let ServiceError::StorageFailed { code, detail } = &failure {
+                    session.poison(code, detail.clone());
+                }
+                return Err(failure);
+            }
             if let Some(prefix) = adv.publish {
                 let key = session.cache_key();
                 engine.cache.lock().expect("cache lock").insert(key, prefix);

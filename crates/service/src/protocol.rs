@@ -157,6 +157,13 @@
 //!                      zero weight, missing/duplicate edge, ...);
 //!                      nothing changed
 //! update-failed        UPDATE failed in the storage layer
+//! remote-unavailable   the remote block store behind the engine
+//!                      degraded mid-read (blockd unreachable, retries
+//!                      exhausted, corrupt responses); the observing
+//!                      session is poisoned — re-OPEN once it recovers
+//! storage-failed       a local storage failure degraded a read
+//!                      (corrupt block, lost shard file, ...); the
+//!                      observing session is poisoned — re-OPEN
 //! overloaded           request or connection shed by backpressure;
 //!                      retry after draining in-flight responses
 //! line-too-long        request line exceeded the front end's limit
@@ -172,7 +179,10 @@
 //! `io_block_reads`, `io_bytes_read`, `io_edges_read`, `io_d_entries`,
 //! `io_e_entries`, and — live only on the paged (format-v3) backend —
 //! the block-cache counters `io_cache_hits`, `io_cache_misses`,
-//! `io_cache_evictions` and the `io_cache_bytes_resident` gauge.
+//! `io_cache_evictions` and the `io_cache_bytes_resident` gauge. The
+//! sharded and remote tiers add `io_files_opened` (shard files opened
+//! lazily) and the remote-fetch counters `io_remote_fetches`,
+//! `io_remote_bytes`, `io_remote_retries`, `io_remote_errors`.
 //!
 //! Verbs are case-insensitive; everything else is verbatim.
 
@@ -195,6 +205,8 @@ pub const ERROR_CODES: &[&str] = &[
     "update-unsupported",
     "update-rejected",
     "update-failed",
+    "remote-unavailable",
+    "storage-failed",
     "overloaded",
     "line-too-long",
 ];

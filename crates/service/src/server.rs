@@ -217,7 +217,8 @@ pub fn respond(handle: &ServiceHandle, line: &str) -> String {
                  plan_largest_bytes={} plan_cache_bytes_limit={} workers={} graph_version={} \
                  io_block_reads={} io_bytes_read={} io_edges_read={} io_d_entries={} \
                  io_e_entries={} io_cache_hits={} io_cache_misses={} io_cache_evictions={} \
-                 io_cache_bytes_resident={} {}\n",
+                 io_cache_bytes_resident={} io_files_opened={} io_remote_fetches={} \
+                 io_remote_bytes={} io_remote_retries={} io_remote_errors={} {}\n",
                 s.sessions_active,
                 s.cache_entries,
                 s.plan_entries,
@@ -235,6 +236,11 @@ pub fn respond(handle: &ServiceHandle, line: &str) -> String {
                 s.io.cache_misses,
                 s.io.cache_evictions,
                 s.io.cache_bytes_resident,
+                s.io.files_opened,
+                s.io.remote_fetches,
+                s.io.remote_bytes,
+                s.io.remote_retries,
+                s.io.remote_errors,
                 s.metrics.to_wire()
             )
         }

@@ -84,6 +84,13 @@ pub struct Session {
     /// stream and buffer describe the pre-delta graph) and never
     /// publishes to the result cache again.
     fenced_at: Option<u64>,
+    /// Set when the store degraded mid-read under this session (a
+    /// swallowed storage failure recovered via
+    /// `ClosureSource::take_error`): the stable error-code word plus
+    /// detail text. A poisoned session answers every further `next`
+    /// with that error (its buffer may silently miss matches) and
+    /// never publishes to the result cache.
+    failed: Option<(&'static str, String)>,
 }
 
 /// One batch of session progress, as reported to the engine.
@@ -121,6 +128,7 @@ impl Session {
             pos: 0,
             complete,
             fenced_at: None,
+            failed: None,
         }
     }
 
@@ -147,6 +155,20 @@ impl Session {
     /// The store version this session fell behind at, if fenced.
     pub(crate) fn fenced_at(&self) -> Option<u64> {
         self.fenced_at
+    }
+
+    /// Poisons the session after a storage failure surfaced under it.
+    /// Sticky and idempotent like fencing — the first failure is kept
+    /// (that is where the stream's completeness guarantee broke).
+    pub(crate) fn poison(&mut self, code: &'static str, detail: String) {
+        if self.failed.is_none() {
+            self.failed = Some((code, detail));
+        }
+    }
+
+    /// The storage failure this session was poisoned with, if any.
+    pub(crate) fn failure(&self) -> Option<(&'static str, &str)> {
+        self.failed.as_ref().map(|(c, d)| (*c, d.as_str()))
     }
 
     /// The graph version the session's plan was stamped against.
@@ -247,8 +269,10 @@ impl Session {
     pub(crate) fn final_prefix(&self) -> Option<CachedPrefix> {
         // A fenced session's buffer describes the pre-delta graph;
         // publishing it would resurrect exactly the entries the
-        // invalidation pass just dropped.
-        if self.fenced_at.is_some() {
+        // invalidation pass just dropped. A poisoned session's buffer
+        // may silently miss matches (the store degraded mid-read) —
+        // caching it would serve a wrong prefix as truth.
+        if self.fenced_at.is_some() || self.failed.is_some() {
             return None;
         }
         if self.buffer.is_empty() && !self.complete {

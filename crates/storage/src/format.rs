@@ -52,6 +52,39 @@
 //! header field makes files self-describing; writers choose it at
 //! serialization time ([`crate::write_store_v3`]).
 //!
+//! ## Version 4: the sharded-snapshot `MANIFEST`
+//!
+//! Version 4 (magic `KTPMCLO4`) is not a new closure-file layout — it
+//! is the **manifest** of a sharded snapshot written by
+//! [`crate::write_store_sharded`]: one small routing file (`MANIFEST`)
+//! next to a set of plain v3 shard files, each holding a disjoint
+//! subset of the label-pair tables. Readers ([`crate::ShardedStore`],
+//! [`crate::RemoteStore`]) open the manifest, answer
+//! `num_nodes`/`node_label`/`pair_keys` from it directly, and open a
+//! shard file only when a query first touches a label pair routed to
+//! it.
+//!
+//! ```text
+//! magic "KTPMCLO4"
+//! u32 shard_count, u32 block_entries, u32 num_nodes, u32 num_labels
+//! labels: num_nodes * u32
+//! per shard (shard_count times, in file-id order):
+//!   u32 name_len, name_len bytes (UTF-8 file name, no path),
+//!   u64 file_len, u32 content_crc32 (over the whole shard file)
+//! routing: u32 pair_count, pair_count * (u32 a, u32 b, u32 shard),
+//!          ascending (a, b)
+//! u32 crc32 over everything past the magic
+//! ```
+//!
+//! The trailing CRC-32 covers every byte after the magic, so any
+//! truncation or bit flip in the manifest is detected at open. Shard
+//! file names are stored without directory components and resolved
+//! relative to the manifest's parent directory. The per-file
+//! `content_crc32` lets `ktpm store verify` prove a shard file is the
+//! exact one the writer sealed before scrubbing its sections. A shard's
+//! **file id** is its position in the manifest's shard list — the id
+//! the remote `FETCH` protocol and the shared block-cache key use.
+//!
 //! ## Versions and checksums
 //!
 //! Version 2 (magic `KTPMCLO2`) appends a CRC-32 (IEEE) to every
@@ -84,6 +117,10 @@ pub const MAGIC_V1: &[u8; 8] = b"KTPMCLO1";
 /// Version-3 magic (paged, per-block checksummed groups — the default
 /// the writer emits, read by [`crate::PagedStore`]).
 pub const MAGIC_V3: &[u8; 8] = b"KTPMCLO3";
+/// Version-4 magic: the `MANIFEST` of a sharded snapshot (routing +
+/// integrity metadata over a set of v3 shard files; see the module
+/// docs). Read by [`crate::ShardedStore`] / [`crate::RemoteStore`].
+pub const MAGIC_V4: &[u8; 8] = b"KTPMCLO4";
 pub const FOOTER_LEN: u64 = 8 + 8;
 
 /// On-disk format versions the writer can emit and the readers accept.

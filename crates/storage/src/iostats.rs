@@ -20,6 +20,11 @@ struct Counters {
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
     cache_bytes_resident: AtomicU64,
+    files_opened: AtomicU64,
+    remote_fetches: AtomicU64,
+    remote_bytes: AtomicU64,
+    remote_retries: AtomicU64,
+    remote_errors: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -48,6 +53,21 @@ pub struct IoSnapshot {
     /// snapshot's value through unchanged, and after
     /// [`IoStats::reset`] it refreshes on the next cache operation.
     pub cache_bytes_resident: u64,
+    /// Shard files opened lazily by [`crate::ShardedStore`] /
+    /// [`crate::RemoteStore`] (a query that touches only some label
+    /// pairs opens only their owning files).
+    pub files_opened: u64,
+    /// `FETCH` requests answered by a remote block server
+    /// ([`crate::RemoteStore`] only; every other backend leaves the
+    /// four `remote_*` counters at 0).
+    pub remote_fetches: u64,
+    /// Payload bytes received from the remote block server.
+    pub remote_bytes: u64,
+    /// Remote request retries (reconnects, timeouts, and one-shot
+    /// re-fetches after a client-side CRC mismatch).
+    pub remote_retries: u64,
+    /// Remote requests that failed after exhausting retries.
+    pub remote_errors: u64,
 }
 
 impl IoStats {
@@ -91,6 +111,23 @@ impl IoStats {
             .store(bytes, Ordering::Relaxed);
     }
 
+    pub(crate) fn add_file_opened(&self) {
+        self.inner.files_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_remote_fetch(&self, bytes: u64) {
+        self.inner.remote_fetches.fetch_add(1, Ordering::Relaxed);
+        self.inner.remote_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_remote_retry(&self) {
+        self.inner.remote_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_remote_error(&self) {
+        self.inner.remote_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reads all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -103,6 +140,11 @@ impl IoStats {
             cache_misses: self.inner.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.inner.cache_evictions.load(Ordering::Relaxed),
             cache_bytes_resident: self.inner.cache_bytes_resident.load(Ordering::Relaxed),
+            files_opened: self.inner.files_opened.load(Ordering::Relaxed),
+            remote_fetches: self.inner.remote_fetches.load(Ordering::Relaxed),
+            remote_bytes: self.inner.remote_bytes.load(Ordering::Relaxed),
+            remote_retries: self.inner.remote_retries.load(Ordering::Relaxed),
+            remote_errors: self.inner.remote_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -118,6 +160,11 @@ impl IoStats {
         self.inner.cache_misses.store(0, Ordering::Relaxed);
         self.inner.cache_evictions.store(0, Ordering::Relaxed);
         self.inner.cache_bytes_resident.store(0, Ordering::Relaxed);
+        self.inner.files_opened.store(0, Ordering::Relaxed);
+        self.inner.remote_fetches.store(0, Ordering::Relaxed);
+        self.inner.remote_bytes.store(0, Ordering::Relaxed);
+        self.inner.remote_retries.store(0, Ordering::Relaxed);
+        self.inner.remote_errors.store(0, Ordering::Relaxed);
     }
 }
 
@@ -136,6 +183,11 @@ impl IoSnapshot {
             cache_misses: self.cache_misses - earlier.cache_misses,
             cache_evictions: self.cache_evictions - earlier.cache_evictions,
             cache_bytes_resident: self.cache_bytes_resident,
+            files_opened: self.files_opened - earlier.files_opened,
+            remote_fetches: self.remote_fetches - earlier.remote_fetches,
+            remote_bytes: self.remote_bytes - earlier.remote_bytes,
+            remote_retries: self.remote_retries - earlier.remote_retries,
+            remote_errors: self.remote_errors - earlier.remote_errors,
         }
     }
 }
@@ -157,6 +209,11 @@ mod tests {
         s.add_cache_miss();
         s.add_cache_evictions(4);
         s.set_cache_resident(1024);
+        s.add_file_opened();
+        s.add_remote_fetch(100);
+        s.add_remote_fetch(28);
+        s.add_remote_retry();
+        s.add_remote_error();
         let snap = s.snapshot();
         assert_eq!(snap.block_reads, 2);
         assert_eq!(snap.bytes_read, 8192);
@@ -167,6 +224,11 @@ mod tests {
         assert_eq!(snap.cache_misses, 1);
         assert_eq!(snap.cache_evictions, 4);
         assert_eq!(snap.cache_bytes_resident, 1024);
+        assert_eq!(snap.files_opened, 1);
+        assert_eq!(snap.remote_fetches, 2);
+        assert_eq!(snap.remote_bytes, 128);
+        assert_eq!(snap.remote_retries, 1);
+        assert_eq!(snap.remote_errors, 1);
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());
     }

@@ -15,11 +15,28 @@
 //! disjoint block sets — parallel shards warm the cache for their own
 //! partition without false sharing.
 //!
+//! The store reads its bytes through a [`BlockSource`] — a positioned
+//! `read_at` over one sealed v3 file. [`LocalFile`] is the plain
+//! on-disk implementation; the remote tier plugs a network-backed
+//! source into the *same* `PagedStore` (`crate::RemoteStore`), so
+//! parsing, verification, caching, and accounting are written once.
+//! Multi-file snapshots ([`crate::ShardedStore`]) give each member
+//! file a distinct `file_id` and one shared cache, so the byte budget
+//! bounds the whole snapshot.
+//!
 //! Cache traffic is accounted in [`IoStats`]: `cache_hits` /
 //! `cache_misses` / `cache_evictions` plus the `cache_bytes_resident`
 //! gauge, alongside the usual block/byte/edge counters (which, here,
 //! count *disk* traffic only — a warm cache serves reads with zero
 //! `block_reads`).
+//!
+//! The [`ClosureSource`] read API is infallible: a corrupt or
+//! unreadable block degrades to an empty result or an exhausted
+//! cursor. Every such silent degradation also records the swallowed
+//! error into a sticky [`ErrorSlot`] surfaced via
+//! [`ClosureSource::take_error`], so the serving tier can refuse to
+//! ship a truncated batch (essential once the "disk" is a remote
+//! server that can die mid-stream).
 
 use crate::cache::BlockCache;
 use crate::format::*;
@@ -42,33 +59,106 @@ type DirEntry = (NodeId, u64, u32);
 
 type DirCache = HashMap<(LabelId, LabelId), Arc<Vec<DirEntry>>>;
 
-struct PagedShared {
+/// A positioned byte source over one sealed v3 store file — the seam
+/// between [`PagedStore`]'s parsing/caching logic and where the bytes
+/// actually live (local disk, or a remote block server).
+pub(crate) trait BlockSource: Send + Sync {
+    /// Reads exactly `bytes` at `off`. Short reads are errors
+    /// ([`StorageError::Corrupt`] for a truncated file,
+    /// [`StorageError::Remote`] for a failed remote fetch).
+    fn read_at(&self, off: u64, bytes: usize) -> Result<Vec<u8>, StorageError>;
+
+    /// Total length of the file, fixed at open.
+    fn len(&self) -> u64;
+
+    /// Whether a failed CRC check is worth one re-read (true for
+    /// remote sources, where the wire — not the medium — may have
+    /// flipped a bit; false for local files, where a re-read would
+    /// return the same rotten bytes).
+    fn is_retryable(&self) -> bool {
+        false
+    }
+}
+
+/// [`BlockSource`] over a local file.
+pub(crate) struct LocalFile {
     file: Mutex<std::fs::File>,
-    /// Snapshot length at open time; every read is validated against it
-    /// before buffers are allocated.
     len: u64,
+}
+
+impl LocalFile {
+    pub(crate) fn open(path: &Path) -> Result<Self, StorageError> {
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        Ok(LocalFile {
+            file: Mutex::new(file),
+            len,
+        })
+    }
+}
+
+impl BlockSource for LocalFile {
+    fn read_at(&self, off: u64, bytes: usize) -> Result<Vec<u8>, StorageError> {
+        let mut buf = vec![0u8; bytes];
+        let mut f = self.file.lock().expect("store file lock");
+        f.seek(SeekFrom::Start(off))?;
+        f.read_exact(&mut buf).map_err(|e| map_eof(e, off, bytes))?;
+        Ok(buf)
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+/// A sticky first-error slot shared by a store, its cursors, and (for
+/// multi-file snapshots) all member files. The infallible read paths
+/// record the first error they swallow; [`ErrorSlot::take`] hands it
+/// to the serving layer and re-arms the slot. First-wins: the root
+/// cause, not the last symptom.
+#[derive(Clone, Default)]
+pub(crate) struct ErrorSlot(Arc<Mutex<Option<StorageError>>>);
+
+impl ErrorSlot {
+    pub(crate) fn record(&self, e: StorageError) {
+        let mut slot = self.0.lock().expect("error slot");
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    pub(crate) fn take(&self) -> Option<StorageError> {
+        self.0.lock().expect("error slot").take()
+    }
+}
+
+struct PagedShared {
+    source: Box<dyn BlockSource>,
     io: IoStats,
-    cache: Mutex<BlockCache>,
+    /// Shared with every sibling file of a sharded snapshot; keys are
+    /// namespaced by `file_id`.
+    cache: Arc<Mutex<BlockCache>>,
     block_entries: usize,
+    /// This file's id within its snapshot (0 for standalone stores).
+    file_id: u32,
+    errors: ErrorSlot,
 }
 
 impl PagedShared {
-    /// One positioned disk read = one counted block fetch (identical
-    /// contract to the v1/v2 reader's).
+    /// One positioned read = one counted block fetch (identical
+    /// contract to the v1/v2 reader's), validated against the file
+    /// length before buffers are allocated.
     fn read_vec(&self, off: u64, bytes: usize) -> Result<Vec<u8>, StorageError> {
         if off
             .checked_add(bytes as u64)
-            .is_none_or(|end| end > self.len)
+            .is_none_or(|end| end > self.source.len())
         {
             return Err(StorageError::Corrupt {
                 offset: off,
                 needed: bytes,
             });
         }
-        let mut buf = vec![0u8; bytes];
-        let mut f = self.file.lock().expect("store file lock");
-        f.seek(SeekFrom::Start(off))?;
-        f.read_exact(&mut buf).map_err(|e| map_eof(e, off, bytes))?;
+        let buf = self.source.read_at(off, bytes)?;
         self.io.add_block(bytes as u64);
         Ok(buf)
     }
@@ -77,9 +167,9 @@ impl PagedShared {
         v3_block_bytes(self.block_entries)
     }
 
-    /// Reads and CRC-verifies the group block at `off`, bypassing the
-    /// cache (the scrub path). Returns the padded payload only.
-    fn read_block_verified(&self, off: u64) -> Result<Vec<u8>, StorageError> {
+    /// One read + CRC check of the group block at `off`; returns the
+    /// padded payload only.
+    fn read_block_once(&self, off: u64) -> Result<Vec<u8>, StorageError> {
         let bb = self.block_bytes();
         let mut buf = self.read_vec(off, bb)?;
         let payload = self.block_entries * L_ENTRY_BYTES;
@@ -98,11 +188,26 @@ impl PagedShared {
         Ok(buf)
     }
 
+    /// Reads and CRC-verifies the group block at `off`, bypassing the
+    /// cache (also the scrub path). On a retryable source (remote), a
+    /// CRC mismatch earns exactly one counted re-read — the flip may
+    /// have happened on the wire — before the error stands.
+    fn read_block_verified(&self, off: u64) -> Result<Vec<u8>, StorageError> {
+        match self.read_block_once(off) {
+            Err(StorageError::Corrupt { .. }) if self.source.is_retryable() => {
+                self.io.add_remote_retry();
+                self.read_block_once(off)
+            }
+            other => other,
+        }
+    }
+
     /// The lazy verified fetch: cache hit, or disk read + CRC check +
     /// budgeted insert. Every consumer of group bytes funnels through
     /// here, so a block is verified exactly once per residency.
     fn fetch_block(&self, off: u64) -> Result<Arc<Vec<u8>>, StorageError> {
-        if let Some(data) = self.cache.lock().expect("block cache").get(off) {
+        let key = (self.file_id, off);
+        if let Some(data) = self.cache.lock().expect("block cache").get(key) {
             self.io.add_cache_hit();
             return Ok(data);
         }
@@ -112,7 +217,7 @@ impl PagedShared {
             .cache
             .lock()
             .expect("block cache")
-            .insert(off, Arc::clone(&data));
+            .insert(key, Arc::clone(&data));
         if evicted > 0 {
             self.io.add_cache_evictions(evicted);
         }
@@ -162,12 +267,32 @@ impl PagedStore {
     /// Opens with an explicit block-cache byte budget. `0` means
     /// unlimited (no block is ever evicted).
     pub fn open_with_cache_bytes(path: &Path, cache_bytes: u64) -> Result<Self, StorageError> {
+        Self::from_source(
+            Box::new(LocalFile::open(path)?),
+            Arc::new(Mutex::new(BlockCache::new(cache_bytes))),
+            IoStats::new(),
+            0,
+            ErrorSlot::default(),
+        )
+    }
+
+    /// Opens a v3 store over any [`BlockSource`] — the shared
+    /// constructor behind standalone opens, [`crate::ShardedStore`]
+    /// member files (shared `cache`/`io`/`errors`, distinct
+    /// `file_id`s), and [`crate::RemoteStore`] (network-backed
+    /// source). Header and index checksums are verified eagerly, via
+    /// the source.
+    pub(crate) fn from_source(
+        source: Box<dyn BlockSource>,
+        cache: Arc<Mutex<BlockCache>>,
+        io: IoStats,
+        file_id: u32,
+        errors: ErrorSlot,
+    ) -> Result<Self, StorageError> {
         const HEAD_LEN: usize = 20; // magic + nodes + labels + block_entries
-        let mut file = std::fs::File::open(path)?;
-        let len = file.metadata()?.len();
+        let len = source.len();
         if len < FOOTER_LEN + HEAD_LEN as u64 {
-            let mut head = vec![0u8; len.min(8) as usize];
-            file.read_exact(&mut head)?;
+            let head = source.read_at(0, len.min(8) as usize)?;
             // All format versions share the first 7 magic bytes; require
             // at least half of them before diagnosing a damaged store.
             let is_store_prefix = if head.len() < 8 {
@@ -184,10 +309,7 @@ impl PagedStore {
             });
         }
         // Header.
-        let mut head = [0u8; HEAD_LEN];
-        file.seek(SeekFrom::Start(0))?;
-        file.read_exact(&mut head)
-            .map_err(|e| map_eof(e, 0, HEAD_LEN))?;
+        let head = source.read_at(0, HEAD_LEN)?;
         match FormatVersion::from_magic(&head[..8]) {
             Some(FormatVersion::V3) => {}
             Some(_) => {
@@ -213,16 +335,14 @@ impl PagedStore {
                 offset: HEAD_LEN as u64,
                 needed: num_nodes.saturating_mul(4),
             })?;
-        let mut label_buf = vec![0u8; label_bytes];
-        file.read_exact(&mut label_buf)
-            .map_err(|e| map_eof(e, HEAD_LEN as u64, label_bytes))?;
+        // Labels + their trailing header CRC in one read.
+        let tail = source.read_at(HEAD_LEN as u64, label_bytes + 4)?;
+        let label_buf = &tail[..label_bytes];
         // Eager header verification: counts + block capacity + labels.
-        let mut crc_buf = [0u8; 4];
-        file.read_exact(&mut crc_buf)
-            .map_err(|e| map_eof(e, (HEAD_LEN + label_bytes) as u64, 4))?;
         let state = crc32_update(CRC_INIT, &head[8..HEAD_LEN]);
-        let state = crc32_update(state, &label_buf);
-        if crc32_finish(state) != u32::from_le_bytes(crc_buf) {
+        let state = crc32_update(state, label_buf);
+        let stored = u32::from_le_bytes(tail[label_bytes..].try_into().expect("4-byte tail"));
+        if crc32_finish(state) != stored {
             return Err(StorageError::Corrupt {
                 offset: 8,
                 needed: HEAD_LEN - 8 + label_bytes,
@@ -233,10 +353,7 @@ impl PagedStore {
             .map(|c| LabelId(u32::from_le_bytes(c.try_into().expect("chunked to 4"))))
             .collect();
         // Footer.
-        let mut foot = [0u8; FOOTER_LEN as usize];
-        file.seek(SeekFrom::Start(len - FOOTER_LEN))?;
-        file.read_exact(&mut foot)
-            .map_err(|e| map_eof(e, len - FOOTER_LEN, foot.len()))?;
+        let foot = source.read_at(len - FOOTER_LEN, FOOTER_LEN as usize)?;
         if &foot[8..] != MAGIC_V3 {
             return Err(StorageError::Corrupt {
                 offset: len - 8,
@@ -255,11 +372,8 @@ impl PagedStore {
                 needed: 4,
             });
         }
-        file.seek(SeekFrom::Start(index_off))?;
-        let mut count_buf = [0u8; 4];
-        file.read_exact(&mut count_buf)
-            .map_err(|e| map_eof(e, index_off, 4))?;
-        let num_pairs = u32::from_le_bytes(count_buf) as usize;
+        let count_buf = source.read_at(index_off, 4)?;
+        let num_pairs = u32::from_le_bytes(count_buf[..].try_into().expect("read 4")) as usize;
         let idx_bytes = num_pairs
             .checked_mul(4 + 4 + 8 + 8 + 8)
             .filter(|&b| index_off + 4 + b as u64 + 4 <= len - FOOTER_LEN)
@@ -267,16 +381,14 @@ impl PagedStore {
                 offset: index_off + 4,
                 needed: num_pairs.saturating_mul(32),
             })?;
-        let mut idx_buf = vec![0u8; idx_bytes];
-        file.read_exact(&mut idx_buf)
-            .map_err(|e| map_eof(e, index_off + 4, idx_bytes))?;
-        // Eager index verification.
-        let mut crc_buf = [0u8; 4];
-        file.read_exact(&mut crc_buf)
-            .map_err(|e| map_eof(e, index_off + 4 + idx_bytes as u64, 4))?;
+        // Index entries + their trailing CRC in one read; verify
+        // eagerly.
+        let idx_tail = source.read_at(index_off + 4, idx_bytes + 4)?;
+        let idx_buf = &idx_tail[..idx_bytes];
         let state = crc32_update(CRC_INIT, &count_buf);
-        let state = crc32_update(state, &idx_buf);
-        if crc32_finish(state) != u32::from_le_bytes(crc_buf) {
+        let state = crc32_update(state, idx_buf);
+        let stored = u32::from_le_bytes(idx_tail[idx_bytes..].try_into().expect("4-byte tail"));
+        if crc32_finish(state) != stored {
             return Err(StorageError::Corrupt {
                 offset: index_off,
                 needed: idx_bytes + 4,
@@ -285,20 +397,21 @@ impl PagedStore {
         let mut index = HashMap::with_capacity(num_pairs);
         let mut pos = 0;
         for _ in 0..num_pairs {
-            let a = LabelId(get_u32(&idx_buf, &mut pos)?);
-            let b = LabelId(get_u32(&idx_buf, &mut pos)?);
-            let d = get_u64(&idx_buf, &mut pos)?;
-            let e = get_u64(&idx_buf, &mut pos)?;
-            let dir = get_u64(&idx_buf, &mut pos)?;
+            let a = LabelId(get_u32(idx_buf, &mut pos)?);
+            let b = LabelId(get_u32(idx_buf, &mut pos)?);
+            let d = get_u64(idx_buf, &mut pos)?;
+            let e = get_u64(idx_buf, &mut pos)?;
+            let dir = get_u64(idx_buf, &mut pos)?;
             index.insert((a, b), (d, e, dir));
         }
         Ok(PagedStore {
             shared: Arc::new(PagedShared {
-                file: Mutex::new(file),
-                len,
-                io: IoStats::new(),
-                cache: Mutex::new(BlockCache::new(cache_bytes)),
+                source,
+                io,
+                cache,
                 block_entries,
+                file_id,
+                errors,
             }),
             labels,
             index,
@@ -333,7 +446,8 @@ impl PagedStore {
         self.shared.block_entries
     }
 
-    /// Live blocks currently held by the block cache.
+    /// Live blocks currently held by the block cache. For a snapshot
+    /// member file this counts the whole *shared* cache.
     pub fn cache_blocks(&self) -> usize {
         self.shared.cache.lock().expect("block cache").len()
     }
@@ -434,6 +548,47 @@ impl PagedStore {
         Ok(buf)
     }
 
+    /// The cached verified D/E section fetch: body bytes keyed by the
+    /// section's count offset in the shared block cache, so warm table
+    /// loads re-read nothing — locally or over the network. On a
+    /// retryable (remote) source a CRC mismatch earns exactly one
+    /// counted re-read, mirroring [`PagedShared::read_block_verified`].
+    fn fetch_section(
+        &self,
+        count_off: u64,
+        entry_bytes: usize,
+    ) -> Result<Arc<Vec<u8>>, StorageError> {
+        let key = (self.shared.file_id, count_off);
+        if let Some(data) = self.shared.cache.lock().expect("block cache").get(key) {
+            self.shared.io.add_cache_hit();
+            return Ok(data);
+        }
+        self.shared.io.add_cache_miss();
+        let read = || -> Result<Vec<u8>, StorageError> {
+            let count = self.read_count(count_off)?;
+            self.read_body(count_off, count, entry_bytes)
+        };
+        let body = match read() {
+            Err(StorageError::Corrupt { .. }) if self.shared.source.is_retryable() => {
+                self.shared.io.add_remote_retry();
+                read()?
+            }
+            other => other?,
+        };
+        let data = Arc::new(body);
+        let (evicted, resident) = self
+            .shared
+            .cache
+            .lock()
+            .expect("block cache")
+            .insert(key, Arc::clone(&data));
+        if evicted > 0 {
+            self.shared.io.add_cache_evictions(evicted);
+        }
+        self.shared.io.set_cache_resident(resident);
+        Ok(data)
+    }
+
     fn directory(
         &self,
         a: LabelId,
@@ -461,6 +616,18 @@ impl PagedStore {
             .expect("dir cache")
             .insert((a, b), dir.clone());
         Ok(Some(dir))
+    }
+
+    /// As [`Self::directory`], but on the infallible read paths: an
+    /// error degrades to `None` and is recorded in the error slot.
+    fn directory_noted(&self, a: LabelId, b: LabelId) -> Option<Arc<Vec<DirEntry>>> {
+        match self.directory(a, b) {
+            Ok(dir) => dir,
+            Err(e) => {
+                self.shared.errors.record(e);
+                None
+            }
+        }
     }
 
     /// Reads one group's entries `[from, len)` through the block cache.
@@ -511,8 +678,8 @@ impl ClosureSource for PagedStore {
             return Vec::new();
         };
         let inner = || -> Result<Vec<(NodeId, Dist)>, StorageError> {
-            let count = self.read_count(d_off)?;
-            let buf = self.read_body(d_off, count, 8)?;
+            let buf = self.fetch_section(d_off, 8)?;
+            let count = buf.len() / 8;
             let mut pos = 0;
             let mut out = Vec::with_capacity(count);
             for _ in 0..count {
@@ -523,7 +690,10 @@ impl ClosureSource for PagedStore {
             self.shared.io.add_d_entries(count as u64);
             Ok(out)
         };
-        inner().unwrap_or_default()
+        inner().unwrap_or_else(|e| {
+            self.shared.errors.record(e);
+            Vec::new()
+        })
     }
 
     fn load_e(&self, a: LabelId, b: LabelId) -> Vec<(NodeId, NodeId, Dist)> {
@@ -531,8 +701,8 @@ impl ClosureSource for PagedStore {
             return Vec::new();
         };
         let inner = || -> Result<Vec<(NodeId, NodeId, Dist)>, StorageError> {
-            let count = self.read_count(e_off)?;
-            let buf = self.read_body(e_off, count, 12)?;
+            let buf = self.fetch_section(e_off, 12)?;
+            let count = buf.len() / 12;
             let mut pos = 0;
             let mut out = Vec::with_capacity(count);
             for _ in 0..count {
@@ -544,11 +714,14 @@ impl ClosureSource for PagedStore {
             self.shared.io.add_e_entries(count as u64);
             Ok(out)
         };
-        inner().unwrap_or_default()
+        inner().unwrap_or_else(|e| {
+            self.shared.errors.record(e);
+            Vec::new()
+        })
     }
 
     fn load_pair(&self, a: LabelId, b: LabelId) -> Vec<(NodeId, NodeId, Dist)> {
-        let Ok(Some(dir)) = self.directory(a, b) else {
+        let Some(dir) = self.directory_noted(a, b) else {
             return Vec::new();
         };
         let mut out = Vec::new();
@@ -557,11 +730,10 @@ impl ClosureSource for PagedStore {
         for &(v, off, len) in dir.iter() {
             group.clear();
             // A corrupt block degrades to a partial result, like every
-            // corrupt read on the infallible trait methods.
-            if self
-                .read_group_range(off, len as usize, 0, &mut group)
-                .is_err()
-            {
+            // corrupt read on the infallible trait methods — recorded
+            // in the error slot.
+            if let Err(e) = self.read_group_range(off, len as usize, 0, &mut group) {
+                self.shared.errors.record(e);
                 break;
             }
             out.extend(group.iter().map(|&(s, d)| (s, v, d)));
@@ -572,15 +744,11 @@ impl ClosureSource for PagedStore {
     }
 
     fn incoming_cursor(&self, a: LabelId, v: NodeId) -> Box<dyn EdgeCursor + Send> {
-        let entry = self
-            .directory(a, self.node_label(v))
-            .ok()
-            .flatten()
-            .and_then(|dir| {
-                dir.binary_search_by_key(&v, |&(n, _, _)| n)
-                    .ok()
-                    .map(|i| dir[i])
-            });
+        let entry = self.directory_noted(a, self.node_label(v)).and_then(|dir| {
+            dir.binary_search_by_key(&v, |&(n, _, _)| n)
+                .ok()
+                .map(|i| dir[i])
+        });
         let (group_off, len) = match entry {
             Some((_, off, len)) => (off, len as usize),
             None => (0, 0),
@@ -595,12 +763,14 @@ impl ClosureSource for PagedStore {
 
     fn lookup_dist(&self, u: NodeId, v: NodeId) -> Option<Dist> {
         let a = self.node_label(u);
-        let dir = self.directory(a, self.node_label(v)).ok().flatten()?;
+        let dir = self.directory_noted(a, self.node_label(v))?;
         let i = dir.binary_search_by_key(&v, |&(n, _, _)| n).ok()?;
         let (_, off, len) = dir[i];
         let mut group = Vec::with_capacity(len as usize);
-        self.read_group_range(off, len as usize, 0, &mut group)
-            .ok()?;
+        if let Err(e) = self.read_group_range(off, len as usize, 0, &mut group) {
+            self.shared.errors.record(e);
+            return None;
+        }
         self.shared.io.add_edges(len as u64);
         group.into_iter().find(|&(s, _)| s == u).map(|(_, d)| d)
     }
@@ -618,6 +788,10 @@ impl ClosureSource for PagedStore {
         Some(Arc::clone(self.mirror.get_or_init(|| {
             crate::MemStore::new(ClosureTables::compute(&undirect(g))).into_shared()
         })))
+    }
+
+    fn take_error(&self) -> Option<StorageError> {
+        self.shared.errors.take()
     }
 }
 
@@ -639,11 +813,16 @@ impl EdgeCursor for PagedCursor {
         let be = self.shared.block_entries;
         let block_idx = self.pos / be;
         let block_off = self.group_off + (block_idx * self.shared.block_bytes()) as u64;
-        let Ok(block) = self.shared.fetch_block(block_off) else {
-            // A corrupt or unreadable block degrades to exhaustion,
-            // like the v1/v2 cursor.
-            self.pos = self.len;
-            return Vec::new();
+        let block = match self.shared.fetch_block(block_off) {
+            Ok(block) => block,
+            Err(e) => {
+                // A corrupt or unreadable block degrades to exhaustion,
+                // like the v1/v2 cursor — recorded in the error slot so
+                // the serving layer can refuse the truncated stream.
+                self.shared.errors.record(e);
+                self.pos = self.len;
+                return Vec::new();
+            }
         };
         let upto = self.len.min((block_idx + 1) * be);
         let take = upto - self.pos;
@@ -668,24 +847,53 @@ impl EdgeCursor for PagedCursor {
     }
 }
 
-/// Opens a store file of any format version behind the right backend:
-/// v3 through a [`PagedStore`] (with `block_cache_bytes` as the cache
-/// budget when given — `Some(0)` means unlimited), v1/v2 through a
-/// [`FileStore`](crate::FileStore). This is what the CLI and the bench
-/// harness use, so old snapshots keep working next to v3 output.
+/// Opens a store path of any kind behind the right backend:
+///
+/// * a v3 file through a [`PagedStore`] (with `block_cache_bytes` as
+///   the cache budget when given — `Some(0)` means unlimited);
+/// * a v1/v2 file through a [`FileStore`](crate::FileStore);
+/// * a sharded snapshot through a [`crate::ShardedStore`] — either the
+///   `MANIFEST` file itself or the snapshot **directory** containing
+///   one (a directory without a `MANIFEST` is a pointed
+///   [`StorageError::BadFormat`], not a raw io error).
+///
+/// This is what the CLI and the bench harness use, so old snapshots
+/// keep working next to v3 and sharded output. For `tcp://` remote
+/// stores, see [`crate::open_store_uri`].
 pub fn open_store_auto(
     path: &Path,
     block_cache_bytes: Option<u64>,
 ) -> Result<crate::SharedSource, StorageError> {
+    let budget = block_cache_bytes.unwrap_or(DEFAULT_BLOCK_CACHE_BYTES);
+    if path.is_dir() {
+        let manifest = path.join("MANIFEST");
+        if manifest.is_file() {
+            return Ok(
+                crate::ShardedStore::open_with_cache_bytes(&manifest, budget)?.into_shared(),
+            );
+        }
+        return Err(StorageError::BadFormat(format!(
+            "{} is a directory without a MANIFEST — did you mean the manifest path \
+             of a sharded snapshot (<dir>/MANIFEST, written by write_store_sharded)?",
+            path.display()
+        )));
+    }
     let mut head = [0u8; 8];
-    let is_v3 = {
+    let known = {
         let mut f = std::fs::File::open(path)?;
-        f.read_exact(&mut head).is_ok() && &head == MAGIC_V3
+        if f.read_exact(&mut head).is_ok() {
+            Some(head)
+        } else {
+            None
+        }
     };
-    if is_v3 {
-        let budget = block_cache_bytes.unwrap_or(DEFAULT_BLOCK_CACHE_BYTES);
-        Ok(PagedStore::open_with_cache_bytes(path, budget)?.into_shared())
-    } else {
-        Ok(crate::FileStore::open(path)?.into_shared())
+    match known {
+        Some(h) if &h == MAGIC_V4 => {
+            Ok(crate::ShardedStore::open_with_cache_bytes(path, budget)?.into_shared())
+        }
+        Some(h) if &h == MAGIC_V3 => {
+            Ok(PagedStore::open_with_cache_bytes(path, budget)?.into_shared())
+        }
+        _ => Ok(crate::FileStore::open(path)?.into_shared()),
     }
 }

@@ -1,0 +1,458 @@
+//! [`RemoteStore`]: a [`ClosureSource`] whose blocks live behind a
+//! `ktpm blockd` block server, fetched over TCP on demand.
+//!
+//! The store connects, pulls the snapshot's v4 `MANIFEST` (so all
+//! metadata queries are answered locally), and then reads shard-file
+//! bytes through [`RemoteBlockSource`]s — one per shard file, all
+//! feeding the same byte-budgeted [`BlockCache`], so a warm cache
+//! answers repeat queries with **zero** remote reads. Every fetched
+//! payload is CRC-checked client-side twice over: the response frame
+//! carries a CRC-32 of the payload, and the payload itself is a v3
+//! group block with its own trailing CRC (re-verified by
+//! [`PagedStore`]'s block reader, which re-fetches once for retryable
+//! sources before giving up).
+//!
+//! Failure policy: transport errors (connect, timeout, short frame)
+//! are retried with capped exponential backoff up to
+//! [`RemoteOptions::attempts`]; server-reported errors are not
+//! (they're deterministic). Exhausted retries surface
+//! [`StorageError::Remote`] — recorded in the store's error slot and
+//! counted in `remote_errors` — instead of hanging or panicking, and
+//! the infallible [`ClosureSource`] reads degrade to empty results.
+
+use crate::cache::BlockCache;
+use crate::format::crc32;
+use crate::iostats::{IoSnapshot, IoStats};
+use crate::manifest::Manifest;
+use crate::paged::{BlockSource, ErrorSlot, PagedStore, DEFAULT_BLOCK_CACHE_BYTES};
+use crate::sharded::{Opener, ShardSet};
+use crate::source::{ClosureSource, EdgeCursor, SharedSource, StorageError};
+use ktpm_graph::{Dist, LabelId, NodeId};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The length-prefixed binary protocol between [`RemoteStore`] and
+/// `ktpm blockd`.
+///
+/// Every message (both directions) is one **frame**: a `u32` LE byte
+/// length followed by that many payload bytes, capped at
+/// [`MAX_FRAME_BYTES`](blockproto::MAX_FRAME_BYTES). Request payloads start with an opcode byte:
+///
+/// * [`OP_FETCH`](blockproto::OP_FETCH) — `u32 file_id`, `u64 offset`, `u32 len`: read a
+///   byte range of one shard file (file ids index the manifest's
+///   shard list);
+/// * [`OP_MANIFEST`](blockproto::OP_MANIFEST) — no operands: the snapshot's encoded v4
+///   `MANIFEST` (synthesized for single-file stores);
+/// * [`OP_STATS`](blockproto::OP_STATS) — no operands: server counters as `key=value` text,
+///   one per line.
+///
+/// Response payloads start with a status byte — [`STATUS_OK`](blockproto::STATUS_OK) or
+/// [`STATUS_ERR`](blockproto::STATUS_ERR) (body = UTF-8 error text). A `FETCH` OK body is
+/// `u32 crc32(data)` followed by the data, so clients detect on-wire
+/// corruption without trusting the transport.
+pub mod blockproto {
+    use std::io::{self, Read, Write};
+
+    /// Opcode: read a byte range of one shard file.
+    pub const OP_FETCH: u8 = 1;
+    /// Opcode: fetch the snapshot's encoded v4 `MANIFEST`.
+    pub const OP_MANIFEST: u8 = 2;
+    /// Opcode: fetch server counters as `key=value` text.
+    pub const OP_STATS: u8 = 3;
+    /// Response status: success; body follows.
+    pub const STATUS_OK: u8 = 0;
+    /// Response status: failure; body is UTF-8 error text.
+    pub const STATUS_ERR: u8 = 1;
+    /// Upper bound on any frame's payload, requests and responses
+    /// alike — a desynced or hostile peer cannot make us allocate
+    /// unboundedly.
+    pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+    /// Byte length of an encoded `FETCH` request payload.
+    pub const FETCH_REQUEST_BYTES: usize = 17;
+
+    /// Writes one length-prefixed frame.
+    pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+        w.write_all(&(payload.len() as u32).to_le_bytes())?;
+        w.write_all(payload)?;
+        w.flush()
+    }
+
+    /// Reads one length-prefixed frame, rejecting oversized lengths.
+    pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+        let mut len = [0u8; 4];
+        r.read_exact(&mut len)?;
+        let len = u32::from_le_bytes(len) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+            ));
+        }
+        let mut buf = vec![0u8; len];
+        r.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Encodes a `FETCH` request payload.
+    pub fn encode_fetch(file_id: u32, offset: u64, len: u32) -> Vec<u8> {
+        let mut b = Vec::with_capacity(FETCH_REQUEST_BYTES);
+        b.push(OP_FETCH);
+        b.extend_from_slice(&file_id.to_le_bytes());
+        b.extend_from_slice(&offset.to_le_bytes());
+        b.extend_from_slice(&len.to_le_bytes());
+        b
+    }
+
+    /// Decodes a `FETCH` request payload (opcode byte included);
+    /// `None` if malformed.
+    pub fn decode_fetch(payload: &[u8]) -> Option<(u32, u64, u32)> {
+        if payload.len() != FETCH_REQUEST_BYTES || payload[0] != OP_FETCH {
+            return None;
+        }
+        let file_id = u32::from_le_bytes(payload[1..5].try_into().ok()?);
+        let offset = u64::from_le_bytes(payload[5..13].try_into().ok()?);
+        let len = u32::from_le_bytes(payload[13..17].try_into().ok()?);
+        Some((file_id, offset, len))
+    }
+}
+
+/// Tunables of the remote tier. The defaults favor failing fast and
+/// loudly over hanging: a dead server costs at most
+/// `attempts × request_timeout` plus backoff before the read degrades
+/// with a recorded [`StorageError::Remote`].
+#[derive(Debug, Clone)]
+pub struct RemoteOptions {
+    /// TCP connect timeout per address (default 2 s).
+    pub connect_timeout: Duration,
+    /// Read/write timeout per request round trip (default 2 s).
+    pub request_timeout: Duration,
+    /// Total request attempts, first try included (default 3).
+    pub attempts: u32,
+    /// First retry backoff; doubles per retry (default 10 ms).
+    pub backoff_base: Duration,
+    /// Backoff ceiling (default 250 ms).
+    pub backoff_cap: Duration,
+    /// Idle connections kept for reuse (default 4).
+    pub pool_size: usize,
+    /// Shared block-cache budget in bytes, `0` = unlimited (default
+    /// [`DEFAULT_BLOCK_CACHE_BYTES`](crate::DEFAULT_BLOCK_CACHE_BYTES)).
+    pub cache_bytes: u64,
+}
+
+impl Default for RemoteOptions {
+    fn default() -> Self {
+        RemoteOptions {
+            connect_timeout: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(2),
+            attempts: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(250),
+            pool_size: 4,
+            cache_bytes: DEFAULT_BLOCK_CACHE_BYTES,
+        }
+    }
+}
+
+/// A bounded pool of blockd connections. Requests check a connection
+/// out (reusing an idle one when available), run one frame round trip
+/// under the request timeout, and check it back in on success; failed
+/// connections are dropped, not reused.
+struct ConnPool {
+    addr: String,
+    idle: Mutex<Vec<TcpStream>>,
+    opts: RemoteOptions,
+    io: IoStats,
+}
+
+impl ConnPool {
+    fn connect(&self) -> io::Result<TcpStream> {
+        let mut last = None;
+        for sa in self.addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sa, self.opts.connect_timeout) {
+                Ok(s) => {
+                    s.set_nodelay(true).ok();
+                    return Ok(s);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "address resolved to nothing",
+            )
+        }))
+    }
+
+    fn checkout(&self) -> io::Result<TcpStream> {
+        if let Some(s) = self.idle.lock().expect("conn pool lock").pop() {
+            return Ok(s);
+        }
+        self.connect()
+    }
+
+    fn checkin(&self, s: TcpStream) {
+        let mut idle = self.idle.lock().expect("conn pool lock");
+        if idle.len() < self.opts.pool_size {
+            idle.push(s);
+        }
+    }
+
+    fn round_trip(&self, req: &[u8]) -> io::Result<(TcpStream, Vec<u8>)> {
+        let mut s = self.checkout()?;
+        s.set_read_timeout(Some(self.opts.request_timeout))?;
+        s.set_write_timeout(Some(self.opts.request_timeout))?;
+        blockproto::write_frame(&mut s, req)?;
+        let resp = blockproto::read_frame(&mut s)?;
+        Ok((s, resp))
+    }
+
+    /// One request with capped exponential-backoff retries on
+    /// transport failures. Returns the OK body; a server-reported
+    /// error or exhausted retries is [`StorageError::Remote`] (counted
+    /// in `remote_errors`; each re-attempt counts a `remote_retry`).
+    fn request(&self, req: &[u8]) -> Result<Vec<u8>, StorageError> {
+        let attempts = self.opts.attempts.max(1);
+        let mut backoff = self.opts.backoff_base;
+        let mut last = String::from("request failed");
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.io.add_remote_retry();
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(self.opts.backoff_cap);
+            }
+            match self.round_trip(req) {
+                Ok((s, resp)) => match resp.split_first() {
+                    Some((&blockproto::STATUS_OK, body)) => {
+                        self.checkin(s);
+                        return Ok(body.to_vec());
+                    }
+                    Some((&blockproto::STATUS_ERR, msg)) => {
+                        // Deterministic server-side failure: reusing the
+                        // connection is fine, burning retries is not.
+                        self.checkin(s);
+                        self.io.add_remote_error();
+                        return Err(StorageError::Remote {
+                            addr: self.addr.clone(),
+                            detail: format!("server error: {}", String::from_utf8_lossy(msg)),
+                        });
+                    }
+                    // Unknown status byte or empty frame: drop the
+                    // (possibly desynced) connection and retry.
+                    _ => last = "malformed response frame".into(),
+                },
+                Err(e) => last = e.to_string(),
+            }
+        }
+        self.io.add_remote_error();
+        Err(StorageError::Remote {
+            addr: self.addr.clone(),
+            detail: format!("{last} (after {attempts} attempt(s))"),
+        })
+    }
+}
+
+/// One shard file's bytes, fetched over the pool. Frame-level CRC
+/// mismatches get one immediate re-request; `is_retryable` additionally
+/// lets the paged reader re-fetch once when a v3 block's own CRC fails
+/// (an on-wire flip the frame CRC missed, or a stale cache of a
+/// rewritten file).
+struct RemoteBlockSource {
+    pool: Arc<ConnPool>,
+    file_id: u32,
+    len: u64,
+    io: IoStats,
+}
+
+impl BlockSource for RemoteBlockSource {
+    fn read_at(&self, off: u64, bytes: usize) -> Result<Vec<u8>, StorageError> {
+        let req = blockproto::encode_fetch(self.file_id, off, bytes as u32);
+        for attempt in 0..2 {
+            let body = self.pool.request(&req)?;
+            if body.len() == bytes + 4 {
+                let stored = u32::from_le_bytes(body[..4].try_into().expect("4 bytes"));
+                let data = &body[4..];
+                if crc32(data) == stored {
+                    self.io.add_remote_fetch(bytes as u64);
+                    return Ok(data.to_vec());
+                }
+            }
+            if attempt == 0 {
+                self.io.add_remote_retry();
+            }
+        }
+        self.io.add_remote_error();
+        Err(StorageError::Remote {
+            addr: self.pool.addr.clone(),
+            detail: format!(
+                "fetch {}@{off}+{bytes}: response failed the frame checksum twice",
+                self.file_id
+            ),
+        })
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn is_retryable(&self) -> bool {
+        true
+    }
+}
+
+/// A sharded (or single-file) snapshot served by `ktpm blockd`,
+/// opened from a `tcp://host:port` address; see the module docs.
+/// Everything downstream of [`ClosureSource`] — engines, serving tier,
+/// CLI — runs unchanged over it.
+pub struct RemoteStore {
+    inner: ShardSet,
+    pool: Arc<ConnPool>,
+}
+
+impl RemoteStore {
+    /// Connects with default [`RemoteOptions`]. `addr` is
+    /// `host:port`, with or without the `tcp://` scheme prefix. The
+    /// only eager request is the `MANIFEST` pull.
+    pub fn connect(addr: &str) -> Result<Self, StorageError> {
+        Self::connect_with(addr, RemoteOptions::default())
+    }
+
+    /// Connects with explicit options.
+    pub fn connect_with(addr: &str, opts: RemoteOptions) -> Result<Self, StorageError> {
+        let addr = addr.strip_prefix("tcp://").unwrap_or(addr).to_owned();
+        let io = IoStats::new();
+        let cache_bytes = opts.cache_bytes;
+        let pool = Arc::new(ConnPool {
+            addr,
+            idle: Mutex::new(Vec::new()),
+            opts,
+            io: io.clone(),
+        });
+        let manifest_bytes = pool.request(&[blockproto::OP_MANIFEST])?;
+        io.add_remote_fetch(manifest_bytes.len() as u64);
+        let manifest = Manifest::decode(&manifest_bytes)?;
+        let cache = Arc::new(Mutex::new(BlockCache::new(cache_bytes)));
+        let errors = ErrorSlot::default();
+        let opener: Opener = {
+            let pool = Arc::clone(&pool);
+            let lens: Vec<u64> = manifest.shards.iter().map(|s| s.file_len).collect();
+            let cache = Arc::clone(&cache);
+            let io = io.clone();
+            let errors = errors.clone();
+            Box::new(move |shard| {
+                PagedStore::from_source(
+                    Box::new(RemoteBlockSource {
+                        pool: Arc::clone(&pool),
+                        file_id: shard,
+                        len: lens[shard as usize],
+                        io: io.clone(),
+                    }),
+                    Arc::clone(&cache),
+                    io.clone(),
+                    shard,
+                    errors.clone(),
+                )
+            })
+        };
+        Ok(RemoteStore {
+            inner: ShardSet::new(manifest, opener, io, errors),
+            pool,
+        })
+    }
+
+    /// Wraps the store in a [`SharedSource`] for concurrent use.
+    pub fn into_shared(self) -> SharedSource {
+        Arc::new(self)
+    }
+
+    /// The server address (no scheme prefix).
+    pub fn addr(&self) -> &str {
+        &self.pool.addr
+    }
+
+    /// The decoded manifest announced by the server.
+    pub fn manifest(&self) -> &Manifest {
+        &self.inner.manifest
+    }
+
+    /// Remote shard files opened (i.e. header-parsed) so far.
+    pub fn files_open(&self) -> usize {
+        self.inner.files_open()
+    }
+
+    /// The server's own counters (`key=value` text, one per line) —
+    /// the `STATS` op, for diagnostics and tests.
+    pub fn server_stats(&self) -> Result<String, StorageError> {
+        let body = self.pool.request(&[blockproto::OP_STATS])?;
+        String::from_utf8(body)
+            .map_err(|_| StorageError::BadFormat("STATS response is not UTF-8".into()))
+    }
+}
+
+impl ClosureSource for RemoteStore {
+    fn num_nodes(&self) -> usize {
+        self.inner.manifest.num_nodes()
+    }
+
+    fn node_label(&self, v: NodeId) -> LabelId {
+        self.inner.manifest.node_label(v)
+    }
+
+    fn pair_keys(&self) -> Vec<(LabelId, LabelId)> {
+        self.inner.manifest.pair_keys()
+    }
+
+    fn load_d(&self, a: LabelId, b: LabelId) -> Vec<(NodeId, Dist)> {
+        self.inner.load_d(a, b)
+    }
+
+    fn load_e(&self, a: LabelId, b: LabelId) -> Vec<(NodeId, NodeId, Dist)> {
+        self.inner.load_e(a, b)
+    }
+
+    fn load_pair(&self, a: LabelId, b: LabelId) -> Vec<(NodeId, NodeId, Dist)> {
+        self.inner.load_pair(a, b)
+    }
+
+    fn incoming_cursor(&self, a: LabelId, v: NodeId) -> Box<dyn EdgeCursor + Send> {
+        self.inner.incoming_cursor(a, v)
+    }
+
+    fn lookup_dist(&self, u: NodeId, v: NodeId) -> Option<Dist> {
+        self.inner.lookup_dist(u, v)
+    }
+
+    fn io(&self) -> IoSnapshot {
+        self.inner.io.snapshot()
+    }
+
+    fn reset_io(&self) {
+        self.inner.io.reset();
+    }
+
+    fn take_error(&self) -> Option<StorageError> {
+        self.inner.errors.take()
+    }
+}
+
+/// [`crate::open_store_auto`] plus the remote scheme: a
+/// `tcp://host:port` URI connects a [`RemoteStore`] (with
+/// `block_cache_bytes` as its cache budget when given); anything else
+/// is a local path dispatched on its format. This is what `--store`
+/// arguments should flow through.
+pub fn open_store_uri(
+    uri: &str,
+    block_cache_bytes: Option<u64>,
+) -> Result<SharedSource, StorageError> {
+    if uri.starts_with("tcp://") {
+        let mut opts = RemoteOptions::default();
+        if let Some(b) = block_cache_bytes {
+            opts.cache_bytes = b;
+        }
+        return Ok(RemoteStore::connect_with(uri, opts)?.into_shared());
+    }
+    crate::open_store_auto(Path::new(uri), block_cache_bytes)
+}

@@ -36,6 +36,26 @@ pub enum StorageError {
     /// A delta was rejected before any state changed (unknown node,
     /// zero weight, missing/duplicate edge, ...).
     DeltaRejected(DeltaError),
+    /// A remote block server could not be reached or kept failing after
+    /// the client exhausted its capped-backoff retries (connect/request
+    /// timeout, connection reset, server-reported failure, or repeated
+    /// CRC mismatches on re-fetch). Surfaced instead of hanging so a
+    /// dead `ktpm blockd` turns into a clean error at the serving tier.
+    Remote {
+        /// The `host:port` the client was talking to.
+        addr: String,
+        /// What failed, after how many attempts.
+        detail: String,
+    },
+    /// One shard file of a sharded snapshot failed verification; wraps
+    /// the per-file error so scrub reports can name the file *and* the
+    /// offset.
+    CorruptShard {
+        /// Manifest-listed file name of the corrupt shard.
+        file: String,
+        /// The failure inside that file.
+        error: Box<StorageError>,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -54,6 +74,12 @@ impl fmt::Display for StorageError {
             ),
             StorageError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
             StorageError::DeltaRejected(e) => write!(f, "delta rejected: {e}"),
+            StorageError::Remote { addr, detail } => {
+                write!(f, "remote store {addr} unavailable: {detail}")
+            }
+            StorageError::CorruptShard { file, error } => {
+                write!(f, "corrupt shard file {file}: {error}")
+            }
         }
     }
 }
@@ -222,6 +248,20 @@ pub trait ClosureSource: Send + Sync {
     fn undirected(&self) -> Option<SharedSource> {
         None
     }
+
+    /// Takes (and clears) the first storage error this source silently
+    /// degraded over since the last call. The read API is infallible by
+    /// design — a corrupt block becomes an empty group, an exhausted
+    /// cursor — which is the right call for local bit-rot but would let
+    /// a dead remote serve *silently truncated* match streams. Backends
+    /// that can fail mid-read ([`crate::PagedStore`] and everything
+    /// built on it) record the first swallowed error here; the serving
+    /// layer checks after each batch and turns a set slot into a
+    /// protocol error instead of shipping the partial batch. Default:
+    /// `None` (in-memory backends cannot fail mid-read).
+    fn take_error(&self) -> Option<StorageError> {
+        None
+    }
 }
 
 /// Merges pre-sorted `(src, dist)` blocks from several cursors into a
@@ -257,6 +297,8 @@ mod tests {
         assert_send_sync::<crate::OnDemandStore>();
         assert_send_sync::<crate::FileStore>();
         assert_send_sync::<crate::PagedStore>();
+        assert_send_sync::<crate::ShardedStore>();
+        assert_send_sync::<crate::RemoteStore>();
         assert_send_sync::<SharedSource>();
     }
 

@@ -1,9 +1,13 @@
-//! Serializes a [`ClosureTables`] into the on-disk store format.
+//! Serializes a [`ClosureTables`] into the on-disk store format —
+//! single-file v1/v2/v3 snapshots and sharded multi-file v3 snapshots
+//! with a v4 `MANIFEST` ([`write_store_sharded`]).
 
 use crate::format::*;
+use crate::manifest::{Manifest, ShardFileMeta};
+use crate::shard::ShardSpec;
 use crate::source::StorageError;
 use ktpm_closure::ClosureTables;
-use ktpm_graph::NodeId;
+use ktpm_graph::{LabelId, NodeId};
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
@@ -31,7 +35,7 @@ pub fn write_store_versioned(
         FormatVersion::V3 => Some(DEFAULT_BLOCK_EDGES),
         _ => None,
     };
-    write_store_inner(tables, path, version, block_entries)
+    write_store_inner(tables, path, version, block_entries, None)
 }
 
 /// Writes a v3 store with an explicit on-disk block capacity (in `L`
@@ -49,7 +53,76 @@ pub fn write_store_v3(
             "v3 block capacity must be at least 1 entry".into(),
         ));
     }
-    write_store_inner(tables, path, FormatVersion::V3, Some(block_entries))
+    write_store_inner(tables, path, FormatVersion::V3, Some(block_entries), None)
+}
+
+/// Writes a sharded snapshot: one v3 shard file per partition of
+/// `spec`'s split (so `spec.of()` files — any member of the split
+/// names the same layout) plus a CRC'd v4 `MANIFEST` in `dir`, all
+/// sharing the block capacity `block_entries`. Label pairs are routed
+/// round-robin over their sorted order, so shards stay balanced and
+/// the layout is deterministic; the manifest records the explicit
+/// pair → file routing, so readers never depend on the rule.
+///
+/// `dir` is created if missing. Open the snapshot via
+/// [`crate::open_store_auto`] on `dir/MANIFEST` (or on `dir` itself).
+/// Returns the manifest that was written.
+pub fn write_store_sharded(
+    tables: &ClosureTables,
+    dir: &Path,
+    spec: &ShardSpec,
+    block_entries: usize,
+) -> Result<Manifest, StorageError> {
+    if block_entries == 0 {
+        return Err(StorageError::InvalidConfig(
+            "v3 block capacity must be at least 1 entry".into(),
+        ));
+    }
+    let shard_count = spec.of();
+    std::fs::create_dir_all(dir)?;
+
+    let mut keys: Vec<_> = tables.iter_pairs().map(|(k, _)| k).collect();
+    keys.sort_unstable();
+    let mut routing = std::collections::BTreeMap::new();
+    let mut owned: Vec<Vec<(LabelId, LabelId)>> = vec![Vec::new(); shard_count as usize];
+    for (i, &key) in keys.iter().enumerate() {
+        let shard = (i % shard_count as usize) as u32;
+        routing.insert(key, shard);
+        owned[shard as usize].push(key);
+    }
+
+    let mut shards = Vec::with_capacity(shard_count as usize);
+    for (shard, keys) in owned.iter().enumerate() {
+        let name = format!("shard-{shard:04}.tc");
+        let path = dir.join(&name);
+        write_store_inner(
+            tables,
+            &path,
+            FormatVersion::V3,
+            Some(block_entries),
+            Some(keys),
+        )?;
+        // Seal the exact bytes just written: length + whole-file CRC.
+        let bytes = std::fs::read(&path)?;
+        shards.push(ShardFileMeta {
+            name,
+            file_len: bytes.len() as u64,
+            content_crc: crc32(&bytes),
+        });
+    }
+
+    let n = tables.num_nodes();
+    let labels: Vec<LabelId> = (0..n).map(|i| tables.label(NodeId(i as u32))).collect();
+    let num_labels = labels.iter().map(|l| l.0 + 1).max().unwrap_or(0);
+    let manifest = Manifest {
+        block_entries: block_entries as u32,
+        num_labels,
+        labels,
+        shards,
+        routing,
+    };
+    std::fs::write(dir.join("MANIFEST"), manifest.encode())?;
+    Ok(manifest)
 }
 
 fn write_store_inner(
@@ -57,6 +130,9 @@ fn write_store_inner(
     path: &Path,
     version: FormatVersion,
     block_entries: Option<usize>,
+    // When set, emit only this subset of label pairs (a shard file);
+    // `None` emits every pair in sorted order.
+    only_pairs: Option<&[(LabelId, LabelId)]>,
 ) -> Result<(), StorageError> {
     let crc = version.has_crc();
     let file = std::fs::File::create(path)?;
@@ -93,7 +169,10 @@ fn write_store_inner(
     }
     emit(&mut w, &buf, &mut offset)?;
 
-    let mut keys: Vec<_> = tables.iter_pairs().map(|(k, _)| k).collect();
+    let mut keys: Vec<_> = match only_pairs {
+        Some(subset) => subset.to_vec(),
+        None => tables.iter_pairs().map(|(k, _)| k).collect(),
+    };
     keys.sort_unstable();
 
     // Per-pair sections.

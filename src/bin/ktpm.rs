@@ -2,11 +2,21 @@
 //!
 //! ```text
 //! ktpm closure <graph.txt> <store.tc>          precompute + persist the closure
+//! ktpm closure <graph.txt> <dir> --shards <n>  ... as a sharded snapshot: n v3
+//!                                              shard files + a v4 MANIFEST
 //! ktpm query   <graph.txt> <query.txt> [opts]  run a top-k twig query
 //! ktpm serve   <graph.txt> [opts]              run the TCP query service
-//! ktpm store verify <store.tc>                 re-check every checksum in a
-//!                                              persisted store; nonzero exit
-//!                                              on corruption
+//! ktpm blockd  --store <path> [--listen a]     serve a snapshot's raw blocks
+//!                                              over TCP for remote stores
+//!                                              (--store tcp://host:port)
+//! ktpm store verify <store>                    re-check every checksum in a
+//!                                              persisted store (single file,
+//!                                              or a sharded snapshot given its
+//!                                              MANIFEST/directory: manifest
+//!                                              CRC, per-file content hashes,
+//!                                              then a full per-shard scrub);
+//!                                              nonzero exit on corruption,
+//!                                              naming the corrupt file
 //!
 //! options for `query`:
 //!   -k <n>            number of matches (default 10)
@@ -14,13 +24,19 @@
 //!                     The format version is sniffed: v3 stores are read
 //!                     through the paged backend (lazy CRC-verified block
 //!                     fetch behind an LRU block cache), v1/v2 through
-//!                     the whole-section file reader
+//!                     the whole-section file reader. A sharded snapshot's
+//!                     MANIFEST (or directory) opens the sharded backend —
+//!                     only shard files the query's label pairs touch are
+//!                     opened. `tcp://host:port` connects to `ktpm blockd`
+//!                     and fetches blocks remotely on demand
 //!   --block-cache-bytes <n>
 //!                     byte budget for the v3 block cache (default 8 MiB;
 //!                     0 = unlimited). Ignored for v1/v2 stores
 //!   --iostats         print the store's I/O counters after the run:
-//!                     blocks/bytes/edges read, D/E entries, and the
-//!                     block-cache hit/miss/eviction/resident-bytes set
+//!                     blocks/bytes/edges read, D/E entries, the
+//!                     block-cache hit/miss/eviction/resident-bytes set,
+//!                     files opened (sharded backend) and the remote
+//!                     fetch/bytes/retry/error counters (remote backend)
 //!   --algo <name>     any name in the shared `Algo` registry:
 //!                     topk | topk-en | par | brute | dp-b | dp-p | kgpm
 //!                     (default topk-en). `kgpm` reads the query as an
@@ -176,12 +192,16 @@ fn main() -> ExitCode {
         Some("closure") => cmd_closure(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("blockd") => cmd_blockd(&args[1..]),
         Some("store") => cmd_store(&args[1..]),
         _ => {
-            eprintln!("usage: ktpm closure <graph.txt> <store.tc>");
-            eprintln!("       ktpm query <graph.txt> <query.txt> [-k n] [--store p] [--algo a] [--parallel n] [--repeat n] [--on-demand] [--block-cache-bytes n] [--iostats]");
-            eprintln!("       ktpm serve <graph.txt> [--addr host:port] [--store p] [--on-demand] [--block-cache-bytes n] [--workers n] [--parallel n] [--ttl secs] [--plan-cache n] [--plan-cache-bytes n] [--warm file] [--invalidation policy] [--event-loop] [--net-workers n] [--pipeline n] [--write-buf bytes] [--idle-timeout secs] [--sweep-interval-ms n]");
-            eprintln!("       ktpm store verify <store.tc>");
+            eprintln!(
+                "usage: ktpm closure <graph.txt> <store.tc|dir> [--shards n] [--block-entries n]"
+            );
+            eprintln!("       ktpm query <graph.txt> <query.txt> [-k n] [--store p|tcp://host:port] [--algo a] [--parallel n] [--repeat n] [--on-demand] [--block-cache-bytes n] [--iostats]");
+            eprintln!("       ktpm serve <graph.txt> [--addr host:port] [--store p|tcp://host:port] [--on-demand] [--block-cache-bytes n] [--workers n] [--parallel n] [--ttl secs] [--plan-cache n] [--plan-cache-bytes n] [--warm file] [--invalidation policy] [--event-loop] [--net-workers n] [--pipeline n] [--write-buf bytes] [--idle-timeout secs] [--sweep-interval-ms n]");
+            eprintln!("       ktpm blockd --store <path> [--listen host:port]");
+            eprintln!("       ktpm store verify <store.tc|MANIFEST|dir>");
             return ExitCode::from(2);
         }
     };
@@ -199,11 +219,24 @@ fn load_graph(path: &str) -> Result<LabeledGraph, Box<dyn std::error::Error>> {
     Ok(ktpm::graph::io::read_graph(BufReader::new(f))?)
 }
 
+/// Whether `path` is a file starting with the sharded-snapshot
+/// MANIFEST magic (reads only the first 8 bytes).
+fn file_has_v4_magic(path: &std::path::Path) -> bool {
+    use std::io::Read;
+    let Ok(mut f) = std::fs::File::open(path) else {
+        return false;
+    };
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic).is_ok() && &magic == ktpm::storage::MAGIC_V4
+}
+
 /// Picks the storage backend shared by `query` and `serve`. Persisted
-/// stores are opened by sniffing the file's format version: v3 goes
-/// through the paged reader (lazy verified block fetch behind the
-/// `--block-cache-bytes` LRU budget; 0 = unlimited), v1/v2 through the
-/// whole-section `FileStore`.
+/// stores are opened by sniffing what `--store` names: a `tcp://`
+/// address connects to `ktpm blockd`, a sharded snapshot's MANIFEST
+/// (or directory) opens the sharded backend, and single files dispatch
+/// on their format version — v3 goes through the paged reader (lazy
+/// verified block fetch behind the `--block-cache-bytes` LRU budget;
+/// 0 = unlimited), v1/v2 through the whole-section `FileStore`.
 fn open_store(
     g: &LabeledGraph,
     store_path: &Option<String>,
@@ -211,7 +244,7 @@ fn open_store(
     block_cache_bytes: Option<u64>,
 ) -> Result<SharedSource, Box<dyn std::error::Error>> {
     Ok(match (store_path, on_demand) {
-        (Some(p), _) => open_store_auto(std::path::Path::new(p), block_cache_bytes)?,
+        (Some(p), _) => open_store_uri(p, block_cache_bytes)?,
         (None, true) => OnDemandStore::new(g.clone()).into_shared(),
         // Attach the graph so `--algo kgpm` / `OPEN kgpm` can derive
         // the undirected mirror; tree algorithms never look at it.
@@ -224,14 +257,58 @@ fn open_store(
 }
 
 fn cmd_closure(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let [graph_path, out_path] = args else {
-        return Err("usage: ktpm closure <graph.txt> <store.tc>".into());
+    let mut positional = Vec::new();
+    let mut shards: Option<u32> = None;
+    let mut block_entries: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--shards" => shards = Some(it.next().ok_or("--shards needs a count")?.parse()?),
+            "--block-entries" => {
+                block_entries = Some(it.next().ok_or("--block-entries needs a count")?.parse()?)
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [graph_path, out_path] = positional.as_slice() else {
+        return Err(
+            "usage: ktpm closure <graph.txt> <store.tc|dir> [--shards n] [--block-entries n]"
+                .into(),
+        );
     };
     let g = load_graph(graph_path)?;
     let t = std::time::Instant::now();
     let tables = ClosureTables::compute(&g);
     let stats = tables.stats();
-    write_store(&tables, std::path::Path::new(out_path))?;
+    let wrote = match shards {
+        // Sharded snapshot: one v3 file per partition + a v4 MANIFEST
+        // in the output directory; open it via the MANIFEST path.
+        Some(n) if n > 0 => {
+            let spec = ShardSpec::new(0, n);
+            let manifest = write_store_sharded(
+                &tables,
+                std::path::Path::new(out_path),
+                &spec,
+                block_entries.unwrap_or(DEFAULT_BLOCK_EDGES),
+            )?;
+            format!(
+                "{out_path}/MANIFEST ({} shard files, {} routed pairs)",
+                manifest.shards.len(),
+                manifest.routing.len()
+            )
+        }
+        Some(_) => return Err("--shards needs a nonzero count".into()),
+        None => match block_entries {
+            Some(be) => {
+                write_store_v3(&tables, std::path::Path::new(out_path), be)?;
+                out_path.to_string()
+            }
+            None => {
+                write_store(&tables, std::path::Path::new(out_path))?;
+                out_path.to_string()
+            }
+        },
+    };
     println!(
         "closure of {} nodes / {} edges: {} closure edges (θ = {:.1}) in {:?} -> {}",
         g.num_nodes(),
@@ -239,7 +316,7 @@ fn cmd_closure(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         stats.edges,
         stats.theta,
         t.elapsed(),
-        out_path
+        wrote
     );
     Ok(())
 }
@@ -354,7 +431,8 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         let io = exec.io();
         println!(
             "# iostats: block_reads={} bytes_read={} edges_read={} d_entries={} e_entries={} \
-             cache_hits={} cache_misses={} cache_evictions={} cache_bytes_resident={}",
+             cache_hits={} cache_misses={} cache_evictions={} cache_bytes_resident={} \
+             files_opened={} remote_fetches={} remote_bytes={} remote_retries={} remote_errors={}",
             io.block_reads,
             io.bytes_read,
             io.edges_read,
@@ -363,7 +441,12 @@ fn cmd_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             io.cache_hits,
             io.cache_misses,
             io.cache_evictions,
-            io.cache_bytes_resident
+            io.cache_bytes_resident,
+            io.files_opened,
+            io.remote_fetches,
+            io.remote_bytes,
+            io.remote_retries,
+            io.remote_errors
         );
     }
     // Column labels per assignment slot: pattern nodes for kgpm rows,
@@ -542,19 +625,77 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
 }
 
-/// `ktpm store verify <store.tc>`: re-checks every checksum in a
+/// `ktpm blockd --store <path> [--listen host:port]`: serve a
+/// snapshot's raw blocks over TCP for `--store tcp://host:port`
+/// consumers. `--store` takes a sharded snapshot directory, its
+/// MANIFEST path, or a plain single-file store (announced as a
+/// synthesized one-file manifest).
+fn cmd_blockd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut store: Option<String> = None;
+    let mut listen = "127.0.0.1:7979".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store" => store = Some(it.next().ok_or("--store needs a path")?.clone()),
+            "--listen" => listen = it.next().ok_or("--listen needs host:port")?.clone(),
+            other => return Err(format!("unknown blockd option {other:?}").into()),
+        }
+    }
+    let store = store.ok_or("usage: ktpm blockd --store <path> [--listen host:port]")?;
+    let server = BlockServer::spawn(std::path::Path::new(&store), listen.as_str())?;
+    println!("blockd serving {} on {}", store, server.local_addr());
+    println!(
+        "point query-side stores at --store tcp://{}",
+        server.local_addr()
+    );
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// `ktpm store verify <store>`: re-checks every checksum in a
 /// persisted snapshot — v3 scrubs each section and every group block,
-/// v2 each section, v1 has none to check (reported as such). Exits
-/// nonzero (via the `Err` path in `main`) on the first corruption.
+/// v2 each section, v1 has none to check (reported as such). A sharded
+/// snapshot (MANIFEST path or directory) checks the manifest CRC, then
+/// every shard file's length and whole-file content hash against it,
+/// then scrubs each shard; the first corrupt file is named in the
+/// error. Exits nonzero (via the `Err` path in `main`) on the first
+/// corruption.
 fn cmd_store(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let [sub, store_arg] = args else {
-        return Err("usage: ktpm store verify <store.tc>".into());
+        return Err("usage: ktpm store verify <store.tc|MANIFEST|dir>".into());
     };
     if sub != "verify" {
         return Err(format!("unknown store subcommand {sub:?} (expected verify)").into());
     }
     let path = std::path::Path::new(store_arg);
     let t = std::time::Instant::now();
+    // Sharded snapshots first: a directory (must hold a MANIFEST — the
+    // pointed error otherwise), or a file carrying the v4 magic.
+    if path.is_dir() || file_has_v4_magic(path) {
+        let manifest_path = if path.is_dir() {
+            let p = path.join("MANIFEST");
+            if !p.is_file() {
+                return Err(format!(
+                    "{store_arg} is a directory without a MANIFEST — did you mean the \
+                     manifest path of a sharded snapshot (<dir>/MANIFEST)?"
+                )
+                .into());
+            }
+            p
+        } else {
+            path.to_path_buf()
+        };
+        let store = ShardedStore::open(&manifest_path).map_err(|e| format!("{store_arg}: {e}"))?;
+        store.verify().map_err(|e| format!("{store_arg}: {e}"))?;
+        println!(
+            "{store_arg}: OK (v4 sharded, manifest + {} shard file(s) scrubbed, {:?})",
+            store.shard_count(),
+            t.elapsed()
+        );
+        return Ok(());
+    }
     // Sniff the version by opening both ways: the paged reader rejects
     // v1/v2 with BadFormat and vice versa, so exactly one succeeds on a
     // well-formed file of either lineage.

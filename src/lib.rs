@@ -137,7 +137,7 @@ pub mod prelude {
         INF_SCORE,
     };
     pub use ktpm_kgpm::{GraphMatch, KgpmContext, KgpmStats, KgpmStream, TreeMatcher};
-    pub use ktpm_net::{EventServer, NetConfig};
+    pub use ktpm_net::{BlockServer, EventServer, NetConfig};
     pub use ktpm_query::{
         EdgeKind, GraphQuery, QNodeId, ResolvedQuery, TreeQuery, TreeQueryBuilder,
     };
@@ -147,9 +147,10 @@ pub mod prelude {
         ServiceHandle, SessionId, UpdateReport, WarmReport,
     };
     pub use ktpm_storage::{
-        open_store_auto, write_store, write_store_v3, write_store_versioned, ClosureSource,
-        DeltaReport, FileStore, FormatVersion, IoSnapshot, LiveStore, MemStore, OnDemandStore,
-        PagedStore, SharedSource, StorageError, DEFAULT_BLOCK_CACHE_BYTES,
+        open_store_auto, open_store_uri, write_store, write_store_sharded, write_store_v3,
+        write_store_versioned, ClosureSource, DeltaReport, FileStore, FormatVersion, IoSnapshot,
+        LiveStore, Manifest, MemStore, OnDemandStore, PagedStore, RemoteStore, ShardedStore,
+        SharedSource, StorageError, DEFAULT_BLOCK_CACHE_BYTES, DEFAULT_BLOCK_EDGES,
     };
     pub use ktpm_workload::{generate, query_set, random_tree_query, GraphSpec, QuerySpec};
 }

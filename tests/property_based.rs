@@ -773,4 +773,110 @@ proptest! {
         }
         std::fs::remove_file(&path).ok();
     }
+
+    #[test]
+    fn sharded_and_remote_stores_equal_mem_store(
+        nodes in 15..40usize,
+        seed in 0..10_000u64,
+        size in 2..4usize,
+        store_shards in 1..5u32,
+        k in 1..30usize,
+        pause in 0..30usize,
+        chunk in 1..5usize,
+        block_entries in 1..6usize,
+        budget_blocks in 0..8u64,
+    ) {
+        // The distributed tiers must be observationally invisible too:
+        // the same snapshot split across `store_shards` files (opened
+        // from its MANIFEST) and served over TCP by an in-process
+        // blockd (fetched by a RemoteStore) must stream
+        // element-for-element identically to a MemStore, across random
+        // shard counts, block capacities, cache budgets, and a
+        // next/next_batch resume split.
+        let spec = GraphSpec {
+            nodes,
+            labels: 4,
+            label_skew: 0.5,
+            avg_out_degree: 2.0,
+            community: 20,
+            cross_fraction: 0.15,
+            weight_range: (1, 3),
+            seed,
+        };
+        let g = generate(&spec);
+        let tables = ClosureTables::compute(&g);
+        let mut dir = std::env::temp_dir();
+        dir.push(format!(
+            "ktpm-prop-sharded-{}-{nodes}-{seed}-{store_shards}-{block_entries}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        write_store_sharded(&tables, &dir, &ShardSpec::new(0, store_shards), block_entries)
+            .unwrap();
+        let budget = budget_blocks * (block_entries * 8) as u64;
+        let sharded: SharedSource = ShardedStore::open_with_cache_bytes(
+            &dir.join("MANIFEST"),
+            budget,
+        )
+        .unwrap()
+        .into_shared();
+        let server = BlockServer::spawn(&dir, ("127.0.0.1", 0)).unwrap();
+        let remote: SharedSource = RemoteStore::connect_with(
+            &server.local_addr().to_string(),
+            ktpm::storage::RemoteOptions {
+                cache_bytes: budget,
+                ..ktpm::storage::RemoteOptions::default()
+            },
+        )
+        .unwrap()
+        .into_shared();
+        let mem: SharedSource = MemStore::with_block_edges(tables, 2).into_shared();
+        let drain = |mut it: BoxedMatchStream| {
+            let j = pause.min(k);
+            let mut got: Vec<ScoredMatch> = Vec::new();
+            while got.len() < j {
+                match it.next() {
+                    Some(m) => got.push(m),
+                    None => return got,
+                }
+            }
+            // Resume split: switch pull primitives mid-stream.
+            while !it.next_batch(chunk, &mut got).is_done() {}
+            got
+        };
+        if let Some(q) = random_tree_query(&g, QuerySpec {
+            size,
+            distinct_labels: false,
+            seed: seed ^ 0x5A5A,
+        }) {
+            let resolved = q.resolve(g.interner());
+            for algo in [Algo::Topk, Algo::TopkEn] {
+                let build = |store: &SharedSource| {
+                    Executor::new(g.interner().clone(), Arc::clone(store))
+                        .query_resolved(resolved.clone())
+                        .algo(algo)
+                        .k(k)
+                        .stream()
+                        .unwrap()
+                };
+                let want = drain(build(&mem));
+                let got_sharded = drain(build(&sharded));
+                prop_assert_eq!(
+                    &got_sharded, &want,
+                    "sharded {:?} shards {} be {} budget {} k {}",
+                    algo, store_shards, block_entries, budget, k
+                );
+                let got_remote = drain(build(&remote));
+                prop_assert_eq!(
+                    &got_remote, &want,
+                    "remote {:?} shards {} be {} budget {} k {}",
+                    algo, store_shards, block_entries, budget, k
+                );
+            }
+        }
+        prop_assert!(sharded.take_error().is_none());
+        prop_assert!(remote.take_error().is_none());
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }
